@@ -1,0 +1,191 @@
+//! The four MP3 platform designs of the paper's evaluation (§5).
+//!
+//! - **SW** — every process on the MicroBlaze-like CPU;
+//! - **SW+1** — the left-channel FilterCore moved to custom HW;
+//! - **SW+2** — left FilterCore and left IMDCT on custom HW;
+//! - **SW+4** — FilterCore and IMDCT of both channels on custom HW.
+//!
+//! Cache sizes of the CPU are a free parameter, swept by Tables 2 and 3.
+
+use std::fmt;
+
+use tlm_cdfg::ir::Module;
+use tlm_core::library;
+use tlm_platform::desc::{PeId, Platform, PlatformBuilder, PlatformError};
+
+use crate::mp3::{self, chan, GRANULES_PER_FRAME};
+
+/// Which of the paper's designs to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mp3Design {
+    /// Pure software.
+    Sw,
+    /// Left FilterCore in HW.
+    SwPlus1,
+    /// Left FilterCore + left IMDCT in HW.
+    SwPlus2,
+    /// Both FilterCores + both IMDCTs in HW.
+    SwPlus4,
+}
+
+impl Mp3Design {
+    /// All four designs, in the paper's order.
+    pub const ALL: [Mp3Design; 4] =
+        [Mp3Design::Sw, Mp3Design::SwPlus1, Mp3Design::SwPlus2, Mp3Design::SwPlus4];
+
+    /// Number of custom HW PEs in the design.
+    pub fn hw_count(self) -> usize {
+        match self {
+            Mp3Design::Sw => 0,
+            Mp3Design::SwPlus1 => 1,
+            Mp3Design::SwPlus2 => 2,
+            Mp3Design::SwPlus4 => 4,
+        }
+    }
+}
+
+impl fmt::Display for Mp3Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mp3Design::Sw => "SW",
+            Mp3Design::SwPlus1 => "SW+1",
+            Mp3Design::SwPlus2 => "SW+2",
+            Mp3Design::SwPlus4 => "SW+4",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Workload parameters: the bitstream seed and how many frames to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mp3Params {
+    /// Seed of the synthetic bitstream.
+    pub seed: i32,
+    /// Frames to decode.
+    pub frames: u32,
+}
+
+impl Mp3Params {
+    /// The training input used to characterize statistical PUM parameters.
+    pub fn training() -> Mp3Params {
+        Mp3Params { seed: 0x1234_5678, frames: 2 }
+    }
+
+    /// The evaluation input the accuracy tables are measured on.
+    pub fn evaluation() -> Mp3Params {
+        Mp3Params { seed: 0x6b43_a9b5, frames: 3 }
+    }
+
+    /// Total granules decoded.
+    pub fn granules(&self) -> i64 {
+        i64::from(self.frames) * GRANULES_PER_FRAME as i64
+    }
+}
+
+fn lower(src: &str) -> Result<Module, PlatformError> {
+    let program = tlm_minic::parse(src)
+        .map_err(|e| PlatformError { message: format!("mp3 source does not parse: {e}") })?;
+    let mut module = tlm_cdfg::lower::lower(&program)
+        .map_err(|e| PlatformError { message: format!("mp3 source does not lower: {e}") })?;
+    // The paper annotates compiler-processed IR; run the scalar cleanups so
+    // the op mix matches compiled code.
+    tlm_cdfg::passes::optimize(&mut module);
+    Ok(module)
+}
+
+/// Builds the platform for one design, cache configuration and workload.
+///
+/// # Errors
+///
+/// Propagates [`PlatformError`] (should not occur for the built-in
+/// sources).
+pub fn build_mp3_platform(
+    design: Mp3Design,
+    params: Mp3Params,
+    icache_bytes: u32,
+    dcache_bytes: u32,
+) -> Result<Platform, PlatformError> {
+    let frontend = lower(&mp3::frontend_source())?;
+    let imdct_l = lower(&mp3::imdct_source(chan::SPEC_L, chan::SUB_L))?;
+    let imdct_r = lower(&mp3::imdct_source(chan::SPEC_R, chan::SUB_R))?;
+    let filter_l = lower(&mp3::filter_source(chan::SUB_L, chan::PCM_L))?;
+    let filter_r = lower(&mp3::filter_source(chan::SUB_R, chan::PCM_R))?;
+    let sink = lower(&mp3::sink_source())?;
+
+    let mut b = PlatformBuilder::new(format!("mp3-{design}"));
+    let cpu = b.add_pe("cpu", library::microblaze_like(icache_bytes, dcache_bytes));
+
+    let hw = |b: &mut PlatformBuilder, name: &str, mac: u32| -> PeId {
+        b.add_pe(name, library::custom_hw(name, 2, mac))
+    };
+    let (pe_fl, pe_il, pe_fr, pe_ir) = match design {
+        Mp3Design::Sw => (cpu, cpu, cpu, cpu),
+        Mp3Design::SwPlus1 => (hw(&mut b, "filter_hw_l", 2), cpu, cpu, cpu),
+        Mp3Design::SwPlus2 => {
+            (hw(&mut b, "filter_hw_l", 2), hw(&mut b, "imdct_hw_l", 2), cpu, cpu)
+        }
+        Mp3Design::SwPlus4 => (
+            hw(&mut b, "filter_hw_l", 2),
+            hw(&mut b, "imdct_hw_l", 2),
+            hw(&mut b, "filter_hw_r", 2),
+            hw(&mut b, "imdct_hw_r", 2),
+        ),
+    };
+
+    let granules = params.granules();
+    b.add_process("frontend", &frontend, "main", &[i64::from(params.seed), i64::from(params.frames)], cpu)?;
+    b.add_process("imdct_l", &imdct_l, "main", &[granules], pe_il)?;
+    b.add_process("imdct_r", &imdct_r, "main", &[granules], pe_ir)?;
+    b.add_process("filter_l", &filter_l, "main", &[granules], pe_fl)?;
+    b.add_process("filter_r", &filter_r, "main", &[granules], pe_fr)?;
+    b.add_process("sink", &sink, "main", &[granules], cpu)?;
+    b.build()
+}
+
+/// The cache configurations swept by the paper's Tables 2 and 3, as
+/// `(label, icache bytes, dcache bytes)`.
+pub const CACHE_SWEEP: [(&str, u32, u32); 5] = [
+    ("0k/0k", 0, 0),
+    ("2k/2k", 2 << 10, 2 << 10),
+    ("8k/4k", 8 << 10, 4 << 10),
+    ("16k/16k", 16 << 10, 16 << 10),
+    ("32k/16k", 32 << 10, 16 << 10),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_designs_build() {
+        for design in Mp3Design::ALL {
+            let p = build_mp3_platform(design, Mp3Params::training(), 8 << 10, 4 << 10)
+                .unwrap_or_else(|e| panic!("{design}: {e}"));
+            assert_eq!(p.processes.len(), 6);
+            assert_eq!(p.pes.len(), 1 + design.hw_count());
+            // All six channels bound.
+            assert_eq!(p.channels.len(), 6);
+        }
+    }
+
+    #[test]
+    fn sw_design_keeps_all_channels_local() {
+        let p = build_mp3_platform(Mp3Design::Sw, Mp3Params::training(), 0, 0)
+            .expect("builds");
+        assert!(p.channels.values().all(|c| c.bus.is_none()));
+    }
+
+    #[test]
+    fn hw_designs_use_the_bus() {
+        let p = build_mp3_platform(Mp3Design::SwPlus4, Mp3Params::training(), 0, 0)
+            .expect("builds");
+        let on_bus = p.channels.values().filter(|c| c.bus.is_some()).count();
+        assert_eq!(on_bus, 6, "every hop crosses PEs in SW+4");
+    }
+
+    #[test]
+    fn params_granule_math() {
+        assert_eq!(Mp3Params { seed: 1, frames: 4 }.granules(), 8);
+        assert_ne!(Mp3Params::training().seed, Mp3Params::evaluation().seed);
+    }
+}

@@ -1,0 +1,30 @@
+//! Application workloads for the estimation experiments.
+//!
+//! The paper evaluates on an MP3 decoder whose heavy kernels (per-channel
+//! `FilterCore` polyphase synthesis and `IMDCT`) are progressively moved to
+//! custom hardware. The original reference code is proprietary; [`mp3`]
+//! provides a fixed-point MP3-*style* decoder written in MiniC with the
+//! same computational structure and the same offload cut points, organized
+//! as the paper's process network (Fig. 6):
+//!
+//! ```text
+//! frontend ──ch0──▶ imdct_l ──ch2──▶ filter_l ──ch4──▶
+//!          ──ch1──▶ imdct_r ──ch3──▶ filter_r ──ch5──▶ sink
+//! ```
+//!
+//! [`designs`] maps that network onto the four platforms of the paper (SW,
+//! SW+1, SW+2, SW+4) with configurable cache sizes, [`imagepipe`] provides
+//! a second process network (a JPEG-style compressor with an optional DCT
+//! accelerator), and [`kernels`] provides smaller single-process programs
+//! (FIR, matmul, quicksort, CRC32, DCT 8×8) for unit-scale experiments and
+//! benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod designs;
+pub mod imagepipe;
+pub mod kernels;
+pub mod mp3;
+
+pub use designs::{build_mp3_platform, Mp3Design, Mp3Params};

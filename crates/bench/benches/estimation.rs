@@ -1,0 +1,74 @@
+//! Criterion benches of the estimation engine itself: Algorithm 1 per
+//! block, full-module annotation (the "Anno." column of Table 1) and
+//! per-policy scheduling cost (ablation A1's runtime counterpart).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tlm_apps::{kernels, mp3};
+use tlm_cdfg::dfg::block_dfg;
+use tlm_cdfg::ir::Module;
+use tlm_core::annotate::annotate;
+use tlm_core::library;
+use tlm_core::pum::SchedulingPolicy;
+use tlm_core::schedule::schedule_block;
+
+fn lower(src: &str) -> Module {
+    tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers")
+}
+
+fn bench_annotation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("annotate");
+    let cpu = library::microblaze_like(8 << 10, 4 << 10);
+    let hw = library::custom_hw("hw", 2, 2);
+    let filter = lower(&mp3::filter_source(0, 1));
+    let imdct = lower(&mp3::imdct_source(0, 1));
+    for (name, module) in [("filtercore", &filter), ("imdct", &imdct)] {
+        group.bench_with_input(BenchmarkId::new("cpu", name), module, |b, m| {
+            b.iter(|| annotate(black_box(m), &cpu).expect("annotates"));
+        });
+        group.bench_with_input(BenchmarkId::new("hw", name), module, |b, m| {
+            b.iter(|| annotate(black_box(m), &hw).expect("annotates"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_policy");
+    let module = lower(&kernels::matmul(16));
+    let func = &module.functions[0];
+    let (bid, block) = func
+        .blocks_iter()
+        .max_by_key(|(_, b)| b.ops.len())
+        .expect("has blocks");
+    let dfg = block_dfg(block);
+    for policy in [
+        SchedulingPolicy::InOrder,
+        SchedulingPolicy::Asap,
+        SchedulingPolicy::Alap,
+        SchedulingPolicy::List,
+    ] {
+        let mut pum = library::custom_hw("hw", 2, 2);
+        pum.execution.policy = policy;
+        group.bench_function(format!("{policy:?}"), |b| {
+            b.iter(|| {
+                schedule_block(black_box(&pum), block, &dfg, tlm_cdfg::FuncId(0), bid)
+                    .expect("schedules")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    let src = mp3::filter_source(0, 1);
+    group.bench_function("parse_and_lower_filtercore", |b| {
+        b.iter(|| lower(black_box(&src)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_annotation, bench_schedule_policies, bench_frontend);
+criterion_main!(benches);

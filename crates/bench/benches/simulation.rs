@@ -1,0 +1,51 @@
+//! Criterion benches of the simulation engines — the runtime side of
+//! Table 1: functional TLM vs timed TLM vs coarse ISS vs cycle-accurate
+//! board, plus the `sc_wait` granularity ablation (A2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use tlm_apps::{build_mp3_platform, Mp3Design, Mp3Params};
+use tlm_pcam::{run_board, run_iss, BoardConfig};
+use tlm_platform::desc::Platform;
+use tlm_platform::tlm::{run_tlm, TlmConfig, TlmMode};
+
+fn small_platform(design: Mp3Design) -> Platform {
+    build_mp3_platform(design, Mp3Params { seed: 0x7777, frames: 1 }, 8 << 10, 4 << 10)
+        .expect("platform builds")
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mp3_sw_one_frame");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let platform = small_platform(Mp3Design::Sw);
+    group.bench_function("tlm_functional", |b| {
+        b.iter(|| run_tlm(&platform, TlmMode::Functional, &TlmConfig::default()).expect("runs"));
+    });
+    group.bench_function("tlm_timed", |b| {
+        b.iter(|| run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("runs"));
+    });
+    group.bench_function("iss_coarse", |b| {
+        b.iter(|| run_iss(&platform, &BoardConfig::default()).expect("runs"));
+    });
+    group.bench_function("board_pcam", |b| {
+        b.iter(|| run_board(&platform, &BoardConfig::default()).expect("runs"));
+    });
+    group.finish();
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_wait_granularity");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let platform = small_platform(Mp3Design::SwPlus4);
+    for granularity in [1u32, 8, 64] {
+        group.bench_function(format!("g{granularity}"), |b| {
+            let config = TlmConfig { granularity, ..TlmConfig::default() };
+            b.iter(|| run_tlm(&platform, TlmMode::Timed, &config).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_granularity);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Validates every PUM model file under `models/` — the retargeting
+//! workflow's lint step: a user adds `models/my_pe.json`, runs `pumcheck`,
+//! and knows the estimator will accept it.
+//!
+//! ```text
+//! cargo run -p tlm-bench --release --bin pumcheck [dir]
+//! ```
+
+use std::path::PathBuf;
+
+use tlm_core::Pum;
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "models".to_string());
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read `{dir}`: {e}"))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        eprintln!("no .json model files under `{dir}`");
+        std::process::exit(1);
+    }
+    let mut failures = 0;
+    for path in &entries {
+        let text = std::fs::read_to_string(path).expect("file readable");
+        match Pum::from_json(&text) {
+            Ok(pum) => println!(
+                "ok   {:<28} {} ({} stages, {} units, {} op bindings)",
+                path.display(),
+                pum.name,
+                pum.max_stages(),
+                pum.datapath.units.len(),
+                pum.execution.op_map.len(),
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("FAIL {:<28} {e}", path.display());
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("\n{} model(s) valid", entries.len());
+}

@@ -1,0 +1,149 @@
+//! The paper's stated future work (§6): sensitivity of the estimate to the
+//! statistical memory and branch models — plus two ablations the design
+//! calls out.
+//!
+//! ```text
+//! cargo run -p tlm-bench --release --bin sensitivity
+//! ```
+//!
+//! Sections:
+//!
+//! 1. **S1a** — perturb the characterized cache hit rates by ±δ and report
+//!    how the SW-design estimate moves against the board measurement;
+//! 2. **S1b** — sweep the branch misprediction ratio;
+//! 3. **A1** — scheduling-policy ablation: the same kernels estimated on
+//!    the custom-HW datapath under in-order/ASAP/ALAP/list policies;
+//! 4. **A2** — `sc_wait` granularity ablation (§4.3): simulated end time
+//!    and simulation wall time of the timed TLM as delays are applied every
+//!    Nth transaction.
+
+use tlm_apps::{kernels, Mp3Design, Mp3Params};
+use tlm_bench::{
+    characterize_cpu, characterized_platform, end_time_cycles, error_pct, fmt_m, TextTable,
+};
+use tlm_core::annotate::annotate;
+use tlm_core::pum::{MemoryPath, SchedulingPolicy};
+use tlm_core::{library, Pum};
+use tlm_pcam::{run_board, BoardConfig};
+use tlm_platform::desc::Platform;
+use tlm_platform::tlm::{run_tlm, TlmConfig, TlmMode};
+
+fn perturb_rates(platform: &mut Platform, delta: f64) {
+    for pe in &mut platform.pes {
+        if pe.name != "cpu" {
+            continue;
+        }
+        for path in [&mut pe.pum.memory.ifetch, &mut pe.pum.memory.data] {
+            if let MemoryPath::Cached(cache) = path {
+                for rate in cache.hit_rates.values_mut() {
+                    *rate = (*rate + delta).clamp(0.0, 1.0);
+                }
+            }
+        }
+    }
+}
+
+fn estimate_cycles(platform: &Platform) -> u64 {
+    let tlm = run_tlm(platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+    end_time_cycles(tlm.end_time)
+}
+
+fn total_annotated(pum: &Pum, src: &str) -> u64 {
+    let module =
+        tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers");
+    let timed = annotate(&module, pum).expect("annotates");
+    module
+        .functions_iter()
+        .flat_map(|(fid, f)| f.blocks_iter().map(move |(bid, _)| (fid, bid)))
+        .map(|(fid, bid)| timed.cycles(fid, bid))
+        .sum()
+}
+
+fn main() {
+    let training = Mp3Params::training();
+    let eval = Mp3Params::evaluation();
+    let chr = characterize_cpu(Mp3Design::Sw, training);
+    let base = characterized_platform(Mp3Design::Sw, eval, 8 << 10, 4 << 10, &chr);
+    let board = run_board(&base, &BoardConfig::default()).expect("board runs");
+    let measured = end_time_cycles(board.end_time);
+
+    println!("S1a — estimate sensitivity to cache hit-rate error (SW, 8k/4k)");
+    let mut t = TextTable::new();
+    t.row(vec!["Δ hit rate".into(), "TLM".into(), "err vs board".into()]);
+    for delta in [-0.05, -0.02, -0.01, 0.0, 0.01, 0.02] {
+        let mut p = base.clone();
+        perturb_rates(&mut p, delta);
+        let est = estimate_cycles(&p);
+        t.row(vec![
+            format!("{delta:+.2}"),
+            fmt_m(est),
+            format!("{:+.2}%", error_pct(est, measured)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("S1b — estimate sensitivity to the branch misprediction ratio");
+    let mut t = TextTable::new();
+    t.row(vec!["miss rate".into(), "TLM".into(), "err vs board".into()]);
+    for rate in [0.0, 0.1, 0.2, 0.3, 0.5] {
+        let mut p = base.clone();
+        for pe in &mut p.pes {
+            if let Some(b) = &mut pe.pum.branch {
+                b.miss_rate = rate;
+            }
+        }
+        let est = estimate_cycles(&p);
+        t.row(vec![
+            format!("{rate:.2}"),
+            fmt_m(est),
+            format!("{:+.2}%", error_pct(est, measured)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("A1 — scheduling-policy ablation on the custom-HW datapath");
+    let mut t = TextTable::new();
+    let policies = [
+        ("in-order", SchedulingPolicy::InOrder),
+        ("asap", SchedulingPolicy::Asap),
+        ("alap", SchedulingPolicy::Alap),
+        ("list", SchedulingPolicy::List),
+    ];
+    let mut header = vec!["kernel".to_string()];
+    header.extend(policies.iter().map(|(n, _)| (*n).to_string()));
+    t.row(header);
+    for kernel in kernels::suite() {
+        let mut row = vec![kernel.name.to_string()];
+        for (_, policy) in policies {
+            let mut pum = library::custom_hw("ablate", 2, 2);
+            pum.execution.policy = policy;
+            row.push(total_annotated(&pum, &kernel.source).to_string());
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!("(sums of per-block estimated cycles; list ≤ alap expected)\n");
+
+    println!("A2 — sc_wait granularity ablation (§4.3), SW+4 design");
+    let p4 = characterized_platform(Mp3Design::SwPlus4, eval, 8 << 10, 4 << 10, &chr);
+    let reference = estimate_cycles(&p4);
+    let mut t = TextTable::new();
+    t.row(vec![
+        "granularity".into(),
+        "end cycles".into(),
+        "Δ vs g=1".into(),
+        "sim wall".into(),
+    ]);
+    for g in [1u32, 2, 4, 16, 64] {
+        let config = TlmConfig { granularity: g, ..TlmConfig::default() };
+        let tlm = run_tlm(&p4, TlmMode::Timed, &config).expect("TLM runs");
+        let est = end_time_cycles(tlm.end_time);
+        t.row(vec![
+            g.to_string(),
+            fmt_m(est),
+            format!("{:+.2}%", error_pct(est, reference)),
+            format!("{:.3}s", tlm.wall.as_secs_f64()),
+        ]);
+    }
+    println!("{}", t.render());
+}

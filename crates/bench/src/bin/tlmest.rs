@@ -1,0 +1,177 @@
+//! `tlmest` — the command-line face of the estimation tool chain: parse a
+//! MiniC source file, annotate it against a PUM model file, and print the
+//! per-block delay table plus the generated timed C.
+//!
+//! ```text
+//! tlmest <source.c> [--pum <model.json>] [--entry <func>] [--profile]
+//!        [--emit-c] [--opt]
+//!
+//!   --pum <file>   PE model (default: built-in MicroBlaze-like 8k/4k)
+//!   --entry <f>    entry function for --profile (default: main)
+//!   --profile      run the interpreter and attribute estimated cycles
+//!   --emit-c       print the annotated timed C
+//!   --opt          run the IR cleanup passes before estimation
+//! ```
+
+use std::process::ExitCode;
+
+use tlm_cdfg::interp::{Exec, Machine};
+use tlm_cdfg::profile::{BlockProfile, ProfileHook};
+use tlm_core::annotate::annotate;
+use tlm_core::report::{function_shares, hotspots};
+use tlm_core::{emit, library, Pum};
+
+struct Options {
+    source: String,
+    pum: Option<String>,
+    entry: String,
+    profile: bool,
+    emit_c: bool,
+    opt: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        source: String::new(),
+        pum: None,
+        entry: "main".to_string(),
+        profile: false,
+        emit_c: false,
+        opt: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pum" => opts.pum = Some(args.next().ok_or("--pum needs a file")?),
+            "--entry" => opts.entry = args.next().ok_or("--entry needs a name")?,
+            "--profile" => opts.profile = true,
+            "--emit-c" => opts.emit_c = true,
+            "--opt" => opts.opt = true,
+            "--help" | "-h" => return Err("help".to_string()),
+            other if !other.starts_with('-') && opts.source.is_empty() => {
+                opts.source = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.source.is_empty() {
+        return Err("missing source file".to_string());
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: tlmest <source.c> [--pum model.json] [--entry f] [--profile] [--emit-c] [--opt]"
+    );
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let source =
+        std::fs::read_to_string(&opts.source).map_err(|e| format!("{}: {e}", opts.source))?;
+    let program = tlm_minic::parse(&source).map_err(|e| format!("{}: {e}", opts.source))?;
+    let mut module = tlm_cdfg::lower::lower(&program).map_err(|e| e.to_string())?;
+    if opts.opt {
+        let stats = tlm_cdfg::passes::optimize(&mut module);
+        eprintln!(
+            "optimizer: folded {}, removed {}, propagated {}, threaded {}",
+            stats.folded, stats.removed, stats.propagated, stats.threaded
+        );
+    }
+
+    let pum: Pum = match &opts.pum {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Pum::from_json(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => library::microblaze_like(8 << 10, 4 << 10),
+    };
+
+    let timed = annotate(&module, &pum).map_err(|e| e.to_string())?;
+    println!(
+        "annotated {} blocks against `{}` in {:?}",
+        timed.total_annotated_blocks(),
+        pum.name,
+        timed.report().elapsed
+    );
+
+    // Static per-function summary.
+    println!("\nper-function static estimate (sum over blocks):");
+    for (fid, func) in module.functions_iter() {
+        let total: u64 =
+            func.blocks_iter().map(|(bid, _)| timed.cycles(fid, bid)).sum();
+        println!(
+            "  {:<20} {:>4} blocks {:>6} ops {:>8} cycles",
+            func.name,
+            func.blocks.len(),
+            func.op_count(),
+            total
+        );
+    }
+
+    if opts.profile {
+        let entry = module
+            .function_id(&opts.entry)
+            .ok_or_else(|| format!("entry `{}` not found", opts.entry))?;
+        if !module.function(entry).params.is_empty() {
+            return Err(format!("entry `{}` takes arguments; --profile needs a 0-arg entry", opts.entry));
+        }
+        let mut machine = Machine::new(&module, entry, &[]);
+        let mut profile = BlockProfile::new(&module);
+        let exec = machine.run(&mut ProfileHook::new(&mut profile));
+        match exec {
+            Exec::Done => {}
+            Exec::Trap(t) => return Err(format!("program trapped: {t}")),
+            other => {
+                return Err(format!(
+                    "program suspended on {other:?}; --profile supports channel-free programs"
+                ))
+            }
+        }
+        println!("\ndynamic profile (entry `{}`):", opts.entry);
+        for (name, share) in function_shares(&timed, &profile) {
+            println!("  {name:<20} {:5.1}% of estimated cycles", share * 100.0);
+        }
+        println!("\nhottest blocks:");
+        for h in hotspots(&timed, &profile).into_iter().take(8) {
+            println!(
+                "  {:<16} {:<5} {:>9} entries x {:>4} = {:>10} cycles ({:4.1}%)",
+                h.func_name,
+                h.block.to_string(),
+                h.entries,
+                h.cycles_each,
+                h.cycles_total,
+                h.share * 100.0
+            );
+        }
+        if !machine.outputs().is_empty() {
+            println!("\nprogram outputs: {:?}", machine.outputs());
+        }
+    }
+
+    if opts.emit_c {
+        println!("\n--- timed C ---");
+        print!("{}", emit::emit_timed_c(&timed));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(opts) => match run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("tlmest: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            if e != "help" {
+                eprintln!("tlmest: {e}");
+            }
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}

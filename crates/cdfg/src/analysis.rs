@@ -1,0 +1,287 @@
+//! CFG analyses: predecessors, reverse postorder, dominators, natural loops.
+//!
+//! These support the estimation engine (loop-aware reporting, annotation
+//! statistics) and the optimizer passes.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ir::{BlockId, FunctionData};
+
+/// Control-flow facts about one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `succs[b]`: successor blocks of `b`.
+    pub succs: Vec<Vec<BlockId>>,
+    /// `preds[b]`: predecessor blocks of `b`.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry; unreachable blocks are
+    /// absent.
+    pub rpo: Vec<BlockId>,
+    /// Immediate dominator of each block (`None` for entry and unreachable
+    /// blocks).
+    pub idom: Vec<Option<BlockId>>,
+}
+
+impl Cfg {
+    /// Computes CFG facts for a function.
+    pub fn of(func: &FunctionData) -> Cfg {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (bid, block) in func.blocks_iter() {
+            for s in block.term.successors() {
+                succs[bid.0 as usize].push(s);
+                preds[s.0 as usize].push(bid);
+            }
+        }
+
+        // Postorder DFS from the entry.
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::new();
+        let mut stack = vec![(func.entry(), 0usize)];
+        visited[0] = true;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let node_succs = &succs[node.0 as usize];
+            if *next < node_succs.len() {
+                let s = node_succs[*next];
+                *next += 1;
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(node);
+                stack.pop();
+            }
+        }
+        let mut rpo = postorder.clone();
+        rpo.reverse();
+
+        let idom = compute_idom(&rpo, &preds, n);
+        Cfg { succs, preds, rpo, idom }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = Some(b);
+        while let Some(c) = cur {
+            if c == a {
+                return true;
+            }
+            cur = self.idom[c.0 as usize];
+        }
+        false
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable(&self) -> HashSet<BlockId> {
+        self.rpo.iter().copied().collect()
+    }
+}
+
+/// Cooper–Harvey–Kennedy iterative dominator computation.
+fn compute_idom(
+    rpo: &[BlockId],
+    preds: &[Vec<BlockId>],
+    n: usize,
+) -> Vec<Option<BlockId>> {
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_index[b.0 as usize] = i;
+    }
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    if rpo.is_empty() {
+        return idom;
+    }
+    let entry = rpo[0];
+    idom[entry.0 as usize] = Some(entry);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.0 as usize] {
+                if idom[p.0 as usize].is_none() {
+                    continue; // unprocessed or unreachable predecessor
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(cur, p, &idom, &rpo_index),
+                });
+            }
+            if new_idom != idom[b.0 as usize] {
+                idom[b.0 as usize] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    // By convention the entry has no immediate dominator.
+    idom[entry.0 as usize] = None;
+    idom
+}
+
+fn intersect(
+    mut a: BlockId,
+    mut b: BlockId,
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed block has idom");
+        }
+        while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop body, including the header.
+    pub body: HashSet<BlockId>,
+}
+
+/// Finds natural loops via back edges (`tail -> header` where the header
+/// dominates the tail). Loops sharing a header are merged.
+pub fn natural_loops(func: &FunctionData, cfg: &Cfg) -> Vec<NaturalLoop> {
+    let mut loops: HashMap<BlockId, HashSet<BlockId>> = HashMap::new();
+    for (bid, block) in func.blocks_iter() {
+        for succ in block.term.successors() {
+            if cfg.dominates(succ, bid) {
+                // Back edge bid -> succ; collect the loop body by walking
+                // predecessors from the tail until the header.
+                let body = loops.entry(succ).or_default();
+                body.insert(succ);
+                let mut stack = vec![bid];
+                while let Some(b) = stack.pop() {
+                    if body.insert(b) {
+                        for &p in &cfg.preds[b.0 as usize] {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut result: Vec<NaturalLoop> = loops
+        .into_iter()
+        .map(|(header, body)| NaturalLoop { header, body })
+        .collect();
+    result.sort_by_key(|l| l.header);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::Module;
+
+    fn module(src: &str) -> Module {
+        lower(&tlm_minic::parse(src).expect("parses")).expect("lowers")
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let m = module("int f(int a) { return a + 1; }");
+        let f = &m.functions[0];
+        let cfg = Cfg::of(f);
+        assert!(natural_loops(f, &cfg).is_empty());
+        assert_eq!(cfg.rpo.len(), 1);
+    }
+
+    #[test]
+    fn while_loop_found() {
+        let m = module("int f(int n) { int i = 0; while (i < n) { i++; } return i; }");
+        let f = &m.functions[0];
+        let cfg = Cfg::of(f);
+        let loops = natural_loops(f, &cfg);
+        assert_eq!(loops.len(), 1);
+        assert!(loops[0].body.len() >= 2, "header + body");
+    }
+
+    #[test]
+    fn nested_loops_found() {
+        let m = module(
+            "int f(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < n; j++) { acc += i * j; }
+                }
+                return acc;
+            }",
+        );
+        let f = &m.functions[0];
+        let cfg = Cfg::of(f);
+        let loops = natural_loops(f, &cfg);
+        assert_eq!(loops.len(), 2);
+        // The outer loop body contains the inner header.
+        let (outer, inner) = if loops[0].body.len() > loops[1].body.len() {
+            (&loops[0], &loops[1])
+        } else {
+            (&loops[1], &loops[0])
+        };
+        assert!(outer.body.contains(&inner.header));
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let m = module(
+            "int f(int a) {
+                if (a > 0) { a = a * 2; } else { a = a - 1; }
+                return a;
+            }",
+        );
+        let f = &m.functions[0];
+        let cfg = Cfg::of(f);
+        for &b in &cfg.rpo {
+            assert!(cfg.dominates(f.entry(), b));
+        }
+    }
+
+    #[test]
+    fn branch_arms_do_not_dominate_join() {
+        let m = module(
+            "int f(int a) {
+                int r = 0;
+                if (a > 0) { r = 1; } else { r = 2; }
+                return r;
+            }",
+        );
+        let f = &m.functions[0];
+        let cfg = Cfg::of(f);
+        // Find the conditional block and its successors.
+        let (cond_bid, _) = f
+            .blocks_iter()
+            .find(|(_, b)| b.term.is_conditional())
+            .expect("has branch");
+        let succs = &cfg.succs[cond_bid.0 as usize];
+        let join_candidates: Vec<BlockId> = cfg
+            .rpo
+            .iter()
+            .copied()
+            .filter(|&b| cfg.preds[b.0 as usize].len() >= 2)
+            .collect();
+        assert!(!join_candidates.is_empty(), "diamond has a join");
+        for &join in &join_candidates {
+            for &arm in succs {
+                if arm != join {
+                    assert!(!cfg.dominates(arm, join));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_are_not_in_rpo() {
+        let m = module("int f() { return 1; return 2; }");
+        let f = &m.functions[0];
+        let cfg = Cfg::of(f);
+        assert!(cfg.rpo.len() < f.blocks.len(), "dead block exists but is unreachable");
+    }
+}

@@ -1,0 +1,808 @@
+//! A resumable CDFG interpreter.
+//!
+//! This is the functional execution engine of both the functional and the
+//! timed TLM. A [`Machine`] runs one application process; when the process
+//! reaches a channel operation the machine suspends and returns control to
+//! the caller ([`Exec::RecvPending`] / [`Exec::SendPending`]), which makes it
+//! trivially embeddable as a `tlm-desim` process: the process object *is*
+//! the machine state, no coroutines required.
+//!
+//! Execution hooks observe block entries, branches and memory accesses, so
+//! the timed TLM can accumulate annotated basic-block delays and profilers
+//! can gather statistics without touching the interpreter core.
+
+use std::fmt;
+use std::sync::Arc;
+
+use tlm_minic::ast::{eval_binop, wrap_i32, BinOp, UnOp};
+
+use crate::ir::{
+    ArrayScope, BlockId, ChanId, FuncId, MemoryLayout, Module, OpKind, Terminator, VReg,
+    GLOBALS_BASE, STACK_BASE, WORD_BYTES,
+};
+
+/// Maximum call depth before the machine traps.
+const MAX_FRAMES: usize = 4096;
+
+/// Observer of machine execution.
+///
+/// All methods have empty defaults; implement only what you need.
+pub trait ExecHook {
+    /// Called every time control enters a basic block.
+    fn on_block(&mut self, _func: FuncId, _block: BlockId) {}
+    /// Called on every data-memory access with the absolute byte address.
+    fn on_mem(&mut self, _addr: u32, _is_store: bool) {}
+    /// Called when a conditional branch resolves.
+    fn on_branch(&mut self, _func: FuncId, _block: BlockId, _taken: bool) {}
+}
+
+/// An [`ExecHook`] that observes nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopHook;
+
+impl ExecHook for NoopHook {}
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exec {
+    /// The entry function returned; the machine is finished.
+    Done,
+    /// The machine is blocked on `ch_recv` of this channel. Deliver a value
+    /// with [`Machine::complete_recv`], then call `run` again.
+    RecvPending(ChanId),
+    /// The machine wants to send the value on this channel. Consume it,
+    /// call [`Machine::complete_send`], then `run` again.
+    SendPending(ChanId, i64),
+    /// A runtime error; the machine is dead.
+    Trap(Trap),
+    /// The fuel budget of [`Machine::run_fuel`] ran out mid-execution;
+    /// calling `run` again continues.
+    OutOfFuel,
+}
+
+/// Runtime errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Array access out of bounds.
+    OutOfBounds {
+        /// Array name.
+        array: String,
+        /// Offending index.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// Call depth exceeded the interpreter's limit (4096 frames).
+    StackOverflow,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::DivByZero => write!(f, "division by zero"),
+            Trap::OutOfBounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for `{array}` of length {len}")
+            }
+            Trap::StackOverflow => write!(f, "call stack overflow"),
+        }
+    }
+}
+
+/// Execution counters, useful for reporting and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Operations executed.
+    pub ops: u64,
+    /// Basic blocks entered.
+    pub blocks: u64,
+    /// Conditional branches resolved.
+    pub branches: u64,
+    /// Conditional branches that were taken.
+    pub branches_taken: u64,
+    /// Data memory accesses.
+    pub mem_accesses: u64,
+    /// Function calls made.
+    pub calls: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    op_idx: usize,
+    vregs: Vec<i64>,
+    /// Storage for this activation's local arrays, laid out per
+    /// [`MemoryLayout`].
+    locals: Vec<i64>,
+    /// Absolute byte address of this frame's local-array area.
+    frame_base: u32,
+    /// Where to store the callee's return value in *this* frame.
+    pending_result: Option<VReg>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Running,
+    AwaitRecv(ChanId),
+    AwaitSend(ChanId),
+    Finished,
+    Trapped,
+}
+
+/// A resumable interpreter over one [`Module`].
+///
+/// See the crate-level example for typical use.
+#[derive(Debug)]
+pub struct Machine {
+    module: Arc<Module>,
+    layout: MemoryLayout,
+    globals: Vec<i64>,
+    frames: Vec<Frame>,
+    state: State,
+    outputs: Vec<i64>,
+    stats: ExecStats,
+    return_value: Option<i64>,
+    /// True until the entry block's `on_block` hook has fired.
+    entry_pending: bool,
+}
+
+impl Machine {
+    /// Creates a machine poised at the entry of `entry` with `args` bound to
+    /// its parameters. The module is snapshotted (cheaply cloned) so the
+    /// machine is self-contained; use [`Machine::from_arc`] to share one
+    /// module between many machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` does not match the entry function's parameter count.
+    pub fn new(module: &Module, entry: FuncId, args: &[i64]) -> Machine {
+        Machine::from_arc(Arc::new(module.clone()), entry, args)
+    }
+
+    /// Creates a machine sharing an existing module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` does not match the entry function's parameter count.
+    pub fn from_arc(module: Arc<Module>, entry: FuncId, args: &[i64]) -> Machine {
+        let layout = MemoryLayout::of(&module);
+        let globals_words = ((layout.globals_end - GLOBALS_BASE) / WORD_BYTES) as usize;
+        let mut globals = vec![0i64; globals_words];
+        for (i, a) in module.arrays.iter().enumerate() {
+            if a.scope == ArrayScope::Global {
+                let base = ((layout.array_base[i] - GLOBALS_BASE) / WORD_BYTES) as usize;
+                for (j, &v) in a.init.iter().enumerate() {
+                    globals[base + j] = wrap_i32(v);
+                }
+            }
+        }
+        let mut machine = Machine {
+            module,
+            layout,
+            globals,
+            frames: Vec::new(),
+            state: State::Running,
+            outputs: Vec::new(),
+            stats: ExecStats::default(),
+            return_value: None,
+            entry_pending: true,
+        };
+        machine.push_frame(entry, args);
+        machine
+    }
+
+    /// The observable output stream produced so far by `out()`.
+    pub fn outputs(&self) -> &[i64] {
+        &self.outputs
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// The entry function's return value once [`Exec::Done`] was reached.
+    pub fn return_value(&self) -> Option<i64> {
+        self.return_value
+    }
+
+    /// Whether the machine has finished successfully.
+    pub fn is_finished(&self) -> bool {
+        self.state == State::Finished
+    }
+
+    /// The module this machine executes.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Delivers the value a pending `ch_recv` was waiting for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not in the [`Exec::RecvPending`] state.
+    pub fn complete_recv(&mut self, value: i64) {
+        let State::AwaitRecv(_) = self.state else {
+            panic!("complete_recv called but machine is not awaiting a receive");
+        };
+        let frame = self.frames.last_mut().expect("awaiting machine has a frame");
+        let func = &self.module.functions[frame.func.0 as usize];
+        let op = &func.blocks[frame.block.0 as usize].ops[frame.op_idx];
+        if let Some(result) = op.result {
+            frame.vregs[result.0 as usize] = wrap_i32(value);
+        }
+        frame.op_idx += 1;
+        self.stats.ops += 1;
+        self.state = State::Running;
+    }
+
+    /// Acknowledges that the value of a pending `ch_send` was consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not in the [`Exec::SendPending`] state.
+    pub fn complete_send(&mut self) {
+        let State::AwaitSend(_) = self.state else {
+            panic!("complete_send called but machine is not awaiting a send");
+        };
+        let frame = self.frames.last_mut().expect("awaiting machine has a frame");
+        frame.op_idx += 1;
+        self.stats.ops += 1;
+        self.state = State::Running;
+    }
+
+    /// Runs until completion, suspension or trap.
+    pub fn run(&mut self, hook: &mut impl ExecHook) -> Exec {
+        self.run_fuel(hook, u64::MAX)
+    }
+
+    /// Runs, executing at most `fuel` operations.
+    pub fn run_fuel(&mut self, hook: &mut impl ExecHook, mut fuel: u64) -> Exec {
+        match self.state {
+            State::Running => {}
+            State::AwaitRecv(ch) => return Exec::RecvPending(ch),
+            State::AwaitSend(ch) => {
+                // Re-deliver the pending value.
+                let frame = self.frames.last().expect("awaiting machine has a frame");
+                let func = &self.module.functions[frame.func.0 as usize];
+                let op = &func.blocks[frame.block.0 as usize].ops[frame.op_idx];
+                let value = frame.vregs[op.args[0].0 as usize];
+                return Exec::SendPending(ch, value);
+            }
+            State::Finished => return Exec::Done,
+            State::Trapped => panic!("running a trapped machine"),
+        }
+        if self.entry_pending {
+            self.entry_pending = false;
+            let frame = self.frames.last().expect("machine has an entry frame");
+            self.stats.blocks += 1;
+            hook.on_block(frame.func, frame.block);
+        }
+        loop {
+            if fuel == 0 {
+                return Exec::OutOfFuel;
+            }
+            let Some(frame) = self.frames.last_mut() else {
+                self.state = State::Finished;
+                return Exec::Done;
+            };
+            let func_id = frame.func;
+            let func = &self.module.functions[func_id.0 as usize];
+            let block = &func.blocks[frame.block.0 as usize];
+
+            if frame.op_idx >= block.ops.len() {
+                // Terminator.
+                match &block.term {
+                    Terminator::Jump(target) => {
+                        frame.block = *target;
+                        frame.op_idx = 0;
+                        self.stats.blocks += 1;
+                        hook.on_block(func_id, *target);
+                    }
+                    Terminator::Branch { cond, then_bb, else_bb } => {
+                        let taken = frame.vregs[cond.0 as usize] != 0;
+                        let from = frame.block;
+                        let target = if taken { *then_bb } else { *else_bb };
+                        frame.block = target;
+                        frame.op_idx = 0;
+                        self.stats.branches += 1;
+                        self.stats.branches_taken += u64::from(taken);
+                        self.stats.blocks += 1;
+                        hook.on_branch(func_id, from, taken);
+                        hook.on_block(func_id, target);
+                    }
+                    Terminator::Return(value) => {
+                        let ret = value.map(|v| frame.vregs[v.0 as usize]);
+                        let finished = self.frames.len() == 1;
+                        let popped = self.frames.pop().expect("frame checked above");
+                        if finished {
+                            self.return_value = ret;
+                            self.state = State::Finished;
+                            return Exec::Done;
+                        }
+                        let _ = popped;
+                        let caller = self.frames.last_mut().expect("caller frame exists");
+                        // pending_result lives on the caller: set by the call op.
+                        if let Some(dest) = caller.pending_result.take() {
+                            caller.vregs[dest.0 as usize] =
+                                ret.expect("callee signature guarantees a value");
+                        }
+                        caller.op_idx += 1;
+                    }
+                }
+                continue;
+            }
+
+            let op = &block.ops[frame.op_idx];
+            fuel -= 1;
+            match &op.kind {
+                OpKind::Const(v) => {
+                    let dest = op.result.expect("const has a result");
+                    frame.vregs[dest.0 as usize] = wrap_i32(*v);
+                }
+                OpKind::Copy => {
+                    let dest = op.result.expect("copy has a result");
+                    frame.vregs[dest.0 as usize] = frame.vregs[op.args[0].0 as usize];
+                }
+                OpKind::Un(un) => {
+                    let a = frame.vregs[op.args[0].0 as usize];
+                    let dest = op.result.expect("unary has a result");
+                    frame.vregs[dest.0 as usize] = match un {
+                        UnOp::Neg => wrap_i32(a.wrapping_neg()),
+                        UnOp::Not => i64::from(a == 0),
+                        UnOp::BitNot => wrap_i32(!a),
+                    };
+                }
+                OpKind::Bin(bin) => {
+                    let a = frame.vregs[op.args[0].0 as usize];
+                    let b = frame.vregs[op.args[1].0 as usize];
+                    let dest = op.result.expect("binary has a result");
+                    match eval_binop(*bin, a, b) {
+                        Some(v) => frame.vregs[dest.0 as usize] = v,
+                        None => {
+                            debug_assert!(matches!(bin, BinOp::Div | BinOp::Rem));
+                            self.state = State::Trapped;
+                            return Exec::Trap(Trap::DivByZero);
+                        }
+                    }
+                }
+                OpKind::Load { array } => {
+                    let index = frame.vregs[op.args[0].0 as usize];
+                    match self.mem_addr(*array, index) {
+                        Ok((addr, slot)) => {
+                            let value = match slot {
+                                Slot::Global(i) => self.globals[i],
+                                Slot::Local(i) => {
+                                    self.frames.last().expect("frame exists").locals[i]
+                                }
+                            };
+                            let frame = self.frames.last_mut().expect("frame exists");
+                            let dest = op.result.expect("load has a result");
+                            frame.vregs[dest.0 as usize] = value;
+                            self.stats.mem_accesses += 1;
+                            hook.on_mem(addr, false);
+                        }
+                        Err(trap) => {
+                            self.state = State::Trapped;
+                            return Exec::Trap(trap);
+                        }
+                    }
+                }
+                OpKind::Store { array } => {
+                    let index = frame.vregs[op.args[0].0 as usize];
+                    let value = frame.vregs[op.args[1].0 as usize];
+                    match self.mem_addr(*array, index) {
+                        Ok((addr, slot)) => {
+                            match slot {
+                                Slot::Global(i) => self.globals[i] = value,
+                                Slot::Local(i) => {
+                                    self.frames.last_mut().expect("frame exists").locals[i] =
+                                        value
+                                }
+                            }
+                            self.stats.mem_accesses += 1;
+                            hook.on_mem(addr, true);
+                        }
+                        Err(trap) => {
+                            self.state = State::Trapped;
+                            return Exec::Trap(trap);
+                        }
+                    }
+                }
+                OpKind::Output => {
+                    let value = frame.vregs[op.args[0].0 as usize];
+                    self.outputs.push(value);
+                }
+                OpKind::ChanRecv { chan } => {
+                    self.state = State::AwaitRecv(*chan);
+                    return Exec::RecvPending(*chan);
+                }
+                OpKind::ChanSend { chan } => {
+                    let value = frame.vregs[op.args[0].0 as usize];
+                    self.state = State::AwaitSend(*chan);
+                    return Exec::SendPending(*chan, value);
+                }
+                OpKind::Call { func: callee } => {
+                    let callee = *callee;
+                    let args: Vec<i64> =
+                        op.args.iter().map(|a| frame.vregs[a.0 as usize]).collect();
+                    frame.pending_result = op.result;
+                    if self.frames.len() >= MAX_FRAMES {
+                        self.state = State::Trapped;
+                        return Exec::Trap(Trap::StackOverflow);
+                    }
+                    self.stats.ops += 1;
+                    self.stats.calls += 1;
+                    self.push_frame(callee, &args);
+                    let new_frame = self.frames.last().expect("just pushed");
+                    self.stats.blocks += 1;
+                    hook.on_block(new_frame.func, new_frame.block);
+                    continue;
+                }
+            }
+            self.stats.ops += 1;
+            let frame = self.frames.last_mut().expect("frame exists");
+            frame.op_idx += 1;
+        }
+    }
+
+    fn push_frame(&mut self, func_id: FuncId, args: &[i64]) {
+        let func = &self.module.functions[func_id.0 as usize];
+        assert_eq!(
+            args.len(),
+            func.params.len(),
+            "call to `{}` with wrong argument count",
+            func.name
+        );
+        let mut vregs = vec![0i64; func.num_vregs as usize];
+        for (reg, &value) in func.params.iter().zip(args) {
+            vregs[reg.0 as usize] = wrap_i32(value);
+        }
+        let frame_words = self.layout.frame_words[func_id.0 as usize] as usize;
+        let mut locals = vec![0i64; frame_words];
+        for &aid in &func.local_arrays {
+            let base =
+                (self.layout.array_base[aid.0 as usize] / WORD_BYTES) as usize;
+            for (j, &v) in self.module.arrays[aid.0 as usize].init.iter().enumerate() {
+                locals[base + j] = wrap_i32(v);
+            }
+        }
+        // Stack grows down from STACK_BASE; each nested frame sits below its
+        // caller. Only used for hook addresses, not for storage.
+        let parent_base = self.frames.last().map_or(STACK_BASE, |f| f.frame_base);
+        let frame_base = parent_base - (frame_words as u32) * WORD_BYTES;
+        self.frames.push(Frame {
+            func: func_id,
+            block: func.entry(),
+            op_idx: 0,
+            vregs,
+            locals,
+            frame_base,
+            pending_result: None,
+        });
+    }
+
+    /// Resolves an array access to an absolute byte address and a storage
+    /// slot, bounds-checked.
+    fn mem_addr(&self, array: crate::ir::ArrayId, index: i64) -> Result<(u32, Slot), Trap> {
+        let data = &self.module.arrays[array.0 as usize];
+        if index < 0 || index as usize >= data.len {
+            return Err(Trap::OutOfBounds {
+                array: data.name.clone(),
+                index,
+                len: data.len,
+            });
+        }
+        let base = self.layout.array_base[array.0 as usize];
+        match data.scope {
+            ArrayScope::Global => {
+                let addr = base + (index as u32) * WORD_BYTES;
+                let slot = ((addr - GLOBALS_BASE) / WORD_BYTES) as usize;
+                Ok((addr, Slot::Global(slot)))
+            }
+            ArrayScope::Local(_) => {
+                let frame = self.frames.last().expect("local access has a frame");
+                let addr = frame.frame_base + base + (index as u32) * WORD_BYTES;
+                let slot = (base / WORD_BYTES) as usize + index as usize;
+                Ok((addr, Slot::Local(slot)))
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Global(usize),
+    Local(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+
+    fn machine(src: &str, entry: &str, args: &[i64]) -> Machine {
+        let module = lower(&tlm_minic::parse(src).expect("parses")).expect("lowers");
+        let id = module.function_id(entry).expect("entry exists");
+        Machine::new(&module, id, args)
+    }
+
+    fn run_main(src: &str) -> Vec<i64> {
+        let mut m = machine(src, "main", &[]);
+        assert_eq!(m.run(&mut NoopHook), Exec::Done);
+        m.outputs().to_vec()
+    }
+
+    #[test]
+    fn arithmetic_and_calls() {
+        let outs = run_main(
+            "int sq(int x) { return x * x; }
+             void main() { out(sq(3) + sq(4)); }",
+        );
+        assert_eq!(outs, vec![25]);
+    }
+
+    #[test]
+    fn loops_and_arrays() {
+        let outs = run_main(
+            "void main() {
+                int fib[10];
+                fib[0] = 0; fib[1] = 1;
+                for (int i = 2; i < 10; i++) { fib[i] = fib[i-1] + fib[i-2]; }
+                out(fib[9]);
+             }",
+        );
+        assert_eq!(outs, vec![34]);
+    }
+
+    #[test]
+    fn globals_persist_across_calls() {
+        let outs = run_main(
+            "int counter = 0;
+             void tick() { counter += 1; }
+             void main() { tick(); tick(); tick(); out(counter); }",
+        );
+        assert_eq!(outs, vec![3]);
+    }
+
+    #[test]
+    fn global_array_initializers() {
+        let outs = run_main(
+            "int t[5] = {10, 20, 30};
+             void main() { out(t[0] + t[2] + t[4]); }",
+        );
+        assert_eq!(outs, vec![40], "missing initializers are zero");
+    }
+
+    #[test]
+    fn local_array_initializers_per_activation() {
+        let outs = run_main(
+            "int f() { int t[2] = {5, 6}; t[0] += 1; return t[0]; }
+             void main() { out(f()); out(f()); }",
+        );
+        assert_eq!(outs, vec![6, 6], "fresh initializer each call");
+    }
+
+    #[test]
+    fn do_while_runs_at_least_once() {
+        let outs = run_main(
+            "void main() {
+                int n = 0;
+                do { n++; } while (0);
+                int m = 10;
+                do { m--; } while (m > 3);
+                out(n); out(m);
+             }",
+        );
+        assert_eq!(outs, vec![1, 3]);
+    }
+
+    #[test]
+    fn ternary_evaluates_only_chosen_arm() {
+        let outs = run_main(
+            "int g = 0;
+             int bump() { g += 1; return 99; }
+             void main() {
+                int a = 1 ? 7 : bump();
+                int b = 0 ? bump() : 8;
+                out(a + b);
+                out(g);
+             }",
+        );
+        assert_eq!(outs, vec![15, 0], "bump never ran");
+    }
+
+    #[test]
+    fn switch_dispatch_fallthrough_and_default() {
+        let outs = run_main(
+            "int classify(int x) {
+                int r = 0;
+                switch (x) {
+                    case 1:
+                    case 2: r = 10; break;
+                    case 3: r = 20;        // falls through
+                    case 4: r = r + 1; break;
+                    default: r = -1;
+                }
+                return r;
+            }
+            void main() {
+                out(classify(1)); out(classify(2)); out(classify(3));
+                out(classify(4)); out(classify(99));
+            }",
+        );
+        assert_eq!(outs, vec![10, 10, 21, 1, -1]);
+    }
+
+    #[test]
+    fn switch_without_default_skips() {
+        let outs = run_main(
+            "void main() {
+                int hits = 0;
+                for (int i = 0; i < 6; i++) {
+                    switch (i) { case 2: hits += 1; break; case 4: hits += 10; }
+                }
+                out(hits);
+            }",
+        );
+        assert_eq!(outs, vec![11]);
+    }
+
+    #[test]
+    fn continue_inside_switch_targets_the_loop() {
+        let outs = run_main(
+            "void main() {
+                int s = 0;
+                for (int i = 0; i < 6; i++) {
+                    switch (i & 1) { case 1: continue; default: break; }
+                    s += i;
+                }
+                out(s);
+            }",
+        );
+        assert_eq!(outs, vec![0 + 2 + 4]);
+    }
+
+    #[test]
+    fn recursion() {
+        let outs = run_main(
+            "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+             void main() { out(fact(6)); }",
+        );
+        assert_eq!(outs, vec![720]);
+    }
+
+    #[test]
+    fn short_circuit_evaluation_skips_rhs() {
+        let outs = run_main(
+            "int g = 0;
+             int bump() { g += 1; return 1; }
+             void main() {
+                if (0 && bump()) { out(99); }
+                if (1 || bump()) { out(g); }
+             }",
+        );
+        assert_eq!(outs, vec![0], "bump never ran");
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut m = machine("int main(int d) { return 1 / d; }", "main", &[0]);
+        assert_eq!(m.run(&mut NoopHook), Exec::Trap(Trap::DivByZero));
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let mut m = machine(
+            "int t[4]; int main(int i) { return t[i]; }",
+            "main",
+            &[7],
+        );
+        let Exec::Trap(Trap::OutOfBounds { index, len, .. }) = m.run(&mut NoopHook) else {
+            panic!("expected OOB trap");
+        };
+        assert_eq!((index, len), (7, 4));
+    }
+
+    #[test]
+    fn infinite_recursion_overflows_cleanly() {
+        let mut m = machine("int f(int n) { return f(n); } ", "f", &[1]);
+        assert_eq!(m.run(&mut NoopHook), Exec::Trap(Trap::StackOverflow));
+    }
+
+    #[test]
+    fn fuel_limits_execution() {
+        let mut m = machine(
+            "void main() { int i = 0; while (1) { i += 1; } }",
+            "main",
+            &[],
+        );
+        assert_eq!(m.run_fuel(&mut NoopHook, 10_000), Exec::OutOfFuel);
+        // Resumable: more fuel continues the loop.
+        assert_eq!(m.run_fuel(&mut NoopHook, 10_000), Exec::OutOfFuel);
+        assert!(m.stats().ops >= 20_000);
+    }
+
+    #[test]
+    fn channel_suspension_round_trip() {
+        let mut m = machine(
+            "void main() {
+                int a = ch_recv(0);
+                int b = ch_recv(0);
+                ch_send(1, a + b);
+             }",
+            "main",
+            &[],
+        );
+        assert_eq!(m.run(&mut NoopHook), Exec::RecvPending(ChanId(0)));
+        m.complete_recv(30);
+        assert_eq!(m.run(&mut NoopHook), Exec::RecvPending(ChanId(0)));
+        m.complete_recv(12);
+        assert_eq!(m.run(&mut NoopHook), Exec::SendPending(ChanId(1), 42));
+        m.complete_send();
+        assert_eq!(m.run(&mut NoopHook), Exec::Done);
+    }
+
+    #[test]
+    fn send_pending_is_idempotent_until_completed() {
+        let mut m = machine("void main() { ch_send(2, 7); }", "main", &[]);
+        assert_eq!(m.run(&mut NoopHook), Exec::SendPending(ChanId(2), 7));
+        assert_eq!(m.run(&mut NoopHook), Exec::SendPending(ChanId(2), 7));
+        m.complete_send();
+        assert_eq!(m.run(&mut NoopHook), Exec::Done);
+    }
+
+    #[test]
+    fn return_value_of_entry() {
+        let mut m = machine("int main(int a) { return a * 2; }", "main", &[21]);
+        assert_eq!(m.run(&mut NoopHook), Exec::Done);
+        assert_eq!(m.return_value(), Some(42));
+    }
+
+    #[test]
+    fn hooks_observe_execution() {
+        #[derive(Default)]
+        struct Counting {
+            blocks: usize,
+            mems: usize,
+            branches: usize,
+        }
+        impl ExecHook for Counting {
+            fn on_block(&mut self, _f: FuncId, _b: BlockId) {
+                self.blocks += 1;
+            }
+            fn on_mem(&mut self, _a: u32, _s: bool) {
+                self.mems += 1;
+            }
+            fn on_branch(&mut self, _f: FuncId, _b: BlockId, _t: bool) {
+                self.branches += 1;
+            }
+        }
+        let mut hook = Counting::default();
+        let mut m = machine(
+            "int t[4];
+             void main() { for (int i = 0; i < 4; i++) { t[i] = i; } }",
+            "main",
+            &[],
+        );
+        assert_eq!(m.run(&mut hook), Exec::Done);
+        assert_eq!(hook.mems, 4);
+        assert_eq!(hook.branches, 5, "4 taken + 1 exit");
+        assert!(hook.blocks >= 11);
+        assert_eq!(u64::try_from(hook.blocks).expect("fits"), m.stats().blocks);
+    }
+
+    #[test]
+    fn stats_track_branch_taken_ratio() {
+        let mut m = machine(
+            "void main() { for (int i = 0; i < 10; i++) { } }",
+            "main",
+            &[],
+        );
+        m.run(&mut NoopHook);
+        assert_eq!(m.stats().branches, 11);
+        assert_eq!(m.stats().branches_taken, 10);
+    }
+}

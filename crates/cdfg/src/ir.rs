@@ -1,0 +1,671 @@
+//! The CDFG data structures.
+//!
+//! A [`Module`] holds functions and a module-wide array table (globals and
+//! per-function local arrays). Each [`FunctionData`] is a CFG of
+//! [`BlockData`] basic blocks; each block is a list of [`Op`]s plus a
+//! [`Terminator`]. Scalar values live in virtual registers ([`VReg`]) that
+//! are mutable per activation frame (the IR is deliberately *not* SSA — the
+//! paper's DFGs are per-basic-block, with block-entry values treated as
+//! available, which a last-writer dependence analysis reproduces exactly;
+//! see [`crate::dfg`]).
+//!
+//! Call-like operations ([`OpKind::Call`], [`OpKind::ChanRecv`],
+//! [`OpKind::ChanSend`]) always terminate their basic block (enforced by
+//! [`Module::validate`]). This keeps every DFG free of nested control
+//! transfer, makes the interpreter resumable at channel boundaries, and
+//! mirrors where the paper's generated code inserts `wait()` calls.
+
+use std::collections::HashMap;
+use std::fmt;
+
+pub use tlm_minic::ast::{BinOp, UnOp};
+
+/// Index of a function within its [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Index of a basic block within its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Index of an operation within its basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+/// A virtual register: a mutable scalar slot in an activation frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+/// Index of an array (global or function-local) in the module array table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+/// A logical transaction-level channel id, taken from the constant first
+/// argument of `ch_send`/`ch_recv` in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChanId(pub u32);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for ChanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// The operation kinds of the IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKind {
+    /// Materialize an integer constant into the result register.
+    Const(i64),
+    /// Unary arithmetic/logic; one argument.
+    Un(UnOp),
+    /// Binary arithmetic/logic; two arguments. Short-circuit operators never
+    /// appear here (they are lowered to control flow).
+    Bin(BinOp),
+    /// `result = array[args[0]]`.
+    Load {
+        /// Array being read.
+        array: ArrayId,
+    },
+    /// `array[args[0]] = args[1]`.
+    Store {
+        /// Array being written.
+        array: ArrayId,
+    },
+    /// Call a function in the same module; block-terminal.
+    Call {
+        /// Callee.
+        func: FuncId,
+    },
+    /// Receive one word from a channel; block-terminal, may suspend.
+    ChanRecv {
+        /// Channel read from.
+        chan: ChanId,
+    },
+    /// Send `args[0]` to a channel; block-terminal, may suspend.
+    ChanSend {
+        /// Channel written to.
+        chan: ChanId,
+    },
+    /// Emit `args[0]` to the observable output stream.
+    Output,
+    /// `result = args[0]`; used to merge values from control-flow arms.
+    Copy,
+}
+
+/// Coarse operation classes the PUM's operation mapping table is keyed by.
+///
+/// The paper's mapping table associates each operation with functional-unit
+/// usage; classifying IR ops this way is what makes the estimator
+/// retargetable: a PUM only has to describe classes, not every IR op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Add/sub/bitwise/compare-style single-cycle ALU work.
+    Alu,
+    /// Multiplication.
+    Mul,
+    /// Division and remainder.
+    Div,
+    /// Shifts.
+    Shift,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Constant materialization / register copy.
+    Move,
+    /// Control transfer out of the block (calls, channel ops, output).
+    Control,
+}
+
+impl OpClass {
+    /// All classes, for iteration in PUM validation and censuses.
+    pub const ALL: [OpClass; 8] = [
+        OpClass::Alu,
+        OpClass::Mul,
+        OpClass::Div,
+        OpClass::Shift,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Move,
+        OpClass::Control,
+    ];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::Alu => "alu",
+            OpClass::Mul => "mul",
+            OpClass::Div => "div",
+            OpClass::Shift => "shift",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Move => "move",
+            OpClass::Control => "control",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One IR operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    /// What the operation does.
+    pub kind: OpKind,
+    /// Input registers, in positional order.
+    pub args: Vec<VReg>,
+    /// Output register, if the op produces a value.
+    pub result: Option<VReg>,
+}
+
+impl Op {
+    /// The PUM operation class of this op.
+    pub fn class(&self) -> OpClass {
+        match &self.kind {
+            OpKind::Const(_) | OpKind::Copy => OpClass::Move,
+            OpKind::Un(_) => OpClass::Alu,
+            OpKind::Bin(op) => match op {
+                BinOp::Mul => OpClass::Mul,
+                BinOp::Div | BinOp::Rem => OpClass::Div,
+                BinOp::Shl | BinOp::Shr => OpClass::Shift,
+                _ => OpClass::Alu,
+            },
+            OpKind::Load { .. } => OpClass::Load,
+            OpKind::Store { .. } => OpClass::Store,
+            OpKind::Call { .. }
+            | OpKind::ChanRecv { .. }
+            | OpKind::ChanSend { .. }
+            | OpKind::Output => OpClass::Control,
+        }
+    }
+
+    /// Whether the op must terminate its basic block.
+    pub fn is_block_terminal(&self) -> bool {
+        matches!(
+            self.kind,
+            OpKind::Call { .. } | OpKind::ChanRecv { .. } | OpKind::ChanSend { .. }
+        )
+    }
+
+    /// Whether the op has side effects beyond its result register.
+    pub fn has_side_effect(&self) -> bool {
+        matches!(
+            self.kind,
+            OpKind::Store { .. }
+                | OpKind::Call { .. }
+                | OpKind::ChanRecv { .. }
+                | OpKind::ChanSend { .. }
+                | OpKind::Output
+        )
+    }
+
+    /// Whether the op touches data memory (for the d-cache term of Alg. 2).
+    pub fn is_memory(&self) -> bool {
+        matches!(self.kind, OpKind::Load { .. } | OpKind::Store { .. })
+    }
+}
+
+/// How a block ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// Condition register.
+        cond: VReg,
+        /// Successor when the condition is non-zero.
+        then_bb: BlockId,
+        /// Successor when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Function return with optional value.
+    Return(Option<VReg>),
+}
+
+impl Terminator {
+    /// The successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Return(_) => Vec::new(),
+        }
+    }
+
+    /// Whether this is a conditional branch (contributes to the branch
+    /// penalty term of Alg. 2).
+    pub fn is_conditional(&self) -> bool {
+        matches!(self, Terminator::Branch { .. })
+    }
+}
+
+/// One basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockData {
+    /// Straight-line operations.
+    pub ops: Vec<Op>,
+    /// Block terminator.
+    pub term: Terminator,
+}
+
+/// One function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionData {
+    /// Source-level name.
+    pub name: String,
+    /// Parameter registers (the first `params.len()` vregs).
+    pub params: Vec<VReg>,
+    /// Total number of virtual registers used.
+    pub num_vregs: u32,
+    /// Basic blocks; entry is block 0.
+    pub blocks: Vec<BlockData>,
+    /// Whether the function returns a value.
+    pub returns_value: bool,
+    /// Local arrays owned by this function (indices into the module table).
+    pub local_arrays: Vec<ArrayId>,
+}
+
+impl FunctionData {
+    /// The entry block (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Borrow a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BlockData {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Iterator over `(BlockId, &BlockData)`.
+    pub fn blocks_iter(&self) -> impl Iterator<Item = (BlockId, &BlockData)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Total operation count across all blocks.
+    pub fn op_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.ops.len()).sum()
+    }
+}
+
+/// Where an array lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayScope {
+    /// Module-level storage, shared by all functions of the process.
+    Global,
+    /// One instance per activation of the owning function.
+    Local(FuncId),
+}
+
+/// One array (or global scalar, modelled as a length-1 array).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayData {
+    /// Source-level name.
+    pub name: String,
+    /// Element count.
+    pub len: usize,
+    /// Initial values; shorter than `len` means zero-fill the rest.
+    pub init: Vec<i64>,
+    /// Global or function-local.
+    pub scope: ArrayScope,
+}
+
+/// A lowered translation unit: the CDFG of one application process.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Module {
+    /// Functions, indexed by [`FuncId`].
+    pub functions: Vec<FunctionData>,
+    /// Arrays, indexed by [`ArrayId`].
+    pub arrays: Vec<ArrayData>,
+}
+
+/// A structural validation failure reported by [`Module::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Description of the broken invariant.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid module: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl Module {
+    /// Borrow a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &FunctionData {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Borrow an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn array(&self, id: ArrayId) -> &ArrayData {
+        &self.arrays[id.0 as usize]
+    }
+
+    /// Looks up a function id by name.
+    pub fn function_id(&self, name: &str) -> Option<FuncId> {
+        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+    }
+
+    /// Iterator over `(FuncId, &FunctionData)`.
+    pub fn functions_iter(&self) -> impl Iterator<Item = (FuncId, &FunctionData)> {
+        self.functions.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// All channel ids referenced by the module, sorted and deduplicated.
+    pub fn channels_used(&self) -> Vec<ChanId> {
+        let mut out = Vec::new();
+        for f in &self.functions {
+            for b in &f.blocks {
+                for op in &b.ops {
+                    match op.kind {
+                        OpKind::ChanRecv { chan } | OpKind::ChanSend { chan } => out.push(chan),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Checks the module's structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: out-of-range register, block or
+    /// array references; call-like ops that are not block-terminal; blocks
+    /// whose terminator targets are invalid; argument-count mismatches on
+    /// calls.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        let err = |m: String| Err(ValidateError { message: m });
+        for (fid, f) in self.functions_iter() {
+            if f.blocks.is_empty() {
+                return err(format!("function `{}` has no blocks", f.name));
+            }
+            if f.params.len() as u32 > f.num_vregs {
+                return err(format!("function `{}` has more params than vregs", f.name));
+            }
+            for (bid, block) in f.blocks_iter() {
+                for (i, op) in block.ops.iter().enumerate() {
+                    for &VReg(r) in op.args.iter().chain(op.result.iter()) {
+                        if r >= f.num_vregs {
+                            return err(format!(
+                                "{}/{} op {} references out-of-range {}",
+                                f.name,
+                                bid,
+                                i,
+                                VReg(r)
+                            ));
+                        }
+                    }
+                    if op.is_block_terminal() && i + 1 != block.ops.len() {
+                        return err(format!(
+                            "{}/{} op {} is call-like but not block-terminal",
+                            f.name, bid, i
+                        ));
+                    }
+                    match &op.kind {
+                        OpKind::Load { array } | OpKind::Store { array }
+                            if array.0 as usize >= self.arrays.len() => {
+                                return err(format!(
+                                    "{}/{} references unknown array {:?}",
+                                    f.name, bid, array
+                                ));
+                            }
+                        OpKind::Call { func } => {
+                            let Some(callee) = self.functions.get(func.0 as usize) else {
+                                return err(format!(
+                                    "{}/{} calls unknown function {}",
+                                    f.name, bid, func
+                                ));
+                            };
+                            if callee.params.len() != op.args.len() {
+                                return err(format!(
+                                    "{}/{} calls `{}` with {} args, expects {}",
+                                    f.name,
+                                    bid,
+                                    callee.name,
+                                    op.args.len(),
+                                    callee.params.len()
+                                ));
+                            }
+                            if callee.returns_value != op.result.is_some() {
+                                return err(format!(
+                                    "{}/{} call to `{}` disagrees about return value",
+                                    f.name, bid, callee.name
+                                ));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                for succ in block.term.successors() {
+                    if succ.0 as usize >= f.blocks.len() {
+                        return err(format!(
+                            "{}/{} terminator targets unknown block {}",
+                            f.name, bid, succ
+                        ));
+                    }
+                }
+                if let Terminator::Branch { cond: VReg(r), .. } = block.term {
+                    if r >= f.num_vregs {
+                        return err(format!("{}/{} branch condition out of range", f.name, bid));
+                    }
+                }
+                if let Terminator::Return(v) = &block.term {
+                    if v.is_some() != f.returns_value {
+                        return err(format!(
+                            "{}/{} return disagrees with function signature",
+                            f.name, bid
+                        ));
+                    }
+                }
+            }
+            for &aid in &f.local_arrays {
+                match self.arrays.get(aid.0 as usize) {
+                    Some(a) if a.scope == ArrayScope::Local(fid) => {}
+                    _ => {
+                        return err(format!(
+                            "function `{}` claims array {:?} it does not own",
+                            f.name, aid
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts operations per class across the whole module.
+    pub fn op_census(&self) -> HashMap<OpClass, usize> {
+        let mut census = HashMap::new();
+        for f in &self.functions {
+            for b in &f.blocks {
+                for op in &b.ops {
+                    *census.entry(op.class()).or_insert(0) += 1;
+                }
+            }
+        }
+        census
+    }
+}
+
+/// Word-addressed memory layout shared by the interpreter and the ISA
+/// back-end, so data addresses (and therefore d-cache behaviour) agree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryLayout {
+    /// Byte offset of each array's base, indexed by [`ArrayId`].
+    /// Local arrays get frame-relative offsets; globals absolute ones.
+    pub array_base: Vec<u32>,
+    /// One past the last byte used by globals.
+    pub globals_end: u32,
+    /// Frame size in bytes of each function's local arrays.
+    pub frame_words: Vec<u32>,
+}
+
+/// Base byte address of the globals region.
+pub const GLOBALS_BASE: u32 = 0x1000;
+/// Initial stack pointer (stack grows down).
+pub const STACK_BASE: u32 = 0x0010_0000;
+/// Bytes per IR word.
+pub const WORD_BYTES: u32 = 4;
+
+impl MemoryLayout {
+    /// Computes the layout for a module.
+    pub fn of(module: &Module) -> MemoryLayout {
+        let mut array_base = vec![0u32; module.arrays.len()];
+        let mut cursor = GLOBALS_BASE;
+        for (i, a) in module.arrays.iter().enumerate() {
+            if a.scope == ArrayScope::Global {
+                array_base[i] = cursor;
+                cursor += (a.len as u32) * WORD_BYTES;
+            }
+        }
+        let globals_end = cursor;
+        let mut frame_words = vec![0u32; module.functions.len()];
+        for (fid, f) in module.functions_iter() {
+            let mut offset = 0u32;
+            for &aid in &f.local_arrays {
+                array_base[aid.0 as usize] = offset;
+                offset += (module.array(aid).len as u32) * WORD_BYTES;
+            }
+            frame_words[fid.0 as usize] = offset / WORD_BYTES;
+        }
+        MemoryLayout { array_base, globals_end, frame_words }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_module() -> Module {
+        // int g; void main() { g = 7; }
+        Module {
+            functions: vec![FunctionData {
+                name: "main".into(),
+                params: vec![],
+                num_vregs: 2,
+                blocks: vec![BlockData {
+                    ops: vec![
+                        Op { kind: OpKind::Const(0), args: vec![], result: Some(VReg(0)) },
+                        Op { kind: OpKind::Const(7), args: vec![], result: Some(VReg(1)) },
+                        Op {
+                            kind: OpKind::Store { array: ArrayId(0) },
+                            args: vec![VReg(0), VReg(1)],
+                            result: None,
+                        },
+                    ],
+                    term: Terminator::Return(None),
+                }],
+                returns_value: false,
+                local_arrays: vec![],
+            }],
+            arrays: vec![ArrayData {
+                name: "g".into(),
+                len: 1,
+                init: vec![],
+                scope: ArrayScope::Global,
+            }],
+        }
+    }
+
+    #[test]
+    fn valid_module_validates() {
+        tiny_module().validate().expect("valid");
+    }
+
+    #[test]
+    fn out_of_range_vreg_is_caught() {
+        let mut m = tiny_module();
+        m.functions[0].blocks[0].ops[0].result = Some(VReg(99));
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn bad_branch_target_is_caught() {
+        let mut m = tiny_module();
+        m.functions[0].blocks[0].term = Terminator::Jump(BlockId(5));
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn call_must_be_block_terminal() {
+        let mut m = tiny_module();
+        m.functions[0].blocks[0].ops.insert(
+            0,
+            Op { kind: OpKind::Call { func: FuncId(0) }, args: vec![], result: None },
+        );
+        let err = m.validate().expect_err("call mid-block");
+        assert!(err.message.contains("block-terminal"));
+    }
+
+    #[test]
+    fn op_classes() {
+        let op = |kind: OpKind| Op { kind, args: vec![], result: None };
+        assert_eq!(op(OpKind::Bin(BinOp::Add)).class(), OpClass::Alu);
+        assert_eq!(op(OpKind::Bin(BinOp::Mul)).class(), OpClass::Mul);
+        assert_eq!(op(OpKind::Bin(BinOp::Rem)).class(), OpClass::Div);
+        assert_eq!(op(OpKind::Bin(BinOp::Shl)).class(), OpClass::Shift);
+        assert_eq!(op(OpKind::Const(3)).class(), OpClass::Move);
+        assert_eq!(op(OpKind::Load { array: ArrayId(0) }).class(), OpClass::Load);
+        assert_eq!(op(OpKind::Output).class(), OpClass::Control);
+    }
+
+    #[test]
+    fn memory_layout_places_globals_sequentially() {
+        let mut m = tiny_module();
+        m.arrays.push(ArrayData {
+            name: "tab".into(),
+            len: 8,
+            init: vec![],
+            scope: ArrayScope::Global,
+        });
+        let layout = MemoryLayout::of(&m);
+        assert_eq!(layout.array_base[0], GLOBALS_BASE);
+        assert_eq!(layout.array_base[1], GLOBALS_BASE + 4);
+        assert_eq!(layout.globals_end, GLOBALS_BASE + 4 + 32);
+    }
+
+    #[test]
+    fn census_counts_ops() {
+        let census = tiny_module().op_census();
+        assert_eq!(census.get(&OpClass::Move), Some(&2));
+        assert_eq!(census.get(&OpClass::Store), Some(&1));
+    }
+}

@@ -1,0 +1,942 @@
+//! Lowering from the MiniC AST to the CDFG IR.
+//!
+//! Structured control flow becomes a CFG; short-circuit `&&`/`||` become
+//! control flow; scalar locals become virtual registers; global scalars
+//! become length-1 arrays; call-like operations terminate their blocks.
+//!
+//! One deliberate simplification relative to C: initializers of *local*
+//! arrays are applied once per function activation (at entry), not each time
+//! the declaration's scope is entered. Application code in this repository
+//! declares initialized arrays only at global or function-top scope, where
+//! the two semantics agree.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use tlm_minic::ast::{self, const_eval, Block as AstBlock, Expr, Init, LValue, Program, Stmt};
+use tlm_minic::ast::BinOp;
+
+use crate::ir::{
+    ArrayData, ArrayId, ArrayScope, BlockData, BlockId, ChanId, FuncId, FunctionData, Module, Op,
+    OpKind, Terminator, VReg,
+};
+
+/// An error produced during lowering.
+///
+/// After `tlm_minic::parse` has succeeded these should not occur; they exist
+/// so that hand-built or corrupted ASTs fail loudly instead of producing a
+/// bad module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering failed: {}", self.message)
+    }
+}
+
+impl Error for LowerError {}
+
+/// Lowers a type-checked program into a validated [`Module`].
+///
+/// # Errors
+///
+/// Returns [`LowerError`] if the AST violates invariants the type checker
+/// normally guarantees (unknown names, non-constant sizes, ...).
+pub fn lower(program: &Program) -> Result<Module, LowerError> {
+    let mut module = Module::default();
+    let mut func_ids = HashMap::new();
+    let mut global_bindings = HashMap::new();
+
+    for g in &program.globals {
+        let (len, is_scalar) = match &g.size {
+            Some(e) => {
+                let len = const_eval(e)
+                    .ok_or_else(|| err(format!("non-constant size for `{}`", g.name)))?;
+                (len as usize, false)
+            }
+            None => (1, true),
+        };
+        let init = match &g.init {
+            Init::None => Vec::new(),
+            Init::Scalar(e) => {
+                vec![const_eval(e)
+                    .ok_or_else(|| err(format!("non-constant initializer for `{}`", g.name)))?]
+            }
+            Init::List(items) => items
+                .iter()
+                .map(|e| {
+                    const_eval(e)
+                        .ok_or_else(|| err(format!("non-constant initializer for `{}`", g.name)))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let id = ArrayId(module.arrays.len() as u32);
+        module.arrays.push(ArrayData {
+            name: g.name.clone(),
+            len,
+            init,
+            scope: ArrayScope::Global,
+        });
+        let binding =
+            if is_scalar { Binding::GlobalScalar(id) } else { Binding::Array(id) };
+        global_bindings.insert(g.name.clone(), binding);
+    }
+
+    let mut signatures = HashMap::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        func_ids.insert(f.name.clone(), FuncId(i as u32));
+        signatures.insert(f.name.clone(), f.ret == ast::Type::Int);
+    }
+
+    for f in &program.functions {
+        let fid = func_ids[&f.name];
+        let lowered =
+            FunctionLowering::new(&mut module, &func_ids, &signatures, &global_bindings, fid, f)
+                .run()?;
+        module.functions.push(lowered);
+    }
+
+    module
+        .validate()
+        .map_err(|e| err(format!("lowering produced an invalid module: {e}")))?;
+    Ok(module)
+}
+
+fn err(message: String) -> LowerError {
+    LowerError { message }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    Scalar(VReg),
+    Array(ArrayId),
+    GlobalScalar(ArrayId),
+}
+
+/// A block under construction.
+struct PendingBlock {
+    ops: Vec<Op>,
+    term: Option<Terminator>,
+}
+
+struct LoopTargets {
+    break_to: BlockId,
+    continue_to: BlockId,
+}
+
+struct FunctionLowering<'a> {
+    module: &'a mut Module,
+    func_ids: &'a HashMap<String, FuncId>,
+    /// `name -> returns_value` for every function in the program; needed for
+    /// forward calls whose callee has not been lowered yet.
+    signatures: &'a HashMap<String, bool>,
+    globals: &'a HashMap<String, Binding>,
+    fid: FuncId,
+    func: &'a ast::Function,
+    blocks: Vec<PendingBlock>,
+    current: BlockId,
+    num_vregs: u32,
+    scopes: Vec<HashMap<String, Binding>>,
+    loops: Vec<LoopTargets>,
+    local_arrays: Vec<ArrayId>,
+}
+
+impl<'a> FunctionLowering<'a> {
+    fn new(
+        module: &'a mut Module,
+        func_ids: &'a HashMap<String, FuncId>,
+        signatures: &'a HashMap<String, bool>,
+        globals: &'a HashMap<String, Binding>,
+        fid: FuncId,
+        func: &'a ast::Function,
+    ) -> Self {
+        FunctionLowering {
+            module,
+            func_ids,
+            signatures,
+            globals,
+            fid,
+            func,
+            blocks: vec![PendingBlock { ops: Vec::new(), term: None }],
+            current: BlockId(0),
+            num_vregs: 0,
+            scopes: vec![HashMap::new()],
+            loops: Vec::new(),
+            local_arrays: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<FunctionData, LowerError> {
+        let params: Vec<VReg> = self.func.params.iter().map(|_| self.new_vreg()).collect();
+        for (p, &reg) in self.func.params.iter().zip(&params) {
+            self.bind(&p.name, Binding::Scalar(reg));
+        }
+        self.lower_block(&self.func.body)?;
+
+        // Fall-off-the-end return. For int functions C leaves this
+        // undefined; we define it as returning 0 so every backend agrees.
+        let returns_value = self.func.ret == ast::Type::Int;
+        if self.blocks[self.current.0 as usize].term.is_none() {
+            let term = if returns_value {
+                let zero = self.emit_const(0);
+                Terminator::Return(Some(zero))
+            } else {
+                Terminator::Return(None)
+            };
+            self.terminate(term);
+        }
+        // Give any unreachable trailing blocks a terminator too. Int
+        // functions get a placeholder `Return(None)` that the loop below
+        // patches with a zero value.
+        for block in &mut self.blocks {
+            if block.term.is_none() {
+                block.term = Some(Terminator::Return(None));
+            }
+        }
+        // Unreachable blocks in int functions still need a value; emit 0.
+        if returns_value {
+            for i in 0..self.blocks.len() {
+                if matches!(self.blocks[i].term, Some(Terminator::Return(None))) {
+                    let reg = self.new_vreg();
+                    self.blocks[i]
+                        .ops
+                        .push(Op { kind: OpKind::Const(0), args: vec![], result: Some(reg) });
+                    self.blocks[i].term = Some(Terminator::Return(Some(reg)));
+                }
+            }
+        }
+
+        let blocks = self
+            .blocks
+            .into_iter()
+            .map(|b| BlockData { ops: b.ops, term: b.term.expect("all blocks terminated") })
+            .collect();
+        Ok(FunctionData {
+            name: self.func.name.clone(),
+            params,
+            num_vregs: self.num_vregs,
+            blocks,
+            returns_value,
+            local_arrays: self.local_arrays,
+        })
+    }
+
+    fn new_vreg(&mut self) -> VReg {
+        let reg = VReg(self.num_vregs);
+        self.num_vregs += 1;
+        reg
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(PendingBlock { ops: Vec::new(), term: None });
+        id
+    }
+
+    fn bind(&mut self, name: &str, binding: Binding) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), binding);
+    }
+
+    fn lookup(&self, name: &str) -> Result<Binding, LowerError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&b) = scope.get(name) {
+                return Ok(b);
+            }
+        }
+        self.globals
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(format!("unbound variable `{name}`")))
+    }
+
+    fn emit(&mut self, op: Op) {
+        let block = &mut self.blocks[self.current.0 as usize];
+        debug_assert!(block.term.is_none(), "emitting into a terminated block");
+        block.ops.push(op);
+    }
+
+    fn emit_const(&mut self, value: i64) -> VReg {
+        let reg = self.new_vreg();
+        self.emit(Op { kind: OpKind::Const(value), args: vec![], result: Some(reg) });
+        reg
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let block = &mut self.blocks[self.current.0 as usize];
+        debug_assert!(block.term.is_none(), "double-terminating a block");
+        block.term = Some(term);
+    }
+
+    /// Emits a call-like op, terminates the block, continues in a fresh one.
+    fn emit_block_terminal(&mut self, op: Op) {
+        self.emit(op);
+        let next = self.new_block();
+        self.terminate(Terminator::Jump(next));
+        self.current = next;
+    }
+
+    fn lower_block(&mut self, block: &AstBlock) -> Result<(), LowerError> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            // Statements after a return/break/continue in the same block are
+            // unreachable; lower them into a fresh dead block so the IR
+            // stays well-formed (no dead block is created when the
+            // terminating statement is the last one).
+            if self.blocks[self.current.0 as usize].term.is_some() {
+                let dead = self.new_block();
+                self.current = dead;
+            }
+            self.lower_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), LowerError> {
+        match stmt {
+            Stmt::Local { name, size, init, .. } => self.lower_local(name, size, init),
+            Stmt::Expr(e) => {
+                // Statement calls may be void; discard any result.
+                self.lower_call(e, true)?;
+                Ok(())
+            }
+            Stmt::Assign { target, op, value, .. } => self.lower_assign(target, *op, value),
+            Stmt::If { cond, then_blk, else_blk, .. } => {
+                let cond_reg = self.lower_expr(cond)?;
+                let then_bb = self.new_block();
+                let join_bb = self.new_block();
+                let else_bb = if else_blk.is_some() { self.new_block() } else { join_bb };
+                self.terminate(Terminator::Branch { cond: cond_reg, then_bb, else_bb });
+
+                self.current = then_bb;
+                self.lower_block(then_blk)?;
+                if self.blocks[self.current.0 as usize].term.is_none() {
+                    self.terminate(Terminator::Jump(join_bb));
+                }
+                if let Some(else_blk) = else_blk {
+                    self.current = else_bb;
+                    self.lower_block(else_blk)?;
+                    if self.blocks[self.current.0 as usize].term.is_none() {
+                        self.terminate(Terminator::Jump(join_bb));
+                    }
+                }
+                self.current = join_bb;
+                Ok(())
+            }
+            Stmt::Switch { scrutinee, cases, .. } => {
+                let scrutinee_reg = self.lower_expr(scrutinee)?;
+                let exit = self.new_block();
+                let body_blocks: Vec<BlockId> =
+                    cases.iter().map(|_| self.new_block()).collect();
+
+                // Dispatch chain: one equality test per label, in source
+                // order, falling through to the default (or the exit).
+                for (i, case) in cases.iter().enumerate() {
+                    for label in &case.labels {
+                        let value = const_eval(label)
+                            .ok_or_else(|| err("non-constant case label".into()))?;
+                        let label_reg = self.emit_const(value);
+                        let cond = self.new_vreg();
+                        self.emit(Op {
+                            kind: OpKind::Bin(BinOp::Eq),
+                            args: vec![scrutinee_reg, label_reg],
+                            result: Some(cond),
+                        });
+                        let next_test = self.new_block();
+                        self.terminate(Terminator::Branch {
+                            cond,
+                            then_bb: body_blocks[i],
+                            else_bb: next_test,
+                        });
+                        self.current = next_test;
+                    }
+                }
+                let default_target = cases
+                    .iter()
+                    .position(|c| c.is_default)
+                    .map_or(exit, |i| body_blocks[i]);
+                self.terminate(Terminator::Jump(default_target));
+
+                // Bodies: C fallthrough into the next arm; `break` exits.
+                // `continue` still targets the enclosing loop.
+                let continue_to =
+                    self.loops.last().map_or(exit, |l| l.continue_to);
+                self.loops.push(LoopTargets { break_to: exit, continue_to });
+                for (i, case) in cases.iter().enumerate() {
+                    self.current = body_blocks[i];
+                    self.lower_block(&AstBlock { stmts: case.body.clone() })?;
+                    if self.blocks[self.current.0 as usize].term.is_none() {
+                        let fall =
+                            body_blocks.get(i + 1).copied().unwrap_or(exit);
+                        self.terminate(Terminator::Jump(fall));
+                    }
+                }
+                self.loops.pop();
+                self.current = exit;
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                let body_bb = self.new_block();
+                let latch = self.new_block();
+                let exit = self.new_block();
+                self.terminate(Terminator::Jump(body_bb));
+
+                self.current = body_bb;
+                self.loops.push(LoopTargets { break_to: exit, continue_to: latch });
+                self.lower_block(body)?;
+                self.loops.pop();
+                if self.blocks[self.current.0 as usize].term.is_none() {
+                    self.terminate(Terminator::Jump(latch));
+                }
+
+                self.current = latch;
+                let cond_reg = self.lower_expr(cond)?;
+                self.terminate(Terminator::Branch {
+                    cond: cond_reg,
+                    then_bb: body_bb,
+                    else_bb: exit,
+                });
+                self.current = exit;
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.terminate(Terminator::Jump(header));
+
+                self.current = header;
+                let cond_reg = self.lower_expr(cond)?;
+                self.terminate(Terminator::Branch {
+                    cond: cond_reg,
+                    then_bb: body_bb,
+                    else_bb: exit,
+                });
+
+                self.current = body_bb;
+                self.loops.push(LoopTargets { break_to: exit, continue_to: header });
+                self.lower_block(body)?;
+                self.loops.pop();
+                if self.blocks[self.current.0 as usize].term.is_none() {
+                    self.terminate(Terminator::Jump(header));
+                }
+                self.current = exit;
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.lower_stmt(init)?;
+                }
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let step_bb = self.new_block();
+                let exit = self.new_block();
+                self.terminate(Terminator::Jump(header));
+
+                self.current = header;
+                match cond {
+                    Some(cond) => {
+                        let cond_reg = self.lower_expr(cond)?;
+                        self.terminate(Terminator::Branch {
+                            cond: cond_reg,
+                            then_bb: body_bb,
+                            else_bb: exit,
+                        });
+                    }
+                    None => self.terminate(Terminator::Jump(body_bb)),
+                }
+
+                self.current = body_bb;
+                self.loops.push(LoopTargets { break_to: exit, continue_to: step_bb });
+                self.lower_block(body)?;
+                self.loops.pop();
+                if self.blocks[self.current.0 as usize].term.is_none() {
+                    self.terminate(Terminator::Jump(step_bb));
+                }
+
+                self.current = step_bb;
+                if let Some(step) = step {
+                    self.lower_stmt(step)?;
+                }
+                if self.blocks[self.current.0 as usize].term.is_none() {
+                    self.terminate(Terminator::Jump(header));
+                }
+                self.scopes.pop();
+                self.current = exit;
+                Ok(())
+            }
+            Stmt::Return { value, .. } => {
+                let reg = match value {
+                    Some(e) => Some(self.lower_expr(e)?),
+                    None => None,
+                };
+                self.terminate(Terminator::Return(reg));
+                Ok(())
+            }
+            Stmt::Break(_) => {
+                let target = self
+                    .loops
+                    .last()
+                    .ok_or_else(|| err("break outside loop".into()))?
+                    .break_to;
+                self.terminate(Terminator::Jump(target));
+                Ok(())
+            }
+            Stmt::Continue(_) => {
+                let target = self
+                    .loops
+                    .last()
+                    .ok_or_else(|| err("continue outside loop".into()))?
+                    .continue_to;
+                self.terminate(Terminator::Jump(target));
+                Ok(())
+            }
+            Stmt::Block(b) => self.lower_block(b),
+        }
+    }
+
+    fn lower_local(
+        &mut self,
+        name: &str,
+        size: &Option<Expr>,
+        init: &Init,
+    ) -> Result<(), LowerError> {
+        match size {
+            Some(size_expr) => {
+                let len = const_eval(size_expr)
+                    .ok_or_else(|| err(format!("non-constant size for `{name}`")))? as usize;
+                let init_vals = match init {
+                    Init::None => Vec::new(),
+                    Init::List(items) => items
+                        .iter()
+                        .map(|e| {
+                            const_eval(e).ok_or_else(|| {
+                                err(format!("non-constant initializer for `{name}`"))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?,
+                    Init::Scalar(_) => {
+                        return Err(err(format!("scalar initializer for array `{name}`")))
+                    }
+                };
+                let id = ArrayId(self.module.arrays.len() as u32);
+                self.module.arrays.push(ArrayData {
+                    name: format!("{}::{}", self.func.name, name),
+                    len,
+                    init: init_vals,
+                    scope: ArrayScope::Local(self.fid),
+                });
+                self.local_arrays.push(id);
+                self.bind(name, Binding::Array(id));
+                Ok(())
+            }
+            None => {
+                let reg = self.new_vreg();
+                self.bind(name, Binding::Scalar(reg));
+                match init {
+                    Init::None => {
+                        // C leaves locals uninitialized; we define them as 0
+                        // so every execution engine agrees.
+                        self.emit(Op { kind: OpKind::Const(0), args: vec![], result: Some(reg) });
+                    }
+                    Init::Scalar(e) => {
+                        let value = self.lower_expr(e)?;
+                        self.emit(Op { kind: OpKind::Copy, args: vec![value], result: Some(reg) });
+                    }
+                    Init::List(_) => {
+                        return Err(err(format!("list initializer for scalar `{name}`")))
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_assign(
+        &mut self,
+        target: &LValue,
+        op: Option<BinOp>,
+        value: &Expr,
+    ) -> Result<(), LowerError> {
+        match target {
+            LValue::Var(name, _) => match self.lookup(name)? {
+                Binding::Scalar(dest) => {
+                    match op {
+                        None => {
+                            let rhs = self.lower_expr(value)?;
+                            self.emit(Op {
+                                kind: OpKind::Copy,
+                                args: vec![rhs],
+                                result: Some(dest),
+                            });
+                        }
+                        Some(op) => {
+                            let rhs = self.lower_expr(value)?;
+                            self.emit(Op {
+                                kind: OpKind::Bin(op),
+                                args: vec![dest, rhs],
+                                result: Some(dest),
+                            });
+                        }
+                    }
+                    Ok(())
+                }
+                Binding::GlobalScalar(array) => {
+                    let idx = self.emit_const(0);
+                    let new_value = match op {
+                        None => self.lower_expr(value)?,
+                        Some(op) => {
+                            let old = self.new_vreg();
+                            self.emit(Op {
+                                kind: OpKind::Load { array },
+                                args: vec![idx],
+                                result: Some(old),
+                            });
+                            let rhs = self.lower_expr(value)?;
+                            let res = self.new_vreg();
+                            self.emit(Op {
+                                kind: OpKind::Bin(op),
+                                args: vec![old, rhs],
+                                result: Some(res),
+                            });
+                            res
+                        }
+                    };
+                    self.emit(Op {
+                        kind: OpKind::Store { array },
+                        args: vec![idx, new_value],
+                        result: None,
+                    });
+                    Ok(())
+                }
+                Binding::Array(_) => Err(err(format!("cannot assign to array `{name}`"))),
+            },
+            LValue::Index(name, index, _) => {
+                let array = match self.lookup(name)? {
+                    Binding::Array(a) | Binding::GlobalScalar(a) => a,
+                    Binding::Scalar(_) => {
+                        return Err(err(format!("indexing scalar `{name}`")))
+                    }
+                };
+                let idx = self.lower_expr(index)?;
+                let new_value = match op {
+                    None => self.lower_expr(value)?,
+                    Some(op) => {
+                        let old = self.new_vreg();
+                        self.emit(Op {
+                            kind: OpKind::Load { array },
+                            args: vec![idx],
+                            result: Some(old),
+                        });
+                        let rhs = self.lower_expr(value)?;
+                        let res = self.new_vreg();
+                        self.emit(Op {
+                            kind: OpKind::Bin(op),
+                            args: vec![old, rhs],
+                            result: Some(res),
+                        });
+                        res
+                    }
+                };
+                self.emit(Op {
+                    kind: OpKind::Store { array },
+                    args: vec![idx, new_value],
+                    result: None,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> Result<VReg, LowerError> {
+        match expr {
+            Expr::Int(v, _) => Ok(self.emit_const(ast::wrap_i32(*v))),
+            Expr::Var(name, _) => match self.lookup(name)? {
+                Binding::Scalar(reg) => Ok(reg),
+                Binding::GlobalScalar(array) => {
+                    let idx = self.emit_const(0);
+                    let reg = self.new_vreg();
+                    self.emit(Op {
+                        kind: OpKind::Load { array },
+                        args: vec![idx],
+                        result: Some(reg),
+                    });
+                    Ok(reg)
+                }
+                Binding::Array(_) => Err(err(format!("array `{name}` used as scalar"))),
+            },
+            Expr::Index(name, index, _) => {
+                let array = match self.lookup(name)? {
+                    Binding::Array(a) | Binding::GlobalScalar(a) => a,
+                    Binding::Scalar(_) => {
+                        return Err(err(format!("indexing scalar `{name}`")))
+                    }
+                };
+                let idx = self.lower_expr(index)?;
+                let reg = self.new_vreg();
+                self.emit(Op { kind: OpKind::Load { array }, args: vec![idx], result: Some(reg) });
+                Ok(reg)
+            }
+            Expr::Unary(op, inner, _) => {
+                let arg = self.lower_expr(inner)?;
+                let reg = self.new_vreg();
+                self.emit(Op { kind: OpKind::Un(*op), args: vec![arg], result: Some(reg) });
+                Ok(reg)
+            }
+            Expr::Binary(BinOp::LogAnd, lhs, rhs, _) => self.lower_short_circuit(lhs, rhs, true),
+            Expr::Binary(BinOp::LogOr, lhs, rhs, _) => self.lower_short_circuit(lhs, rhs, false),
+            Expr::Binary(op, lhs, rhs, _) => {
+                let l = self.lower_expr(lhs)?;
+                let r = self.lower_expr(rhs)?;
+                let reg = self.new_vreg();
+                self.emit(Op { kind: OpKind::Bin(*op), args: vec![l, r], result: Some(reg) });
+                Ok(reg)
+            }
+            Expr::Call(..) => {
+                let reg = self.lower_call(expr, false)?;
+                reg.ok_or_else(|| err("void call used as value".into()))
+            }
+            Expr::Cond(cond, then, otherwise, _) => {
+                // cond ? a : b with only the chosen arm evaluated.
+                let result = self.new_vreg();
+                let cond_reg = self.lower_expr(cond)?;
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join_bb = self.new_block();
+                self.terminate(Terminator::Branch { cond: cond_reg, then_bb, else_bb });
+
+                self.current = then_bb;
+                let t = self.lower_expr(then)?;
+                self.emit(Op { kind: OpKind::Copy, args: vec![t], result: Some(result) });
+                self.terminate(Terminator::Jump(join_bb));
+
+                self.current = else_bb;
+                let e = self.lower_expr(otherwise)?;
+                self.emit(Op { kind: OpKind::Copy, args: vec![e], result: Some(result) });
+                self.terminate(Terminator::Jump(join_bb));
+
+                self.current = join_bb;
+                Ok(result)
+            }
+        }
+    }
+
+    /// Lowers `a && b` / `a || b` with proper short-circuit control flow.
+    fn lower_short_circuit(
+        &mut self,
+        lhs: &Expr,
+        rhs: &Expr,
+        is_and: bool,
+    ) -> Result<VReg, LowerError> {
+        let result = self.new_vreg();
+        let lhs_reg = self.lower_expr(lhs)?;
+        let rhs_bb = self.new_block();
+        let short_bb = self.new_block();
+        let join_bb = self.new_block();
+        let (then_bb, else_bb) =
+            if is_and { (rhs_bb, short_bb) } else { (short_bb, rhs_bb) };
+        self.terminate(Terminator::Branch { cond: lhs_reg, then_bb, else_bb });
+
+        // Evaluate the right-hand side and normalize to 0/1.
+        self.current = rhs_bb;
+        let rhs_reg = self.lower_expr(rhs)?;
+        let zero = self.emit_const(0);
+        self.emit(Op {
+            kind: OpKind::Bin(BinOp::Ne),
+            args: vec![rhs_reg, zero],
+            result: Some(result),
+        });
+        self.terminate(Terminator::Jump(join_bb));
+
+        // Short-circuit value: 0 for &&, 1 for ||.
+        self.current = short_bb;
+        self.emit(Op {
+            kind: OpKind::Const(i64::from(!is_and)),
+            args: vec![],
+            result: Some(result),
+        });
+        self.terminate(Terminator::Jump(join_bb));
+
+        self.current = join_bb;
+        Ok(result)
+    }
+
+    /// Lowers a call expression (user function or intrinsic).
+    ///
+    /// Returns the result register for value-producing calls.
+    fn lower_call(&mut self, expr: &Expr, as_statement: bool) -> Result<Option<VReg>, LowerError> {
+        let Expr::Call(name, args, _) = expr else {
+            return Err(err("expression statement must be a call".into()));
+        };
+        match name.as_str() {
+            "ch_recv" => {
+                let chan = const_eval(&args[0])
+                    .ok_or_else(|| err("non-constant channel id".into()))?;
+                let reg = self.new_vreg();
+                self.emit_block_terminal(Op {
+                    kind: OpKind::ChanRecv { chan: ChanId(chan as u32) },
+                    args: vec![],
+                    result: Some(reg),
+                });
+                Ok(Some(reg))
+            }
+            "ch_send" => {
+                let chan = const_eval(&args[0])
+                    .ok_or_else(|| err("non-constant channel id".into()))?;
+                let value = self.lower_expr(&args[1])?;
+                self.emit_block_terminal(Op {
+                    kind: OpKind::ChanSend { chan: ChanId(chan as u32) },
+                    args: vec![value],
+                    result: None,
+                });
+                Ok(None)
+            }
+            "out" => {
+                let value = self.lower_expr(&args[0])?;
+                self.emit(Op { kind: OpKind::Output, args: vec![value], result: None });
+                Ok(None)
+            }
+            _ => {
+                let func = *self
+                    .func_ids
+                    .get(name)
+                    .ok_or_else(|| err(format!("unknown function `{name}`")))?;
+                let arg_regs: Vec<VReg> = args
+                    .iter()
+                    .map(|a| self.lower_expr(a))
+                    .collect::<Result<_, _>>()?;
+                let callee_returns = self.signatures.get(name).copied().unwrap_or(false);
+                // A returning callee always gets a result register, even in
+                // statement position where the value is discarded, so the
+                // call op shape matches the callee signature.
+                let result = if callee_returns { Some(self.new_vreg()) } else { None };
+                let _ = as_statement;
+                self.emit_block_terminal(Op {
+                    kind: OpKind::Call { func },
+                    args: arg_regs,
+                    result,
+                });
+                Ok(result)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::OpClass;
+
+    fn lower_src(src: &str) -> Module {
+        let program = tlm_minic::parse(src).expect("parses");
+        lower(&program).expect("lowers")
+    }
+
+    #[test]
+    fn straight_line_function() {
+        let m = lower_src("int f(int a, int b) { return a * b + 1; }");
+        let f = &m.functions[0];
+        assert_eq!(f.params.len(), 2);
+        assert!(f.returns_value);
+        assert_eq!(f.blocks.len(), 1);
+        assert!(matches!(f.blocks[0].term, Terminator::Return(Some(_))));
+    }
+
+    #[test]
+    fn if_else_produces_diamond() {
+        let m = lower_src("int f(int a) { if (a > 0) { return 1; } else { return 2; } }");
+        let f = &m.functions[0];
+        // entry + then + join + else (+ possible dead blocks)
+        assert!(f.blocks.len() >= 4);
+        assert!(f.blocks.iter().any(|b| b.term.is_conditional()));
+    }
+
+    #[test]
+    fn while_loop_has_back_edge() {
+        let m = lower_src("int f(int n) { int i = 0; while (i < n) { i++; } return i; }");
+        let f = &m.functions[0];
+        let conditional_blocks =
+            f.blocks.iter().filter(|b| b.term.is_conditional()).count();
+        assert_eq!(conditional_blocks, 1);
+    }
+
+    #[test]
+    fn calls_terminate_blocks() {
+        let m = lower_src("int g(int x) { return x; } void f() { out(g(1) + g(2)); }");
+        m.validate().expect("valid");
+        let f = m.function(m.function_id("f").expect("f exists"));
+        for block in &f.blocks {
+            for (i, op) in block.ops.iter().enumerate() {
+                if op.is_block_terminal() {
+                    assert_eq!(i + 1, block.ops.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_calls_resolve() {
+        let m = lower_src("void f() { out(g(1)); } int g(int x) { return x + 1; }");
+        m.validate().expect("forward reference is fine");
+    }
+
+    #[test]
+    fn global_scalars_become_len1_arrays() {
+        let m = lower_src("int g = 5; void f() { g += 1; out(g); }");
+        assert_eq!(m.arrays.len(), 1);
+        assert_eq!(m.arrays[0].len, 1);
+        assert_eq!(m.arrays[0].init, vec![5]);
+        let census = m.op_census();
+        assert!(census[&OpClass::Load] >= 2);
+        assert_eq!(census[&OpClass::Store], 1);
+    }
+
+    #[test]
+    fn local_arrays_are_function_scoped() {
+        let m = lower_src("void f() { int t[4] = {9, 8, 7, 6}; out(t[2]); }");
+        assert_eq!(m.arrays.len(), 1);
+        assert_eq!(m.arrays[0].scope, ArrayScope::Local(FuncId(0)));
+        assert_eq!(m.arrays[0].init, vec![9, 8, 7, 6]);
+        assert_eq!(m.functions[0].local_arrays, vec![ArrayId(0)]);
+    }
+
+    #[test]
+    fn channel_ops_lowered() {
+        let m = lower_src("void f() { int v = ch_recv(2); ch_send(3, v + 1); }");
+        let used = m.channels_used();
+        assert_eq!(used, vec![ChanId(2), ChanId(3)]);
+    }
+
+    #[test]
+    fn short_circuit_becomes_control_flow() {
+        let m = lower_src("int f(int a, int b) { return a && b; }");
+        let f = &m.functions[0];
+        assert!(f.blocks.len() >= 4, "&& lowers to a diamond");
+        assert!(f.blocks.iter().any(|b| b.term.is_conditional()));
+    }
+
+    #[test]
+    fn break_and_continue_targets() {
+        let m = lower_src(
+            "int f(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    if (i == 3) { continue; }
+                    if (i == 7) { break; }
+                    acc += i;
+                }
+                return acc;
+            }",
+        );
+        m.validate().expect("valid");
+    }
+}

@@ -1,0 +1,401 @@
+//! IR clean-up passes: constant folding and dead-op elimination.
+//!
+//! The paper annotates the CDFG that LLVM produces, i.e. code that has been
+//! through a compiler's scalar optimizations. Running these passes before
+//! estimation makes the op mix of each basic block resemble compiled code
+//! instead of a naive AST walk, which matters for cycle counts.
+
+use std::collections::{HashMap, HashSet};
+
+use tlm_minic::ast::eval_binop;
+
+use crate::ir::{Module, Op, OpKind, Terminator, UnOp, VReg};
+
+/// Statistics returned by [`optimize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassStats {
+    /// Ops replaced by constants.
+    pub folded: usize,
+    /// Ops removed as dead.
+    pub removed: usize,
+    /// Operand uses rewired by copy propagation.
+    pub propagated: usize,
+    /// Terminator targets threaded through empty blocks.
+    pub threaded: usize,
+}
+
+/// Runs constant folding, copy propagation, dead-op elimination and jump
+/// threading to a fixpoint.
+pub fn optimize(module: &mut Module) -> PassStats {
+    let mut total = PassStats::default();
+    loop {
+        let folded = const_fold(module);
+        let propagated = copy_propagate(module);
+        let removed = eliminate_dead_ops(module);
+        let threaded = thread_jumps(module);
+        total.folded += folded;
+        total.removed += removed;
+        total.propagated += propagated;
+        total.threaded += threaded;
+        if folded == 0 && removed == 0 && propagated == 0 && threaded == 0 {
+            return total;
+        }
+    }
+}
+
+/// Rewrites uses of `Copy` results to read the source register directly,
+/// within basic blocks. A mapping `dst -> src` is invalidated when either
+/// register is redefined (the IR is not SSA). Terminator operands are
+/// rewritten too.
+///
+/// Returns the number of operand uses rewired.
+pub fn copy_propagate(module: &mut Module) -> usize {
+    let mut rewired = 0;
+    for func in &mut module.functions {
+        for block in &mut func.blocks {
+            let mut alias: HashMap<VReg, VReg> = HashMap::new();
+            for op in &mut block.ops {
+                for arg in &mut op.args {
+                    if let Some(&src) = alias.get(arg) {
+                        *arg = src;
+                        rewired += 1;
+                    }
+                }
+                if let Some(result) = op.result {
+                    // Any mapping involving the redefined register dies.
+                    alias.remove(&result);
+                    alias.retain(|_, &mut src| src != result);
+                    if let (OpKind::Copy, [src]) = (&op.kind, op.args.as_slice()) {
+                        if *src != result {
+                            alias.insert(result, *src);
+                        }
+                    }
+                }
+            }
+            match &mut block.term {
+                Terminator::Branch { cond, .. } => {
+                    if let Some(&src) = alias.get(cond) {
+                        *cond = src;
+                        rewired += 1;
+                    }
+                }
+                Terminator::Return(Some(v)) => {
+                    if let Some(&src) = alias.get(v) {
+                        *v = src;
+                        rewired += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    rewired
+}
+
+/// Threads control transfers through empty jump-only blocks and collapses
+/// two-way branches whose arms coincide. Dead blocks are left in place
+/// (block ids are stable identifiers for annotations); they simply become
+/// unreachable.
+///
+/// Returns the number of rewrites performed.
+pub fn thread_jumps(module: &mut Module) -> usize {
+    let mut rewritten = 0;
+    for func in &mut module.functions {
+        // Final destination of each block if it is an empty forwarding
+        // block; chains are followed with a visit guard against cycles.
+        let resolve = |start: crate::ir::BlockId, blocks: &[crate::ir::BlockData]| {
+            let mut cur = start;
+            for _ in 0..blocks.len() {
+                let b = &blocks[cur.0 as usize];
+                match (&b.term, b.ops.is_empty()) {
+                    (Terminator::Jump(next), true) if *next != cur => cur = *next,
+                    _ => return cur,
+                }
+            }
+            cur
+        };
+        for i in 0..func.blocks.len() {
+            let mut term = func.blocks[i].term.clone();
+            let mut changed = false;
+            match &mut term {
+                Terminator::Jump(target) => {
+                    let dest = resolve(*target, &func.blocks);
+                    if dest != *target {
+                        *target = dest;
+                        changed = true;
+                    }
+                }
+                Terminator::Branch { then_bb, else_bb, .. } => {
+                    let dt = resolve(*then_bb, &func.blocks);
+                    let de = resolve(*else_bb, &func.blocks);
+                    if dt != *then_bb || de != *else_bb {
+                        *then_bb = dt;
+                        *else_bb = de;
+                        changed = true;
+                    }
+                    if dt == de {
+                        // Both arms agree: the branch is a jump (the dead
+                        // condition op gets cleaned up by DCE).
+                        term = Terminator::Jump(dt);
+                        changed = true;
+                    }
+                }
+                Terminator::Return(_) => {}
+            }
+            if changed {
+                func.blocks[i].term = term;
+                rewritten += 1;
+            }
+        }
+    }
+    rewritten
+}
+
+/// Folds unary/binary ops whose inputs are block-local constants and
+/// forwards copies of constants. Works within basic blocks only (the IR is
+/// not SSA, so cross-block folding would need dataflow we don't need here).
+///
+/// Returns the number of ops rewritten.
+pub fn const_fold(module: &mut Module) -> usize {
+    let mut rewritten = 0;
+    for func in &mut module.functions {
+        for block in &mut func.blocks {
+            // Track registers holding known constants within this block.
+            let mut known: HashMap<VReg, i64> = HashMap::new();
+            for op in &mut block.ops {
+                let new_kind = match (&op.kind, op.args.as_slice()) {
+                    (OpKind::Un(un), [a]) => known.get(a).map(|&v| {
+                        OpKind::Const(match un {
+                            UnOp::Neg => tlm_minic::ast::wrap_i32(v.wrapping_neg()),
+                            UnOp::Not => i64::from(v == 0),
+                            UnOp::BitNot => tlm_minic::ast::wrap_i32(!v),
+                        })
+                    }),
+                    (OpKind::Bin(bin), [a, b]) => {
+                        match (known.get(a), known.get(b)) {
+                            (Some(&l), Some(&r)) => {
+                                // Division by a constant zero stays as an op
+                                // (it traps at run time).
+                                eval_binop(*bin, l, r).map(OpKind::Const)
+                            }
+                            _ => None,
+                        }
+                    }
+                    (OpKind::Copy, [a]) => known.get(a).map(|&v| OpKind::Const(v)),
+                    _ => None,
+                };
+                if let Some(kind) = new_kind {
+                    op.kind = kind;
+                    op.args.clear();
+                    rewritten += 1;
+                }
+                match (&op.kind, op.result) {
+                    (OpKind::Const(v), Some(r)) => {
+                        known.insert(r, *v);
+                    }
+                    (_, Some(r)) => {
+                        known.remove(&r);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    rewritten
+}
+
+/// Removes side-effect-free ops whose results are never read.
+///
+/// Liveness is conservative and function-global: a register is "used" if any
+/// op argument, branch condition or return value anywhere in the function
+/// reads it. Because the IR is not SSA this can keep some dead ops alive,
+/// but never removes a live one.
+///
+/// Returns the number of ops removed.
+pub fn eliminate_dead_ops(module: &mut Module) -> usize {
+    let mut removed = 0;
+    for func in &mut module.functions {
+        let mut used: HashSet<VReg> = HashSet::new();
+        for block in &func.blocks {
+            for op in &block.ops {
+                used.extend(op.args.iter().copied());
+            }
+            match &block.term {
+                Terminator::Branch { cond, .. } => {
+                    used.insert(*cond);
+                }
+                Terminator::Return(Some(v)) => {
+                    used.insert(*v);
+                }
+                _ => {}
+            }
+        }
+        for block in &mut func.blocks {
+            let before = block.ops.len();
+            block.ops.retain(|op: &Op| {
+                op.has_side_effect()
+                    || op.is_block_terminal()
+                    || op.result.is_none_or(|r| used.contains(&r))
+            });
+            removed += before - block.ops.len();
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::OpClass;
+    use crate::lower::lower;
+
+    fn module(src: &str) -> Module {
+        lower(&tlm_minic::parse(src).expect("parses")).expect("lowers")
+    }
+
+    fn count_class(m: &Module, class: OpClass) -> usize {
+        m.op_census().get(&class).copied().unwrap_or(0)
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut m = module("int f() { return 2 * 3 + 4; }");
+        let stats = optimize(&mut m);
+        assert!(stats.folded >= 2);
+        assert_eq!(count_class(&m, OpClass::Mul), 0);
+        assert_eq!(count_class(&m, OpClass::Alu), 0);
+        m.validate().expect("still valid");
+    }
+
+    #[test]
+    fn removes_dead_computation() {
+        let mut m = module("int f(int a) { int unused = a * a * a; return a; }");
+        let stats = optimize(&mut m);
+        assert!(stats.removed >= 2);
+        assert_eq!(count_class(&m, OpClass::Mul), 0);
+        m.validate().expect("still valid");
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut m = module("void f() { out(1 + 2); }");
+        optimize(&mut m);
+        assert_eq!(count_class(&m, OpClass::Control), 1, "out survives");
+        m.validate().expect("still valid");
+    }
+
+    #[test]
+    fn keeps_division_by_constant_zero() {
+        let mut m = module("int f(int a) { return a + 1 / 0; }");
+        let before = count_class(&m, OpClass::Div);
+        optimize(&mut m);
+        assert_eq!(count_class(&m, OpClass::Div), before, "trapping op not folded");
+    }
+
+    #[test]
+    fn fold_then_dce_cascades() {
+        // After folding `2*3`, the const-producing ops feeding it are dead.
+        let mut m = module("int f(int a) { return a + 2 * 3; }");
+        let stats = optimize(&mut m);
+        assert!(stats.folded >= 1);
+        assert!(stats.removed >= 1);
+        let f = &m.functions[0];
+        // Remaining: const 6, add, and the return path.
+        assert!(f.op_count() <= 2, "got {:?}", f.blocks);
+    }
+
+    #[test]
+    fn copy_chains_collapse() {
+        // x = a; y = x; z = y; return z  →  return a (after DCE).
+        let mut m = module("int f(int a) { int x = a; int y = x; int z = y; return z; }");
+        let stats = optimize(&mut m);
+        assert!(stats.propagated >= 2, "{stats:?}");
+        assert!(stats.removed >= 2, "{stats:?}");
+        let f = &m.functions[0];
+        assert!(f.op_count() <= 1, "{:?}", f.blocks);
+        m.validate().expect("still valid");
+    }
+
+    #[test]
+    fn copy_propagation_respects_redefinition() {
+        use crate::interp::{Exec, Machine, NoopHook};
+        // After `a` is redefined, earlier copies of it must not leak through.
+        let src = "int f(int a) { int x = a; a = a + 100; return x + a; }
+                   void main() { out(f(5)); }";
+        let mut m = module(src);
+        optimize(&mut m);
+        let main = m.function_id("main").expect("main");
+        let mut machine = Machine::new(&m, main, &[]);
+        assert_eq!(machine.run(&mut NoopHook), Exec::Done);
+        assert_eq!(machine.outputs(), [110]);
+    }
+
+    #[test]
+    fn jump_threading_skips_empty_blocks() {
+        // A call as the last statement of a loop body leaves an empty
+        // forwarding block behind (calls are block-terminal); threading
+        // retargets the control transfer straight to the step block.
+        let mut m = module(
+            "void tick() { }
+             void main() { for (int i = 0; i < 3; i++) { tick(); } }",
+        );
+        let main = m.function_id("main").expect("main");
+        let has_empty_forwarder = |m: &Module| {
+            m.function(main)
+                .blocks
+                .iter()
+                .any(|b| b.ops.is_empty() && matches!(b.term, Terminator::Jump(_)))
+        };
+        assert!(has_empty_forwarder(&m), "lowering produced a forwarder");
+        let stats = optimize(&mut m);
+        assert!(stats.threaded > 0, "{stats:?}");
+        m.validate().expect("still valid");
+    }
+
+    #[test]
+    fn branch_with_equal_arms_becomes_jump() {
+        use crate::ir::{BlockData, BlockId, FunctionData, VReg};
+        // Hand-build: bb0 branches to bb1 on both arms.
+        let mut m = Module {
+            functions: vec![FunctionData {
+                name: "f".into(),
+                params: vec![VReg(0)],
+                num_vregs: 1,
+                blocks: vec![
+                    BlockData {
+                        ops: vec![],
+                        term: Terminator::Branch {
+                            cond: VReg(0),
+                            then_bb: BlockId(1),
+                            else_bb: BlockId(1),
+                        },
+                    },
+                    BlockData { ops: vec![], term: Terminator::Return(None) },
+                ],
+                returns_value: false,
+                local_arrays: vec![],
+            }],
+            arrays: vec![],
+        };
+        let threaded = thread_jumps(&mut m);
+        assert_eq!(threaded, 1);
+        assert!(matches!(m.functions[0].blocks[0].term, Terminator::Jump(BlockId(1))));
+    }
+
+    #[test]
+    fn execution_result_is_preserved() {
+        use crate::interp::{Exec, Machine, NoopHook};
+        let src = "int f(int a) { int t = (10 - 4) * a; return t + 7 % 3; }
+                   void main() { out(f(5)); }";
+        let mut plain = module(src);
+        let mut opt = module(src);
+        optimize(&mut opt);
+        let run = |m: &Module| {
+            let main = m.function_id("main").expect("main");
+            let mut machine = Machine::new(m, main, &[]);
+            assert_eq!(machine.run(&mut NoopHook), Exec::Done);
+            machine.outputs().to_vec()
+        };
+        assert_eq!(run(&mut plain), run(&mut opt));
+    }
+}

@@ -1,0 +1,98 @@
+//! Human-readable IR dumps for debugging and golden tests.
+
+use std::fmt::Write as _;
+
+use crate::ir::{FunctionData, Module, Op, OpKind, Terminator};
+
+/// Renders a whole module.
+pub fn module_to_string(module: &Module) -> String {
+    let mut out = String::new();
+    for array in &module.arrays {
+        let _ = writeln!(
+            out,
+            "array {} [{}] {:?} ({:?})",
+            array.name, array.len, array.init, array.scope
+        );
+    }
+    for func in &module.functions {
+        out.push_str(&function_to_string(module, func));
+    }
+    out
+}
+
+/// Renders one function.
+pub fn function_to_string(module: &Module, func: &FunctionData) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = func.params.iter().map(|p| p.to_string()).collect();
+    let _ = writeln!(
+        out,
+        "func {}({}) {} {{",
+        func.name,
+        params.join(", "),
+        if func.returns_value { "-> int" } else { "-> void" }
+    );
+    for (bid, block) in func.blocks_iter() {
+        let _ = writeln!(out, "{bid}:");
+        for op in &block.ops {
+            let _ = writeln!(out, "    {}", op_to_string(module, op));
+        }
+        let term = match &block.term {
+            Terminator::Jump(b) => format!("jump {b}"),
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                format!("branch {cond} ? {then_bb} : {else_bb}")
+            }
+            Terminator::Return(Some(v)) => format!("return {v}"),
+            Terminator::Return(None) => "return".to_string(),
+        };
+        let _ = writeln!(out, "    {term}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders one op.
+pub fn op_to_string(module: &Module, op: &Op) -> String {
+    let result = op.result.map(|r| format!("{r} = ")).unwrap_or_default();
+    let args: Vec<String> = op.args.iter().map(|a| a.to_string()).collect();
+    match &op.kind {
+        OpKind::Const(v) => format!("{result}const {v}"),
+        OpKind::Copy => format!("{result}copy {}", args[0]),
+        OpKind::Un(u) => format!("{result}{u:?} {}", args[0]),
+        OpKind::Bin(b) => format!("{result}{b:?} {}, {}", args[0], args[1]),
+        OpKind::Load { array } => {
+            format!("{result}load {}[{}]", module.array(*array).name, args[0])
+        }
+        OpKind::Store { array } => {
+            format!("store {}[{}] = {}", module.array(*array).name, args[0], args[1])
+        }
+        OpKind::Call { func } => {
+            format!("{result}call {}({})", module.function(*func).name, args.join(", "))
+        }
+        OpKind::ChanRecv { chan } => format!("{result}recv {chan}"),
+        OpKind::ChanSend { chan } => format!("send {chan}, {}", args[0]),
+        OpKind::Output => format!("out {}", args[0]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+
+    #[test]
+    fn dump_is_stable_and_complete() {
+        let m = lower(
+            &tlm_minic::parse(
+                "int g = 1;
+                 int f(int a) { if (a > 0) { g += a; } return g; }
+                 void main() { out(f(2)); ch_send(0, g); }",
+            )
+            .expect("parses"),
+        )
+        .expect("lowers");
+        let text = module_to_string(&m);
+        for needle in ["func f", "func main", "array g", "branch", "call f", "send ch0", "out "] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+}

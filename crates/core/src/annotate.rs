@@ -1,0 +1,237 @@
+//! Timing annotation: attach a [`BlockDelay`] to every basic block.
+//!
+//! This is the "Timing Annotator" box of the paper's Fig. 2/3: the CDFG of
+//! an application process plus a PUM go in; a [`TimedModule`] comes out,
+//! carrying the estimated delay of every basic block. The TLM generator in
+//! `tlm-platform` uses it to accumulate `wait()` time as the interpreter
+//! enters blocks, and [`crate::emit`] renders it as annotated C text.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tlm_cdfg::dfg::block_dfg;
+use tlm_cdfg::ir::Module;
+use tlm_cdfg::{BlockId, FuncId};
+use tlm_desim::SimTime;
+
+use crate::delay::{block_delay, BlockDelay};
+use crate::error::EstimateError;
+use crate::pum::Pum;
+
+/// A module whose basic blocks carry estimated delays for one PUM.
+#[derive(Debug, Clone)]
+pub struct TimedModule {
+    module: Arc<Module>,
+    /// `delays[func][block]`.
+    delays: Vec<Vec<BlockDelay>>,
+    pum_name: String,
+    clock_period: SimTime,
+    report: AnnotationReport,
+}
+
+/// Cost accounting of an annotation run (the paper's Table 1 reports the
+/// annotation time per design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnotationReport {
+    /// Basic blocks annotated.
+    pub blocks: usize,
+    /// Operations scheduled.
+    pub ops: usize,
+    /// Wall-clock time the annotation took.
+    pub elapsed: Duration,
+}
+
+/// Runs Algorithms 1 and 2 over every basic block of `module`.
+///
+/// # Errors
+///
+/// Fails if the PUM is invalid or cannot execute some block; see
+/// [`EstimateError`].
+pub fn annotate(module: &Module, pum: &Pum) -> Result<TimedModule, EstimateError> {
+    annotate_arc(Arc::new(module.clone()), pum)
+}
+
+/// Like [`annotate`] but shares an existing module.
+///
+/// # Errors
+///
+/// Same as [`annotate`].
+pub fn annotate_arc(module: Arc<Module>, pum: &Pum) -> Result<TimedModule, EstimateError> {
+    pum.validate()?;
+    let start = Instant::now();
+    let mut delays = Vec::with_capacity(module.functions.len());
+    let mut blocks = 0usize;
+    let mut ops = 0usize;
+    for (fid, func) in module.functions_iter() {
+        let mut func_delays = Vec::with_capacity(func.blocks.len());
+        for (bid, block) in func.blocks_iter() {
+            let dfg = block_dfg(block);
+            func_delays.push(block_delay(pum, block, &dfg, fid, bid)?);
+            blocks += 1;
+            ops += block.ops.len();
+        }
+        delays.push(func_delays);
+    }
+    Ok(TimedModule {
+        module,
+        delays,
+        pum_name: pum.name.clone(),
+        clock_period: SimTime::from_ps(pum.clock_period_ps),
+        report: AnnotationReport { blocks, ops, elapsed: start.elapsed() },
+    })
+}
+
+impl TimedModule {
+    /// The underlying module.
+    pub fn module(&self) -> &Arc<Module> {
+        &self.module
+    }
+
+    /// The PE model the delays were estimated for.
+    pub fn pum_name(&self) -> &str {
+        &self.pum_name
+    }
+
+    /// The PE clock period, for converting cycles to simulated time.
+    pub fn clock_period(&self) -> SimTime {
+        self.clock_period
+    }
+
+    /// The delay annotated onto one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range for the module.
+    pub fn delay(&self, func: FuncId, block: BlockId) -> &BlockDelay {
+        &self.delays[func.0 as usize][block.0 as usize]
+    }
+
+    /// Estimated cycles of one block (the value the generated `wait()`
+    /// call carries).
+    pub fn cycles(&self, func: FuncId, block: BlockId) -> u64 {
+        self.delay(func, block).cycles
+    }
+
+    /// Number of annotated basic blocks.
+    pub fn total_annotated_blocks(&self) -> usize {
+        self.report.blocks
+    }
+
+    /// Annotation cost accounting.
+    pub fn report(&self) -> &AnnotationReport {
+        &self.report
+    }
+
+    /// Sum of annotated cycles over all blocks, weighted by an execution
+    /// count profile (`counts[func][block]`). Useful to predict total
+    /// cycles from a block-frequency profile without re-running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's shape does not match the module.
+    pub fn weighted_total(&self, counts: &[Vec<u64>]) -> u64 {
+        assert_eq!(counts.len(), self.delays.len(), "profile shape mismatch");
+        let mut total = 0u64;
+        for (f, func_counts) in counts.iter().enumerate() {
+            assert_eq!(func_counts.len(), self.delays[f].len(), "profile shape mismatch");
+            for (b, &count) in func_counts.iter().enumerate() {
+                total += count * self.delays[f][b].cycles;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    fn module_of(src: &str) -> Module {
+        tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers")
+    }
+
+    const SRC: &str = "
+        int t[16];
+        int sum(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) { s += t[i] * i; }
+            return s;
+        }
+        void main() { out(sum(16)); }
+    ";
+
+    #[test]
+    fn annotates_every_block() {
+        let module = module_of(SRC);
+        let pum = library::microblaze_like(8 << 10, 4 << 10);
+        let timed = annotate(&module, &pum).expect("annotates");
+        let expected: usize = module.functions.iter().map(|f| f.blocks.len()).sum();
+        assert_eq!(timed.total_annotated_blocks(), expected);
+        assert_eq!(timed.pum_name(), pum.name);
+    }
+
+    #[test]
+    fn nonempty_blocks_get_nonzero_cycles() {
+        let module = module_of(SRC);
+        let pum = library::microblaze_like(8 << 10, 4 << 10);
+        let timed = annotate(&module, &pum).expect("annotates");
+        for (fid, func) in module.functions_iter() {
+            for (bid, block) in func.blocks_iter() {
+                if !block.ops.is_empty() {
+                    assert!(
+                        timed.cycles(fid, bid) > 0,
+                        "block {fid}/{bid} with {} ops got 0 cycles",
+                        block.ops.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_pum_is_rejected_up_front() {
+        let module = module_of(SRC);
+        let mut pum = library::microblaze_like(8 << 10, 4 << 10);
+        pum.clock_period_ps = 0;
+        assert!(matches!(
+            annotate(&module, &pum),
+            Err(EstimateError::BadPum { .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_total_matches_manual_sum() {
+        let module = module_of(SRC);
+        let pum = library::microblaze_like(8 << 10, 4 << 10);
+        let timed = annotate(&module, &pum).expect("annotates");
+        // A profile that enters each block exactly once.
+        let counts: Vec<Vec<u64>> =
+            module.functions.iter().map(|f| vec![1; f.blocks.len()]).collect();
+        let manual: u64 = module
+            .functions_iter()
+            .flat_map(|(fid, f)| {
+                f.blocks_iter().map(move |(bid, _)| (fid, bid))
+            })
+            .map(|(fid, bid)| timed.cycles(fid, bid))
+            .sum();
+        assert_eq!(timed.weighted_total(&counts), manual);
+    }
+
+    #[test]
+    fn different_pums_give_different_annotations() {
+        let module = module_of(SRC);
+        let cpu = annotate(&module, &library::microblaze_like(8 << 10, 4 << 10))
+            .expect("annotates");
+        let hw =
+            annotate(&module, &library::custom_hw("hw", 2, 2)).expect("annotates");
+        let total = |t: &TimedModule| {
+            module
+                .functions_iter()
+                .flat_map(|(fid, f)| f.blocks_iter().map(move |(bid, _)| (fid, bid)))
+                .map(|(fid, bid)| t.cycles(fid, bid))
+                .sum::<u64>()
+        };
+        assert!(total(&hw) < total(&cpu), "HW estimate beats the soft core");
+    }
+}

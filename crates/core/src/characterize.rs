@@ -1,0 +1,206 @@
+//! Characterization: filling the PUM's statistical models from measurements.
+//!
+//! The paper's memory and branch models are *statistical*: average hit
+//! rates per cache size, average misprediction ratio. Those numbers come
+//! from measuring a reference execution (the paper used on-board runs; this
+//! reproduction uses the cycle-accurate board model in `tlm-pcam`) on a
+//! *training* input, and are then used to estimate *other* inputs — that
+//! separation is what makes Tables 2/3 a genuine accuracy experiment.
+//!
+//! This module is deliberately independent of where the numbers come from:
+//! it consumes plain counters.
+
+use std::collections::BTreeMap;
+
+use crate::pum::{BranchModel, CacheModel, MemoryPath, Pum};
+
+/// Counters measured on a reference execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProfileCounters {
+    /// Instruction fetches issued.
+    pub ifetches: u64,
+    /// Instruction fetches that missed the i-cache.
+    pub imisses: u64,
+    /// Data accesses issued.
+    pub daccesses: u64,
+    /// Data accesses that missed the d-cache.
+    pub dmisses: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Conditional branches mispredicted.
+    pub mispredicts: u64,
+}
+
+impl ProfileCounters {
+    /// Measured i-cache hit rate; 1.0 when no fetches were observed.
+    pub fn icache_hit_rate(&self) -> f64 {
+        hit_rate(self.ifetches, self.imisses)
+    }
+
+    /// Measured d-cache hit rate; 1.0 when no accesses were observed.
+    pub fn dcache_hit_rate(&self) -> f64 {
+        hit_rate(self.daccesses, self.dmisses)
+    }
+
+    /// Measured misprediction ratio; 0.0 when no branches were observed.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+fn hit_rate(accesses: u64, misses: u64) -> f64 {
+    if accesses == 0 {
+        1.0
+    } else {
+        1.0 - misses.min(accesses) as f64 / accesses as f64
+    }
+}
+
+/// A characterized table: cache size in bytes → measured average hit rate.
+pub type HitRateTable = BTreeMap<u32, f64>;
+
+/// Replaces the statistical parameters of `pum` with measured values.
+///
+/// - `icache_rates` / `dcache_rates`: per-size hit rates (sizes missing
+///   from the table keep their previous value);
+/// - `mispredict_rate`: measured branch misprediction ratio, applied if the
+///   PUM has a branch model.
+///
+/// Paths that are [`MemoryPath::Hardwired`] or [`MemoryPath::Uncached`] are
+/// untouched — they have no statistical parameters.
+pub fn apply_measurements(
+    pum: &mut Pum,
+    icache_rates: &HitRateTable,
+    dcache_rates: &HitRateTable,
+    mispredict_rate: Option<f64>,
+) {
+    apply_rates(&mut pum.memory.ifetch, icache_rates);
+    apply_rates(&mut pum.memory.data, dcache_rates);
+    if let (Some(model), Some(rate)) = (&mut pum.branch, mispredict_rate) {
+        model.miss_rate = rate.clamp(0.0, 1.0);
+    }
+}
+
+fn apply_rates(path: &mut MemoryPath, rates: &HitRateTable) {
+    if let MemoryPath::Cached(cache) = path {
+        for (&size, &rate) in rates {
+            cache.hit_rates.insert(size, rate.clamp(0.0, 1.0));
+        }
+    }
+}
+
+/// Builds a branch model from measured counters.
+pub fn branch_model_from(counters: &ProfileCounters, penalty: u32) -> BranchModel {
+    BranchModel {
+        policy: "characterized".into(),
+        penalty,
+        miss_rate: counters.mispredict_rate(),
+    }
+}
+
+/// Builds a cache model from a measured hit-rate table.
+///
+/// # Panics
+///
+/// Panics if `rates` does not contain `size`.
+pub fn cache_model_from(
+    size: u32,
+    rates: HitRateTable,
+    hit_delay: u32,
+    miss_penalty: u32,
+) -> CacheModel {
+    assert!(rates.contains_key(&size), "no measured rate for the configured size");
+    CacheModel { size, hit_rates: rates, hit_delay, miss_penalty }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn counter_rates() {
+        let c = ProfileCounters {
+            ifetches: 1000,
+            imisses: 50,
+            daccesses: 400,
+            dmisses: 100,
+            branches: 200,
+            mispredicts: 30,
+        };
+        assert!((c.icache_hit_rate() - 0.95).abs() < 1e-12);
+        assert!((c.dcache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((c.mispredict_rate() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_are_benign() {
+        let c = ProfileCounters::default();
+        assert_eq!(c.icache_hit_rate(), 1.0);
+        assert_eq!(c.dcache_hit_rate(), 1.0);
+        assert_eq!(c.mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn excess_misses_clamp() {
+        let c = ProfileCounters { ifetches: 10, imisses: 50, ..Default::default() };
+        assert_eq!(c.icache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn apply_measurements_overrides_placeholders() {
+        let mut pum = library::microblaze_like(8 << 10, 4 << 10);
+        let mut irates = HitRateTable::new();
+        irates.insert(8 << 10, 0.987);
+        let mut drates = HitRateTable::new();
+        drates.insert(4 << 10, 0.9);
+        apply_measurements(&mut pum, &irates, &drates, Some(0.23));
+        let crate::pum::MemoryPath::Cached(ic) = &pum.memory.ifetch else {
+            panic!("cached ifetch");
+        };
+        assert_eq!(ic.hit_rates[&(8 << 10)], 0.987);
+        let crate::pum::MemoryPath::Cached(dc) = &pum.memory.data else {
+            panic!("cached data");
+        };
+        assert_eq!(dc.hit_rates[&(4 << 10)], 0.9);
+        assert_eq!(pum.branch.as_ref().expect("branch model").miss_rate, 0.23);
+        pum.validate().expect("still valid");
+    }
+
+    #[test]
+    fn hardwired_paths_are_untouched() {
+        let mut pum = library::custom_hw("hw", 2, 2);
+        let mut rates = HitRateTable::new();
+        rates.insert(1024, 0.5);
+        apply_measurements(&mut pum, &rates, &rates, Some(0.9));
+        assert!(pum.branch.is_none());
+        assert!(matches!(pum.memory.ifetch, MemoryPath::Hardwired));
+    }
+
+    #[test]
+    fn rates_are_clamped_to_unit_interval() {
+        let mut pum = library::microblaze_like(8 << 10, 4 << 10);
+        let mut rates = HitRateTable::new();
+        rates.insert(8 << 10, 1.7);
+        apply_measurements(&mut pum, &rates, &HitRateTable::new(), Some(-0.5));
+        pum.validate().expect("clamped values stay valid");
+        assert_eq!(pum.branch.as_ref().expect("branch model").miss_rate, 0.0);
+    }
+
+    #[test]
+    fn model_builders() {
+        let counters = ProfileCounters { branches: 100, mispredicts: 25, ..Default::default() };
+        let bm = branch_model_from(&counters, 2);
+        assert_eq!(bm.penalty, 2);
+        assert!((bm.miss_rate - 0.25).abs() < 1e-12);
+
+        let mut rates = HitRateTable::new();
+        rates.insert(2048, 0.91);
+        let cm = cache_model_from(2048, rates, 0, 24);
+        assert!((cm.hit_rate() - 0.91).abs() < 1e-12);
+    }
+}

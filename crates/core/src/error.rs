@@ -1,0 +1,51 @@
+//! Errors of the estimation engine.
+
+use std::error::Error;
+use std::fmt;
+
+use tlm_cdfg::{BlockId, FuncId, OpClass};
+
+/// Errors produced while estimating delays.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// The PUM's operation mapping table has no entry for an op class that
+    /// occurs in the application.
+    UnmappedClass {
+        /// The class with no binding.
+        class: OpClass,
+    },
+    /// The PUM description is internally inconsistent.
+    BadPum {
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The pipeline simulation of Algorithm 1 stopped making progress —
+    /// the PUM's resources cannot execute this block (e.g. an op's
+    /// functional unit has quantity 0 at its only usable stage).
+    Deadlock {
+        /// Function containing the block.
+        func: FuncId,
+        /// The block that could not be scheduled.
+        block: BlockId,
+        /// Cycle at which progress stopped.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::UnmappedClass { class } => {
+                write!(f, "operation class `{class}` has no PUM mapping")
+            }
+            EstimateError::BadPum { message } => write!(f, "invalid PUM: {message}"),
+            EstimateError::Deadlock { func, block, cycle } => write!(
+                f,
+                "schedule deadlock in {func}/{block} at cycle {cycle}: \
+                 PUM resources cannot execute this block"
+            ),
+        }
+    }
+}
+
+impl Error for EstimateError {}

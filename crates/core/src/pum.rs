@@ -1,0 +1,493 @@
+//! The Processing Unit Model (PUM) — §4.1 of the paper.
+//!
+//! A PUM characterizes a processing element with four sub-models:
+//!
+//! 1. **Execution model** — the operation scheduling policy and the
+//!    operation mapping table (demand-operand stage, commit-result stage and
+//!    per-stage functional-unit usage for every operation class);
+//! 2. **Datapath model** — functional units (type, quantity, modes with
+//!    per-mode delays) and one or more pipelines (multiple pipelines model
+//!    superscalar issue);
+//! 3. **Branch delay model** — statistical: misprediction penalty and
+//!    average misprediction ratio;
+//! 4. **Memory model** — statistical: i-/d-cache hit rates for a set of
+//!    cache sizes, access latencies and the external memory latency.
+//!
+//! Everything here is plain serializable data: retargeting the estimator to
+//! a new PE means writing a new PUM, not new code (the paper's Figs. 4–5
+//! show a custom DCT datapath and a MicroBlaze described in the same form).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use tlm_cdfg::OpClass;
+
+use crate::error::EstimateError;
+
+/// Operation scheduling policies the execution model supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Issue strictly in program order (one op per pipeline per cycle);
+    /// the policy of in-order processors.
+    InOrder,
+    /// Issue any data-ready op, oldest first — classic ASAP dataflow
+    /// scheduling, natural for custom hardware.
+    Asap,
+    /// Issue data-ready ops, least critical first (largest slack). Mostly
+    /// useful as an ablation baseline; produces the worst schedules.
+    Alap,
+    /// List scheduling: issue data-ready ops, longest dependence chain
+    /// (height) first. The usual choice for custom HW datapaths.
+    List,
+}
+
+/// One operating mode of a functional unit, e.g. an ALU's `add` vs `mul`
+/// mode, with the cycles the unit is occupied.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuMode {
+    /// Mode name (diagnostic only).
+    pub name: String,
+    /// Cycles an operation occupies the unit in this mode (≥ 1).
+    pub delay: u32,
+}
+
+/// A functional unit type with a replication count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuncUnit {
+    /// Unit name, e.g. `"alu"`, `"mac"`, `"lsu"`.
+    pub name: String,
+    /// How many identical instances exist.
+    pub quantity: u32,
+    /// Available modes.
+    pub modes: Vec<FuMode>,
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Stage name, e.g. `"IF"`, `"EX"`.
+    pub name: String,
+    /// Maximum operations resident in the stage simultaneously. CPU stages
+    /// use 1; a non-pipelined HW datapath models its single stage with a
+    /// width bounded by its functional units.
+    pub width: u32,
+}
+
+/// One pipeline: an ordered list of stages. Superscalar PEs have several.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// Pipeline name.
+    pub name: String,
+    /// Stages in flow order.
+    pub stages: Vec<Stage>,
+}
+
+/// The datapath model: functional units plus pipelines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Datapath {
+    /// Functional unit inventory.
+    pub units: Vec<FuncUnit>,
+    /// Pipelines (≥ 1). All pipelines share the stage structure
+    /// requirements of the operation mapping table.
+    pub pipelines: Vec<Pipeline>,
+}
+
+/// Functional-unit usage of an operation at one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageUsage {
+    /// Stage index the unit is used in.
+    pub stage: usize,
+    /// Index into [`Datapath::units`].
+    pub fu: usize,
+    /// Index into that unit's modes; the mode delay is how long the op
+    /// occupies the stage.
+    pub mode: usize,
+}
+
+/// Operation mapping table entry for one op class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpBinding {
+    /// Stage at which operands must be available (the *demand operand*
+    /// flag of the paper).
+    pub demand_stage: usize,
+    /// Stage whose completion makes the result available to dependents
+    /// (the *commit result* flag).
+    pub commit_stage: usize,
+    /// Per-stage functional-unit usage; stages not listed take one cycle
+    /// and no unit.
+    pub usage: Vec<StageUsage>,
+    /// A transparent op costs nothing: it never enters the pipeline and its
+    /// result is available immediately (e.g. constants that are hardwired
+    /// in a custom datapath).
+    #[serde(default)]
+    pub transparent: bool,
+}
+
+/// The execution model: scheduling policy + operation mapping table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionModel {
+    /// How ready operations are picked for issue.
+    pub policy: SchedulingPolicy,
+    /// Binding for each op class that can occur. Missing classes make
+    /// estimation fail with [`EstimateError::UnmappedClass`].
+    pub op_map: BTreeMap<OpClassKey, OpBinding>,
+}
+
+/// Serializable key wrapper for [`OpClass`] (serde maps need string keys).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(rename_all = "snake_case")]
+pub enum OpClassKey {
+    /// [`OpClass::Alu`]
+    Alu,
+    /// [`OpClass::Mul`]
+    Mul,
+    /// [`OpClass::Div`]
+    Div,
+    /// [`OpClass::Shift`]
+    Shift,
+    /// [`OpClass::Load`]
+    Load,
+    /// [`OpClass::Store`]
+    Store,
+    /// [`OpClass::Move`]
+    Move,
+    /// [`OpClass::Control`]
+    Control,
+}
+
+impl From<OpClass> for OpClassKey {
+    fn from(value: OpClass) -> Self {
+        match value {
+            OpClass::Alu => OpClassKey::Alu,
+            OpClass::Mul => OpClassKey::Mul,
+            OpClass::Div => OpClassKey::Div,
+            OpClass::Shift => OpClassKey::Shift,
+            OpClass::Load => OpClassKey::Load,
+            OpClass::Store => OpClassKey::Store,
+            OpClass::Move => OpClassKey::Move,
+            OpClass::Control => OpClassKey::Control,
+        }
+    }
+}
+
+/// Statistical branch delay model (§4.1, item 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BranchModel {
+    /// Prediction scheme name (informational; the *rate* carries the
+    /// statistics).
+    pub policy: String,
+    /// Cycles lost on a misprediction.
+    pub penalty: u32,
+    /// Average misprediction ratio in `[0, 1]`.
+    pub miss_rate: f64,
+}
+
+/// How instruction fetches or data accesses reach memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MemoryPath {
+    /// No memory traffic at all: custom HW with hardwired control (for
+    /// instructions) or dedicated single-cycle SRAM already accounted in
+    /// the functional-unit delay (for data).
+    Hardwired,
+    /// Every access pays the external memory latency (cacheless CPU).
+    Uncached,
+    /// Statistical cache model.
+    Cached(CacheModel),
+}
+
+/// Statistical cache model (§4.1, item 4): average hit rates per cache
+/// size, plus latencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheModel {
+    /// Configured cache size in bytes; must be a key of `hit_rates`.
+    pub size: u32,
+    /// Average hit rate per cache size (bytes → rate in `[0, 1]`). Obtained
+    /// by characterization (see [`crate::characterize`]).
+    pub hit_rates: BTreeMap<u32, f64>,
+    /// Extra cycles of a hit beyond what the pipeline already overlaps
+    /// (usually 0 for an L1 integrated into the pipeline).
+    pub hit_delay: u32,
+    /// Cycles lost on a miss.
+    pub miss_penalty: u32,
+}
+
+impl CacheModel {
+    /// The hit rate at the configured size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured size has no characterized rate; construct
+    /// through [`Pum::validate`]d models to avoid this.
+    pub fn hit_rate(&self) -> f64 {
+        self.hit_rates[&self.size]
+    }
+}
+
+fn one() -> f64 {
+    1.0
+}
+
+/// The memory model: instruction and data paths plus external latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Instruction fetch path.
+    pub ifetch: MemoryPath,
+    /// Data access path.
+    pub data: MemoryPath,
+    /// External (off-chip) memory latency in cycles.
+    pub external_latency: u32,
+    /// Average target instructions fetched per CDFG operation (the paper's
+    /// LLVM ops map ~1:1 to MicroBlaze instructions; a higher-level IR
+    /// carries a characterized expansion ratio instead). Default 1.0.
+    #[serde(default = "one")]
+    pub fetch_expansion: f64,
+    /// Average data-memory accesses per CDFG memory operand (register
+    /// spills and reloads add traffic the IR does not show). Default 1.0.
+    #[serde(default = "one")]
+    pub data_expansion: f64,
+}
+
+/// A complete Processing Unit Model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pum {
+    /// PE name, e.g. `"microblaze"` or `"dct_hw"`.
+    pub name: String,
+    /// Clock period in picoseconds (for converting cycles to time).
+    pub clock_period_ps: u64,
+    /// Execution model.
+    pub execution: ExecutionModel,
+    /// Datapath model.
+    pub datapath: Datapath,
+    /// Branch delay model; `None` for PEs without speculation (Alg. 2
+    /// adds no branch term then).
+    pub branch: Option<BranchModel>,
+    /// Memory model.
+    pub memory: MemoryModel,
+}
+
+impl Pum {
+    /// Deepest pipeline length, in stages.
+    pub fn max_stages(&self) -> usize {
+        self.datapath.pipelines.iter().map(|p| p.stages.len()).max().unwrap_or(0)
+    }
+
+    /// Whether the PE is pipelined in the sense of Algorithm 2 (more than
+    /// one stage ⇒ branch penalties exist).
+    pub fn is_pipelined(&self) -> bool {
+        self.max_stages() > 1
+    }
+
+    /// Steady-state correction subtracted from each block's schedule: the
+    /// pipeline fill of `depth - 1` cycles is paid once per mispredicted
+    /// branch (Algorithm 2's penalty), not once per basic block.
+    pub fn fill_correction(&self) -> u64 {
+        self.max_stages().saturating_sub(1) as u64
+    }
+
+    /// Looks up the binding of an op class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::UnmappedClass`] if the PUM does not map it.
+    pub fn binding(&self, class: OpClass) -> Result<&OpBinding, EstimateError> {
+        self.execution
+            .op_map
+            .get(&OpClassKey::from(class))
+            .ok_or(EstimateError::UnmappedClass { class })
+    }
+
+    /// Serializes the PUM to pretty JSON (the tool's interchange format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("PUM serialization cannot fail")
+    }
+
+    /// Parses a PUM from JSON and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::BadPum`] on malformed JSON or on a model
+    /// that fails [`Pum::validate`].
+    pub fn from_json(text: &str) -> Result<Pum, EstimateError> {
+        let pum: Pum = serde_json::from_str(text)
+            .map_err(|e| EstimateError::BadPum { message: e.to_string() })?;
+        pum.validate()?;
+        Ok(pum)
+    }
+
+    /// Checks internal consistency of the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::BadPum`] describing the first violation:
+    /// empty pipelines, zero-delay modes, out-of-range stage/unit/mode
+    /// references, rates outside `[0, 1]`, or a cache whose configured size
+    /// has no characterized hit rate.
+    pub fn validate(&self) -> Result<(), EstimateError> {
+        let bad = |message: String| Err(EstimateError::BadPum { message });
+        if self.clock_period_ps == 0 {
+            return bad("clock period must be non-zero".into());
+        }
+        if self.datapath.pipelines.is_empty() {
+            return bad("datapath needs at least one pipeline".into());
+        }
+        for p in &self.datapath.pipelines {
+            if p.stages.is_empty() {
+                return bad(format!("pipeline `{}` has no stages", p.name));
+            }
+            for s in &p.stages {
+                if s.width == 0 {
+                    return bad(format!("stage `{}` has zero width", s.name));
+                }
+            }
+        }
+        for u in &self.datapath.units {
+            if u.quantity == 0 {
+                return bad(format!("unit `{}` has zero quantity", u.name));
+            }
+            if u.modes.is_empty() {
+                return bad(format!("unit `{}` has no modes", u.name));
+            }
+            for m in &u.modes {
+                if m.delay == 0 {
+                    return bad(format!("mode `{}.{}` has zero delay", u.name, m.name));
+                }
+            }
+        }
+        let n_stages = self.max_stages();
+        for (key, b) in &self.execution.op_map {
+            if b.transparent {
+                continue;
+            }
+            if b.demand_stage >= n_stages || b.commit_stage >= n_stages {
+                return bad(format!("binding {key:?} references stage out of range"));
+            }
+            if b.demand_stage > b.commit_stage {
+                return bad(format!("binding {key:?} demands operands after committing"));
+            }
+            for usage in &b.usage {
+                if usage.stage >= n_stages {
+                    return bad(format!("binding {key:?} uses out-of-range stage"));
+                }
+                let Some(unit) = self.datapath.units.get(usage.fu) else {
+                    return bad(format!("binding {key:?} uses unknown unit {}", usage.fu));
+                };
+                if usage.mode >= unit.modes.len() {
+                    return bad(format!(
+                        "binding {key:?} uses unknown mode {} of `{}`",
+                        usage.mode, unit.name
+                    ));
+                }
+            }
+        }
+        if let Some(branch) = &self.branch {
+            if !(0.0..=1.0).contains(&branch.miss_rate) {
+                return bad("branch miss rate outside [0, 1]".into());
+            }
+        }
+        if self.memory.fetch_expansion <= 0.0 || self.memory.data_expansion <= 0.0 {
+            return bad("memory expansion factors must be positive".into());
+        }
+        for (label, path) in
+            [("ifetch", &self.memory.ifetch), ("data", &self.memory.data)]
+        {
+            if let MemoryPath::Cached(cache) = path {
+                if !cache.hit_rates.contains_key(&cache.size) {
+                    return bad(format!(
+                        "{label} cache size {} has no characterized hit rate",
+                        cache.size
+                    ));
+                }
+                for (&size, &rate) in &cache.hit_rates {
+                    if !(0.0..=1.0).contains(&rate) {
+                        return bad(format!(
+                            "{label} cache hit rate for size {size} outside [0, 1]"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn library_models_validate() {
+        for pum in [
+            library::microblaze_like(8 * 1024, 4 * 1024),
+            library::microblaze_like(0, 0),
+            library::custom_hw("dct", 2, 2),
+            library::generic_risc(),
+            library::superscalar2(),
+            library::vliw4(),
+        ] {
+            pum.validate().unwrap_or_else(|e| panic!("{}: {e}", pum.name));
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let pum = library::microblaze_like(8 * 1024, 4 * 1024);
+        let text = pum.to_json();
+        let back = Pum::from_json(&text).expect("round-trips");
+        assert_eq!(pum, back);
+    }
+
+    #[test]
+    fn invalid_json_is_rejected() {
+        assert!(matches!(
+            Pum::from_json("{ not json"),
+            Err(EstimateError::BadPum { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_delay_mode_is_rejected() {
+        let mut pum = library::custom_hw("bad", 1, 1);
+        pum.datapath.units[0].modes[0].delay = 0;
+        assert!(pum.validate().is_err());
+    }
+
+    #[test]
+    fn bad_stage_reference_is_rejected() {
+        let mut pum = library::generic_risc();
+        if let Some(binding) = pum.execution.op_map.get_mut(&OpClassKey::Alu) {
+            binding.commit_stage = 99;
+        }
+        assert!(pum.validate().is_err());
+    }
+
+    #[test]
+    fn missing_hit_rate_for_size_is_rejected() {
+        let mut pum = library::microblaze_like(8 * 1024, 4 * 1024);
+        if let MemoryPath::Cached(cache) = &mut pum.memory.ifetch {
+            cache.size = 1234; // size with no characterized rate
+        }
+        assert!(pum.validate().is_err());
+    }
+
+    #[test]
+    fn branch_rate_out_of_range_is_rejected() {
+        let mut pum = library::microblaze_like(8 * 1024, 4 * 1024);
+        if let Some(b) = &mut pum.branch {
+            b.miss_rate = 1.5;
+        }
+        assert!(pum.validate().is_err());
+    }
+
+    #[test]
+    fn pipelining_predicates() {
+        let cpu = library::microblaze_like(8 * 1024, 4 * 1024);
+        assert!(cpu.is_pipelined());
+        assert_eq!(cpu.fill_correction(), cpu.max_stages() as u64 - 1);
+        let hw = library::custom_hw("dct", 2, 2);
+        assert!(!hw.is_pipelined(), "single-stage HW is not pipelined");
+        assert_eq!(hw.fill_correction(), 0);
+    }
+}

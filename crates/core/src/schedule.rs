@@ -1,0 +1,502 @@
+//! Algorithm 1 — **Optimistic Scheduling** (§4.2 of the paper).
+//!
+//! The delay of a basic block on a PE is computed by simulating the block's
+//! DFG on the PE's pipeline model cycle by cycle, under optimistic
+//! assumptions (100 % cache hits, perfect branch prediction):
+//!
+//! - `advclock` advances every in-flight operation: per-stage cycle counters
+//!   decrement; an operation whose counter reaches zero advances to the next
+//!   stage unless the stage is full, a functional unit it needs is busy, or
+//!   the next stage is its *demand* stage and a DFG predecessor has not yet
+//!   *committed* its result;
+//! - `AssignOps` issues remaining operations into the first stage according
+//!   to the PUM's scheduling policy (in-order, ASAP, ALAP or list);
+//! - the loop runs until the *done* set contains every operation. The DFG
+//!   is acyclic so the simulation terminates; a defensive progress check
+//!   turns impossible resource configurations into an error instead of a
+//!   hang.
+//!
+//! One refinement over the paper's pseudocode: the simulated count includes
+//! the pipeline fill (the first operation traverses every stage), but in
+//! steady state consecutive blocks overlap in the pipeline, so
+//! [`ScheduleResult::cycles`] subtracts `depth − 1` ([`Pum::fill_correction`]).
+//! Pipeline refills that *do* occur at mispredicted branches are charged by
+//! Algorithm 2's branch term instead. The uncorrected value is kept in
+//! [`ScheduleResult::raw_cycles`].
+
+use tlm_cdfg::dfg::Dfg;
+use tlm_cdfg::ir::BlockData;
+use tlm_cdfg::{BlockId, FuncId};
+
+use crate::error::EstimateError;
+use crate::pum::{Pum, SchedulingPolicy};
+
+/// Hard cap on simulated cycles per block; hitting it means the PUM cannot
+/// execute the block at all.
+const CYCLE_LIMIT: u64 = 10_000_000;
+
+/// Result of scheduling one basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleResult {
+    /// Steady-state cycles charged to the block (fill-corrected, ≥ 0).
+    pub cycles: u64,
+    /// Raw simulated cycles including pipeline fill and drain.
+    pub raw_cycles: u64,
+    /// Cycle each op was issued at (`None` for transparent ops).
+    pub issue_cycle: Vec<Option<u64>>,
+    /// Cycle each op left the pipeline (`None` for transparent ops).
+    pub finish_cycle: Vec<Option<u64>>,
+}
+
+/// Per-op scheduling facts precomputed from the PUM.
+struct OpInfo {
+    /// Cycles spent per stage (index by stage).
+    durations: Vec<u32>,
+    /// Functional unit used per stage, if any.
+    fu_at: Vec<Option<usize>>,
+    demand_stage: usize,
+    commit_stage: usize,
+    transparent: bool,
+    /// Issue priority (smaller issues first among ready ops).
+    priority: i64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    op: usize,
+    remaining: u32,
+}
+
+/// Schedules one basic block's DFG on the PUM (Algorithm 1).
+///
+/// `func` and `block_id` are used only for error reporting.
+///
+/// # Errors
+///
+/// - [`EstimateError::UnmappedClass`] if an op class has no PUM binding;
+/// - [`EstimateError::Deadlock`] if the pipeline simulation stops making
+///   progress (impossible resource configuration).
+pub fn schedule_block(
+    pum: &Pum,
+    block: &BlockData,
+    dfg: &Dfg,
+    func: FuncId,
+    block_id: BlockId,
+) -> Result<ScheduleResult, EstimateError> {
+    let n = block.ops.len();
+    if n == 0 {
+        return Ok(ScheduleResult {
+            cycles: 0,
+            raw_cycles: 0,
+            issue_cycle: Vec::new(),
+            finish_cycle: Vec::new(),
+        });
+    }
+
+    let n_stages = pum.max_stages();
+    let heights = dfg.heights();
+    let infos: Vec<OpInfo> = block
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let b = pum.binding(op.class())?;
+            let mut durations = vec![1u32; n_stages];
+            let mut fu_at = vec![None; n_stages];
+            for u in &b.usage {
+                durations[u.stage] = pum.datapath.units[u.fu].modes[u.mode].delay;
+                fu_at[u.stage] = Some(u.fu);
+            }
+            let priority = match pum.execution.policy {
+                SchedulingPolicy::InOrder | SchedulingPolicy::Asap => i as i64,
+                // List: longest chain first; ALAP: least critical first.
+                SchedulingPolicy::List => -(heights[i] as i64),
+                SchedulingPolicy::Alap => heights[i] as i64,
+            };
+            Ok(OpInfo {
+                durations,
+                fu_at,
+                demand_stage: b.demand_stage,
+                commit_stage: b.commit_stage,
+                transparent: b.transparent,
+                priority,
+            })
+        })
+        .collect::<Result<_, EstimateError>>()?;
+
+    let mut committed = vec![false; n];
+    let mut done = vec![false; n];
+    let mut issued = vec![false; n];
+    let mut issue_cycle = vec![None; n];
+    let mut finish_cycle = vec![None; n];
+    let mut done_count = 0usize;
+
+    let mut fu_free: Vec<u32> = pum.datapath.units.iter().map(|u| u.quantity).collect();
+    // pipelines × stages × resident ops
+    let mut pipes: Vec<Vec<Vec<Slot>>> = pum
+        .datapath
+        .pipelines
+        .iter()
+        .map(|p| vec![Vec::new(); p.stages.len()])
+        .collect();
+
+    // Transparent ops whose predecessors are all committed resolve for free.
+    let resolve_transparent = |committed: &mut Vec<bool>,
+                               done: &mut Vec<bool>,
+                               issued: &mut Vec<bool>,
+                               done_count: &mut usize| {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                if infos[i].transparent
+                    && !done[i]
+                    && dfg.preds[i].iter().all(|&p| committed[p])
+                {
+                    committed[i] = true;
+                    done[i] = true;
+                    issued[i] = true;
+                    *done_count += 1;
+                    changed = true;
+                }
+            }
+        }
+    };
+    resolve_transparent(&mut committed, &mut done, &mut issued, &mut done_count);
+
+    let mut cycle: u64 = 0;
+    let mut last_finish: u64 = 0;
+    let mut any_scheduled = false;
+
+    while done_count < n {
+        if cycle > CYCLE_LIMIT {
+            return Err(EstimateError::Deadlock { func, block: block_id, cycle });
+        }
+        let mut progress = false;
+
+        // Phase 1: decrement counters; completions at the commit stage
+        // publish their results.
+        for pipe in pipes.iter_mut() {
+            for (stage_idx, stage) in pipe.iter_mut().enumerate() {
+                for slot in stage.iter_mut() {
+                    if slot.remaining > 0 {
+                        slot.remaining -= 1;
+                        progress = true;
+                        if slot.remaining == 0 && stage_idx == infos[slot.op].commit_stage {
+                            committed[slot.op] = true;
+                        }
+                    }
+                }
+            }
+        }
+        resolve_transparent(&mut committed, &mut done, &mut issued, &mut done_count);
+
+        // Phase 2: advclock — advance ops whose stage time elapsed, from
+        // the last stage backwards so a vacated stage can be refilled in
+        // the same cycle.
+        for (pipe_idx, pipe) in pipes.iter_mut().enumerate() {
+            let stages = &pum.datapath.pipelines[pipe_idx].stages;
+            let n_pipe_stages = pipe.len();
+            for s in (0..n_pipe_stages).rev() {
+                let mut idx = 0;
+                while idx < pipe[s].len() {
+                    let slot = pipe[s][idx];
+                    if slot.remaining > 0 {
+                        idx += 1;
+                        continue;
+                    }
+                    if s + 1 == n_pipe_stages {
+                        // Leaves the pipeline.
+                        pipe[s].swap_remove(idx);
+                        if let Some(fu) = infos[slot.op].fu_at[s] {
+                            fu_free[fu] += 1;
+                        }
+                        done[slot.op] = true;
+                        done_count += 1;
+                        finish_cycle[slot.op] = Some(cycle);
+                        last_finish = last_finish.max(cycle);
+                        progress = true;
+                        continue; // same idx now holds the swapped element
+                    }
+                    let ns = s + 1;
+                    let info = &infos[slot.op];
+                    let room = pipe[ns].len() < stages[ns].width as usize;
+                    let operands_ok = ns != info.demand_stage
+                        || dfg.preds[slot.op].iter().all(|&p| committed[p]);
+                    let fu_ok = info.fu_at[ns].is_none_or(|fu| fu_free[fu] > 0);
+                    if room && operands_ok && fu_ok {
+                        pipe[s].swap_remove(idx);
+                        if let Some(fu) = info.fu_at[s] {
+                            fu_free[fu] += 1;
+                        }
+                        if let Some(fu) = info.fu_at[ns] {
+                            fu_free[fu] -= 1;
+                        }
+                        pipe[ns].push(Slot { op: slot.op, remaining: info.durations[ns] });
+                        progress = true;
+                    } else {
+                        idx += 1; // stalled
+                    }
+                }
+            }
+        }
+        resolve_transparent(&mut committed, &mut done, &mut issued, &mut done_count);
+
+        // Phase 3: AssignOps — issue into stage 0 per the policy.
+        let in_order = pum.execution.policy == SchedulingPolicy::InOrder;
+        let mut candidates: Vec<usize> = (0..n).filter(|&i| !issued[i]).collect();
+        candidates.sort_by_key(|&i| (infos[i].priority, i));
+        'issue: for &op in &candidates {
+            let info = &infos[op];
+            // Dataflow policies require operands before issue when stage 0
+            // demands them; in-order CPUs issue blindly and stall at the
+            // demand stage.
+            let ready = 0 != info.demand_stage
+                || dfg.preds[op].iter().all(|&p| committed[p]);
+            if !ready {
+                if in_order {
+                    break 'issue; // program order: nothing younger may pass
+                }
+                continue;
+            }
+            let mut placed = false;
+            for (pipe_idx, pipe) in pipes.iter_mut().enumerate() {
+                let width0 = pum.datapath.pipelines[pipe_idx].stages[0].width as usize;
+                let room = pipe[0].len() < width0;
+                let fu_ok = info.fu_at[0].is_none_or(|fu| fu_free[fu] > 0);
+                if room && fu_ok {
+                    if let Some(fu) = info.fu_at[0] {
+                        fu_free[fu] -= 1;
+                    }
+                    pipe[0].push(Slot { op, remaining: info.durations[0] });
+                    issued[op] = true;
+                    issue_cycle[op] = Some(cycle);
+                    any_scheduled = true;
+                    progress = true;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed && in_order {
+                break 'issue;
+            }
+        }
+
+        if !progress {
+            return Err(EstimateError::Deadlock { func, block: block_id, cycle });
+        }
+        cycle += 1;
+    }
+
+    let raw_cycles = if any_scheduled { last_finish } else { 0 };
+    let cycles = raw_cycles.saturating_sub(pum.fill_correction());
+    Ok(ScheduleResult { cycles, raw_cycles, issue_cycle, finish_cycle })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use tlm_cdfg::dfg::block_dfg;
+    use tlm_cdfg::ir::Module;
+
+    /// Lowers a function body and schedules its largest block.
+    fn schedule_body(pum: &Pum, src: &str) -> ScheduleResult {
+        let module = module_of(src);
+        let func = &module.functions[0];
+        let (bid, block) = func
+            .blocks_iter()
+            .max_by_key(|(_, b)| b.ops.len())
+            .expect("has blocks");
+        schedule_block(pum, block, &block_dfg(block), FuncId(0), bid).expect("schedules")
+    }
+
+    fn module_of(src: &str) -> Module {
+        tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers")
+    }
+
+    use tlm_cdfg::FuncId;
+
+    #[test]
+    fn empty_block_costs_nothing() {
+        let pum = library::microblaze_like(0, 0);
+        let module = module_of("void f() { }");
+        let block = &module.functions[0].blocks[0];
+        let r = schedule_block(&pum, block, &block_dfg(block), FuncId(0), BlockId(0))
+            .expect("schedules");
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn single_issue_throughput_is_one_per_cycle() {
+        // Independent ALU work on a 1-wide in-order core: n ops ≈ n cycles.
+        let pum = library::microblaze_like(8 << 10, 4 << 10);
+        let r = schedule_body(
+            &pum,
+            "int f(int a, int b, int c, int d) { return (a + b) + (c + d); }",
+        );
+        // 3 adds + 1 op-ish tail; steady-state cycles ≈ op count.
+        let n = r.issue_cycle.len() as u64;
+        assert!(r.cycles >= n, "dependences cannot make it faster than n");
+        assert!(r.cycles <= n + 2, "got {} for {n} ops", r.cycles);
+    }
+
+    #[test]
+    fn multiplier_latency_serializes_dependent_chain() {
+        let pum = library::microblaze_like(8 << 10, 4 << 10);
+        let chain = schedule_body(&pum, "int f(int a) { return a * a * a * a; }");
+        let single = schedule_body(&pum, "int f(int a) { return a * a; }");
+        // Each extra dependent multiply costs the full 3-cycle latency.
+        assert!(
+            chain.cycles >= single.cycles + 2 * 3,
+            "chain {} vs single {}",
+            chain.cycles,
+            single.cycles
+        );
+    }
+
+    #[test]
+    fn load_use_stall_costs_a_bubble() {
+        use tlm_cdfg::ir::{ArrayId, BlockData, Op, OpKind, Terminator, VReg};
+        use tlm_minic::ast::BinOp;
+        let pum = library::microblaze_like(8 << 10, 4 << 10);
+        // v1 = load t[v0]; v2 = v1 + v1   (dependent on the load)
+        let dependent = BlockData {
+            ops: vec![
+                Op {
+                    kind: OpKind::Load { array: ArrayId(0) },
+                    args: vec![VReg(0)],
+                    result: Some(VReg(1)),
+                },
+                Op {
+                    kind: OpKind::Bin(BinOp::Add),
+                    args: vec![VReg(1), VReg(1)],
+                    result: Some(VReg(2)),
+                },
+            ],
+            term: Terminator::Return(Some(VReg(2))),
+        };
+        // v1 = load t[v0]; v2 = v0 + v0   (independent of the load)
+        let independent = BlockData {
+            ops: vec![
+                Op {
+                    kind: OpKind::Load { array: ArrayId(0) },
+                    args: vec![VReg(0)],
+                    result: Some(VReg(1)),
+                },
+                Op {
+                    kind: OpKind::Bin(BinOp::Add),
+                    args: vec![VReg(0), VReg(0)],
+                    result: Some(VReg(2)),
+                },
+            ],
+            term: Terminator::Return(Some(VReg(2))),
+        };
+        let run = |b: &BlockData| {
+            schedule_block(&pum, b, &block_dfg(b), FuncId(0), BlockId(0))
+                .expect("schedules")
+                .cycles
+        };
+        // The load commits at MEM while the add demands at EX: exactly one
+        // bubble separates the dependent pair.
+        assert_eq!(run(&dependent), run(&independent) + 1);
+    }
+
+    #[test]
+    fn hw_parallelism_beats_single_issue() {
+        // Four independent multiplies: 2 MACs in HW finish in about half
+        // the cycles of a single-issue CPU.
+        let src = "int f(int a, int b, int c, int d) {
+            return (a * a) + (b * b) + (c * c) + (d * d);
+        }";
+        let cpu = schedule_body(&library::microblaze_like(8 << 10, 4 << 10), src);
+        let hw = schedule_body(&library::custom_hw("mac4", 2, 2), src);
+        assert!(
+            hw.cycles * 2 <= cpu.cycles,
+            "hw {} vs cpu {}",
+            hw.cycles,
+            cpu.cycles
+        );
+    }
+
+    #[test]
+    fn fu_contention_limits_hw_parallelism() {
+        let src = "int f(int a, int b, int c, int d) {
+            return (a * a) + (b * b) + (c * c) + (d * d);
+        }";
+        let wide = schedule_body(&library::custom_hw("wide", 4, 4), src);
+        let narrow = schedule_body(&library::custom_hw("narrow", 1, 1), src);
+        assert!(
+            narrow.cycles > wide.cycles,
+            "narrow {} vs wide {}",
+            narrow.cycles,
+            wide.cycles
+        );
+    }
+
+    #[test]
+    fn list_beats_alap_on_mixed_blocks() {
+        // A block with one long chain plus independent filler: list
+        // scheduling (critical path first) must not lose to ALAP.
+        let src = "int f(int a, int b, int c, int d, int e) {
+            int chain = ((((a * a) * a) * a) * a);
+            int filler = b + c + d + e;
+            return chain + filler;
+        }";
+        let mut list_pum = library::custom_hw("hw", 1, 1);
+        list_pum.execution.policy = SchedulingPolicy::List;
+        let mut alap_pum = list_pum.clone();
+        alap_pum.execution.policy = SchedulingPolicy::Alap;
+        let list = schedule_body(&list_pum, src);
+        let alap = schedule_body(&alap_pum, src);
+        assert!(list.cycles <= alap.cycles, "list {} alap {}", list.cycles, alap.cycles);
+    }
+
+    #[test]
+    fn superscalar_issues_two_per_cycle() {
+        let src = "int f(int a, int b, int c, int d, int e, int g, int h, int i) {
+            return (a + b) + (c + d) + (e + g) + (h + i);
+        }";
+        let single = schedule_body(&library::microblaze_like(8 << 10, 4 << 10), src);
+        let dual = schedule_body(&library::superscalar2(), src);
+        assert!(
+            dual.cycles < single.cycles,
+            "dual {} vs single {}",
+            dual.cycles,
+            single.cycles
+        );
+    }
+
+    #[test]
+    fn transparent_constants_are_free_on_hw() {
+        let src = "int f(int a) { return a + 1 + 2 + 3 + 4; }";
+        let hw = schedule_body(&library::custom_hw("hw", 2, 1), src);
+        // Constants resolve without pipeline occupancy: only the adds and
+        // the return path cost cycles.
+        let issued = hw.issue_cycle.iter().flatten().count();
+        assert!(issued < hw.issue_cycle.len(), "some ops were transparent");
+    }
+
+    #[test]
+    fn unmapped_class_is_reported() {
+        let mut pum = library::microblaze_like(0, 0);
+        pum.execution.op_map.remove(&crate::pum::OpClassKey::Mul);
+        let module = module_of("int f(int a) { return a * a; }");
+        let block = &module.functions[0].blocks[0];
+        let err = schedule_block(&pum, block, &block_dfg(block), FuncId(0), BlockId(0))
+            .expect_err("mul is unmapped");
+        assert!(matches!(err, EstimateError::UnmappedClass { .. }));
+    }
+
+    #[test]
+    fn issue_and_finish_cycles_are_consistent() {
+        let pum = library::microblaze_like(8 << 10, 4 << 10);
+        let r = schedule_body(&pum, "int f(int a, int b) { return a * b + a - b; }");
+        for (i, f) in r.issue_cycle.iter().zip(&r.finish_cycle) {
+            if let (Some(i), Some(f)) = (i, f) {
+                assert!(f > i, "ops finish after they issue");
+            }
+        }
+        assert!(r.raw_cycles >= r.cycles);
+    }
+}

@@ -1,0 +1,35 @@
+//! Events: the kernel's wake-up primitive.
+
+use std::fmt;
+
+/// Handle to a kernel event.
+///
+/// Events are allocated by [`Kernel::event`](crate::Kernel::event) and carry
+/// no payload; processes block on them with
+/// [`Resume::WaitEvent`](crate::Resume::WaitEvent) and other processes fire
+/// them through [`Ctx::notify`](crate::Ctx::notify). They are the foundation
+/// channels are built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u32);
+
+impl EventId {
+    /// The raw index of this event inside its kernel.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event#{}", self.0)
+    }
+}
+
+/// Book-keeping for one event inside the kernel.
+#[derive(Debug, Default)]
+pub(crate) struct EventState {
+    /// Processes currently blocked on this event.
+    pub(crate) waiters: Vec<crate::ProcessId>,
+    /// Number of times the event has been fired (for diagnostics).
+    pub(crate) fired: u64,
+}

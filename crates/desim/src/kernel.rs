@@ -1,0 +1,449 @@
+//! The event-driven simulation kernel.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::event::{EventId, EventState};
+use crate::process::{ProcState, Process, ProcessEntry, ProcessId, Resume};
+use crate::time::SimTime;
+use crate::trace::{TraceEntry, TraceSink};
+
+/// Why a [`Kernel::run`] call returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every process finished.
+    Completed,
+    /// No process is runnable and no timed activity is pending, but some
+    /// processes are still blocked on events that can never fire.
+    /// Carries the names of the starved processes.
+    Starved(Vec<String>),
+    /// The time limit passed to [`Kernel::run_until`] was reached while
+    /// activity was still pending.
+    TimeLimit,
+}
+
+/// Summary statistics of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Simulated time when the run stopped.
+    pub end_time: SimTime,
+    /// Total number of process resumptions.
+    pub resumes: u64,
+    /// Number of delta cycles executed.
+    pub deltas: u64,
+    /// Number of event notifications delivered.
+    pub events_fired: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Action {
+    Wake(ProcessId),
+    Fire(EventId),
+}
+
+type HeapEntry = Reverse<(SimTime, u64, Action)>;
+
+/// The discrete-event simulation kernel.
+///
+/// Owns all processes, events and the pending-activity queue. See the crate
+/// docs for an end-to-end example.
+#[derive(Debug, Default)]
+pub struct Kernel {
+    now: SimTime,
+    seq: u64,
+    procs: Vec<Option<ProcessEntry>>,
+    events: Vec<EventState>,
+    runnable: VecDeque<ProcessId>,
+    next_delta: VecDeque<ProcessId>,
+    heap: BinaryHeap<HeapEntry>,
+    resumes: u64,
+    deltas: u64,
+    events_fired: u64,
+    trace: TraceSink,
+}
+
+impl Kernel {
+    /// Creates an empty kernel at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> SimTime {
+        self.now
+    }
+
+    /// Registers a process; it becomes runnable at the current time.
+    pub fn spawn(&mut self, name: impl Into<String>, body: impl Process + 'static) -> ProcessId {
+        let id = ProcessId(u32::try_from(self.procs.len()).expect("too many processes"));
+        self.procs.push(Some(ProcessEntry {
+            name: name.into(),
+            body: Box::new(body),
+            state: ProcState::Runnable,
+            resumes: 0,
+        }));
+        self.runnable.push_back(id);
+        id
+    }
+
+    /// Registers a closure as a process. Convenience over [`Kernel::spawn`].
+    pub fn spawn_fn(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Ctx<'_>) -> Resume + 'static,
+    ) -> ProcessId {
+        self.spawn(name, f)
+    }
+
+    /// Allocates a fresh event.
+    pub fn event(&mut self) -> EventId {
+        let id = EventId(u32::try_from(self.events.len()).expect("too many events"));
+        self.events.push(EventState::default());
+        id
+    }
+
+    /// The registered name of a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this kernel.
+    pub fn process_name(&self, id: ProcessId) -> &str {
+        &self
+            .procs[id.index()]
+            .as_ref()
+            .expect("process is mid-resume")
+            .name
+    }
+
+    /// Enables trace collection; entries are recorded by [`Ctx::trace`].
+    pub fn enable_tracing(&mut self) {
+        self.trace.enabled = true;
+    }
+
+    /// The trace entries collected so far.
+    pub fn trace_entries(&self) -> &[TraceEntry] {
+        &self.trace.entries
+    }
+
+    /// Runs until no activity remains. Equivalent to
+    /// `run_until(SimTime::MAX)`.
+    pub fn run(&mut self) -> RunReport {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until no activity remains or simulated time would pass `limit`.
+    pub fn run_until(&mut self, limit: SimTime) -> RunReport {
+        let stop = loop {
+            // Execute every delta cycle at the current timestamp.
+            loop {
+                while let Some(pid) = self.runnable.pop_front() {
+                    self.resume_process(pid);
+                }
+                if self.next_delta.is_empty() {
+                    break;
+                }
+                std::mem::swap(&mut self.runnable, &mut self.next_delta);
+                self.deltas += 1;
+            }
+
+            // Advance to the next timestamp.
+            let Some(&Reverse((t, _, _))) = self.heap.peek() else {
+                break self.idle_stop_reason();
+            };
+            if t > limit {
+                break StopReason::TimeLimit;
+            }
+            self.now = t;
+            while let Some(&Reverse((t2, _, _))) = self.heap.peek() {
+                if t2 != t {
+                    break;
+                }
+                let Reverse((_, _, action)) = self.heap.pop().expect("peeked entry");
+                match action {
+                    Action::Wake(pid) => {
+                        let entry = self.procs[pid.index()]
+                            .as_mut()
+                            .expect("process is mid-resume");
+                        debug_assert_eq!(entry.state, ProcState::WaitingTime);
+                        entry.state = ProcState::Runnable;
+                        self.runnable.push_back(pid);
+                    }
+                    Action::Fire(ev) => self.fire_event(ev),
+                }
+            }
+        };
+        RunReport {
+            end_time: self.now,
+            resumes: self.resumes,
+            deltas: self.deltas,
+            events_fired: self.events_fired,
+            stop,
+        }
+    }
+
+    fn idle_stop_reason(&self) -> StopReason {
+        let starved: Vec<String> = self
+            .procs
+            .iter()
+            .flatten()
+            .filter(|p| matches!(p.state, ProcState::WaitingEvent(_)))
+            .map(|p| p.name.clone())
+            .collect();
+        if starved.is_empty() {
+            StopReason::Completed
+        } else {
+            StopReason::Starved(starved)
+        }
+    }
+
+    fn resume_process(&mut self, pid: ProcessId) {
+        let mut entry = self.procs[pid.index()]
+            .take()
+            .expect("process resumed re-entrantly");
+        entry.resumes += 1;
+        self.resumes += 1;
+        let resume = {
+            let mut ctx = Ctx { kernel: self, current: pid };
+            entry.body.resume(&mut ctx)
+        };
+        entry.state = match resume {
+            Resume::WaitTime(span) => {
+                if span.is_zero() {
+                    self.next_delta.push_back(pid);
+                    ProcState::Runnable
+                } else {
+                    let at = self.now.saturating_add(span);
+                    self.push_heap(at, Action::Wake(pid));
+                    ProcState::WaitingTime
+                }
+            }
+            Resume::WaitEvent(ev) => {
+                self.events[ev.index()].waiters.push(pid);
+                ProcState::WaitingEvent(ev)
+            }
+            Resume::Finish => ProcState::Done,
+        };
+        self.procs[pid.index()] = Some(entry);
+    }
+
+    fn push_heap(&mut self, at: SimTime, action: Action) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, action)));
+    }
+
+    fn fire_event(&mut self, ev: EventId) {
+        let state = &mut self.events[ev.index()];
+        state.fired += 1;
+        self.events_fired += 1;
+        let waiters = std::mem::take(&mut state.waiters);
+        for pid in waiters {
+            if let Some(entry) = self.procs[pid.index()].as_mut() {
+                debug_assert_eq!(entry.state, ProcState::WaitingEvent(ev));
+                entry.state = ProcState::Runnable;
+                self.next_delta.push_back(pid);
+            }
+        }
+    }
+}
+
+/// The kernel-side API available to a process while it runs.
+///
+/// Borrowed mutably for the duration of one [`Process::resume`] call;
+/// channels take it as an argument so that sends and receives can notify
+/// events.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    kernel: &'a mut Kernel,
+    current: ProcessId,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn time(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// The process this context belongs to.
+    pub fn current(&self) -> ProcessId {
+        self.current
+    }
+
+    /// Notifies an event one delta cycle from now (SystemC's
+    /// `event.notify(SC_ZERO_TIME)`): all waiters become runnable at the
+    /// current timestamp, after currently-runnable processes.
+    pub fn notify(&mut self, ev: EventId) {
+        self.kernel.fire_event(ev);
+    }
+
+    /// Notifies an event after a span of simulated time.
+    pub fn notify_after(&mut self, ev: EventId, delay: SimTime) {
+        if delay.is_zero() {
+            self.notify(ev);
+        } else {
+            let at = self.kernel.now.saturating_add(delay);
+            self.kernel.push_heap(at, Action::Fire(ev));
+        }
+    }
+
+    /// Records a trace entry if tracing is enabled.
+    pub fn trace(&mut self, label: impl Into<String>) {
+        if self.kernel.trace.enabled {
+            let entry = TraceEntry {
+                time: self.kernel.now,
+                process: Some(self.current),
+                label: label.into(),
+            };
+            self.kernel.trace.entries.push(entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_kernel_completes_at_zero() {
+        let mut k = Kernel::new();
+        let report = k.run();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.stop, StopReason::Completed);
+        assert_eq!(report.resumes, 0);
+    }
+
+    #[test]
+    fn single_process_wait_chain() {
+        let mut k = Kernel::new();
+        let mut step = 0;
+        k.spawn_fn("chain", move |_ctx| {
+            step += 1;
+            match step {
+                1 => Resume::WaitTime(SimTime::from_ns(10)),
+                2 => Resume::WaitTime(SimTime::from_ns(5)),
+                _ => Resume::Finish,
+            }
+        });
+        let report = k.run();
+        assert_eq!(report.end_time, SimTime::from_ns(15));
+        assert_eq!(report.stop, StopReason::Completed);
+        assert_eq!(report.resumes, 3);
+    }
+
+    #[test]
+    fn event_wakes_waiter() {
+        let mut k = Kernel::new();
+        let ev = k.event();
+        let mut first = true;
+        k.spawn_fn("waiter", move |_ctx| {
+            if first {
+                first = false;
+                Resume::WaitEvent(ev)
+            } else {
+                Resume::Finish
+            }
+        });
+        let mut fired = false;
+        k.spawn_fn("notifier", move |ctx| {
+            if !fired {
+                fired = true;
+                ctx.notify_after(ev, SimTime::from_ns(3));
+                Resume::WaitTime(SimTime::from_ns(3))
+            } else {
+                Resume::Finish
+            }
+        });
+        let report = k.run();
+        assert_eq!(report.end_time, SimTime::from_ns(3));
+        assert_eq!(report.stop, StopReason::Completed);
+        assert_eq!(report.events_fired, 1);
+    }
+
+    #[test]
+    fn starved_process_reported_by_name() {
+        let mut k = Kernel::new();
+        let ev = k.event();
+        k.spawn_fn("orphan", move |_ctx| Resume::WaitEvent(ev));
+        let report = k.run();
+        assert_eq!(report.stop, StopReason::Starved(vec!["orphan".to_string()]));
+    }
+
+    #[test]
+    fn time_limit_stops_run() {
+        let mut k = Kernel::new();
+        k.spawn_fn("slow", |_ctx| Resume::WaitTime(SimTime::from_us(1)));
+        let report = k.run_until(SimTime::from_ns(10));
+        assert_eq!(report.stop, StopReason::TimeLimit);
+        // Time never advanced past an executed timestamp.
+        assert!(report.end_time <= SimTime::from_ns(10));
+    }
+
+    #[test]
+    fn zero_wait_is_a_delta_cycle() {
+        let mut k = Kernel::new();
+        let mut laps = 0;
+        k.spawn_fn("spinner", move |ctx| {
+            assert_eq!(ctx.time(), SimTime::ZERO);
+            laps += 1;
+            if laps < 4 {
+                Resume::WaitTime(SimTime::ZERO)
+            } else {
+                Resume::Finish
+            }
+        });
+        let report = k.run();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert!(report.deltas >= 3);
+    }
+
+    #[test]
+    fn two_processes_interleave_deterministically() {
+        let mut k = Kernel::new();
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for name in ["a", "b"] {
+            let log = log.clone();
+            let mut ticks = 0;
+            k.spawn_fn(name, move |ctx| {
+                log.borrow_mut().push((name, ctx.time()));
+                ticks += 1;
+                if ticks < 3 {
+                    Resume::WaitTime(SimTime::from_ns(2))
+                } else {
+                    Resume::Finish
+                }
+            });
+        }
+        k.run();
+        let got = log.borrow().clone();
+        let expect: Vec<(&str, SimTime)> = vec![
+            ("a", SimTime::ZERO),
+            ("b", SimTime::ZERO),
+            ("a", SimTime::from_ns(2)),
+            ("b", SimTime::from_ns(2)),
+            ("a", SimTime::from_ns(4)),
+            ("b", SimTime::from_ns(4)),
+        ];
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn tracing_records_entries() {
+        let mut k = Kernel::new();
+        k.enable_tracing();
+        k.spawn_fn("p", |ctx| {
+            ctx.trace("hello");
+            Resume::Finish
+        });
+        k.run();
+        assert_eq!(k.trace_entries().len(), 1);
+        assert_eq!(k.trace_entries()[0].label, "hello");
+    }
+
+    #[test]
+    fn process_name_lookup() {
+        let mut k = Kernel::new();
+        let id = k.spawn_fn("lookup-me", |_ctx| Resume::Finish);
+        assert_eq!(k.process_name(id), "lookup-me");
+    }
+}

@@ -1,0 +1,229 @@
+//! Counting semaphores (and mutexes as their binary case), built on kernel
+//! events with the same non-blocking try/wait/retry discipline as
+//! [`Fifo`](crate::Fifo).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::kernel::{Ctx, Kernel};
+use crate::EventId;
+
+/// A counting semaphore.
+///
+/// `try_acquire` never blocks; a process that fails waits on
+/// [`Semaphore::released_event`] and retries when resumed — exactly the
+/// pattern resumable interpreter processes need.
+///
+/// # Example
+///
+/// ```
+/// use tlm_desim::{Kernel, Resume, Semaphore, SimTime};
+///
+/// let mut kernel = Kernel::new();
+/// let sem = Semaphore::new(&mut kernel, 1);
+/// for name in ["a", "b"] {
+///     let sem = sem.clone();
+///     let mut holding = false;
+///     kernel.spawn_fn(name, move |ctx| {
+///         if !holding {
+///             if !sem.try_acquire(ctx) {
+///                 return Resume::WaitEvent(sem.released_event());
+///             }
+///             holding = true;
+///             return Resume::WaitTime(SimTime::from_ns(5)); // critical section
+///         }
+///         sem.release(ctx);
+///         Resume::Finish
+///     });
+/// }
+/// let report = kernel.run();
+/// assert_eq!(report.end_time, SimTime::from_ns(10), "sections serialized");
+/// ```
+pub struct Semaphore {
+    inner: Rc<RefCell<SemInner>>,
+}
+
+struct SemInner {
+    permits: u32,
+    peak: u32,
+    released: EventId,
+    acquires: u64,
+    contentions: u64,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initial permits.
+    pub fn new(kernel: &mut Kernel, permits: u32) -> Semaphore {
+        let released = kernel.event();
+        Semaphore {
+            inner: Rc::new(RefCell::new(SemInner {
+                permits,
+                peak: permits,
+                released,
+                acquires: 0,
+                contentions: 0,
+            })),
+        }
+    }
+
+    /// A binary semaphore (mutex).
+    pub fn mutex(kernel: &mut Kernel) -> Semaphore {
+        Semaphore::new(kernel, 1)
+    }
+
+    /// Attempts to take a permit; `false` means wait on
+    /// [`Semaphore::released_event`] and retry.
+    pub fn try_acquire(&self, _ctx: &mut Ctx<'_>) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        if inner.permits == 0 {
+            inner.contentions += 1;
+            return false;
+        }
+        inner.permits -= 1;
+        inner.acquires += 1;
+        true
+    }
+
+    /// Returns a permit and wakes waiters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if released more often than acquired (permit overflow past
+    /// the historical peak), which indicates a protocol bug.
+    pub fn release(&self, ctx: &mut Ctx<'_>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.permits += 1;
+        assert!(
+            inner.permits <= inner.peak,
+            "semaphore released more often than acquired"
+        );
+        let released = inner.released;
+        drop(inner);
+        ctx.notify(released);
+    }
+
+    /// Event notified on every release.
+    pub fn released_event(&self) -> EventId {
+        self.inner.borrow().released
+    }
+
+    /// Permits currently available.
+    pub fn available(&self) -> u32 {
+        self.inner.borrow().permits
+    }
+
+    /// Successful acquisitions so far.
+    pub fn acquires(&self) -> u64 {
+        self.inner.borrow().acquires
+    }
+
+    /// Failed `try_acquire` calls so far (a contention measure).
+    pub fn contentions(&self) -> u64 {
+        self.inner.borrow().contentions
+    }
+}
+
+impl Clone for Semaphore {
+    fn clone(&self) -> Self {
+        Semaphore { inner: self.inner.clone() }
+    }
+}
+
+impl fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Semaphore")
+            .field("available", &self.inner.borrow().permits)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Resume, SimTime, StopReason};
+
+    #[test]
+    fn critical_sections_serialize() {
+        let mut k = Kernel::new();
+        let sem = Semaphore::mutex(&mut k);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for id in 0..3 {
+            let sem = sem.clone();
+            let log = log.clone();
+            let mut phase = 0;
+            k.spawn_fn(format!("p{id}"), move |ctx| match phase {
+                0 => {
+                    if !sem.try_acquire(ctx) {
+                        return Resume::WaitEvent(sem.released_event());
+                    }
+                    log.borrow_mut().push((id, "enter", ctx.time()));
+                    phase = 1;
+                    Resume::WaitTime(SimTime::from_ns(10))
+                }
+                _ => {
+                    log.borrow_mut().push((id, "exit", ctx.time()));
+                    sem.release(ctx);
+                    Resume::Finish
+                }
+            });
+        }
+        let report = k.run();
+        assert_eq!(report.stop, StopReason::Completed);
+        // Sections never overlap: enters happen at 0, 10, 20.
+        let log = log.borrow();
+        let enters: Vec<SimTime> =
+            log.iter().filter(|(_, what, _)| *what == "enter").map(|&(_, _, t)| t).collect();
+        assert_eq!(
+            enters,
+            vec![SimTime::ZERO, SimTime::from_ns(10), SimTime::from_ns(20)]
+        );
+        assert_eq!(sem.acquires(), 3);
+        assert!(sem.contentions() >= 2);
+    }
+
+    #[test]
+    fn counting_semaphore_admits_n_at_once() {
+        let mut k = Kernel::new();
+        let sem = Semaphore::new(&mut k, 2);
+        let concurrent = Rc::new(RefCell::new((0u32, 0u32))); // (now, max)
+        for id in 0..4 {
+            let sem = sem.clone();
+            let state = concurrent.clone();
+            let mut phase = 0;
+            k.spawn_fn(format!("w{id}"), move |ctx| match phase {
+                0 => {
+                    if !sem.try_acquire(ctx) {
+                        return Resume::WaitEvent(sem.released_event());
+                    }
+                    let mut s = state.borrow_mut();
+                    s.0 += 1;
+                    s.1 = s.1.max(s.0);
+                    phase = 1;
+                    Resume::WaitTime(SimTime::from_ns(7))
+                }
+                _ => {
+                    state.borrow_mut().0 -= 1;
+                    sem.release(ctx);
+                    Resume::Finish
+                }
+            });
+        }
+        k.run();
+        assert_eq!(concurrent.borrow().1, 2, "exactly two inside at peak");
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "released more often")]
+    fn double_release_is_detected() {
+        let mut k = Kernel::new();
+        let sem = Semaphore::mutex(&mut k);
+        let s = sem.clone();
+        k.spawn_fn("bad", move |ctx| {
+            s.release(ctx);
+            Resume::Finish
+        });
+        k.run();
+    }
+}

@@ -1,0 +1,236 @@
+//! Simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, stored as an integral number of
+/// picoseconds.
+///
+/// Picosecond resolution lets clock periods down to the gigahertz range be
+/// represented exactly while still giving a `u64` range of ~213 days of
+/// simulated time, far beyond any experiment in this repository.
+///
+/// # Example
+///
+/// ```
+/// use tlm_desim::SimTime;
+///
+/// let period = SimTime::from_ns(10); // 100 MHz clock
+/// assert_eq!(period.ps(), 10_000);
+/// assert_eq!(SimTime::from_cycles(3, period), SimTime::from_ns(30));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero time, the instant simulations begin at.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the picosecond representation.
+    pub const fn from_ns(ns: u64) -> Self {
+        match ns.checked_mul(1_000) {
+            Some(ps) => SimTime(ps),
+            None => panic!("SimTime::from_ns overflow"),
+        }
+    }
+
+    /// Creates a time from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the picosecond representation.
+    pub const fn from_us(us: u64) -> Self {
+        match us.checked_mul(1_000_000) {
+            Some(ps) => SimTime(ps),
+            None => panic!("SimTime::from_us overflow"),
+        }
+    }
+
+    /// Creates a time spanning `cycles` periods of a clock with the given
+    /// `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub fn from_cycles(cycles: u64, period: SimTime) -> Self {
+        SimTime(
+            cycles
+                .checked_mul(period.0)
+                .expect("SimTime::from_cycles overflow"),
+        )
+    }
+
+    /// The raw picosecond count.
+    pub const fn ps(self) -> u64 {
+        self.0
+    }
+
+    /// The time expressed in (truncated) nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// How many full periods of `period` fit into this span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn cycles(self, period: SimTime) -> u64 {
+        assert!(period.0 != 0, "clock period must be non-zero");
+        self.0 / period.0
+    }
+
+    /// Checked addition, returning `None` on overflow.
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Whether this is the zero time.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps.is_multiple_of(1_000_000_000_000) {
+            write!(f, "{}s", ps / 1_000_000_000_000)
+        } else if ps.is_multiple_of(1_000_000_000) {
+            write!(f, "{}ms", ps / 1_000_000_000)
+        } else if ps.is_multiple_of(1_000_000) {
+            write!(f, "{}us", ps / 1_000_000)
+        } else if ps.is_multiple_of(1_000) {
+            write!(f, "{}ns", ps / 1_000)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::from_ns(1).ps(), 1_000);
+        assert_eq!(SimTime::from_us(2).ps(), 2_000_000);
+        assert_eq!(SimTime::from_ps(7).ps(), 7);
+        assert_eq!(SimTime::from_ns(3).as_ns(), 3);
+        assert!(SimTime::ZERO.is_zero());
+        assert!(!SimTime::from_ps(1).is_zero());
+    }
+
+    #[test]
+    fn cycle_conversions_round_trip() {
+        let period = SimTime::from_ns(10);
+        let span = SimTime::from_cycles(123, period);
+        assert_eq!(span.cycles(period), 123);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(5);
+        let b = SimTime::from_ns(3);
+        assert_eq!(a + b, SimTime::from_ns(8));
+        assert_eq!(a - b, SimTime::from_ns(2));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_ns(8));
+        c -= b;
+        assert_eq!(c, a);
+        assert_eq!(
+            vec![a, b, b].into_iter().sum::<SimTime>(),
+            SimTime::from_ns(11)
+        );
+    }
+
+    #[test]
+    fn checked_and_saturating() {
+        assert_eq!(SimTime::MAX.checked_add(SimTime::from_ps(1)), None);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimTime::from_ps(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimTime::from_ps(1).checked_add(SimTime::from_ps(2)),
+            Some(SimTime::from_ps(3))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::ZERO - SimTime::from_ps(1);
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(SimTime::ZERO.to_string(), "0s");
+        assert_eq!(SimTime::from_ps(5).to_string(), "5ps");
+        assert_eq!(SimTime::from_ns(5).to_string(), "5ns");
+        assert_eq!(SimTime::from_us(5).to_string(), "5us");
+        assert_eq!(SimTime::from_ps(1_000_000_000).to_string(), "1ms");
+        assert_eq!(SimTime::from_ps(2_000_000_000_000).to_string(), "2s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ns(1) < SimTime::from_ns(2));
+        assert!(SimTime::MAX > SimTime::from_us(1));
+    }
+}

@@ -1,0 +1,24 @@
+//! Optional run tracing for debugging simulations.
+
+use crate::process::ProcessId;
+use crate::time::SimTime;
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulated time of the entry.
+    pub time: SimTime,
+    /// Process that recorded the entry, if any.
+    pub process: Option<ProcessId>,
+    /// Free-form label.
+    pub label: String,
+}
+
+/// Collects [`TraceEntry`] values when enabled.
+///
+/// Disabled by default so that hot simulation loops pay only a branch.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    pub(crate) enabled: bool,
+    pub(crate) entries: Vec<TraceEntry>,
+}

@@ -1,0 +1,325 @@
+//! A two-way textual assembler: parses the exact syntax
+//! [`Inst::mnemonic`] produces, so `disassemble ∘ assemble` and
+//! `assemble ∘ disassemble` are both identities. Useful for golden tests,
+//! hand-written test fixtures and inspecting compiled images.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{AluOp, BrCond, Inst, Reg};
+
+/// An assembly syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn alu_by_name(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sle" => AluOp::Sle,
+        "seq" => AluOp::Seq,
+        "sne" => AluOp::Sne,
+        _ => return None,
+    })
+}
+
+struct Line<'a> {
+    number: usize,
+    text: &'a str,
+}
+
+impl Line<'_> {
+    fn err(&self, message: impl Into<String>) -> AsmError {
+        AsmError { line: self.number, message: message.into() }
+    }
+
+    fn reg(&self, token: &str) -> Result<Reg, AsmError> {
+        let token = token.trim();
+        let digits = token
+            .strip_prefix('r')
+            .ok_or_else(|| self.err(format!("expected register, got `{token}`")))?;
+        let n: u8 = digits
+            .parse()
+            .map_err(|_| self.err(format!("bad register `{token}`")))?;
+        if n >= 32 {
+            return Err(self.err(format!("register `{token}` out of range")));
+        }
+        Ok(Reg(n))
+    }
+
+    fn int(&self, token: &str) -> Result<i64, AsmError> {
+        token
+            .trim()
+            .parse()
+            .map_err(|_| self.err(format!("bad integer `{}`", token.trim())))
+    }
+
+    fn target(&self, token: &str) -> Result<usize, AsmError> {
+        let token = token.trim();
+        let digits = token
+            .strip_prefix('@')
+            .ok_or_else(|| self.err(format!("expected `@target`, got `{token}`")))?;
+        digits.parse().map_err(|_| self.err(format!("bad target `{token}`")))
+    }
+
+    fn chan(&self, token: &str) -> Result<u32, AsmError> {
+        let token = token.trim();
+        let digits = token
+            .strip_prefix("ch")
+            .ok_or_else(|| self.err(format!("expected channel, got `{token}`")))?;
+        digits.parse().map_err(|_| self.err(format!("bad channel `{token}`")))
+    }
+
+    /// Parses `offset(base)`.
+    fn mem_operand(&self, token: &str) -> Result<(i32, Reg), AsmError> {
+        let token = token.trim();
+        let open = token
+            .find('(')
+            .ok_or_else(|| self.err(format!("expected `off(base)`, got `{token}`")))?;
+        let close = token
+            .strip_suffix(')')
+            .ok_or_else(|| self.err(format!("expected `off(base)`, got `{token}`")))?;
+        let offset = self.int(&token[..open])? as i32;
+        let base = self.reg(&close[open + 1..])?;
+        Ok((offset, base))
+    }
+
+    /// Parses `base[index]`.
+    fn indexed_operand(&self, token: &str) -> Result<(Reg, Reg), AsmError> {
+        let token = token.trim();
+        let open = token
+            .find('[')
+            .ok_or_else(|| self.err(format!("expected `base[index]`, got `{token}`")))?;
+        let inner = token
+            .strip_suffix(']')
+            .ok_or_else(|| self.err(format!("expected `base[index]`, got `{token}`")))?;
+        Ok((self.reg(&token[..open])?, self.reg(&inner[open + 1..])?))
+    }
+}
+
+/// Assembles the [`Inst::mnemonic`] syntax. Lines may carry an optional
+/// leading `N:` address label (ignored), blank lines and `;` comments.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] with its line number.
+pub fn assemble(text: &str) -> Result<Vec<Inst>, AsmError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = Line { number: i + 1, text: raw };
+        let mut body = raw;
+        if let Some(semi) = body.find(';') {
+            body = &body[..semi];
+        }
+        // Strip a leading `   12:` address label.
+        if let Some(colon) = body.find(':') {
+            if body[..colon].trim().chars().all(|c| c.is_ascii_digit())
+                && !body[..colon].trim().is_empty()
+            {
+                body = &body[colon + 1..];
+            }
+        }
+        let body = body.trim();
+        if body.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = body.split_once(' ').unwrap_or((body, ""));
+        let ops: Vec<&str> = if rest.trim().is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let argc = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(line.err(format!(
+                    "`{mnemonic}` takes {n} operand(s), got {}",
+                    ops.len()
+                )))
+            }
+        };
+        let _ = line.text;
+        let inst = match mnemonic {
+            m if alu_by_name(m).is_some() => {
+                argc(3)?;
+                Inst::Alu {
+                    op: alu_by_name(m).expect("checked"),
+                    rd: line.reg(ops[0])?,
+                    rs1: line.reg(ops[1])?,
+                    rs2: line.reg(ops[2])?,
+                }
+            }
+            m if m.ends_with('i') && alu_by_name(&m[..m.len() - 1]).is_some() => {
+                argc(3)?;
+                Inst::AluI {
+                    op: alu_by_name(&m[..m.len() - 1]).expect("checked"),
+                    rd: line.reg(ops[0])?,
+                    rs1: line.reg(ops[1])?,
+                    imm: line.int(ops[2])? as i32,
+                }
+            }
+            "lw" => {
+                argc(2)?;
+                let (offset, base) = line.mem_operand(ops[1])?;
+                Inst::Lw { rd: line.reg(ops[0])?, base, offset }
+            }
+            "sw" => {
+                argc(2)?;
+                let (offset, base) = line.mem_operand(ops[1])?;
+                Inst::Sw { rs: line.reg(ops[0])?, base, offset }
+            }
+            "lwx" => {
+                argc(2)?;
+                let (base, index) = line.indexed_operand(ops[1])?;
+                Inst::Lwx { rd: line.reg(ops[0])?, base, index }
+            }
+            "swx" => {
+                argc(2)?;
+                let (base, index) = line.indexed_operand(ops[1])?;
+                Inst::Swx { rs: line.reg(ops[0])?, base, index }
+            }
+            "beq" | "bne" => {
+                argc(3)?;
+                Inst::Branch {
+                    cond: if mnemonic == "beq" { BrCond::Eq } else { BrCond::Ne },
+                    rs1: line.reg(ops[0])?,
+                    rs2: line.reg(ops[1])?,
+                    target: line.target(ops[2])?,
+                }
+            }
+            "j" => {
+                argc(1)?;
+                Inst::Jump { target: line.target(ops[0])? }
+            }
+            "jal" => {
+                argc(1)?;
+                Inst::Jal { target: line.target(ops[0])? }
+            }
+            "jr" => {
+                argc(1)?;
+                Inst::Jr { rs: line.reg(ops[0])? }
+            }
+            "crecv" => {
+                argc(2)?;
+                Inst::CRecv { rd: line.reg(ops[0])?, chan: line.chan(ops[1])? }
+            }
+            "csend" => {
+                argc(2)?;
+                Inst::CSend { rs: line.reg(ops[0])?, chan: line.chan(ops[1])? }
+            }
+            "out" => {
+                argc(1)?;
+                Inst::Out { rs: line.reg(ops[0])? }
+            }
+            "halt" => {
+                argc(0)?;
+                Inst::Halt
+            }
+            other => return Err(line.err(format!("unknown mnemonic `{other}`"))),
+        };
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::build_program;
+    use crate::cpu::{Cpu, CpuExec};
+    use std::sync::Arc;
+
+    #[test]
+    fn disassembly_round_trips_through_the_assembler() {
+        let src = "int t[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+            void main() {
+                int best = -1;
+                for (int i = 0; i < 8; i++) {
+                    if (t[i] > best) { best = t[i]; }
+                }
+                out(best);
+                ch_send(2, best);
+            }";
+        let module =
+            tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers");
+        let main = module.function_id("main").expect("main");
+        let program = build_program(&module, main, &[]).expect("compiles");
+        let text = program.disassemble();
+        let parsed = assemble(&text).expect("assembles");
+        assert_eq!(parsed, program.insts);
+    }
+
+    #[test]
+    fn hand_written_program_runs() {
+        // out(6 * 7); halt — written by hand.
+        let text = "
+            ; compute the answer
+            addi r4, r0, 6
+            addi r5, r0, 7
+            mul  r2, r4, r5
+            out  r2
+            halt
+        ";
+        let insts = assemble(text).expect("assembles");
+        let module = tlm_cdfg::ir::Module::default();
+        let program = crate::codegen::Program {
+            insts,
+            meta: vec![(tlm_cdfg::FuncId(0), tlm_cdfg::BlockId(0)); 5],
+            globals_image: vec![],
+            layout: tlm_cdfg::ir::MemoryLayout::of(&module),
+            entry_pc: 0,
+            func_entry: vec![],
+        };
+        let mut cpu = Cpu::new(Arc::new(program));
+        assert_eq!(cpu.run(u64::MAX), CpuExec::Done);
+        assert_eq!(cpu.outputs(), [42]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("add r1, r2, r3\nfrobnicate r1\n").expect_err("bad mnemonic");
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("frobnicate"));
+
+        let err = assemble("add r1, r2\n").expect_err("arity");
+        assert!(err.message.contains("3 operand"));
+
+        let err = assemble("add r1, r2, r99\n").expect_err("register range");
+        assert!(err.message.contains("out of range"));
+
+        let err = assemble("lw r1, nonsense\n").expect_err("operand form");
+        assert!(err.message.contains("off(base)"));
+    }
+
+    #[test]
+    fn labels_and_comments_are_tolerated() {
+        let insts = assemble(
+            "   0: addi r1, r0, 5   ; five\n\n   1: halt\n",
+        )
+        .expect("assembles");
+        assert_eq!(insts.len(), 2);
+    }
+}

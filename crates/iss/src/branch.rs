@@ -1,0 +1,153 @@
+//! Branch predictors for the cycle-accurate board model.
+
+/// Prediction schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// Always predict not-taken.
+    StaticNotTaken,
+    /// Backward taken, forward not taken.
+    StaticBtfn,
+    /// Bimodal table of 2-bit saturating counters, indexed by pc.
+    Bimodal {
+        /// Table size (power of two).
+        entries: u32,
+    },
+}
+
+/// Prediction counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredictorStats {
+    /// Conditional branches predicted.
+    pub branches: u64,
+    /// Mispredictions among them.
+    pub mispredicts: u64,
+}
+
+impl PredictorStats {
+    /// Misprediction ratio; 0.0 when no branches were seen.
+    pub fn miss_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// A branch predictor.
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    kind: PredictorKind,
+    /// 2-bit saturating counters for the bimodal scheme.
+    table: Vec<u8>,
+    stats: PredictorStats,
+}
+
+impl Predictor {
+    /// Builds a predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bimodal table size is not a power of two.
+    pub fn new(kind: PredictorKind) -> Predictor {
+        let table = match kind {
+            PredictorKind::Bimodal { entries } => {
+                assert!(entries.is_power_of_two(), "bimodal table must be a power of two");
+                vec![1u8; entries as usize] // weakly not-taken
+            }
+            _ => Vec::new(),
+        };
+        Predictor { kind, table, stats: PredictorStats::default() }
+    }
+
+    /// The scheme in use.
+    pub fn kind(&self) -> PredictorKind {
+        self.kind
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &PredictorStats {
+        &self.stats
+    }
+
+    /// Predicts, then updates with the actual outcome. Returns `true` when
+    /// the prediction was correct.
+    pub fn predict_and_update(&mut self, pc: usize, target: usize, taken: bool) -> bool {
+        let prediction = match self.kind {
+            PredictorKind::StaticNotTaken => false,
+            PredictorKind::StaticBtfn => target <= pc,
+            PredictorKind::Bimodal { entries } => {
+                let idx = pc & (entries as usize - 1);
+                self.table[idx] >= 2
+            }
+        };
+        if let PredictorKind::Bimodal { entries } = self.kind {
+            let idx = pc & (entries as usize - 1);
+            let counter = &mut self.table[idx];
+            if taken {
+                *counter = (*counter + 1).min(3);
+            } else {
+                *counter = counter.saturating_sub(1);
+            }
+        }
+        self.stats.branches += 1;
+        let correct = prediction == taken;
+        if !correct {
+            self.stats.mispredicts += 1;
+        }
+        correct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_not_taken() {
+        let mut p = Predictor::new(PredictorKind::StaticNotTaken);
+        assert!(p.predict_and_update(10, 20, false));
+        assert!(!p.predict_and_update(10, 20, true));
+        assert_eq!(p.stats().branches, 2);
+        assert_eq!(p.stats().mispredicts, 1);
+        assert!((p.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn btfn_predicts_loop_back_edges() {
+        let mut p = Predictor::new(PredictorKind::StaticBtfn);
+        // Backward branch (loop): predicted taken.
+        assert!(p.predict_and_update(100, 50, true));
+        // Forward branch: predicted not taken.
+        assert!(p.predict_and_update(100, 200, false));
+    }
+
+    #[test]
+    fn bimodal_learns_a_biased_branch() {
+        let mut p = Predictor::new(PredictorKind::Bimodal { entries: 64 });
+        // Warm up: always taken. After a couple of updates it predicts
+        // taken and stays correct.
+        let mut correct = 0;
+        for _ in 0..100 {
+            if p.predict_and_update(42, 10, true) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 98, "learned after warm-up, got {correct}");
+    }
+
+    #[test]
+    fn bimodal_on_alternating_branch_is_poor() {
+        let mut p = Predictor::new(PredictorKind::Bimodal { entries: 64 });
+        for i in 0..100 {
+            p.predict_and_update(42, 10, i % 2 == 0);
+        }
+        assert!(p.stats().miss_rate() > 0.4, "alternation defeats 2-bit counters");
+    }
+
+    #[test]
+    fn empty_stats_rate() {
+        let p = Predictor::new(PredictorKind::StaticNotTaken);
+        assert_eq!(p.stats().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! A set-associative cache simulator with LRU replacement.
+//!
+//! Used by the cycle-accurate board model for *actual* hit/miss behaviour —
+//! the ground truth the estimator's statistical memory model is measured
+//! against — and by characterization to produce the per-size hit-rate
+//! tables of the PUM.
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (0 = no cache; every access misses).
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Associativity (1 = direct mapped).
+    pub assoc: u32,
+}
+
+impl CacheConfig {
+    /// A direct-mapped cache with 16-byte lines, the MicroBlaze-ish default.
+    pub fn direct_mapped(size_bytes: u32) -> CacheConfig {
+        CacheConfig { size_bytes, line_bytes: 16, assoc: 1 }
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> u32 {
+        if self.size_bytes == 0 {
+            0
+        } else {
+            (self.size_bytes / self.line_bytes / self.assoc).max(1)
+        }
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses among them.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of accesses that hit; 1.0 with no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            1.0 - self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u32,
+    valid: bool,
+    stamp: u64,
+}
+
+/// The cache simulator (write-allocate; replacement is true LRU).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>, // sets × assoc
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two line size,
+    /// zero associativity with a non-zero size).
+    pub fn new(config: CacheConfig) -> Cache {
+        if config.size_bytes > 0 {
+            assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+            assert!(config.assoc >= 1, "associativity must be at least 1");
+        }
+        let n_lines = (config.n_sets() * config.assoc.max(1)) as usize;
+        Cache {
+            config,
+            lines: vec![Line { tag: 0, valid: false, stamp: 0 }; n_lines],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Performs one access; returns `true` on a hit. Misses allocate.
+    pub fn access(&mut self, addr: u32) -> bool {
+        self.stats.accesses += 1;
+        if self.config.size_bytes == 0 {
+            self.stats.misses += 1;
+            return false;
+        }
+        self.clock += 1;
+        let n_sets = self.config.n_sets();
+        let line_addr = addr / self.config.line_bytes;
+        let set = (line_addr % n_sets) as usize;
+        let tag = line_addr / n_sets;
+        let assoc = self.config.assoc as usize;
+        let ways = &mut self.lines[set * assoc..(set + 1) * assoc];
+
+        for way in ways.iter_mut() {
+            if way.valid && way.tag == tag {
+                way.stamp = self.clock;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.stamp } else { 0 })
+            .expect("associativity >= 1");
+        *victim = Line { tag, valid: true, stamp: self.clock };
+        false
+    }
+
+    /// Invalidates all lines and resets the LRU clock (counters are kept).
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(CacheConfig::direct_mapped(1024));
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x104), "same line");
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn zero_size_always_misses() {
+        let mut c = Cache::new(CacheConfig::direct_mapped(0));
+        for i in 0..10 {
+            assert!(!c.access(i * 4));
+        }
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let cfg = CacheConfig::direct_mapped(256); // 16 sets × 16B
+        let mut c = Cache::new(cfg);
+        assert!(!c.access(0));
+        assert!(!c.access(256), "same set, different tag evicts");
+        assert!(!c.access(0), "original line was evicted");
+    }
+
+    #[test]
+    fn two_way_avoids_simple_conflict() {
+        let cfg = CacheConfig { size_bytes: 256, line_bytes: 16, assoc: 2 };
+        let mut c = Cache::new(cfg);
+        assert!(!c.access(0));
+        assert!(!c.access(256));
+        assert!(c.access(0), "both lines fit in a 2-way set");
+        assert!(c.access(256));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let cfg = CacheConfig { size_bytes: 32, line_bytes: 16, assoc: 2 }; // 1 set
+        let mut c = Cache::new(cfg);
+        c.access(0); // A
+        c.access(16); // B
+        c.access(0); // touch A
+        c.access(32); // C evicts B (LRU)
+        assert!(c.access(0), "A survived");
+        assert!(!c.access(16), "B was evicted");
+    }
+
+    #[test]
+    fn bigger_cache_hits_more_on_a_sweep() {
+        let working_set = 4096u32;
+        let rate = |size: u32| {
+            let mut c = Cache::new(CacheConfig::direct_mapped(size));
+            for _pass in 0..8 {
+                for addr in (0..working_set).step_by(4) {
+                    c.access(addr);
+                }
+            }
+            c.stats().hit_rate()
+        };
+        let small = rate(1024);
+        let large = rate(8192);
+        assert!(large > small, "large {large} vs small {small}");
+        assert!(large > 0.95, "working set fits: {large}");
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = Cache::new(CacheConfig::direct_mapped(1024));
+        c.access(0x40);
+        c.flush();
+        assert!(!c.access(0x40));
+    }
+}

@@ -1,0 +1,303 @@
+//! Binary encoding of the ISA.
+//!
+//! The simulators execute the structured [`Inst`] form directly (no decode
+//! cost), but a real toolchain stores images as words; this module defines
+//! that format and proves it lossless. The encoding is deliberately
+//! regular:
+//!
+//! ```text
+//! word 0:  [31:26] opcode   [25:21] ra   [20:16] rb   [15:11] rc
+//!          [10:5]  funct    [4:0]   reserved (zero)
+//! word 1:  present iff the opcode carries an immediate (offsets, branch
+//!          targets, channel ids): the raw 32-bit value.
+//! ```
+//!
+//! Immediate-carrying instructions are always two words — the layout a
+//! simple fetch unit can decode with a table lookup, at the cost of code
+//! density (documented; density is not modelled by the timing layers, which
+//! count instructions, not words).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{AluOp, BrCond, Inst, Reg};
+
+/// A malformed binary image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Word index of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at word {}: {}", self.at, self.message)
+    }
+}
+
+impl Error for DecodeError {}
+
+const OP_ALU: u32 = 0;
+const OP_ALUI: u32 = 1;
+const OP_LW: u32 = 2;
+const OP_SW: u32 = 3;
+const OP_LWX: u32 = 4;
+const OP_SWX: u32 = 5;
+const OP_BEQ: u32 = 6;
+const OP_BNE: u32 = 7;
+const OP_JUMP: u32 = 8;
+const OP_JAL: u32 = 9;
+const OP_JR: u32 = 10;
+const OP_CRECV: u32 = 11;
+const OP_CSEND: u32 = 12;
+const OP_OUT: u32 = 13;
+const OP_HALT: u32 = 14;
+
+/// Whether an opcode is followed by an immediate word.
+fn has_imm(opcode: u32) -> bool {
+    matches!(
+        opcode,
+        OP_ALUI | OP_LW | OP_SW | OP_BEQ | OP_BNE | OP_JUMP | OP_JAL | OP_CRECV | OP_CSEND
+    )
+}
+
+fn funct_of(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::Mul => 2,
+        AluOp::Div => 3,
+        AluOp::Rem => 4,
+        AluOp::And => 5,
+        AluOp::Or => 6,
+        AluOp::Xor => 7,
+        AluOp::Sll => 8,
+        AluOp::Sra => 9,
+        AluOp::Slt => 10,
+        AluOp::Sle => 11,
+        AluOp::Seq => 12,
+        AluOp::Sne => 13,
+    }
+}
+
+fn alu_of(funct: u32) -> Option<AluOp> {
+    Some(match funct {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Mul,
+        3 => AluOp::Div,
+        4 => AluOp::Rem,
+        5 => AluOp::And,
+        6 => AluOp::Or,
+        7 => AluOp::Xor,
+        8 => AluOp::Sll,
+        9 => AluOp::Sra,
+        10 => AluOp::Slt,
+        11 => AluOp::Sle,
+        12 => AluOp::Seq,
+        13 => AluOp::Sne,
+        _ => return None,
+    })
+}
+
+fn word0(opcode: u32, ra: u8, rb: u8, rc: u8, funct: u32) -> u32 {
+    opcode << 26
+        | u32::from(ra & 31) << 21
+        | u32::from(rb & 31) << 16
+        | u32::from(rc & 31) << 11
+        | (funct & 63) << 5
+}
+
+/// Encodes an instruction stream to words.
+pub fn encode(insts: &[Inst]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(insts.len() * 2);
+    for inst in insts {
+        let (w0, imm): (u32, Option<u32>) = match *inst {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                (word0(OP_ALU, rd.0, rs1.0, rs2.0, funct_of(op)), None)
+            }
+            Inst::AluI { op, rd, rs1, imm } => {
+                (word0(OP_ALUI, rd.0, rs1.0, 0, funct_of(op)), Some(imm as u32))
+            }
+            Inst::Lw { rd, base, offset } => {
+                (word0(OP_LW, rd.0, base.0, 0, 0), Some(offset as u32))
+            }
+            Inst::Sw { rs, base, offset } => {
+                (word0(OP_SW, rs.0, base.0, 0, 0), Some(offset as u32))
+            }
+            Inst::Lwx { rd, base, index } => {
+                (word0(OP_LWX, rd.0, base.0, index.0, 0), None)
+            }
+            Inst::Swx { rs, base, index } => {
+                (word0(OP_SWX, rs.0, base.0, index.0, 0), None)
+            }
+            Inst::Branch { cond, rs1, rs2, target } => {
+                let opcode = match cond {
+                    BrCond::Eq => OP_BEQ,
+                    BrCond::Ne => OP_BNE,
+                };
+                (word0(opcode, rs1.0, rs2.0, 0, 0), Some(target as u32))
+            }
+            Inst::Jump { target } => (word0(OP_JUMP, 0, 0, 0, 0), Some(target as u32)),
+            Inst::Jal { target } => (word0(OP_JAL, 0, 0, 0, 0), Some(target as u32)),
+            Inst::Jr { rs } => (word0(OP_JR, rs.0, 0, 0, 0), None),
+            Inst::CRecv { rd, chan } => (word0(OP_CRECV, rd.0, 0, 0, 0), Some(chan)),
+            Inst::CSend { rs, chan } => (word0(OP_CSEND, rs.0, 0, 0, 0), Some(chan)),
+            Inst::Out { rs } => (word0(OP_OUT, rs.0, 0, 0, 0), None),
+            Inst::Halt => (word0(OP_HALT, 0, 0, 0, 0), None),
+        };
+        out.push(w0);
+        if let Some(imm) = imm {
+            out.push(imm);
+        }
+    }
+    out
+}
+
+/// Decodes a binary image back to instructions.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on unknown opcodes, bad ALU functs or truncated
+/// immediate words.
+pub fn decode(words: &[u32]) -> Result<Vec<Inst>, DecodeError> {
+    let mut out = Vec::with_capacity(words.len());
+    let mut pos = 0usize;
+    while pos < words.len() {
+        let at = pos;
+        let word = words[pos];
+        pos += 1;
+        let opcode = word >> 26;
+        let ra = Reg(((word >> 21) & 31) as u8);
+        let rb = Reg(((word >> 16) & 31) as u8);
+        let rc = Reg(((word >> 11) & 31) as u8);
+        let funct = (word >> 5) & 63;
+        let imm = if has_imm(opcode) {
+            let Some(&v) = words.get(pos) else {
+                return Err(DecodeError { at, message: "truncated immediate".into() });
+            };
+            pos += 1;
+            Some(v)
+        } else {
+            None
+        };
+        let bad_funct = || DecodeError { at, message: format!("bad ALU funct {funct}") };
+        let inst = match opcode {
+            OP_ALU => Inst::Alu {
+                op: alu_of(funct).ok_or_else(bad_funct)?,
+                rd: ra,
+                rs1: rb,
+                rs2: rc,
+            },
+            OP_ALUI => Inst::AluI {
+                op: alu_of(funct).ok_or_else(bad_funct)?,
+                rd: ra,
+                rs1: rb,
+                imm: imm.expect("has_imm") as i32,
+            },
+            OP_LW => Inst::Lw { rd: ra, base: rb, offset: imm.expect("has_imm") as i32 },
+            OP_SW => Inst::Sw { rs: ra, base: rb, offset: imm.expect("has_imm") as i32 },
+            OP_LWX => Inst::Lwx { rd: ra, base: rb, index: rc },
+            OP_SWX => Inst::Swx { rs: ra, base: rb, index: rc },
+            OP_BEQ => Inst::Branch {
+                cond: BrCond::Eq,
+                rs1: ra,
+                rs2: rb,
+                target: imm.expect("has_imm") as usize,
+            },
+            OP_BNE => Inst::Branch {
+                cond: BrCond::Ne,
+                rs1: ra,
+                rs2: rb,
+                target: imm.expect("has_imm") as usize,
+            },
+            OP_JUMP => Inst::Jump { target: imm.expect("has_imm") as usize },
+            OP_JAL => Inst::Jal { target: imm.expect("has_imm") as usize },
+            OP_JR => Inst::Jr { rs: ra },
+            OP_CRECV => Inst::CRecv { rd: ra, chan: imm.expect("has_imm") },
+            OP_CSEND => Inst::CSend { rs: ra, chan: imm.expect("has_imm") },
+            OP_OUT => Inst::Out { rs: ra },
+            OP_HALT => Inst::Halt,
+            other => {
+                return Err(DecodeError { at, message: format!("unknown opcode {other}") })
+            }
+        };
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::build_program;
+
+    #[test]
+    fn every_instruction_kind_round_trips() {
+        let insts = vec![
+            Inst::Alu { op: AluOp::Mul, rd: Reg(3), rs1: Reg(4), rs2: Reg(5) },
+            Inst::AluI { op: AluOp::Add, rd: Reg::SP, rs1: Reg::ZERO, imm: 0x0010_0000 },
+            Inst::AluI { op: AluOp::Xor, rd: Reg(7), rs1: Reg(7), imm: -1 },
+            Inst::Lw { rd: Reg(2), base: Reg::SP, offset: -8 },
+            Inst::Sw { rs: Reg(2), base: Reg::SP, offset: 1024 },
+            Inst::Lwx { rd: Reg(12), base: Reg(13), index: Reg(14) },
+            Inst::Swx { rs: Reg(15), base: Reg(16), index: Reg(17) },
+            Inst::Branch { cond: BrCond::Ne, rs1: Reg(1), rs2: Reg::ZERO, target: 12345 },
+            Inst::Branch { cond: BrCond::Eq, rs1: Reg(9), rs2: Reg(10), target: 0 },
+            Inst::Jump { target: 7 },
+            Inst::Jal { target: 99 },
+            Inst::Jr { rs: Reg::RA },
+            Inst::CRecv { rd: Reg(2), chan: 42 },
+            Inst::CSend { rs: Reg(3), chan: 0 },
+            Inst::Out { rs: Reg(4) },
+            Inst::Halt,
+        ];
+        let words = encode(&insts);
+        assert_eq!(decode(&words).expect("decodes"), insts);
+    }
+
+    #[test]
+    fn compiled_programs_round_trip() {
+        let src = "int t[32];
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) { s += t[i] * (i - 3); }
+                return s;
+            }
+            void main() { out(f(32)); ch_send(0, 1); }";
+        let module =
+            tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers");
+        let main = module.function_id("main").expect("main");
+        let program = build_program(&module, main, &[]).expect("compiles");
+        let words = encode(&program.insts);
+        let back = decode(&words).expect("decodes");
+        assert_eq!(back, program.insts);
+        // Density: at most two words per instruction.
+        assert!(words.len() <= program.insts.len() * 2);
+        assert!(words.len() > program.insts.len(), "some immediates exist");
+    }
+
+    #[test]
+    fn truncated_image_is_rejected() {
+        let insts = vec![Inst::Jump { target: 5 }];
+        let mut words = encode(&insts);
+        words.pop();
+        let err = decode(&words).expect_err("truncated");
+        assert!(err.message.contains("truncated"));
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        let err = decode(&[63 << 26]).expect_err("bad opcode");
+        assert!(err.message.contains("unknown opcode"));
+    }
+
+    #[test]
+    fn bad_funct_is_rejected() {
+        let word = super::word0(OP_ALU, 1, 2, 3, 45);
+        let err = decode(&[word]).expect_err("bad funct");
+        assert!(err.message.contains("funct"));
+    }
+}

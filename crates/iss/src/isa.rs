@@ -1,0 +1,327 @@
+//! The instruction set: a MIPS-flavoured 32-register RISC with transaction
+//! channel extensions.
+//!
+//! Instructions are kept in structured (pre-decoded) form for simulation
+//! speed; [`Inst::mnemonic`] renders assembly text for diagnostics and
+//! golden tests. Branch and call targets are absolute instruction indices —
+//! an idealization of a real encoding's PC-relative immediates that changes
+//! nothing about timing behaviour.
+
+use std::fmt;
+
+/// A register number, `r0`..`r31`. `r0` is hardwired to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-value register.
+    pub const RV: Reg = Reg(2);
+    /// First scratch register reserved for spills/addressing.
+    pub const T0: Reg = Reg(8);
+    /// Second scratch register.
+    pub const T1: Reg = Reg(9);
+    /// Third scratch register.
+    pub const T2: Reg = Reg(10);
+    /// First argument register (`r4`..`r7` carry arguments).
+    pub const A0: Reg = Reg(4);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Link register written by [`Inst::Jal`].
+    pub const RA: Reg = Reg(31);
+
+    /// Number of argument registers.
+    pub const N_ARGS: usize = 4;
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Three-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Signed multiplication (low 32 bits).
+    Mul,
+    /// Signed division (traps on zero divisor).
+    Div,
+    /// Signed remainder (traps on zero divisor).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (count masked mod 32).
+    Sll,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set if less than (signed).
+    Slt,
+    /// Set if less or equal (signed).
+    Sle,
+    /// Set if equal.
+    Seq,
+    /// Set if not equal.
+    Sne,
+}
+
+/// Branch comparison conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BrCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+}
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// `rd = rs1 <op> rs2`
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// `rd = rs1 <op> imm`
+    AluI {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// Immediate operand.
+        imm: i32,
+    },
+    /// `rd = mem[rs1 + offset]` (word access, byte offset)
+    Lw {
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// `mem[rs1 + offset] = rs`
+    Sw {
+        /// Value to store.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Indexed word load: `rd = mem[base + (index << 2)]`.
+    Lwx {
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Element index register.
+        index: Reg,
+    },
+    /// Indexed word store: `mem[base + (index << 2)] = rs`.
+    Swx {
+        /// Value to store.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Element index register.
+        index: Reg,
+    },
+    /// Conditional branch comparing two registers.
+    Branch {
+        /// Condition.
+        cond: BrCond,
+        /// First compared register.
+        rs1: Reg,
+        /// Second compared register.
+        rs2: Reg,
+        /// Absolute target instruction index.
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Absolute target instruction index.
+        target: usize,
+    },
+    /// Call: `ra = pc + 1; pc = target`.
+    Jal {
+        /// Absolute target instruction index.
+        target: usize,
+    },
+    /// Indirect jump (function return).
+    Jr {
+        /// Register holding the target instruction index.
+        rs: Reg,
+    },
+    /// Receive one word from a transaction channel into `rd`.
+    CRecv {
+        /// Destination.
+        rd: Reg,
+        /// Channel id.
+        chan: u32,
+    },
+    /// Send `rs` to a transaction channel.
+    CSend {
+        /// Value register.
+        rs: Reg,
+        /// Channel id.
+        chan: u32,
+    },
+    /// Emit `rs` to the observable output stream.
+    Out {
+        /// Value register.
+        rs: Reg,
+    },
+    /// Stop the core.
+    Halt,
+}
+
+impl Inst {
+    /// Whether this instruction reads or writes data memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::Lw { .. } | Inst::Sw { .. } | Inst::Lwx { .. } | Inst::Swx { .. }
+        )
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+
+    /// Assembly-like rendering.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                format!("{} {rd}, {rs1}, {rs2}", alu_name(*op))
+            }
+            Inst::AluI { op, rd, rs1, imm } => {
+                format!("{}i {rd}, {rs1}, {imm}", alu_name(*op))
+            }
+            Inst::Lw { rd, base, offset } => format!("lw {rd}, {offset}({base})"),
+            Inst::Sw { rs, base, offset } => format!("sw {rs}, {offset}({base})"),
+            Inst::Lwx { rd, base, index } => format!("lwx {rd}, {base}[{index}]"),
+            Inst::Swx { rs, base, index } => format!("swx {rs}, {base}[{index}]"),
+            Inst::Branch { cond, rs1, rs2, target } => {
+                let name = match cond {
+                    BrCond::Eq => "beq",
+                    BrCond::Ne => "bne",
+                };
+                format!("{name} {rs1}, {rs2}, @{target}")
+            }
+            Inst::Jump { target } => format!("j @{target}"),
+            Inst::Jal { target } => format!("jal @{target}"),
+            Inst::Jr { rs } => format!("jr {rs}"),
+            Inst::CRecv { rd, chan } => format!("crecv {rd}, ch{chan}"),
+            Inst::CSend { rs, chan } => format!("csend {rs}, ch{chan}"),
+            Inst::Out { rs } => format!("out {rs}"),
+            Inst::Halt => "halt".to_string(),
+        }
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Sra => "sra",
+        AluOp::Slt => "slt",
+        AluOp::Sle => "sle",
+        AluOp::Seq => "seq",
+        AluOp::Sne => "sne",
+    }
+}
+
+/// Applies an ALU op with 32-bit wrapping semantics.
+///
+/// Returns `None` for division/remainder by zero.
+pub fn alu_eval(op: AluOp, a: i32, b: i32) -> Option<i32> {
+    Some(match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b as u32),
+        AluOp::Sra => a.wrapping_shr(b as u32),
+        AluOp::Slt => i32::from(a < b),
+        AluOp::Sle => i32::from(a <= b),
+        AluOp::Seq => i32::from(a == b),
+        AluOp::Sne => i32::from(a != b),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(alu_eval(AluOp::Add, i32::MAX, 1), Some(i32::MIN));
+        assert_eq!(alu_eval(AluOp::Div, -7, 2), Some(-3));
+        assert_eq!(alu_eval(AluOp::Rem, -7, 2), Some(-1));
+        assert_eq!(alu_eval(AluOp::Div, 1, 0), None);
+        assert_eq!(alu_eval(AluOp::Sra, -8, 1), Some(-4));
+        assert_eq!(alu_eval(AluOp::Sll, 1, 33), Some(2));
+        assert_eq!(alu_eval(AluOp::Slt, 1, 2), Some(1));
+        assert_eq!(alu_eval(AluOp::Sne, 3, 3), Some(0));
+    }
+
+    #[test]
+    fn mnemonics_render() {
+        let inst = Inst::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(4), rs2: Reg(5) };
+        assert_eq!(inst.mnemonic(), "add r3, r4, r5");
+        assert_eq!(Inst::Halt.mnemonic(), "halt");
+        assert_eq!(
+            Inst::Lw { rd: Reg(2), base: Reg::SP, offset: 8 }.mnemonic(),
+            "lw r2, 8(r29)"
+        );
+        assert_eq!(Inst::CRecv { rd: Reg(2), chan: 3 }.mnemonic(), "crecv r2, ch3");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Inst::Lw { rd: Reg(1), base: Reg(2), offset: 0 }.is_memory());
+        assert!(!Inst::Halt.is_memory());
+        assert!(Inst::Branch { cond: BrCond::Eq, rs1: Reg(0), rs2: Reg(0), target: 0 }
+            .is_cond_branch());
+    }
+}

@@ -1,0 +1,90 @@
+//! Source locations and front-end errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// Computes the 1-based line and column of the span start in `source`.
+    pub fn line_col(self, source: &str) -> (usize, usize) {
+        let upto = &source[..self.start.min(source.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto.rfind('\n').map_or(self.start + 1, |nl| self.start - nl);
+        (line, col)
+    }
+}
+
+/// An error produced while lexing, parsing or type-checking MiniC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Where in the source the error was detected.
+    pub span: Span,
+    /// 1-based line of the error.
+    pub line: usize,
+    /// 1-based column of the error.
+    pub column: usize,
+}
+
+impl ParseError {
+    /// Creates an error at `span`, resolving line/column against `source`.
+    pub fn new(message: impl Into<String>, span: Span, source: &str) -> Self {
+        let (line, column) = span.line_col(source);
+        ParseError { message: message.into(), span, line, column }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_resolution() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(3, 4).line_col(src), (2, 1));
+        assert_eq!(Span::new(7, 8).line_col(src), (3, 2));
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 5);
+        let b = Span::new(10, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn display_includes_location() {
+        let src = "x\nyy error";
+        let err = ParseError::new("bad thing", Span::new(5, 6), src);
+        assert_eq!(err.to_string(), "2:4: bad thing");
+    }
+}

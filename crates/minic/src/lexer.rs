@@ -1,0 +1,310 @@
+//! Hand-written lexer for MiniC.
+
+use crate::diag::{ParseError, Span};
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes MiniC source text.
+///
+/// Handles `//` line comments, `/* */` block comments, decimal and `0x`
+/// hexadecimal integer literals and all operators in [`TokenKind`].
+///
+/// # Errors
+///
+/// Returns an error for unterminated block comments, malformed literals and
+/// characters outside the language.
+pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer { source, bytes: source.as_bytes(), pos: 0 }.run()
+}
+
+struct Lexer<'src> {
+    source: &'src str,
+    bytes: &'src [u8],
+    pos: usize,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(b) = self.peek() else {
+                tokens.push(Token { kind: TokenKind::Eof, span: Span::new(start, start) });
+                return Ok(tokens);
+            };
+            let kind = match b {
+                b'0'..=b'9' => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                _ => self.operator()?,
+            };
+            tokens.push(Token { kind, span: Span::new(start, self.pos) });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn error(&self, message: impl Into<String>, start: usize) -> ParseError {
+        ParseError::new(message, Span::new(start, self.pos.max(start + 1)), self.source)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => {
+                                return Err(self.error("unterminated block comment", start))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        let (radix, digits_start) =
+            if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x' | b'X')) {
+                self.pos += 2;
+                (16, self.pos)
+            } else {
+                (10, self.pos)
+            };
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String =
+            self.source[digits_start..self.pos].chars().filter(|&c| c != '_').collect();
+        if text.is_empty() {
+            return Err(self.error("missing digits after `0x`", start));
+        }
+        let value = i64::from_str_radix(&text, radix)
+            .map_err(|_| self.error(format!("invalid integer literal `{text}`"), start))?;
+        Ok(TokenKind::Int(value))
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.source[start..self.pos];
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+    }
+
+    fn operator(&mut self) -> Result<TokenKind, ParseError> {
+        use TokenKind::*;
+        let start = self.pos;
+        let b = self.bump().expect("operator called at end of input");
+        let two = |lexer: &mut Self, next: u8, yes: TokenKind, no: TokenKind| {
+            if lexer.peek() == Some(next) {
+                lexer.pos += 1;
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match b {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'~' => Tilde,
+            b'?' => Question,
+            b':' => Colon,
+            b'+' => match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    PlusPlus
+                }
+                Some(b'=') => {
+                    self.pos += 1;
+                    PlusAssign
+                }
+                _ => Plus,
+            },
+            b'-' => match self.peek() {
+                Some(b'-') => {
+                    self.pos += 1;
+                    MinusMinus
+                }
+                Some(b'=') => {
+                    self.pos += 1;
+                    MinusAssign
+                }
+                _ => Minus,
+            },
+            b'*' => two(self, b'=', StarAssign, Star),
+            b'/' => two(self, b'=', SlashAssign, Slash),
+            b'%' => two(self, b'=', PercentAssign, Percent),
+            b'=' => two(self, b'=', Eq, Assign),
+            b'!' => two(self, b'=', Ne, Not),
+            b'^' => two(self, b'=', XorAssign, Caret),
+            b'&' => match self.peek() {
+                Some(b'&') => {
+                    self.pos += 1;
+                    AndAnd
+                }
+                Some(b'=') => {
+                    self.pos += 1;
+                    AndAssign
+                }
+                _ => Amp,
+            },
+            b'|' => match self.peek() {
+                Some(b'|') => {
+                    self.pos += 1;
+                    OrOr
+                }
+                Some(b'=') => {
+                    self.pos += 1;
+                    OrAssign
+                }
+                _ => Pipe,
+            },
+            b'<' => match self.peek() {
+                Some(b'<') => {
+                    self.pos += 1;
+                    two(self, b'=', ShlAssign, Shl)
+                }
+                Some(b'=') => {
+                    self.pos += 1;
+                    Le
+                }
+                _ => Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    two(self, b'=', ShrAssign, Shr)
+                }
+                Some(b'=') => {
+                    self.pos += 1;
+                    Ge
+                }
+                _ => Gt,
+            },
+            other => {
+                return Err(self.error(
+                    format!("unexpected character `{}`", char::from(other)),
+                    start,
+                ))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            kinds("int foo void _bar2"),
+            vec![KwInt, Ident("foo".into()), KwVoid, Ident("_bar2".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn integer_literals() {
+        assert_eq!(kinds("0 42 0x1F 1_000"), vec![Int(0), Int(42), Int(31), Int(1000), Eof]);
+    }
+
+    #[test]
+    fn all_multibyte_operators() {
+        assert_eq!(
+            kinds("<<= >>= << >> <= >= == != && || ++ -- += -= *= /= %= &= |= ^="),
+            vec![
+                ShlAssign, ShrAssign, Shl, Shr, Le, Ge, Eq, Ne, AndAnd, OrOr, PlusPlus,
+                MinusMinus, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+                AndAssign, OrAssign, XorAssign, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line\n b /* block\n over lines */ c"),
+            vec![Ident("a".into()), Ident("b".into()), Ident("c".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        let err = lex("x /* nope").expect_err("should fail");
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn bad_character_is_error() {
+        let err = lex("a @ b").expect_err("should fail");
+        assert!(err.message.contains('@'));
+        assert_eq!((err.line, err.column), (1, 3));
+    }
+
+    #[test]
+    fn missing_hex_digits_is_error() {
+        let err = lex("0x").expect_err("should fail");
+        assert!(err.message.contains("0x"));
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let tokens = lex("ab + cd").expect("lexes");
+        assert_eq!(tokens[0].span, crate::Span::new(0, 2));
+        assert_eq!(tokens[1].span, crate::Span::new(3, 4));
+        assert_eq!(tokens[2].span, crate::Span::new(5, 7));
+    }
+}

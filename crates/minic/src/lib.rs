@@ -1,0 +1,60 @@
+//! Front-end for **MiniC**, the C subset used as application input.
+//!
+//! The paper parses application C processes with LLVM; this crate is the
+//! equivalent front-end for the reproduction. It turns source text into a
+//! type-checked AST that `tlm-cdfg` lowers into the control/data flow graph
+//! the estimation engine works on.
+//!
+//! MiniC keeps C's surface syntax for the subset it supports:
+//!
+//! - `int` scalars and one-dimensional `int` arrays (globals and locals),
+//!   with constant initializers;
+//! - functions with `int`/`void` return types and `int` parameters;
+//! - `if`/`else`, `while`, `do`/`while`, `for`, `switch` (with C
+//!   fallthrough), `break`, `continue`, `return`, blocks;
+//! - the usual C operators, including short-circuit `&&`/`||`, the ternary
+//!   conditional `?:`, compound assignment and `++`/`--`;
+//! - platform intrinsics: `ch_recv(ch)`, `ch_send(ch, v)` for transaction-
+//!   level channel I/O and `out(v)` for observable output.
+//!
+//! # Example
+//!
+//! ```
+//! let source = r#"
+//!     int square(int x) { return x * x; }
+//!     void main() { out(square(7)); }
+//! "#;
+//! let program = tlm_minic::parse(source)?;
+//! assert_eq!(program.functions.len(), 2);
+//! # Ok::<(), tlm_minic::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod diag;
+mod lexer;
+mod parser;
+mod sema;
+mod token;
+
+pub use ast::Program;
+pub use diag::{ParseError, Span};
+pub use lexer::lex;
+pub use token::{Token, TokenKind};
+
+/// Parses and type-checks a MiniC translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic error encountered, with
+/// its source location.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = lexer::lex(source)?;
+    let program = parser::parse_tokens(source, &tokens)?;
+    // Sema works purely on the AST, so its errors carry spans but no resolved
+    // line/column; re-resolve against the source here.
+    sema::check(&program).map_err(|e| ParseError::new(e.message, e.span, source))?;
+    Ok(program)
+}

@@ -1,0 +1,608 @@
+//! Semantic analysis: name resolution, kind checking, constant validation.
+
+use std::collections::HashMap;
+
+use crate::ast::{
+    const_eval, Block, Expr, Function, Init, LValue, Program, Stmt, Type,
+};
+use std::collections::HashSet;
+use crate::diag::{ParseError, Span};
+
+/// Names with built-in meaning; they cannot be redefined.
+pub(crate) const INTRINSICS: [(&str, usize, bool); 3] = [
+    // (name, arg count, returns a value)
+    ("ch_recv", 1, true),
+    ("ch_send", 2, false),
+    ("out", 1, false),
+];
+
+/// Largest array size MiniC accepts (guards against absurd constants).
+const MAX_ARRAY_LEN: i64 = 1 << 22;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarKind {
+    Scalar,
+    Array,
+}
+
+/// Type-checks a parsed program.
+///
+/// # Errors
+///
+/// Returns the first semantic error: unknown names, scalar/array misuse,
+/// bad argument counts, non-constant array sizes or initializers, `break`
+/// outside a loop, and similar.
+pub fn check(program: &Program) -> Result<(), ParseError> {
+    Checker::new(program).run()
+}
+
+struct Checker<'a> {
+    program: &'a Program,
+    functions: HashMap<&'a str, &'a Function>,
+    globals: HashMap<&'a str, VarKind>,
+    scopes: Vec<HashMap<String, VarKind>>,
+    /// Nesting depth of constructs `continue` may target (loops).
+    loop_depth: usize,
+    /// Nesting depth of constructs `break` may target (loops + switches).
+    break_depth: usize,
+    current_ret: Type,
+}
+
+impl<'a> Checker<'a> {
+    fn new(program: &'a Program) -> Self {
+        Checker {
+            program,
+            functions: HashMap::new(),
+            globals: HashMap::new(),
+            scopes: Vec::new(),
+            loop_depth: 0,
+            break_depth: 0,
+            current_ret: Type::Void,
+        }
+    }
+
+    fn err(message: impl Into<String>, span: Span) -> ParseError {
+        // Sema works on the AST; spans were resolved by the parser, so
+        // line/column are recomputed lazily against an empty source. The
+        // public `parse` entry point re-resolves them.
+        ParseError { message: message.into(), span, line: 0, column: 0 }
+    }
+
+    fn run(mut self) -> Result<(), ParseError> {
+        // Collect and validate globals.
+        for g in &self.program.globals {
+            if self.globals.contains_key(g.name.as_str()) {
+                return Err(Self::err(format!("duplicate global `{}`", g.name), g.span));
+            }
+            let kind = match &g.size {
+                Some(size_expr) => {
+                    let len = const_eval(size_expr).ok_or_else(|| {
+                        Self::err("array size must be a constant expression", size_expr.span())
+                    })?;
+                    if !(1..=MAX_ARRAY_LEN).contains(&len) {
+                        return Err(Self::err(
+                            format!("array size {len} out of range 1..={MAX_ARRAY_LEN}"),
+                            size_expr.span(),
+                        ));
+                    }
+                    self.check_init(&g.init, Some(len), g.span)?;
+                    VarKind::Array
+                }
+                None => {
+                    self.check_init(&g.init, None, g.span)?;
+                    VarKind::Scalar
+                }
+            };
+            // Global initializers must be compile-time constants.
+            match &g.init {
+                Init::None => {}
+                Init::Scalar(e) => {
+                    const_eval(e).ok_or_else(|| {
+                        Self::err("global initializer must be constant", e.span())
+                    })?;
+                }
+                Init::List(items) => {
+                    for e in items {
+                        const_eval(e).ok_or_else(|| {
+                            Self::err("global initializer must be constant", e.span())
+                        })?;
+                    }
+                }
+            }
+            self.globals.insert(&g.name, kind);
+        }
+
+        // Collect functions.
+        for f in &self.program.functions {
+            if INTRINSICS.iter().any(|(n, _, _)| *n == f.name) {
+                return Err(Self::err(
+                    format!("`{}` is a built-in intrinsic and cannot be defined", f.name),
+                    f.span,
+                ));
+            }
+            if self.functions.insert(&f.name, f).is_some() {
+                return Err(Self::err(format!("duplicate function `{}`", f.name), f.span));
+            }
+        }
+
+        // Check bodies.
+        for f in &self.program.functions {
+            self.current_ret = f.ret;
+            self.scopes.clear();
+            self.scopes.push(HashMap::new());
+            for p in &f.params {
+                if self
+                    .scopes
+                    .last_mut()
+                    .expect("scope pushed above")
+                    .insert(p.name.clone(), VarKind::Scalar)
+                    .is_some()
+                {
+                    return Err(Self::err(format!("duplicate parameter `{}`", p.name), p.span));
+                }
+            }
+            self.block(&f.body)?;
+            self.scopes.pop();
+        }
+        Ok(())
+    }
+
+    fn check_init(&self, init: &Init, array_len: Option<i64>, span: Span) -> Result<(), ParseError> {
+        match (init, array_len) {
+            (Init::List(items), Some(len)) if items.len() as i64 > len => Err(Self::err(
+                format!("initializer has {} elements but array size is {len}", items.len()),
+                span,
+            )),
+            (Init::List(_), None) => {
+                Err(Self::err("brace initializer requires an array declaration", span))
+            }
+            (Init::Scalar(_), Some(_)) => {
+                Err(Self::err("array initializer must be a brace list", span))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<VarKind> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&k) = scope.get(name) {
+                return Some(k);
+            }
+        }
+        self.globals.get(name).copied()
+    }
+
+    fn block(&mut self, block: &Block) -> Result<(), ParseError> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn declare_local(
+        &mut self,
+        name: &str,
+        size: &Option<Expr>,
+        init: &Init,
+        span: Span,
+    ) -> Result<(), ParseError> {
+        let kind = match size {
+            Some(size_expr) => {
+                let len = const_eval(size_expr).ok_or_else(|| {
+                    Self::err("array size must be a constant expression", size_expr.span())
+                })?;
+                if !(1..=MAX_ARRAY_LEN).contains(&len) {
+                    return Err(Self::err(
+                        format!("array size {len} out of range 1..={MAX_ARRAY_LEN}"),
+                        size_expr.span(),
+                    ));
+                }
+                self.check_init(init, Some(len), span)?;
+                VarKind::Array
+            }
+            None => {
+                self.check_init(init, None, span)?;
+                VarKind::Scalar
+            }
+        };
+        match init {
+            Init::None => {}
+            Init::Scalar(e) => self.expr(e)?,
+            Init::List(items) => {
+                for e in items {
+                    // Local array initializers must also be constant so that
+                    // they lower to a data section rather than element stores.
+                    const_eval(e).ok_or_else(|| {
+                        Self::err("array initializer elements must be constant", e.span())
+                    })?;
+                }
+            }
+        }
+        let scope = self.scopes.last_mut().expect("at least one scope");
+        if scope.insert(name.to_string(), kind).is_some() {
+            return Err(Self::err(format!("duplicate local `{name}` in this scope"), span));
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), ParseError> {
+        match stmt {
+            Stmt::Local { name, size, init, span } => self.declare_local(name, size, init, *span),
+            Stmt::Expr(e) => {
+                if !matches!(e, Expr::Call(..)) {
+                    return Err(Self::err("expression statement has no effect", e.span()));
+                }
+                self.call_expr(e, true)
+            }
+            Stmt::Assign { target, value, .. } => {
+                self.lvalue(target)?;
+                self.expr(value)
+            }
+            Stmt::If { cond, then_blk, else_blk, .. } => {
+                self.expr(cond)?;
+                self.block(then_blk)?;
+                if let Some(b) = else_blk {
+                    self.block(b)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expr(cond)?;
+                self.loop_depth += 1;
+                self.break_depth += 1;
+                let r = self.block(body);
+                self.loop_depth -= 1;
+                self.break_depth -= 1;
+                r
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                self.loop_depth += 1;
+                self.break_depth += 1;
+                let r = self.block(body);
+                self.loop_depth -= 1;
+                self.break_depth -= 1;
+                r?;
+                self.expr(cond)
+            }
+            Stmt::Switch { scrutinee, cases, span } => {
+                self.expr(scrutinee)?;
+                let mut seen: HashSet<i64> = HashSet::new();
+                let mut defaults = 0usize;
+                for case in cases {
+                    for label in &case.labels {
+                        let value = const_eval(label).ok_or_else(|| {
+                            Self::err("case label must be a constant expression", label.span())
+                        })?;
+                        if !seen.insert(value) {
+                            return Err(Self::err(
+                                format!("duplicate case label {value}"),
+                                label.span(),
+                            ));
+                        }
+                    }
+                    defaults += usize::from(case.is_default);
+                }
+                if defaults > 1 {
+                    return Err(Self::err("multiple `default` labels", *span));
+                }
+                self.break_depth += 1;
+                for case in cases {
+                    self.scopes.push(HashMap::new());
+                    for stmt in &case.body {
+                        if let Err(e) = self.stmt(stmt) {
+                            self.scopes.pop();
+                            self.break_depth -= 1;
+                            return Err(e);
+                        }
+                    }
+                    self.scopes.pop();
+                }
+                self.break_depth -= 1;
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                if let Some(cond) = cond {
+                    self.expr(cond)?;
+                }
+                if let Some(step) = step {
+                    self.stmt(step)?;
+                }
+                self.loop_depth += 1;
+                self.break_depth += 1;
+                let r = self.block(body);
+                self.loop_depth -= 1;
+                self.break_depth -= 1;
+                self.scopes.pop();
+                r
+            }
+            Stmt::Return { value, span } => match (self.current_ret, value) {
+                (Type::Void, Some(e)) => {
+                    Err(Self::err("void function cannot return a value", e.span()))
+                }
+                (Type::Int, None) => {
+                    Err(Self::err("int function must return a value", *span))
+                }
+                (_, Some(e)) => self.expr(e),
+                (_, None) => Ok(()),
+            },
+            Stmt::Break(span) => {
+                if self.break_depth == 0 {
+                    Err(Self::err("`break` outside of a loop or switch", *span))
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Continue(span) => {
+                if self.loop_depth == 0 {
+                    Err(Self::err("`continue` outside of a loop", *span))
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Block(b) => self.block(b),
+        }
+    }
+
+    fn lvalue(&mut self, target: &LValue) -> Result<(), ParseError> {
+        match target {
+            LValue::Var(name, span) => match self.lookup(name) {
+                Some(VarKind::Scalar) => Ok(()),
+                Some(VarKind::Array) => {
+                    Err(Self::err(format!("cannot assign to array `{name}` as a whole"), *span))
+                }
+                None => Err(Self::err(format!("unknown variable `{name}`"), *span)),
+            },
+            LValue::Index(name, index, span) => {
+                match self.lookup(name) {
+                    Some(VarKind::Array) => {}
+                    Some(VarKind::Scalar) => {
+                        return Err(Self::err(format!("`{name}` is not an array"), *span))
+                    }
+                    None => return Err(Self::err(format!("unknown variable `{name}`"), *span)),
+                }
+                self.expr(index)
+            }
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) -> Result<(), ParseError> {
+        match expr {
+            Expr::Int(..) => Ok(()),
+            Expr::Var(name, span) => match self.lookup(name) {
+                Some(VarKind::Scalar) => Ok(()),
+                Some(VarKind::Array) => Err(Self::err(
+                    format!("array `{name}` must be indexed (no pointer decay in MiniC)"),
+                    *span,
+                )),
+                None => Err(Self::err(format!("unknown variable `{name}`"), *span)),
+            },
+            Expr::Index(name, index, span) => {
+                match self.lookup(name) {
+                    Some(VarKind::Array) => {}
+                    Some(VarKind::Scalar) => {
+                        return Err(Self::err(format!("`{name}` is not an array"), *span))
+                    }
+                    None => return Err(Self::err(format!("unknown variable `{name}`"), *span)),
+                }
+                self.expr(index)
+            }
+            Expr::Unary(_, inner, _) => self.expr(inner),
+            Expr::Binary(_, lhs, rhs, _) => {
+                self.expr(lhs)?;
+                self.expr(rhs)
+            }
+            Expr::Call(..) => self.call_expr(expr, false),
+            Expr::Cond(cond, then, otherwise, _) => {
+                self.expr(cond)?;
+                self.expr(then)?;
+                self.expr(otherwise)
+            }
+        }
+    }
+
+    fn call_expr(&mut self, expr: &Expr, as_statement: bool) -> Result<(), ParseError> {
+        let Expr::Call(name, args, span) = expr else {
+            unreachable!("call_expr invoked on non-call");
+        };
+        for a in args {
+            self.expr(a)?;
+        }
+        if let Some(&(_, arity, returns)) =
+            INTRINSICS.iter().find(|(n, _, _)| n == name)
+        {
+            if args.len() != arity {
+                return Err(Self::err(
+                    format!("intrinsic `{name}` takes {arity} argument(s), got {}", args.len()),
+                    *span,
+                ));
+            }
+            // Channel ids must be compile-time constants so the platform can
+            // wire processes to channels statically.
+            if name.starts_with("ch_") {
+                const_eval(&args[0]).ok_or_else(|| {
+                    Self::err("channel id must be a constant expression", args[0].span())
+                })?;
+            }
+            if !returns && !as_statement {
+                return Err(Self::err(
+                    format!("intrinsic `{name}` returns no value"),
+                    *span,
+                ));
+            }
+            return Ok(());
+        }
+        let Some(f) = self.functions.get(name.as_str()) else {
+            return Err(Self::err(format!("unknown function `{name}`"), *span));
+        };
+        if f.params.len() != args.len() {
+            return Err(Self::err(
+                format!(
+                    "function `{name}` takes {} argument(s), got {}",
+                    f.params.len(),
+                    args.len()
+                ),
+                *span,
+            ));
+        }
+        if f.ret == Type::Void && !as_statement {
+            return Err(Self::err(
+                format!("void function `{name}` used where a value is required"),
+                *span,
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    fn err(src: &str) -> String {
+        parse(src).expect_err("should fail").message
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        parse(
+            r#"
+            int gain = 4;
+            int window[4] = {1, 2, 3, 4};
+            int scale(int x) { return x * gain; }
+            void main() {
+                int acc = 0;
+                for (int i = 0; i < 4; i++) { acc += scale(window[i]); }
+                out(acc);
+            }
+        "#,
+        )
+        .expect("valid program");
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        assert!(err("void f() { out(nope); }").contains("unknown variable"));
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        assert!(err("void f() { missing(); }").contains("unknown function"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        assert!(err("int g(int a) { return a; } void f() { out(g(1, 2)); }")
+            .contains("takes 1 argument"));
+    }
+
+    #[test]
+    fn rejects_void_in_expression() {
+        assert!(err("void g() { } void f() { out(g()); }").contains("void function"));
+    }
+
+    #[test]
+    fn rejects_array_without_index() {
+        assert!(err("int t[2]; void f() { out(t); }").contains("must be indexed"));
+    }
+
+    #[test]
+    fn rejects_indexing_scalar() {
+        assert!(err("int x; void f() { out(x[0]); }").contains("not an array"));
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        assert!(err("void f() { break; }").contains("outside of a loop"));
+    }
+
+    #[test]
+    fn rejects_nonconstant_array_size() {
+        assert!(err("void f(int n) { int t[n]; }").contains("constant"));
+    }
+
+    #[test]
+    fn rejects_oversized_initializer() {
+        assert!(err("int t[2] = {1, 2, 3};").contains("3 elements"));
+    }
+
+    #[test]
+    fn rejects_return_value_from_void() {
+        assert!(err("void f() { return 1; }").contains("cannot return"));
+    }
+
+    #[test]
+    fn rejects_bare_return_from_int() {
+        assert!(err("int f() { return; }").contains("must return"));
+    }
+
+    #[test]
+    fn rejects_duplicate_definitions() {
+        assert!(err("int x; int x;").contains("duplicate global"));
+        assert!(err("void f() {} void f() {}").contains("duplicate function"));
+        assert!(err("void f(int a, int a) {}").contains("duplicate parameter"));
+        assert!(err("void f() { int a; int a; }").contains("duplicate local"));
+    }
+
+    #[test]
+    fn allows_shadowing_in_nested_scope() {
+        parse("int x; void f() { int x = 1; { int x = 2; out(x); } out(x); }")
+            .expect("shadowing in nested scopes is allowed");
+    }
+
+    #[test]
+    fn rejects_redefining_intrinsic() {
+        assert!(err("void out(int v) {}").contains("intrinsic"));
+    }
+
+    #[test]
+    fn rejects_nonconstant_channel_id() {
+        assert!(err("void f(int c) { ch_send(c, 1); }").contains("constant"));
+    }
+
+    #[test]
+    fn rejects_useless_expression_statement() {
+        assert!(err("void f() { 1 + 2; }").contains("no effect"));
+    }
+
+    #[test]
+    fn switch_label_rules() {
+        assert!(err("void f(int x) { switch (x) { case x: out(1); } }")
+            .contains("constant"));
+        assert!(err("void f(int x) { switch (x) { case 1: out(1); case 1: out(2); } }")
+            .contains("duplicate case"));
+        assert!(err(
+            "void f(int x) { switch (x) { default: out(1); default: out(2); } }"
+        )
+        .contains("multiple `default`"));
+        parse("void f(int x) { switch (x) { case 1: break; default: out(0); } }")
+            .expect("valid switch");
+    }
+
+    #[test]
+    fn break_binds_to_switch_but_continue_does_not() {
+        parse(
+            "void f(int x) {
+                for (int i = 0; i < 3; i++) {
+                    switch (x) { case 1: continue; default: break; }
+                }
+            }",
+        )
+        .expect("continue reaches the loop through the switch");
+        assert!(err("void f(int x) { switch (x) { case 1: continue; } }")
+            .contains("continue"));
+    }
+
+    #[test]
+    fn intrinsic_usage_checks() {
+        assert!(err("void f() { out(ch_send(0, 1)); }").contains("returns no value"));
+        assert!(err("void f() { out(1, 2); }").contains("takes 1 argument"));
+        parse("void f() { int v = ch_recv(3); ch_send(1, v + 1); out(v); }")
+            .expect("intrinsics used correctly");
+    }
+}

@@ -1,0 +1,231 @@
+//! Token definitions for the MiniC lexer.
+
+use std::fmt;
+
+use crate::diag::Span;
+
+/// One lexical token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+/// The kinds of token MiniC knows about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier such as `filter_core`.
+    Ident(String),
+    /// An integer literal, already decoded (decimal or `0x` hex).
+    Int(i64),
+
+    // Keywords.
+    /// `int`
+    KwInt,
+    /// `void`
+    KwVoid,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `do`
+    KwDo,
+    /// `switch`
+    KwSwitch,
+    /// `case`
+    KwCase,
+    /// `default`
+    KwDefault,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `%=`
+    PercentAssign,
+    /// `<<=`
+    ShlAssign,
+    /// `>>=`
+    ShrAssign,
+    /// `&=`
+    AndAssign,
+    /// `|=`
+    OrAssign,
+    /// `^=`
+    XorAssign,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Maps an identifier spelling to a keyword, if it is one.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "int" => TokenKind::KwInt,
+            "void" => TokenKind::KwVoid,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "do" => TokenKind::KwDo,
+            "switch" => TokenKind::KwSwitch,
+            "case" => TokenKind::KwCase,
+            "default" => TokenKind::KwDefault,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            TokenKind::Ident(name) => return write!(f, "identifier `{name}`"),
+            TokenKind::Int(v) => return write!(f, "integer `{v}`"),
+            TokenKind::KwInt => "`int`",
+            TokenKind::KwVoid => "`void`",
+            TokenKind::KwIf => "`if`",
+            TokenKind::KwElse => "`else`",
+            TokenKind::KwWhile => "`while`",
+            TokenKind::KwFor => "`for`",
+            TokenKind::KwReturn => "`return`",
+            TokenKind::KwBreak => "`break`",
+            TokenKind::KwContinue => "`continue`",
+            TokenKind::KwDo => "`do`",
+            TokenKind::KwSwitch => "`switch`",
+            TokenKind::KwCase => "`case`",
+            TokenKind::KwDefault => "`default`",
+            TokenKind::LParen => "`(`",
+            TokenKind::RParen => "`)`",
+            TokenKind::LBrace => "`{`",
+            TokenKind::RBrace => "`}`",
+            TokenKind::LBracket => "`[`",
+            TokenKind::RBracket => "`]`",
+            TokenKind::Semi => "`;`",
+            TokenKind::Comma => "`,`",
+            TokenKind::Plus => "`+`",
+            TokenKind::Minus => "`-`",
+            TokenKind::Star => "`*`",
+            TokenKind::Slash => "`/`",
+            TokenKind::Percent => "`%`",
+            TokenKind::Assign => "`=`",
+            TokenKind::PlusAssign => "`+=`",
+            TokenKind::MinusAssign => "`-=`",
+            TokenKind::StarAssign => "`*=`",
+            TokenKind::SlashAssign => "`/=`",
+            TokenKind::PercentAssign => "`%=`",
+            TokenKind::ShlAssign => "`<<=`",
+            TokenKind::ShrAssign => "`>>=`",
+            TokenKind::AndAssign => "`&=`",
+            TokenKind::OrAssign => "`|=`",
+            TokenKind::XorAssign => "`^=`",
+            TokenKind::PlusPlus => "`++`",
+            TokenKind::MinusMinus => "`--`",
+            TokenKind::Eq => "`==`",
+            TokenKind::Ne => "`!=`",
+            TokenKind::Lt => "`<`",
+            TokenKind::Le => "`<=`",
+            TokenKind::Gt => "`>`",
+            TokenKind::Ge => "`>=`",
+            TokenKind::AndAnd => "`&&`",
+            TokenKind::OrOr => "`||`",
+            TokenKind::Not => "`!`",
+            TokenKind::Amp => "`&`",
+            TokenKind::Pipe => "`|`",
+            TokenKind::Caret => "`^`",
+            TokenKind::Tilde => "`~`",
+            TokenKind::Question => "`?`",
+            TokenKind::Colon => "`:`",
+            TokenKind::Shl => "`<<`",
+            TokenKind::Shr => "`>>`",
+            TokenKind::Eof => "end of input",
+        };
+        f.write_str(text)
+    }
+}

@@ -1,0 +1,509 @@
+//! Per-PE execution engines of the board co-simulation.
+//!
+//! All engines share one protocol ([`Engine`]): run until a channel
+//! operation, report *measured* elapsed cycles, resume after the
+//! transaction. Three implementations exist:
+//!
+//! - [`MicroArchEngine`] — compiled code on the cycle-accurate in-order
+//!   core with real caches and predictor (processors on the board);
+//! - [`HwEngine`] — custom hardware as a scheduled-FSM sequencer: each
+//!   basic block's exact Algorithm-1 schedule (which is exact for a
+//!   non-pipelined, hardwired-control datapath) is walked cycle by cycle;
+//! - [`CoarseIssEngine`] — the vendor-style ISS timing, used by
+//!   [`crate::board::run_iss`] for the Table-2 baseline.
+
+use std::sync::Arc;
+
+use tlm_cdfg::dfg::block_dfg;
+use tlm_cdfg::interp::{Exec, ExecHook, Machine};
+use tlm_cdfg::ir::Module;
+use tlm_cdfg::{BlockId, FuncId, OpClass};
+use tlm_core::pum::MemoryPath;
+use tlm_core::schedule::schedule_block;
+use tlm_core::{EstimateError, Pum};
+use tlm_iss::codegen::{build_program, CodegenError};
+use tlm_iss::cpu::{Cpu, CpuExec};
+use tlm_iss::microarch::{MicroArch, MicroArchConfig};
+use tlm_iss::timing::{IssSim, IssTimingConfig};
+
+/// Why an engine yielded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineExec {
+    /// Finished.
+    Done,
+    /// Blocked on a channel receive.
+    RecvPending(u32),
+    /// Blocked on a channel send, carrying the value.
+    SendPending(u32, i64),
+    /// Died with an error.
+    Trap(String),
+    /// Fuel slice exhausted; run again to continue.
+    OutOfFuel,
+}
+
+/// Measured micro-architectural counters of one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineCounters {
+    /// Instructions (or IR operations for HW engines) executed.
+    pub instructions: u64,
+    /// Instruction fetches and misses (processors only).
+    pub ifetches: u64,
+    /// I-cache misses.
+    pub imisses: u64,
+    /// Data accesses.
+    pub daccesses: u64,
+    /// D-cache misses.
+    pub dmisses: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+}
+
+/// The common engine protocol of the board co-simulation.
+pub trait Engine {
+    /// Runs up to `fuel` steps.
+    fn run(&mut self, fuel: u64) -> EngineExec;
+    /// Delivers a pending receive.
+    fn complete_recv(&mut self, value: i64);
+    /// Completes a pending send.
+    fn complete_send(&mut self);
+    /// Measured cycles elapsed so far.
+    fn cycles(&self) -> u64;
+    /// Observable outputs so far.
+    fn outputs(&self) -> Vec<i64>;
+    /// Measured counters so far.
+    fn counters(&self) -> EngineCounters;
+}
+
+/// Errors constructing an engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Code generation for a processor PE failed.
+    Codegen(CodegenError),
+    /// Scheduling a HW block failed.
+    Estimate(EstimateError),
+    /// The PE kind is not supported by the requested engine (e.g. custom
+    /// hardware under the vendor ISS, as in the paper).
+    Unsupported {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Codegen(e) => write!(f, "{e}"),
+            EngineError::Estimate(e) => write!(f, "{e}"),
+            EngineError::Unsupported { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Derives a cycle-accurate core configuration from a processor PUM, so the
+/// board agrees with the model's documented latencies.
+pub fn microarch_config_from_pum(pum: &Pum) -> MicroArchConfig {
+    let cache_size = |path: &MemoryPath| match path {
+        MemoryPath::Cached(c) => c.size,
+        _ => 0,
+    };
+    let fu_delay = |class: OpClass, default: u64| -> u64 {
+        pum.binding(class)
+            .ok()
+            .and_then(|b| b.usage.first())
+            .map(|u| u64::from(pum.datapath.units[u.fu].modes[u.mode].delay))
+            .unwrap_or(default)
+    };
+    let mut config = MicroArchConfig::microblaze_like(
+        cache_size(&pum.memory.ifetch),
+        cache_size(&pum.memory.data),
+    );
+    config.miss_penalty = pum.memory.external_latency;
+    config.branch_penalty = pum.branch.as_ref().map_or(0, |b| b.penalty);
+    config.mul_latency = fu_delay(OpClass::Mul, 3);
+    config.div_latency = fu_delay(OpClass::Div, 32);
+    // Multiple PUM pipelines model superscalar issue (§4.1); mirror that in
+    // the cycle-accurate front end.
+    config.issue_width = pum.datapath.pipelines.len().max(1) as u32;
+    config
+}
+
+/// Whether a PUM describes custom hardware (hardwired control, no fetch).
+pub fn is_custom_hw(pum: &Pum) -> bool {
+    matches!(pum.memory.ifetch, MemoryPath::Hardwired)
+}
+
+/// Processor engine: compiled code on the cycle-accurate core.
+#[derive(Debug)]
+pub struct MicroArchEngine {
+    core: MicroArch,
+}
+
+impl MicroArchEngine {
+    /// Compiles the module and builds the core per the PUM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Codegen`] if compilation fails.
+    pub fn build(
+        module: &Module,
+        entry: FuncId,
+        args: &[i64],
+        pum: &Pum,
+    ) -> Result<MicroArchEngine, EngineError> {
+        let program =
+            Arc::new(build_program(module, entry, args).map_err(EngineError::Codegen)?);
+        Ok(MicroArchEngine { core: MicroArch::new(program, microarch_config_from_pum(pum)) })
+    }
+}
+
+impl Engine for MicroArchEngine {
+    fn run(&mut self, fuel: u64) -> EngineExec {
+        convert_cpu_exec(self.core.run(fuel))
+    }
+
+    fn complete_recv(&mut self, value: i64) {
+        self.core.complete_recv(value as i32);
+    }
+
+    fn complete_send(&mut self) {
+        self.core.complete_send();
+    }
+
+    fn cycles(&self) -> u64 {
+        self.core.cycles()
+    }
+
+    fn outputs(&self) -> Vec<i64> {
+        self.core.cpu().outputs().to_vec()
+    }
+
+    fn counters(&self) -> EngineCounters {
+        let ic = self.core.icache_stats();
+        let dc = self.core.dcache_stats();
+        let bp = self.core.predictor_stats();
+        EngineCounters {
+            instructions: self.core.cpu().stats().instructions,
+            ifetches: ic.accesses,
+            imisses: ic.misses,
+            daccesses: dc.accesses,
+            dmisses: dc.misses,
+            branches: bp.branches,
+            mispredicts: bp.mispredicts,
+        }
+    }
+}
+
+/// Vendor-style ISS engine: same compiled code, coarse timing.
+#[derive(Debug)]
+pub struct CoarseIssEngine {
+    sim: IssSim,
+}
+
+impl CoarseIssEngine {
+    /// Compiles the module and wraps it in the coarse timing model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Codegen`] if compilation fails.
+    pub fn build(
+        module: &Module,
+        entry: FuncId,
+        args: &[i64],
+        pum: &Pum,
+    ) -> Result<CoarseIssEngine, EngineError> {
+        let program =
+            Arc::new(build_program(module, entry, args).map_err(EngineError::Codegen)?);
+        let cache_size = |path: &MemoryPath| match path {
+            MemoryPath::Cached(c) => c.size,
+            _ => 0,
+        };
+        let config = IssTimingConfig::for_caches(
+            cache_size(&pum.memory.ifetch),
+            cache_size(&pum.memory.data),
+        );
+        Ok(CoarseIssEngine { sim: IssSim::new(Cpu::new(program), config) })
+    }
+}
+
+impl Engine for CoarseIssEngine {
+    fn run(&mut self, fuel: u64) -> EngineExec {
+        convert_cpu_exec(self.sim.run(fuel))
+    }
+
+    fn complete_recv(&mut self, value: i64) {
+        self.sim.complete_recv(value as i32);
+    }
+
+    fn complete_send(&mut self) {
+        self.sim.complete_send();
+    }
+
+    fn cycles(&self) -> u64 {
+        self.sim.cycles()
+    }
+
+    fn outputs(&self) -> Vec<i64> {
+        self.sim.cpu().outputs().to_vec()
+    }
+
+    fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            instructions: self.sim.cpu().stats().instructions,
+            ..EngineCounters::default()
+        }
+    }
+}
+
+fn convert_cpu_exec(exec: CpuExec) -> EngineExec {
+    match exec {
+        CpuExec::Done => EngineExec::Done,
+        CpuExec::RecvPending(ch) => EngineExec::RecvPending(ch),
+        CpuExec::SendPending(ch, v) => EngineExec::SendPending(ch, i64::from(v)),
+        CpuExec::Trap(t) => EngineExec::Trap(t.to_string()),
+        CpuExec::OutOfFuel => EngineExec::OutOfFuel,
+    }
+}
+
+/// One basic block's exact sequencer schedule.
+#[derive(Debug, Clone)]
+struct BlockSchedule {
+    cycles: u64,
+    /// Issue cycles of the block's ops, ascending (the sequencer's control
+    /// events).
+    issue_events: Vec<u64>,
+}
+
+/// Custom-hardware engine: the CDFG executed functionally, timed by walking
+/// the exact per-block schedule cycle by cycle like the synthesized
+/// controller's FSM would.
+pub struct HwEngine {
+    machine: Machine,
+    schedules: Arc<Vec<Vec<BlockSchedule>>>,
+    cycles: u64,
+    ops_issued: u64,
+}
+
+impl HwEngine {
+    /// Precomputes every block's schedule under the (non-pipelined) HW PUM
+    /// and readies the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Estimate`] if some block cannot be scheduled,
+    /// or [`EngineError::Unsupported`] if the PUM is not custom hardware
+    /// (pipelined CPUs must use [`MicroArchEngine`] — Algorithm 1 is exact
+    /// only for hardwired single-stage datapaths).
+    pub fn build(
+        module: &Module,
+        entry: FuncId,
+        args: &[i64],
+        pum: &Pum,
+    ) -> Result<HwEngine, EngineError> {
+        if !is_custom_hw(pum) {
+            return Err(EngineError::Unsupported {
+                message: format!("PUM `{}` is not custom hardware", pum.name),
+            });
+        }
+        let mut schedules = Vec::with_capacity(module.functions.len());
+        for (fid, func) in module.functions_iter() {
+            let mut per_block = Vec::with_capacity(func.blocks.len());
+            for (bid, block) in func.blocks_iter() {
+                let dfg = block_dfg(block);
+                let result = schedule_block(pum, block, &dfg, fid, bid)
+                    .map_err(EngineError::Estimate)?;
+                let mut issue_events: Vec<u64> =
+                    result.issue_cycle.iter().flatten().copied().collect();
+                issue_events.sort_unstable();
+                per_block.push(BlockSchedule { cycles: result.cycles, issue_events });
+            }
+            schedules.push(per_block);
+        }
+        Ok(HwEngine {
+            machine: Machine::new(module, entry, args),
+            schedules: Arc::new(schedules),
+            cycles: 0,
+            ops_issued: 0,
+        })
+    }
+}
+
+/// Sequencer hook: on block entry, step the controller FSM through the
+/// block's schedule.
+struct SequencerHook<'a> {
+    schedules: &'a [Vec<BlockSchedule>],
+    cycles: &'a mut u64,
+    ops_issued: &'a mut u64,
+}
+
+impl ExecHook for SequencerHook<'_> {
+    fn on_block(&mut self, func: FuncId, block: BlockId) {
+        let sched = &self.schedules[func.0 as usize][block.0 as usize];
+        // Walk the FSM: one state per datapath cycle, consuming issue
+        // events as they fire. (This per-cycle walk is what makes PCAM
+        // simulation slow, faithfully.)
+        let mut next_event = 0usize;
+        for cycle in 0..sched.cycles {
+            while next_event < sched.issue_events.len()
+                && sched.issue_events[next_event] == cycle
+            {
+                next_event += 1;
+                *self.ops_issued += 1;
+            }
+        }
+        *self.cycles += sched.cycles;
+    }
+}
+
+impl Engine for HwEngine {
+    fn run(&mut self, fuel: u64) -> EngineExec {
+        let schedules = self.schedules.clone();
+        let mut hook = SequencerHook {
+            schedules: &schedules,
+            cycles: &mut self.cycles,
+            ops_issued: &mut self.ops_issued,
+        };
+        match self.machine.run_fuel(&mut hook, fuel) {
+            Exec::Done => EngineExec::Done,
+            Exec::RecvPending(ch) => EngineExec::RecvPending(ch.0),
+            Exec::SendPending(ch, v) => EngineExec::SendPending(ch.0, v),
+            Exec::Trap(t) => EngineExec::Trap(t.to_string()),
+            Exec::OutOfFuel => EngineExec::OutOfFuel,
+        }
+    }
+
+    fn complete_recv(&mut self, value: i64) {
+        self.cycles += 1; // handshake register transfer
+        self.machine.complete_recv(value);
+    }
+
+    fn complete_send(&mut self) {
+        self.cycles += 1;
+        self.machine.complete_send();
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn outputs(&self) -> Vec<i64> {
+        self.machine.outputs().to_vec()
+    }
+
+    fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            instructions: self.machine.stats().ops,
+            ..EngineCounters::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlm_core::library;
+
+    fn module(src: &str) -> Module {
+        tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers")
+    }
+
+    const KERNEL: &str = "int t[32];
+        void main() {
+            for (int i = 0; i < 32; i++) { t[i] = i * i; }
+            int s = 0;
+            for (int i = 0; i < 32; i++) { s += t[i]; }
+            out(s);
+        }";
+
+    #[test]
+    fn all_engines_agree_functionally() {
+        let m = module(KERNEL);
+        let entry = m.function_id("main").expect("main");
+        let cpu_pum = library::microblaze_like(8 << 10, 4 << 10);
+        let hw_pum = library::custom_hw("hw", 2, 2);
+
+        let mut board = MicroArchEngine::build(&m, entry, &[], &cpu_pum).expect("builds");
+        let mut iss = CoarseIssEngine::build(&m, entry, &[], &cpu_pum).expect("builds");
+        let mut hw = HwEngine::build(&m, entry, &[], &hw_pum).expect("builds");
+        assert_eq!(board.run(u64::MAX), EngineExec::Done);
+        assert_eq!(iss.run(u64::MAX), EngineExec::Done);
+        assert_eq!(hw.run(u64::MAX), EngineExec::Done);
+        let expect: i64 = (0..32).map(|i| i * i).sum();
+        assert_eq!(board.outputs(), vec![expect]);
+        assert_eq!(iss.outputs(), vec![expect]);
+        assert_eq!(hw.outputs(), vec![expect]);
+    }
+
+    #[test]
+    fn hw_engine_is_faster_in_cycles_than_the_cpu() {
+        let m = module(KERNEL);
+        let entry = m.function_id("main").expect("main");
+        let mut cpu =
+            MicroArchEngine::build(&m, entry, &[], &library::microblaze_like(8 << 10, 4 << 10))
+                .expect("builds");
+        let mut hw =
+            HwEngine::build(&m, entry, &[], &library::custom_hw("hw", 2, 2)).expect("builds");
+        cpu.run(u64::MAX);
+        hw.run(u64::MAX);
+        assert!(
+            hw.cycles() * 2 < cpu.cycles(),
+            "hw {} vs cpu {}",
+            hw.cycles(),
+            cpu.cycles()
+        );
+    }
+
+    #[test]
+    fn hw_engine_rejects_cpu_pums() {
+        let m = module(KERNEL);
+        let entry = m.function_id("main").expect("main");
+        let Err(err) = HwEngine::build(&m, entry, &[], &library::microblaze_like(0, 0)) else {
+            panic!("CPU PUM is not custom HW");
+        };
+        assert!(matches!(err, EngineError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn microarch_config_derivation() {
+        let pum = library::microblaze_like(16 << 10, 2 << 10);
+        let config = microarch_config_from_pum(&pum);
+        assert_eq!(config.icache.size_bytes, 16 << 10);
+        assert_eq!(config.dcache.size_bytes, 2 << 10);
+        assert_eq!(config.mul_latency, 3);
+        assert_eq!(config.div_latency, 32);
+        assert_eq!(config.branch_penalty, 2);
+        assert_eq!(config.miss_penalty, library::EXTERNAL_LATENCY);
+    }
+
+    #[test]
+    fn counters_flow_through() {
+        let m = module(KERNEL);
+        let entry = m.function_id("main").expect("main");
+        let mut engine =
+            MicroArchEngine::build(&m, entry, &[], &library::microblaze_like(2 << 10, 2 << 10))
+                .expect("builds");
+        engine.run(u64::MAX);
+        let c = engine.counters();
+        assert!(c.instructions > 0);
+        assert!(c.ifetches >= c.instructions);
+        assert!(c.branches > 0);
+        assert!(c.daccesses >= 64, "64 array accesses at least");
+    }
+
+    #[test]
+    fn channel_protocol_round_trip_on_hw() {
+        let m = module("void main() { int v = ch_recv(0); ch_send(1, v + 5); }");
+        let entry = m.function_id("main").expect("main");
+        let mut hw =
+            HwEngine::build(&m, entry, &[], &library::custom_hw("hw", 1, 1)).expect("builds");
+        assert_eq!(hw.run(u64::MAX), EngineExec::RecvPending(0));
+        hw.complete_recv(10);
+        assert_eq!(hw.run(u64::MAX), EngineExec::SendPending(1, 15));
+        hw.complete_send();
+        assert_eq!(hw.run(u64::MAX), EngineExec::Done);
+        assert!(hw.cycles() > 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the TLM performance-estimation workspace.
+//!
+//! Re-exports the member crates so integration tests and examples can use a
+//! single dependency. See the individual crates for the real APIs:
+//! [`tlm_core`] (estimation engine), [`tlm_platform`] (TLM assembly),
+//! [`tlm_pcam`] (cycle-accurate golden model).
+
+pub use tlm_apps as apps;
+pub use tlm_cdfg as cdfg;
+pub use tlm_core as core;
+pub use tlm_desim as desim;
+pub use tlm_iss as iss;
+pub use tlm_minic as minic;
+pub use tlm_pcam as pcam;
+pub use tlm_platform as platform;

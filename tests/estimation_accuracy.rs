@@ -1,0 +1,82 @@
+//! Accuracy guardrails: after characterization on a training input, the
+//! timed-TLM estimate of a *different* input must stay close to the
+//! cycle-accurate board measurement — the paper's headline result (its
+//! averages are 6–9%; we gate at a slightly looser 10% so the test is not
+//! brittle to workload tweaks).
+
+use tlm_apps::{Mp3Design, Mp3Params};
+use tlm_bench::{characterize_cpu, characterized_platform, end_time_cycles, error_pct};
+use tlm_pcam::{run_board, run_iss, BoardConfig};
+use tlm_platform::tlm::{run_tlm, TlmConfig, TlmMode};
+
+fn training() -> Mp3Params {
+    Mp3Params { seed: 0x1234_5678, frames: 1 }
+}
+
+fn evaluation() -> Mp3Params {
+    Mp3Params { seed: 0x6b43_a9b5, frames: 2 }
+}
+
+#[test]
+fn sw_estimate_tracks_board_within_ten_percent() {
+    let chr = characterize_cpu(Mp3Design::Sw, training());
+    for (ic, dc) in [(0u32, 0u32), (8 << 10, 4 << 10), (32 << 10, 16 << 10)] {
+        let platform = characterized_platform(Mp3Design::Sw, evaluation(), ic, dc, &chr);
+        let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
+        let tlm =
+            run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+        let err = error_pct(end_time_cycles(tlm.end_time), end_time_cycles(board.end_time));
+        assert!(
+            err.abs() < 10.0,
+            "SW at {ic}/{dc}: estimate off by {err:.2}%"
+        );
+    }
+}
+
+#[test]
+fn hw_design_estimate_tracks_board_within_ten_percent() {
+    let chr = characterize_cpu(Mp3Design::SwPlus4, training());
+    let platform =
+        characterized_platform(Mp3Design::SwPlus4, evaluation(), 8 << 10, 4 << 10, &chr);
+    let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
+    let tlm = run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+    let err = error_pct(end_time_cycles(tlm.end_time), end_time_cycles(board.end_time));
+    assert!(err.abs() < 10.0, "SW+4: estimate off by {err:.2}%");
+}
+
+#[test]
+fn tlm_beats_the_vendor_iss_on_average() {
+    // The paper's Table 2 punchline.
+    let chr = characterize_cpu(Mp3Design::Sw, training());
+    let mut iss_err = 0.0;
+    let mut tlm_err = 0.0;
+    let configs = [(0u32, 0u32), (2 << 10, 2 << 10), (16 << 10, 16 << 10)];
+    for (ic, dc) in configs {
+        let platform = characterized_platform(Mp3Design::Sw, evaluation(), ic, dc, &chr);
+        let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
+        let iss = run_iss(&platform, &BoardConfig::default()).expect("ISS runs");
+        let tlm =
+            run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+        let b = end_time_cycles(board.end_time);
+        iss_err += error_pct(end_time_cycles(iss.end_time), b).abs();
+        tlm_err += error_pct(end_time_cycles(tlm.end_time), b).abs();
+    }
+    assert!(
+        tlm_err < iss_err,
+        "TLM total |err| {tlm_err:.2}% vs ISS {iss_err:.2}%"
+    );
+}
+
+#[test]
+fn characterization_measures_sane_parameters() {
+    let chr = characterize_cpu(Mp3Design::Sw, training());
+    for (&size, &rate) in &chr.icache_rates {
+        assert!((0.0..=1.0).contains(&rate), "icache rate {rate} at {size}");
+    }
+    // Hit rates grow (weakly) with cache size on this workload.
+    let d: Vec<f64> = chr.dcache_rates.values().copied().collect();
+    assert!(d.windows(2).all(|w| w[1] >= w[0] - 1e-9), "dcache rates not monotone: {d:?}");
+    assert!((0.0..=1.0).contains(&chr.mispredict_rate));
+    assert!(chr.fetch_expansion >= 1.0 && chr.fetch_expansion < 3.0);
+    assert!(chr.data_expansion > 0.5 && chr.data_expansion < 3.0);
+}

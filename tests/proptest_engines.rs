@@ -1,0 +1,216 @@
+//! Property-based tests: randomly generated MiniC programs must behave
+//! identically on the CDFG interpreter and on the compiled ISA core, and
+//! core estimator invariants must hold for every generated block.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use tlm_cdfg::dfg::block_dfg;
+use tlm_cdfg::interp::{Exec, Machine, NoopHook};
+use tlm_cdfg::ir::Module;
+use tlm_core::library;
+use tlm_core::schedule::schedule_block;
+use tlm_iss::codegen::build_program;
+use tlm_iss::cpu::{Cpu, CpuExec};
+
+/// A tiny expression AST we render to MiniC text.
+#[derive(Debug, Clone)]
+enum GenExpr {
+    Lit(i32),
+    Var(usize),
+    Bin(&'static str, Box<GenExpr>, Box<GenExpr>),
+    /// Division with a guarded (never-zero) divisor.
+    SafeDiv(Box<GenExpr>, Box<GenExpr>),
+}
+
+fn render(expr: &GenExpr, n_vars: usize) -> String {
+    match expr {
+        GenExpr::Lit(v) => format!("{v}"),
+        GenExpr::Var(i) => format!("x{}", i % n_vars.max(1)),
+        GenExpr::Bin(op, a, b) => {
+            format!("({} {op} {})", render(a, n_vars), render(b, n_vars))
+        }
+        GenExpr::SafeDiv(a, b) => {
+            format!("({} / (({} & 1023) + 7))", render(a, n_vars), render(b, n_vars))
+        }
+    }
+}
+
+fn expr_strategy(depth: u32) -> impl Strategy<Value = GenExpr> {
+    let leaf = prop_oneof![
+        (-4096i32..4096).prop_map(GenExpr::Lit),
+        (0usize..8).prop_map(GenExpr::Var),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^"),
+                    Just("<"),
+                    Just(">="),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| GenExpr::Bin(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| GenExpr::SafeDiv(
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+/// Renders a full program: seed variables, a chain of derived values, some
+/// array traffic, a data-dependent branch and a small loop, then outputs.
+fn program_from(exprs: &[GenExpr], seeds: &[i32]) -> String {
+    let n = seeds.len();
+    let mut src = String::from("int scratch[16];\nvoid main() {\n");
+    for (i, s) in seeds.iter().enumerate() {
+        src.push_str(&format!("    int x{i} = {s};\n"));
+    }
+    for (k, e) in exprs.iter().enumerate() {
+        let target = k % n;
+        src.push_str(&format!("    x{target} = {};\n", render(e, n)));
+        src.push_str(&format!("    scratch[{} & 15] = x{target};\n", 3 * k + 1));
+    }
+    src.push_str("    int acc = 0;\n");
+    src.push_str(&format!("    for (int i = 0; i < {}; i++) {{\n", 8 + n));
+    src.push_str("        if ((scratch[i & 15] ^ i) & 1) { acc += scratch[i & 15]; }\n");
+    src.push_str("        else { acc -= i; }\n");
+    src.push_str("    }\n");
+    for i in 0..n {
+        src.push_str(&format!("    out(x{i});\n"));
+    }
+    src.push_str("    out(acc);\n}\n");
+    src
+}
+
+fn lower(src: &str) -> Module {
+    tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers")
+}
+
+fn run_both(module: &Module) -> (Vec<i64>, Vec<i64>) {
+    let main = module.function_id("main").expect("main");
+    let mut machine = Machine::new(module, main, &[]);
+    assert_eq!(machine.run(&mut NoopHook), Exec::Done);
+    let program = Arc::new(build_program(module, main, &[]).expect("compiles"));
+    let mut cpu = Cpu::new(program);
+    assert_eq!(cpu.run(u64::MAX), CpuExec::Done);
+    (machine.outputs().to_vec(), cpu.outputs().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interpreter_and_compiled_core_agree(
+        exprs in prop::collection::vec(expr_strategy(3), 1..10),
+        seeds in prop::collection::vec(-1000i32..1000, 2..8),
+    ) {
+        let src = program_from(&exprs, &seeds);
+        let module = lower(&src);
+        let (interp, cpu) = run_both(&module);
+        prop_assert_eq!(interp, cpu, "divergence on:\n{}", src);
+    }
+
+    #[test]
+    fn optimizer_preserves_random_program_semantics(
+        exprs in prop::collection::vec(expr_strategy(3), 1..8),
+        seeds in prop::collection::vec(-500i32..500, 2..6),
+    ) {
+        let src = program_from(&exprs, &seeds);
+        let plain = lower(&src);
+        let mut optimized = plain.clone();
+        tlm_cdfg::passes::optimize(&mut optimized);
+        let main = plain.function_id("main").expect("main");
+        let run = |m: &Module| {
+            let mut machine = Machine::new(m, main, &[]);
+            assert_eq!(machine.run(&mut NoopHook), Exec::Done);
+            machine.outputs().to_vec()
+        };
+        prop_assert_eq!(run(&plain), run(&optimized), "optimizer broke:\n{}", src);
+    }
+
+    #[test]
+    fn schedule_respects_fundamental_bounds(
+        exprs in prop::collection::vec(expr_strategy(2), 1..6),
+        seeds in prop::collection::vec(-100i32..100, 2..5),
+    ) {
+        // For every basic block of a random program and every library PUM:
+        // the schedule is at least as long as the DFG critical path (unit
+        // latencies) and no longer than the serial sum of op durations plus
+        // pipeline fill.
+        let src = program_from(&exprs, &seeds);
+        let module = lower(&src);
+        for pum in [library::microblaze_like(8192, 4096), library::custom_hw("hw", 2, 2)] {
+            for (fid, func) in module.functions_iter() {
+                for (bid, block) in func.blocks_iter() {
+                    let dfg = block_dfg(block);
+                    let result = schedule_block(&pum, block, &dfg, fid, bid)
+                        .expect("schedules");
+                    let n_transparent = block
+                        .ops
+                        .iter()
+                        .filter(|op| {
+                            pum.binding(op.class()).is_ok_and(|b| b.transparent)
+                        })
+                        .count();
+                    let scheduled = block.ops.len() - n_transparent;
+                    if scheduled > 0 {
+                        prop_assert!(result.cycles >= 1);
+                    }
+                    // Generous serial upper bound: every op serialised at
+                    // its worst-stage duration, plus fill and drain.
+                    let worst: u64 = block.ops.iter().map(|op| {
+                        pum.binding(op.class())
+                            .map(|b| b.usage.iter().map(|u| {
+                                u64::from(pum.datapath.units[u.fu].modes[u.mode].delay)
+                            }).max().unwrap_or(1))
+                            .unwrap_or(1)
+                            + pum.max_stages() as u64
+                    }).sum();
+                    prop_assert!(
+                        result.raw_cycles <= worst.max(1),
+                        "{fid}/{bid}: raw {} > serial bound {worst}",
+                        result.raw_cycles
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_units_stay_within_grahams_bound(
+        exprs in prop::collection::vec(expr_strategy(2), 2..6),
+        seeds in prop::collection::vec(-100i32..100, 3..6),
+    ) {
+        // Greedy list scheduling is subject to Graham's anomaly — adding
+        // functional units can lengthen a schedule by a cycle or two — but
+        // it can never *double* it (Graham's 2 − 1/m bound). Check that,
+        // plus the common-sense direction for the overwhelming majority of
+        // blocks.
+        let src = program_from(&exprs, &seeds);
+        let module = lower(&src);
+        let narrow = library::custom_hw("narrow", 1, 1);
+        let wide = library::custom_hw("wide", 4, 4);
+        for (fid, func) in module.functions_iter() {
+            for (bid, block) in func.blocks_iter() {
+                let dfg = block_dfg(block);
+                let n = schedule_block(&narrow, block, &dfg, fid, bid).expect("schedules");
+                let w = schedule_block(&wide, block, &dfg, fid, bid).expect("schedules");
+                prop_assert!(
+                    w.cycles <= n.cycles * 2,
+                    "{fid}/{bid}: wide {} vs narrow {} violates Graham's bound",
+                    w.cycles,
+                    n.cycles
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The retargeting-by-data contract: every shipped PUM model file loads,
+//! validates, round-trips, and drives the estimator on a real kernel.
+
+use std::path::Path;
+
+use tlm_apps::kernels;
+use tlm_core::annotate::annotate;
+use tlm_core::Pum;
+
+fn model_files() -> Vec<std::path::PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("models");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("models/ exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn all_shipped_models_load_and_validate() {
+    let files = model_files();
+    assert!(files.len() >= 6, "expected the shipped model set, found {files:?}");
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let pum = Pum::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Round trip through the codec is lossless.
+        let again = Pum::from_json(&pum.to_json()).expect("round-trips");
+        assert_eq!(pum, again, "{}", path.display());
+    }
+}
+
+#[test]
+fn shipped_models_estimate_a_real_kernel() {
+    let module = tlm_cdfg::lower::lower(
+        &tlm_minic::parse(&kernels::fir(32, 64)).expect("parses"),
+    )
+    .expect("lowers");
+    for path in model_files() {
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let pum = Pum::from_json(&text).expect("valid");
+        let timed = annotate(&module, &pum)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(timed.total_annotated_blocks() > 0);
+    }
+}
+
+#[test]
+fn corrupted_model_is_rejected_with_context() {
+    let path = model_files().into_iter().next().expect("at least one model");
+    let text = std::fs::read_to_string(path).expect("readable");
+    // Break an invariant rather than the syntax: zero out a clock.
+    let broken = text.replace("\"clock_period_ps\": 10000", "\"clock_period_ps\": 0");
+    let err = Pum::from_json(&broken).expect_err("invalid model");
+    assert!(err.to_string().contains("clock"), "{err}");
+}
