@@ -121,9 +121,7 @@ pub fn build_mp3_platform(
     let (pe_fl, pe_il, pe_fr, pe_ir) = match design {
         Mp3Design::Sw => (cpu, cpu, cpu, cpu),
         Mp3Design::SwPlus1 => (hw(&mut b, "filter_hw_l", 2), cpu, cpu, cpu),
-        Mp3Design::SwPlus2 => {
-            (hw(&mut b, "filter_hw_l", 2), hw(&mut b, "imdct_hw_l", 2), cpu, cpu)
-        }
+        Mp3Design::SwPlus2 => (hw(&mut b, "filter_hw_l", 2), hw(&mut b, "imdct_hw_l", 2), cpu, cpu),
         Mp3Design::SwPlus4 => (
             hw(&mut b, "filter_hw_l", 2),
             hw(&mut b, "imdct_hw_l", 2),
@@ -133,7 +131,13 @@ pub fn build_mp3_platform(
     };
 
     let granules = params.granules();
-    b.add_process("frontend", &frontend, "main", &[i64::from(params.seed), i64::from(params.frames)], cpu)?;
+    b.add_process(
+        "frontend",
+        &frontend,
+        "main",
+        &[i64::from(params.seed), i64::from(params.frames)],
+        cpu,
+    )?;
     b.add_process("imdct_l", &imdct_l, "main", &[granules], pe_il)?;
     b.add_process("imdct_r", &imdct_r, "main", &[granules], pe_ir)?;
     b.add_process("filter_l", &filter_l, "main", &[granules], pe_fl)?;
@@ -170,15 +174,14 @@ mod tests {
 
     #[test]
     fn sw_design_keeps_all_channels_local() {
-        let p = build_mp3_platform(Mp3Design::Sw, Mp3Params::training(), 0, 0)
-            .expect("builds");
+        let p = build_mp3_platform(Mp3Design::Sw, Mp3Params::training(), 0, 0).expect("builds");
         assert!(p.channels.values().all(|c| c.bus.is_none()));
     }
 
     #[test]
     fn hw_designs_use_the_bus() {
-        let p = build_mp3_platform(Mp3Design::SwPlus4, Mp3Params::training(), 0, 0)
-            .expect("builds");
+        let p =
+            build_mp3_platform(Mp3Design::SwPlus4, Mp3Params::training(), 0, 0).expect("builds");
         let on_bus = p.channels.values().filter(|c| c.bus.is_some()).count();
         assert_eq!(on_bus, 6, "every hop crosses PEs in SW+4");
     }

@@ -274,11 +274,8 @@ pub fn build_image_platform(
 
     let mut b = PlatformBuilder::new(if accelerated { "image-hw" } else { "image-sw" });
     let cpu = b.add_pe("cpu", library::microblaze_like(icache_bytes, dcache_bytes));
-    let transform_pe = if accelerated {
-        b.add_pe("dct_hw", library::custom_hw("dct_hw", 2, 2))
-    } else {
-        cpu
-    };
+    let transform_pe =
+        if accelerated { b.add_pe("dct_hw", library::custom_hw("dct_hw", 2, 2)) } else { cpu };
     let blocks = i64::from(params.blocks);
     b.add_process("camera", &camera, "main", &[i64::from(params.seed), blocks], cpu)?;
     b.add_process("transform", &transform, "main", &[blocks], transform_pe)?;
@@ -306,8 +303,8 @@ mod tests {
 
     #[test]
     fn pipeline_compresses_something() {
-        let p = build_image_platform(false, ImageParams::small(), 8 << 10, 4 << 10)
-            .expect("builds");
+        let p =
+            build_image_platform(false, ImageParams::small(), 8 << 10, 4 << 10).expect("builds");
         let r = run_tlm(&p, TlmMode::Functional, &TlmConfig::default()).expect("runs");
         assert!(r.all_finished());
         let outs = &r.outputs["store"];
@@ -326,12 +323,7 @@ mod tests {
         let rs = run_tlm(&sw, TlmMode::Timed, &TlmConfig::default()).expect("runs");
         let rh = run_tlm(&hw, TlmMode::Timed, &TlmConfig::default()).expect("runs");
         assert_eq!(rs.outputs["store"], rh.outputs["store"]);
-        assert!(
-            rh.end_time < rs.end_time,
-            "hw {} vs sw {}",
-            rh.end_time,
-            rs.end_time
-        );
+        assert!(rh.end_time < rs.end_time, "hw {} vs sw {}", rh.end_time, rs.end_time);
     }
 
     #[test]

@@ -67,9 +67,7 @@ pub fn matrix_table() -> Vec<i64> {
     let mut t = Vec::with_capacity(64 * 32);
     for i in 0..64usize {
         for k in 0..32usize {
-            let angle = std::f64::consts::PI / 64.0
-                * ((16 + i) as f64)
-                * (2.0 * k as f64 + 1.0);
+            let angle = std::f64::consts::PI / 64.0 * ((16 + i) as f64) * (2.0 * k as f64 + 1.0);
             t.push((4096.0 * angle.cos()).round() as i64);
         }
     }
@@ -272,8 +270,8 @@ mod tests {
             ("filter", filter_source(chan::SUB_L, chan::PCM_L)),
             ("sink", sink_source()),
         ] {
-            let program = tlm_minic::parse(&src)
-                .unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+            let program =
+                tlm_minic::parse(&src).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
             let module = tlm_cdfg::lower::lower(&program)
                 .unwrap_or_else(|e| panic!("{name} does not lower: {e}"));
             module.validate().unwrap_or_else(|e| panic!("{name} invalid: {e}"));

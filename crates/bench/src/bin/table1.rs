@@ -40,8 +40,8 @@ fn main() {
     ]);
 
     for design in Mp3Design::ALL {
-        let platform = build_mp3_platform(design, params, 8 << 10, 4 << 10)
-            .expect("platform builds");
+        let platform =
+            build_mp3_platform(design, params, 8 << 10, 4 << 10).expect("platform builds");
 
         let annotated = annotate_platform(&platform).expect("annotation succeeds");
         let func = run_tlm(&platform, TlmMode::Functional, &config).expect("functional runs");

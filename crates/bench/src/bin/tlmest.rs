@@ -81,8 +81,7 @@ fn run(opts: &Options) -> Result<(), String> {
 
     let pum: Pum = match &opts.pum {
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             Pum::from_json(&text).map_err(|e| format!("{path}: {e}"))?
         }
         None => library::microblaze_like(8 << 10, 4 << 10),
@@ -99,8 +98,7 @@ fn run(opts: &Options) -> Result<(), String> {
     // Static per-function summary.
     println!("\nper-function static estimate (sum over blocks):");
     for (fid, func) in module.functions_iter() {
-        let total: u64 =
-            func.blocks_iter().map(|(bid, _)| timed.cycles(fid, bid)).sum();
+        let total: u64 = func.blocks_iter().map(|(bid, _)| timed.cycles(fid, bid)).sum();
         println!(
             "  {:<20} {:>4} blocks {:>6} ops {:>8} cycles",
             func.name,
@@ -115,7 +113,10 @@ fn run(opts: &Options) -> Result<(), String> {
             .function_id(&opts.entry)
             .ok_or_else(|| format!("entry `{}` not found", opts.entry))?;
         if !module.function(entry).params.is_empty() {
-            return Err(format!("entry `{}` takes arguments; --profile needs a 0-arg entry", opts.entry));
+            return Err(format!(
+                "entry `{}` takes arguments; --profile needs a 0-arg entry",
+                opts.entry
+            ));
         }
         let mut machine = Machine::new(&module, entry, &[]);
         let mut profile = BlockProfile::new(&module);

@@ -80,11 +80,7 @@ impl Cfg {
 }
 
 /// Cooper–Harvey–Kennedy iterative dominator computation.
-fn compute_idom(
-    rpo: &[BlockId],
-    preds: &[Vec<BlockId>],
-    n: usize,
-) -> Vec<Option<BlockId>> {
+fn compute_idom(rpo: &[BlockId], preds: &[Vec<BlockId>], n: usize) -> Vec<Option<BlockId>> {
     let mut rpo_index = vec![usize::MAX; n];
     for (i, &b) in rpo.iter().enumerate() {
         rpo_index[b.0 as usize] = i;
@@ -168,10 +164,8 @@ pub fn natural_loops(func: &FunctionData, cfg: &Cfg) -> Vec<NaturalLoop> {
             }
         }
     }
-    let mut result: Vec<NaturalLoop> = loops
-        .into_iter()
-        .map(|(header, body)| NaturalLoop { header, body })
-        .collect();
+    let mut result: Vec<NaturalLoop> =
+        loops.into_iter().map(|(header, body)| NaturalLoop { header, body }).collect();
     result.sort_by_key(|l| l.header);
     result
 }
@@ -256,17 +250,11 @@ mod tests {
         let f = &m.functions[0];
         let cfg = Cfg::of(f);
         // Find the conditional block and its successors.
-        let (cond_bid, _) = f
-            .blocks_iter()
-            .find(|(_, b)| b.term.is_conditional())
-            .expect("has branch");
+        let (cond_bid, _) =
+            f.blocks_iter().find(|(_, b)| b.term.is_conditional()).expect("has branch");
         let succs = &cfg.succs[cond_bid.0 as usize];
-        let join_candidates: Vec<BlockId> = cfg
-            .rpo
-            .iter()
-            .copied()
-            .filter(|&b| cfg.preds[b.0 as usize].len() >= 2)
-            .collect();
+        let join_candidates: Vec<BlockId> =
+            cfg.rpo.iter().copied().filter(|&b| cfg.preds[b.0 as usize].len() >= 2).collect();
         assert!(!join_candidates.is_empty(), "diamond has a join");
         for &join in &join_candidates {
             for &arm in succs {

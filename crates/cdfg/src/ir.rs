@@ -199,10 +199,7 @@ impl Op {
 
     /// Whether the op must terminate its basic block.
     pub fn is_block_terminal(&self) -> bool {
-        matches!(
-            self.kind,
-            OpKind::Call { .. } | OpKind::ChanRecv { .. } | OpKind::ChanSend { .. }
-        )
+        matches!(self.kind, OpKind::Call { .. } | OpKind::ChanRecv { .. } | OpKind::ChanSend { .. })
     }
 
     /// Whether the op has side effects beyond its result register.
@@ -441,12 +438,13 @@ impl Module {
                     }
                     match &op.kind {
                         OpKind::Load { array } | OpKind::Store { array }
-                            if array.0 as usize >= self.arrays.len() => {
-                                return err(format!(
-                                    "{}/{} references unknown array {:?}",
-                                    f.name, bid, array
-                                ));
-                            }
+                            if array.0 as usize >= self.arrays.len() =>
+                        {
+                            return err(format!(
+                                "{}/{} references unknown array {:?}",
+                                f.name, bid, array
+                            ));
+                        }
                         OpKind::Call { func } => {
                             let Some(callee) = self.functions.get(func.0 as usize) else {
                                 return err(format!(
@@ -627,10 +625,9 @@ mod tests {
     #[test]
     fn call_must_be_block_terminal() {
         let mut m = tiny_module();
-        m.functions[0].blocks[0].ops.insert(
-            0,
-            Op { kind: OpKind::Call { func: FuncId(0) }, args: vec![], result: None },
-        );
+        m.functions[0].blocks[0]
+            .ops
+            .insert(0, Op { kind: OpKind::Call { func: FuncId(0) }, args: vec![], result: None });
         let err = m.validate().expect_err("call mid-block");
         assert!(err.message.contains("block-terminal"));
     }

@@ -14,8 +14,8 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use tlm_minic::ast::{self, const_eval, Block as AstBlock, Expr, Init, LValue, Program, Stmt};
 use tlm_minic::ast::BinOp;
+use tlm_minic::ast::{self, const_eval, Block as AstBlock, Expr, Init, LValue, Program, Stmt};
 
 use crate::ir::{
     ArrayData, ArrayId, ArrayScope, BlockData, BlockId, ChanId, FuncId, FunctionData, Module, Op,
@@ -82,8 +82,7 @@ pub fn lower(program: &Program) -> Result<Module, LowerError> {
             init,
             scope: ArrayScope::Global,
         });
-        let binding =
-            if is_scalar { Binding::GlobalScalar(id) } else { Binding::Array(id) };
+        let binding = if is_scalar { Binding::GlobalScalar(id) } else { Binding::Array(id) };
         global_bindings.insert(g.name.clone(), binding);
     }
 
@@ -101,9 +100,7 @@ pub fn lower(program: &Program) -> Result<Module, LowerError> {
         module.functions.push(lowered);
     }
 
-    module
-        .validate()
-        .map_err(|e| err(format!("lowering produced an invalid module: {e}")))?;
+    module.validate().map_err(|e| err(format!("lowering produced an invalid module: {e}")))?;
     Ok(module)
 }
 
@@ -203,9 +200,11 @@ impl<'a> FunctionLowering<'a> {
             for i in 0..self.blocks.len() {
                 if matches!(self.blocks[i].term, Some(Terminator::Return(None))) {
                     let reg = self.new_vreg();
-                    self.blocks[i]
-                        .ops
-                        .push(Op { kind: OpKind::Const(0), args: vec![], result: Some(reg) });
+                    self.blocks[i].ops.push(Op {
+                        kind: OpKind::Const(0),
+                        args: vec![],
+                        result: Some(reg),
+                    });
                     self.blocks[i].term = Some(Terminator::Return(Some(reg)));
                 }
             }
@@ -239,10 +238,7 @@ impl<'a> FunctionLowering<'a> {
     }
 
     fn bind(&mut self, name: &str, binding: Binding) {
-        self.scopes
-            .last_mut()
-            .expect("scope stack never empty")
-            .insert(name.to_string(), binding);
+        self.scopes.last_mut().expect("scope stack never empty").insert(name.to_string(), binding);
     }
 
     fn lookup(&self, name: &str) -> Result<Binding, LowerError> {
@@ -251,10 +247,7 @@ impl<'a> FunctionLowering<'a> {
                 return Ok(b);
             }
         }
-        self.globals
-            .get(name)
-            .copied()
-            .ok_or_else(|| err(format!("unbound variable `{name}`")))
+        self.globals.get(name).copied().ok_or_else(|| err(format!("unbound variable `{name}`")))
     }
 
     fn emit(&mut self, op: Op) {
@@ -334,8 +327,7 @@ impl<'a> FunctionLowering<'a> {
             Stmt::Switch { scrutinee, cases, .. } => {
                 let scrutinee_reg = self.lower_expr(scrutinee)?;
                 let exit = self.new_block();
-                let body_blocks: Vec<BlockId> =
-                    cases.iter().map(|_| self.new_block()).collect();
+                let body_blocks: Vec<BlockId> = cases.iter().map(|_| self.new_block()).collect();
 
                 // Dispatch chain: one equality test per label, in source
                 // order, falling through to the default (or the exit).
@@ -359,23 +351,19 @@ impl<'a> FunctionLowering<'a> {
                         self.current = next_test;
                     }
                 }
-                let default_target = cases
-                    .iter()
-                    .position(|c| c.is_default)
-                    .map_or(exit, |i| body_blocks[i]);
+                let default_target =
+                    cases.iter().position(|c| c.is_default).map_or(exit, |i| body_blocks[i]);
                 self.terminate(Terminator::Jump(default_target));
 
                 // Bodies: C fallthrough into the next arm; `break` exits.
                 // `continue` still targets the enclosing loop.
-                let continue_to =
-                    self.loops.last().map_or(exit, |l| l.continue_to);
+                let continue_to = self.loops.last().map_or(exit, |l| l.continue_to);
                 self.loops.push(LoopTargets { break_to: exit, continue_to });
                 for (i, case) in cases.iter().enumerate() {
                     self.current = body_blocks[i];
                     self.lower_block(&AstBlock { stmts: case.body.clone() })?;
                     if self.blocks[self.current.0 as usize].term.is_none() {
-                        let fall =
-                            body_blocks.get(i + 1).copied().unwrap_or(exit);
+                        let fall = body_blocks.get(i + 1).copied().unwrap_or(exit);
                         self.terminate(Terminator::Jump(fall));
                     }
                 }
@@ -483,11 +471,8 @@ impl<'a> FunctionLowering<'a> {
                 Ok(())
             }
             Stmt::Break(_) => {
-                let target = self
-                    .loops
-                    .last()
-                    .ok_or_else(|| err("break outside loop".into()))?
-                    .break_to;
+                let target =
+                    self.loops.last().ok_or_else(|| err("break outside loop".into()))?.break_to;
                 self.terminate(Terminator::Jump(target));
                 Ok(())
             }
@@ -513,7 +498,8 @@ impl<'a> FunctionLowering<'a> {
         match size {
             Some(size_expr) => {
                 let len = const_eval(size_expr)
-                    .ok_or_else(|| err(format!("non-constant size for `{name}`")))? as usize;
+                    .ok_or_else(|| err(format!("non-constant size for `{name}`")))?
+                    as usize;
                 let init_vals = match init {
                     Init::None => Vec::new(),
                     Init::List(items) => items
@@ -623,9 +609,7 @@ impl<'a> FunctionLowering<'a> {
             LValue::Index(name, index, _) => {
                 let array = match self.lookup(name)? {
                     Binding::Array(a) | Binding::GlobalScalar(a) => a,
-                    Binding::Scalar(_) => {
-                        return Err(err(format!("indexing scalar `{name}`")))
-                    }
+                    Binding::Scalar(_) => return Err(err(format!("indexing scalar `{name}`"))),
                 };
                 let idx = self.lower_expr(index)?;
                 let new_value = match op {
@@ -677,9 +661,7 @@ impl<'a> FunctionLowering<'a> {
             Expr::Index(name, index, _) => {
                 let array = match self.lookup(name)? {
                     Binding::Array(a) | Binding::GlobalScalar(a) => a,
-                    Binding::Scalar(_) => {
-                        return Err(err(format!("indexing scalar `{name}`")))
-                    }
+                    Binding::Scalar(_) => return Err(err(format!("indexing scalar `{name}`"))),
                 };
                 let idx = self.lower_expr(index)?;
                 let reg = self.new_vreg();
@@ -742,8 +724,7 @@ impl<'a> FunctionLowering<'a> {
         let rhs_bb = self.new_block();
         let short_bb = self.new_block();
         let join_bb = self.new_block();
-        let (then_bb, else_bb) =
-            if is_and { (rhs_bb, short_bb) } else { (short_bb, rhs_bb) };
+        let (then_bb, else_bb) = if is_and { (rhs_bb, short_bb) } else { (short_bb, rhs_bb) };
         self.terminate(Terminator::Branch { cond: lhs_reg, then_bb, else_bb });
 
         // Evaluate the right-hand side and normalize to 0/1.
@@ -779,8 +760,8 @@ impl<'a> FunctionLowering<'a> {
         };
         match name.as_str() {
             "ch_recv" => {
-                let chan = const_eval(&args[0])
-                    .ok_or_else(|| err("non-constant channel id".into()))?;
+                let chan =
+                    const_eval(&args[0]).ok_or_else(|| err("non-constant channel id".into()))?;
                 let reg = self.new_vreg();
                 self.emit_block_terminal(Op {
                     kind: OpKind::ChanRecv { chan: ChanId(chan as u32) },
@@ -790,8 +771,8 @@ impl<'a> FunctionLowering<'a> {
                 Ok(Some(reg))
             }
             "ch_send" => {
-                let chan = const_eval(&args[0])
-                    .ok_or_else(|| err("non-constant channel id".into()))?;
+                let chan =
+                    const_eval(&args[0]).ok_or_else(|| err("non-constant channel id".into()))?;
                 let value = self.lower_expr(&args[1])?;
                 self.emit_block_terminal(Op {
                     kind: OpKind::ChanSend { chan: ChanId(chan as u32) },
@@ -810,10 +791,8 @@ impl<'a> FunctionLowering<'a> {
                     .func_ids
                     .get(name)
                     .ok_or_else(|| err(format!("unknown function `{name}`")))?;
-                let arg_regs: Vec<VReg> = args
-                    .iter()
-                    .map(|a| self.lower_expr(a))
-                    .collect::<Result<_, _>>()?;
+                let arg_regs: Vec<VReg> =
+                    args.iter().map(|a| self.lower_expr(a)).collect::<Result<_, _>>()?;
                 let callee_returns = self.signatures.get(name).copied().unwrap_or(false);
                 // A returning callee always gets a result register, even in
                 // statement position where the value is discarded, so the
@@ -864,8 +843,7 @@ mod tests {
     fn while_loop_has_back_edge() {
         let m = lower_src("int f(int n) { int i = 0; while (i < n) { i++; } return i; }");
         let f = &m.functions[0];
-        let conditional_blocks =
-            f.blocks.iter().filter(|b| b.term.is_conditional()).count();
+        let conditional_blocks = f.blocks.iter().filter(|b| b.term.is_conditional()).count();
         assert_eq!(conditional_blocks, 1);
     }
 

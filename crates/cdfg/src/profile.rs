@@ -17,9 +17,7 @@ pub struct BlockProfile {
 impl BlockProfile {
     /// An all-zero profile shaped for `module`.
     pub fn new(module: &Module) -> BlockProfile {
-        BlockProfile {
-            counts: module.functions.iter().map(|f| vec![0; f.blocks.len()]).collect(),
-        }
+        BlockProfile { counts: module.functions.iter().map(|f| vec![0; f.blocks.len()]).collect() }
     }
 
     /// Entries recorded for one block.
@@ -48,11 +46,7 @@ impl BlockProfile {
     ///
     /// Panics if the shapes differ.
     pub fn merge(&mut self, other: &BlockProfile) {
-        assert_eq!(
-            self.counts.len(),
-            other.counts.len(),
-            "profiles are for different modules"
-        );
+        assert_eq!(self.counts.len(), other.counts.len(), "profiles are for different modules");
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             assert_eq!(a.len(), b.len(), "profiles are for different modules");
             for (x, y) in a.iter_mut().zip(b) {

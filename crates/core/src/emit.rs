@@ -60,8 +60,7 @@ pub fn emit_function(timed: &TimedModule, fid: FuncId) -> String {
     let module = timed.module();
     let func = module.function(fid);
     let mut out = String::new();
-    let params: Vec<String> =
-        func.params.iter().map(|p| format!("int {p}")).collect();
+    let params: Vec<String> = func.params.iter().map(|p| format!("int {p}")).collect();
     let _ = writeln!(
         out,
         "{} {}({}) {{",
@@ -70,9 +69,8 @@ pub fn emit_function(timed: &TimedModule, fid: FuncId) -> String {
         params.join(", ")
     );
     if func.num_vregs as usize > func.params.len() {
-        let regs: Vec<String> = (func.params.len()..func.num_vregs as usize)
-            .map(|i| format!("v{i}"))
-            .collect();
+        let regs: Vec<String> =
+            (func.params.len()..func.num_vregs as usize).map(|i| format!("v{i}")).collect();
         let _ = writeln!(out, "    int {};", regs.join(", "));
     }
     for &aid in &func.local_arrays {
@@ -204,8 +202,7 @@ mod tests {
              void main() { out(f(8)); ch_send(0, 1); }",
         );
         let text = emit_timed_c(&t);
-        let blocks: usize =
-            t.module().functions.iter().map(|f| f.blocks.len()).sum();
+        let blocks: usize = t.module().functions.iter().map(|f| f.blocks.len()).sum();
         let waits = text.matches("wait(PID, ").count();
         assert_eq!(waits, blocks, "one wait per basic block:\n{text}");
     }
@@ -217,13 +214,9 @@ mod tests {
              int scale(int x) { if (x > 0) { return x * gain; } return 0; }",
         );
         let text = emit_timed_c(&t);
-        for needle in [
-            "static int gain[1] = {3}",
-            "int scale(int v0)",
-            "goto bb",
-            "if (v",
-            "return",
-        ] {
+        for needle in
+            ["static int gain[1] = {3}", "int scale(int v0)", "goto bb", "if (v", "return"]
+        {
             assert!(text.contains(needle), "missing `{needle}`:\n{text}");
         }
     }

@@ -10,8 +10,8 @@
 use std::collections::BTreeMap;
 
 use crate::pum::{
-    BranchModel, CacheModel, Datapath, ExecutionModel, FuMode, FuncUnit, MemoryModel,
-    MemoryPath, OpBinding, OpClassKey, Pipeline, Pum, SchedulingPolicy, Stage, StageUsage,
+    BranchModel, CacheModel, Datapath, ExecutionModel, FuMode, FuncUnit, MemoryModel, MemoryPath,
+    OpBinding, OpClassKey, Pipeline, Pum, SchedulingPolicy, Stage, StageUsage,
 };
 
 /// External (off-chip) memory latency used by all presets, in cycles.
@@ -85,11 +85,7 @@ pub fn microblaze_like(icache_bytes: u32, dcache_bytes: u32) -> Pum {
     op_map.insert(OpClassKey::Control, binding(EX, EX, usage(EX, ALU, 0)));
 
     Pum {
-        name: format!(
-            "microblaze-like i{}k/d{}k",
-            icache_bytes / 1024,
-            dcache_bytes / 1024
-        ),
+        name: format!("microblaze-like i{}k/d{}k", icache_bytes / 1024, dcache_bytes / 1024),
         clock_period_ps: 10_000, // 100 MHz
         execution: ExecutionModel { policy: SchedulingPolicy::InOrder, op_map },
         datapath: Datapath {
@@ -346,12 +342,7 @@ mod tests {
         // Compare schedules only: align the memory paths.
         risc.memory.ifetch = MemoryPath::Uncached;
         let vliw = vliw4();
-        assert!(
-            total(&vliw) < total(&risc),
-            "vliw {} vs risc {}",
-            total(&vliw),
-            total(&risc)
-        );
+        assert!(total(&vliw) < total(&risc), "vliw {} vs risc {}", total(&vliw), total(&risc));
         vliw.validate().expect("valid");
     }
 

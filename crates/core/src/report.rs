@@ -95,8 +95,8 @@ mod tests {
     fn setup(src: &str) -> (Module, TimedModule, BlockProfile) {
         let module =
             tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers");
-        let timed = annotate(&module, &library::microblaze_like(8 << 10, 4 << 10))
-            .expect("annotates");
+        let timed =
+            annotate(&module, &library::microblaze_like(8 << 10, 4 << 10)).expect("annotates");
         let main = module.function_id("main").expect("main");
         let mut profile = BlockProfile::new(&module);
         let mut machine = Machine::new(&module, main, &[]);
@@ -142,9 +142,8 @@ mod tests {
 
     #[test]
     fn never_entered_blocks_are_absent() {
-        let (_m, timed, profile) = setup(
-            "void main() { if (0) { out(1); out(2); out(3); } out(0); }",
-        );
+        let (_m, timed, profile) =
+            setup("void main() { if (0) { out(1); out(2); out(3); } out(0); }");
         for h in hotspots(&timed, &profile) {
             assert!(h.entries > 0);
         }

@@ -133,12 +133,8 @@ pub fn schedule_block(
 
     let mut fu_free: Vec<u32> = pum.datapath.units.iter().map(|u| u.quantity).collect();
     // pipelines × stages × resident ops
-    let mut pipes: Vec<Vec<Vec<Slot>>> = pum
-        .datapath
-        .pipelines
-        .iter()
-        .map(|p| vec![Vec::new(); p.stages.len()])
-        .collect();
+    let mut pipes: Vec<Vec<Vec<Slot>>> =
+        pum.datapath.pipelines.iter().map(|p| vec![Vec::new(); p.stages.len()]).collect();
 
     // Transparent ops whose predecessors are all committed resolve for free.
     let resolve_transparent = |committed: &mut Vec<bool>,
@@ -149,10 +145,7 @@ pub fn schedule_block(
         while changed {
             changed = false;
             for i in 0..n {
-                if infos[i].transparent
-                    && !done[i]
-                    && dfg.preds[i].iter().all(|&p| committed[p])
-                {
+                if infos[i].transparent && !done[i] && dfg.preds[i].iter().all(|&p| committed[p]) {
                     committed[i] = true;
                     done[i] = true;
                     issued[i] = true;
@@ -221,8 +214,8 @@ pub fn schedule_block(
                     let ns = s + 1;
                     let info = &infos[slot.op];
                     let room = pipe[ns].len() < stages[ns].width as usize;
-                    let operands_ok = ns != info.demand_stage
-                        || dfg.preds[slot.op].iter().all(|&p| committed[p]);
+                    let operands_ok =
+                        ns != info.demand_stage || dfg.preds[slot.op].iter().all(|&p| committed[p]);
                     let fu_ok = info.fu_at[ns].is_none_or(|fu| fu_free[fu] > 0);
                     if room && operands_ok && fu_ok {
                         pipe[s].swap_remove(idx);
@@ -251,8 +244,7 @@ pub fn schedule_block(
             // Dataflow policies require operands before issue when stage 0
             // demands them; in-order CPUs issue blindly and stall at the
             // demand stage.
-            let ready = 0 != info.demand_stage
-                || dfg.preds[op].iter().all(|&p| committed[p]);
+            let ready = 0 != info.demand_stage || dfg.preds[op].iter().all(|&p| committed[p]);
             if !ready {
                 if in_order {
                     break 'issue; // program order: nothing younger may pass
@@ -304,10 +296,7 @@ mod tests {
     fn schedule_body(pum: &Pum, src: &str) -> ScheduleResult {
         let module = module_of(src);
         let func = &module.functions[0];
-        let (bid, block) = func
-            .blocks_iter()
-            .max_by_key(|(_, b)| b.ops.len())
-            .expect("has blocks");
+        let (bid, block) = func.blocks_iter().max_by_key(|(_, b)| b.ops.len()).expect("has blocks");
         schedule_block(pum, block, &block_dfg(block), FuncId(0), bid).expect("schedules")
     }
 
@@ -331,10 +320,8 @@ mod tests {
     fn single_issue_throughput_is_one_per_cycle() {
         // Independent ALU work on a 1-wide in-order core: n ops ≈ n cycles.
         let pum = library::microblaze_like(8 << 10, 4 << 10);
-        let r = schedule_body(
-            &pum,
-            "int f(int a, int b, int c, int d) { return (a + b) + (c + d); }",
-        );
+        let r =
+            schedule_body(&pum, "int f(int a, int b, int c, int d) { return (a + b) + (c + d); }");
         // 3 adds + 1 op-ish tail; steady-state cycles ≈ op count.
         let n = r.issue_cycle.len() as u64;
         assert!(r.cycles >= n, "dependences cannot make it faster than n");
@@ -393,9 +380,7 @@ mod tests {
             term: Terminator::Return(Some(VReg(2))),
         };
         let run = |b: &BlockData| {
-            schedule_block(&pum, b, &block_dfg(b), FuncId(0), BlockId(0))
-                .expect("schedules")
-                .cycles
+            schedule_block(&pum, b, &block_dfg(b), FuncId(0), BlockId(0)).expect("schedules").cycles
         };
         // The load commits at MEM while the add demands at EX: exactly one
         // bubble separates the dependent pair.
@@ -411,12 +396,7 @@ mod tests {
         }";
         let cpu = schedule_body(&library::microblaze_like(8 << 10, 4 << 10), src);
         let hw = schedule_body(&library::custom_hw("mac4", 2, 2), src);
-        assert!(
-            hw.cycles * 2 <= cpu.cycles,
-            "hw {} vs cpu {}",
-            hw.cycles,
-            cpu.cycles
-        );
+        assert!(hw.cycles * 2 <= cpu.cycles, "hw {} vs cpu {}", hw.cycles, cpu.cycles);
     }
 
     #[test]
@@ -426,12 +406,7 @@ mod tests {
         }";
         let wide = schedule_body(&library::custom_hw("wide", 4, 4), src);
         let narrow = schedule_body(&library::custom_hw("narrow", 1, 1), src);
-        assert!(
-            narrow.cycles > wide.cycles,
-            "narrow {} vs wide {}",
-            narrow.cycles,
-            wide.cycles
-        );
+        assert!(narrow.cycles > wide.cycles, "narrow {} vs wide {}", narrow.cycles, wide.cycles);
     }
 
     #[test]
@@ -459,12 +434,7 @@ mod tests {
         }";
         let single = schedule_body(&library::microblaze_like(8 << 10, 4 << 10), src);
         let dual = schedule_body(&library::superscalar2(), src);
-        assert!(
-            dual.cycles < single.cycles,
-            "dual {} vs single {}",
-            dual.cycles,
-            single.cycles
-        );
+        assert!(dual.cycles < single.cycles, "dual {} vs single {}", dual.cycles, single.cycles);
     }
 
     #[test]

@@ -182,9 +182,7 @@ impl<T: Copy> Signal<T> {
     /// Creates a signal with an initial value.
     pub fn new(kernel: &mut Kernel, initial: T) -> Self {
         let changed = kernel.event();
-        Signal {
-            inner: Rc::new(RefCell::new(SignalInner { value: initial, changed, writes: 0 })),
-        }
+        Signal { inner: Rc::new(RefCell::new(SignalInner { value: initial, changed, writes: 0 })) }
     }
 
     /// Samples the current value.
@@ -221,9 +219,7 @@ impl<T: Copy> Clone for Signal<T> {
 
 impl<T: Copy + fmt::Debug> fmt::Debug for Signal<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Signal")
-            .field("value", &self.inner.borrow().value)
-            .finish_non_exhaustive()
+        f.debug_struct("Signal").field("value", &self.inner.borrow().value).finish_non_exhaustive()
     }
 }
 

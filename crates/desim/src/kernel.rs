@@ -110,11 +110,7 @@ impl Kernel {
     ///
     /// Panics if `id` does not belong to this kernel.
     pub fn process_name(&self, id: ProcessId) -> &str {
-        &self
-            .procs[id.index()]
-            .as_ref()
-            .expect("process is mid-resume")
-            .name
+        &self.procs[id.index()].as_ref().expect("process is mid-resume").name
     }
 
     /// Enables trace collection; entries are recorded by [`Ctx::trace`].
@@ -163,9 +159,8 @@ impl Kernel {
                 let Reverse((_, _, action)) = self.heap.pop().expect("peeked entry");
                 match action {
                     Action::Wake(pid) => {
-                        let entry = self.procs[pid.index()]
-                            .as_mut()
-                            .expect("process is mid-resume");
+                        let entry =
+                            self.procs[pid.index()].as_mut().expect("process is mid-resume");
                         debug_assert_eq!(entry.state, ProcState::WaitingTime);
                         entry.state = ProcState::Runnable;
                         self.runnable.push_back(pid);
@@ -199,9 +194,7 @@ impl Kernel {
     }
 
     fn resume_process(&mut self, pid: ProcessId) {
-        let mut entry = self.procs[pid.index()]
-            .take()
-            .expect("process resumed re-entrantly");
+        let mut entry = self.procs[pid.index()].take().expect("process resumed re-entrantly");
         entry.resumes += 1;
         self.resumes += 1;
         let resume = {

@@ -38,9 +38,9 @@ mod time;
 mod trace;
 
 pub use channel::{Fifo, Signal};
-pub use sync::Semaphore;
 pub use event::EventId;
 pub use kernel::{Ctx, Kernel, RunReport, StopReason};
 pub use process::{Process, ProcessId, Resume};
+pub use sync::Semaphore;
 pub use time::SimTime;
 pub use trace::{TraceEntry, TraceSink};

@@ -94,10 +94,7 @@ impl Semaphore {
     pub fn release(&self, ctx: &mut Ctx<'_>) {
         let mut inner = self.inner.borrow_mut();
         inner.permits += 1;
-        assert!(
-            inner.permits <= inner.peak,
-            "semaphore released more often than acquired"
-        );
+        assert!(inner.permits <= inner.peak, "semaphore released more often than acquired");
         let released = inner.released;
         drop(inner);
         ctx.notify(released);
@@ -174,10 +171,7 @@ mod tests {
         let log = log.borrow();
         let enters: Vec<SimTime> =
             log.iter().filter(|(_, what, _)| *what == "enter").map(|&(_, _, t)| t).collect();
-        assert_eq!(
-            enters,
-            vec![SimTime::ZERO, SimTime::from_ns(10), SimTime::from_ns(20)]
-        );
+        assert_eq!(enters, vec![SimTime::ZERO, SimTime::from_ns(10), SimTime::from_ns(20)]);
         assert_eq!(sem.acquires(), 3);
         assert!(sem.contentions() >= 2);
     }

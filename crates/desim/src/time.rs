@@ -65,11 +65,7 @@ impl SimTime {
     ///
     /// Panics on overflow.
     pub fn from_cycles(cycles: u64, period: SimTime) -> Self {
-        SimTime(
-            cycles
-                .checked_mul(period.0)
-                .expect("SimTime::from_cycles overflow"),
-        )
+        SimTime(cycles.checked_mul(period.0).expect("SimTime::from_cycles overflow"))
     }
 
     /// The raw picosecond count.
@@ -193,23 +189,14 @@ mod tests {
         assert_eq!(c, SimTime::from_ns(8));
         c -= b;
         assert_eq!(c, a);
-        assert_eq!(
-            vec![a, b, b].into_iter().sum::<SimTime>(),
-            SimTime::from_ns(11)
-        );
+        assert_eq!(vec![a, b, b].into_iter().sum::<SimTime>(), SimTime::from_ns(11));
     }
 
     #[test]
     fn checked_and_saturating() {
         assert_eq!(SimTime::MAX.checked_add(SimTime::from_ps(1)), None);
-        assert_eq!(
-            SimTime::MAX.saturating_add(SimTime::from_ps(1)),
-            SimTime::MAX
-        );
-        assert_eq!(
-            SimTime::from_ps(1).checked_add(SimTime::from_ps(2)),
-            Some(SimTime::from_ps(3))
-        );
+        assert_eq!(SimTime::MAX.saturating_add(SimTime::from_ps(1)), SimTime::MAX);
+        assert_eq!(SimTime::from_ps(1).checked_add(SimTime::from_ps(2)), Some(SimTime::from_ps(3)));
     }
 
     #[test]

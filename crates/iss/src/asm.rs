@@ -60,9 +60,7 @@ impl Line<'_> {
         let digits = token
             .strip_prefix('r')
             .ok_or_else(|| self.err(format!("expected register, got `{token}`")))?;
-        let n: u8 = digits
-            .parse()
-            .map_err(|_| self.err(format!("bad register `{token}`")))?;
+        let n: u8 = digits.parse().map_err(|_| self.err(format!("bad register `{token}`")))?;
         if n >= 32 {
             return Err(self.err(format!("register `{token}` out of range")));
         }
@@ -70,10 +68,7 @@ impl Line<'_> {
     }
 
     fn int(&self, token: &str) -> Result<i64, AsmError> {
-        token
-            .trim()
-            .parse()
-            .map_err(|_| self.err(format!("bad integer `{}`", token.trim())))
+        token.trim().parse().map_err(|_| self.err(format!("bad integer `{}`", token.trim())))
     }
 
     fn target(&self, token: &str) -> Result<usize, AsmError> {
@@ -155,10 +150,7 @@ pub fn assemble(text: &str) -> Result<Vec<Inst>, AsmError> {
             if ops.len() == n {
                 Ok(())
             } else {
-                Err(line.err(format!(
-                    "`{mnemonic}` takes {n} operand(s), got {}",
-                    ops.len()
-                )))
+                Err(line.err(format!("`{mnemonic}` takes {n} operand(s), got {}", ops.len())))
             }
         };
         let _ = line.text;
@@ -316,10 +308,7 @@ mod tests {
 
     #[test]
     fn labels_and_comments_are_tolerated() {
-        let insts = assemble(
-            "   0: addi r1, r0, 5   ; five\n\n   1: halt\n",
-        )
-        .expect("assembles");
+        let insts = assemble("   0: addi r1, r0, 5   ; five\n\n   1: halt\n").expect("assembles");
         assert_eq!(insts.len(), 2);
     }
 }

@@ -415,24 +415,14 @@ mod tests {
     #[test]
     fn division_by_zero_traps() {
         let mut cpu = cpu_for("int main(int d) { return 10 / d; }", "main", &[0]);
-        assert!(matches!(
-            cpu.run(u64::MAX),
-            CpuExec::Trap(CpuTrap::DivByZero { .. })
-        ));
+        assert!(matches!(cpu.run(u64::MAX), CpuExec::Trap(CpuTrap::DivByZero { .. })));
     }
 
     #[test]
     fn out_of_bounds_index_traps() {
         // A very out-of-range index escapes the memory image entirely.
-        let mut cpu = cpu_for(
-            "int t[4]; int main(int i) { return t[i]; }",
-            "main",
-            &[0x1000_0000],
-        );
-        assert!(matches!(
-            cpu.run(u64::MAX),
-            CpuExec::Trap(CpuTrap::BadAddress { .. })
-        ));
+        let mut cpu = cpu_for("int t[4]; int main(int i) { return t[i]; }", "main", &[0x1000_0000]);
+        assert!(matches!(cpu.run(u64::MAX), CpuExec::Trap(CpuTrap::BadAddress { .. })));
     }
 
     #[test]
@@ -452,11 +442,7 @@ mod tests {
 
     #[test]
     fn stats_count_branches() {
-        let mut cpu = cpu_for(
-            "void main() { for (int i = 0; i < 5; i++) { } }",
-            "main",
-            &[],
-        );
+        let mut cpu = cpu_for("void main() { for (int i = 0; i < 5; i++) { } }", "main", &[]);
         assert_eq!(cpu.run(u64::MAX), CpuExec::Done);
         assert!(cpu.stats().branches >= 6);
         assert!(cpu.stats().branches_taken < cpu.stats().branches);
@@ -478,14 +464,13 @@ mod tests {
              }",
         ];
         for src in kernels {
-            let module = tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses"))
-                .expect("lowers");
+            let module =
+                tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers");
             let id = module.function_id("main").expect("main");
             let mut machine = Machine::new(&module, id, &[]);
             assert_eq!(machine.run(&mut NoopHook), Exec::Done);
 
-            let mut cpu =
-                Cpu::new(Arc::new(build_program(&module, id, &[]).expect("compiles")));
+            let mut cpu = Cpu::new(Arc::new(build_program(&module, id, &[]).expect("compiles")));
             assert_eq!(cpu.run(u64::MAX), CpuExec::Done);
             assert_eq!(cpu.outputs(), machine.outputs(), "engines disagree on {src}");
         }

@@ -127,12 +127,8 @@ pub fn encode(insts: &[Inst]) -> Vec<u32> {
             Inst::Sw { rs, base, offset } => {
                 (word0(OP_SW, rs.0, base.0, 0, 0), Some(offset as u32))
             }
-            Inst::Lwx { rd, base, index } => {
-                (word0(OP_LWX, rd.0, base.0, index.0, 0), None)
-            }
-            Inst::Swx { rs, base, index } => {
-                (word0(OP_SWX, rs.0, base.0, index.0, 0), None)
-            }
+            Inst::Lwx { rd, base, index } => (word0(OP_LWX, rd.0, base.0, index.0, 0), None),
+            Inst::Swx { rs, base, index } => (word0(OP_SWX, rs.0, base.0, index.0, 0), None),
             Inst::Branch { cond, rs1, rs2, target } => {
                 let opcode = match cond {
                     BrCond::Eq => OP_BEQ,
@@ -185,12 +181,9 @@ pub fn decode(words: &[u32]) -> Result<Vec<Inst>, DecodeError> {
         };
         let bad_funct = || DecodeError { at, message: format!("bad ALU funct {funct}") };
         let inst = match opcode {
-            OP_ALU => Inst::Alu {
-                op: alu_of(funct).ok_or_else(bad_funct)?,
-                rd: ra,
-                rs1: rb,
-                rs2: rc,
-            },
+            OP_ALU => {
+                Inst::Alu { op: alu_of(funct).ok_or_else(bad_funct)?, rd: ra, rs1: rb, rs2: rc }
+            }
             OP_ALUI => Inst::AluI {
                 op: alu_of(funct).ok_or_else(bad_funct)?,
                 rd: ra,
@@ -220,9 +213,7 @@ pub fn decode(words: &[u32]) -> Result<Vec<Inst>, DecodeError> {
             OP_CSEND => Inst::CSend { rs: ra, chan: imm.expect("has_imm") },
             OP_OUT => Inst::Out { rs: ra },
             OP_HALT => Inst::Halt,
-            other => {
-                return Err(DecodeError { at, message: format!("unknown opcode {other}") })
-            }
+            other => return Err(DecodeError { at, message: format!("unknown opcode {other}") }),
         };
         out.push(inst);
     }

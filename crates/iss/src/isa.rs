@@ -196,10 +196,7 @@ pub enum Inst {
 impl Inst {
     /// Whether this instruction reads or writes data memory.
     pub fn is_memory(&self) -> bool {
-        matches!(
-            self,
-            Inst::Lw { .. } | Inst::Sw { .. } | Inst::Lwx { .. } | Inst::Swx { .. }
-        )
+        matches!(self, Inst::Lw { .. } | Inst::Sw { .. } | Inst::Lwx { .. } | Inst::Swx { .. })
     }
 
     /// Whether this is a conditional branch.
@@ -310,10 +307,7 @@ mod tests {
         let inst = Inst::Alu { op: AluOp::Add, rd: Reg(3), rs1: Reg(4), rs2: Reg(5) };
         assert_eq!(inst.mnemonic(), "add r3, r4, r5");
         assert_eq!(Inst::Halt.mnemonic(), "halt");
-        assert_eq!(
-            Inst::Lw { rd: Reg(2), base: Reg::SP, offset: 8 }.mnemonic(),
-            "lw r2, 8(r29)"
-        );
+        assert_eq!(Inst::Lw { rd: Reg(2), base: Reg::SP, offset: 8 }.mnemonic(), "lw r2, 8(r29)");
         assert_eq!(Inst::CRecv { rd: Reg(2), chan: 3 }.mnemonic(), "crecv r2, ch3");
     }
 
@@ -321,7 +315,8 @@ mod tests {
     fn classification() {
         assert!(Inst::Lw { rd: Reg(1), base: Reg(2), offset: 0 }.is_memory());
         assert!(!Inst::Halt.is_memory());
-        assert!(Inst::Branch { cond: BrCond::Eq, rs1: Reg(0), rs2: Reg(0), target: 0 }
-            .is_cond_branch());
+        assert!(
+            Inst::Branch { cond: BrCond::Eq, rs1: Reg(0), rs2: Reg(0), target: 0 }.is_cond_branch()
+        );
     }
 }

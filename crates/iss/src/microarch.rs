@@ -307,10 +307,7 @@ mod tests {
         for pair in cycles.windows(2) {
             assert!(pair[0] >= pair[1], "more cache never hurts here: {cycles:?}");
         }
-        assert!(
-            cycles[0] > cycles[3] * 2,
-            "cacheless should be dramatically slower: {cycles:?}"
-        );
+        assert!(cycles[0] > cycles[3] * 2, "cacheless should be dramatically slower: {cycles:?}");
     }
 
     #[test]
@@ -407,10 +404,7 @@ mod tests {
         };
         let scalar = run(1);
         let dual = run(2);
-        assert!(
-            dual * 10 >= scalar * 9,
-            "serial chain gains <10%: {dual} vs {scalar}"
-        );
+        assert!(dual * 10 >= scalar * 9, "serial chain gains <10%: {dual} vs {scalar}");
     }
 
     #[test]

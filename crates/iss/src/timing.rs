@@ -27,12 +27,7 @@ pub struct IssTimingConfig {
 impl IssTimingConfig {
     /// The vendor-style defaults for a given cache configuration.
     pub fn for_caches(icache_bytes: u32, dcache_bytes: u32) -> IssTimingConfig {
-        IssTimingConfig {
-            assumed_mem_latency: 8,
-            icache_bytes,
-            dcache_bytes,
-            taken_branch_cost: 2,
-        }
+        IssTimingConfig { assumed_mem_latency: 8, icache_bytes, dcache_bytes, taken_branch_cost: 2 }
     }
 
     /// The fixed hit rate the vendor model assumes for a cache of `size`
@@ -133,10 +128,7 @@ fn base_cost(info: &StepInfo, taken_branch_cost: u32) -> u32 {
             AluOp::Div | AluOp::Rem => 32,
             _ => 1,
         },
-        Inst::Branch { .. }
-            if info.taken == Some(true) => {
-                taken_branch_cost
-            }
+        Inst::Branch { .. } if info.taken == Some(true) => taken_branch_cost,
         Inst::Jump { .. } | Inst::Jal { .. } | Inst::Jr { .. } => 1,
         _ => 1,
     }

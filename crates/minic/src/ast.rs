@@ -430,9 +430,6 @@ mod tests {
     fn logical_ops_produce_bool_ints() {
         assert_eq!(eval_binop(BinOp::LogAnd, 5, 0), Some(0));
         assert_eq!(eval_binop(BinOp::LogOr, 0, 9), Some(1));
-        assert_eq!(
-            const_eval(&Expr::Unary(UnOp::Not, Box::new(int(3)), Span::default())),
-            Some(0)
-        );
+        assert_eq!(const_eval(&Expr::Unary(UnOp::Not, Box::new(int(3)), Span::default())), Some(0));
     }
 }

@@ -83,9 +83,7 @@ impl Lexer<'_> {
                                 break;
                             }
                             Some(_) => self.pos += 1,
-                            None => {
-                                return Err(self.error("unterminated block comment", start))
-                            }
+                            None => return Err(self.error("unterminated block comment", start)),
                         }
                     }
                 }
@@ -230,10 +228,9 @@ impl Lexer<'_> {
                 _ => Gt,
             },
             other => {
-                return Err(self.error(
-                    format!("unexpected character `{}`", char::from(other)),
-                    start,
-                ))
+                return Err(
+                    self.error(format!("unexpected character `{}`", char::from(other)), start)
+                )
             }
         })
     }
@@ -266,9 +263,27 @@ mod tests {
         assert_eq!(
             kinds("<<= >>= << >> <= >= == != && || ++ -- += -= *= /= %= &= |= ^="),
             vec![
-                ShlAssign, ShrAssign, Shl, Shr, Le, Ge, Eq, Ne, AndAnd, OrOr, PlusPlus,
-                MinusMinus, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
-                AndAssign, OrAssign, XorAssign, Eof
+                ShlAssign,
+                ShrAssign,
+                Shl,
+                Shr,
+                Le,
+                Ge,
+                Eq,
+                Ne,
+                AndAnd,
+                OrOr,
+                PlusPlus,
+                MinusMinus,
+                PlusAssign,
+                MinusAssign,
+                StarAssign,
+                SlashAssign,
+                PercentAssign,
+                AndAssign,
+                OrAssign,
+                XorAssign,
+                Eof
             ]
         );
     }

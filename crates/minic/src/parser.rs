@@ -1,7 +1,9 @@
 //! Recursive-descent parser for MiniC.
 
-use crate::ast::{Block, Expr, Function, GlobalVar, Init, LValue, Param, Program, Stmt, SwitchCase, Type};
 use crate::ast::{BinOp, UnOp};
+use crate::ast::{
+    Block, Expr, Function, GlobalVar, Init, LValue, Param, Program, Stmt, SwitchCase, Type,
+};
 use crate::diag::{ParseError, Span};
 use crate::token::{Token, TokenKind};
 
@@ -194,11 +196,8 @@ impl Parser<'_> {
                 let cond = self.expr()?;
                 self.expect(&TokenKind::RParen)?;
                 let then_blk = self.block_or_stmt()?;
-                let else_blk = if self.eat(&TokenKind::KwElse) {
-                    Some(self.block_or_stmt()?)
-                } else {
-                    None
-                };
+                let else_blk =
+                    if self.eat(&TokenKind::KwElse) { Some(self.block_or_stmt()?) } else { None };
                 Ok(Stmt::If { cond, then_blk, else_blk, span: start })
             }
             TokenKind::KwWhile => {
@@ -281,11 +280,8 @@ impl Parser<'_> {
                     Some(Box::new(self.simple_stmt()?))
                 };
                 self.expect(&TokenKind::Semi)?;
-                let cond = if matches!(self.peek(), TokenKind::Semi) {
-                    None
-                } else {
-                    Some(self.expr()?)
-                };
+                let cond =
+                    if matches!(self.peek(), TokenKind::Semi) { None } else { Some(self.expr()?) };
                 self.expect(&TokenKind::Semi)?;
                 let step = if matches!(self.peek(), TokenKind::RParen) {
                     None
@@ -298,11 +294,8 @@ impl Parser<'_> {
             }
             TokenKind::KwReturn => {
                 self.bump();
-                let value = if matches!(self.peek(), TokenKind::Semi) {
-                    None
-                } else {
-                    Some(self.expr()?)
-                };
+                let value =
+                    if matches!(self.peek(), TokenKind::Semi) { None } else { Some(self.expr()?) };
                 self.expect(&TokenKind::Semi)?;
                 Ok(Stmt::Return { value, span: start })
             }
@@ -373,15 +366,9 @@ impl Parser<'_> {
                 Ok(Stmt::Assign { target, op, value, span })
             }
             TokenKind::PlusPlus | TokenKind::MinusMinus => {
-                let op =
-                    if self.bump() == TokenKind::PlusPlus { BinOp::Add } else { BinOp::Sub };
+                let op = if self.bump() == TokenKind::PlusPlus { BinOp::Add } else { BinOp::Sub };
                 let target = self.expr_to_lvalue(expr)?;
-                Ok(Stmt::Assign {
-                    target,
-                    op: Some(op),
-                    value: Expr::Int(1, start),
-                    span: start,
-                })
+                Ok(Stmt::Assign { target, op: Some(op), value: Expr::Int(1, start), span: start })
             }
             _ => Ok(Stmt::Expr(expr)),
         }

@@ -2,11 +2,9 @@
 
 use std::collections::HashMap;
 
-use crate::ast::{
-    const_eval, Block, Expr, Function, Init, LValue, Program, Stmt, Type,
-};
-use std::collections::HashSet;
+use crate::ast::{const_eval, Block, Expr, Function, Init, LValue, Program, Stmt, Type};
 use crate::diag::{ParseError, Span};
+use std::collections::HashSet;
 
 /// Names with built-in meaning; they cannot be redefined.
 pub(crate) const INTRINSICS: [(&str, usize, bool); 3] = [
@@ -147,7 +145,12 @@ impl<'a> Checker<'a> {
         Ok(())
     }
 
-    fn check_init(&self, init: &Init, array_len: Option<i64>, span: Span) -> Result<(), ParseError> {
+    fn check_init(
+        &self,
+        init: &Init,
+        array_len: Option<i64>,
+        span: Span,
+    ) -> Result<(), ParseError> {
         match (init, array_len) {
             (Init::List(items), Some(len)) if items.len() as i64 > len => Err(Self::err(
                 format!("initializer has {} elements but array size is {len}", items.len()),
@@ -325,9 +328,7 @@ impl<'a> Checker<'a> {
                 (Type::Void, Some(e)) => {
                     Err(Self::err("void function cannot return a value", e.span()))
                 }
-                (Type::Int, None) => {
-                    Err(Self::err("int function must return a value", *span))
-                }
+                (Type::Int, None) => Err(Self::err("int function must return a value", *span)),
                 (_, Some(e)) => self.expr(e),
                 (_, None) => Ok(()),
             },
@@ -413,9 +414,7 @@ impl<'a> Checker<'a> {
         for a in args {
             self.expr(a)?;
         }
-        if let Some(&(_, arity, returns)) =
-            INTRINSICS.iter().find(|(n, _, _)| n == name)
-        {
+        if let Some(&(_, arity, returns)) = INTRINSICS.iter().find(|(n, _, _)| n == name) {
             if args.len() != arity {
                 return Err(Self::err(
                     format!("intrinsic `{name}` takes {arity} argument(s), got {}", args.len()),
@@ -430,10 +429,7 @@ impl<'a> Checker<'a> {
                 })?;
             }
             if !returns && !as_statement {
-                return Err(Self::err(
-                    format!("intrinsic `{name}` returns no value"),
-                    *span,
-                ));
+                return Err(Self::err(format!("intrinsic `{name}` returns no value"), *span));
             }
             return Ok(());
         }
@@ -572,14 +568,11 @@ mod tests {
 
     #[test]
     fn switch_label_rules() {
-        assert!(err("void f(int x) { switch (x) { case x: out(1); } }")
-            .contains("constant"));
+        assert!(err("void f(int x) { switch (x) { case x: out(1); } }").contains("constant"));
         assert!(err("void f(int x) { switch (x) { case 1: out(1); case 1: out(2); } }")
             .contains("duplicate case"));
-        assert!(err(
-            "void f(int x) { switch (x) { default: out(1); default: out(2); } }"
-        )
-        .contains("multiple `default`"));
+        assert!(err("void f(int x) { switch (x) { default: out(1); default: out(2); } }")
+            .contains("multiple `default`"));
         parse("void f(int x) { switch (x) { case 1: break; default: out(0); } }")
             .expect("valid switch");
     }
@@ -594,8 +587,7 @@ mod tests {
             }",
         )
         .expect("continue reaches the loop through the switch");
-        assert!(err("void f(int x) { switch (x) { case 1: continue; } }")
-            .contains("continue"));
+        assert!(err("void f(int x) { switch (x) { case 1: continue; } }").contains("continue"));
     }
 
     #[test]

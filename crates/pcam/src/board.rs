@@ -24,8 +24,8 @@ use tlm_platform::clock::{BusClock, PeClock, SharedBus, SharedPe};
 use tlm_platform::desc::Platform;
 
 use crate::engine::{
-    is_custom_hw, CoarseIssEngine, Engine, EngineCounters, EngineError, EngineExec,
-    HwEngine, MicroArchEngine,
+    is_custom_hw, CoarseIssEngine, Engine, EngineCounters, EngineError, EngineExec, HwEngine,
+    MicroArchEngine,
 };
 
 /// Board/ISS run configuration.
@@ -143,21 +143,15 @@ fn run_with(
     for (index, proc) in platform.processes.iter().enumerate() {
         let pum = &platform.pes[proc.pe.0].pum;
         let engine: Box<dyn Engine> = match (kind, is_custom_hw(pum)) {
-            (EngineKind::CycleAccurate, false) => Box::new(MicroArchEngine::build(
-                &proc.module,
-                proc.entry,
-                &proc.args,
-                pum,
-            )?),
+            (EngineKind::CycleAccurate, false) => {
+                Box::new(MicroArchEngine::build(&proc.module, proc.entry, &proc.args, pum)?)
+            }
             (EngineKind::CycleAccurate, true) => {
                 Box::new(HwEngine::build(&proc.module, proc.entry, &proc.args, pum)?)
             }
-            (EngineKind::CoarseIss, false) => Box::new(CoarseIssEngine::build(
-                &proc.module,
-                proc.entry,
-                &proc.args,
-                pum,
-            )?),
+            (EngineKind::CoarseIss, false) => {
+                Box::new(CoarseIssEngine::build(&proc.module, proc.entry, &proc.args, pum)?)
+            }
             (EngineKind::CoarseIss, true) => {
                 return Err(EngineError::Unsupported {
                     message: format!(
@@ -228,12 +222,8 @@ fn run_with(
         .zip(&pe_clocks)
         .map(|(pe, clock)| (pe.name.clone(), clock.borrow().busy_cycles()))
         .collect();
-    let pe_counters = platform
-        .pes
-        .iter()
-        .zip(pe_counter_acc)
-        .map(|(pe, acc)| (pe.name.clone(), acc))
-        .collect();
+    let pe_counters =
+        platform.pes.iter().zip(pe_counter_acc).map(|(pe, acc)| (pe.name.clone(), acc)).collect();
 
     Ok(BoardReport {
         end_time: kernel.time(),
@@ -293,9 +283,7 @@ impl BoardProcess {
             let handle = &self.chans[&chan];
             at = match &handle.bus {
                 Some(bus) => bus.borrow_mut().reserve(at, 1),
-                None => {
-                    self.pe.borrow_mut().reserve(at, self.index, Platform::LOCAL_SYNC_CYCLES)
-                }
+                None => self.pe.borrow_mut().reserve(at, self.index, Platform::LOCAL_SYNC_CYCLES),
             };
         }
         at
@@ -448,8 +436,7 @@ mod tests {
         let board = run_board(&p, &BoardConfig::default()).expect("board runs");
         let tlm = run_tlm(&p, TlmMode::Timed, &TlmConfig::default()).expect("tlm runs");
         let measured = board.total_cycles() as f64;
-        let estimated: f64 =
-            tlm.pe_busy.iter().map(|&(_, c)| c).sum::<u64>() as f64;
+        let estimated: f64 = tlm.pe_busy.iter().map(|&(_, c)| c).sum::<u64>() as f64;
         assert!(measured > 0.0 && estimated > 0.0);
         let ratio = estimated / measured;
         assert!(
@@ -478,8 +465,9 @@ mod tests {
     #[test]
     fn iss_runs_software_only_designs() {
         let producer = module("void main() { for (int i = 0; i < 8; i++) { ch_send(0, i); } }");
-        let sink =
-            module("void main() { int s = 0; for (int i = 0; i < 8; i++) { s += ch_recv(0); } out(s); }");
+        let sink = module(
+            "void main() { int s = 0; for (int i = 0; i < 8; i++) { s += ch_recv(0); } out(s); }",
+        );
         let mut b = PlatformBuilder::new("sw-only");
         let cpu = b.add_pe("cpu", library::microblaze_like(8 << 10, 4 << 10));
         b.add_process("producer", &producer, "main", &[], cpu).expect("ok");
@@ -500,20 +488,11 @@ mod tests {
     fn measured_counters_are_aggregated_per_pe() {
         let p = two_pe_platform();
         let board = run_board(&p, &BoardConfig::default()).expect("runs");
-        let cpu = board
-            .pe_counters
-            .iter()
-            .find(|(n, _)| n == "cpu")
-            .map(|(_, c)| *c)
-            .expect("cpu PE");
+        let cpu =
+            board.pe_counters.iter().find(|(n, _)| n == "cpu").map(|(_, c)| *c).expect("cpu PE");
         assert!(cpu.ifetches > 0);
         assert!(cpu.branches > 0);
-        let hw = board
-            .pe_counters
-            .iter()
-            .find(|(n, _)| n == "hw")
-            .map(|(_, c)| *c)
-            .expect("hw PE");
+        let hw = board.pe_counters.iter().find(|(n, _)| n == "hw").map(|(_, c)| *c).expect("hw PE");
         assert_eq!(hw.ifetches, 0, "hardwired control fetches nothing");
     }
 

@@ -154,8 +154,7 @@ impl MicroArchEngine {
         args: &[i64],
         pum: &Pum,
     ) -> Result<MicroArchEngine, EngineError> {
-        let program =
-            Arc::new(build_program(module, entry, args).map_err(EngineError::Codegen)?);
+        let program = Arc::new(build_program(module, entry, args).map_err(EngineError::Codegen)?);
         Ok(MicroArchEngine { core: MicroArch::new(program, microarch_config_from_pum(pum)) })
     }
 }
@@ -215,8 +214,7 @@ impl CoarseIssEngine {
         args: &[i64],
         pum: &Pum,
     ) -> Result<CoarseIssEngine, EngineError> {
-        let program =
-            Arc::new(build_program(module, entry, args).map_err(EngineError::Codegen)?);
+        let program = Arc::new(build_program(module, entry, args).map_err(EngineError::Codegen)?);
         let cache_size = |path: &MemoryPath| match path {
             MemoryPath::Cached(c) => c.size,
             _ => 0,
@@ -313,8 +311,8 @@ impl HwEngine {
             let mut per_block = Vec::with_capacity(func.blocks.len());
             for (bid, block) in func.blocks_iter() {
                 let dfg = block_dfg(block);
-                let result = schedule_block(pum, block, &dfg, fid, bid)
-                    .map_err(EngineError::Estimate)?;
+                let result =
+                    schedule_block(pum, block, &dfg, fid, bid).map_err(EngineError::Estimate)?;
                 let mut issue_events: Vec<u64> =
                     result.issue_cycle.iter().flatten().copied().collect();
                 issue_events.sort_unstable();
@@ -347,9 +345,7 @@ impl ExecHook for SequencerHook<'_> {
         // simulation slow, faithfully.)
         let mut next_event = 0usize;
         for cycle in 0..sched.cycles {
-            while next_event < sched.issue_events.len()
-                && sched.issue_events[next_event] == cycle
-            {
+            while next_event < sched.issue_events.len() && sched.issue_events[next_event] == cycle {
                 next_event += 1;
                 *self.ops_issued += 1;
             }
@@ -394,10 +390,7 @@ impl Engine for HwEngine {
     }
 
     fn counters(&self) -> EngineCounters {
-        EngineCounters {
-            instructions: self.machine.stats().ops,
-            ..EngineCounters::default()
-        }
+        EngineCounters { instructions: self.machine.stats().ops, ..EngineCounters::default() }
     }
 }
 
@@ -448,12 +441,7 @@ mod tests {
             HwEngine::build(&m, entry, &[], &library::custom_hw("hw", 2, 2)).expect("builds");
         cpu.run(u64::MAX);
         hw.run(u64::MAX);
-        assert!(
-            hw.cycles() * 2 < cpu.cycles(),
-            "hw {} vs cpu {}",
-            hw.cycles(),
-            cpu.cycles()
-        );
+        assert!(hw.cycles() * 2 < cpu.cycles(), "hw {} vs cpu {}", hw.cycles(), cpu.cycles());
     }
 
     #[test]

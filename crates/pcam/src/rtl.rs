@@ -151,9 +151,7 @@ impl RrArbiter {
             }
         }
         let n = self.requests.len();
-        (0..n)
-            .map(|k| (self.rr_next + k) % n)
-            .find(|&i| rtl.get(self.requests[i]) != 0)
+        (0..n).map(|k| (self.rr_next + k) % n).find(|&i| rtl.get(self.requests[i]) != 0)
     }
 }
 

@@ -205,8 +205,7 @@ mod tests {
         // one row through both and compare.
         use tlm_cdfg::interp::{Exec, Machine, NoopHook};
         let row: [i32; N] = [12, -7, 33, 0, -100, 55, 8, -1];
-        let row_list =
-            row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+        let row_list = row.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
         let src = format!(
             "int ct[64] = {{{table}}};
              int x[8] = {{{row_list}}};

@@ -199,10 +199,7 @@ impl PlatformBuilder {
         let params = module.function(entry_id).params.len();
         if params != args.len() {
             return Err(PlatformError {
-                message: format!(
-                    "process `{name}` entry takes {params} args, got {}",
-                    args.len()
-                ),
+                message: format!("process `{name}` entry takes {params} args, got {}", args.len()),
             });
         }
         self.processes.push(ProcessSpec {

@@ -165,9 +165,7 @@ pub fn run_annotated(
     let pe_clocks: Vec<SharedPe> = platform
         .pes
         .iter()
-        .map(|pe| {
-            PeClock::new(SimTime::from_ps(pe.pum.clock_period_ps), pe.rtos)
-        })
+        .map(|pe| PeClock::new(SimTime::from_ps(pe.pum.clock_period_ps), pe.rtos))
         .collect();
     let bus_clocks: Vec<SharedBus> = platform
         .buses
@@ -177,10 +175,7 @@ pub fn run_annotated(
 
     let mut fifos: HashMap<ChanId, Fifo<i64>> = HashMap::new();
     for (&chan, binding) in &platform.channels {
-        fifos.insert(
-            chan,
-            Fifo::new(&mut kernel, format!("{chan}"), Some(binding.capacity)),
-        );
+        fifos.insert(chan, Fifo::new(&mut kernel, format!("{chan}"), Some(binding.capacity)));
     }
 
     let mut outcomes: Vec<Rc<RefCell<ProcessReport>>> = Vec::new();
@@ -315,8 +310,8 @@ impl TlmProcess {
     fn boundary(&mut self, now: SimTime, transfer: Option<u32>, last: bool) -> SimTime {
         self.boundaries += 1;
         let mut at = now;
-        let apply = self.delays.is_some()
-            && (last || self.boundaries.is_multiple_of(self.granularity));
+        let apply =
+            self.delays.is_some() && (last || self.boundaries.is_multiple_of(self.granularity));
         if apply && self.acc > 0 {
             at = self.pe.borrow_mut().reserve(at, self.index, self.acc);
             self.outcome.borrow_mut().computed_cycles += self.acc;
@@ -327,10 +322,9 @@ impl TlmProcess {
                 let handle = &self.chans[&chan];
                 at = match &handle.bus {
                     Some(bus) => bus.borrow_mut().reserve(at, 1),
-                    None => self
-                        .pe
-                        .borrow_mut()
-                        .reserve(at, self.index, Platform::LOCAL_SYNC_CYCLES),
+                    None => {
+                        self.pe.borrow_mut().reserve(at, self.index, Platform::LOCAL_SYNC_CYCLES)
+                    }
                 };
             }
         }
@@ -400,8 +394,7 @@ impl Process for TlmProcess {
                         Exec::Done => {
                             let until = self.boundary(now, None, true);
                             if until > now {
-                                self.phase =
-                                    Phase::Wait { until, after: After::Finish };
+                                self.phase = Phase::Wait { until, after: After::Finish };
                             } else {
                                 self.finish(None);
                             }
@@ -449,9 +442,7 @@ mod tests {
 
     /// producer → worker → consumer across two PEs.
     fn pipeline_platform() -> Platform {
-        let producer = module(
-            "void main() { for (int i = 0; i < 16; i++) { ch_send(0, i); } }",
-        );
+        let producer = module("void main() { for (int i = 0; i < 16; i++) { ch_send(0, i); } }");
         let worker = module(
             "void main() {
                 for (int i = 0; i < 16; i++) {
@@ -514,24 +505,17 @@ mod tests {
     #[test]
     fn granularity_preserves_total_computed_cycles() {
         let p = pipeline_platform();
-        let fine = run_tlm(
-            &p,
-            TlmMode::Timed,
-            &TlmConfig { granularity: 1, ..TlmConfig::default() },
-        )
-        .expect("runs");
-        let coarse = run_tlm(
-            &p,
-            TlmMode::Timed,
-            &TlmConfig { granularity: 8, ..TlmConfig::default() },
-        )
-        .expect("runs");
+        let fine =
+            run_tlm(&p, TlmMode::Timed, &TlmConfig { granularity: 1, ..TlmConfig::default() })
+                .expect("runs");
+        let coarse =
+            run_tlm(&p, TlmMode::Timed, &TlmConfig { granularity: 8, ..TlmConfig::default() })
+                .expect("runs");
         // The accumulated-delay invariant: total applied compute cycles per
         // process are identical regardless of when they are applied.
         for name in ["producer", "worker", "consumer"] {
             assert_eq!(
-                fine.processes[name].computed_cycles,
-                coarse.processes[name].computed_cycles,
+                fine.processes[name].computed_cycles, coarse.processes[name].computed_cycles,
                 "{name}"
             );
         }
@@ -542,8 +526,7 @@ mod tests {
     fn same_pe_processes_serialize() {
         // Producer and consumer both on the CPU: busy cycles add up.
         let producer = module("void main() { for (int i = 0; i < 8; i++) { ch_send(0, i); } }");
-        let consumer =
-            module("void main() { for (int i = 0; i < 8; i++) { out(ch_recv(0)); } }");
+        let consumer = module("void main() { for (int i = 0; i < 8; i++) { out(ch_recv(0)); } }");
         let mut b = PlatformBuilder::new("shared");
         let cpu = b.add_pe("cpu", library::microblaze_like(8 << 10, 4 << 10));
         b.add_process("producer", &producer, "main", &[], cpu).expect("ok");
@@ -586,10 +569,7 @@ mod tests {
         let r = run_tlm(
             &p,
             TlmMode::Timed,
-            &TlmConfig {
-                time_limit: Some(SimTime::from_us(100)),
-                ..TlmConfig::default()
-            },
+            &TlmConfig { time_limit: Some(SimTime::from_us(100)), ..TlmConfig::default() },
         )
         .expect("runs");
         assert_eq!(r.sim.stop, StopReason::TimeLimit);
@@ -599,8 +579,7 @@ mod tests {
     fn hw_mapping_reduces_pe_load_versus_sw() {
         // The same heavy worker mapped to HW vs to the CPU: the timed TLM
         // must show the HW design finishing earlier (Table 1/3 shape).
-        let producer =
-            module("void main() { for (int i = 0; i < 32; i++) { ch_send(0, i); } }");
+        let producer = module("void main() { for (int i = 0; i < 32; i++) { ch_send(0, i); } }");
         let worker = module(
             "void main() {
                 for (int i = 0; i < 32; i++) {
@@ -627,11 +606,6 @@ mod tests {
         let sw = run_tlm(&build(false), TlmMode::Timed, &TlmConfig::default()).expect("runs");
         let hw = run_tlm(&build(true), TlmMode::Timed, &TlmConfig::default()).expect("runs");
         assert_eq!(sw.outputs["consumer"], hw.outputs["consumer"]);
-        assert!(
-            hw.end_time < sw.end_time,
-            "hw {} vs sw {}",
-            hw.end_time,
-            sw.end_time
-        );
+        assert!(hw.end_time < sw.end_time, "hw {} vs sw {}", hw.end_time, sw.end_time);
     }
 }

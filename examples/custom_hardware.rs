@@ -10,11 +10,11 @@ use std::collections::BTreeMap;
 
 use tlm_apps::kernels;
 use tlm_core::annotate::annotate;
-use tlm_core::pum::{
-    Datapath, ExecutionModel, FuMode, FuncUnit, MemoryModel, MemoryPath, OpBinding,
-    OpClassKey, Pipeline, Pum, SchedulingPolicy, Stage, StageUsage,
-};
 use tlm_core::library;
+use tlm_core::pum::{
+    Datapath, ExecutionModel, FuMode, FuncUnit, MemoryModel, MemoryPath, OpBinding, OpClassKey,
+    Pipeline, Pum, SchedulingPolicy, Stage, StageUsage,
+};
 
 /// Builds the paper's Fig. 4-style DCT hardware unit from scratch: a
 /// non-pipelined datapath (one-stage equivalent pipeline), two MACs, one

@@ -12,8 +12,8 @@ use tlm_apps::mp3;
 use tlm_cdfg::interp::{Exec, Machine};
 use tlm_cdfg::profile::{BlockProfile, ProfileHook};
 use tlm_core::annotate::annotate;
-use tlm_core::report::{function_shares, hotspots};
 use tlm_core::library;
+use tlm_core::report::{function_shares, hotspots};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Profile the two heavy processes, feeding them one granule of data the

@@ -44,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let meas = cycles(board.end_time);
         let err = (est as f64 - meas as f64) / meas as f64 * 100.0;
         let outs = &tlm.outputs["store"];
-        println!(
-            "{}:",
-            if accelerated { "with DCT accelerator" } else { "software only" }
-        );
+        println!("{}:", if accelerated { "with DCT accelerator" } else { "software only" });
         println!("  compressed words {} (checksum {:#x})", outs[0], outs[1]);
         println!("  TLM estimate  {est:>9} cycles");
         println!("  board measure {meas:>9} cycles  (estimate off by {err:+.2}%)");

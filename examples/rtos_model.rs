@@ -32,7 +32,9 @@ void main() {
 }
 "#;
 
-fn run(rtos: Option<RtosModel>) -> Result<tlm_platform::tlm::TlmReport, Box<dyn std::error::Error>> {
+fn run(
+    rtos: Option<RtosModel>,
+) -> Result<tlm_platform::tlm::TlmReport, Box<dyn std::error::Error>> {
     let ping = tlm_cdfg::lower::lower(&tlm_minic::parse(PING)?)?;
     let pong = tlm_cdfg::lower::lower(&tlm_minic::parse(PONG)?)?;
     let mut builder = PlatformBuilder::new("rtos-demo");

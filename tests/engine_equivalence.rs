@@ -42,8 +42,7 @@ fn kernels_agree_on_every_engine() {
         assert_eq!(iss.run(u64::MAX), CpuExec::Done);
         assert_eq!(iss.cpu().outputs(), reference, "{} on coarse iss", kernel.name);
 
-        let mut board =
-            MicroArch::new(program, MicroArchConfig::microblaze_like(2048, 2048));
+        let mut board = MicroArch::new(program, MicroArchConfig::microblaze_like(2048, 2048));
         assert_eq!(board.run(u64::MAX), CpuExec::Done);
         assert_eq!(board.cpu().outputs(), reference, "{} on board core", kernel.name);
         assert!(board.cycles() >= board.cpu().stats().instructions);

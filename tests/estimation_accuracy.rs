@@ -23,21 +23,16 @@ fn sw_estimate_tracks_board_within_ten_percent() {
     for (ic, dc) in [(0u32, 0u32), (8 << 10, 4 << 10), (32 << 10, 16 << 10)] {
         let platform = characterized_platform(Mp3Design::Sw, evaluation(), ic, dc, &chr);
         let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
-        let tlm =
-            run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+        let tlm = run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
         let err = error_pct(end_time_cycles(tlm.end_time), end_time_cycles(board.end_time));
-        assert!(
-            err.abs() < 10.0,
-            "SW at {ic}/{dc}: estimate off by {err:.2}%"
-        );
+        assert!(err.abs() < 10.0, "SW at {ic}/{dc}: estimate off by {err:.2}%");
     }
 }
 
 #[test]
 fn hw_design_estimate_tracks_board_within_ten_percent() {
     let chr = characterize_cpu(Mp3Design::SwPlus4, training());
-    let platform =
-        characterized_platform(Mp3Design::SwPlus4, evaluation(), 8 << 10, 4 << 10, &chr);
+    let platform = characterized_platform(Mp3Design::SwPlus4, evaluation(), 8 << 10, 4 << 10, &chr);
     let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
     let tlm = run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
     let err = error_pct(end_time_cycles(tlm.end_time), end_time_cycles(board.end_time));
@@ -55,16 +50,12 @@ fn tlm_beats_the_vendor_iss_on_average() {
         let platform = characterized_platform(Mp3Design::Sw, evaluation(), ic, dc, &chr);
         let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
         let iss = run_iss(&platform, &BoardConfig::default()).expect("ISS runs");
-        let tlm =
-            run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+        let tlm = run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
         let b = end_time_cycles(board.end_time);
         iss_err += error_pct(end_time_cycles(iss.end_time), b).abs();
         tlm_err += error_pct(end_time_cycles(tlm.end_time), b).abs();
     }
-    assert!(
-        tlm_err < iss_err,
-        "TLM total |err| {tlm_err:.2}% vs ISS {iss_err:.2}%"
-    );
+    assert!(tlm_err < iss_err, "TLM total |err| {tlm_err:.2}% vs ISS {iss_err:.2}%");
 }
 
 #[test]

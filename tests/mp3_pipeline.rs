@@ -19,8 +19,7 @@ fn all_designs_decode_identically_on_all_models() {
         let platform = build_mp3_platform(design, small(), 8 << 10, 4 << 10).expect("builds");
         let func = run_tlm(&platform, TlmMode::Functional, &TlmConfig::default())
             .expect("functional runs");
-        let timed =
-            run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("timed runs");
+        let timed = run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("timed runs");
         let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
         assert_eq!(func.sim.stop, StopReason::Completed, "{design}");
         assert_eq!(func.outputs["sink"], timed.outputs["sink"], "{design}");
@@ -38,13 +37,9 @@ fn decode_time_improves_monotonically_with_hw() {
     let mut last = u64::MAX;
     for design in Mp3Design::ALL {
         let platform = build_mp3_platform(design, small(), 8 << 10, 4 << 10).expect("builds");
-        let timed =
-            run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("timed runs");
+        let timed = run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("timed runs");
         let cycles = timed.end_time.ps();
-        assert!(
-            cycles < last,
-            "{design} did not improve: {cycles} !< {last}"
-        );
+        assert!(cycles < last, "{design} did not improve: {cycles} !< {last}");
         last = cycles;
     }
 }
@@ -66,12 +61,9 @@ fn granularity_conserves_computed_cycles() {
         build_mp3_platform(Mp3Design::SwPlus1, small(), 8 << 10, 4 << 10).expect("builds");
     let mut totals = Vec::new();
     for granularity in [1u32, 4, 32] {
-        let report = run_tlm(
-            &platform,
-            TlmMode::Timed,
-            &TlmConfig { granularity, ..TlmConfig::default() },
-        )
-        .expect("runs");
+        let report =
+            run_tlm(&platform, TlmMode::Timed, &TlmConfig { granularity, ..TlmConfig::default() })
+                .expect("runs");
         assert!(report.all_finished());
         let total: u64 = report.processes.values().map(|p| p.computed_cycles).sum();
         totals.push(total);
@@ -93,10 +85,10 @@ fn iss_handles_sw_but_not_hw_designs() {
 
 #[test]
 fn different_seeds_decode_different_audio() {
-    let a = build_mp3_platform(Mp3Design::Sw, Mp3Params { seed: 1, frames: 1 }, 0, 0)
-        .expect("builds");
-    let b = build_mp3_platform(Mp3Design::Sw, Mp3Params { seed: 2, frames: 1 }, 0, 0)
-        .expect("builds");
+    let a =
+        build_mp3_platform(Mp3Design::Sw, Mp3Params { seed: 1, frames: 1 }, 0, 0).expect("builds");
+    let b =
+        build_mp3_platform(Mp3Design::Sw, Mp3Params { seed: 2, frames: 1 }, 0, 0).expect("builds");
     let ra = run_tlm(&a, TlmMode::Functional, &TlmConfig::default()).expect("runs");
     let rb = run_tlm(&b, TlmMode::Functional, &TlmConfig::default()).expect("runs");
     assert_ne!(ra.outputs["sink"], rb.outputs["sink"]);

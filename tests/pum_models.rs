@@ -24,8 +24,7 @@ fn all_shipped_models_load_and_validate() {
     assert!(files.len() >= 6, "expected the shipped model set, found {files:?}");
     for path in files {
         let text = std::fs::read_to_string(&path).expect("readable");
-        let pum = Pum::from_json(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let pum = Pum::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         // Round trip through the codec is lossless.
         let again = Pum::from_json(&pum.to_json()).expect("round-trips");
         assert_eq!(pum, again, "{}", path.display());
@@ -34,15 +33,12 @@ fn all_shipped_models_load_and_validate() {
 
 #[test]
 fn shipped_models_estimate_a_real_kernel() {
-    let module = tlm_cdfg::lower::lower(
-        &tlm_minic::parse(&kernels::fir(32, 64)).expect("parses"),
-    )
-    .expect("lowers");
+    let module = tlm_cdfg::lower::lower(&tlm_minic::parse(&kernels::fir(32, 64)).expect("parses"))
+        .expect("lowers");
     for path in model_files() {
         let text = std::fs::read_to_string(&path).expect("readable");
         let pum = Pum::from_json(&text).expect("valid");
-        let timed = annotate(&module, &pum)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let timed = annotate(&module, &pum).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert!(timed.total_annotated_blocks() > 0);
     }
 }

@@ -34,12 +34,10 @@ fn worker_source(seed: i32, items: u32) -> String {
 const SINK: &str = "void main() { out(ch_recv(0)); }";
 
 fn build(seed: i32, items: u32, icache: u32, dcache: u32) -> Platform {
-    let worker = tlm_cdfg::lower::lower(
-        &tlm_minic::parse(&worker_source(seed, items)).expect("parses"),
-    )
-    .expect("lowers");
-    let sink =
-        tlm_cdfg::lower::lower(&tlm_minic::parse(SINK).expect("parses")).expect("lowers");
+    let worker =
+        tlm_cdfg::lower::lower(&tlm_minic::parse(&worker_source(seed, items)).expect("parses"))
+            .expect("lowers");
+    let sink = tlm_cdfg::lower::lower(&tlm_minic::parse(SINK).expect("parses")).expect("lowers");
     let mut pum = library::superscalar2();
     set_cache_sizes(&mut pum, icache, dcache);
     let mut b = PlatformBuilder::new("superscalar-kernels");
@@ -81,10 +79,7 @@ fn superscalar_estimate_tracks_dual_issue_board() {
     // band (single digits) widens, but the estimate must stay in the same
     // ballpark without any estimator changes.
     eprintln!("superscalar estimate: {est} vs board {meas} ({err:+.2}%)");
-    assert!(
-        err.abs() < 30.0,
-        "superscalar estimate off by {err:.2}% ({est} vs {meas})"
-    );
+    assert!(err.abs() < 30.0, "superscalar estimate off by {err:.2}% ({est} vs {meas})");
 }
 
 #[test]
