@@ -1,47 +1,68 @@
-//! Criterion benches of the estimation engine itself: Algorithm 1 per
-//! block, full-module annotation (the "Anno." column of Table 1) and
-//! per-policy scheduling cost (ablation A1's runtime counterpart).
+//! Benches of the estimation engine itself: Algorithm 1 per block,
+//! full-module annotation (the "Anno." column of Table 1), the memoized
+//! and parallel engine variants, and per-policy scheduling cost (ablation
+//! A1's runtime counterpart). All inputs use fixed seeds, so runs are
+//! reproducible.
+//!
+//! Runs under `cargo bench -p tlm-bench` (harness-less bench target); pass
+//! `-- --bench-json=PATH` to save the measurements as JSON.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use tlm_apps::{kernels, mp3};
+use tlm_bench::perf::{bench_json_path, write_bench_json, Bench};
 use tlm_cdfg::dfg::block_dfg;
 use tlm_cdfg::ir::Module;
-use tlm_core::annotate::annotate;
+use tlm_core::annotate::{annotate, annotate_arc_with, annotate_uncached};
 use tlm_core::library;
 use tlm_core::pum::SchedulingPolicy;
 use tlm_core::schedule::schedule_block;
+use tlm_core::ScheduleCache;
+use tlm_json::{ObjectBuilder, Value};
 
 fn lower(src: &str) -> Module {
     tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers")
 }
 
-fn bench_annotation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("annotate");
+fn bench_annotation(bench: &mut Bench) {
     let cpu = library::microblaze_like(8 << 10, 4 << 10);
     let hw = library::custom_hw("hw", 2, 2);
     let filter = lower(&mp3::filter_source(0, 1));
     let imdct = lower(&mp3::imdct_source(0, 1));
     for (name, module) in [("filtercore", &filter), ("imdct", &imdct)] {
-        group.bench_with_input(BenchmarkId::new("cpu", name), module, |b, m| {
-            b.iter(|| annotate(black_box(m), &cpu).expect("annotates"));
+        bench.run(&format!("cpu/{name}"), || {
+            annotate(black_box(module), &cpu).expect("annotates");
         });
-        group.bench_with_input(BenchmarkId::new("hw", name), module, |b, m| {
-            b.iter(|| annotate(black_box(m), &hw).expect("annotates"));
+        bench.run(&format!("hw/{name}"), || {
+            annotate(black_box(module), &hw).expect("annotates");
         });
     }
-    group.finish();
 }
 
-fn bench_schedule_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schedule_policy");
+fn bench_engine_variants(bench: &mut Bench) {
+    let cpu = library::microblaze_like(8 << 10, 4 << 10);
+    let filter = Arc::new(lower(&mp3::filter_source(0, 1)));
+    bench.run("engine/sequential_uncached", || {
+        annotate_uncached(black_box(&filter), &cpu).expect("annotates");
+    });
+    bench.run("engine/parallel_uncached", || {
+        annotate_arc_with(Arc::clone(&filter), &cpu, None, true).expect("annotates");
+    });
+    let cache = ScheduleCache::new();
+    annotate_arc_with(Arc::clone(&filter), &cpu, Some(&cache), false).expect("warms cache");
+    bench.run("engine/sequential_warm_cache", || {
+        annotate_arc_with(Arc::clone(&filter), &cpu, Some(&cache), false).expect("annotates");
+    });
+    bench.run("engine/parallel_warm_cache", || {
+        annotate_arc_with(Arc::clone(&filter), &cpu, Some(&cache), true).expect("annotates");
+    });
+}
+
+fn bench_schedule_policies(bench: &mut Bench) {
     let module = lower(&kernels::matmul(16));
     let func = &module.functions[0];
-    let (bid, block) = func
-        .blocks_iter()
-        .max_by_key(|(_, b)| b.ops.len())
-        .expect("has blocks");
+    let (bid, block) = func.blocks_iter().max_by_key(|(_, b)| b.ops.len()).expect("has blocks");
     let dfg = block_dfg(block);
     for policy in [
         SchedulingPolicy::InOrder,
@@ -51,24 +72,31 @@ fn bench_schedule_policies(c: &mut Criterion) {
     ] {
         let mut pum = library::custom_hw("hw", 2, 2);
         pum.execution.policy = policy;
-        group.bench_function(format!("{policy:?}"), |b| {
-            b.iter(|| {
-                schedule_block(black_box(&pum), block, &dfg, tlm_cdfg::FuncId(0), bid)
-                    .expect("schedules")
-            });
+        bench.run(&format!("policy/{policy:?}"), || {
+            schedule_block(black_box(&pum), block, &dfg, tlm_cdfg::FuncId(0), bid)
+                .expect("schedules");
         });
     }
-    group.finish();
 }
 
-fn bench_frontend(c: &mut Criterion) {
-    let mut group = c.benchmark_group("frontend");
+fn bench_frontend(bench: &mut Bench) {
     let src = mp3::filter_source(0, 1);
-    group.bench_function("parse_and_lower_filtercore", |b| {
-        b.iter(|| lower(black_box(&src)));
+    bench.run("frontend/parse_and_lower_filtercore", || {
+        lower(black_box(&src));
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_annotation, bench_schedule_policies, bench_frontend);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::new("estimation");
+    bench_annotation(&mut bench);
+    bench_engine_variants(&mut bench);
+    bench_schedule_policies(&mut bench);
+    bench_frontend(&mut bench);
+    if let Some(path) = bench_json_path() {
+        let json = ObjectBuilder::new()
+            .field("bench", Value::String(bench.name().into()))
+            .field("cases", bench.to_value())
+            .build();
+        write_bench_json(&path, &json);
+    }
+}

@@ -1,11 +1,16 @@
-//! Criterion benches of the simulation engines — the runtime side of
-//! Table 1: functional TLM vs timed TLM vs coarse ISS vs cycle-accurate
-//! board, plus the `sc_wait` granularity ablation (A2).
+//! Benches of the simulation engines — the runtime side of Table 1:
+//! functional TLM vs timed TLM vs coarse ISS vs cycle-accurate board, plus
+//! the `sc_wait` granularity ablation (A2). The workload is one MP3 frame
+//! with a fixed seed, so runs are reproducible.
+//!
+//! Runs under `cargo bench -p tlm-bench`; pass `-- --bench-json=PATH` to
+//! save the measurements as JSON.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 use tlm_apps::{build_mp3_platform, Mp3Design, Mp3Params};
+use tlm_bench::perf::{bench_json_path, write_bench_json, Bench};
+use tlm_json::{ObjectBuilder, Value};
 use tlm_pcam::{run_board, run_iss, BoardConfig};
 use tlm_platform::desc::Platform;
 use tlm_platform::tlm::{run_tlm, TlmConfig, TlmMode};
@@ -15,37 +20,41 @@ fn small_platform(design: Mp3Design) -> Platform {
         .expect("platform builds")
 }
 
-fn bench_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mp3_sw_one_frame");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+fn bench_models(bench: &mut Bench) {
     let platform = small_platform(Mp3Design::Sw);
-    group.bench_function("tlm_functional", |b| {
-        b.iter(|| run_tlm(&platform, TlmMode::Functional, &TlmConfig::default()).expect("runs"));
+    bench.run("mp3_sw_one_frame/tlm_functional", || {
+        run_tlm(&platform, TlmMode::Functional, &TlmConfig::default()).expect("runs");
     });
-    group.bench_function("tlm_timed", |b| {
-        b.iter(|| run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("runs"));
+    bench.run("mp3_sw_one_frame/tlm_timed", || {
+        run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("runs");
     });
-    group.bench_function("iss_coarse", |b| {
-        b.iter(|| run_iss(&platform, &BoardConfig::default()).expect("runs"));
+    bench.run("mp3_sw_one_frame/iss_coarse", || {
+        run_iss(&platform, &BoardConfig::default()).expect("runs");
     });
-    group.bench_function("board_pcam", |b| {
-        b.iter(|| run_board(&platform, &BoardConfig::default()).expect("runs"));
+    bench.run("mp3_sw_one_frame/board_pcam", || {
+        run_board(&platform, &BoardConfig::default()).expect("runs");
     });
-    group.finish();
 }
 
-fn bench_granularity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sc_wait_granularity");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+fn bench_granularity(bench: &mut Bench) {
     let platform = small_platform(Mp3Design::SwPlus4);
     for granularity in [1u32, 8, 64] {
-        group.bench_function(format!("g{granularity}"), |b| {
-            let config = TlmConfig { granularity, ..TlmConfig::default() };
-            b.iter(|| run_tlm(&platform, TlmMode::Timed, &config).expect("runs"));
+        let config = TlmConfig { granularity, ..TlmConfig::default() };
+        bench.run(&format!("sc_wait_granularity/g{granularity}"), || {
+            run_tlm(&platform, TlmMode::Timed, &config).expect("runs");
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_models, bench_granularity);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::with_target("simulation", Duration::from_secs(2));
+    bench_models(&mut bench);
+    bench_granularity(&mut bench);
+    if let Some(path) = bench_json_path() {
+        let json = ObjectBuilder::new()
+            .field("bench", Value::String(bench.name().into()))
+            .field("cases", bench.to_value())
+            .build();
+        write_bench_json(&path, &json);
+    }
+}

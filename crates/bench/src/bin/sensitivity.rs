@@ -18,12 +18,15 @@
 //!    Nth transaction.
 
 use tlm_apps::{kernels, Mp3Design, Mp3Params};
+use tlm_bench::perf::{bench_json_path, time, write_bench_json};
 use tlm_bench::{
     characterize_cpu, characterized_platform, end_time_cycles, error_pct, fmt_m, TextTable,
 };
 use tlm_core::annotate::annotate;
+use tlm_core::parallel::{available_workers, par_map};
 use tlm_core::pum::{MemoryPath, SchedulingPolicy};
-use tlm_core::{library, Pum};
+use tlm_core::{library, Pum, ScheduleCache};
+use tlm_json::{ObjectBuilder, Value};
 use tlm_pcam::{run_board, BoardConfig};
 use tlm_platform::desc::Platform;
 use tlm_platform::tlm::{run_tlm, TlmConfig, TlmMode};
@@ -49,8 +52,7 @@ fn estimate_cycles(platform: &Platform) -> u64 {
 }
 
 fn total_annotated(pum: &Pum, src: &str) -> u64 {
-    let module =
-        tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers");
+    let module = tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers");
     let timed = annotate(&module, pum).expect("annotates");
     module
         .functions_iter()
@@ -60,6 +62,7 @@ fn total_annotated(pum: &Pum, src: &str) -> u64 {
 }
 
 fn main() {
+    let bench_json = bench_json_path();
     let training = Mp3Params::training();
     let eval = Mp3Params::evaluation();
     let chr = characterize_cpu(Mp3Design::Sw, training);
@@ -67,13 +70,20 @@ fn main() {
     let board = run_board(&base, &BoardConfig::default()).expect("board runs");
     let measured = end_time_cycles(board.end_time);
 
+    // S1a/S1b sweep points only vary the statistical models, so the
+    // concurrent timed TLMs all reuse one Algorithm 1 schedule per block.
     println!("S1a — estimate sensitivity to cache hit-rate error (SW, 8k/4k)");
+    let deltas = [-0.05, -0.02, -0.01, 0.0, 0.01, 0.02];
+    let (s1a, s1a_wall) = time(|| {
+        par_map(&deltas, |&delta| {
+            let mut p = base.clone();
+            perturb_rates(&mut p, delta);
+            estimate_cycles(&p)
+        })
+    });
     let mut t = TextTable::new();
     t.row(vec!["Δ hit rate".into(), "TLM".into(), "err vs board".into()]);
-    for delta in [-0.05, -0.02, -0.01, 0.0, 0.01, 0.02] {
-        let mut p = base.clone();
-        perturb_rates(&mut p, delta);
-        let est = estimate_cycles(&p);
+    for (&delta, &est) in deltas.iter().zip(&s1a) {
         t.row(vec![
             format!("{delta:+.2}"),
             fmt_m(est),
@@ -83,21 +93,22 @@ fn main() {
     println!("{}", t.render());
 
     println!("S1b — estimate sensitivity to the branch misprediction ratio");
+    let rates = [0.0, 0.1, 0.2, 0.3, 0.5];
+    let (s1b, s1b_wall) = time(|| {
+        par_map(&rates, |&rate| {
+            let mut p = base.clone();
+            for pe in &mut p.pes {
+                if let Some(b) = &mut pe.pum.branch {
+                    b.miss_rate = rate;
+                }
+            }
+            estimate_cycles(&p)
+        })
+    });
     let mut t = TextTable::new();
     t.row(vec!["miss rate".into(), "TLM".into(), "err vs board".into()]);
-    for rate in [0.0, 0.1, 0.2, 0.3, 0.5] {
-        let mut p = base.clone();
-        for pe in &mut p.pes {
-            if let Some(b) = &mut pe.pum.branch {
-                b.miss_rate = rate;
-            }
-        }
-        let est = estimate_cycles(&p);
-        t.row(vec![
-            format!("{rate:.2}"),
-            fmt_m(est),
-            format!("{:+.2}%", error_pct(est, measured)),
-        ]);
+    for (&rate, &est) in rates.iter().zip(&s1b) {
+        t.row(vec![format!("{rate:.2}"), fmt_m(est), format!("{:+.2}%", error_pct(est, measured))]);
     }
     println!("{}", t.render());
 
@@ -128,12 +139,7 @@ fn main() {
     let p4 = characterized_platform(Mp3Design::SwPlus4, eval, 8 << 10, 4 << 10, &chr);
     let reference = estimate_cycles(&p4);
     let mut t = TextTable::new();
-    t.row(vec![
-        "granularity".into(),
-        "end cycles".into(),
-        "Δ vs g=1".into(),
-        "sim wall".into(),
-    ]);
+    t.row(vec!["granularity".into(), "end cycles".into(), "Δ vs g=1".into(), "sim wall".into()]);
     for g in [1u32, 2, 4, 16, 64] {
         let config = TlmConfig { granularity: g, ..TlmConfig::default() };
         let tlm = run_tlm(&p4, TlmMode::Timed, &config).expect("TLM runs");
@@ -146,4 +152,26 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+
+    if let Some(path) = bench_json {
+        let stats = ScheduleCache::global().stats();
+        let json = ObjectBuilder::new()
+            .field("bench", Value::String("sensitivity".into()))
+            .field("workers", Value::Number(available_workers() as f64))
+            .field("s1a_points", Value::Number(deltas.len() as f64))
+            .field("s1a_wall_ms", Value::Number(s1a_wall.as_secs_f64() * 1e3))
+            .field("s1b_points", Value::Number(rates.len() as f64))
+            .field("s1b_wall_ms", Value::Number(s1b_wall.as_secs_f64() * 1e3))
+            .field(
+                "schedule_cache",
+                ObjectBuilder::new()
+                    .field("hits", Value::Number(stats.hits as f64))
+                    .field("misses", Value::Number(stats.misses as f64))
+                    .field("entries", Value::Number(stats.entries as f64))
+                    .field("hit_ratio", Value::Number(stats.hit_ratio()))
+                    .build(),
+            )
+            .build();
+        write_bench_json(&path, &json);
+    }
 }

@@ -3,7 +3,7 @@
 //! five cache configurations.
 //!
 //! ```text
-//! cargo run -p tlm-bench --release --bin table2
+//! cargo run -p tlm-bench --release --bin table2 [-- --bench-json[=PATH]]
 //! ```
 //!
 //! Statistical PUM parameters are characterized on the training input and
@@ -11,24 +11,53 @@
 //! the timed TLM's average error is clearly smaller than the vendor-style
 //! ISS's, whose fixed memory assumptions misestimate badly at the extreme
 //! cache configurations.
+//!
+//! The five sweep points are independent simulations and run concurrently;
+//! all five timed TLMs share one Algorithm 1 schedule per basic block
+//! through the global [`ScheduleCache`]. `--bench-json` records the sweep
+//! wall time and the cache counters.
 
 use tlm_apps::designs::CACHE_SWEEP;
 use tlm_apps::{Mp3Design, Mp3Params};
+use tlm_bench::perf::{bench_json_path, time, write_bench_json};
 use tlm_bench::{
     characterize_cpu, characterized_platform, end_time_cycles, error_pct, fmt_m, TextTable,
 };
+use tlm_core::parallel::{available_workers, par_map};
+use tlm_core::ScheduleCache;
+use tlm_json::{ObjectBuilder, Value};
 use tlm_pcam::{run_board, run_iss, BoardConfig};
 use tlm_platform::tlm::{run_tlm, TlmConfig, TlmMode};
 
 fn main() {
+    let bench_json = bench_json_path();
     let training = Mp3Params::training();
     let eval = Mp3Params::evaluation();
     eprintln!("characterizing CPU on training input (seed {:#x})...", training.seed);
-    let chr = characterize_cpu(Mp3Design::Sw, training);
+    let (chr, chr_wall) = time(|| characterize_cpu(Mp3Design::Sw, training));
     eprintln!(
         "  mispredict rate {:.4}, fetch expansion {:.3}, data expansion {:.3}",
         chr.mispredict_rate, chr.fetch_expansion, chr.data_expansion
     );
+
+    let sweep = CACHE_SWEEP;
+    let (points, sweep_wall) = time(|| {
+        par_map(&sweep, |&(label, ic, dc)| {
+            let platform = characterized_platform(Mp3Design::Sw, eval, ic, dc, &chr);
+            let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
+            let iss = run_iss(&platform, &BoardConfig::default()).expect("ISS runs");
+            let tlm = run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+            assert_eq!(board.outputs, tlm.outputs, "functional equivalence");
+            assert_eq!(board.outputs, iss.outputs, "functional equivalence");
+            (
+                label,
+                end_time_cycles(board.end_time),
+                end_time_cycles(iss.end_time),
+                end_time_cycles(tlm.end_time),
+            )
+        })
+    });
+    let cache_stats = ScheduleCache::global().stats();
 
     let mut table = TextTable::new();
     table.row(vec![
@@ -41,28 +70,17 @@ fn main() {
     ]);
     let mut iss_abs = Vec::new();
     let mut tlm_abs = Vec::new();
-    for (label, ic, dc) in CACHE_SWEEP {
-        let platform = characterized_platform(Mp3Design::Sw, eval, ic, dc, &chr);
-        let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
-        let iss = run_iss(&platform, &BoardConfig::default()).expect("ISS runs");
-        let tlm =
-            run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
-        assert_eq!(board.outputs, tlm.outputs, "functional equivalence");
-        assert_eq!(board.outputs, iss.outputs, "functional equivalence");
-
-        let b = end_time_cycles(board.end_time);
-        let i = end_time_cycles(iss.end_time);
-        let t = end_time_cycles(tlm.end_time);
-        let iss_err = error_pct(i, b);
-        let tlm_err = error_pct(t, b);
+    for (label, b, i, t) in &points {
+        let iss_err = error_pct(*i, *b);
+        let tlm_err = error_pct(*t, *b);
         iss_abs.push(iss_err.abs());
         tlm_abs.push(tlm_err.abs());
         table.row(vec![
-            label.to_string(),
-            fmt_m(b),
-            fmt_m(i),
+            (*label).to_string(),
+            fmt_m(*b),
+            fmt_m(*i),
             format!("{iss_err:+.2}%"),
-            fmt_m(t),
+            fmt_m(*t),
             format!("{tlm_err:+.2}%"),
         ]);
     }
@@ -86,4 +104,26 @@ fn main() {
         "reproduced claim: TLM average error beats the vendor ISS"
     );
     println!("shape check passed: TLM average |error| < ISS average |error|");
+
+    if let Some(path) = bench_json {
+        let json = ObjectBuilder::new()
+            .field("bench", Value::String("table2".into()))
+            .field("workers", Value::Number(available_workers() as f64))
+            .field("sweep_points", Value::Number(points.len() as f64))
+            .field("characterize_ms", Value::Number(chr_wall.as_secs_f64() * 1e3))
+            .field("sweep_wall_ms", Value::Number(sweep_wall.as_secs_f64() * 1e3))
+            .field(
+                "schedule_cache",
+                ObjectBuilder::new()
+                    .field("hits", Value::Number(cache_stats.hits as f64))
+                    .field("misses", Value::Number(cache_stats.misses as f64))
+                    .field("entries", Value::Number(cache_stats.entries as f64))
+                    .field("hit_ratio", Value::Number(cache_stats.hit_ratio()))
+                    .build(),
+            )
+            .field("avg_iss_err_pct", Value::Number(avg(&iss_abs)))
+            .field("avg_tlm_err_pct", Value::Number(avg(&tlm_abs)))
+            .build();
+        write_bench_json(&path, &json);
+    }
 }

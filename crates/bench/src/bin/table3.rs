@@ -3,25 +3,61 @@
 //! the five cache configurations.
 //!
 //! ```text
-//! cargo run -p tlm-bench --release --bin table3
+//! cargo run -p tlm-bench --release --bin table3 [-- --bench-json[=PATH]]
 //! ```
 //!
 //! The reproduced claims: decode time falls monotonically as kernels move
 //! to hardware, and the TLM estimate stays within a single-digit percentage
 //! of the cycle-accurate measurement for every design and cache size.
+//!
+//! The 15 (design × cache) sweep points are independent and run
+//! concurrently; their timed TLMs share Algorithm 1 schedules through the
+//! global [`ScheduleCache`]. `--bench-json` records the sweep wall time and
+//! the cache counters.
 
 use tlm_apps::designs::CACHE_SWEEP;
 use tlm_apps::{Mp3Design, Mp3Params};
+use tlm_bench::perf::{bench_json_path, time, write_bench_json};
 use tlm_bench::{
     characterize_cpu, characterized_platform, end_time_cycles, error_pct, fmt_m, TextTable,
 };
+use tlm_core::parallel::{available_workers, par_map};
+use tlm_core::ScheduleCache;
+use tlm_json::{ObjectBuilder, Value};
 use tlm_pcam::{run_board, BoardConfig};
 use tlm_platform::tlm::{run_tlm, TlmConfig, TlmMode};
 
 fn main() {
+    let bench_json = bench_json_path();
     let training = Mp3Params::training();
     let eval = Mp3Params::evaluation();
     let designs = [Mp3Design::SwPlus1, Mp3Design::SwPlus2, Mp3Design::SwPlus4];
+
+    let (chrs, chr_wall) = time(|| {
+        designs
+            .iter()
+            .map(|&d| {
+                eprintln!("characterizing CPU for {d}...");
+                characterize_cpu(d, training)
+            })
+            .collect::<Vec<_>>()
+    });
+
+    // One flat work list over designs × cache configurations, so every
+    // simulation fans out at once instead of five at a time.
+    let work: Vec<(usize, usize)> =
+        (0..CACHE_SWEEP.len()).flat_map(|c| (0..designs.len()).map(move |d| (c, d))).collect();
+    let (cells, sweep_wall) = time(|| {
+        par_map(&work, |&(c, d)| {
+            let (_, ic, dc) = CACHE_SWEEP[c];
+            let platform = characterized_platform(designs[d], eval, ic, dc, &chrs[d]);
+            let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
+            let tlm = run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+            assert_eq!(board.outputs, tlm.outputs, "functional equivalence");
+            (end_time_cycles(board.end_time), end_time_cycles(tlm.end_time))
+        })
+    });
+    let cache_stats = ScheduleCache::global().stats();
 
     let mut table = TextTable::new();
     let mut header = vec!["I/D cache".to_string()];
@@ -33,24 +69,10 @@ fn main() {
     table.row(header);
 
     let mut averages = vec![Vec::new(); designs.len()];
-    let chrs: Vec<_> = designs
-        .iter()
-        .map(|&d| {
-            eprintln!("characterizing CPU for {d}...");
-            characterize_cpu(d, training)
-        })
-        .collect();
-
-    for (label, ic, dc) in CACHE_SWEEP {
-        let mut row = vec![label.to_string()];
-        for ((&design, chr), avg) in designs.iter().zip(&chrs).zip(&mut averages) {
-            let platform = characterized_platform(design, eval, ic, dc, chr);
-            let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
-            let tlm =
-                run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
-            assert_eq!(board.outputs, tlm.outputs, "functional equivalence");
-            let b = end_time_cycles(board.end_time);
-            let t = end_time_cycles(tlm.end_time);
+    for (c, (label, _, _)) in CACHE_SWEEP.iter().enumerate() {
+        let mut row = vec![(*label).to_string()];
+        for (d, avg) in averages.iter_mut().enumerate() {
+            let (b, t) = cells[c * designs.len() + d];
             let err = error_pct(t, b);
             avg.push(err.abs());
             row.push(fmt_m(b));
@@ -78,4 +100,24 @@ fn main() {
         assert!(mean < 10.0, "{design} average error {mean:.2}% exceeds the paper band");
     }
     println!("shape check passed: every design's average |error| < 10%");
+
+    if let Some(path) = bench_json {
+        let json = ObjectBuilder::new()
+            .field("bench", Value::String("table3".into()))
+            .field("workers", Value::Number(available_workers() as f64))
+            .field("sweep_points", Value::Number(work.len() as f64))
+            .field("characterize_ms", Value::Number(chr_wall.as_secs_f64() * 1e3))
+            .field("sweep_wall_ms", Value::Number(sweep_wall.as_secs_f64() * 1e3))
+            .field(
+                "schedule_cache",
+                ObjectBuilder::new()
+                    .field("hits", Value::Number(cache_stats.hits as f64))
+                    .field("misses", Value::Number(cache_stats.misses as f64))
+                    .field("entries", Value::Number(cache_stats.entries as f64))
+                    .field("hit_ratio", Value::Number(cache_stats.hit_ratio()))
+                    .build(),
+            )
+            .build();
+        write_bench_json(&path, &json);
+    }
 }

@@ -11,8 +11,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use tlm_apps::{build_mp3_platform, Mp3Design, Mp3Params};
 use tlm_core::characterize::{apply_measurements, HitRateTable};
+use tlm_core::parallel::par_map;
 use tlm_desim::SimTime;
 use tlm_pcam::{run_board, BoardConfig};
 use tlm_platform::desc::Platform;
@@ -54,16 +57,8 @@ fn cpu_interp_stats(platform: &Platform, report: &TlmReport, pe_name: &str) -> (
 }
 
 /// The aggregated measured counters of one PE in a board report.
-fn pe_counters(
-    report: &tlm_pcam::BoardReport,
-    pe_name: &str,
-) -> tlm_pcam::engine::EngineCounters {
-    report
-        .pe_counters
-        .iter()
-        .find(|(n, _)| n == pe_name)
-        .map(|&(_, c)| c)
-        .unwrap_or_default()
+fn pe_counters(report: &tlm_pcam::BoardReport, pe_name: &str) -> tlm_pcam::engine::EngineCounters {
+    report.pe_counters.iter().find(|(n, _)| n == pe_name).map(|&(_, c)| c).unwrap_or_default()
 }
 
 /// Measures the statistical parameters of the PE named `"cpu"` on a
@@ -71,20 +66,26 @@ fn pe_counters(
 /// return the same design with different cache sizes, running the training
 /// input. Works for any application, not just the MP3 decoder.
 ///
+/// The per-size training runs are independent board simulations, so they
+/// fan out over the available cores; the rate tables are merged back in
+/// size order and are identical to what the sequential loop produced.
+///
 /// # Panics
 ///
 /// Panics if any simulation fails or does not complete.
 pub fn characterize_cpu_with(
-    build: impl Fn(u32, u32) -> Platform,
+    build: impl Fn(u32, u32) -> Platform + Sync,
     sizes: &[u32],
 ) -> CpuCharacterization {
     let mut icache_rates = HitRateTable::new();
     let mut dcache_rates = HitRateTable::new();
-    for &size in sizes {
+    let measured = par_map(sizes, |&size| {
         let platform = build(size, size);
         let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
         assert!(board.all_finished(), "training run must complete");
-        let c = pe_counters(&board, "cpu");
+        pe_counters(&board, "cpu")
+    });
+    for (&size, c) in sizes.iter().zip(measured) {
         if c.ifetches > 0 {
             icache_rates.insert(size, 1.0 - c.imisses as f64 / c.ifetches as f64);
         }
@@ -98,11 +99,8 @@ pub fn characterize_cpu_with(
     let platform = build(8 << 10, 4 << 10);
     let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
     let c = pe_counters(&board, "cpu");
-    let mispredict_rate = if c.branches > 0 {
-        c.mispredicts as f64 / c.branches as f64
-    } else {
-        0.0
-    };
+    let mispredict_rate =
+        if c.branches > 0 { c.mispredicts as f64 / c.branches as f64 } else { 0.0 };
     let functional =
         run_tlm(&platform, TlmMode::Functional, &TlmConfig::default()).expect("tlm runs");
     let (ops_plus_blocks, mem, _branches) = cpu_interp_stats(&platform, &functional, "cpu");

@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use crate::ir::{ArrayId, BlockData, OpKind, VReg};
+use crate::ir::{ArrayId, BlockData, OpClass, OpKind, VReg};
 
 /// The dependence graph of one basic block.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,6 +135,43 @@ pub fn block_dfg(block: &BlockData) -> Dfg {
     Dfg { preds }
 }
 
+fn class_tag(class: OpClass) -> u8 {
+    match class {
+        OpClass::Alu => 0,
+        OpClass::Mul => 1,
+        OpClass::Div => 2,
+        OpClass::Shift => 3,
+        OpClass::Load => 4,
+        OpClass::Store => 5,
+        OpClass::Move => 6,
+        OpClass::Control => 7,
+    }
+}
+
+/// Canonical byte encoding of everything the optimistic scheduler
+/// (Algorithm 1 of the paper) reads from a basic block: the op-class
+/// sequence and the dependence edges. Two blocks with equal keys schedule
+/// identically on any PUM, regardless of operand values, array identities
+/// or the terminator — none of which Algorithm 1 inspects.
+///
+/// The encoding is self-delimiting (`u32` little-endian counts), so it is
+/// collision-free by construction and safe to use directly as a
+/// content-addressed cache key.
+pub fn schedule_key(block: &BlockData, dfg: &Dfg) -> Vec<u8> {
+    assert_eq!(block.ops.len(), dfg.preds.len(), "DFG belongs to another block");
+    let n_edges: usize = dfg.preds.iter().map(Vec::len).sum();
+    let mut key = Vec::with_capacity(4 + block.ops.len() * 5 + n_edges * 4);
+    key.extend_from_slice(&(block.ops.len() as u32).to_le_bytes());
+    for (op, preds) in block.ops.iter().zip(&dfg.preds) {
+        key.push(class_tag(op.class()));
+        key.extend_from_slice(&(preds.len() as u32).to_le_bytes());
+        for &p in preds {
+            key.extend_from_slice(&(p as u32).to_le_bytes());
+        }
+    }
+    key
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,11 +179,7 @@ mod tests {
     use tlm_minic::ast::BinOp;
 
     fn op(kind: OpKind, args: Vec<u32>, result: Option<u32>) -> Op {
-        Op {
-            kind,
-            args: args.into_iter().map(VReg).collect(),
-            result: result.map(VReg),
-        }
+        Op { kind, args: args.into_iter().map(VReg).collect(), result: result.map(VReg) }
     }
 
     fn block(ops: Vec<Op>) -> BlockData {
@@ -244,5 +277,48 @@ mod tests {
         let dfg = block_dfg(&block(vec![]));
         assert!(dfg.is_empty());
         assert_eq!(dfg.critical_path_len(), 0);
+    }
+
+    #[test]
+    fn schedule_key_ignores_operand_values_but_not_classes_or_deps() {
+        let base = block(vec![
+            op(OpKind::Const(1), vec![], Some(0)),
+            op(OpKind::Bin(BinOp::Add), vec![0, 0], Some(1)),
+        ]);
+        // Different constant, same structure: same key.
+        let same_shape = block(vec![
+            op(OpKind::Const(99), vec![], Some(0)),
+            op(OpKind::Bin(BinOp::Sub), vec![0, 0], Some(1)),
+        ]);
+        // Mul instead of Add: different op class, different key.
+        let other_class = block(vec![
+            op(OpKind::Const(1), vec![], Some(0)),
+            op(OpKind::Bin(BinOp::Mul), vec![0, 0], Some(1)),
+        ]);
+        // Add of live-ins: same classes, no dependence edge, different key.
+        let other_deps = block(vec![
+            op(OpKind::Const(1), vec![], Some(0)),
+            op(OpKind::Bin(BinOp::Add), vec![7, 7], Some(1)),
+        ]);
+        let key = |b: &BlockData| schedule_key(b, &block_dfg(b));
+        assert_eq!(key(&base), key(&same_shape));
+        assert_ne!(key(&base), key(&other_class));
+        assert_ne!(key(&base), key(&other_deps));
+    }
+
+    #[test]
+    fn schedule_key_is_self_delimiting() {
+        // One op with one pred vs two ops must not collide even though both
+        // encodings have similar byte counts.
+        let a = block(vec![
+            op(OpKind::Const(1), vec![], Some(0)),
+            op(OpKind::Bin(BinOp::Add), vec![0, 0], Some(1)),
+            op(OpKind::Bin(BinOp::Add), vec![1, 1], Some(2)),
+        ]);
+        let b = block(vec![
+            op(OpKind::Const(1), vec![], Some(0)),
+            op(OpKind::Bin(BinOp::Add), vec![0, 0], Some(1)),
+        ]);
+        assert_ne!(schedule_key(&a, &block_dfg(&a)), schedule_key(&b, &block_dfg(&b)));
     }
 }

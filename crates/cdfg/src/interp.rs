@@ -398,8 +398,7 @@ impl Machine {
                             match slot {
                                 Slot::Global(i) => self.globals[i] = value,
                                 Slot::Local(i) => {
-                                    self.frames.last_mut().expect("frame exists").locals[i] =
-                                        value
+                                    self.frames.last_mut().expect("frame exists").locals[i] = value
                                 }
                             }
                             self.stats.mem_accesses += 1;
@@ -463,8 +462,7 @@ impl Machine {
         let frame_words = self.layout.frame_words[func_id.0 as usize] as usize;
         let mut locals = vec![0i64; frame_words];
         for &aid in &func.local_arrays {
-            let base =
-                (self.layout.array_base[aid.0 as usize] / WORD_BYTES) as usize;
+            let base = (self.layout.array_base[aid.0 as usize] / WORD_BYTES) as usize;
             for (j, &v) in self.module.arrays[aid.0 as usize].init.iter().enumerate() {
                 locals[base + j] = wrap_i32(v);
             }
@@ -489,11 +487,7 @@ impl Machine {
     fn mem_addr(&self, array: crate::ir::ArrayId, index: i64) -> Result<(u32, Slot), Trap> {
         let data = &self.module.arrays[array.0 as usize];
         if index < 0 || index as usize >= data.len {
-            return Err(Trap::OutOfBounds {
-                array: data.name.clone(),
-                index,
-                len: data.len,
-            });
+            return Err(Trap::OutOfBounds { array: data.name.clone(), index, len: data.len });
         }
         let base = self.layout.array_base[array.0 as usize];
         match data.scope {
@@ -662,7 +656,7 @@ mod tests {
                 out(s);
             }",
         );
-        assert_eq!(outs, vec![0 + 2 + 4]);
+        assert_eq!(outs, vec![6], "sum of the even values 0, 2, 4");
     }
 
     #[test]
@@ -695,11 +689,7 @@ mod tests {
 
     #[test]
     fn out_of_bounds_traps() {
-        let mut m = machine(
-            "int t[4]; int main(int i) { return t[i]; }",
-            "main",
-            &[7],
-        );
+        let mut m = machine("int t[4]; int main(int i) { return t[i]; }", "main", &[7]);
         let Exec::Trap(Trap::OutOfBounds { index, len, .. }) = m.run(&mut NoopHook) else {
             panic!("expected OOB trap");
         };
@@ -714,11 +704,7 @@ mod tests {
 
     #[test]
     fn fuel_limits_execution() {
-        let mut m = machine(
-            "void main() { int i = 0; while (1) { i += 1; } }",
-            "main",
-            &[],
-        );
+        let mut m = machine("void main() { int i = 0; while (1) { i += 1; } }", "main", &[]);
         assert_eq!(m.run_fuel(&mut NoopHook, 10_000), Exec::OutOfFuel);
         // Resumable: more fuel continues the loop.
         assert_eq!(m.run_fuel(&mut NoopHook, 10_000), Exec::OutOfFuel);
@@ -796,11 +782,7 @@ mod tests {
 
     #[test]
     fn stats_track_branch_taken_ratio() {
-        let mut m = machine(
-            "void main() { for (int i = 0; i < 10; i++) { } }",
-            "main",
-            &[],
-        );
+        let mut m = machine("void main() { for (int i = 0; i < 10; i++) { } }", "main", &[]);
         m.run(&mut NoopHook);
         assert_eq!(m.stats().branches, 11);
         assert_eq!(m.stats().branches_taken, 10);

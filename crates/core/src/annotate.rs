@@ -9,14 +9,17 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tlm_cdfg::dfg::block_dfg;
+use tlm_cdfg::dfg::{block_dfg, schedule_key, Dfg};
 use tlm_cdfg::ir::Module;
 use tlm_cdfg::{BlockId, FuncId};
 use tlm_desim::SimTime;
 
-use crate::delay::{block_delay, BlockDelay};
+use crate::cache::{DomainHandle, ScheduleCache, ScheduleDomain};
+use crate::delay::{block_delay_with_costs, BlockDelay, MemoryCosts};
 use crate::error::EstimateError;
+use crate::parallel::par_map;
 use crate::pum::Pum;
+use crate::schedule::schedule_block;
 
 /// A module whose basic blocks carry estimated delays for one PUM.
 #[derive(Debug, Clone)]
@@ -31,7 +34,7 @@ pub struct TimedModule {
 
 /// Cost accounting of an annotation run (the paper's Table 1 reports the
 /// annotation time per design).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AnnotationReport {
     /// Basic blocks annotated.
     pub blocks: usize,
@@ -39,9 +42,18 @@ pub struct AnnotationReport {
     pub ops: usize,
     /// Wall-clock time the annotation took.
     pub elapsed: Duration,
+    /// Blocks whose Algorithm 1 schedule was served from the
+    /// [`ScheduleCache`] (0 when annotating uncached).
+    pub cache_hits: usize,
+    /// Blocks whose schedule was computed by running Algorithm 1.
+    pub cache_misses: usize,
 }
 
 /// Runs Algorithms 1 and 2 over every basic block of `module`.
+///
+/// Uses the process-wide [`ScheduleCache`] and fans block scheduling out
+/// over the available cores; the result is bit-identical to the sequential
+/// uncached path ([`annotate_uncached`]) — see `tests/parallel_determinism.rs`.
 ///
 /// # Errors
 ///
@@ -57,27 +69,186 @@ pub fn annotate(module: &Module, pum: &Pum) -> Result<TimedModule, EstimateError
 ///
 /// Same as [`annotate`].
 pub fn annotate_arc(module: Arc<Module>, pum: &Pum) -> Result<TimedModule, EstimateError> {
+    annotate_arc_with(module, pum, Some(ScheduleCache::global()), true)
+}
+
+/// Reference path: sequential, no memoization. Exists so the cached and
+/// parallel engine has an oracle to be checked against.
+///
+/// # Errors
+///
+/// Same as [`annotate`].
+pub fn annotate_uncached(module: &Module, pum: &Pum) -> Result<TimedModule, EstimateError> {
+    annotate_arc_with(Arc::new(module.clone()), pum, None, false)
+}
+
+/// The fully-general entry point: annotate with an explicit schedule cache
+/// (or none) and with or without parallel fan-out.
+///
+/// Results are deterministic across all four combinations: the block order,
+/// the delays and the first reported error are identical whether blocks are
+/// scheduled sequentially or concurrently, cached or direct.
+///
+/// # Errors
+///
+/// Fails if the PUM is invalid or cannot execute some block. When several
+/// blocks fail, the error of the first failing block in module order is
+/// returned, regardless of thread interleaving.
+pub fn annotate_arc_with(
+    module: Arc<Module>,
+    pum: &Pum,
+    cache: Option<&ScheduleCache>,
+    parallel: bool,
+) -> Result<TimedModule, EstimateError> {
+    annotate_prepared(&PreparedModule::new(module), pum, cache, parallel)
+}
+
+/// The PUM-invariant half of the estimation inputs: every block's DFG and
+/// canonical schedule key, flattened into one work list.
+///
+/// A sweep driver annotates the same module under many PUM configurations;
+/// building this once and calling [`annotate_prepared`] per configuration
+/// hoists the DFG construction and key encoding out of the sweep loop
+/// (they depend only on the module). [`annotate_arc_with`] is exactly
+/// `annotate_prepared(&PreparedModule::new(module), ..)`, so prepared and
+/// unprepared estimation take identical code paths.
+#[derive(Debug)]
+pub struct PreparedModule {
+    module: Arc<Module>,
+    /// Flattened block list — load balancing sees every block of every
+    /// function, not one function at a time.
+    work: Vec<(FuncId, BlockId)>,
+    /// Per-`work`-entry DFG.
+    dfgs: Vec<Dfg>,
+    /// Per-`work`-entry canonical schedule key.
+    keys: Vec<Vec<u8>>,
+    ops: usize,
+}
+
+impl PreparedModule {
+    /// Builds the per-block DFGs and schedule keys.
+    pub fn new(module: Arc<Module>) -> PreparedModule {
+        let work: Vec<(FuncId, BlockId)> = module
+            .functions_iter()
+            .flat_map(|(fid, f)| f.blocks_iter().map(move |(bid, _)| (fid, bid)))
+            .collect();
+        let mut dfgs = Vec::with_capacity(work.len());
+        let mut keys = Vec::with_capacity(work.len());
+        for &(fid, bid) in &work {
+            let block = &module.functions[fid.0 as usize].blocks[bid.0 as usize];
+            let dfg = block_dfg(block);
+            keys.push(schedule_key(block, &dfg));
+            dfgs.push(dfg);
+        }
+        let ops = module.functions.iter().flat_map(|f| &f.blocks).map(|b| b.ops.len()).sum();
+        PreparedModule { module, work, dfgs, keys, ops }
+    }
+
+    /// The underlying module.
+    pub fn module(&self) -> &Arc<Module> {
+        &self.module
+    }
+}
+
+/// [`annotate_arc_with`] over a [`PreparedModule`] — the sweep-loop form.
+///
+/// # Errors
+///
+/// Same as [`annotate_arc_with`].
+pub fn annotate_prepared(
+    prep: &PreparedModule,
+    pum: &Pum,
+    cache: Option<&ScheduleCache>,
+    parallel: bool,
+) -> Result<TimedModule, EstimateError> {
+    // Resolve the PUM's schedule domain once; per-block lookups then only
+    // hash the block's own key.
+    let handle: Option<DomainHandle<'_>> = cache.map(|c| c.domain(&ScheduleDomain::of(pum)));
+    annotate_inner(prep, pum, handle.as_ref(), parallel)
+}
+
+/// [`annotate_prepared`] with the cache's [`DomainHandle`] already resolved.
+///
+/// Resolving a domain serializes the PUM's scheduling sub-models, which
+/// costs more than annotating a small module from a warm cache. A sweep
+/// driver that varies only the statistical models (cache sizes, branch
+/// rates) resolves the handle **once per datapath** and passes it to every
+/// sweep point. The caller asserts that `pum` belongs to the handle's
+/// domain; debug builds verify it.
+///
+/// # Errors
+///
+/// Same as [`annotate_prepared`].
+pub fn annotate_in_domain(
+    prep: &PreparedModule,
+    pum: &Pum,
+    handle: &DomainHandle<'_>,
+    parallel: bool,
+) -> Result<TimedModule, EstimateError> {
+    debug_assert_eq!(
+        ScheduleDomain::of(pum).fingerprint(),
+        handle.fingerprint(),
+        "PUM {} does not belong to the resolved schedule domain",
+        pum.name
+    );
+    annotate_inner(prep, pum, Some(handle), parallel)
+}
+
+fn annotate_inner(
+    prep: &PreparedModule,
+    pum: &Pum,
+    handle: Option<&DomainHandle<'_>>,
+    parallel: bool,
+) -> Result<TimedModule, EstimateError> {
     pum.validate()?;
     let start = Instant::now();
-    let mut delays = Vec::with_capacity(module.functions.len());
-    let mut blocks = 0usize;
-    let mut ops = 0usize;
-    for (fid, func) in module.functions_iter() {
-        let mut func_delays = Vec::with_capacity(func.blocks.len());
-        for (bid, block) in func.blocks_iter() {
-            let dfg = block_dfg(block);
-            func_delays.push(block_delay(pum, block, &dfg, fid, bid)?);
-            blocks += 1;
-            ops += block.ops.len();
+    let module = &prep.module;
+    // Algorithm 2's block-independent factors, derived once per run.
+    let costs = MemoryCosts::of(pum)?;
+
+    // (delay, served-from-cache) per block; merged back in module order.
+    let estimate = |&(fid, bid): &(FuncId, BlockId),
+                    dfg: &Dfg,
+                    key: &[u8]|
+     -> Result<(BlockDelay, bool), EstimateError> {
+        let block = &module.functions[fid.0 as usize].blocks[bid.0 as usize];
+        let (sched, hit) = match handle {
+            Some(handle) => {
+                let (sched, hit) = handle.schedule_keyed(key, pum, block, dfg, fid, bid)?;
+                (sched.cycles, hit)
+            }
+            None => (schedule_block(pum, block, dfg, fid, bid)?.cycles, false),
+        };
+        Ok((block_delay_with_costs(&costs, block, sched), hit))
+    };
+    let indices: Vec<usize> = (0..prep.work.len()).collect();
+    let run_one = |&i: &usize| estimate(&prep.work[i], &prep.dfgs[i], &prep.keys[i]);
+    let results =
+        if parallel { par_map(&indices, run_one) } else { indices.iter().map(run_one).collect() };
+
+    let mut delays: Vec<Vec<BlockDelay>> =
+        module.functions.iter().map(|f| Vec::with_capacity(f.blocks.len())).collect();
+    let mut report = AnnotationReport::default();
+    // `results` is in `work` order (par_map merges by index), so scanning it
+    // front to back makes the first error deterministic in module order.
+    for (&(fid, _), result) in prep.work.iter().zip(results) {
+        let (delay, hit) = result?;
+        delays[fid.0 as usize].push(delay);
+        if hit {
+            report.cache_hits += 1;
+        } else {
+            report.cache_misses += 1;
         }
-        delays.push(func_delays);
     }
+    report.blocks = prep.work.len();
+    report.ops = prep.ops;
+    report.elapsed = start.elapsed();
     Ok(TimedModule {
-        module,
+        module: Arc::clone(module),
         delays,
         pum_name: pum.name.clone(),
         clock_period: SimTime::from_ps(pum.clock_period_ps),
-        report: AnnotationReport { blocks, ops, elapsed: start.elapsed() },
+        report,
     })
 }
 
@@ -194,10 +365,7 @@ mod tests {
         let module = module_of(SRC);
         let mut pum = library::microblaze_like(8 << 10, 4 << 10);
         pum.clock_period_ps = 0;
-        assert!(matches!(
-            annotate(&module, &pum),
-            Err(EstimateError::BadPum { .. })
-        ));
+        assert!(matches!(annotate(&module, &pum), Err(EstimateError::BadPum { .. })));
     }
 
     #[test]
@@ -210,21 +378,90 @@ mod tests {
             module.functions.iter().map(|f| vec![1; f.blocks.len()]).collect();
         let manual: u64 = module
             .functions_iter()
-            .flat_map(|(fid, f)| {
-                f.blocks_iter().map(move |(bid, _)| (fid, bid))
-            })
+            .flat_map(|(fid, f)| f.blocks_iter().map(move |(bid, _)| (fid, bid)))
             .map(|(fid, bid)| timed.cycles(fid, bid))
             .sum();
         assert_eq!(timed.weighted_total(&counts), manual);
     }
 
     #[test]
+    fn all_engine_paths_agree() {
+        let module = module_of(SRC);
+        let pum = library::microblaze_like(8 << 10, 4 << 10);
+        let reference = annotate_uncached(&module, &pum).expect("annotates");
+        let cache = ScheduleCache::new();
+        let arc = Arc::new(module.clone());
+        for parallel in [false, true] {
+            for use_cache in [false, true] {
+                let timed = annotate_arc_with(
+                    Arc::clone(&arc),
+                    &pum,
+                    use_cache.then_some(&cache),
+                    parallel,
+                )
+                .expect("annotates");
+                for (fid, func) in module.functions_iter() {
+                    for (bid, _) in func.blocks_iter() {
+                        assert_eq!(
+                            timed.delay(fid, bid),
+                            reference.delay(fid, bid),
+                            "parallel={parallel} cache={use_cache} differs at {fid}/{bid}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_annotation_is_served_from_cache() {
+        let module = module_of(SRC);
+        let pum = library::microblaze_like(8 << 10, 4 << 10);
+        let cache = ScheduleCache::new();
+        let arc = Arc::new(module);
+        let first =
+            annotate_arc_with(Arc::clone(&arc), &pum, Some(&cache), false).expect("annotates");
+        assert_eq!(first.report().cache_hits, 0, "cold cache");
+        assert_eq!(first.report().cache_misses, first.report().blocks);
+        // Sweep point two: different cache size, same datapath — Algorithm 1
+        // must not run again for any block.
+        let swept = library::microblaze_like(32 << 10, 16 << 10);
+        let second = annotate_arc_with(arc, &swept, Some(&cache), false).expect("annotates");
+        assert_eq!(second.report().cache_misses, 0, "warm cache");
+        assert_eq!(second.report().cache_hits, second.report().blocks);
+    }
+
+    #[test]
+    fn first_error_is_deterministic() {
+        // A module with several blocks that all fail (unmapped class):
+        // whichever engine path runs, the reported error is the same.
+        let module = module_of(SRC);
+        let mut pum = library::microblaze_like(8 << 10, 4 << 10);
+        pum.execution.op_map.clear();
+        let cache = ScheduleCache::new();
+        let arc = Arc::new(module);
+        let reference = annotate_arc_with(Arc::clone(&arc), &pum, None, false)
+            .expect_err("unmapped classes fail");
+        for parallel in [false, true] {
+            for use_cache in [false, true] {
+                let err = annotate_arc_with(
+                    Arc::clone(&arc),
+                    &pum,
+                    use_cache.then_some(&cache),
+                    parallel,
+                )
+                .expect_err("unmapped classes fail");
+                assert_eq!(err, reference);
+            }
+        }
+    }
+
+    #[test]
     fn different_pums_give_different_annotations() {
         let module = module_of(SRC);
-        let cpu = annotate(&module, &library::microblaze_like(8 << 10, 4 << 10))
-            .expect("annotates");
-        let hw =
-            annotate(&module, &library::custom_hw("hw", 2, 2)).expect("annotates");
+        let cpu =
+            annotate(&module, &library::microblaze_like(8 << 10, 4 << 10)).expect("annotates");
+        let hw = annotate(&module, &library::custom_hw("hw", 2, 2)).expect("annotates");
         let total = |t: &TimedModule| {
             module
                 .functions_iter()

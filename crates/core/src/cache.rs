@@ -1,0 +1,373 @@
+//! Content-addressed memoization of Algorithm 1 schedules.
+//!
+//! The optimistic schedule of a basic block depends on exactly two inputs:
+//! the PUM's *schedule domain* (scheduling policy, operation mapping table
+//! and datapath — see [`Pum::schedule_domain`]) and the block's DFG shape
+//! (op classes and dependence edges — see
+//! [`tlm_cdfg::dfg::schedule_key`]). It is provably independent of the
+//! statistical memory and branch models, so a sweep over cache sizes or
+//! misprediction ratios re-runs only Algorithm 2; every Algorithm 1 result
+//! is computed once per (datapath, block) pair and then served from this
+//! cache.
+//!
+//! Correctness before speed: keys are the full canonical byte encodings,
+//! not hashes of them, so two distinct inputs can never alias an entry. A
+//! cache hit returns the exact [`ScheduleResult`] the direct call would
+//! have produced (asserted bit-identical by `tests/parallel_determinism.rs`
+//! over every app in `crates/apps`).
+//!
+//! The cache is two-level: the (possibly multi-kilobyte) domain encoding is
+//! resolved **once per annotation run** to a [`DomainHandle`]; per-block
+//! lookups then hash only the small block key. That keeps a hit well under
+//! the cost of re-running Algorithm 1 even for three-op glue blocks.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use tlm_cdfg::dfg::{schedule_key, Dfg};
+use tlm_cdfg::ir::BlockData;
+use tlm_cdfg::{BlockId, FuncId};
+
+use crate::error::EstimateError;
+use crate::fingerprint::fnv1a_64;
+use crate::pum::Pum;
+use crate::schedule::{schedule_block, ScheduleResult};
+
+/// The precomputed cache key half describing a PUM's schedule-relevant
+/// sub-models. Compute once per annotation run, reuse for every block.
+#[derive(Debug, Clone)]
+pub struct ScheduleDomain {
+    key: Arc<str>,
+    fingerprint: u64,
+}
+
+impl ScheduleDomain {
+    /// Derives the domain of a PUM.
+    pub fn of(pum: &Pum) -> ScheduleDomain {
+        let key = pum.schedule_domain();
+        let fingerprint = fnv1a_64(key.as_bytes());
+        ScheduleDomain { key: key.into(), fingerprint }
+    }
+
+    /// 64-bit fingerprint for display/reporting.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// Cache statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that ran Algorithm 1.
+    pub misses: u64,
+    /// Resident entries.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache; 0 when idle.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A slot holds the outcome of the single Algorithm 1 run for its key.
+/// Errors are cached too: they are deterministic properties of the same
+/// inputs, so re-running could not change them.
+type Slot = Arc<OnceLock<Result<Arc<ScheduleResult>, EstimateError>>>;
+
+/// The per-domain entry table (second cache level).
+#[derive(Debug, Default)]
+struct DomainEntries {
+    entries: Mutex<HashMap<Vec<u8>, Slot>>,
+}
+
+/// A thread-safe, content-addressed cache of [`ScheduleResult`]s.
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    domains: Mutex<HashMap<Arc<str>, Arc<DomainEntries>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// An empty cache.
+    pub fn new() -> ScheduleCache {
+        ScheduleCache::default()
+    }
+
+    /// The process-wide cache used by
+    /// [`annotate`](crate::annotate::annotate). Sweep binaries that
+    /// estimate the same design under many statistical configurations get
+    /// cross-configuration reuse through this instance for free.
+    pub fn global() -> &'static ScheduleCache {
+        static GLOBAL: OnceLock<ScheduleCache> = OnceLock::new();
+        GLOBAL.get_or_init(ScheduleCache::new)
+    }
+
+    /// Resolves a domain to its entry table. Call once per annotation run;
+    /// the returned handle makes per-block lookups independent of the
+    /// domain encoding's size.
+    pub fn domain(&self, domain: &ScheduleDomain) -> DomainHandle<'_> {
+        let entries = Arc::clone(
+            self.domains
+                .lock()
+                .expect("schedule cache poisoned")
+                .entry(Arc::clone(&domain.key))
+                .or_default(),
+        );
+        DomainHandle { cache: self, entries, fingerprint: domain.fingerprint }
+    }
+
+    /// One-shot convenience: [`ScheduleCache::domain`] +
+    /// [`DomainHandle::schedule`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EstimateError`] from Algorithm 1.
+    pub fn schedule(
+        &self,
+        domain: &ScheduleDomain,
+        pum: &Pum,
+        block: &BlockData,
+        dfg: &Dfg,
+        func: FuncId,
+        block_id: BlockId,
+    ) -> Result<(Arc<ScheduleResult>, bool), EstimateError> {
+        self.domain(domain).schedule(pum, block, dfg, func, block_id)
+    }
+
+    /// Snapshot of hit/miss counters and entry count.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .domains
+            .lock()
+            .expect("schedule cache poisoned")
+            .values()
+            .map(|d| d.entries.lock().expect("schedule cache poisoned").len())
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Drops all entries and resets the counters.
+    pub fn clear(&self) {
+        self.domains.lock().expect("schedule cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A borrowed view of one domain's entry table inside a [`ScheduleCache`].
+///
+/// Resolving a domain hashes its full (possibly multi-kilobyte) canonical
+/// encoding, so sweep drivers should resolve once per datapath and reuse
+/// the handle across every sweep point that shares it (see
+/// [`annotate_in_domain`](crate::annotate::annotate_in_domain)).
+#[derive(Debug)]
+pub struct DomainHandle<'a> {
+    cache: &'a ScheduleCache,
+    entries: Arc<DomainEntries>,
+    fingerprint: u64,
+}
+
+impl DomainHandle<'_> {
+    /// Fingerprint of the domain this handle was resolved from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Schedules a block through the cache. Returns the result and whether
+    /// it was served from the cache.
+    ///
+    /// Algorithm 1 runs **exactly once** per key, even under concurrency:
+    /// each key owns a [`OnceLock`] slot, so a thread that loses the
+    /// initialization race blocks on the winner and then reads its result
+    /// (counted as a hit — it did not run the algorithm). The miss counter
+    /// therefore always equals the number of resident entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EstimateError`] from Algorithm 1 (errors are cached
+    /// like successes; the same inputs deterministically fail the same
+    /// way).
+    pub fn schedule(
+        &self,
+        pum: &Pum,
+        block: &BlockData,
+        dfg: &Dfg,
+        func: FuncId,
+        block_id: BlockId,
+    ) -> Result<(Arc<ScheduleResult>, bool), EstimateError> {
+        self.schedule_keyed(&schedule_key(block, dfg), pum, block, dfg, func, block_id)
+    }
+
+    /// [`DomainHandle::schedule`] with the block's canonical key already
+    /// computed (see [`PreparedModule`](crate::annotate::PreparedModule) —
+    /// the key depends only on the block, so sweep loops build it once).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DomainHandle::schedule`].
+    pub fn schedule_keyed(
+        &self,
+        block_key: &[u8],
+        pum: &Pum,
+        block: &BlockData,
+        dfg: &Dfg,
+        func: FuncId,
+        block_id: BlockId,
+    ) -> Result<(Arc<ScheduleResult>, bool), EstimateError> {
+        let slot: Slot = {
+            let mut entries = self.entries.entries.lock().expect("schedule cache poisoned");
+            match entries.get(block_key) {
+                Some(slot) => Arc::clone(slot),
+                None => Arc::clone(entries.entry(block_key.to_vec()).or_default()),
+            }
+        };
+        // Compute outside the map lock: other keys proceed concurrently.
+        let mut ran = false;
+        let outcome = slot.get_or_init(|| {
+            ran = true;
+            schedule_block(pum, block, dfg, func, block_id).map(Arc::new)
+        });
+        if ran {
+            self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        match outcome {
+            Ok(result) => Ok((Arc::clone(result), !ran)),
+            Err(error) => Err(error.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use tlm_cdfg::dfg::block_dfg;
+    use tlm_cdfg::ir::Module;
+
+    fn module_of(src: &str) -> Module {
+        tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers")
+    }
+
+    const SRC: &str = "int f(int a, int b) { return a * b + a - b; }";
+
+    #[test]
+    fn hit_after_miss_returns_identical_result() {
+        let cache = ScheduleCache::new();
+        let pum = library::microblaze_like(8 << 10, 4 << 10);
+        let domain = ScheduleDomain::of(&pum);
+        let module = module_of(SRC);
+        let block = &module.functions[0].blocks[0];
+        let dfg = block_dfg(block);
+
+        let (first, hit1) =
+            cache.schedule(&domain, &pum, block, &dfg, FuncId(0), BlockId(0)).expect("schedules");
+        let (second, hit2) =
+            cache.schedule(&domain, &pum, block, &dfg, FuncId(0), BlockId(0)).expect("schedules");
+        assert!(!hit1, "first lookup is a miss");
+        assert!(hit2, "second lookup hits");
+        assert_eq!(*first, *second);
+        let direct = crate::schedule::schedule_block(&pum, block, &dfg, FuncId(0), BlockId(0))
+            .expect("schedules");
+        assert_eq!(*second, direct, "cached result identical to direct call");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, entries: 1 });
+    }
+
+    #[test]
+    fn statistical_models_share_entries() {
+        // Two PUMs differing only in cache size / branch rate — Algorithm 1
+        // cannot see the difference, so the second one must hit.
+        let cache = ScheduleCache::new();
+        let small = library::microblaze_like(2 << 10, 2 << 10);
+        let mut large = library::microblaze_like(32 << 10, 16 << 10);
+        if let Some(b) = &mut large.branch {
+            b.miss_rate = 0.42;
+        }
+        assert_eq!(
+            ScheduleDomain::of(&small).fingerprint(),
+            ScheduleDomain::of(&large).fingerprint(),
+            "schedule domain excludes memory/branch models"
+        );
+        let module = module_of(SRC);
+        let block = &module.functions[0].blocks[0];
+        let dfg = block_dfg(block);
+        let d1 = ScheduleDomain::of(&small);
+        let d2 = ScheduleDomain::of(&large);
+        cache.schedule(&d1, &small, block, &dfg, FuncId(0), BlockId(0)).expect("schedules");
+        let (_, hit) =
+            cache.schedule(&d2, &large, block, &dfg, FuncId(0), BlockId(0)).expect("schedules");
+        assert!(hit, "sweep configurations share Algorithm 1 results");
+    }
+
+    #[test]
+    fn different_policies_do_not_share_entries() {
+        let cache = ScheduleCache::new();
+        let mut asap = library::custom_hw("hw", 2, 2);
+        asap.execution.policy = crate::pum::SchedulingPolicy::Asap;
+        let mut alap = asap.clone();
+        alap.execution.policy = crate::pum::SchedulingPolicy::Alap;
+        assert_ne!(
+            ScheduleDomain::of(&asap).fingerprint(),
+            ScheduleDomain::of(&alap).fingerprint()
+        );
+        let module = module_of(SRC);
+        let block = &module.functions[0].blocks[0];
+        let dfg = block_dfg(block);
+        cache
+            .schedule(&ScheduleDomain::of(&asap), &asap, block, &dfg, FuncId(0), BlockId(0))
+            .expect("schedules");
+        let (_, hit) = cache
+            .schedule(&ScheduleDomain::of(&alap), &alap, block, &dfg, FuncId(0), BlockId(0))
+            .expect("schedules");
+        assert!(!hit, "policy is part of the schedule domain");
+    }
+
+    #[test]
+    fn errors_are_cached_and_replayed() {
+        let cache = ScheduleCache::new();
+        let mut pum = library::custom_hw("hw", 2, 2);
+        pum.execution.op_map.clear(); // every op class is now unmapped
+        let domain = ScheduleDomain::of(&pum);
+        let module = module_of(SRC);
+        let block = &module.functions[0].blocks[0];
+        let dfg = block_dfg(block);
+        let first = cache
+            .schedule(&domain, &pum, block, &dfg, FuncId(0), BlockId(0))
+            .expect_err("unmapped class");
+        let second = cache
+            .schedule(&domain, &pum, block, &dfg, FuncId(0), BlockId(0))
+            .expect_err("unmapped class");
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1), "error was served from the cache");
+    }
+
+    #[test]
+    fn clear_resets_counters_and_entries() {
+        let cache = ScheduleCache::new();
+        let pum = library::generic_risc();
+        let domain = ScheduleDomain::of(&pum);
+        let module = module_of(SRC);
+        let block = &module.functions[0].blocks[0];
+        let dfg = block_dfg(block);
+        cache.schedule(&domain, &pum, block, &dfg, FuncId(0), BlockId(0)).expect("schedules");
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

@@ -47,14 +47,72 @@ impl BlockDelay {
 }
 
 /// Expected extra cycles per access through a memory path.
-fn cost_per_access(path: &MemoryPath, external_latency: u32) -> f64 {
-    match path {
+///
+/// # Errors
+///
+/// Returns [`EstimateError::MissingHitRate`] for a cache whose configured
+/// size was never characterized (instead of panicking mid-estimation).
+fn cost_per_access(path: &MemoryPath, external_latency: u32) -> Result<f64, EstimateError> {
+    Ok(match path {
         MemoryPath::Hardwired => 0.0,
         MemoryPath::Uncached => f64::from(external_latency),
         MemoryPath::Cached(cache) => {
-            let hit = cache.hit_rate();
+            let hit = cache.hit_rate()?;
             hit * f64::from(cache.hit_delay) + (1.0 - hit) * f64::from(cache.miss_penalty)
         }
+    })
+}
+
+/// The block-independent factors of Algorithm 2, hoisted out of the
+/// per-block loop: per-access memory costs and the misprediction penalty
+/// are properties of the PUM alone, so an annotation run (or a sweep
+/// point) derives them once and applies them to every block.
+///
+/// [`block_delay_with_costs`] with the same `MemoryCosts` value performs
+/// exactly the floating-point operations the one-shot [`block_delay`]
+/// performs, so hoisting cannot change a single bit of any delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryCosts {
+    /// Expected cycles per instruction fetch; `None` on hardwired control.
+    ifetch: Option<f64>,
+    /// Expected cycles per data access; `None` on hardwired data paths.
+    data: Option<f64>,
+    /// Expected misprediction cycles charged to conditional terminators.
+    branch: f64,
+    /// Issue-slot/fetch expansion factor (1.0 on hardwired control).
+    fetch_expansion: f64,
+    data_expansion: f64,
+}
+
+impl MemoryCosts {
+    /// Derives the per-access costs of a PUM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::MissingHitRate`] for an uncharacterized
+    /// cache size — detected once up front instead of once per block.
+    pub fn of(pum: &Pum) -> Result<MemoryCosts, EstimateError> {
+        let ifetch = if matches!(pum.memory.ifetch, MemoryPath::Hardwired) {
+            None
+        } else {
+            Some(cost_per_access(&pum.memory.ifetch, pum.memory.external_latency)?)
+        };
+        let data = if matches!(pum.memory.data, MemoryPath::Hardwired) {
+            None
+        } else {
+            Some(cost_per_access(&pum.memory.data, pum.memory.external_latency)?)
+        };
+        let branch = match &pum.branch {
+            Some(model) if pum.is_pipelined() => model.miss_rate * f64::from(model.penalty),
+            _ => 0.0,
+        };
+        Ok(MemoryCosts {
+            ifetch,
+            data,
+            branch,
+            fetch_expansion: pum.memory.fetch_expansion,
+            data_expansion: pum.memory.data_expansion,
+        })
     }
 }
 
@@ -71,45 +129,68 @@ pub fn block_delay(
     block_id: BlockId,
 ) -> Result<BlockDelay, EstimateError> {
     let sched = schedule_block(pum, block, dfg, func, block_id)?.cycles;
+    block_delay_with_schedule(pum, block, sched)
+}
+
+/// Algorithm 2 alone: combines an already-computed optimistic schedule
+/// (Algorithm 1, possibly served by the
+/// [`ScheduleCache`](crate::cache::ScheduleCache)) with the PUM's
+/// statistical branch and memory models. [`block_delay`] is exactly
+/// `schedule_block` followed by this function, so cached and uncached
+/// estimation take the same floating-point path and agree bit-for-bit.
+///
+/// # Errors
+///
+/// Returns [`EstimateError::MissingHitRate`] for an uncharacterized cache
+/// size.
+pub fn block_delay_with_schedule(
+    pum: &Pum,
+    block: &BlockData,
+    sched: u64,
+) -> Result<BlockDelay, EstimateError> {
+    Ok(block_delay_with_costs(&MemoryCosts::of(pum)?, block, sched))
+}
+
+/// Algorithm 2 with the PUM-dependent costs already derived — the form the
+/// annotation loop uses so the per-block work is pure arithmetic.
+pub fn block_delay_with_costs(costs: &MemoryCosts, block: &BlockData, sched: u64) -> BlockDelay {
     // On an instruction-fetching PE the block's terminator is a real
     // control-transfer instruction occupying an issue slot, and the
     // characterized back-end expansion factor applies to issue slots just
     // as it does to fetches (single-issue: one fetch = one slot). Custom
     // hardware has hardwired control: neither applies.
-    let mut exact = if matches!(pum.memory.ifetch, MemoryPath::Hardwired) {
+    let mut exact = if costs.ifetch.is_none() {
         sched as f64
     } else {
-        (sched as f64 + 1.0) * pum.memory.fetch_expansion
+        (sched as f64 + 1.0) * costs.fetch_expansion
     };
 
     // Branch misprediction term.
     let mut branch = 0.0;
-    if let Some(model) = &pum.branch {
-        if pum.is_pipelined() && block.term.is_conditional() {
-            branch = model.miss_rate * f64::from(model.penalty);
-            exact += branch;
-        }
+    if costs.branch != 0.0 && block.term.is_conditional() {
+        branch = costs.branch;
+        exact += branch;
     }
 
     // Instruction fetch term: one fetch per op plus one for the
     // terminator's control-transfer instruction.
     let mut ifetch = 0.0;
-    if !matches!(pum.memory.ifetch, MemoryPath::Hardwired) {
-        let fetches = (block.ops.len() + 1) as f64 * pum.memory.fetch_expansion;
-        ifetch = fetches * cost_per_access(&pum.memory.ifetch, pum.memory.external_latency);
+    if let Some(cost) = costs.ifetch {
+        let fetches = (block.ops.len() + 1) as f64 * costs.fetch_expansion;
+        ifetch = fetches * cost;
         exact += ifetch;
     }
 
     // Data access term: one per memory operand.
     let mut data = 0.0;
-    if !matches!(pum.memory.data, MemoryPath::Hardwired) {
-        let operands = block.ops.iter().filter(|op| op.is_memory()).count() as f64
-            * pum.memory.data_expansion;
-        data = operands * cost_per_access(&pum.memory.data, pum.memory.external_latency);
+    if let Some(cost) = costs.data {
+        let operands =
+            block.ops.iter().filter(|op| op.is_memory()).count() as f64 * costs.data_expansion;
+        data = operands * cost;
         exact += data;
     }
 
-    Ok(BlockDelay { sched, branch, ifetch, data, cycles: exact.round() as u64, exact })
+    BlockDelay { sched, branch, ifetch, data, cycles: exact.round() as u64, exact }
 }
 
 #[cfg(test)]
@@ -127,10 +208,7 @@ mod tests {
     fn delay_of(pum: &Pum, src: &str) -> BlockDelay {
         let module = module_of(src);
         let func = &module.functions[0];
-        let (bid, block) = func
-            .blocks_iter()
-            .max_by_key(|(_, b)| b.ops.len())
-            .expect("has blocks");
+        let (bid, block) = func.blocks_iter().max_by_key(|(_, b)| b.ops.len()).expect("has blocks");
         block_delay(pum, block, &block_dfg(block), FuncId(0), bid).expect("estimates")
     }
 
@@ -170,8 +248,7 @@ mod tests {
         let mut saw_branch_term = false;
         let mut saw_zero_branch = false;
         for (bid, block) in func.blocks_iter() {
-            let d = block_delay(&pum, block, &block_dfg(block), FuncId(0), bid)
-                .expect("estimates");
+            let d = block_delay(&pum, block, &block_dfg(block), FuncId(0), bid).expect("estimates");
             if block.term.is_conditional() {
                 assert!(d.branch > 0.0);
                 saw_branch_term = true;
@@ -201,6 +278,20 @@ mod tests {
         assert_eq!(no_mem.data, 0.0);
         let with_mem = delay_of(&pum, "int t[4]; int f(int i) { return t[i]; }");
         assert!(with_mem.data > 0.0);
+    }
+
+    #[test]
+    fn uncharacterized_cache_size_is_an_error_not_a_panic() {
+        use crate::EstimateError;
+        let mut pum = library::microblaze_like(8 << 10, 4 << 10);
+        if let MemoryPath::Cached(c) = &mut pum.memory.data {
+            c.size = 1234; // swept past the characterized sizes
+        }
+        let module = module_of("int t[4]; int f(int i) { return t[i]; }");
+        let block = &module.functions[0].blocks[0];
+        let err = block_delay(&pum, block, &block_dfg(block), FuncId(0), BlockId(0))
+            .expect_err("missing rate is structured");
+        assert_eq!(err, EstimateError::MissingHitRate { size: 1234 });
     }
 
     #[test]

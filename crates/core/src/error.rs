@@ -19,6 +19,12 @@ pub enum EstimateError {
         /// What is wrong with it.
         message: String,
     },
+    /// A cache model is configured with a size that has no characterized
+    /// hit rate; Algorithm 2 cannot price its accesses.
+    MissingHitRate {
+        /// The configured cache size in bytes.
+        size: u32,
+    },
     /// The pipeline simulation of Algorithm 1 stopped making progress —
     /// the PUM's resources cannot execute this block (e.g. an op's
     /// functional unit has quantity 0 at its only usable stage).
@@ -39,6 +45,11 @@ impl fmt::Display for EstimateError {
                 write!(f, "operation class `{class}` has no PUM mapping")
             }
             EstimateError::BadPum { message } => write!(f, "invalid PUM: {message}"),
+            EstimateError::MissingHitRate { size } => write!(
+                f,
+                "cache size {size} has no characterized hit rate; \
+                 characterize it or pick a configured size"
+            ),
             EstimateError::Deadlock { func, block, cycle } => write!(
                 f,
                 "schedule deadlock in {func}/{block} at cycle {cycle}: \

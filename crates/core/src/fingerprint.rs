@@ -1,0 +1,41 @@
+//! Stable content fingerprints for the schedule cache.
+//!
+//! The cache is *content-addressed*: entries are keyed by the canonical
+//! byte encodings of the PUM's schedule domain and the block's DFG, so two
+//! configurations that agree on everything Algorithm 1 reads share entries
+//! no matter how they were constructed. The 64-bit FNV-1a hash here is used
+//! only for reporting and for the `HashMap` bucket hash — equality is always
+//! decided on the full canonical bytes, so hash collisions can never alias
+//! two different schedules.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte string. Stable across platforms and runs
+/// (unlike `DefaultHasher`, which is randomly seeded per process).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinguishes_neighbours() {
+        assert_ne!(fnv1a_64(b"block-0"), fnv1a_64(b"block-1"));
+    }
+}

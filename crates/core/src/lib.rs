@@ -41,15 +41,19 @@
 #![warn(missing_docs)]
 
 pub mod annotate;
+pub mod cache;
 pub mod characterize;
 pub mod delay;
 pub mod emit;
 mod error;
+pub mod fingerprint;
 pub mod library;
+pub mod parallel;
 pub mod pum;
 pub mod report;
 pub mod schedule;
 
 pub use annotate::{annotate, TimedModule};
+pub use cache::ScheduleCache;
 pub use error::EstimateError;
 pub use pum::Pum;

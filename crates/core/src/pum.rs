@@ -19,13 +19,13 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 use tlm_cdfg::OpClass;
+use tlm_json::{JsonError, ObjectBuilder, Value};
 
 use crate::error::EstimateError;
 
 /// Operation scheduling policies the execution model supports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedulingPolicy {
     /// Issue strictly in program order (one op per pipeline per cycle);
     /// the policy of in-order processors.
@@ -43,7 +43,7 @@ pub enum SchedulingPolicy {
 
 /// One operating mode of a functional unit, e.g. an ALU's `add` vs `mul`
 /// mode, with the cycles the unit is occupied.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuMode {
     /// Mode name (diagnostic only).
     pub name: String,
@@ -52,7 +52,7 @@ pub struct FuMode {
 }
 
 /// A functional unit type with a replication count.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuncUnit {
     /// Unit name, e.g. `"alu"`, `"mac"`, `"lsu"`.
     pub name: String,
@@ -63,7 +63,7 @@ pub struct FuncUnit {
 }
 
 /// One pipeline stage.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stage {
     /// Stage name, e.g. `"IF"`, `"EX"`.
     pub name: String,
@@ -74,7 +74,7 @@ pub struct Stage {
 }
 
 /// One pipeline: an ordered list of stages. Superscalar PEs have several.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pipeline {
     /// Pipeline name.
     pub name: String,
@@ -83,7 +83,7 @@ pub struct Pipeline {
 }
 
 /// The datapath model: functional units plus pipelines.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Datapath {
     /// Functional unit inventory.
     pub units: Vec<FuncUnit>,
@@ -93,7 +93,7 @@ pub struct Datapath {
 }
 
 /// Functional-unit usage of an operation at one pipeline stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageUsage {
     /// Stage index the unit is used in.
     pub stage: usize,
@@ -105,7 +105,7 @@ pub struct StageUsage {
 }
 
 /// Operation mapping table entry for one op class.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpBinding {
     /// Stage at which operands must be available (the *demand operand*
     /// flag of the paper).
@@ -119,12 +119,11 @@ pub struct OpBinding {
     /// A transparent op costs nothing: it never enters the pipeline and its
     /// result is available immediately (e.g. constants that are hardwired
     /// in a custom datapath).
-    #[serde(default)]
     pub transparent: bool,
 }
 
 /// The execution model: scheduling policy + operation mapping table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecutionModel {
     /// How ready operations are picked for issue.
     pub policy: SchedulingPolicy,
@@ -133,11 +132,8 @@ pub struct ExecutionModel {
     pub op_map: BTreeMap<OpClassKey, OpBinding>,
 }
 
-/// Serializable key wrapper for [`OpClass`] (serde maps need string keys).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(rename_all = "snake_case")]
+/// Serializable key wrapper for [`OpClass`] (JSON maps need string keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OpClassKey {
     /// [`OpClass::Alu`]
     Alu,
@@ -173,7 +169,7 @@ impl From<OpClass> for OpClassKey {
 }
 
 /// Statistical branch delay model (§4.1, item 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BranchModel {
     /// Prediction scheme name (informational; the *rate* carries the
     /// statistics).
@@ -185,7 +181,7 @@ pub struct BranchModel {
 }
 
 /// How instruction fetches or data accesses reach memory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MemoryPath {
     /// No memory traffic at all: custom HW with hardwired control (for
     /// instructions) or dedicated single-cycle SRAM already accounted in
@@ -199,7 +195,7 @@ pub enum MemoryPath {
 
 /// Statistical cache model (§4.1, item 4): average hit rates per cache
 /// size, plus latencies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheModel {
     /// Configured cache size in bytes; must be a key of `hit_rates`.
     pub size: u32,
@@ -216,21 +212,21 @@ pub struct CacheModel {
 impl CacheModel {
     /// The hit rate at the configured size.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configured size has no characterized rate; construct
-    /// through [`Pum::validate`]d models to avoid this.
-    pub fn hit_rate(&self) -> f64 {
-        self.hit_rates[&self.size]
+    /// Returns [`EstimateError::MissingHitRate`] if the configured size has
+    /// no characterized rate. Models that passed [`Pum::validate`] never
+    /// hit this, but a size swept or mutated after validation can.
+    pub fn hit_rate(&self) -> Result<f64, EstimateError> {
+        self.hit_rates
+            .get(&self.size)
+            .copied()
+            .ok_or(EstimateError::MissingHitRate { size: self.size })
     }
 }
 
-fn one() -> f64 {
-    1.0
-}
-
 /// The memory model: instruction and data paths plus external latency.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryModel {
     /// Instruction fetch path.
     pub ifetch: MemoryPath,
@@ -241,16 +237,14 @@ pub struct MemoryModel {
     /// Average target instructions fetched per CDFG operation (the paper's
     /// LLVM ops map ~1:1 to MicroBlaze instructions; a higher-level IR
     /// carries a characterized expansion ratio instead). Default 1.0.
-    #[serde(default = "one")]
     pub fetch_expansion: f64,
     /// Average data-memory accesses per CDFG memory operand (register
     /// spills and reloads add traffic the IR does not show). Default 1.0.
-    #[serde(default = "one")]
     pub data_expansion: f64,
 }
 
 /// A complete Processing Unit Model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pum {
     /// PE name, e.g. `"microblaze"` or `"dct_hw"`.
     pub name: String,
@@ -300,7 +294,7 @@ impl Pum {
 
     /// Serializes the PUM to pretty JSON (the tool's interchange format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("PUM serialization cannot fail")
+        self.to_value().to_pretty()
     }
 
     /// Parses a PUM from JSON and validates it.
@@ -310,7 +304,9 @@ impl Pum {
     /// Returns [`EstimateError::BadPum`] on malformed JSON or on a model
     /// that fails [`Pum::validate`].
     pub fn from_json(text: &str) -> Result<Pum, EstimateError> {
-        let pum: Pum = serde_json::from_str(text)
+        let value =
+            tlm_json::parse(text).map_err(|e| EstimateError::BadPum { message: e.to_string() })?;
+        let pum = Pum::from_value(&value)
             .map_err(|e| EstimateError::BadPum { message: e.to_string() })?;
         pum.validate()?;
         Ok(pum)
@@ -389,9 +385,7 @@ impl Pum {
         if self.memory.fetch_expansion <= 0.0 || self.memory.data_expansion <= 0.0 {
             return bad("memory expansion factors must be positive".into());
         }
-        for (label, path) in
-            [("ifetch", &self.memory.ifetch), ("data", &self.memory.data)]
-        {
+        for (label, path) in [("ifetch", &self.memory.ifetch), ("data", &self.memory.data)] {
             if let MemoryPath::Cached(cache) = path {
                 if !cache.hit_rates.contains_key(&cache.size) {
                     return bad(format!(
@@ -409,6 +403,441 @@ impl Pum {
             }
         }
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON interchange (manual; the offline build environment has no serde)
+// ---------------------------------------------------------------------------
+
+fn field<'a>(value: &'a Value, key: &str) -> Result<&'a Value, JsonError> {
+    value.get(key).ok_or_else(|| JsonError::shape(format!("missing field `{key}`")))
+}
+
+fn str_field<'a>(value: &'a Value, key: &str) -> Result<&'a str, JsonError> {
+    field(value, key)?
+        .as_str()
+        .ok_or_else(|| JsonError::shape(format!("field `{key}` must be a string")))
+}
+
+fn u64_field(value: &Value, key: &str) -> Result<u64, JsonError> {
+    field(value, key)?
+        .as_u64()
+        .ok_or_else(|| JsonError::shape(format!("field `{key}` must be a non-negative integer")))
+}
+
+fn u32_field(value: &Value, key: &str) -> Result<u32, JsonError> {
+    u32::try_from(u64_field(value, key)?)
+        .map_err(|_| JsonError::shape(format!("field `{key}` does not fit u32")))
+}
+
+fn usize_field(value: &Value, key: &str) -> Result<usize, JsonError> {
+    usize::try_from(u64_field(value, key)?)
+        .map_err(|_| JsonError::shape(format!("field `{key}` does not fit usize")))
+}
+
+fn f64_field(value: &Value, key: &str) -> Result<f64, JsonError> {
+    field(value, key)?
+        .as_f64()
+        .ok_or_else(|| JsonError::shape(format!("field `{key}` must be a number")))
+}
+
+fn array_field<'a>(value: &'a Value, key: &str) -> Result<&'a [Value], JsonError> {
+    field(value, key)?
+        .as_array()
+        .ok_or_else(|| JsonError::shape(format!("field `{key}` must be an array")))
+}
+
+impl SchedulingPolicy {
+    /// The policy's canonical interchange name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SchedulingPolicy::InOrder => "InOrder",
+            SchedulingPolicy::Asap => "Asap",
+            SchedulingPolicy::Alap => "Alap",
+            SchedulingPolicy::List => "List",
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<SchedulingPolicy, JsonError> {
+        match value.as_str() {
+            Some("InOrder") => Ok(SchedulingPolicy::InOrder),
+            Some("Asap") => Ok(SchedulingPolicy::Asap),
+            Some("Alap") => Ok(SchedulingPolicy::Alap),
+            Some("List") => Ok(SchedulingPolicy::List),
+            _ => Err(JsonError::shape("unknown scheduling policy")),
+        }
+    }
+}
+
+impl OpClassKey {
+    /// The snake_case interchange name, also used as the op-map key.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpClassKey::Alu => "alu",
+            OpClassKey::Mul => "mul",
+            OpClassKey::Div => "div",
+            OpClassKey::Shift => "shift",
+            OpClassKey::Load => "load",
+            OpClassKey::Store => "store",
+            OpClassKey::Move => "move",
+            OpClassKey::Control => "control",
+        }
+    }
+
+    fn from_str(name: &str) -> Result<OpClassKey, JsonError> {
+        match name {
+            "alu" => Ok(OpClassKey::Alu),
+            "mul" => Ok(OpClassKey::Mul),
+            "div" => Ok(OpClassKey::Div),
+            "shift" => Ok(OpClassKey::Shift),
+            "load" => Ok(OpClassKey::Load),
+            "store" => Ok(OpClassKey::Store),
+            "move" => Ok(OpClassKey::Move),
+            "control" => Ok(OpClassKey::Control),
+            _ => Err(JsonError::shape(format!("unknown op class `{name}`"))),
+        }
+    }
+}
+
+impl FuMode {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new().field("name", self.name.as_str()).field("delay", self.delay).build()
+    }
+
+    fn from_value(value: &Value) -> Result<FuMode, JsonError> {
+        Ok(FuMode {
+            name: str_field(value, "name")?.to_string(),
+            delay: u32_field(value, "delay")?,
+        })
+    }
+}
+
+impl FuncUnit {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("name", self.name.as_str())
+            .field("quantity", self.quantity)
+            .field("modes", Value::Array(self.modes.iter().map(FuMode::to_value).collect()))
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<FuncUnit, JsonError> {
+        Ok(FuncUnit {
+            name: str_field(value, "name")?.to_string(),
+            quantity: u32_field(value, "quantity")?,
+            modes: array_field(value, "modes")?
+                .iter()
+                .map(FuMode::from_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl Stage {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new().field("name", self.name.as_str()).field("width", self.width).build()
+    }
+
+    fn from_value(value: &Value) -> Result<Stage, JsonError> {
+        Ok(Stage { name: str_field(value, "name")?.to_string(), width: u32_field(value, "width")? })
+    }
+}
+
+impl Pipeline {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("name", self.name.as_str())
+            .field("stages", Value::Array(self.stages.iter().map(Stage::to_value).collect()))
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Pipeline, JsonError> {
+        Ok(Pipeline {
+            name: str_field(value, "name")?.to_string(),
+            stages: array_field(value, "stages")?
+                .iter()
+                .map(Stage::from_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl Datapath {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("units", Value::Array(self.units.iter().map(FuncUnit::to_value).collect()))
+            .field(
+                "pipelines",
+                Value::Array(self.pipelines.iter().map(Pipeline::to_value).collect()),
+            )
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<Datapath, JsonError> {
+        Ok(Datapath {
+            units: array_field(value, "units")?
+                .iter()
+                .map(FuncUnit::from_value)
+                .collect::<Result<_, _>>()?,
+            pipelines: array_field(value, "pipelines")?
+                .iter()
+                .map(Pipeline::from_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl StageUsage {
+    fn to_value(self) -> Value {
+        ObjectBuilder::new()
+            .field("stage", self.stage)
+            .field("fu", self.fu)
+            .field("mode", self.mode)
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<StageUsage, JsonError> {
+        Ok(StageUsage {
+            stage: usize_field(value, "stage")?,
+            fu: usize_field(value, "fu")?,
+            mode: usize_field(value, "mode")?,
+        })
+    }
+}
+
+impl OpBinding {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("demand_stage", self.demand_stage)
+            .field("commit_stage", self.commit_stage)
+            .field("usage", Value::Array(self.usage.iter().map(|u| u.to_value()).collect()))
+            .field("transparent", self.transparent)
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<OpBinding, JsonError> {
+        Ok(OpBinding {
+            demand_stage: usize_field(value, "demand_stage")?,
+            commit_stage: usize_field(value, "commit_stage")?,
+            usage: array_field(value, "usage")?
+                .iter()
+                .map(StageUsage::from_value)
+                .collect::<Result<_, _>>()?,
+            // Optional in the interchange format; absent means false.
+            transparent: value.get("transparent").and_then(Value::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+impl ExecutionModel {
+    fn to_value(&self) -> Value {
+        let op_map = Value::Object(
+            self.op_map
+                .iter()
+                .map(|(key, binding)| (key.as_str().to_string(), binding.to_value()))
+                .collect(),
+        );
+        ObjectBuilder::new().field("policy", self.policy.as_str()).field("op_map", op_map).build()
+    }
+
+    fn from_value(value: &Value) -> Result<ExecutionModel, JsonError> {
+        let policy = SchedulingPolicy::from_value(field(value, "policy")?)?;
+        let entries = field(value, "op_map")?
+            .as_object()
+            .ok_or_else(|| JsonError::shape("`op_map` must be an object"))?;
+        let mut op_map = BTreeMap::new();
+        for (key, binding) in entries {
+            op_map.insert(OpClassKey::from_str(key)?, OpBinding::from_value(binding)?);
+        }
+        Ok(ExecutionModel { policy, op_map })
+    }
+}
+
+impl BranchModel {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("policy", self.policy.as_str())
+            .field("penalty", self.penalty)
+            .field("miss_rate", self.miss_rate)
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<BranchModel, JsonError> {
+        Ok(BranchModel {
+            policy: str_field(value, "policy")?.to_string(),
+            penalty: u32_field(value, "penalty")?,
+            miss_rate: f64_field(value, "miss_rate")?,
+        })
+    }
+}
+
+impl CacheModel {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("size", self.size)
+            .field("hit_rates", tlm_json::map_u32_f64_to_value(&self.hit_rates))
+            .field("hit_delay", self.hit_delay)
+            .field("miss_penalty", self.miss_penalty)
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<CacheModel, JsonError> {
+        Ok(CacheModel {
+            size: u32_field(value, "size")?,
+            hit_rates: tlm_json::value_to_map_u32_f64(field(value, "hit_rates")?)?,
+            hit_delay: u32_field(value, "hit_delay")?,
+            miss_penalty: u32_field(value, "miss_penalty")?,
+        })
+    }
+}
+
+impl MemoryPath {
+    fn to_value(&self) -> Value {
+        match self {
+            MemoryPath::Hardwired => Value::String("Hardwired".into()),
+            MemoryPath::Uncached => Value::String("Uncached".into()),
+            MemoryPath::Cached(cache) => {
+                Value::Object(vec![("Cached".to_string(), cache.to_value())])
+            }
+        }
+    }
+
+    fn from_value(value: &Value) -> Result<MemoryPath, JsonError> {
+        match value {
+            Value::String(s) if s == "Hardwired" => Ok(MemoryPath::Hardwired),
+            Value::String(s) if s == "Uncached" => Ok(MemoryPath::Uncached),
+            Value::Object(_) => {
+                let cache = value
+                    .get("Cached")
+                    .ok_or_else(|| JsonError::shape("memory path object must be `Cached`"))?;
+                Ok(MemoryPath::Cached(CacheModel::from_value(cache)?))
+            }
+            _ => Err(JsonError::shape("bad memory path")),
+        }
+    }
+}
+
+impl MemoryModel {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("ifetch", self.ifetch.to_value())
+            .field("data", self.data.to_value())
+            .field("external_latency", self.external_latency)
+            .field("fetch_expansion", self.fetch_expansion)
+            .field("data_expansion", self.data_expansion)
+            .build()
+    }
+
+    fn from_value(value: &Value) -> Result<MemoryModel, JsonError> {
+        Ok(MemoryModel {
+            ifetch: MemoryPath::from_value(field(value, "ifetch")?)?,
+            data: MemoryPath::from_value(field(value, "data")?)?,
+            external_latency: u32_field(value, "external_latency")?,
+            // Both expansions are optional in the interchange format.
+            fetch_expansion: value.get("fetch_expansion").and_then(Value::as_f64).unwrap_or(1.0),
+            data_expansion: value.get("data_expansion").and_then(Value::as_f64).unwrap_or(1.0),
+        })
+    }
+}
+
+impl Pum {
+    /// The PUM as a JSON value tree.
+    pub fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("name", self.name.as_str())
+            .field("clock_period_ps", self.clock_period_ps)
+            .field("execution", self.execution.to_value())
+            .field("datapath", self.datapath.to_value())
+            .field("branch", self.branch.as_ref().map_or(Value::Null, BranchModel::to_value))
+            .field("memory", self.memory.to_value())
+            .build()
+    }
+
+    /// Parses a PUM from a JSON value tree (no validation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when the shape does not match the interchange
+    /// format.
+    pub fn from_value(value: &Value) -> Result<Pum, JsonError> {
+        let branch = match value.get("branch") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(BranchModel::from_value(v)?),
+        };
+        Ok(Pum {
+            name: str_field(value, "name")?.to_string(),
+            clock_period_ps: u64_field(value, "clock_period_ps")?,
+            execution: ExecutionModel::from_value(field(value, "execution")?)?,
+            datapath: Datapath::from_value(field(value, "datapath")?)?,
+            branch,
+            memory: MemoryModel::from_value(field(value, "memory")?)?,
+        })
+    }
+
+    /// Canonical byte encoding of exactly the sub-models Algorithm 1
+    /// (optimistic scheduling) reads: the scheduling policy, the operation
+    /// mapping table and the datapath. The statistical memory and branch
+    /// models are deliberately excluded — Algorithm 1 is independent of
+    /// them, which is what makes one schedule reusable across every point
+    /// of a cache-size or misprediction sweep.
+    ///
+    /// The encoding is injective (free-form names are length-prefixed, all
+    /// numbers delimited) but deliberately not JSON: it is computed once
+    /// per annotation run on the estimation hot path, so it writes one
+    /// flat string instead of building a value tree.
+    pub fn schedule_domain(&self) -> String {
+        use std::fmt::Write;
+        fn name(out: &mut String, n: &str) {
+            let _ = write!(out, "{}:{n}", n.len());
+        }
+        let mut out = String::with_capacity(512);
+        out.push_str("sd1;");
+        out.push_str(self.execution.policy.as_str());
+        out.push(';');
+        for (key, b) in &self.execution.op_map {
+            let _ = write!(
+                out,
+                "{}={},{},{}[",
+                key.as_str(),
+                b.demand_stage,
+                b.commit_stage,
+                u8::from(b.transparent)
+            );
+            for u in &b.usage {
+                let _ = write!(out, "{}.{}.{};", u.stage, u.fu, u.mode);
+            }
+            out.push(']');
+        }
+        out.push('#');
+        for unit in &self.datapath.units {
+            name(&mut out, &unit.name);
+            let _ = write!(out, "x{}[", unit.quantity);
+            for m in &unit.modes {
+                name(&mut out, &m.name);
+                let _ = write!(out, "@{};", m.delay);
+            }
+            out.push(']');
+        }
+        out.push('#');
+        for p in &self.datapath.pipelines {
+            name(&mut out, &p.name);
+            out.push('[');
+            for s in &p.stages {
+                name(&mut out, &s.name);
+                let _ = write!(out, "w{};", s.width);
+            }
+            out.push(']');
+        }
+        out
+    }
+
+    /// Stable 64-bit fingerprint of [`Pum::schedule_domain`]. Two PUMs with
+    /// equal fingerprints (and equal domains — the schedule cache compares
+    /// the full canonical encoding, never just this hash) produce identical
+    /// Algorithm 1 schedules for every block.
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::fnv1a_64(self.schedule_domain().as_bytes())
     }
 }
 
@@ -441,10 +870,7 @@ mod tests {
 
     #[test]
     fn invalid_json_is_rejected() {
-        assert!(matches!(
-            Pum::from_json("{ not json"),
-            Err(EstimateError::BadPum { .. })
-        ));
+        assert!(matches!(Pum::from_json("{ not json"), Err(EstimateError::BadPum { .. })));
     }
 
     #[test]

@@ -47,8 +47,7 @@ const ALLOCATABLE: [Reg; 13] = [
 ];
 
 /// Argument registers: `r4..r7` then `r24..r27`.
-const ARG_REGS: [Reg; 8] =
-    [Reg(4), Reg(5), Reg(6), Reg(7), Reg(24), Reg(25), Reg(26), Reg(27)];
+const ARG_REGS: [Reg; 8] = [Reg(4), Reg(5), Reg(6), Reg(7), Reg(24), Reg(25), Reg(26), Reg(27)];
 
 /// A compiled program image.
 #[derive(Debug, Clone)]
@@ -142,8 +141,7 @@ pub fn build_program(
     let mut func_entry = vec![0usize; module.functions.len()];
     for (fid, _) in module.functions_iter() {
         func_entry[fid.0 as usize] = insts.len();
-        FuncEmitter::new(module, &layout, fid, &mut insts, &mut meta, &mut call_fixups)
-            .emit()?;
+        FuncEmitter::new(module, &layout, fid, &mut insts, &mut meta, &mut call_fixups).emit()?;
     }
     for (at, fid) in call_fixups {
         let Inst::Jal { target } = &mut insts[at] else {
@@ -240,10 +238,8 @@ impl<'a> FuncEmitter<'a> {
         // Frame: [ra][saved regs][spills][local arrays], sp-relative.
         let saved_bytes = 4 * (1 + self.used_regs.len() as i32);
         let spill_base = saved_bytes;
-        let locals_off =
-            spill_base + 4 * n_spills as i32;
-        let locals_bytes =
-            (self.layout.frame_words[self.fid.0 as usize] * WORD_BYTES) as i32;
+        let locals_off = spill_base + 4 * n_spills as i32;
+        let locals_bytes = (self.layout.frame_words[self.fid.0 as usize] * WORD_BYTES) as i32;
         self.locals_off = locals_off;
         self.frame_bytes = (locals_off + locals_bytes + 7) & !7;
         // Rebase spill offsets now that the spill area start is known.
@@ -255,12 +251,7 @@ impl<'a> FuncEmitter<'a> {
 
         // Prologue.
         self.current_block = BlockId(0);
-        self.push(Inst::AluI {
-            op: AluOp::Add,
-            rd: Reg::SP,
-            rs1: Reg::ZERO,
-            imm: 0,
-        });
+        self.push(Inst::AluI { op: AluOp::Add, rd: Reg::SP, rs1: Reg::ZERO, imm: 0 });
         // Replace the placeholder with the real frame adjust (kept simple:
         // emit directly).
         let last = self.insts.len() - 1;
@@ -414,11 +405,7 @@ impl<'a> FuncEmitter<'a> {
         }
         for (j, &v) in array.init.iter().enumerate() {
             self.push(Inst::AluI { op: AluOp::Add, rd: Reg::T2, rs1: Reg::ZERO, imm: v as i32 });
-            self.push(Inst::Sw {
-                rs: Reg::T2,
-                base: Reg::SP,
-                offset: base_off + (j as i32) * 4,
-            });
+            self.push(Inst::Sw { rs: Reg::T2, base: Reg::SP, offset: base_off + (j as i32) * 4 });
         }
     }
 
@@ -652,7 +639,14 @@ fn allocate_registers(module: &Module, fid: FuncId) -> (Vec<Loc>, Vec<Reg>, usiz
         pos += 1;
         match &block.term {
             Terminator::Branch { cond, .. } => {
-                mark_use(*cond, pos, &mut uses[b], &defs[b], &mut occurrence_lo, &mut occurrence_hi);
+                mark_use(
+                    *cond,
+                    pos,
+                    &mut uses[b],
+                    &defs[b],
+                    &mut occurrence_lo,
+                    &mut occurrence_hi,
+                );
             }
             Terminator::Return(Some(v)) => {
                 mark_use(*v, pos, &mut uses[b], &defs[b], &mut occurrence_lo, &mut occurrence_hi);
@@ -663,9 +657,7 @@ fn allocate_registers(module: &Module, fid: FuncId) -> (Vec<Loc>, Vec<Reg>, usiz
     }
     // Parameters are defined on entry.
     for &p in &func.params {
-        let i = p.0 as usize;
-        occurrence_lo[i] = 0;
-        occurrence_hi[i] = occurrence_hi[i];
+        occurrence_lo[p.0 as usize] = 0;
     }
 
     // Backward liveness to a fixpoint.
@@ -712,8 +704,7 @@ fn allocate_registers(module: &Module, fid: FuncId) -> (Vec<Loc>, Vec<Reg>, usiz
         }
     }
 
-    let mut order: Vec<usize> =
-        (0..n).filter(|&i| start[i] != usize::MAX).collect();
+    let mut order: Vec<usize> = (0..n).filter(|&i| start[i] != usize::MAX).collect();
     order.sort_by_key(|&i| start[i]);
 
     let mut locs = vec![Loc::Spill(0); n];
@@ -884,8 +875,8 @@ mod tests {
         let too_many = "int f(int a, int b, int c, int d, int e, int g, int h, int i, int j) {
                             return a + j;
                         }";
-        let module = tlm_cdfg::lower::lower(&tlm_minic::parse(too_many).expect("parses"))
-            .expect("lowers");
+        let module =
+            tlm_cdfg::lower::lower(&tlm_minic::parse(too_many).expect("parses")).expect("lowers");
         let id = module.function_id("f").expect("f");
         assert!(build_program(&module, id, &[0; 9]).is_err());
     }

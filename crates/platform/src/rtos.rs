@@ -8,10 +8,10 @@
 //! "Automatic Generation of Cycle-Approximate TLMs with Timed RTOS Model
 //! Support", refines this further).
 
-use serde::{Deserialize, Serialize};
+use tlm_json::{JsonError, ObjectBuilder, Value};
 
 /// RTOS timing parameters for one PE.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RtosModel {
     /// PE cycles charged whenever the running process changes.
     pub context_switch_cycles: u64,
@@ -25,6 +25,28 @@ impl Default for RtosModel {
     }
 }
 
+impl RtosModel {
+    /// Serializes to a JSON value.
+    pub fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("context_switch_cycles", Value::Number(self.context_switch_cycles as f64))
+            .build()
+    }
+
+    /// Deserializes from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a missing or non-numeric `context_switch_cycles` field.
+    pub fn from_value(value: &Value) -> Result<RtosModel, JsonError> {
+        let cycles = value
+            .get("context_switch_cycles")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| JsonError::shape("RtosModel.context_switch_cycles: u64 expected"))?;
+        Ok(RtosModel { context_switch_cycles: cycles })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -33,8 +55,15 @@ mod tests {
     fn default_is_nonzero_and_serializable() {
         let model = RtosModel::default();
         assert!(model.context_switch_cycles > 0);
-        let json = serde_json::to_string(&model).expect("serializes");
-        let back: RtosModel = serde_json::from_str(&json).expect("deserializes");
+        let json = model.to_value().to_compact();
+        let back =
+            RtosModel::from_value(&tlm_json::parse(&json).expect("parses")).expect("deserializes");
         assert_eq!(model, back);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let value = tlm_json::parse("{\"context_switch_cycles\": \"many\"}").expect("parses");
+        assert!(RtosModel::from_value(&value).is_err());
     }
 }

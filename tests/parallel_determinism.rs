@@ -1,0 +1,161 @@
+//! Determinism of the parallel + memoized estimation engine.
+//!
+//! The contract: for every application and every scheduling policy, the
+//! production engine (schedule cache + thread fan-out) produces **bit-
+//! identical** block delays to the reference engine (sequential, no cache),
+//! and a sweep over statistical configurations runs Algorithm 1 **at most
+//! once** per (datapath, block) pair — verified by the cache's hit/miss
+//! counters, not by timing.
+
+use std::sync::Arc;
+
+use tlm_apps::imagepipe::{build_image_platform, ImageParams};
+use tlm_apps::{build_mp3_platform, Mp3Design, Mp3Params};
+use tlm_cdfg::ir::Module;
+use tlm_core::annotate::{annotate_arc_with, annotate_uncached, TimedModule};
+use tlm_core::pum::SchedulingPolicy;
+use tlm_core::{Pum, ScheduleCache};
+use tlm_platform::desc::Platform;
+
+const POLICIES: [SchedulingPolicy; 4] = [
+    SchedulingPolicy::InOrder,
+    SchedulingPolicy::Asap,
+    SchedulingPolicy::Alap,
+    SchedulingPolicy::List,
+];
+
+/// Every (module, PUM) estimation job of the MP3 and image-pipeline
+/// designs at one cache configuration.
+fn jobs(ic: u32, dc: u32) -> Vec<(Arc<Module>, Pum)> {
+    let platforms: Vec<Platform> = vec![
+        build_mp3_platform(Mp3Design::Sw, Mp3Params::training(), ic, dc).expect("builds"),
+        build_mp3_platform(Mp3Design::SwPlus4, Mp3Params::training(), ic, dc).expect("builds"),
+        build_image_platform(false, ImageParams::small(), ic, dc).expect("builds"),
+        build_image_platform(true, ImageParams::small(), ic, dc).expect("builds"),
+    ];
+    platforms
+        .iter()
+        .flat_map(|p| {
+            p.processes
+                .iter()
+                .map(|proc| (proc.module.clone(), p.pes[proc.pe.0].pum.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn assert_bit_identical(reference: &TimedModule, candidate: &TimedModule, what: &str) {
+    for (fid, func) in reference.module().functions_iter() {
+        for (bid, _) in func.blocks_iter() {
+            let r = reference.delay(fid, bid);
+            let c = candidate.delay(fid, bid);
+            // PartialEq on BlockDelay compares the f64 components exactly —
+            // "bit-identical", not "approximately equal".
+            assert_eq!(r, c, "{what}: engines disagree at {fid}/{bid}");
+        }
+    }
+}
+
+#[test]
+fn cached_parallel_engine_matches_reference_for_native_pums() {
+    // Every process of every design, estimated on the PUM it is mapped to.
+    let cache = ScheduleCache::new();
+    for (module, pum) in jobs(8 << 10, 4 << 10) {
+        let reference = annotate_uncached(&module, &pum).expect("annotates");
+        for parallel in [false, true] {
+            let candidate = annotate_arc_with(Arc::clone(&module), &pum, Some(&cache), parallel)
+                .expect("annotates");
+            assert_bit_identical(
+                &reference,
+                &candidate,
+                &format!("parallel={parallel} pum={}", pum.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_parallel_engine_matches_reference_for_every_policy() {
+    // The policy sweep runs on the custom-HW datapath (as in ablation A1 —
+    // the pipelined CPU model only supports its native in-order policy).
+    for &policy in &POLICIES {
+        let cache = ScheduleCache::new();
+        let mut pum = tlm_core::library::custom_hw("det", 2, 2);
+        pum.execution.policy = policy;
+        for (module, _) in jobs(8 << 10, 4 << 10) {
+            let reference = annotate_uncached(&module, &pum).expect("annotates");
+            for parallel in [false, true] {
+                let candidate =
+                    annotate_arc_with(Arc::clone(&module), &pum, Some(&cache), parallel)
+                        .expect("annotates");
+                assert_bit_identical(
+                    &reference,
+                    &candidate,
+                    &format!("{policy:?} parallel={parallel}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_runs_algorithm1_at_most_once_per_datapath_block_pair() {
+    // A cache-size sweep only changes the statistical models, so after the
+    // first sweep point every schedule must come from the cache: misses
+    // never grow past the first point's count, and that count equals the
+    // number of distinct (datapath, block) pairs (= resident entries).
+    let cache = ScheduleCache::new();
+    let sweep = [(2u32 << 10, 2u32 << 10), (8 << 10, 4 << 10), (32 << 10, 16 << 10)];
+
+    let mut first_point_misses = None;
+    for (ic, dc) in sweep {
+        for (module, pum) in jobs(ic, dc) {
+            annotate_arc_with(module, &pum, Some(&cache), true).expect("annotates");
+        }
+        let stats = cache.stats();
+        match first_point_misses {
+            None => {
+                assert!(stats.misses > 0, "first sweep point must schedule something");
+                first_point_misses = Some(stats.misses);
+            }
+            Some(first) => assert_eq!(
+                stats.misses, first,
+                "a later sweep point re-ran Algorithm 1: \
+                 the schedule domain must not depend on cache sizes"
+            ),
+        }
+    }
+
+    // Every miss created exactly one entry: misses == distinct
+    // (datapath, block) pairs, i.e. Algorithm 1 ran at most once per pair.
+    let stats = cache.stats();
+    assert_eq!(
+        stats.misses, stats.entries as u64,
+        "duplicate Algorithm 1 runs for the same (datapath, block) pair"
+    );
+    assert!(stats.hits > 0, "later sweep points were served from the cache");
+}
+
+#[test]
+fn distinct_datapaths_do_not_share_schedules() {
+    // The same module estimated under two different policies must occupy
+    // distinct cache entries (correctness guard against over-sharing).
+    let cache = ScheduleCache::new();
+    let jobs = jobs(8 << 10, 4 << 10);
+    let module = &jobs[0].0;
+    let base = tlm_core::library::custom_hw("guard", 2, 2);
+    let mut asap = base.clone();
+    asap.execution.policy = SchedulingPolicy::Asap;
+    let mut alap = base;
+    alap.execution.policy = SchedulingPolicy::Alap;
+
+    annotate_arc_with(Arc::clone(module), &asap, Some(&cache), false).expect("annotates");
+    let after_first = cache.stats();
+    annotate_arc_with(Arc::clone(module), &alap, Some(&cache), false).expect("annotates");
+    let after_second = cache.stats();
+    assert_eq!(
+        after_second.misses,
+        after_first.misses * 2,
+        "a different policy is a different schedule domain"
+    );
+}

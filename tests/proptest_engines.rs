@@ -1,8 +1,12 @@
 //! Property-based tests: randomly generated MiniC programs must behave
 //! identically on the CDFG interpreter and on the compiled ISA core, and
 //! core estimator invariants must hold for every generated block.
+//!
+//! The generator is a self-contained xorshift PRNG rather than proptest
+//! (the build environment is offline): every case derives from a fixed
+//! base seed, so failures print the offending program and reproduce
+//! identically on every run and every machine.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 
 use tlm_cdfg::dfg::block_dfg;
@@ -13,6 +17,37 @@ use tlm_core::schedule::schedule_block;
 use tlm_iss::codegen::build_program;
 use tlm_iss::cpu::{Cpu, CpuExec};
 
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+}
+
+/// Runs `case_fn` once per deterministic case seed.
+fn for_each_case(base_seed: u64, cases: u64, case_fn: impl Fn(&mut Rng)) {
+    for case in 0..cases {
+        let mut rng = Rng::new(base_seed ^ (case << 32) ^ case);
+        case_fn(&mut rng);
+    }
+}
+
 /// A tiny expression AST we render to MiniC text.
 #[derive(Debug, Clone)]
 enum GenExpr {
@@ -21,6 +56,36 @@ enum GenExpr {
     Bin(&'static str, Box<GenExpr>, Box<GenExpr>),
     /// Division with a guarded (never-zero) divisor.
     SafeDiv(Box<GenExpr>, Box<GenExpr>),
+}
+
+const BIN_OPS: [&str; 8] = ["+", "-", "*", "&", "|", "^", "<", ">="];
+
+fn gen_expr(rng: &mut Rng, depth: u32) -> GenExpr {
+    if depth == 0 || rng.range(0, 3) == 0 {
+        return if rng.range(0, 2) == 0 {
+            GenExpr::Lit(rng.range(-4096, 4096) as i32)
+        } else {
+            GenExpr::Var(rng.range(0, 8) as usize)
+        };
+    }
+    if rng.range(0, 5) == 0 {
+        let a = gen_expr(rng, depth - 1);
+        let b = gen_expr(rng, depth - 1);
+        GenExpr::SafeDiv(Box::new(a), Box::new(b))
+    } else {
+        let op = BIN_OPS[rng.range(0, BIN_OPS.len() as i64) as usize];
+        let a = gen_expr(rng, depth - 1);
+        let b = gen_expr(rng, depth - 1);
+        GenExpr::Bin(op, Box::new(a), Box::new(b))
+    }
+}
+
+fn gen_exprs(rng: &mut Rng, depth: u32, lo: i64, hi: i64) -> Vec<GenExpr> {
+    (0..rng.range(lo, hi)).map(|_| gen_expr(rng, depth)).collect()
+}
+
+fn gen_seeds(rng: &mut Rng, bound: i64, lo: i64, hi: i64) -> Vec<i32> {
+    (0..rng.range(lo, hi)).map(|_| rng.range(-bound, bound) as i32).collect()
 }
 
 fn render(expr: &GenExpr, n_vars: usize) -> String {
@@ -34,36 +99,6 @@ fn render(expr: &GenExpr, n_vars: usize) -> String {
             format!("({} / (({} & 1023) + 7))", render(a, n_vars), render(b, n_vars))
         }
     }
-}
-
-fn expr_strategy(depth: u32) -> impl Strategy<Value = GenExpr> {
-    let leaf = prop_oneof![
-        (-4096i32..4096).prop_map(GenExpr::Lit),
-        (0usize..8).prop_map(GenExpr::Var),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just("+"),
-                    Just("-"),
-                    Just("*"),
-                    Just("&"),
-                    Just("|"),
-                    Just("^"),
-                    Just("<"),
-                    Just(">="),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| GenExpr::Bin(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| GenExpr::SafeDiv(
-                Box::new(a),
-                Box::new(b)
-            )),
-        ]
-    })
 }
 
 /// Renders a full program: seed variables, a chain of derived values, some
@@ -105,25 +140,23 @@ fn run_both(module: &Module) -> (Vec<i64>, Vec<i64>) {
     (machine.outputs().to_vec(), cpu.outputs().to_vec())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn interpreter_and_compiled_core_agree(
-        exprs in prop::collection::vec(expr_strategy(3), 1..10),
-        seeds in prop::collection::vec(-1000i32..1000, 2..8),
-    ) {
+#[test]
+fn interpreter_and_compiled_core_agree() {
+    for_each_case(0x1eaf_0001, 48, |rng| {
+        let exprs = gen_exprs(rng, 3, 1, 10);
+        let seeds = gen_seeds(rng, 1000, 2, 8);
         let src = program_from(&exprs, &seeds);
         let module = lower(&src);
         let (interp, cpu) = run_both(&module);
-        prop_assert_eq!(interp, cpu, "divergence on:\n{}", src);
-    }
+        assert_eq!(interp, cpu, "divergence on:\n{src}");
+    });
+}
 
-    #[test]
-    fn optimizer_preserves_random_program_semantics(
-        exprs in prop::collection::vec(expr_strategy(3), 1..8),
-        seeds in prop::collection::vec(-500i32..500, 2..6),
-    ) {
+#[test]
+fn optimizer_preserves_random_program_semantics() {
+    for_each_case(0x1eaf_0002, 48, |rng| {
+        let exprs = gen_exprs(rng, 3, 1, 8);
+        let seeds = gen_seeds(rng, 500, 2, 6);
         let src = program_from(&exprs, &seeds);
         let plain = lower(&src);
         let mut optimized = plain.clone();
@@ -134,67 +167,76 @@ proptest! {
             assert_eq!(machine.run(&mut NoopHook), Exec::Done);
             machine.outputs().to_vec()
         };
-        prop_assert_eq!(run(&plain), run(&optimized), "optimizer broke:\n{}", src);
-    }
+        assert_eq!(run(&plain), run(&optimized), "optimizer broke:\n{src}");
+    });
+}
 
-    #[test]
-    fn schedule_respects_fundamental_bounds(
-        exprs in prop::collection::vec(expr_strategy(2), 1..6),
-        seeds in prop::collection::vec(-100i32..100, 2..5),
-    ) {
-        // For every basic block of a random program and every library PUM:
-        // the schedule is at least as long as the DFG critical path (unit
-        // latencies) and no longer than the serial sum of op durations plus
-        // pipeline fill.
+#[test]
+fn schedule_respects_fundamental_bounds() {
+    // For every basic block of a random program and every library PUM:
+    // the schedule is at least as long as the DFG critical path (unit
+    // latencies) and no longer than the serial sum of op durations plus
+    // pipeline fill.
+    for_each_case(0x1eaf_0003, 48, |rng| {
+        let exprs = gen_exprs(rng, 2, 1, 6);
+        let seeds = gen_seeds(rng, 100, 2, 5);
         let src = program_from(&exprs, &seeds);
         let module = lower(&src);
         for pum in [library::microblaze_like(8192, 4096), library::custom_hw("hw", 2, 2)] {
             for (fid, func) in module.functions_iter() {
                 for (bid, block) in func.blocks_iter() {
                     let dfg = block_dfg(block);
-                    let result = schedule_block(&pum, block, &dfg, fid, bid)
-                        .expect("schedules");
+                    let result = schedule_block(&pum, block, &dfg, fid, bid).expect("schedules");
                     let n_transparent = block
                         .ops
                         .iter()
-                        .filter(|op| {
-                            pum.binding(op.class()).is_ok_and(|b| b.transparent)
-                        })
+                        .filter(|op| pum.binding(op.class()).is_ok_and(|b| b.transparent))
                         .count();
                     let scheduled = block.ops.len() - n_transparent;
                     if scheduled > 0 {
-                        prop_assert!(result.cycles >= 1);
+                        assert!(result.cycles >= 1);
                     }
                     // Generous serial upper bound: every op serialised at
                     // its worst-stage duration, plus fill and drain.
-                    let worst: u64 = block.ops.iter().map(|op| {
-                        pum.binding(op.class())
-                            .map(|b| b.usage.iter().map(|u| {
-                                u64::from(pum.datapath.units[u.fu].modes[u.mode].delay)
-                            }).max().unwrap_or(1))
-                            .unwrap_or(1)
-                            + pum.max_stages() as u64
-                    }).sum();
-                    prop_assert!(
+                    let worst: u64 = block
+                        .ops
+                        .iter()
+                        .map(|op| {
+                            pum.binding(op.class())
+                                .map(|b| {
+                                    b.usage
+                                        .iter()
+                                        .map(|u| {
+                                            u64::from(pum.datapath.units[u.fu].modes[u.mode].delay)
+                                        })
+                                        .max()
+                                        .unwrap_or(1)
+                                })
+                                .unwrap_or(1)
+                                + pum.max_stages() as u64
+                        })
+                        .sum();
+                    assert!(
                         result.raw_cycles <= worst.max(1),
-                        "{fid}/{bid}: raw {} > serial bound {worst}",
+                        "{fid}/{bid}: raw {} > serial bound {worst} on:\n{src}",
                         result.raw_cycles
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn more_units_stay_within_grahams_bound(
-        exprs in prop::collection::vec(expr_strategy(2), 2..6),
-        seeds in prop::collection::vec(-100i32..100, 3..6),
-    ) {
-        // Greedy list scheduling is subject to Graham's anomaly — adding
-        // functional units can lengthen a schedule by a cycle or two — but
-        // it can never *double* it (Graham's 2 − 1/m bound). Check that,
-        // plus the common-sense direction for the overwhelming majority of
-        // blocks.
+#[test]
+fn more_units_stay_within_grahams_bound() {
+    // Greedy list scheduling is subject to Graham's anomaly — adding
+    // functional units can lengthen a schedule by a cycle or two — but
+    // it can never *double* it (Graham's 2 − 1/m bound). Check that,
+    // plus the common-sense direction for the overwhelming majority of
+    // blocks.
+    for_each_case(0x1eaf_0004, 48, |rng| {
+        let exprs = gen_exprs(rng, 2, 2, 6);
+        let seeds = gen_seeds(rng, 100, 3, 6);
         let src = program_from(&exprs, &seeds);
         let module = lower(&src);
         let narrow = library::custom_hw("narrow", 1, 1);
@@ -204,13 +246,13 @@ proptest! {
                 let dfg = block_dfg(block);
                 let n = schedule_block(&narrow, block, &dfg, fid, bid).expect("schedules");
                 let w = schedule_block(&wide, block, &dfg, fid, bid).expect("schedules");
-                prop_assert!(
+                assert!(
                     w.cycles <= n.cycles * 2,
-                    "{fid}/{bid}: wide {} vs narrow {} violates Graham's bound",
+                    "{fid}/{bid}: wide {} vs narrow {} violates Graham's bound on:\n{src}",
                     w.cycles,
                     n.cycles
                 );
             }
         }
-    }
+    });
 }
