@@ -32,7 +32,6 @@ use tlm_cdfg::ir::Module;
 use tlm_core::annotate::{annotate_in_domain, annotate_uncached, PreparedModule, TimedModule};
 use tlm_core::cache::{CacheStats, ScheduleDomain};
 use tlm_core::parallel::available_workers;
-use tlm_core::pum::MemoryPath;
 use tlm_core::{Pum, ScheduleCache};
 use tlm_json::{ObjectBuilder, Value};
 
@@ -63,22 +62,9 @@ fn base_jobs() -> Vec<Job> {
 
 /// The PUM of one sweep point: same datapath, swept statistical models.
 /// The library presets characterize all standard sizes up front, so
-/// re-pointing `size` is enough; size 0 means "no cache" (as in the
-/// paper's 0k/0k column).
+/// re-pointing the sizes is enough (see [`Pum::with_cache_sizes`]).
 fn swept(pum: &Pum, ic: u32, dc: u32) -> Pum {
-    fn resize(path: &mut MemoryPath, bytes: u32) {
-        if let MemoryPath::Cached(c) = path {
-            if bytes == 0 {
-                *path = MemoryPath::Uncached;
-            } else {
-                c.size = bytes;
-            }
-        }
-    }
-    let mut pum = pum.clone();
-    resize(&mut pum.memory.ifetch, ic);
-    resize(&mut pum.memory.data, dc);
-    pum
+    pum.with_cache_sizes(ic, dc)
 }
 
 fn assert_identical(reference: &[TimedModule], candidate: &[TimedModule]) {

@@ -57,3 +57,22 @@ pub use annotate::{annotate, TimedModule};
 pub use cache::ScheduleCache;
 pub use error::EstimateError;
 pub use pum::Pum;
+
+/// Compile-time thread-safety audit. The serving layer (`tlm-serve`)
+/// shares one [`ScheduleCache`] across a worker pool and hands
+/// [`annotate::PreparedModule`]s, [`Pum`]s and results between threads;
+/// these assertions turn an accidental `Rc`/`RefCell`/raw-pointer
+/// regression in any of those types into a build error instead of a
+/// runtime surprise.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ScheduleCache>();
+    assert_send_sync::<cache::ScheduleDomain>();
+    assert_send_sync::<cache::CacheStats>();
+    assert_send_sync::<annotate::PreparedModule>();
+    assert_send_sync::<TimedModule>();
+    assert_send_sync::<Pum>();
+    assert_send_sync::<EstimateError>();
+    assert_send_sync::<delay::BlockDelay>();
+    assert_send_sync::<delay::MemoryCosts>();
+};

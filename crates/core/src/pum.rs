@@ -832,6 +832,35 @@ impl Pum {
         out
     }
 
+    /// The PUM re-pointed at different statistical cache sizes — the sweep
+    /// transform of the paper's Tables 2/3 and of every serving request
+    /// that asks for a cache sweep. Only [`MemoryPath::Cached`] paths are
+    /// touched: a size of 0 means "no cache" (the paper's 0k/0k column) and
+    /// degrades the path to [`MemoryPath::Uncached`]; `Hardwired` and
+    /// already-`Uncached` paths (custom HW) are returned unchanged. The
+    /// schedule domain is untouched, so every sweep point shares Algorithm 1
+    /// results through the [`ScheduleCache`](crate::ScheduleCache).
+    ///
+    /// The result may fail [`Pum::validate`] if the new size was never
+    /// characterized ([`EstimateError::MissingHitRate`]); sweep drivers and
+    /// the serving layer surface that as a client error.
+    #[must_use]
+    pub fn with_cache_sizes(&self, icache_bytes: u32, dcache_bytes: u32) -> Pum {
+        fn resize(path: &mut MemoryPath, bytes: u32) {
+            if let MemoryPath::Cached(cache) = path {
+                if bytes == 0 {
+                    *path = MemoryPath::Uncached;
+                } else {
+                    cache.size = bytes;
+                }
+            }
+        }
+        let mut pum = self.clone();
+        resize(&mut pum.memory.ifetch, icache_bytes);
+        resize(&mut pum.memory.data, dcache_bytes);
+        pum
+    }
+
     /// Stable 64-bit fingerprint of [`Pum::schedule_domain`]. Two PUMs with
     /// equal fingerprints (and equal domains — the schedule cache compares
     /// the full canonical encoding, never just this hash) produce identical
@@ -905,6 +934,30 @@ mod tests {
             b.miss_rate = 1.5;
         }
         assert!(pum.validate().is_err());
+    }
+
+    #[test]
+    fn with_cache_sizes_sweeps_only_statistical_models() {
+        let base = library::microblaze_like(8 << 10, 4 << 10);
+        let swept = base.with_cache_sizes(32 << 10, 16 << 10);
+        swept.validate().expect("standard sizes are characterized");
+        assert_eq!(base.fingerprint(), swept.fingerprint(), "schedule domain unchanged");
+        match (&swept.memory.ifetch, &swept.memory.data) {
+            (MemoryPath::Cached(i), MemoryPath::Cached(d)) => {
+                assert_eq!(i.size, 32 << 10);
+                assert_eq!(d.size, 16 << 10);
+            }
+            other => panic!("paths stayed cached, got {other:?}"),
+        }
+        // Size 0 degrades to Uncached, as in the paper's 0k/0k column.
+        let none = base.with_cache_sizes(0, 0);
+        assert_eq!(none.memory.ifetch, MemoryPath::Uncached);
+        assert_eq!(none.memory.data, MemoryPath::Uncached);
+        // Custom HW has no cached paths; the sweep is a no-op.
+        let hw = library::custom_hw("dct", 2, 2);
+        assert_eq!(hw.with_cache_sizes(2 << 10, 2 << 10), hw);
+        // Uncharacterized sizes survive the transform but fail validation.
+        assert!(base.with_cache_sizes(1234, 1234).validate().is_err());
     }
 
     #[test]

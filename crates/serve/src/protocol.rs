@@ -1,0 +1,605 @@
+//! The JSON request/response schema of the estimation service.
+//!
+//! A request names a platform — either one of the built-in evaluation
+//! designs (`"mp3:sw"`, `"image:hw"`, …) or a full platform description
+//! decoded by [`tlm_platform::json`] — plus an optional cache-size sweep
+//! and a report granularity:
+//!
+//! ```json
+//! {
+//!   "platform": "mp3:sw",
+//!   "sweep": ["0k/0k", {"icache": 8192, "dcache": 4096}],
+//!   "report": "totals"
+//! }
+//! ```
+//!
+//! Several designs can be estimated in one round trip by wrapping jobs in
+//! a batch: `{"jobs": [job, job, ...]}` answers `{"results": [...]}` in
+//! order.
+//!
+//! **Determinism contract.** The response body is a pure function of the
+//! request body: it carries only values derived from the estimation
+//! (block counts, op counts, cycle totals, per-block delays) and never
+//! wall-clock or cache-occupancy observations. Concurrent clients sending
+//! the same bytes receive the same bytes, regardless of interleaving —
+//! the protocol integration tests assert this bit-exactly. Timing and
+//! cache statistics are exported through `/metrics` instead.
+//!
+//! **Cross-request memoization.** All jobs run against one process-wide
+//! [`ScheduleCache`]; the built-in designs additionally share their
+//! lowered modules and [`PreparedModule`]s through a [`Catalog`], so a
+//! warm server answers repeat sweeps without re-running Algorithm 1 at
+//! all.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use tlm_apps::designs::{build_mp3_platform, Mp3Design, Mp3Params, CACHE_SWEEP};
+use tlm_apps::imagepipe::{build_image_platform, ImageParams};
+use tlm_core::annotate::{annotate_in_domain, PreparedModule};
+use tlm_core::cache::ScheduleDomain;
+use tlm_core::{Pum, ScheduleCache};
+use tlm_json::{ObjectBuilder, ParseLimits, Value};
+use tlm_platform::desc::Platform;
+
+use crate::http::{Request, Response};
+use crate::metrics::Metrics;
+
+/// Upper bound on sweep points per job — bounds the work one request can
+/// demand.
+pub const MAX_SWEEP_POINTS: usize = 32;
+
+/// Upper bound on jobs per batch request.
+pub const MAX_JOBS: usize = 16;
+
+/// The built-in design names accepted for `"platform"`.
+pub const BUILTIN_DESIGNS: [&str; 6] =
+    ["mp3:sw", "mp3:sw+1", "mp3:sw+2", "mp3:sw+4", "image:sw", "image:hw"];
+
+/// Default cache sizes the built-in platforms are constructed with; each
+/// sweep point re-derives the PUMs from these via
+/// [`Pum::with_cache_sizes`], so the value only matters as a starting
+/// point that *is* cached (size 0 would drop the cache models entirely).
+const BASE_CACHES: (u32, u32) = (8 << 10, 4 << 10);
+
+fn build_builtin(name: &str) -> Option<Result<Platform, String>> {
+    let (ic, dc) = BASE_CACHES;
+    let design = match name {
+        "mp3:sw" => Mp3Design::Sw,
+        "mp3:sw+1" => Mp3Design::SwPlus1,
+        "mp3:sw+2" => Mp3Design::SwPlus2,
+        "mp3:sw+4" => Mp3Design::SwPlus4,
+        "image:sw" => {
+            return Some(
+                build_image_platform(false, ImageParams::small(), ic, dc)
+                    .map_err(|e| e.to_string()),
+            )
+        }
+        "image:hw" => {
+            return Some(
+                build_image_platform(true, ImageParams::small(), ic, dc).map_err(|e| e.to_string()),
+            )
+        }
+        _ => return None,
+    };
+    Some(build_mp3_platform(design, Mp3Params::evaluation(), ic, dc).map_err(|e| e.to_string()))
+}
+
+/// A platform plus one [`PreparedModule`] per process, ready to estimate.
+#[derive(Debug)]
+pub struct PreparedDesign {
+    /// The platform description.
+    pub platform: Platform,
+    /// `prepared[i]` matches `platform.processes[i]`.
+    pub prepared: Vec<PreparedModule>,
+}
+
+impl PreparedDesign {
+    /// Hoists the per-block schedule keys and DFGs for every process.
+    pub fn new(platform: Platform) -> PreparedDesign {
+        let prepared =
+            platform.processes.iter().map(|p| PreparedModule::new(Arc::clone(&p.module))).collect();
+        PreparedDesign { platform, prepared }
+    }
+}
+
+/// Lazily-built, process-lifetime cache of the built-in designs.
+///
+/// Building a design means parsing and lowering its MiniC sources —
+/// expensive enough that a server doing it per request would dominate
+/// estimation time. The first request for each name pays it; everyone
+/// after shares the `Arc`.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    entries: Mutex<HashMap<String, Arc<PreparedDesign>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Resolves a built-in design by name, building and caching it on
+    /// first use. `Ok(None)` means the name is not a built-in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the build error message (should not occur for the
+    /// shipped sources).
+    pub fn builtin(&self, name: &str) -> Result<Option<Arc<PreparedDesign>>, String> {
+        if let Some(hit) = self.entries.lock().expect("catalog poisoned").get(name) {
+            return Ok(Some(Arc::clone(hit)));
+        }
+        // Build outside the lock: designs build independently and a slow
+        // build must not serialize unrelated requests.
+        let Some(built) = build_builtin(name) else {
+            return Ok(None);
+        };
+        let design = Arc::new(PreparedDesign::new(built?));
+        let mut entries = self.entries.lock().expect("catalog poisoned");
+        let entry = entries.entry(name.to_string()).or_insert_with(|| Arc::clone(&design));
+        Ok(Some(Arc::clone(entry)))
+    }
+}
+
+/// One cache configuration to estimate under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SweepPoint {
+    label: String,
+    icache: u32,
+    dcache: u32,
+}
+
+/// How much detail a job's response carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReportKind {
+    /// Per-process totals only.
+    Totals,
+    /// Totals plus every basic block's delay decomposition.
+    Blocks,
+}
+
+/// One decoded estimation job.
+#[derive(Debug)]
+struct Job {
+    design: Arc<PreparedDesign>,
+    sweep: Vec<SweepPoint>,
+    report: ReportKind,
+}
+
+fn u32_field(value: &Value, key: &str, what: &str) -> Result<u32, String> {
+    let v = value.get(key).ok_or_else(|| format!("{what}: missing `{key}`"))?;
+    let n = v.as_u64().ok_or_else(|| format!("{what}: `{key}` must be a non-negative integer"))?;
+    u32::try_from(n).map_err(|_| format!("{what}: `{key}` out of range"))
+}
+
+fn decode_sweep_point(value: &Value, what: &str) -> Result<SweepPoint, String> {
+    match value {
+        Value::String(label) => CACHE_SWEEP
+            .iter()
+            .find(|(name, _, _)| name == label)
+            .map(|&(name, ic, dc)| SweepPoint { label: name.to_string(), icache: ic, dcache: dc })
+            .ok_or_else(|| {
+                let known: Vec<&str> = CACHE_SWEEP.iter().map(|&(n, _, _)| n).collect();
+                format!("{what}: unknown sweep label `{label}` (known: {})", known.join(", "))
+            }),
+        Value::Object(_) => {
+            let icache = u32_field(value, "icache", what)?;
+            let dcache = u32_field(value, "dcache", what)?;
+            let label = match value.get("label") {
+                None => format!("{icache}/{dcache}"),
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| format!("{what}: `label` must be a string"))?
+                    .to_string(),
+            };
+            Ok(SweepPoint { label, icache, dcache })
+        }
+        _ => {
+            Err(format!("{what}: each sweep point is a label string or {{\"icache\", \"dcache\"}}"))
+        }
+    }
+}
+
+fn decode_job(value: &Value, catalog: &Catalog, what: &str) -> Result<Job, String> {
+    let platform = value.get("platform").ok_or_else(|| format!("{what}: missing `platform`"))?;
+    let design = match platform {
+        Value::String(name) => catalog.builtin(name)?.ok_or_else(|| {
+            format!(
+                "{what}: unknown design `{name}` (known: {}; or pass a platform object)",
+                BUILTIN_DESIGNS.join(", ")
+            )
+        })?,
+        Value::Object(_) => {
+            let custom = tlm_platform::json::platform_from_value(platform)
+                .map_err(|e| format!("{what}: {e}"))?;
+            Arc::new(PreparedDesign::new(custom))
+        }
+        _ => return Err(format!("{what}: `platform` must be a design name or a platform object")),
+    };
+
+    let sweep = match value.get("sweep") {
+        None => CACHE_SWEEP
+            .iter()
+            .map(|&(name, ic, dc)| SweepPoint { label: name.to_string(), icache: ic, dcache: dc })
+            .collect(),
+        Some(v) => {
+            let points = v.as_array().ok_or_else(|| format!("{what}: `sweep` must be an array"))?;
+            if points.is_empty() {
+                return Err(format!("{what}: `sweep` must not be empty"));
+            }
+            if points.len() > MAX_SWEEP_POINTS {
+                return Err(format!(
+                    "{what}: `sweep` has {} points, limit is {MAX_SWEEP_POINTS}",
+                    points.len()
+                ));
+            }
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| decode_sweep_point(p, &format!("{what}: sweep[{i}]")))
+                .collect::<Result<Vec<_>, _>>()?
+        }
+    };
+
+    let report = match value.get("report") {
+        None => ReportKind::Totals,
+        Some(v) => match v.as_str() {
+            Some("totals") => ReportKind::Totals,
+            Some("blocks") => ReportKind::Blocks,
+            _ => {
+                return Err(format!("{what}: `report` must be \"totals\" or \"blocks\""));
+            }
+        },
+    };
+
+    for key in value.as_object().into_iter().flatten().map(|(k, _)| k) {
+        if !matches!(key.as_str(), "platform" | "sweep" | "report") {
+            return Err(format!("{what}: unknown field `{key}`"));
+        }
+    }
+
+    Ok(Job { design, sweep, report })
+}
+
+fn run_job(cache: &ScheduleCache, job: &Job) -> Result<Value, String> {
+    let platform = &job.design.platform;
+    let mut sweep_rows = Vec::with_capacity(job.sweep.len());
+    for point in &job.sweep {
+        // One resized PUM (and one cache-domain handle) per PE; processes
+        // mapped to the same PE share them. `with_cache_sizes` is a no-op
+        // on custom-HW PEs, whose memory paths are hardwired.
+        let pums: Vec<Pum> = platform
+            .pes
+            .iter()
+            .map(|pe| pe.pum.with_cache_sizes(point.icache, point.dcache))
+            .collect();
+        let domains: Vec<ScheduleDomain> = pums.iter().map(ScheduleDomain::of).collect();
+
+        let mut process_rows = Vec::with_capacity(platform.processes.len());
+        for (i, proc) in platform.processes.iter().enumerate() {
+            let pum = &pums[proc.pe.0];
+            let handle = cache.domain(&domains[proc.pe.0]);
+            let timed =
+                annotate_in_domain(&job.design.prepared[i], pum, &handle, false).map_err(|e| {
+                    format!(
+                        "sweep `{}`, process `{}`: estimation failed: {e}",
+                        point.label, proc.name
+                    )
+                })?;
+
+            let mut total_cycles = 0u64;
+            let mut functions = Vec::new();
+            for (fid, func) in proc.module.functions_iter() {
+                let mut blocks = Vec::new();
+                for (bid, _) in func.blocks_iter() {
+                    let d = timed.delay(fid, bid);
+                    total_cycles += d.cycles;
+                    if job.report == ReportKind::Blocks {
+                        blocks.push(
+                            ObjectBuilder::new()
+                                .field("block", bid.0 as u64)
+                                .field("sched", d.sched)
+                                .field("branch", d.branch)
+                                .field("ifetch", d.ifetch)
+                                .field("data", d.data)
+                                .field("cycles", d.cycles)
+                                .build(),
+                        );
+                    }
+                }
+                if job.report == ReportKind::Blocks {
+                    functions.push(
+                        ObjectBuilder::new()
+                            .field("name", func.name.as_str())
+                            .field("blocks", Value::Array(blocks))
+                            .build(),
+                    );
+                }
+            }
+
+            let report = timed.report();
+            let mut row = ObjectBuilder::new()
+                .field("process", proc.name.as_str())
+                .field("pe", platform.pes[proc.pe.0].name.as_str())
+                .field("blocks", report.blocks)
+                .field("ops", report.ops)
+                .field("total_block_cycles", total_cycles);
+            if job.report == ReportKind::Blocks {
+                row = row.field("functions", Value::Array(functions));
+            }
+            process_rows.push(row.build());
+        }
+
+        sweep_rows.push(
+            ObjectBuilder::new()
+                .field("label", point.label.as_str())
+                .field("icache", point.icache)
+                .field("dcache", point.dcache)
+                .field("processes", Value::Array(process_rows))
+                .build(),
+        );
+    }
+
+    Ok(ObjectBuilder::new()
+        .field("platform", platform.name.as_str())
+        .field("pes", platform.pes.len())
+        .field("processes", platform.processes.len())
+        .field("sweep", Value::Array(sweep_rows))
+        .build())
+}
+
+/// The request handler shared by every worker thread: routing, decoding,
+/// estimation and rendering.
+#[derive(Debug)]
+pub struct Service {
+    /// The process-wide schedule cache every request runs against.
+    pub cache: Arc<ScheduleCache>,
+    /// The built-in design catalog.
+    pub catalog: Catalog,
+    /// Capacity of the accept queue, exported through `/metrics`.
+    pub queue_capacity: usize,
+}
+
+impl Service {
+    /// A service around a fresh cache and an empty catalog.
+    pub fn new(queue_capacity: usize) -> Service {
+        Service { cache: Arc::new(ScheduleCache::new()), catalog: Catalog::new(), queue_capacity }
+    }
+
+    /// Decodes and runs `POST /estimate`.
+    fn estimate(&self, body: &[u8], max_body: usize) -> Response {
+        let text = match std::str::from_utf8(body) {
+            Ok(text) => text,
+            Err(_) => return Response::error(400, "request body is not UTF-8"),
+        };
+        let limits = ParseLimits { max_bytes: max_body, ..ParseLimits::DEFAULT };
+        let root = match tlm_json::parse_with_limits(text, limits) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+        };
+
+        let run_one = |value: &Value, what: &str| -> Result<Value, String> {
+            let job = decode_job(value, &self.catalog, what)?;
+            run_job(&self.cache, &job)
+        };
+
+        let result = if let Some(jobs) = root.get("jobs") {
+            let Some(jobs) = jobs.as_array() else {
+                return Response::error(400, "`jobs` must be an array");
+            };
+            if jobs.is_empty() {
+                return Response::error(400, "`jobs` must not be empty");
+            }
+            if jobs.len() > MAX_JOBS {
+                return Response::error(
+                    400,
+                    &format!("batch has {} jobs, limit is {MAX_JOBS}", jobs.len()),
+                );
+            }
+            jobs.iter()
+                .enumerate()
+                .map(|(i, j)| run_one(j, &format!("jobs[{i}]")))
+                .collect::<Result<Vec<_>, _>>()
+                .map(|results| ObjectBuilder::new().field("results", Value::Array(results)).build())
+        } else {
+            run_one(&root, "request")
+        };
+
+        match result {
+            Ok(value) => {
+                let mut body = value.to_compact();
+                body.push('\n');
+                Response::json(200, body)
+            }
+            Err(message) => Response::error(400, &message),
+        }
+    }
+
+    /// Routes one request to a response. `max_body` is the configured
+    /// body cap, reused as the JSON parser's size limit.
+    pub fn handle(&self, req: &Request, metrics: &Metrics, max_body: usize) -> Response {
+        match (req.method.as_str(), req.target.as_str()) {
+            ("POST", "/estimate") => self.estimate(&req.body, max_body),
+            ("GET", "/metrics") => {
+                Response::text(200, metrics.render(&self.cache.stats(), self.queue_capacity))
+            }
+            ("GET", "/healthz") => Response::text(200, "ok\n"),
+            (_, "/estimate") => {
+                Response::error(405, "use POST /estimate").with_header("Allow", "POST")
+            }
+            (_, "/metrics" | "/healthz") => {
+                Response::error(405, "use GET").with_header("Allow", "GET")
+            }
+            (_, target) => Response::error(404, &format!("no such endpoint `{target}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> Service {
+        Service::new(8)
+    }
+
+    fn estimate(svc: &Service, body: &str) -> (u16, Value) {
+        let resp = svc.estimate(body.as_bytes(), 1 << 20);
+        let text = std::str::from_utf8(&resp.body).expect("utf8 body");
+        (resp.status, tlm_json::parse(text).expect("json body"))
+    }
+
+    #[test]
+    fn image_design_estimates_across_a_sweep() {
+        let svc = service();
+        let (status, v) = estimate(
+            &svc,
+            r#"{"platform": "image:sw", "sweep": ["0k/0k", {"icache": 8192, "dcache": 4096}]}"#,
+        );
+        assert_eq!(status, 200, "body: {}", v.to_compact());
+        assert_eq!(v.get("platform").and_then(Value::as_str), Some("image-sw"));
+        let sweep = v.get("sweep").and_then(Value::as_array).expect("sweep array");
+        assert_eq!(sweep.len(), 2);
+        let first = sweep[0].get("processes").and_then(Value::as_array).expect("processes");
+        assert!(!first.is_empty());
+        let cycles =
+            |p: &Value| p.get("total_block_cycles").and_then(Value::as_u64).expect("cycles");
+        assert!(first.iter().map(cycles).sum::<u64>() > 0);
+        // Caches shave cycles: the cached point is cheaper than 0k/0k.
+        let second = sweep[1].get("processes").and_then(Value::as_array).expect("processes");
+        let uncached: u64 = first.iter().map(cycles).sum();
+        let cached: u64 = second.iter().map(cycles).sum();
+        assert!(cached < uncached, "cached {cached} !< uncached {uncached}");
+    }
+
+    #[test]
+    fn repeat_requests_are_bit_identical_and_hit_the_cache() {
+        let svc = service();
+        let body = r#"{"platform": "image:hw", "sweep": ["2k/2k"]}"#;
+        let first = svc.estimate(body.as_bytes(), 1 << 20);
+        assert_eq!(first.status, 200);
+        let stats = svc.cache.stats();
+        assert!(stats.misses > 0, "first run schedules");
+        let second = svc.estimate(body.as_bytes(), 1 << 20);
+        assert_eq!(first.body, second.body, "responses must be bit-identical");
+        let warm = svc.cache.stats();
+        assert_eq!(warm.misses, stats.misses, "second run is all hits");
+        assert!(warm.hits > stats.hits);
+    }
+
+    #[test]
+    fn blocks_report_carries_delay_decomposition() {
+        let svc = service();
+        let (status, v) =
+            estimate(&svc, r#"{"platform": "image:sw", "sweep": ["8k/4k"], "report": "blocks"}"#);
+        assert_eq!(status, 200);
+        let procs = v.get("sweep").and_then(Value::as_array).expect("sweep")[0]
+            .get("processes")
+            .and_then(Value::as_array)
+            .expect("processes");
+        let funcs = procs[0].get("functions").and_then(Value::as_array).expect("functions");
+        let blocks = funcs[0].get("blocks").and_then(Value::as_array).expect("blocks");
+        for key in ["sched", "branch", "ifetch", "data", "cycles"] {
+            assert!(blocks[0].get(key).is_some(), "missing `{key}`");
+        }
+    }
+
+    #[test]
+    fn batch_answers_in_order() {
+        let svc = service();
+        let (status, v) = estimate(
+            &svc,
+            r#"{"jobs": [
+                {"platform": "image:sw", "sweep": ["0k/0k"]},
+                {"platform": "image:hw", "sweep": ["0k/0k"]}
+            ]}"#,
+        );
+        assert_eq!(status, 200);
+        let results = v.get("results").and_then(Value::as_array).expect("results");
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("platform").and_then(Value::as_str), Some("image-sw"));
+        assert_eq!(results[1].get("platform").and_then(Value::as_str), Some("image-hw"));
+    }
+
+    #[test]
+    fn custom_platform_objects_estimate() {
+        let svc = service();
+        let (status, v) = estimate(
+            &svc,
+            r#"{"platform": {
+                "name": "tiny",
+                "pes": [{"name": "cpu", "pum": "microblaze"}],
+                "processes": [
+                    {"name": "main", "pe": "cpu",
+                     "source": "void main() { int s = 0; for (int i = 0; i < 8; i++) { s = s + i; } out(s); }"}
+                ]
+            }, "sweep": [{"icache": 2048, "dcache": 2048}]}"#,
+        );
+        assert_eq!(status, 200, "body: {}", v.to_compact());
+        assert_eq!(v.get("platform").and_then(Value::as_str), Some("tiny"));
+    }
+
+    #[test]
+    fn decode_errors_name_the_offending_field() {
+        let svc = service();
+        let cases = [
+            (r#"{}"#, "missing `platform`"),
+            (r#"{"platform": "no-such-design"}"#, "unknown design"),
+            (r#"{"platform": 7}"#, "design name or a platform object"),
+            (r#"{"platform": "image:sw", "sweep": []}"#, "must not be empty"),
+            (r#"{"platform": "image:sw", "sweep": ["9k/9k"]}"#, "unknown sweep label"),
+            (r#"{"platform": "image:sw", "sweep": [{"icache": 1}]}"#, "missing `dcache`"),
+            (r#"{"platform": "image:sw", "report": "everything"}"#, "report"),
+            (r#"{"platform": "image:sw", "extra": 1}"#, "unknown field `extra`"),
+            (r#"{"jobs": {}}"#, "`jobs` must be an array"),
+            (r#"{"jobs": []}"#, "`jobs` must not be empty"),
+            (r#"not json"#, "invalid JSON"),
+        ];
+        for (body, needle) in cases {
+            let (status, v) = estimate(&svc, body);
+            assert_eq!(status, 400, "body `{body}`");
+            let msg = v.get("error").and_then(Value::as_str).unwrap_or_default();
+            assert!(msg.contains(needle), "`{msg}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn uncharacterized_sweep_size_is_a_client_error() {
+        let svc = service();
+        let (status, v) = estimate(
+            &svc,
+            r#"{"platform": "image:sw", "sweep": [{"icache": 12345, "dcache": 0}]}"#,
+        );
+        assert_eq!(status, 400, "body: {}", v.to_compact());
+        let msg = v.get("error").and_then(Value::as_str).unwrap_or_default();
+        assert!(msg.contains("estimation failed"), "got `{msg}`");
+    }
+
+    #[test]
+    fn oversized_sweeps_and_batches_are_rejected() {
+        let svc = service();
+        let many: Vec<String> = (0..MAX_SWEEP_POINTS + 1)
+            .map(|i| format!("{{\"icache\": {i}, \"dcache\": 0}}"))
+            .collect();
+        let body = format!("{{\"platform\": \"image:sw\", \"sweep\": [{}]}}", many.join(","));
+        let (status, _) = estimate(&svc, &body);
+        assert_eq!(status, 400);
+
+        let jobs: Vec<&str> =
+            std::iter::repeat_n(r#"{"platform": "image:sw"}"#, MAX_JOBS + 1).collect();
+        let body = format!("{{\"jobs\": [{}]}}", jobs.join(","));
+        let (status, _) = estimate(&svc, &body);
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn catalog_builds_each_design_once() {
+        let catalog = Catalog::new();
+        let a = catalog.builtin("image:sw").expect("builds").expect("known");
+        let b = catalog.builtin("image:sw").expect("builds").expect("known");
+        assert!(Arc::ptr_eq(&a, &b), "second lookup reuses the first build");
+        assert!(catalog.builtin("nope").expect("no error").is_none());
+    }
+}

@@ -1,0 +1,414 @@
+//! The server core: accept loop, bounded connection queue, worker pool,
+//! graceful shutdown.
+//!
+//! The shape is a classic bounded-queue design, chosen because every
+//! limit is explicit:
+//!
+//! - the **acceptor** thread runs a nonblocking `accept` loop so it can
+//!   poll the shutdown flag; each accepted connection is pushed into a
+//!   bounded [`sync_channel`]. When the queue is full the acceptor
+//!   answers `503 Service Unavailable` with `Retry-After: 1` *inline*
+//!   and closes — memory use is capped by `queue + workers` connections
+//!   no matter how fast clients arrive;
+//! - **workers** pull connections off the queue and serve keep-alive
+//!   requests until the client closes, an error occurs, or the
+//!   per-connection request budget runs out. Socket read/write timeouts
+//!   bound how long a stalled client can hold a worker (a timeout
+//!   answers `408` and closes);
+//! - **shutdown** ([`ServerHandle::shutdown`]) latches a flag; the
+//!   acceptor stops accepting and drops the queue's sender, workers
+//!   drain the connections already queued (keep-alive is not renewed
+//!   once draining), and `shutdown` joins them all — in-flight requests
+//!   finish, nothing is dropped.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::http::{Conn, HttpError, HttpLimits, Response};
+use crate::metrics::Metrics;
+use crate::protocol::Service;
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7878` (`:0` for an ephemeral
+    /// port).
+    pub addr: String,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Capacity of the accept queue; beyond it, connections get `503`.
+    pub queue: usize,
+    /// Input caps applied to every request.
+    pub limits: HttpLimits,
+    /// Socket read/write timeout — the per-request I/O budget. A client
+    /// that stalls longer gets `408` and is disconnected.
+    pub io_timeout: Duration,
+    /// Keep-alive requests served per connection before it is closed
+    /// (prevents one client from pinning a worker forever).
+    pub max_requests_per_conn: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            queue: 64,
+            limits: HttpLimits::default(),
+            io_timeout: Duration::from_secs(10),
+            max_requests_per_conn: 1024,
+        }
+    }
+}
+
+/// Builds and starts server instances.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the worker pool and the acceptor, and returns a
+    /// handle. The server is reachable as soon as this returns.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound.
+    pub fn start(config: ServerConfig, service: Service) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let service = Arc::new(service);
+        let metrics = Arc::new(Metrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (sender, receiver) = sync_channel::<TcpStream>(config.queue);
+        let receiver = Arc::new(Mutex::new(receiver));
+
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        for i in 0..config.workers.max(1) {
+            let receiver = Arc::clone(&receiver);
+            let service = Arc::clone(&service);
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            let config = config.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("tlm-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver, &service, &metrics, &shutdown, &config))
+                    .expect("worker thread spawns"),
+            );
+        }
+
+        let (reject_sender, reject_receiver) = sync_channel::<TcpStream>(REJECT_QUEUE);
+        threads.push(
+            thread::Builder::new()
+                .name("tlm-serve-rejector".to_string())
+                .spawn(move || rejector_loop(&reject_receiver))
+                .expect("rejector thread spawns"),
+        );
+
+        {
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            let io_timeout = config.io_timeout;
+            threads.push(
+                thread::Builder::new()
+                    .name("tlm-serve-acceptor".to_string())
+                    .spawn(move || {
+                        accept_loop(
+                            &listener,
+                            &sender,
+                            &reject_sender,
+                            &metrics,
+                            &shutdown,
+                            io_timeout,
+                        );
+                        // Dropping the senders here disconnects both
+                        // queues; workers and the rejector drain what is
+                        // left and exit.
+                    })
+                    .expect("acceptor thread spawns"),
+            );
+        }
+
+        Ok(ServerHandle { addr, service, metrics, shutdown, threads })
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the threads running for the life of
+/// the process (what the daemon wants); tests and the loadgen call
+/// `shutdown` explicitly.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (cache + catalog).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// The server's counters.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Stops accepting, drains queued and in-flight work, joins every
+    /// thread. Returns once the last response has been written.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Latches the shutdown flag without joining (lets a signal handler
+    /// thread initiate the drain the main thread later joins).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Capacity of the rejection side-queue. Overflowing *this* too drops
+/// the connection outright (an RST under extreme overload is acceptable;
+/// unbounded buffering is not).
+const REJECT_QUEUE: usize = 32;
+
+/// Politely declines queued-out connections: answers `503`, half-closes,
+/// and drains the client's request bytes so the close is a clean FIN
+/// rather than an RST that destroys the response in flight. Runs on its
+/// own thread so a slow rejected client never stalls the acceptor.
+fn rejector_loop(receiver: &Receiver<TcpStream>) {
+    while let Ok(mut stream) = receiver.recv() {
+        let resp = Response::error(503, "estimation queue is full, retry shortly")
+            .with_header("Retry-After", "1");
+        if resp.write_to(&mut stream, false).is_err() {
+            continue;
+        }
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        // The FIN above makes a well-behaved client close promptly; the
+        // short timeout and byte cap bound a hostile one.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut drained = 0usize;
+        let mut buf = [0u8; 4096];
+        while drained < 64 << 10 {
+            match io::Read::read(&mut stream, &mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n,
+            }
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    sender: &std::sync::mpsc::SyncSender<TcpStream>,
+    reject_sender: &std::sync::mpsc::SyncSender<TcpStream>,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+    io_timeout: Duration,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => continue,
+        };
+        // Per-request I/O budget; also bounds how long the inline 503
+        // write below can take.
+        let _ = stream.set_read_timeout(Some(io_timeout));
+        let _ = stream.set_write_timeout(Some(io_timeout));
+        let _ = stream.set_nodelay(true);
+
+        // Count the enqueue *before* the send so a worker's matching
+        // dequeue can never be observed first (the depth gauge would
+        // underflow).
+        metrics.enqueue();
+        match sender.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => {
+                metrics.dequeue();
+                metrics.queue_rejected();
+                metrics.response(503);
+                // Hand the polite 503 off; if even the rejector is
+                // backed up, drop the connection instead of buffering.
+                let _ = reject_sender.try_send(stream);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn worker_loop(
+    receiver: &Mutex<Receiver<TcpStream>>,
+    service: &Service,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) {
+    loop {
+        // Hold the lock only to receive; serving happens unlocked.
+        let next = receiver.lock().expect("queue lock poisoned").recv();
+        let Ok(stream) = next else {
+            return; // acceptor gone and queue drained
+        };
+        metrics.dequeue();
+        serve_connection(stream, service, metrics, shutdown, config);
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    service: &Service,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) {
+    let mut conn = Conn::new(stream);
+    let Ok(mut writer) = conn.writer() else {
+        return;
+    };
+    for served in 0..config.max_requests_per_conn {
+        match conn.read_request(&config.limits) {
+            Ok(req) => {
+                metrics.request();
+                metrics.begin();
+                let start = Instant::now();
+                let resp = service.handle(&req, metrics, config.limits.max_body_bytes);
+                metrics.done(start.elapsed());
+                // Keep-alive is not renewed while draining, and the last
+                // budgeted request closes too.
+                let keep = req.keep_alive
+                    && served + 1 < config.max_requests_per_conn
+                    && !shutdown.load(Ordering::SeqCst);
+                metrics.response(resp.status);
+                if resp.write_to(&mut writer, keep).is_err() || !keep {
+                    return;
+                }
+            }
+            Err(e) => {
+                let resp = match e {
+                    HttpError::Closed { .. } | HttpError::Io(_) => return,
+                    HttpError::Timeout => Response::error(408, "request timed out"),
+                    HttpError::HeaderTooLarge => Response::error(400, "request head too large"),
+                    HttpError::BodyTooLarge { declared, limit } => Response::error(
+                        413,
+                        &format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+                    ),
+                    HttpError::Malformed(msg) => {
+                        Response::error(400, &format!("malformed request: {msg}"))
+                    }
+                };
+                metrics.response(resp.status);
+                let _ = resp.write_to(&mut writer, false);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn get(addr: SocketAddr, target: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .expect("writes");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("reads");
+        out
+    }
+
+    fn test_config() -> ServerConfig {
+        ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2, ..ServerConfig::default() }
+    }
+
+    #[test]
+    fn boots_answers_and_shuts_down() {
+        let handle = Server::start(test_config(), Service::new(64)).expect("starts");
+        let addr = handle.addr();
+        assert!(get(addr, "/healthz").contains("200 OK"));
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.contains("tlm_serve_requests_total"), "got: {metrics}");
+        handle.shutdown();
+        // The port no longer accepts new connections once shut down.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn unknown_endpoint_and_wrong_method() {
+        let handle = Server::start(test_config(), Service::new(64)).expect("starts");
+        let addr = handle.addr();
+        assert!(get(addr, "/nope").contains("404"));
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        write!(stream, "GET /estimate HTTP/1.1\r\nConnection: close\r\n\r\n").expect("writes");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("reads");
+        assert!(out.contains("405"), "got: {out}");
+        assert!(out.contains("Allow: POST"), "got: {out}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let handle = Server::start(test_config(), Service::new(64)).expect("starts");
+        let mut stream = TcpStream::connect(handle.addr()).expect("connects");
+        for _ in 0..3 {
+            write!(stream, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").expect("writes");
+            // Read exactly one framed response so the next iteration
+            // starts at a response boundary.
+            let mut raw = Vec::new();
+            while !raw.windows(4).any(|w| w == b"\r\n\r\n") {
+                let mut buf = [0u8; 512];
+                let n = stream.read(&mut buf).expect("reads");
+                assert!(n > 0, "server closed early");
+                raw.extend_from_slice(&buf[..n]);
+            }
+            let header_end = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("terminator") + 4;
+            let head = String::from_utf8_lossy(&raw[..header_end]).into_owned();
+            assert!(head.contains("200 OK"), "got: {head}");
+            assert!(head.contains("Connection: keep-alive"), "got: {head}");
+            let len: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .expect("length header")
+                .trim()
+                .parse()
+                .expect("numeric length");
+            let mut body = raw[header_end..].to_vec();
+            while body.len() < len {
+                let mut buf = [0u8; 512];
+                let n = stream.read(&mut buf).expect("reads body");
+                assert!(n > 0, "server closed mid-body");
+                body.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(body.len(), len, "no bytes beyond the framed body");
+        }
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,54 @@
+//! SIGINT/SIGTERM latching for graceful shutdown.
+//!
+//! The offline build cannot pull the `libc` or `signal-hook` crates, so
+//! this module declares the one C function it needs — `signal(2)` from
+//! the platform libc every Rust binary already links — and installs an
+//! async-signal-safe handler that only stores to a static atomic. The
+//! accept loop polls [`requested`] and drains when it flips.
+
+// The single `extern "C"` import below is the crate's only unsafe code;
+// the crate root carries `#![deny(unsafe_code)]` so nothing else sneaks
+// in without tripping the lint.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(_signum: i32) {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" {
+    /// `signal(2)`: installs a handler, returns the previous one.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Installs handlers for SIGINT (ctrl-c) and SIGTERM that latch
+/// [`requested`]. Safe to call more than once. A no-op on non-Unix
+/// targets.
+pub fn install() {
+    #[cfg(unix)]
+    // SAFETY: `on_signal` only performs an atomic store, which is
+    // async-signal-safe; the handler address stays valid for the life of
+    // the process.
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// Whether a shutdown signal has arrived.
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Latches a shutdown request programmatically (used by tests and by the
+/// loadgen's in-process servers).
+pub fn request() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}

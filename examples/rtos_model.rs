@@ -40,7 +40,7 @@ fn run(
     let mut builder = PlatformBuilder::new("rtos-demo");
     let cpu = builder.add_pe("cpu", library::microblaze_like(8 * 1024, 4 * 1024));
     if let Some(model) = rtos {
-        builder.set_rtos(cpu, model);
+        builder.set_rtos(cpu, model)?;
     }
     builder.add_process("ping", &ping, "main", &[], cpu)?;
     builder.add_process("pong", &pong, "main", &[], cpu)?;

@@ -1,0 +1,216 @@
+//! Protocol-level integration tests for `tlm-serve`: every exchange goes
+//! through a real TCP socket against a running server instance, the way
+//! an external client would see it.
+//!
+//! Covered here (beyond the crate's unit tests): hostile input at the
+//! HTTP layer (malformed requests, truncated and oversized bodies,
+//! unknown endpoints, wrong methods), the determinism contract under
+//! concurrency — clients hammering the same requests from many threads
+//! receive bit-identical bodies regardless of interleaving — and
+//! graceful shutdown finishing in-flight work.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use tlm_serve::http::HttpLimits;
+use tlm_serve::protocol::Service;
+use tlm_serve::server::{Server, ServerConfig, ServerHandle};
+
+fn start(mut config: ServerConfig) -> ServerHandle {
+    config.addr = "127.0.0.1:0".to_string();
+    let queue = config.queue;
+    Server::start(config, Service::new(queue)).expect("server starts")
+}
+
+fn start_default() -> ServerHandle {
+    start(ServerConfig { workers: 2, ..ServerConfig::default() })
+}
+
+/// Sends raw bytes, reads until the server closes, returns the response
+/// text. The connection always asks for `Connection: close` (the caller
+/// includes it in `raw`), so read-to-end terminates.
+fn send_raw(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    stream.write_all(raw).expect("writes");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("reads");
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> String {
+    let raw = format!(
+        "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    send_raw(addr, raw.as_bytes())
+}
+
+fn status_of(response: &str) -> u16 {
+    response.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+fn body_of(response: &str) -> &str {
+    response.split_once("\r\n\r\n").map_or("", |(_, b)| b)
+}
+
+#[test]
+fn malformed_json_and_malformed_http_answer_400() {
+    let handle = start_default();
+    let addr = handle.addr();
+
+    let resp = post(addr, "/estimate", "this is not json");
+    assert_eq!(status_of(&resp), 400, "got: {resp}");
+    assert!(body_of(&resp).contains("invalid JSON"), "got: {resp}");
+
+    // Deep nesting trips the parser's recursion budget, not the stack.
+    let bomb = format!("{}{}", "[".repeat(4096), "]".repeat(4096));
+    let resp = post(addr, "/estimate", &bomb);
+    assert_eq!(status_of(&resp), 400, "got: {resp}");
+
+    // Broken HTTP framing.
+    let resp = send_raw(addr, b"EHLO not-http\r\nConnection: close\r\n\r\n");
+    assert_eq!(status_of(&resp), 400, "got: {resp}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_body_times_out_with_408() {
+    let handle = start(ServerConfig {
+        workers: 2,
+        io_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    // Promise 100 bytes, deliver 10, then stall with the socket open.
+    stream
+        .write_all(b"POST /estimate HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\n0123456789")
+        .expect("writes");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("reads");
+    let text = String::from_utf8_lossy(&out);
+    assert_eq!(status_of(&text), 408, "got: {text}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_payload_answers_413_without_reading_it() {
+    let handle = start(ServerConfig {
+        workers: 2,
+        limits: HttpLimits { max_body_bytes: 1024, ..HttpLimits::default() },
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Only the declaration is sent — a server that buffered first would
+    // wait forever; ours must answer from the header alone.
+    let resp = send_raw(
+        addr,
+        b"POST /estimate HTTP/1.1\r\nHost: t\r\nContent-Length: 1048576\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status_of(&resp), 413, "got: {resp}");
+    assert!(body_of(&resp).contains("1024"), "names the limit: {resp}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_endpoints_and_wrong_methods() {
+    let handle = start_default();
+    let addr = handle.addr();
+
+    let resp = send_raw(addr, b"GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    assert_eq!(status_of(&resp), 404, "got: {resp}");
+
+    let resp = send_raw(addr, b"GET /estimate HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    assert_eq!(status_of(&resp), 405, "got: {resp}");
+    assert!(resp.contains("Allow: POST"), "got: {resp}");
+
+    let resp = post(addr, "/metrics", "{}");
+    assert_eq!(status_of(&resp), 405, "got: {resp}");
+    assert!(resp.contains("Allow: GET"), "got: {resp}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn estimation_over_the_wire_matches_the_paper_sweep_shape() {
+    let handle = start_default();
+    let addr = handle.addr();
+
+    let resp = post(addr, "/estimate", r#"{"platform": "image:sw"}"#);
+    assert_eq!(status_of(&resp), 200, "got: {resp}");
+    let v = tlm_json::parse(body_of(&resp)).expect("json body");
+    let sweep = v.get("sweep").and_then(tlm_json::Value::as_array).expect("sweep");
+    assert_eq!(sweep.len(), 5, "default sweep is the paper's five cache points");
+    for point in sweep {
+        let procs = point.get("processes").and_then(tlm_json::Value::as_array).expect("rows");
+        assert_eq!(procs.len(), v.get("processes").and_then(tlm_json::Value::as_usize).unwrap());
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_responses() {
+    let handle = start(ServerConfig { workers: 4, ..ServerConfig::default() });
+    let addr = handle.addr();
+
+    // Two distinct request bodies, hammered from interleaved threads.
+    let bodies = [
+        r#"{"platform": "image:sw", "sweep": ["0k/0k", "8k/4k"]}"#,
+        r#"{"platform": "image:hw", "sweep": ["2k/2k"], "report": "blocks"}"#,
+    ];
+    // Sequential references first.
+    let reference: Vec<String> =
+        bodies.iter().map(|b| body_of(&post(addr, "/estimate", b)).to_string()).collect();
+
+    let mut threads = Vec::new();
+    for t in 0..6usize {
+        let body = bodies[t % bodies.len()].to_string();
+        threads.push(std::thread::spawn(move || {
+            (0..3)
+                .map(|_| {
+                    let resp = post(addr, "/estimate", &body);
+                    assert_eq!(status_of(&resp), 200, "got: {resp}");
+                    body_of(&resp).to_string()
+                })
+                .collect::<Vec<String>>()
+        }));
+    }
+    for (t, thread) in threads.into_iter().enumerate() {
+        let expect = &reference[t % bodies.len()];
+        for got in thread.join().expect("client thread") {
+            assert_eq!(&got, expect, "thread {t} diverged from the sequential reference");
+        }
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_finishes_in_flight_requests() {
+    let handle = start(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let addr = handle.addr();
+
+    // Put a request in flight on the only worker, then shut down while
+    // it is (possibly) still being served.
+    let client = std::thread::spawn(move || {
+        post(addr, "/estimate", r#"{"platform": "image:sw", "sweep": ["0k/0k", "2k/2k"]}"#)
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    handle.shutdown();
+
+    let resp = client.join().expect("client thread");
+    assert_eq!(status_of(&resp), 200, "in-flight work completes: {resp}");
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+        "port is closed after drain"
+    );
+}
