@@ -9,9 +9,9 @@
 
 use std::fmt;
 
-use tlm_cdfg::ir::Module;
 use tlm_core::library;
-use tlm_platform::desc::{PeId, Platform, PlatformBuilder, PlatformError};
+use tlm_pipeline::{DesignBuilder, Pipeline, PipelineError, PreparedDesign};
+use tlm_platform::desc::{PeId, Platform};
 
 use crate::mp3::{self, chan, GRANULES_PER_FRAME};
 
@@ -82,40 +82,26 @@ impl Mp3Params {
     }
 }
 
-fn lower(src: &str) -> Result<Module, PlatformError> {
-    let program = tlm_minic::parse(src)
-        .map_err(|e| PlatformError { message: format!("mp3 source does not parse: {e}") })?;
-    let mut module = tlm_cdfg::lower::lower(&program)
-        .map_err(|e| PlatformError { message: format!("mp3 source does not lower: {e}") })?;
-    // The paper annotates compiler-processed IR; run the scalar cleanups so
-    // the op mix matches compiled code.
-    tlm_cdfg::passes::optimize(&mut module);
-    Ok(module)
-}
-
-/// Builds the platform for one design, cache configuration and workload.
+/// Builds one design as a pipeline artifact: the six MiniC process sources
+/// are lowered through `pipeline`'s shared front-end (the paper annotates
+/// compiler-processed IR, so the scalar cleanup passes run), and the
+/// resulting [`PreparedDesign`] can demand annotation and reports by key.
 ///
 /// # Errors
 ///
-/// Propagates [`PlatformError`] (should not occur for the built-in
+/// Propagates [`PipelineError`] (should not occur for the built-in
 /// sources).
-pub fn build_mp3_platform(
+pub fn mp3_design(
+    pipeline: &Pipeline,
     design: Mp3Design,
     params: Mp3Params,
     icache_bytes: u32,
     dcache_bytes: u32,
-) -> Result<Platform, PlatformError> {
-    let frontend = lower(&mp3::frontend_source())?;
-    let imdct_l = lower(&mp3::imdct_source(chan::SPEC_L, chan::SUB_L))?;
-    let imdct_r = lower(&mp3::imdct_source(chan::SPEC_R, chan::SUB_R))?;
-    let filter_l = lower(&mp3::filter_source(chan::SUB_L, chan::PCM_L))?;
-    let filter_r = lower(&mp3::filter_source(chan::SUB_R, chan::PCM_R))?;
-    let sink = lower(&mp3::sink_source())?;
-
-    let mut b = PlatformBuilder::new(format!("mp3-{design}"));
+) -> Result<PreparedDesign, PipelineError> {
+    let mut b = DesignBuilder::new(pipeline, format!("mp3-{design}"));
     let cpu = b.add_pe("cpu", library::microblaze_like(icache_bytes, dcache_bytes));
 
-    let hw = |b: &mut PlatformBuilder, name: &str, mac: u32| -> PeId {
+    let hw = |b: &mut DesignBuilder<'_>, name: &str, mac: u32| -> PeId {
         b.add_pe(name, library::custom_hw(name, 2, mac))
     };
     let (pe_fl, pe_il, pe_fr, pe_ir) = match design {
@@ -133,17 +119,56 @@ pub fn build_mp3_platform(
     let granules = params.granules();
     b.add_process(
         "frontend",
-        &frontend,
+        &mp3::frontend_source(),
         "main",
         &[i64::from(params.seed), i64::from(params.frames)],
         cpu,
     )?;
-    b.add_process("imdct_l", &imdct_l, "main", &[granules], pe_il)?;
-    b.add_process("imdct_r", &imdct_r, "main", &[granules], pe_ir)?;
-    b.add_process("filter_l", &filter_l, "main", &[granules], pe_fl)?;
-    b.add_process("filter_r", &filter_r, "main", &[granules], pe_fr)?;
-    b.add_process("sink", &sink, "main", &[granules], cpu)?;
+    b.add_process(
+        "imdct_l",
+        &mp3::imdct_source(chan::SPEC_L, chan::SUB_L),
+        "main",
+        &[granules],
+        pe_il,
+    )?;
+    b.add_process(
+        "imdct_r",
+        &mp3::imdct_source(chan::SPEC_R, chan::SUB_R),
+        "main",
+        &[granules],
+        pe_ir,
+    )?;
+    b.add_process(
+        "filter_l",
+        &mp3::filter_source(chan::SUB_L, chan::PCM_L),
+        "main",
+        &[granules],
+        pe_fl,
+    )?;
+    b.add_process(
+        "filter_r",
+        &mp3::filter_source(chan::SUB_R, chan::PCM_R),
+        "main",
+        &[granules],
+        pe_fr,
+    )?;
+    b.add_process("sink", &mp3::sink_source(), "main", &[granules], cpu)?;
     b.build()
+}
+
+/// [`mp3_design`] on the process-wide pipeline, returning the bare
+/// platform.
+///
+/// # Errors
+///
+/// Same as [`mp3_design`].
+pub fn build_mp3_platform(
+    design: Mp3Design,
+    params: Mp3Params,
+    icache_bytes: u32,
+    dcache_bytes: u32,
+) -> Result<Platform, PipelineError> {
+    Ok(mp3_design(Pipeline::global(), design, params, icache_bytes, dcache_bytes)?.platform)
 }
 
 /// The cache configurations swept by the paper's Tables 2 and 3, as

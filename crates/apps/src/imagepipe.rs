@@ -13,9 +13,9 @@
 
 use std::fmt::Write as _;
 
-use tlm_cdfg::ir::Module;
 use tlm_core::library;
-use tlm_platform::desc::{Platform, PlatformBuilder, PlatformError};
+use tlm_pipeline::{DesignBuilder, Pipeline, PipelineError, PreparedDesign};
+use tlm_platform::desc::Platform;
 
 /// Channel ids of the pipeline (distinct from the MP3 network's 0..=5).
 pub mod chan {
@@ -243,45 +243,48 @@ void main(int blocks) {{
     )
 }
 
-fn lower(src: &str) -> Result<Module, PlatformError> {
-    let program = tlm_minic::parse(src)
-        .map_err(|e| PlatformError { message: format!("imagepipe source does not parse: {e}") })?;
-    let mut module = tlm_cdfg::lower::lower(&program)
-        .map_err(|e| PlatformError { message: format!("imagepipe source does not lower: {e}") })?;
-    // Match compiled code: run the scalar cleanups before estimation.
-    tlm_cdfg::passes::optimize(&mut module);
-    Ok(module)
-}
-
-/// Builds the image-pipeline platform. With `accelerated` set, the DCT
-/// transform runs on a custom-HW PE (the paper's Fig. 4 scenario); the
-/// other processes share the CPU.
+/// Builds the image pipeline as a pipeline artifact. With `accelerated`
+/// set, the DCT transform runs on a custom-HW PE (the paper's Fig. 4
+/// scenario); the other processes share the CPU. Sources are lowered
+/// through `pipeline`'s shared front-end (the scalar cleanups run, so the
+/// op mix matches compiled code).
 ///
 /// # Errors
 ///
-/// Propagates [`PlatformError`] (should not occur for the built-in
+/// Propagates [`PipelineError`] (should not occur for the built-in
 /// sources).
+pub fn image_design(
+    pipeline: &Pipeline,
+    accelerated: bool,
+    params: ImageParams,
+    icache_bytes: u32,
+    dcache_bytes: u32,
+) -> Result<PreparedDesign, PipelineError> {
+    let mut b = DesignBuilder::new(pipeline, if accelerated { "image-hw" } else { "image-sw" });
+    let cpu = b.add_pe("cpu", library::microblaze_like(icache_bytes, dcache_bytes));
+    let transform_pe =
+        if accelerated { b.add_pe("dct_hw", library::custom_hw("dct_hw", 2, 2)) } else { cpu };
+    let blocks = i64::from(params.blocks);
+    b.add_process("camera", &camera_source(), "main", &[i64::from(params.seed), blocks], cpu)?;
+    b.add_process("transform", &transform_source(), "main", &[blocks], transform_pe)?;
+    b.add_process("encoder", &encoder_source(), "main", &[blocks], cpu)?;
+    b.add_process("store", &store_source(), "main", &[blocks], cpu)?;
+    b.build()
+}
+
+/// [`image_design`] on the process-wide pipeline, returning the bare
+/// platform.
+///
+/// # Errors
+///
+/// Same as [`image_design`].
 pub fn build_image_platform(
     accelerated: bool,
     params: ImageParams,
     icache_bytes: u32,
     dcache_bytes: u32,
-) -> Result<Platform, PlatformError> {
-    let camera = lower(&camera_source())?;
-    let transform = lower(&transform_source())?;
-    let encoder = lower(&encoder_source())?;
-    let store = lower(&store_source())?;
-
-    let mut b = PlatformBuilder::new(if accelerated { "image-hw" } else { "image-sw" });
-    let cpu = b.add_pe("cpu", library::microblaze_like(icache_bytes, dcache_bytes));
-    let transform_pe =
-        if accelerated { b.add_pe("dct_hw", library::custom_hw("dct_hw", 2, 2)) } else { cpu };
-    let blocks = i64::from(params.blocks);
-    b.add_process("camera", &camera, "main", &[i64::from(params.seed), blocks], cpu)?;
-    b.add_process("transform", &transform, "main", &[blocks], transform_pe)?;
-    b.add_process("encoder", &encoder, "main", &[blocks], cpu)?;
-    b.add_process("store", &store, "main", &[blocks], cpu)?;
-    b.build()
+) -> Result<Platform, PipelineError> {
+    Ok(image_design(Pipeline::global(), accelerated, params, icache_bytes, dcache_bytes)?.platform)
 }
 
 #[cfg(test)]
@@ -297,7 +300,7 @@ mod tests {
             ("encoder", encoder_source()),
             ("store", store_source()),
         ] {
-            lower(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            Pipeline::global().frontend(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 

@@ -27,4 +27,5 @@ pub mod imagepipe;
 pub mod kernels;
 pub mod mp3;
 
-pub use designs::{build_mp3_platform, Mp3Design, Mp3Params};
+pub use designs::{build_mp3_platform, mp3_design, Mp3Design, Mp3Params};
+pub use imagepipe::{build_image_platform, image_design, ImageParams};

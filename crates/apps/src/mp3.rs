@@ -270,11 +270,10 @@ mod tests {
             ("filter", filter_source(chan::SUB_L, chan::PCM_L)),
             ("sink", sink_source()),
         ] {
-            let program =
-                tlm_minic::parse(&src).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
-            let module = tlm_cdfg::lower::lower(&program)
-                .unwrap_or_else(|e| panic!("{name} does not lower: {e}"));
-            module.validate().unwrap_or_else(|e| panic!("{name} invalid: {e}"));
+            let artifact = tlm_pipeline::Pipeline::global()
+                .frontend_with(&src, false)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            artifact.module().validate().unwrap_or_else(|e| panic!("{name} invalid: {e}"));
         }
     }
 

@@ -20,9 +20,10 @@ use tlm_core::pum::SchedulingPolicy;
 use tlm_core::schedule::schedule_block;
 use tlm_core::ScheduleCache;
 use tlm_json::{ObjectBuilder, Value};
+use tlm_pipeline::Pipeline;
 
-fn lower(src: &str) -> Module {
-    tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers")
+fn lower(src: &str) -> Arc<Module> {
+    Arc::clone(Pipeline::global().frontend_with(src, false).expect("compiles").module())
 }
 
 fn bench_annotation(bench: &mut Bench) {
@@ -42,7 +43,7 @@ fn bench_annotation(bench: &mut Bench) {
 
 fn bench_engine_variants(bench: &mut Bench) {
     let cpu = library::microblaze_like(8 << 10, 4 << 10);
-    let filter = Arc::new(lower(&mp3::filter_source(0, 1)));
+    let filter = lower(&mp3::filter_source(0, 1));
     bench.run("engine/sequential_uncached", || {
         annotate_uncached(black_box(&filter), &cpu).expect("annotates");
     });
@@ -81,8 +82,10 @@ fn bench_schedule_policies(bench: &mut Bench) {
 
 fn bench_frontend(bench: &mut Bench) {
     let src = mp3::filter_source(0, 1);
+    // A fresh pipeline per iteration: this case measures the cold
+    // parse+lower cost, not the (near-free) memoized path.
     bench.run("frontend/parse_and_lower_filtercore", || {
-        lower(black_box(&src));
+        Pipeline::new().frontend_with(black_box(&src), false).expect("compiles");
     });
 }
 

@@ -4,17 +4,17 @@
 //! 1. **sequential / uncached** — the reference engine: every sweep point
 //!    rebuilds each block's DFG and schedule key and re-runs Algorithm 1 on
 //!    every basic block, one block at a time;
-//! 2. **parallel / cached** — the production engine: each module is
-//!    prepared once ([`PreparedModule`] hoists the PUM-invariant DFGs and
-//!    keys out of the sweep loop), blocks fan out over the available cores,
-//!    and Algorithm 1 results are shared across sweep points through a
-//!    [`ScheduleCache`] (the schedule is independent of the statistical
-//!    memory/branch models, which is all a cache sweep changes).
+//! 2. **pipelined** — the production engine: every estimate is demanded
+//!    from a fresh [`Pipeline`], whose stage graph prepares each module
+//!    once, shares Algorithm 1 schedules across sweep points (the schedule
+//!    is independent of the statistical memory/branch models, which is all
+//!    a cache sweep changes), and fans blocks out over the available cores.
 //!
 //! Both engines must produce bit-identical delays for every block of every
 //! sweep point; the binary asserts that before reporting. The performance
-//! record — sweep wall times, speedup, blocks/sec, cache counters — is
-//! written to `BENCH_estimation.json` (override with `--bench-json=PATH`).
+//! record — sweep wall times, speedup, blocks/sec, per-stage cache
+//! counters — is written to `BENCH_estimation.json` (override with
+//! `--bench-json=PATH`).
 //!
 //! ```text
 //! cargo run -p tlm-bench --release --bin estperf
@@ -25,36 +25,41 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tlm_apps::designs::CACHE_SWEEP;
-use tlm_apps::imagepipe::{build_image_platform, ImageParams};
-use tlm_apps::{build_mp3_platform, Mp3Design, Mp3Params};
-use tlm_bench::perf::{bench_json_path, time, write_bench_json};
-use tlm_cdfg::ir::Module;
-use tlm_core::annotate::{annotate_in_domain, annotate_uncached, PreparedModule, TimedModule};
-use tlm_core::cache::{CacheStats, ScheduleDomain};
+use tlm_apps::imagepipe::{image_design, ImageParams};
+use tlm_apps::{mp3_design, Mp3Design, Mp3Params};
+use tlm_bench::perf::{bench_json_path, pipeline_stats_json, time, write_bench_json};
+use tlm_core::annotate::{annotate_uncached, TimedModule};
 use tlm_core::parallel::available_workers;
-use tlm_core::{Pum, ScheduleCache};
+use tlm_core::Pum;
 use tlm_json::{ObjectBuilder, Value};
+use tlm_pipeline::{ModuleArtifact, Pipeline, PipelineStats};
 
-/// One process to estimate: its module and the PUM it is mapped to.
-type Job = (Arc<Module>, Pum);
+/// One process to estimate: its module artifact and the PUM it is mapped
+/// to.
+type Job = (ModuleArtifact, Pum);
 
 /// Every process of every design, at the base configuration. The sweep
-/// then only varies the PUMs' statistical cache models.
+/// then only varies the PUMs' statistical cache models. Built through the
+/// process-wide pipeline (so the four designs share artifacts for their
+/// common sources), outside both timed regions.
 fn base_jobs() -> Vec<Job> {
+    let pipeline = Pipeline::global();
     let mp3 = Mp3Params::evaluation();
     let img = ImageParams::small();
-    let platforms = [
-        build_mp3_platform(Mp3Design::Sw, mp3, 8 << 10, 4 << 10).expect("platform builds"),
-        build_mp3_platform(Mp3Design::SwPlus4, mp3, 8 << 10, 4 << 10).expect("platform builds"),
-        build_image_platform(false, img, 8 << 10, 4 << 10).expect("platform builds"),
-        build_image_platform(true, img, 8 << 10, 4 << 10).expect("platform builds"),
+    let designs = [
+        mp3_design(pipeline, Mp3Design::Sw, mp3, 8 << 10, 4 << 10).expect("design builds"),
+        mp3_design(pipeline, Mp3Design::SwPlus4, mp3, 8 << 10, 4 << 10).expect("design builds"),
+        image_design(pipeline, false, img, 8 << 10, 4 << 10).expect("design builds"),
+        image_design(pipeline, true, img, 8 << 10, 4 << 10).expect("design builds"),
     ];
-    platforms
+    designs
         .iter()
-        .flat_map(|p| {
-            p.processes
+        .flat_map(|d| {
+            d.platform
+                .processes
                 .iter()
-                .map(|proc| (proc.module.clone(), p.pes[proc.pe.0].pum.clone()))
+                .zip(d.artifacts())
+                .map(|(proc, artifact)| (artifact.clone(), d.platform.pes[proc.pe.0].pum.clone()))
                 .collect::<Vec<_>>()
         })
         .collect()
@@ -67,7 +72,7 @@ fn swept(pum: &Pum, ic: u32, dc: u32) -> Pum {
     pum.with_cache_sizes(ic, dc)
 }
 
-fn assert_identical(reference: &[TimedModule], candidate: &[TimedModule]) {
+fn assert_identical(reference: &[TimedModule], candidate: &[Arc<TimedModule>]) {
     assert_eq!(reference.len(), candidate.len());
     for (r, c) in reference.iter().zip(candidate) {
         for (fid, func) in r.module().functions_iter() {
@@ -86,8 +91,10 @@ fn assert_identical(reference: &[TimedModule], candidate: &[TimedModule]) {
 fn main() {
     let path = bench_json_path().unwrap_or_else(|| PathBuf::from("BENCH_estimation.json"));
     let jobs = base_jobs();
-    let blocks_per_point: usize =
-        jobs.iter().map(|(m, _)| m.functions.iter().map(|f| f.blocks.len()).sum::<usize>()).sum();
+    let blocks_per_point: usize = jobs
+        .iter()
+        .map(|(a, _)| a.module().functions.iter().map(|f| f.blocks.len()).sum::<usize>())
+        .sum();
     let total_blocks = blocks_per_point * CACHE_SWEEP.len();
     eprintln!(
         "estimation sweep: {} processes x {} sweep points = {total_blocks} block estimates, \
@@ -98,12 +105,12 @@ fn main() {
     );
 
     // Warm-up outside both timed regions.
-    annotate_uncached(&jobs[0].0, &jobs[0].1).expect("annotates");
+    annotate_uncached(jobs[0].0.module(), &jobs[0].1).expect("annotates");
 
     // Both engines run the complete sweep REPS times; the best wall time
     // of each is compared (standard noise rejection — each production rep
-    // starts from a fresh cache and re-prepares every module, so every
-    // timed region is a full cold-start sweep).
+    // starts from a fresh pipeline, so every timed region is a full
+    // cold-start sweep: modules re-prepared, schedules recomputed).
     const REPS: usize = 3;
 
     // Reference engine: per sweep point, full per-block preparation plus a
@@ -115,47 +122,38 @@ fn main() {
             CACHE_SWEEP
                 .iter()
                 .flat_map(|&(_, ic, dc)| {
-                    jobs.iter().map(move |(module, pum)| (module, swept(pum, ic, dc)))
+                    jobs.iter().map(move |(artifact, pum)| (artifact, swept(pum, ic, dc)))
                 })
-                .map(|(module, pum)| annotate_uncached(module, &pum).expect("annotates"))
+                .map(|(artifact, pum)| {
+                    annotate_uncached(artifact.module(), &pum).expect("annotates")
+                })
                 .collect::<Vec<_>>()
         });
         sequential = result;
         seq_wall = seq_wall.min(wall);
     }
 
-    // Production engine: prepare each module once, resolve each PUM's
-    // schedule domain once, share schedules across sweep points, fan
-    // blocks out over the cores.
+    // Production engine: demand every (module, swept PUM) estimate from a
+    // fresh pipeline. The stage graph prepares each module once, resolves
+    // each PUM's schedule domain once, shares schedules across sweep
+    // points, and fans blocks out over the cores.
     let mut parallel = Vec::new();
     let mut par_wall = Duration::MAX;
-    let mut stats = CacheStats::default();
+    let mut stats = PipelineStats::default();
     for _ in 0..REPS {
-        let cache = ScheduleCache::new();
+        let rep = Pipeline::new();
         let (result, wall) = time(|| {
-            let prepared: Vec<PreparedModule> =
-                jobs.iter().map(|(module, _)| PreparedModule::new(Arc::clone(module))).collect();
-            // The sweep only changes statistical models, so every sweep
-            // point of a job shares its base PUM's schedule domain.
-            let handles: Vec<_> =
-                jobs.iter().map(|(_, pum)| cache.domain(&ScheduleDomain::of(pum))).collect();
             CACHE_SWEEP
                 .iter()
                 .flat_map(|&(_, ic, dc)| {
-                    prepared
-                        .iter()
-                        .zip(&handles)
-                        .zip(&jobs)
-                        .map(move |((prep, handle), (_, pum))| (prep, handle, swept(pum, ic, dc)))
+                    jobs.iter().map(move |(artifact, pum)| (artifact, swept(pum, ic, dc)))
                 })
-                .map(|(prep, handle, pum)| {
-                    annotate_in_domain(prep, &pum, handle, true).expect("annotates")
-                })
+                .map(|(artifact, pum)| rep.annotated(artifact, &pum).expect("annotates"))
                 .collect::<Vec<_>>()
         });
         parallel = result;
         par_wall = par_wall.min(wall);
-        stats = cache.stats();
+        stats = rep.stats();
     }
 
     assert_identical(&sequential, &parallel);
@@ -164,16 +162,16 @@ fn main() {
     let blocks_per_sec = total_blocks as f64 / par_wall.as_secs_f64().max(1e-9);
     println!("sequential/uncached: {seq_wall:>10.3?}");
     println!(
-        "parallel/cached:     {par_wall:>10.3?}  ({speedup:.2}x, {blocks_per_sec:.0} blocks/s)"
+        "pipelined:           {par_wall:>10.3?}  ({speedup:.2}x, {blocks_per_sec:.0} blocks/s)"
     );
     println!(
         "schedule cache:      {} hits / {} misses ({:.1}% hit ratio, {} entries)",
-        stats.hits,
-        stats.misses,
-        stats.hit_ratio() * 100.0,
-        stats.entries
+        stats.schedules.hits,
+        stats.schedules.misses,
+        stats.schedules.hit_ratio() * 100.0,
+        stats.schedules.entries
     );
-    println!("determinism:         parallel+cached delays bit-identical to sequential");
+    println!("determinism:         pipelined delays bit-identical to sequential");
 
     let json = ObjectBuilder::new()
         .field("bench", Value::String("estperf".into()))
@@ -188,19 +186,20 @@ fn main() {
         .field(
             "schedule_cache",
             ObjectBuilder::new()
-                .field("hits", Value::Number(stats.hits as f64))
-                .field("misses", Value::Number(stats.misses as f64))
-                .field("entries", Value::Number(stats.entries as f64))
-                .field("hit_ratio", Value::Number(stats.hit_ratio()))
+                .field("hits", Value::Number(stats.schedules.hits as f64))
+                .field("misses", Value::Number(stats.schedules.misses as f64))
+                .field("entries", Value::Number(stats.schedules.entries as f64))
+                .field("hit_ratio", Value::Number(stats.schedules.hit_ratio()))
                 .build(),
         )
+        .field("pipeline", pipeline_stats_json(&stats))
         .field("deterministic", Value::Bool(true))
         .build();
     write_bench_json(&path, &json);
 
     assert!(
         speedup >= 2.0,
-        "acceptance: parallel+cached sweep must be at least 2x the sequential engine \
+        "acceptance: pipelined sweep must be at least 2x the sequential engine \
          (measured {speedup:.2}x)"
     );
     println!("acceptance check passed: {speedup:.2}x >= 2x");

@@ -18,18 +18,18 @@
 //!    Nth transaction.
 
 use tlm_apps::{kernels, Mp3Design, Mp3Params};
-use tlm_bench::perf::{bench_json_path, time, write_bench_json};
+use tlm_bench::perf::{bench_json_path, pipeline_stats_json, time, write_bench_json};
 use tlm_bench::{
-    characterize_cpu, characterized_platform, end_time_cycles, error_pct, fmt_m, TextTable,
+    characterize_cpu, characterized_design, end_time_cycles, error_pct, fmt_m, TextTable,
 };
-use tlm_core::annotate::annotate;
 use tlm_core::parallel::{available_workers, par_map};
 use tlm_core::pum::{MemoryPath, SchedulingPolicy};
-use tlm_core::{library, Pum, ScheduleCache};
+use tlm_core::{library, Pum};
 use tlm_json::{ObjectBuilder, Value};
 use tlm_pcam::{run_board, BoardConfig};
+use tlm_pipeline::{Pipeline, PreparedDesign};
 use tlm_platform::desc::Platform;
-use tlm_platform::tlm::{run_tlm, TlmConfig, TlmMode};
+use tlm_platform::tlm::TlmConfig;
 
 fn perturb_rates(platform: &mut Platform, delta: f64) {
     for pe in &mut platform.pes {
@@ -46,15 +46,18 @@ fn perturb_rates(platform: &mut Platform, delta: f64) {
     }
 }
 
-fn estimate_cycles(platform: &Platform) -> u64 {
-    let tlm = run_tlm(platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+fn estimate_cycles(design: &PreparedDesign) -> u64 {
+    let tlm = Pipeline::global().run_timed(design, &TlmConfig::default()).expect("TLM runs");
     end_time_cycles(tlm.end_time)
 }
 
 fn total_annotated(pum: &Pum, src: &str) -> u64 {
-    let module = tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers");
-    let timed = annotate(&module, pum).expect("annotates");
-    module
+    // Unoptimized lowering, as the original ablation measured raw kernels.
+    let pipeline = Pipeline::global();
+    let artifact = pipeline.frontend_with(src, false).expect("compiles");
+    let timed = pipeline.annotated(&artifact, pum).expect("annotates");
+    artifact
+        .module()
         .functions_iter()
         .flat_map(|(fid, f)| f.blocks_iter().map(move |(bid, _)| (fid, bid)))
         .map(|(fid, bid)| timed.cycles(fid, bid))
@@ -66,8 +69,8 @@ fn main() {
     let training = Mp3Params::training();
     let eval = Mp3Params::evaluation();
     let chr = characterize_cpu(Mp3Design::Sw, training);
-    let base = characterized_platform(Mp3Design::Sw, eval, 8 << 10, 4 << 10, &chr);
-    let board = run_board(&base, &BoardConfig::default()).expect("board runs");
+    let base = characterized_design(Mp3Design::Sw, eval, 8 << 10, 4 << 10, &chr);
+    let board = run_board(&base.platform, &BoardConfig::default()).expect("board runs");
     let measured = end_time_cycles(board.end_time);
 
     // S1a/S1b sweep points only vary the statistical models, so the
@@ -77,7 +80,7 @@ fn main() {
     let (s1a, s1a_wall) = time(|| {
         par_map(&deltas, |&delta| {
             let mut p = base.clone();
-            perturb_rates(&mut p, delta);
+            perturb_rates(&mut p.platform, delta);
             estimate_cycles(&p)
         })
     });
@@ -97,7 +100,7 @@ fn main() {
     let (s1b, s1b_wall) = time(|| {
         par_map(&rates, |&rate| {
             let mut p = base.clone();
-            for pe in &mut p.pes {
+            for pe in &mut p.platform.pes {
                 if let Some(b) = &mut pe.pum.branch {
                     b.miss_rate = rate;
                 }
@@ -136,13 +139,13 @@ fn main() {
     println!("(sums of per-block estimated cycles; list ≤ alap expected)\n");
 
     println!("A2 — sc_wait granularity ablation (§4.3), SW+4 design");
-    let p4 = characterized_platform(Mp3Design::SwPlus4, eval, 8 << 10, 4 << 10, &chr);
+    let p4 = characterized_design(Mp3Design::SwPlus4, eval, 8 << 10, 4 << 10, &chr);
     let reference = estimate_cycles(&p4);
     let mut t = TextTable::new();
     t.row(vec!["granularity".into(), "end cycles".into(), "Δ vs g=1".into(), "sim wall".into()]);
     for g in [1u32, 2, 4, 16, 64] {
         let config = TlmConfig { granularity: g, ..TlmConfig::default() };
-        let tlm = run_tlm(&p4, TlmMode::Timed, &config).expect("TLM runs");
+        let tlm = Pipeline::global().run_timed(&p4, &config).expect("TLM runs");
         let est = end_time_cycles(tlm.end_time);
         t.row(vec![
             g.to_string(),
@@ -154,7 +157,7 @@ fn main() {
     println!("{}", t.render());
 
     if let Some(path) = bench_json {
-        let stats = ScheduleCache::global().stats();
+        let stats = Pipeline::global().stats();
         let json = ObjectBuilder::new()
             .field("bench", Value::String("sensitivity".into()))
             .field("workers", Value::Number(available_workers() as f64))
@@ -165,12 +168,13 @@ fn main() {
             .field(
                 "schedule_cache",
                 ObjectBuilder::new()
-                    .field("hits", Value::Number(stats.hits as f64))
-                    .field("misses", Value::Number(stats.misses as f64))
-                    .field("entries", Value::Number(stats.entries as f64))
-                    .field("hit_ratio", Value::Number(stats.hit_ratio()))
+                    .field("hits", Value::Number(stats.schedules.hits as f64))
+                    .field("misses", Value::Number(stats.schedules.misses as f64))
+                    .field("entries", Value::Number(stats.schedules.entries as f64))
+                    .field("hit_ratio", Value::Number(stats.schedules.hit_ratio()))
                     .build(),
             )
+            .field("pipeline", pipeline_stats_json(&stats))
             .build();
         write_bench_json(&path, &json);
     }

@@ -13,10 +13,11 @@
 
 use std::time::Duration;
 
-use tlm_apps::{build_mp3_platform, Mp3Design, Mp3Params};
+use tlm_apps::{mp3_design, Mp3Design, Mp3Params};
 use tlm_bench::TextTable;
 use tlm_pcam::{run_board, run_iss, BoardConfig};
-use tlm_platform::tlm::{annotate_platform, run_annotated, run_tlm, TlmConfig, TlmMode};
+use tlm_pipeline::Pipeline;
+use tlm_platform::tlm::{run_annotated, run_tlm, TlmConfig, TlmMode};
 
 fn fmt(d: Duration) -> String {
     if d.as_secs_f64() < 0.1 {
@@ -40,15 +41,20 @@ fn main() {
     ]);
 
     for design in Mp3Design::ALL {
-        let platform =
-            build_mp3_platform(design, params, 8 << 10, 4 << 10).expect("platform builds");
+        // A fresh pipeline per design keeps the annotation column a true
+        // cold-start measurement; the process-wide instance would reuse
+        // artifacts across the four designs' shared sources.
+        let pipeline = Pipeline::new();
+        let prepared =
+            mp3_design(&pipeline, design, params, 8 << 10, 4 << 10).expect("platform builds");
+        let platform = &prepared.platform;
 
-        let annotated = annotate_platform(&platform).expect("annotation succeeds");
-        let func = run_tlm(&platform, TlmMode::Functional, &config).expect("functional runs");
-        let timed = run_annotated(&platform, Some(&annotated), &config);
+        let annotated = pipeline.annotate_design(&prepared).expect("annotation succeeds");
+        let func = run_tlm(platform, TlmMode::Functional, &config).expect("functional runs");
+        let timed = run_annotated(platform, Some(&annotated), &config);
         assert_eq!(func.outputs, timed.outputs, "timing must not change behaviour");
 
-        let iss_cell = match run_iss(&platform, &BoardConfig::default()) {
+        let iss_cell = match run_iss(platform, &BoardConfig::default()) {
             Ok(report) => {
                 assert_eq!(report.outputs, func.outputs);
                 fmt(report.wall)
@@ -56,7 +62,7 @@ fn main() {
             // Like the paper: no ISS models exist for custom HW.
             Err(_) => "n/a".to_string(),
         };
-        let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
+        let board = run_board(platform, &BoardConfig::default()).expect("board runs");
         assert_eq!(board.outputs, func.outputs);
 
         table.row(vec![

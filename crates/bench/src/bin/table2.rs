@@ -13,21 +13,22 @@
 //! cache configurations.
 //!
 //! The five sweep points are independent simulations and run concurrently;
-//! all five timed TLMs share one Algorithm 1 schedule per basic block
-//! through the global [`ScheduleCache`]. `--bench-json` records the sweep
-//! wall time and the cache counters.
+//! all five timed TLMs drive the process-wide [`Pipeline`], so they share
+//! one parse/lower per source and one Algorithm 1 schedule per basic block,
+//! and only the PUM-dependent annotate stage re-runs per cache size.
+//! `--bench-json` records the sweep wall time and the per-stage counters.
 
 use tlm_apps::designs::CACHE_SWEEP;
 use tlm_apps::{Mp3Design, Mp3Params};
-use tlm_bench::perf::{bench_json_path, time, write_bench_json};
+use tlm_bench::perf::{bench_json_path, pipeline_stats_json, time, write_bench_json};
 use tlm_bench::{
-    characterize_cpu, characterized_platform, end_time_cycles, error_pct, fmt_m, TextTable,
+    characterize_cpu, characterized_design, end_time_cycles, error_pct, fmt_m, TextTable,
 };
 use tlm_core::parallel::{available_workers, par_map};
-use tlm_core::ScheduleCache;
 use tlm_json::{ObjectBuilder, Value};
 use tlm_pcam::{run_board, run_iss, BoardConfig};
-use tlm_platform::tlm::{run_tlm, TlmConfig, TlmMode};
+use tlm_pipeline::Pipeline;
+use tlm_platform::tlm::TlmConfig;
 
 fn main() {
     let bench_json = bench_json_path();
@@ -43,10 +44,11 @@ fn main() {
     let sweep = CACHE_SWEEP;
     let (points, sweep_wall) = time(|| {
         par_map(&sweep, |&(label, ic, dc)| {
-            let platform = characterized_platform(Mp3Design::Sw, eval, ic, dc, &chr);
-            let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
-            let iss = run_iss(&platform, &BoardConfig::default()).expect("ISS runs");
-            let tlm = run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+            let design = characterized_design(Mp3Design::Sw, eval, ic, dc, &chr);
+            let board = run_board(&design.platform, &BoardConfig::default()).expect("board runs");
+            let iss = run_iss(&design.platform, &BoardConfig::default()).expect("ISS runs");
+            let tlm =
+                Pipeline::global().run_timed(&design, &TlmConfig::default()).expect("TLM runs");
             assert_eq!(board.outputs, tlm.outputs, "functional equivalence");
             assert_eq!(board.outputs, iss.outputs, "functional equivalence");
             (
@@ -57,7 +59,7 @@ fn main() {
             )
         })
     });
-    let cache_stats = ScheduleCache::global().stats();
+    let stats = Pipeline::global().stats();
 
     let mut table = TextTable::new();
     table.row(vec![
@@ -115,12 +117,13 @@ fn main() {
             .field(
                 "schedule_cache",
                 ObjectBuilder::new()
-                    .field("hits", Value::Number(cache_stats.hits as f64))
-                    .field("misses", Value::Number(cache_stats.misses as f64))
-                    .field("entries", Value::Number(cache_stats.entries as f64))
-                    .field("hit_ratio", Value::Number(cache_stats.hit_ratio()))
+                    .field("hits", Value::Number(stats.schedules.hits as f64))
+                    .field("misses", Value::Number(stats.schedules.misses as f64))
+                    .field("entries", Value::Number(stats.schedules.entries as f64))
+                    .field("hit_ratio", Value::Number(stats.schedules.hit_ratio()))
                     .build(),
             )
+            .field("pipeline", pipeline_stats_json(&stats))
             .field("avg_iss_err_pct", Value::Number(avg(&iss_abs)))
             .field("avg_tlm_err_pct", Value::Number(avg(&tlm_abs)))
             .build();

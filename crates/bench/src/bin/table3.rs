@@ -11,21 +11,22 @@
 //! of the cycle-accurate measurement for every design and cache size.
 //!
 //! The 15 (design × cache) sweep points are independent and run
-//! concurrently; their timed TLMs share Algorithm 1 schedules through the
-//! global [`ScheduleCache`]. `--bench-json` records the sweep wall time and
-//! the cache counters.
+//! concurrently; their timed TLMs drive the process-wide [`Pipeline`], so
+//! the designs share parse/lower artifacts for their common sources and
+//! Algorithm 1 schedules across all cache sizes. `--bench-json` records the
+//! sweep wall time and the per-stage counters.
 
 use tlm_apps::designs::CACHE_SWEEP;
 use tlm_apps::{Mp3Design, Mp3Params};
-use tlm_bench::perf::{bench_json_path, time, write_bench_json};
+use tlm_bench::perf::{bench_json_path, pipeline_stats_json, time, write_bench_json};
 use tlm_bench::{
-    characterize_cpu, characterized_platform, end_time_cycles, error_pct, fmt_m, TextTable,
+    characterize_cpu, characterized_design, end_time_cycles, error_pct, fmt_m, TextTable,
 };
 use tlm_core::parallel::{available_workers, par_map};
-use tlm_core::ScheduleCache;
 use tlm_json::{ObjectBuilder, Value};
 use tlm_pcam::{run_board, BoardConfig};
-use tlm_platform::tlm::{run_tlm, TlmConfig, TlmMode};
+use tlm_pipeline::Pipeline;
+use tlm_platform::tlm::TlmConfig;
 
 fn main() {
     let bench_json = bench_json_path();
@@ -50,14 +51,15 @@ fn main() {
     let (cells, sweep_wall) = time(|| {
         par_map(&work, |&(c, d)| {
             let (_, ic, dc) = CACHE_SWEEP[c];
-            let platform = characterized_platform(designs[d], eval, ic, dc, &chrs[d]);
-            let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
-            let tlm = run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+            let design = characterized_design(designs[d], eval, ic, dc, &chrs[d]);
+            let board = run_board(&design.platform, &BoardConfig::default()).expect("board runs");
+            let tlm =
+                Pipeline::global().run_timed(&design, &TlmConfig::default()).expect("TLM runs");
             assert_eq!(board.outputs, tlm.outputs, "functional equivalence");
             (end_time_cycles(board.end_time), end_time_cycles(tlm.end_time))
         })
     });
-    let cache_stats = ScheduleCache::global().stats();
+    let stats = Pipeline::global().stats();
 
     let mut table = TextTable::new();
     let mut header = vec!["I/D cache".to_string()];
@@ -111,12 +113,13 @@ fn main() {
             .field(
                 "schedule_cache",
                 ObjectBuilder::new()
-                    .field("hits", Value::Number(cache_stats.hits as f64))
-                    .field("misses", Value::Number(cache_stats.misses as f64))
-                    .field("entries", Value::Number(cache_stats.entries as f64))
-                    .field("hit_ratio", Value::Number(cache_stats.hit_ratio()))
+                    .field("hits", Value::Number(stats.schedules.hits as f64))
+                    .field("misses", Value::Number(stats.schedules.misses as f64))
+                    .field("entries", Value::Number(stats.schedules.entries as f64))
+                    .field("hit_ratio", Value::Number(stats.schedules.hit_ratio()))
                     .build(),
             )
+            .field("pipeline", pipeline_stats_json(&stats))
             .build();
         write_bench_json(&path, &json);
     }

@@ -17,9 +17,9 @@ use std::process::ExitCode;
 
 use tlm_cdfg::interp::{Exec, Machine};
 use tlm_cdfg::profile::{BlockProfile, ProfileHook};
-use tlm_core::annotate::annotate;
 use tlm_core::report::{function_shares, hotspots};
 use tlm_core::{emit, library, Pum};
+use tlm_pipeline::Pipeline;
 
 struct Options {
     source: String,
@@ -69,15 +69,10 @@ fn usage() {
 fn run(opts: &Options) -> Result<(), String> {
     let source =
         std::fs::read_to_string(&opts.source).map_err(|e| format!("{}: {e}", opts.source))?;
-    let program = tlm_minic::parse(&source).map_err(|e| format!("{}: {e}", opts.source))?;
-    let mut module = tlm_cdfg::lower::lower(&program).map_err(|e| e.to_string())?;
-    if opts.opt {
-        let stats = tlm_cdfg::passes::optimize(&mut module);
-        eprintln!(
-            "optimizer: folded {}, removed {}, propagated {}, threaded {}",
-            stats.folded, stats.removed, stats.propagated, stats.threaded
-        );
-    }
+    let pipeline = Pipeline::global();
+    let artifact =
+        pipeline.frontend_with(&source, opts.opt).map_err(|e| format!("{}: {e}", opts.source))?;
+    let module = artifact.module();
 
     let pum: Pum = match &opts.pum {
         Some(path) => {
@@ -87,7 +82,7 @@ fn run(opts: &Options) -> Result<(), String> {
         None => library::microblaze_like(8 << 10, 4 << 10),
     };
 
-    let timed = annotate(&module, &pum).map_err(|e| e.to_string())?;
+    let timed = pipeline.annotated(&artifact, &pum).map_err(|e| e.to_string())?;
     println!(
         "annotated {} blocks against `{}` in {:?}",
         timed.total_annotated_blocks(),
@@ -118,8 +113,8 @@ fn run(opts: &Options) -> Result<(), String> {
                 opts.entry
             ));
         }
-        let mut machine = Machine::new(&module, entry, &[]);
-        let mut profile = BlockProfile::new(&module);
+        let mut machine = Machine::new(module, entry, &[]);
+        let mut profile = BlockProfile::new(module);
         let exec = machine.run(&mut ProfileHook::new(&mut profile));
         match exec {
             Exec::Done => {}

@@ -13,11 +13,12 @@
 
 pub mod perf;
 
-use tlm_apps::{build_mp3_platform, Mp3Design, Mp3Params};
+use tlm_apps::{build_mp3_platform, mp3_design, Mp3Design, Mp3Params};
 use tlm_core::characterize::{apply_measurements, HitRateTable};
 use tlm_core::parallel::par_map;
 use tlm_desim::SimTime;
 use tlm_pcam::{run_board, BoardConfig};
+use tlm_pipeline::{Pipeline, PreparedDesign};
 use tlm_platform::desc::Platform;
 use tlm_platform::tlm::{run_tlm, TlmConfig, TlmMode, TlmReport};
 
@@ -145,23 +146,28 @@ pub fn apply_characterization(platform: &mut Platform, chr: &CpuCharacterization
     }
 }
 
-/// Builds the evaluation platform with the characterized parameters applied
-/// to the CPU's PUM.
+/// Builds the evaluation design with the characterized parameters applied
+/// to the CPU's PUM. The modules come out of the process-wide
+/// [`Pipeline`], so repeated builds (cache sweeps, design variants sharing
+/// processes) reuse every parse/lower/optimize artifact, and the returned
+/// [`PreparedDesign`] can be estimated through [`Pipeline::run_timed`] with
+/// full per-stage memoization. Mutating the CPU PUM is safe: pipeline keys
+/// cover modules, not PUMs.
 ///
 /// # Panics
 ///
 /// Panics if the platform cannot be built.
-pub fn characterized_platform(
+pub fn characterized_design(
     design: Mp3Design,
     params: Mp3Params,
     icache_bytes: u32,
     dcache_bytes: u32,
     chr: &CpuCharacterization,
-) -> Platform {
-    let mut platform =
-        build_mp3_platform(design, params, icache_bytes, dcache_bytes).expect("platform builds");
-    apply_characterization(&mut platform, chr);
-    platform
+) -> PreparedDesign {
+    let mut prepared = mp3_design(Pipeline::global(), design, params, icache_bytes, dcache_bytes)
+        .expect("platform builds");
+    apply_characterization(&mut prepared.platform, chr);
+    prepared
 }
 
 /// Converts a simulated end time to CPU-clock cycles (100 MHz domain), the

@@ -12,6 +12,26 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use tlm_json::{ObjectBuilder, Value};
+use tlm_pipeline::PipelineStats;
+
+/// Renders a pipeline snapshot as a JSON object keyed by stage name, one
+/// `{hits, misses, entries, bytes}` record per stage — the shape shared by
+/// every `--bench-json` record that drives the artifact pipeline.
+pub fn pipeline_stats_json(stats: &PipelineStats) -> Value {
+    let mut b = ObjectBuilder::new();
+    for (name, s) in stats.stages() {
+        b = b.field(
+            name,
+            ObjectBuilder::new()
+                .field("hits", Value::Number(s.hits as f64))
+                .field("misses", Value::Number(s.misses as f64))
+                .field("entries", Value::Number(s.entries as f64))
+                .field("bytes", Value::Number(s.bytes as f64))
+                .build(),
+        );
+    }
+    b.build()
+}
 
 /// Times one call of `f`.
 pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {

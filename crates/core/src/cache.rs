@@ -65,6 +65,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Resident entries.
     pub entries: usize,
+    /// Approximate resident key bytes (domain encodings + block keys).
+    /// Values are excluded: they are shared `Arc`s whose footprint the
+    /// cache does not own exclusively.
+    pub bytes: u64,
 }
 
 impl CacheStats {
@@ -96,6 +100,7 @@ pub struct ScheduleCache {
     domains: Mutex<HashMap<Arc<str>, Arc<DomainEntries>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    key_bytes: AtomicU64,
 }
 
 impl ScheduleCache {
@@ -117,13 +122,13 @@ impl ScheduleCache {
     /// the returned handle makes per-block lookups independent of the
     /// domain encoding's size.
     pub fn domain(&self, domain: &ScheduleDomain) -> DomainHandle<'_> {
-        let entries = Arc::clone(
-            self.domains
-                .lock()
-                .expect("schedule cache poisoned")
-                .entry(Arc::clone(&domain.key))
-                .or_default(),
-        );
+        let entries = {
+            let mut domains = self.domains.lock().expect("schedule cache poisoned");
+            if !domains.contains_key(&domain.key) {
+                self.key_bytes.fetch_add(domain.key.len() as u64, Ordering::Relaxed);
+            }
+            Arc::clone(domains.entry(Arc::clone(&domain.key)).or_default())
+        };
         DomainHandle { cache: self, entries, fingerprint: domain.fingerprint }
     }
 
@@ -158,6 +163,7 @@ impl ScheduleCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries,
+            bytes: self.key_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -166,6 +172,7 @@ impl ScheduleCache {
         self.domains.lock().expect("schedule cache poisoned").clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.key_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -233,7 +240,10 @@ impl DomainHandle<'_> {
             let mut entries = self.entries.entries.lock().expect("schedule cache poisoned");
             match entries.get(block_key) {
                 Some(slot) => Arc::clone(slot),
-                None => Arc::clone(entries.entry(block_key.to_vec()).or_default()),
+                None => {
+                    self.cache.key_bytes.fetch_add(block_key.len() as u64, Ordering::Relaxed);
+                    Arc::clone(entries.entry(block_key.to_vec()).or_default())
+                }
             }
         };
         // Compute outside the map lock: other keys proceed concurrently.
@@ -286,7 +296,9 @@ mod tests {
         let direct = crate::schedule::schedule_block(&pum, block, &dfg, FuncId(0), BlockId(0))
             .expect("schedules");
         assert_eq!(*second, direct, "cached result identical to direct call");
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, entries: 1 });
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.bytes > 0, "resident keys are accounted for");
     }
 
     #[test]

@@ -832,6 +832,65 @@ impl Pum {
         out
     }
 
+    /// Canonical byte encoding of the **entire** model: the
+    /// [`Pum::schedule_domain`] (policy, operation mapping, datapath) plus
+    /// every statistical field Algorithm 2 reads — name, clock period,
+    /// branch model and memory model. Two PUMs with equal encodings are
+    /// indistinguishable to the estimator, and editing any field changes
+    /// the encoding, so content-addressed stores can key annotated results
+    /// on it without aliasing.
+    ///
+    /// Like the schedule domain this is a direct flat-string encoder (all
+    /// free-form names length-prefixed, floats via [`f64::to_bits`], every
+    /// number delimited) rather than the JSON interchange form: it runs on
+    /// every memoized estimate lookup, where building a value tree would
+    /// cost an order of magnitude more than the lookup itself.
+    pub fn estimate_domain(&self) -> String {
+        use std::fmt::Write;
+        fn name(out: &mut String, n: &str) {
+            let _ = write!(out, "{}:{n}", n.len());
+        }
+        fn bits(out: &mut String, v: f64) {
+            let _ = write!(out, "{:016x}", v.to_bits());
+        }
+        fn path(out: &mut String, p: &MemoryPath) {
+            match p {
+                MemoryPath::Hardwired => out.push('h'),
+                MemoryPath::Uncached => out.push('u'),
+                MemoryPath::Cached(c) => {
+                    let _ = write!(out, "c{},{},{}[", c.size, c.hit_delay, c.miss_penalty);
+                    for (size, rate) in &c.hit_rates {
+                        let _ = write!(out, "{size}=");
+                        bits(out, *rate);
+                        out.push(';');
+                    }
+                    out.push(']');
+                }
+            }
+        }
+        let mut out = String::with_capacity(1024);
+        out.push_str("ek1;");
+        name(&mut out, &self.name);
+        let _ = write!(out, ";{};", self.clock_period_ps);
+        match &self.branch {
+            None => out.push('-'),
+            Some(b) => {
+                name(&mut out, &b.policy);
+                let _ = write!(out, ",{},", b.penalty);
+                bits(&mut out, b.miss_rate);
+            }
+        }
+        out.push('#');
+        path(&mut out, &self.memory.ifetch);
+        path(&mut out, &self.memory.data);
+        let _ = write!(out, "{};", self.memory.external_latency);
+        bits(&mut out, self.memory.fetch_expansion);
+        bits(&mut out, self.memory.data_expansion);
+        out.push('#');
+        out.push_str(&self.schedule_domain());
+        out
+    }
+
     /// The PUM re-pointed at different statistical cache sizes — the sweep
     /// transform of the paper's Tables 2/3 and of every serving request
     /// that asks for a cache sweep. Only [`MemoryPath::Cached`] paths are
@@ -958,6 +1017,39 @@ mod tests {
         assert_eq!(hw.with_cache_sizes(2 << 10, 2 << 10), hw);
         // Uncharacterized sizes survive the transform but fail validation.
         assert!(base.with_cache_sizes(1234, 1234).validate().is_err());
+    }
+
+    #[test]
+    fn estimate_domain_separates_what_schedule_domain_merges() {
+        let base = library::microblaze_like(8 << 10, 4 << 10);
+        // A cache-size sweep keeps the schedule domain (Algorithm 1 reuse)
+        // but must change the estimate domain (Algorithm 2 inputs differ).
+        let swept = base.with_cache_sizes(32 << 10, 16 << 10);
+        assert_eq!(base.schedule_domain(), swept.schedule_domain());
+        assert_ne!(base.estimate_domain(), swept.estimate_domain());
+        // Every statistical field outside the schedule domain is covered.
+        let mut renamed = base.clone();
+        renamed.name.push('!');
+        assert_ne!(base.estimate_domain(), renamed.estimate_domain());
+        let mut clocked = base.clone();
+        clocked.clock_period_ps += 1;
+        assert_ne!(base.estimate_domain(), clocked.estimate_domain());
+        let mut branchy = base.clone();
+        branchy.branch.as_mut().expect("cpu has a branch model").miss_rate += 0.001;
+        assert_ne!(base.estimate_domain(), branchy.estimate_domain());
+        let mut unbranched = base.clone();
+        unbranched.branch = None;
+        assert_ne!(base.estimate_domain(), unbranched.estimate_domain());
+        let mut expanded = base.clone();
+        expanded.memory.data_expansion *= 1.25;
+        assert_ne!(base.estimate_domain(), expanded.estimate_domain());
+        let mut rated = base.clone();
+        if let MemoryPath::Cached(c) = &mut rated.memory.data {
+            *c.hit_rates.iter_mut().next().expect("characterized").1 -= 0.01;
+        }
+        assert_ne!(base.estimate_domain(), rated.estimate_domain());
+        // Equal models encode identically (the memoization contract).
+        assert_eq!(base.estimate_domain(), base.clone().estimate_domain());
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Designs as pipeline artifacts: a platform plus the module artifact of
+//! every process, so sweep drivers and servers can demand downstream
+//! stages (annotation, reports) without re-lowering anything.
+
+use std::sync::Arc;
+
+use tlm_cdfg::ChanId;
+use tlm_core::Pum;
+use tlm_desim::SimTime;
+use tlm_platform::desc::{BusId, PeId, Platform, PlatformBuilder};
+use tlm_platform::rtos::RtosModel;
+
+use crate::error::PipelineError;
+use crate::graph::{ModuleArtifact, Pipeline};
+
+/// A platform whose processes were lowered through a [`Pipeline`]: each
+/// process's module artifact is retained, in process order, so downstream
+/// stages can be demanded by key.
+#[derive(Debug, Clone)]
+pub struct PreparedDesign {
+    /// The platform description. Mutating PE PUMs (characterization,
+    /// sweeps) is fine — the artifacts key modules, not PUMs.
+    pub platform: Platform,
+    artifacts: Vec<ModuleArtifact>,
+}
+
+impl PreparedDesign {
+    pub(crate) fn from_parts(platform: Platform, artifacts: Vec<ModuleArtifact>) -> PreparedDesign {
+        debug_assert_eq!(platform.processes.len(), artifacts.len());
+        PreparedDesign { platform, artifacts }
+    }
+
+    /// `artifacts()[i]` matches `platform.processes[i]`.
+    pub fn artifacts(&self) -> &[ModuleArtifact] {
+        &self.artifacts
+    }
+}
+
+/// [`PlatformBuilder`] front-ended by a [`Pipeline`]: processes are added
+/// by MiniC source and lowered through the shared, content-addressed
+/// front-end — the replacement for hand-wiring `parse → lower → optimize`
+/// in every driver.
+#[derive(Debug)]
+pub struct DesignBuilder<'a> {
+    pipeline: &'a Pipeline,
+    builder: PlatformBuilder,
+    artifacts: Vec<ModuleArtifact>,
+}
+
+impl<'a> DesignBuilder<'a> {
+    /// Starts a design description on the given pipeline.
+    pub fn new(pipeline: &'a Pipeline, name: impl Into<String>) -> DesignBuilder<'a> {
+        DesignBuilder { pipeline, builder: PlatformBuilder::new(name), artifacts: Vec::new() }
+    }
+
+    /// Adds a PE described by a PUM.
+    pub fn add_pe(&mut self, name: impl Into<String>, pum: Pum) -> PeId {
+        self.builder.add_pe(name, pum)
+    }
+
+    /// Attaches an RTOS model to a PE.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `pe` was not created by this builder.
+    pub fn set_rtos(&mut self, pe: PeId, rtos: RtosModel) -> Result<(), PipelineError> {
+        Ok(self.builder.set_rtos(pe, rtos)?)
+    }
+
+    /// Adds a bus.
+    pub fn add_bus(
+        &mut self,
+        name: impl Into<String>,
+        period: SimTime,
+        sync_overhead: u64,
+        cycles_per_word: u64,
+    ) -> BusId {
+        self.builder.add_bus(name, period, sync_overhead, cycles_per_word)
+    }
+
+    /// Adds an application process from MiniC source, lowered (with the
+    /// cleanup passes) through the pipeline front-end.
+    ///
+    /// # Errors
+    ///
+    /// Front-end failures ([`PipelineError::Parse`]/[`PipelineError::Lower`])
+    /// or platform validation failures ([`PipelineError::Platform`]).
+    pub fn add_process(
+        &mut self,
+        name: impl Into<String>,
+        source: &str,
+        entry: &str,
+        args: &[i64],
+        pe: PeId,
+    ) -> Result<(), PipelineError> {
+        let artifact = self.pipeline.frontend(source)?;
+        self.builder.add_process_arc(name, Arc::clone(artifact.module()), entry, args, pe)?;
+        self.artifacts.push(artifact);
+        Ok(())
+    }
+
+    /// Explicitly binds a channel to a bus with a FIFO capacity.
+    pub fn bind_channel(&mut self, chan: ChanId, bus: Option<BusId>, capacity: usize) {
+        self.builder.bind_channel(chan, bus, capacity);
+    }
+
+    /// Finalizes the design, auto-binding unbound channels.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlatformBuilder::build`].
+    pub fn build(self) -> Result<PreparedDesign, PipelineError> {
+        Ok(PreparedDesign::from_parts(self.builder.build()?, self.artifacts))
+    }
+}

@@ -1,0 +1,78 @@
+//! The one error type every pipeline stage resolves to.
+//!
+//! Each layer of the flow keeps its own structured error — parse
+//! diagnostics carry spans, estimation errors carry PUM context, platform
+//! errors name the offending element — and all of them convert into
+//! [`PipelineError`] via `From`, so drivers match on one type instead of
+//! stringifying at every boundary.
+
+use std::error::Error;
+use std::fmt;
+
+use tlm_cdfg::lower::LowerError;
+use tlm_core::EstimateError;
+use tlm_minic::ParseError;
+use tlm_platform::desc::PlatformError;
+
+/// Any failure along `Source → … → Report`.
+///
+/// Clones cheaply: pipeline stages cache failures exactly like successes
+/// (the same inputs deterministically fail the same way), so the error
+/// must be replayable to later demanders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// MiniC source does not parse.
+    Parse(ParseError),
+    /// The AST does not lower to a CDFG.
+    Lower(LowerError),
+    /// Estimation (Algorithm 1/2 or PUM validation) failed.
+    Estimate(EstimateError),
+    /// Platform construction or decoding failed.
+    Platform(PlatformError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "source does not parse: {e}"),
+            PipelineError::Lower(e) => write!(f, "source does not lower: {e}"),
+            PipelineError::Estimate(e) => e.fmt(f),
+            PipelineError::Platform(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Parse(e) => Some(e),
+            PipelineError::Lower(e) => Some(e),
+            PipelineError::Estimate(e) => Some(e),
+            PipelineError::Platform(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+impl From<LowerError> for PipelineError {
+    fn from(e: LowerError) -> Self {
+        PipelineError::Lower(e)
+    }
+}
+
+impl From<EstimateError> for PipelineError {
+    fn from(e: EstimateError) -> Self {
+        PipelineError::Estimate(e)
+    }
+}
+
+impl From<PlatformError> for PipelineError {
+    fn from(e: PlatformError) -> Self {
+        PipelineError::Platform(e)
+    }
+}

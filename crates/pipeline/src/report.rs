@@ -1,0 +1,75 @@
+//! The terminal pipeline artifact: a static, deterministic estimation
+//! report for one (module, PUM) pair.
+//!
+//! Unlike [`AnnotationReport`](tlm_core::annotate::AnnotationReport), this
+//! carries no wall-clock or cache-occupancy observations — it is a pure
+//! function of its stage key, so a server can hand it out verbatim across
+//! requests without breaking the determinism contract.
+
+use tlm_core::annotate::TimedModule;
+
+/// Per-block delay decomposition (the paper's Algorithm 2 terms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockReport {
+    /// Block id within its function.
+    pub block: u32,
+    /// Algorithm 1 schedule length in cycles.
+    pub sched: u64,
+    /// Expected branch-misprediction penalty cycles.
+    pub branch: f64,
+    /// Expected instruction-fetch stall cycles.
+    pub ifetch: f64,
+    /// Expected data-access stall cycles.
+    pub data: f64,
+    /// Total annotated cycles (the value the generated `wait()` carries).
+    pub cycles: u64,
+}
+
+/// One function's block rows, in block order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionReport {
+    /// Function name.
+    pub name: String,
+    /// Per-block delays, indexed by block id.
+    pub blocks: Vec<BlockReport>,
+}
+
+/// The full estimation report of one module under one PUM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateReport {
+    /// Basic blocks annotated.
+    pub blocks: usize,
+    /// Operations scheduled.
+    pub ops: usize,
+    /// Sum of annotated cycles over all blocks (each counted once).
+    pub total_cycles: u64,
+    /// Per-function delay rows, in module order.
+    pub functions: Vec<FunctionReport>,
+}
+
+impl EstimateReport {
+    /// Extracts the deterministic report of an annotated module.
+    pub fn of(timed: &TimedModule) -> EstimateReport {
+        let module = timed.module();
+        let mut total_cycles = 0u64;
+        let mut functions = Vec::with_capacity(module.functions.len());
+        for (fid, func) in module.functions_iter() {
+            let mut blocks = Vec::with_capacity(func.blocks.len());
+            for (bid, _) in func.blocks_iter() {
+                let d = timed.delay(fid, bid);
+                total_cycles += d.cycles;
+                blocks.push(BlockReport {
+                    block: bid.0,
+                    sched: d.sched,
+                    branch: d.branch,
+                    ifetch: d.ifetch,
+                    data: d.data,
+                    cycles: d.cycles,
+                });
+            }
+            functions.push(FunctionReport { name: func.name.clone(), blocks });
+        }
+        let report = timed.report();
+        EstimateReport { blocks: report.blocks, ops: report.ops, total_cycles, functions }
+    }
+}

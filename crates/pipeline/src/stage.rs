@@ -1,0 +1,162 @@
+//! One content-addressed stage store: the generalized form of
+//! `tlm_core::cache`'s exactly-once slot discipline.
+//!
+//! Correctness before speed, exactly as in the schedule cache: keys are
+//! the full canonical byte encodings of a stage's true inputs — never
+//! hashes of them — so two distinct inputs can never alias an entry. Each
+//! key owns a `OnceLock` slot, so the stage's computation runs **exactly
+//! once** per key even under concurrent demand: a thread that loses the
+//! initialization race blocks on the winner and reads its result (counted
+//! as a hit — it did not run the computation). Errors are cached like
+//! successes; the same inputs deterministically fail the same way.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::error::PipelineError;
+
+/// Counter snapshot of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageStats {
+    /// Demands served from the store.
+    pub hits: u64,
+    /// Demands that ran the stage's computation.
+    pub misses: u64,
+    /// Resident artifacts.
+    pub entries: usize,
+    /// Approximate resident key bytes. Artifact values are excluded: they
+    /// are shared `Arc`s whose footprint the store does not own
+    /// exclusively.
+    pub bytes: u64,
+}
+
+impl StageStats {
+    /// Fraction of demands served from the store; 0 when idle.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type Slot<T> = Arc<OnceLock<Result<T, PipelineError>>>;
+
+/// A thread-safe, content-addressed store for one stage's artifacts.
+#[derive(Debug)]
+pub(crate) struct Stage<T: Clone> {
+    entries: Mutex<HashMap<Arc<[u8]>, Slot<T>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    key_bytes: AtomicU64,
+}
+
+impl<T: Clone> Stage<T> {
+    pub(crate) fn new() -> Stage<T> {
+        Stage {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            key_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Demands the artifact for `key`, running `compute` iff no slot holds
+    /// it yet. The slot is fetched (or inserted) under the map lock;
+    /// `compute` runs outside it, so other keys proceed concurrently and
+    /// `compute` may itself demand artifacts from other stages.
+    pub(crate) fn get_or_try(
+        &self,
+        key: &[u8],
+        compute: impl FnOnce() -> Result<T, PipelineError>,
+    ) -> Result<T, PipelineError> {
+        let slot: Slot<T> = {
+            let mut entries = self.entries.lock().expect("pipeline stage poisoned");
+            match entries.get(key) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    self.key_bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
+                    Arc::clone(entries.entry(Arc::from(key)).or_default())
+                }
+            }
+        };
+        let mut ran = false;
+        let outcome = slot.get_or_init(|| {
+            ran = true;
+            compute()
+        });
+        if ran {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome.clone()
+    }
+
+    /// Snapshot of the stage's counters.
+    pub(crate) fn stats(&self) -> StageStats {
+        let entries = self.entries.lock().expect("pipeline stage poisoned").len();
+        StageStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            bytes: self.key_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops all artifacts and resets the counters.
+    pub(crate) fn clear(&self) {
+        self.entries.lock().expect("pipeline stage poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.key_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlm_platform::desc::PlatformError;
+
+    #[test]
+    fn compute_runs_once_per_key() {
+        let stage: Stage<u64> = Stage::new();
+        let a = stage.get_or_try(b"k", || Ok(7)).expect("computes");
+        let b = stage.get_or_try(b"k", || panic!("must not re-run")).expect("hits");
+        assert_eq!((a, b), (7, 7));
+        let stats = stage.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.bytes, 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let stage: Stage<u64> = Stage::new();
+        stage.get_or_try(b"ab", || Ok(1)).expect("computes");
+        let v = stage.get_or_try(b"a", || Ok(2)).expect("computes");
+        assert_eq!(v, 2, "prefix key is its own entry");
+        assert_eq!(stage.stats().entries, 2);
+    }
+
+    #[test]
+    fn errors_are_cached_and_replayed() {
+        let stage: Stage<u64> = Stage::new();
+        let boom = || Err(PlatformError { message: "boom".into() }.into());
+        let first = stage.get_or_try(b"k", boom).expect_err("fails");
+        let second = stage.get_or_try(b"k", || panic!("must not re-run")).expect_err("replays");
+        assert_eq!(first, second);
+        let stats = stage.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let stage: Stage<u64> = Stage::new();
+        stage.get_or_try(b"k", || Ok(1)).expect("computes");
+        stage.clear();
+        assert_eq!(stage.stats(), StageStats::default());
+    }
+}

@@ -190,6 +190,25 @@ impl PlatformBuilder {
         args: &[i64],
         pe: PeId,
     ) -> Result<(), PlatformError> {
+        self.add_process_arc(name, Arc::new(module.clone()), entry, args, pe)
+    }
+
+    /// [`PlatformBuilder::add_process`] taking the module by `Arc`, so a
+    /// shared (e.g. pipeline-cached) module is referenced rather than
+    /// deep-cloned — the artifact store and the platform then hold the
+    /// same allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlatformBuilder::add_process`].
+    pub fn add_process_arc(
+        &mut self,
+        name: impl Into<String>,
+        module: Arc<Module>,
+        entry: &str,
+        args: &[i64],
+        pe: PeId,
+    ) -> Result<(), PlatformError> {
         let name = name.into();
         if self.processes.iter().any(|p| p.name == name) {
             return Err(PlatformError { message: format!("duplicate process `{name}`") });
@@ -208,13 +227,7 @@ impl PlatformBuilder {
                 message: format!("process `{name}` entry takes {params} args, got {}", args.len()),
             });
         }
-        self.processes.push(ProcessSpec {
-            name,
-            module: Arc::new(module.clone()),
-            entry: entry_id,
-            args: args.to_vec(),
-            pe,
-        });
+        self.processes.push(ProcessSpec { name, module, entry: entry_id, args: args.to_vec(), pe });
         Ok(())
     }
 

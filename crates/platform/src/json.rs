@@ -40,6 +40,8 @@
 //! the server maps to an HTTP 400. Nothing in this path panics on
 //! untrusted input.
 
+use std::sync::Arc;
+
 use tlm_cdfg::ir::Module;
 use tlm_cdfg::ChanId;
 use tlm_core::{library, Pum};
@@ -169,6 +171,30 @@ pub fn platform_from_json(text: &str) -> Result<Platform, PlatformError> {
 /// is wrong, a PUM fails validation, a MiniC source does not compile, or a
 /// PE/bus/entry reference dangles.
 pub fn platform_from_value(value: &Value) -> Result<Platform, PlatformError> {
+    platform_from_value_with(value, &mut |source, what, optimize| {
+        module_of(source, what, optimize).map(Arc::new)
+    })
+}
+
+/// A caller-supplied MiniC front-end for [`platform_from_value_with`]: maps
+/// `(source, what, optimize)` — the process source, a description of the
+/// offending element for error messages, and the platform's `optimize`
+/// flag — to the lowered module.
+pub type FrontendFn<'a> = &'a mut dyn FnMut(&str, &str, bool) -> Result<Arc<Module>, PlatformError>;
+
+/// [`platform_from_value`] with a caller-supplied MiniC front-end.
+///
+/// Artifact stores plug their cached front-end in here so repeated
+/// requests for the same source share one module.
+///
+/// # Errors
+///
+/// Same as [`platform_from_value`]; front-end failures are whatever the
+/// callback returns.
+pub fn platform_from_value_with(
+    value: &Value,
+    frontend: FrontendFn<'_>,
+) -> Result<Platform, PlatformError> {
     if value.as_object().is_none() {
         return Err(err("platform: expected a JSON object"));
     }
@@ -247,8 +273,8 @@ pub fn platform_from_value(value: &Value) -> Result<Platform, PlatformError> {
                 .collect::<Result<_, _>>()?,
             Some(_) => return Err(err(format!("{what}: `args` must be an array of integers"))),
         };
-        let module = module_of(source, &format!("{what} (`{proc_name}`)"), optimize)?;
-        builder.add_process(proc_name, &module, entry, &args, pe)?;
+        let module = frontend(source, &format!("{what} (`{proc_name}`)"), optimize)?;
+        builder.add_process_arc(proc_name, module, entry, &args, pe)?;
     }
 
     // Explicit channel bindings (optional).

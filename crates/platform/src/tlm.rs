@@ -118,6 +118,20 @@ pub struct AnnotatedPlatform {
     pub reports: Vec<AnnotationReport>,
 }
 
+impl AnnotatedPlatform {
+    /// Assembles an annotated platform from externally produced
+    /// [`TimedModule`]s (one per process, in process order). This is the
+    /// hook for artifact stores that annotate through their own cache
+    /// rather than [`annotate_platform`]'s global one.
+    pub fn from_timed(
+        timed: Vec<Arc<TimedModule>>,
+        annotation_time: Duration,
+    ) -> AnnotatedPlatform {
+        let reports = timed.iter().map(|t| *t.report()).collect();
+        AnnotatedPlatform { timed, annotation_time, reports }
+    }
+}
+
 /// Annotates every process of the platform with its PE's PUM.
 ///
 /// # Errors

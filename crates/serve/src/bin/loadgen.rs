@@ -15,8 +15,10 @@
 //!    `200`.
 //! 2. **warm** — the *identical* sequence again. Gates: every response
 //!    body is bit-identical to its cold twin (determinism under
-//!    concurrency), and the schedule-cache hit rate over the warm phase
-//!    is ≥ 90 % (cross-request memoization works).
+//!    concurrency), no pipeline stage recomputes anything (the report
+//!    stage short-circuits the whole graph, so warm misses must be zero
+//!    across every stage), and every stage that sees warm lookups has a
+//!    hit rate ≥ 90 % (cross-request memoization works).
 //! 3. **saturation** — a burst of concurrent connections against a
 //!    deliberately tiny in-process server (1 worker, queue of 2).
 //!    Gates: every connection receives a well-formed HTTP response
@@ -65,6 +67,17 @@ impl Rng {
 
 const DESIGNS: [&str; 6] = ["mp3:sw", "mp3:sw+1", "mp3:sw+2", "mp3:sw+4", "image:sw", "image:hw"];
 const SWEEP_LABELS: [&str; 5] = ["0k/0k", "2k/2k", "8k/4k", "16k/16k", "32k/16k"];
+
+/// The artifact pipeline's stage names, as exported on `/metrics`.
+const STAGES: [&str; 6] = ["ast", "module", "prepared", "schedules", "annotated", "report"];
+
+/// One `/metrics` reading of the per-stage pipeline counters, indexed
+/// like [`STAGES`].
+#[derive(Clone, Copy, Default)]
+struct StageSnap {
+    hits: [u64; STAGES.len()],
+    misses: [u64; STAGES.len()],
+}
 
 /// The i-th request body of the mix for `seed`. A fresh generator per
 /// request keeps the mix independent of client-thread assignment.
@@ -367,21 +380,27 @@ fn main() -> ExitCode {
         args.requests, args.clients, args.seed
     );
 
-    let snapshot = |label: &str| -> (u64, u64) {
+    let snapshot = |label: &str| -> StageSnap {
         let (status, body) = get(addr, "/metrics").expect("metrics reachable");
         assert_eq!(status, 200, "{label}: /metrics status");
         let page = String::from_utf8_lossy(&body);
-        (
-            metric(&page, "tlm_serve_schedule_cache_hits_total"),
-            metric(&page, "tlm_serve_schedule_cache_misses_total"),
-        )
+        let mut snap = StageSnap::default();
+        for (i, stage) in STAGES.iter().enumerate() {
+            snap.hits[i] =
+                metric(&page, &format!("tlm_serve_pipeline_stage_hits_total{{stage=\"{stage}\"}}"));
+            snap.misses[i] = metric(
+                &page,
+                &format!("tlm_serve_pipeline_stage_misses_total{{stage=\"{stage}\"}}"),
+            );
+        }
+        snap
     };
 
-    let (hits0, misses0) = snapshot("initial");
+    let s0 = snapshot("initial");
     let cold = run_phase(addr, args.seed, args.requests, args.clients);
-    let (hits1, misses1) = snapshot("after cold");
+    let s1 = snapshot("after cold");
     let warm = run_phase(addr, args.seed, args.requests, args.clients);
-    let (hits2, misses2) = snapshot("after warm");
+    let s2 = snapshot("after warm");
 
     for (phase, name) in [(&cold, "cold"), (&warm, "warm")] {
         gates.push(Gate {
@@ -406,23 +425,62 @@ fn main() -> ExitCode {
         },
     });
 
-    let warm_lookups = (hits2 - hits1) + (misses2 - misses1);
-    let warm_hit_rate =
-        if warm_lookups == 0 { 0.0 } else { (hits2 - hits1) as f64 / warm_lookups as f64 };
+    // Warm phase 1: nothing recomputes. The report stage short-circuits
+    // the whole graph on a hit, so a fully warm phase must add zero
+    // misses to *every* stage — upstream stages are never even consulted.
+    let recomputed: Vec<String> = STAGES
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| s2.misses[i] > s1.misses[i])
+        .map(|(i, stage)| format!("{stage} +{}", s2.misses[i] - s1.misses[i]))
+        .collect();
     gates.push(Gate {
-        name: "warm_cache_hit_rate",
-        pass: warm_hit_rate >= 0.9,
-        detail: format!(
-            "warm hit rate {:.1}% ({} hits / {} lookups)",
-            warm_hit_rate * 100.0,
-            hits2 - hits1,
-            warm_lookups
-        ),
+        name: "warm_no_stage_recompute",
+        pass: recomputed.is_empty(),
+        detail: if recomputed.is_empty() {
+            "zero warm misses across all pipeline stages".to_string()
+        } else {
+            format!("warm misses: {}", recomputed.join(", "))
+        },
     });
 
-    let cold_lookups = (hits1 - hits0) + (misses1 - misses0);
-    let cold_hit_rate =
-        if cold_lookups == 0 { 0.0 } else { (hits1 - hits0) as f64 / cold_lookups as f64 };
+    // Warm phase 2: every stage that *is* consulted answers from memory.
+    // Stages with zero warm lookups (short-circuited away) pass
+    // vacuously; with a fully warmed store only the report stage should
+    // see traffic, and all of it should hit.
+    let mut stage_details = Vec::new();
+    let mut stage_rates_ok = true;
+    for (i, stage) in STAGES.iter().enumerate() {
+        let hits = s2.hits[i] - s1.hits[i];
+        let lookups = hits + (s2.misses[i] - s1.misses[i]);
+        if lookups == 0 {
+            continue;
+        }
+        let rate = hits as f64 / lookups as f64;
+        stage_rates_ok &= rate >= 0.9;
+        stage_details.push(format!("{stage} {:.1}% ({hits}/{lookups})", rate * 100.0));
+    }
+    gates.push(Gate {
+        name: "warm_stage_hit_rates",
+        pass: stage_rates_ok,
+        detail: if stage_details.is_empty() {
+            "no stage saw warm lookups".to_string()
+        } else {
+            stage_details.join(", ")
+        },
+    });
+
+    let phase_rate = |before: &StageSnap, after: &StageSnap| -> f64 {
+        let hits: u64 = (0..STAGES.len()).map(|i| after.hits[i] - before.hits[i]).sum();
+        let misses: u64 = (0..STAGES.len()).map(|i| after.misses[i] - before.misses[i]).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    };
+    let cold_hit_rate = phase_rate(&s0, &s1);
+    let warm_hit_rate = phase_rate(&s1, &s2);
 
     let saturation = saturation_phase(&mut gates);
     if let Some(handle) = local {
@@ -453,6 +511,21 @@ fn main() -> ExitCode {
                 ObjectBuilder::new()
                     .field("cold_hit_rate", cold_hit_rate)
                     .field("warm_hit_rate", warm_hit_rate)
+                    .field("stages", {
+                        let mut stages_obj = ObjectBuilder::new();
+                        for (i, stage) in STAGES.iter().enumerate() {
+                            stages_obj = stages_obj.field(
+                                stage,
+                                ObjectBuilder::new()
+                                    .field("cold_hits", s1.hits[i] - s0.hits[i])
+                                    .field("cold_misses", s1.misses[i] - s0.misses[i])
+                                    .field("warm_hits", s2.hits[i] - s1.hits[i])
+                                    .field("warm_misses", s2.misses[i] - s1.misses[i])
+                                    .build(),
+                            );
+                        }
+                        stages_obj.build()
+                    })
                     .build(),
             )
             .field("saturation", saturation)

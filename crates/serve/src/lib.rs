@@ -1,15 +1,15 @@
 //! Estimation-as-a-service: an HTTP front end for the TLM estimator.
 //!
-//! The workspace's estimation engine ([`tlm_core::annotate`]) answers one
-//! question per call: *given this platform and this application, what does
-//! each basic block cost?* Design-space exploration asks that question many
-//! times with small variations, often from tooling that is not written in
-//! Rust. This crate wraps the engine in a long-lived service so those
-//! callers share one process — and, critically, one
-//! [`ScheduleCache`](tlm_core::ScheduleCache): the Algorithm 1 schedules
-//! computed for one request are served from memory to every later request
-//! in the same domain, which is exactly the access pattern of a sweep
-//! driven from the outside.
+//! The workspace's estimation engine answers one question per call: *given
+//! this platform and this application, what does each basic block cost?*
+//! Design-space exploration asks that question many times with small
+//! variations, often from tooling that is not written in Rust. This crate
+//! wraps the engine in a long-lived service so those callers share one
+//! process — and, critically, one artifact pipeline
+//! ([`tlm_pipeline::Pipeline`]): parsed sources, lowered modules,
+//! Algorithm 1 schedules and finished reports computed for one request are
+//! served from memory to every later request that demands them, which is
+//! exactly the access pattern of a sweep driven from the outside.
 //!
 //! The build environment is offline, so there is no tokio/hyper to build
 //! on. The server is deliberately simple and fully explicit instead:
@@ -23,7 +23,7 @@
 //!   against the estimation engine; responses are a pure function of the
 //!   request, so concurrent clients observe bit-identical bytes;
 //! - [`metrics`] — Prometheus text exposition of request counters, a
-//!   latency histogram, queue depth and the schedule-cache counters;
+//!   latency histogram, queue depth and per-stage pipeline counters;
 //! - [`signal`] — SIGINT/SIGTERM latching for graceful drain-then-exit.
 //!
 //! Two binaries ship with the crate: `tlm-serve` (the daemon) and

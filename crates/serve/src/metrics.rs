@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use tlm_core::cache::CacheStats;
+use tlm_pipeline::{PipelineStats, StageStats};
 
 /// Histogram bucket upper bounds, in seconds.
 pub const LATENCY_BUCKETS: [f64; 9] = [0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0, 5.0];
@@ -118,10 +118,11 @@ impl Metrics {
     }
 
     /// Renders everything in the Prometheus text exposition format,
-    /// together with the schedule-cache counters and the configured queue
-    /// capacity (static, but exported so dashboards can plot depth
-    /// against it).
-    pub fn render(&self, cache: &CacheStats, queue_capacity: usize) -> String {
+    /// together with the artifact pipeline's per-stage counters and the
+    /// configured queue capacity (static, but exported so dashboards can
+    /// plot depth against it). The legacy `tlm_serve_schedule_cache_*`
+    /// names stay, fed by the pipeline's `schedules` stage.
+    pub fn render(&self, pipeline: &PipelineStats, queue_capacity: usize) -> String {
         use std::fmt::Write;
 
         let mut out = String::with_capacity(2048);
@@ -139,12 +140,12 @@ impl Metrics {
         counter(
             "tlm_serve_schedule_cache_hits_total",
             "Schedule-cache lookups served from memory.",
-            cache.hits,
+            pipeline.schedules.hits,
         );
         counter(
             "tlm_serve_schedule_cache_misses_total",
             "Schedule-cache lookups that ran Algorithm 1.",
-            cache.misses,
+            pipeline.schedules.misses,
         );
 
         let _ = writeln!(out, "# HELP tlm_serve_responses_total Responses by status code.");
@@ -153,6 +154,40 @@ impl Metrics {
             let n = self.responses[i].load(Ordering::Relaxed);
             let _ = writeln!(out, "tlm_serve_responses_total{{code=\"{status}\"}} {n}");
         }
+
+        let stages = pipeline.stages();
+        let mut stage_family =
+            |name: &str, kind: &str, help: &str, pick: fn(&StageStats) -> u64| {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                for (stage, s) in &stages {
+                    let _ = writeln!(out, "{name}{{stage=\"{stage}\"}} {}", pick(s));
+                }
+            };
+        stage_family(
+            "tlm_serve_pipeline_stage_hits_total",
+            "counter",
+            "Artifact-pipeline lookups served from a stage store.",
+            |s| s.hits,
+        );
+        stage_family(
+            "tlm_serve_pipeline_stage_misses_total",
+            "counter",
+            "Artifact-pipeline lookups that computed the stage.",
+            |s| s.misses,
+        );
+        stage_family(
+            "tlm_serve_pipeline_stage_entries",
+            "gauge",
+            "Resident artifacts per pipeline stage.",
+            |s| s.entries as u64,
+        );
+        stage_family(
+            "tlm_serve_pipeline_stage_bytes",
+            "gauge",
+            "Approximate resident key bytes per pipeline stage.",
+            |s| s.bytes,
+        );
 
         let mut gauge = |name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -182,7 +217,7 @@ impl Metrics {
         gauge(
             "tlm_serve_schedule_cache_entries",
             "Resident schedule-cache entries.",
-            cache.entries as u64,
+            pipeline.schedules.entries as u64,
         );
 
         let _ =
@@ -228,8 +263,12 @@ mod tests {
         m.begin();
         m.done(Duration::from_millis(3));
 
-        let cache = CacheStats { hits: 7, misses: 3, entries: 10 };
-        let text = m.render(&cache, 64);
+        let stats = PipelineStats {
+            schedules: StageStats { hits: 7, misses: 3, entries: 10, bytes: 640 },
+            report: StageStats { hits: 1, misses: 2, entries: 2, bytes: 128 },
+            ..Default::default()
+        };
+        let text = m.render(&stats, 64);
         assert!(text.contains("tlm_serve_requests_total 2"));
         assert!(text.contains("tlm_serve_responses_total{code=\"200\"} 1"));
         assert!(text.contains("tlm_serve_responses_total{code=\"503\"} 1"));
@@ -240,6 +279,11 @@ mod tests {
         assert!(text.contains("tlm_serve_schedule_cache_hits_total 7"));
         assert!(text.contains("tlm_serve_schedule_cache_misses_total 3"));
         assert!(text.contains("tlm_serve_schedule_cache_entries 10"));
+        assert!(text.contains("tlm_serve_pipeline_stage_hits_total{stage=\"schedules\"} 7"));
+        assert!(text.contains("tlm_serve_pipeline_stage_misses_total{stage=\"report\"} 2"));
+        assert!(text.contains("tlm_serve_pipeline_stage_entries{stage=\"report\"} 2"));
+        assert!(text.contains("tlm_serve_pipeline_stage_bytes{stage=\"schedules\"} 640"));
+        assert!(text.contains("tlm_serve_pipeline_stage_hits_total{stage=\"ast\"} 0"));
         assert!(text.contains("tlm_serve_request_duration_seconds_count 1"));
         // 3 ms lands in the ≤5 ms bucket and every one after (cumulative).
         assert!(text.contains("tlm_serve_request_duration_seconds_bucket{le=\"0.001\"} 0"));
@@ -251,7 +295,7 @@ mod tests {
     fn unknown_status_does_not_panic() {
         let m = Metrics::new();
         m.response(418);
-        let text = m.render(&CacheStats { hits: 0, misses: 0, entries: 0 }, 1);
+        let text = m.render(&PipelineStats::default(), 1);
         assert!(text.contains("tlm_serve_requests_total 0"));
     }
 }

@@ -26,21 +26,21 @@
 //! cache statistics are exported through `/metrics` instead.
 //!
 //! **Cross-request memoization.** All jobs run against one process-wide
-//! [`ScheduleCache`]; the built-in designs additionally share their
-//! lowered modules and [`PreparedModule`]s through a [`Catalog`], so a
-//! warm server answers repeat sweeps without re-running Algorithm 1 at
-//! all.
+//! artifact [`Pipeline`]: every request demands its answers from the
+//! report stage, which short-circuits the whole graph on a hit, so a warm
+//! server answers repeat sweeps without re-running any stage at all. The
+//! built-in designs additionally share their [`PreparedDesign`]s through a
+//! [`Catalog`]. Per-stage hit/miss/entry counters are exported on
+//! `/metrics`.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use tlm_apps::designs::{build_mp3_platform, Mp3Design, Mp3Params, CACHE_SWEEP};
-use tlm_apps::imagepipe::{build_image_platform, ImageParams};
-use tlm_core::annotate::{annotate_in_domain, PreparedModule};
-use tlm_core::cache::ScheduleDomain;
-use tlm_core::{Pum, ScheduleCache};
+use tlm_apps::designs::{mp3_design, Mp3Design, Mp3Params, CACHE_SWEEP};
+use tlm_apps::imagepipe::{image_design, ImageParams};
+use tlm_core::Pum;
 use tlm_json::{ObjectBuilder, ParseLimits, Value};
-use tlm_platform::desc::Platform;
+use tlm_pipeline::{Pipeline, PreparedDesign};
 
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
@@ -62,7 +62,7 @@ pub const BUILTIN_DESIGNS: [&str; 6] =
 /// point that *is* cached (size 0 would drop the cache models entirely).
 const BASE_CACHES: (u32, u32) = (8 << 10, 4 << 10);
 
-fn build_builtin(name: &str) -> Option<Result<Platform, String>> {
+fn build_builtin(pipeline: &Pipeline, name: &str) -> Option<Result<PreparedDesign, String>> {
     let (ic, dc) = BASE_CACHES;
     let design = match name {
         "mp3:sw" => Mp3Design::Sw,
@@ -71,44 +71,28 @@ fn build_builtin(name: &str) -> Option<Result<Platform, String>> {
         "mp3:sw+4" => Mp3Design::SwPlus4,
         "image:sw" => {
             return Some(
-                build_image_platform(false, ImageParams::small(), ic, dc)
+                image_design(pipeline, false, ImageParams::small(), ic, dc)
                     .map_err(|e| e.to_string()),
             )
         }
         "image:hw" => {
             return Some(
-                build_image_platform(true, ImageParams::small(), ic, dc).map_err(|e| e.to_string()),
+                image_design(pipeline, true, ImageParams::small(), ic, dc)
+                    .map_err(|e| e.to_string()),
             )
         }
         _ => return None,
     };
-    Some(build_mp3_platform(design, Mp3Params::evaluation(), ic, dc).map_err(|e| e.to_string()))
-}
-
-/// A platform plus one [`PreparedModule`] per process, ready to estimate.
-#[derive(Debug)]
-pub struct PreparedDesign {
-    /// The platform description.
-    pub platform: Platform,
-    /// `prepared[i]` matches `platform.processes[i]`.
-    pub prepared: Vec<PreparedModule>,
-}
-
-impl PreparedDesign {
-    /// Hoists the per-block schedule keys and DFGs for every process.
-    pub fn new(platform: Platform) -> PreparedDesign {
-        let prepared =
-            platform.processes.iter().map(|p| PreparedModule::new(Arc::clone(&p.module))).collect();
-        PreparedDesign { platform, prepared }
-    }
+    Some(mp3_design(pipeline, design, Mp3Params::evaluation(), ic, dc).map_err(|e| e.to_string()))
 }
 
 /// Lazily-built, process-lifetime cache of the built-in designs.
 ///
-/// Building a design means parsing and lowering its MiniC sources —
-/// expensive enough that a server doing it per request would dominate
-/// estimation time. The first request for each name pays it; everyone
-/// after shares the `Arc`.
+/// The pipeline already memoizes each process's parse/lower by source;
+/// the catalog additionally caches the assembled [`PreparedDesign`]
+/// (platform wiring plus artifact list) per name, so repeat requests do
+/// not even re-walk the builders. The first request for each name pays
+/// the build; everyone after shares the `Arc`.
 #[derive(Debug, Default)]
 pub struct Catalog {
     entries: Mutex<HashMap<String, Arc<PreparedDesign>>>,
@@ -120,23 +104,28 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Resolves a built-in design by name, building and caching it on
-    /// first use. `Ok(None)` means the name is not a built-in.
+    /// Resolves a built-in design by name, building it through `pipeline`
+    /// and caching it on first use. `Ok(None)` means the name is not a
+    /// built-in.
     ///
     /// # Errors
     ///
     /// Propagates the build error message (should not occur for the
     /// shipped sources).
-    pub fn builtin(&self, name: &str) -> Result<Option<Arc<PreparedDesign>>, String> {
+    pub fn builtin(
+        &self,
+        pipeline: &Pipeline,
+        name: &str,
+    ) -> Result<Option<Arc<PreparedDesign>>, String> {
         if let Some(hit) = self.entries.lock().expect("catalog poisoned").get(name) {
             return Ok(Some(Arc::clone(hit)));
         }
         // Build outside the lock: designs build independently and a slow
         // build must not serialize unrelated requests.
-        let Some(built) = build_builtin(name) else {
+        let Some(built) = build_builtin(pipeline, name) else {
             return Ok(None);
         };
-        let design = Arc::new(PreparedDesign::new(built?));
+        let design = Arc::new(built?);
         let mut entries = self.entries.lock().expect("catalog poisoned");
         let entry = entries.entry(name.to_string()).or_insert_with(|| Arc::clone(&design));
         Ok(Some(Arc::clone(entry)))
@@ -202,19 +191,24 @@ fn decode_sweep_point(value: &Value, what: &str) -> Result<SweepPoint, String> {
     }
 }
 
-fn decode_job(value: &Value, catalog: &Catalog, what: &str) -> Result<Job, String> {
+fn decode_job(
+    value: &Value,
+    pipeline: &Pipeline,
+    catalog: &Catalog,
+    what: &str,
+) -> Result<Job, String> {
     let platform = value.get("platform").ok_or_else(|| format!("{what}: missing `platform`"))?;
     let design = match platform {
-        Value::String(name) => catalog.builtin(name)?.ok_or_else(|| {
+        Value::String(name) => catalog.builtin(pipeline, name)?.ok_or_else(|| {
             format!(
                 "{what}: unknown design `{name}` (known: {}; or pass a platform object)",
                 BUILTIN_DESIGNS.join(", ")
             )
         })?,
         Value::Object(_) => {
-            let custom = tlm_platform::json::platform_from_value(platform)
-                .map_err(|e| format!("{what}: {e}"))?;
-            Arc::new(PreparedDesign::new(custom))
+            let custom =
+                pipeline.design_from_value(platform).map_err(|e| format!("{what}: {e}"))?;
+            Arc::new(custom)
         }
         _ => return Err(format!("{what}: `platform` must be a design name or a platform object")),
     };
@@ -263,53 +257,44 @@ fn decode_job(value: &Value, catalog: &Catalog, what: &str) -> Result<Job, Strin
     Ok(Job { design, sweep, report })
 }
 
-fn run_job(cache: &ScheduleCache, job: &Job) -> Result<Value, String> {
+fn run_job(pipeline: &Pipeline, job: &Job) -> Result<Value, String> {
     let platform = &job.design.platform;
     let mut sweep_rows = Vec::with_capacity(job.sweep.len());
     for point in &job.sweep {
-        // One resized PUM (and one cache-domain handle) per PE; processes
-        // mapped to the same PE share them. `with_cache_sizes` is a no-op
-        // on custom-HW PEs, whose memory paths are hardwired.
+        // One resized PUM per PE; processes mapped to the same PE share
+        // it (and, inside the pipeline, its schedule domain).
+        // `with_cache_sizes` is a no-op on custom-HW PEs, whose memory
+        // paths are hardwired.
         let pums: Vec<Pum> = platform
             .pes
             .iter()
             .map(|pe| pe.pum.with_cache_sizes(point.icache, point.dcache))
             .collect();
-        let domains: Vec<ScheduleDomain> = pums.iter().map(ScheduleDomain::of).collect();
 
         let mut process_rows = Vec::with_capacity(platform.processes.len());
-        for (i, proc) in platform.processes.iter().enumerate() {
+        for (proc, artifact) in platform.processes.iter().zip(job.design.artifacts()) {
             let pum = &pums[proc.pe.0];
-            let handle = cache.domain(&domains[proc.pe.0]);
-            let timed =
-                annotate_in_domain(&job.design.prepared[i], pum, &handle, false).map_err(|e| {
-                    format!(
-                        "sweep `{}`, process `{}`: estimation failed: {e}",
-                        point.label, proc.name
-                    )
-                })?;
+            let report = pipeline.process_report(artifact, pum).map_err(|e| {
+                format!("sweep `{}`, process `{}`: estimation failed: {e}", point.label, proc.name)
+            })?;
 
-            let mut total_cycles = 0u64;
             let mut functions = Vec::new();
-            for (fid, func) in proc.module.functions_iter() {
-                let mut blocks = Vec::new();
-                for (bid, _) in func.blocks_iter() {
-                    let d = timed.delay(fid, bid);
-                    total_cycles += d.cycles;
-                    if job.report == ReportKind::Blocks {
-                        blocks.push(
+            if job.report == ReportKind::Blocks {
+                for func in &report.functions {
+                    let blocks = func
+                        .blocks
+                        .iter()
+                        .map(|b| {
                             ObjectBuilder::new()
-                                .field("block", bid.0 as u64)
-                                .field("sched", d.sched)
-                                .field("branch", d.branch)
-                                .field("ifetch", d.ifetch)
-                                .field("data", d.data)
-                                .field("cycles", d.cycles)
-                                .build(),
-                        );
-                    }
-                }
-                if job.report == ReportKind::Blocks {
+                                .field("block", u64::from(b.block))
+                                .field("sched", b.sched)
+                                .field("branch", b.branch)
+                                .field("ifetch", b.ifetch)
+                                .field("data", b.data)
+                                .field("cycles", b.cycles)
+                                .build()
+                        })
+                        .collect();
                     functions.push(
                         ObjectBuilder::new()
                             .field("name", func.name.as_str())
@@ -319,13 +304,12 @@ fn run_job(cache: &ScheduleCache, job: &Job) -> Result<Value, String> {
                 }
             }
 
-            let report = timed.report();
             let mut row = ObjectBuilder::new()
                 .field("process", proc.name.as_str())
                 .field("pe", platform.pes[proc.pe.0].name.as_str())
                 .field("blocks", report.blocks)
                 .field("ops", report.ops)
-                .field("total_block_cycles", total_cycles);
+                .field("total_block_cycles", report.total_cycles);
             if job.report == ReportKind::Blocks {
                 row = row.field("functions", Value::Array(functions));
             }
@@ -354,8 +338,8 @@ fn run_job(cache: &ScheduleCache, job: &Job) -> Result<Value, String> {
 /// estimation and rendering.
 #[derive(Debug)]
 pub struct Service {
-    /// The process-wide schedule cache every request runs against.
-    pub cache: Arc<ScheduleCache>,
+    /// The process-wide artifact pipeline every request runs against.
+    pub pipeline: Arc<Pipeline>,
     /// The built-in design catalog.
     pub catalog: Catalog,
     /// Capacity of the accept queue, exported through `/metrics`.
@@ -363,9 +347,9 @@ pub struct Service {
 }
 
 impl Service {
-    /// A service around a fresh cache and an empty catalog.
+    /// A service around a fresh pipeline and an empty catalog.
     pub fn new(queue_capacity: usize) -> Service {
-        Service { cache: Arc::new(ScheduleCache::new()), catalog: Catalog::new(), queue_capacity }
+        Service { pipeline: Arc::new(Pipeline::new()), catalog: Catalog::new(), queue_capacity }
     }
 
     /// Decodes and runs `POST /estimate`.
@@ -381,8 +365,8 @@ impl Service {
         };
 
         let run_one = |value: &Value, what: &str| -> Result<Value, String> {
-            let job = decode_job(value, &self.catalog, what)?;
-            run_job(&self.cache, &job)
+            let job = decode_job(value, &self.pipeline, &self.catalog, what)?;
+            run_job(&self.pipeline, &job)
         };
 
         let result = if let Some(jobs) = root.get("jobs") {
@@ -423,7 +407,7 @@ impl Service {
         match (req.method.as_str(), req.target.as_str()) {
             ("POST", "/estimate") => self.estimate(&req.body, max_body),
             ("GET", "/metrics") => {
-                Response::text(200, metrics.render(&self.cache.stats(), self.queue_capacity))
+                Response::text(200, metrics.render(&self.pipeline.stats(), self.queue_capacity))
             }
             ("GET", "/healthz") => Response::text(200, "ok\n"),
             (_, "/estimate") => {
@@ -480,13 +464,20 @@ mod tests {
         let body = r#"{"platform": "image:hw", "sweep": ["2k/2k"]}"#;
         let first = svc.estimate(body.as_bytes(), 1 << 20);
         assert_eq!(first.status, 200);
-        let stats = svc.cache.stats();
-        assert!(stats.misses > 0, "first run schedules");
+        let stats = svc.pipeline.stats();
+        assert!(stats.schedules.misses > 0, "first run schedules");
+        assert!(stats.report.misses > 0, "first run computes reports");
         let second = svc.estimate(body.as_bytes(), 1 << 20);
         assert_eq!(first.body, second.body, "responses must be bit-identical");
-        let warm = svc.cache.stats();
-        assert_eq!(warm.misses, stats.misses, "second run is all hits");
-        assert!(warm.hits > stats.hits);
+        let warm = svc.pipeline.stats();
+        assert_eq!(warm.report.misses, stats.report.misses, "second run is all report hits");
+        assert!(warm.report.hits > stats.report.hits);
+        // The report stage short-circuits the graph: nothing upstream even
+        // sees a lookup on the warm request.
+        assert_eq!(warm.schedules.misses, stats.schedules.misses);
+        assert_eq!(warm.schedules.hits, stats.schedules.hits);
+        assert_eq!(warm.annotated.misses, stats.annotated.misses);
+        assert_eq!(warm.annotated.hits, stats.annotated.hits);
     }
 
     #[test]
@@ -596,10 +587,11 @@ mod tests {
 
     #[test]
     fn catalog_builds_each_design_once() {
+        let pipeline = Pipeline::new();
         let catalog = Catalog::new();
-        let a = catalog.builtin("image:sw").expect("builds").expect("known");
-        let b = catalog.builtin("image:sw").expect("builds").expect("known");
+        let a = catalog.builtin(&pipeline, "image:sw").expect("builds").expect("known");
+        let b = catalog.builtin(&pipeline, "image:sw").expect("builds").expect("known");
         assert!(Arc::ptr_eq(&a, &b), "second lookup reuses the first build");
-        assert!(catalog.builtin("nope").expect("no error").is_none());
+        assert!(catalog.builtin(&pipeline, "nope").expect("no error").is_none());
     }
 }

@@ -9,7 +9,6 @@
 use std::collections::BTreeMap;
 
 use tlm_apps::kernels;
-use tlm_core::annotate::annotate;
 use tlm_core::library;
 use tlm_core::pum::{
     Datapath, ExecutionModel, FuMode, FuncUnit, MemoryModel, MemoryPath, OpBinding, OpClassKey,
@@ -93,10 +92,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cpu = library::microblaze_like(8 * 1024, 4 * 1024);
     let kernel = kernels::dct8x8();
-    let module = tlm_cdfg::lower::lower(&tlm_minic::parse(&kernel)?)?;
+    // `tlm_core::pum::Pipeline` (the datapath description above) shadows
+    // the artifact pipeline's name, so qualify the latter in full.
+    let estimator = tlm_pipeline::Pipeline::global();
+    let artifact = estimator.frontend_with(&kernel, false)?;
+    let module = artifact.module();
 
-    let on_hw = annotate(&module, &hw)?;
-    let on_cpu = annotate(&module, &cpu)?;
+    let on_hw = estimator.annotated(&artifact, &hw)?;
+    let on_cpu = estimator.annotated(&artifact, &cpu)?;
     let total = |t: &tlm_core::TimedModule| -> u64 {
         module
             .functions_iter()

@@ -11,9 +11,9 @@
 use tlm_apps::mp3;
 use tlm_cdfg::interp::{Exec, Machine};
 use tlm_cdfg::profile::{BlockProfile, ProfileHook};
-use tlm_core::annotate::annotate;
 use tlm_core::library;
 use tlm_core::report::{function_shares, hotspots};
+use tlm_pipeline::Pipeline;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Profile the two heavy processes, feeding them one granule of data the
@@ -25,11 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("imdct", mp3::imdct_source(0, 1), 0u32, 1u32),
         ("filtercore", mp3::filter_source(0, 1), 0, 1),
     ] {
-        let module = tlm_cdfg::lower::lower(&tlm_minic::parse(&src)?)?;
-        let timed = annotate(&module, &pum)?;
+        let artifact = Pipeline::global().frontend_with(&src, false)?;
+        let module = artifact.module();
+        let timed = Pipeline::global().annotated(&artifact, &pum)?;
         let main = module.function_id("main").expect("main exists");
-        let mut machine = Machine::new(&module, main, &[1]);
-        let mut profile = BlockProfile::new(&module);
+        let mut machine = Machine::new(module, main, &[1]);
+        let mut profile = BlockProfile::new(module);
         let mut fed = 0i64;
         loop {
             let exec = {

@@ -6,7 +6,10 @@
 //! cargo run --release --example rtos_model
 //! ```
 
+use std::sync::Arc;
+
 use tlm_core::library;
+use tlm_pipeline::Pipeline;
 use tlm_platform::desc::PlatformBuilder;
 use tlm_platform::rtos::RtosModel;
 use tlm_platform::tlm::{run_tlm, TlmConfig, TlmMode};
@@ -35,15 +38,15 @@ void main() {
 fn run(
     rtos: Option<RtosModel>,
 ) -> Result<tlm_platform::tlm::TlmReport, Box<dyn std::error::Error>> {
-    let ping = tlm_cdfg::lower::lower(&tlm_minic::parse(PING)?)?;
-    let pong = tlm_cdfg::lower::lower(&tlm_minic::parse(PONG)?)?;
+    let ping = Pipeline::global().frontend_with(PING, false)?;
+    let pong = Pipeline::global().frontend_with(PONG, false)?;
     let mut builder = PlatformBuilder::new("rtos-demo");
     let cpu = builder.add_pe("cpu", library::microblaze_like(8 * 1024, 4 * 1024));
     if let Some(model) = rtos {
         builder.set_rtos(cpu, model)?;
     }
-    builder.add_process("ping", &ping, "main", &[], cpu)?;
-    builder.add_process("pong", &pong, "main", &[], cpu)?;
+    builder.add_process_arc("ping", Arc::clone(ping.module()), "main", &[], cpu)?;
+    builder.add_process_arc("pong", Arc::clone(pong.module()), "main", &[], cpu)?;
     let platform = builder.build()?;
     Ok(run_tlm(&platform, TlmMode::Timed, &TlmConfig::default())?)
 }

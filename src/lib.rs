@@ -12,4 +12,5 @@ pub use tlm_desim as desim;
 pub use tlm_iss as iss;
 pub use tlm_minic as minic;
 pub use tlm_pcam as pcam;
+pub use tlm_pipeline as pipeline;
 pub use tlm_platform as platform;

@@ -15,7 +15,14 @@ use tlm_iss::microarch::{MicroArch, MicroArchConfig};
 use tlm_iss::timing::{IssSim, IssTimingConfig};
 
 fn lower(src: &str) -> Module {
-    tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers")
+    // Through the shared front-end; cloned out of the Arc because the
+    // optimizer tests below mutate their copy in place.
+    tlm_pipeline::Pipeline::global()
+        .frontend_with(src, false)
+        .expect("compiles")
+        .module()
+        .as_ref()
+        .clone()
 }
 
 fn interp_outputs(module: &Module) -> Vec<i64> {

@@ -5,9 +5,10 @@
 //! brittle to workload tweaks).
 
 use tlm_apps::{Mp3Design, Mp3Params};
-use tlm_bench::{characterize_cpu, characterized_platform, end_time_cycles, error_pct};
+use tlm_bench::{characterize_cpu, characterized_design, end_time_cycles, error_pct};
 use tlm_pcam::{run_board, run_iss, BoardConfig};
-use tlm_platform::tlm::{run_tlm, TlmConfig, TlmMode};
+use tlm_pipeline::Pipeline;
+use tlm_platform::tlm::TlmConfig;
 
 fn training() -> Mp3Params {
     Mp3Params { seed: 0x1234_5678, frames: 1 }
@@ -21,9 +22,9 @@ fn evaluation() -> Mp3Params {
 fn sw_estimate_tracks_board_within_ten_percent() {
     let chr = characterize_cpu(Mp3Design::Sw, training());
     for (ic, dc) in [(0u32, 0u32), (8 << 10, 4 << 10), (32 << 10, 16 << 10)] {
-        let platform = characterized_platform(Mp3Design::Sw, evaluation(), ic, dc, &chr);
-        let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
-        let tlm = run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+        let design = characterized_design(Mp3Design::Sw, evaluation(), ic, dc, &chr);
+        let board = run_board(&design.platform, &BoardConfig::default()).expect("board runs");
+        let tlm = Pipeline::global().run_timed(&design, &TlmConfig::default()).expect("TLM runs");
         let err = error_pct(end_time_cycles(tlm.end_time), end_time_cycles(board.end_time));
         assert!(err.abs() < 10.0, "SW at {ic}/{dc}: estimate off by {err:.2}%");
     }
@@ -32,9 +33,9 @@ fn sw_estimate_tracks_board_within_ten_percent() {
 #[test]
 fn hw_design_estimate_tracks_board_within_ten_percent() {
     let chr = characterize_cpu(Mp3Design::SwPlus4, training());
-    let platform = characterized_platform(Mp3Design::SwPlus4, evaluation(), 8 << 10, 4 << 10, &chr);
-    let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
-    let tlm = run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+    let design = characterized_design(Mp3Design::SwPlus4, evaluation(), 8 << 10, 4 << 10, &chr);
+    let board = run_board(&design.platform, &BoardConfig::default()).expect("board runs");
+    let tlm = Pipeline::global().run_timed(&design, &TlmConfig::default()).expect("TLM runs");
     let err = error_pct(end_time_cycles(tlm.end_time), end_time_cycles(board.end_time));
     assert!(err.abs() < 10.0, "SW+4: estimate off by {err:.2}%");
 }
@@ -47,10 +48,10 @@ fn tlm_beats_the_vendor_iss_on_average() {
     let mut tlm_err = 0.0;
     let configs = [(0u32, 0u32), (2 << 10, 2 << 10), (16 << 10, 16 << 10)];
     for (ic, dc) in configs {
-        let platform = characterized_platform(Mp3Design::Sw, evaluation(), ic, dc, &chr);
-        let board = run_board(&platform, &BoardConfig::default()).expect("board runs");
-        let iss = run_iss(&platform, &BoardConfig::default()).expect("ISS runs");
-        let tlm = run_tlm(&platform, TlmMode::Timed, &TlmConfig::default()).expect("TLM runs");
+        let design = characterized_design(Mp3Design::Sw, evaluation(), ic, dc, &chr);
+        let board = run_board(&design.platform, &BoardConfig::default()).expect("board runs");
+        let iss = run_iss(&design.platform, &BoardConfig::default()).expect("ISS runs");
+        let tlm = Pipeline::global().run_timed(&design, &TlmConfig::default()).expect("TLM runs");
         let b = end_time_cycles(board.end_time);
         iss_err += error_pct(end_time_cycles(iss.end_time), b).abs();
         tlm_err += error_pct(end_time_cycles(tlm.end_time), b).abs();

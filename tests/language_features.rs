@@ -70,8 +70,12 @@ fn run_interp(module: &Module) -> Vec<i64> {
 
 #[test]
 fn kitchen_sink_is_engine_invariant() {
-    let module =
-        tlm_cdfg::lower::lower(&tlm_minic::parse(KITCHEN_SINK).expect("parses")).expect("lowers");
+    let module: Module = tlm_pipeline::Pipeline::global()
+        .frontend_with(KITCHEN_SINK, false)
+        .expect("compiles")
+        .module()
+        .as_ref()
+        .clone();
     let reference = run_interp(&module);
     assert_eq!(reference.len(), 4);
     assert_eq!(reference[1], 111, "collatz(27) is famously 111 steps");
@@ -98,15 +102,15 @@ fn kitchen_sink_is_engine_invariant() {
 
 #[test]
 fn switch_heavy_code_estimates_on_all_pums() {
-    let module =
-        tlm_cdfg::lower::lower(&tlm_minic::parse(KITCHEN_SINK).expect("parses")).expect("lowers");
+    let pipeline = tlm_pipeline::Pipeline::global();
+    let artifact = pipeline.frontend_with(KITCHEN_SINK, false).expect("compiles");
     for pum in [
         tlm_core::library::microblaze_like(8 << 10, 4 << 10),
         tlm_core::library::custom_hw("hw", 2, 2),
         tlm_core::library::vliw4(),
     ] {
         let timed =
-            tlm_core::annotate(&module, &pum).unwrap_or_else(|e| panic!("{}: {e}", pum.name));
+            pipeline.annotated(&artifact, &pum).unwrap_or_else(|e| panic!("{}: {e}", pum.name));
         assert!(timed.total_annotated_blocks() > 0);
     }
 }

@@ -1,0 +1,226 @@
+//! The artifact pipeline's two contracts, asserted end to end.
+//!
+//! 1. **Determinism** — for every application design and every scheduling
+//!    policy, driving estimation through the demand-driven pipeline
+//!    produces **bit-identical** results to the direct sequential drive
+//!    (`parse → lower → optimize → annotate_uncached`), both at the
+//!    per-block delay level and through a full timed-TLM run.
+//!
+//! 2. **Reuse** — stage hit/miss counters move by *exactly* the expected
+//!    amounts: a cache-size sweep re-keys only the annotated and report
+//!    stages (everything above Algorithm 2 hits, and Algorithm 1 never
+//!    re-runs), a verbatim repeat short-circuits at the report stage
+//!    (zero upstream lookups), and a one-PE platform edit re-estimates
+//!    only the processes mapped to the edited PE.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tlm_apps::imagepipe::{image_design, ImageParams};
+use tlm_apps::{mp3_design, Mp3Design, Mp3Params};
+use tlm_core::annotate::{annotate_uncached, TimedModule};
+use tlm_core::pum::SchedulingPolicy;
+use tlm_pipeline::{Pipeline, PreparedDesign};
+use tlm_platform::tlm::{run_annotated, AnnotatedPlatform, TlmConfig};
+
+const POLICIES: [SchedulingPolicy; 4] = [
+    SchedulingPolicy::InOrder,
+    SchedulingPolicy::Asap,
+    SchedulingPolicy::Alap,
+    SchedulingPolicy::List,
+];
+
+/// All four application designs, built through the shared front-end.
+fn designs(pipeline: &Pipeline, ic: u32, dc: u32) -> Vec<PreparedDesign> {
+    vec![
+        mp3_design(pipeline, Mp3Design::Sw, Mp3Params::training(), ic, dc).expect("builds"),
+        mp3_design(pipeline, Mp3Design::SwPlus4, Mp3Params::training(), ic, dc).expect("builds"),
+        image_design(pipeline, false, ImageParams::small(), ic, dc).expect("builds"),
+        image_design(pipeline, true, ImageParams::small(), ic, dc).expect("builds"),
+    ]
+}
+
+fn assert_delays_identical(reference: &TimedModule, candidate: &TimedModule, what: &str) {
+    for (fid, func) in reference.module().functions_iter() {
+        for (bid, _) in func.blocks_iter() {
+            // PartialEq on BlockDelay compares the f64 components exactly —
+            // "bit-identical", not "approximately equal".
+            assert_eq!(
+                reference.delay(fid, bid),
+                candidate.delay(fid, bid),
+                "{what}: pipeline disagrees with the direct drive at {fid}/{bid}"
+            );
+        }
+    }
+}
+
+/// Runs every process of a design through the report stage.
+fn report_all(pipeline: &Pipeline, design: &PreparedDesign) {
+    for (proc, artifact) in design.platform.processes.iter().zip(design.artifacts()) {
+        pipeline.process_report(artifact, &design.platform.pes[proc.pe.0].pum).expect("estimates");
+    }
+}
+
+#[test]
+fn pipelined_annotation_is_bit_identical_to_direct_drive() {
+    let pipeline = Pipeline::new();
+    let designs = designs(&pipeline, 8 << 10, 4 << 10);
+
+    // Every process on the PUM it is mapped to.
+    for design in &designs {
+        for (proc, artifact) in design.platform.processes.iter().zip(design.artifacts()) {
+            let pum = &design.platform.pes[proc.pe.0].pum;
+            let direct = annotate_uncached(artifact.module(), pum).expect("annotates");
+            let piped = pipeline.annotated(artifact, pum).expect("annotates");
+            assert_delays_identical(&direct, &piped, &format!("{}/{}", pum.name, proc.name));
+        }
+    }
+
+    // Every process under every scheduling policy (on the custom-HW
+    // datapath, as in ablation A1 — the pipelined CPU model only supports
+    // its native in-order policy).
+    for &policy in &POLICIES {
+        let mut pum = tlm_core::library::custom_hw("reuse", 2, 2);
+        pum.execution.policy = policy;
+        for design in &designs {
+            for artifact in design.artifacts() {
+                let direct = annotate_uncached(artifact.module(), &pum).expect("annotates");
+                let piped = pipeline.annotated(artifact, &pum).expect("annotates");
+                assert_delays_identical(&direct, &piped, &format!("{policy:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_timed_tlm_is_bit_identical_to_direct_drive() {
+    let pipeline = Pipeline::new();
+    let config = TlmConfig::default();
+    for design in designs(&pipeline, 8 << 10, 4 << 10) {
+        let piped = pipeline.run_timed(&design, &config).expect("runs");
+
+        let timed: Vec<Arc<TimedModule>> = design
+            .platform
+            .processes
+            .iter()
+            .zip(design.artifacts())
+            .map(|(proc, artifact)| {
+                let pum = &design.platform.pes[proc.pe.0].pum;
+                Arc::new(annotate_uncached(artifact.module(), pum).expect("annotates"))
+            })
+            .collect();
+        let annotated = AnnotatedPlatform::from_timed(timed, Duration::ZERO);
+        let direct = run_annotated(&design.platform, Some(&annotated), &config);
+
+        assert_eq!(piped.end_time, direct.end_time, "simulated end time diverged");
+        assert_eq!(piped.pe_busy, direct.pe_busy, "per-PE busy cycles diverged");
+        assert_eq!(piped.outputs, direct.outputs, "process outputs diverged");
+    }
+}
+
+#[test]
+fn cache_size_sweep_reuses_everything_above_algorithm2() {
+    let pipeline = Pipeline::new();
+    let mut design = mp3_design(&pipeline, Mp3Design::Sw, Mp3Params::training(), 8 << 10, 4 << 10)
+        .expect("builds");
+    let n = design.artifacts().len() as u64;
+    let distinct: HashSet<&[u8]> = design.artifacts().iter().map(|a| a.key()).collect();
+    assert_eq!(distinct.len() as u64, n, "MP3 processes lower from distinct sources");
+
+    // Building the design runs the front-end once per process and demands
+    // nothing downstream.
+    let built = pipeline.stats();
+    assert_eq!(built.ast.misses, n);
+    assert_eq!(built.module.misses, n);
+    assert_eq!(built.prepared.hits + built.prepared.misses, 0);
+    assert_eq!(built.report.hits + built.report.misses, 0);
+
+    // Sweep point A: everything is cold.
+    report_all(&pipeline, &design);
+    let a = pipeline.stats();
+    assert_eq!(a.report.misses, n);
+    assert_eq!(a.report.hits, 0);
+    assert_eq!(a.annotated.misses, n);
+    assert_eq!(a.prepared.misses, n);
+    assert!(a.schedules.misses > 0, "point A must run Algorithm 1");
+
+    // Sweep point B: only the statistical models change, so only the
+    // annotated and report stages re-key. The front-end is never even
+    // consulted, prepared modules hit, and Algorithm 1 never re-runs.
+    for pe in &mut design.platform.pes {
+        pe.pum = pe.pum.with_cache_sizes(2 << 10, 2 << 10);
+    }
+    report_all(&pipeline, &design);
+    let b = pipeline.stats();
+    assert_eq!(b.report.misses, a.report.misses + n);
+    assert_eq!(b.annotated.misses, a.annotated.misses + n);
+    assert_eq!(b.prepared.hits, a.prepared.hits + n);
+    assert_eq!(b.prepared.misses, a.prepared.misses);
+    assert_eq!(b.schedules.misses, a.schedules.misses, "Algorithm 1 re-ran during a sweep");
+    assert!(b.schedules.hits > a.schedules.hits, "point B's schedules come from the cache");
+    assert_eq!(b.ast, a.ast);
+    assert_eq!(b.module.misses, a.module.misses);
+
+    // Point B again, verbatim: the report stage short-circuits the whole
+    // graph — n hits there, zero lookups anywhere else.
+    report_all(&pipeline, &design);
+    let c = pipeline.stats();
+    assert_eq!(c.report.hits, b.report.hits + n);
+    assert_eq!(c.report.misses, b.report.misses);
+    assert_eq!(c.annotated, b.annotated);
+    assert_eq!(c.prepared, b.prepared);
+    assert_eq!(c.schedules, b.schedules);
+    assert_eq!(c.ast, b.ast);
+    assert_eq!(c.module, b.module);
+}
+
+#[test]
+fn platform_edit_reuses_untouched_processes_end_to_end() {
+    let pipeline = Pipeline::new();
+    let mut design =
+        mp3_design(&pipeline, Mp3Design::SwPlus4, Mp3Params::training(), 8 << 10, 4 << 10)
+            .expect("builds");
+    report_all(&pipeline, &design);
+    let before = pipeline.stats();
+
+    // Edit one PE: the CPU (running source and sink) gets bigger caches.
+    // The four accelerator PEs are untouched.
+    let edited = design
+        .platform
+        .processes
+        .iter()
+        .find(|p| p.name == "sink")
+        .expect("sink process exists")
+        .pe;
+    let new_pum = design.platform.pes[edited.0].pum.with_cache_sizes(32 << 10, 16 << 10);
+    assert_ne!(new_pum, design.platform.pes[edited.0].pum, "the edit must re-key the CPU");
+    design.platform.pes[edited.0].pum = new_pum;
+
+    let touched: HashSet<&[u8]> = design
+        .platform
+        .processes
+        .iter()
+        .zip(design.artifacts())
+        .filter(|(proc, _)| proc.pe == edited)
+        .map(|(_, artifact)| artifact.key())
+        .collect();
+    let touched_count = design.platform.processes.iter().filter(|p| p.pe == edited).count();
+    let untouched = design.platform.processes.len() - touched_count;
+    assert!(touched_count >= 1 && untouched >= 1, "the edit must split the design");
+
+    report_all(&pipeline, &design);
+    let after = pipeline.stats();
+
+    // Untouched processes hit at the report stage — end to end, no
+    // upstream stage sees them. Touched processes re-run Algorithm 2
+    // only: prepared modules hit and the schedule domain is unchanged.
+    assert_eq!(after.report.hits, before.report.hits + untouched as u64);
+    assert_eq!(after.report.misses, before.report.misses + touched.len() as u64);
+    assert_eq!(after.annotated.misses, before.annotated.misses + touched.len() as u64);
+    assert_eq!(after.prepared.hits, before.prepared.hits + touched.len() as u64);
+    assert_eq!(after.prepared.misses, before.prepared.misses);
+    assert_eq!(after.schedules.misses, before.schedules.misses);
+    assert_eq!(after.ast, before.ast);
+    assert_eq!(after.module, before.module);
+}

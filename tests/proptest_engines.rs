@@ -127,7 +127,14 @@ fn program_from(exprs: &[GenExpr], seeds: &[i32]) -> String {
 }
 
 fn lower(src: &str) -> Module {
-    tlm_cdfg::lower::lower(&tlm_minic::parse(src).expect("parses")).expect("lowers")
+    // A fresh pipeline per call: the sources are random one-offs, so a
+    // shared store would only accumulate dead entries.
+    tlm_pipeline::Pipeline::new()
+        .frontend_with(src, false)
+        .expect("compiles")
+        .module()
+        .as_ref()
+        .clone()
 }
 
 fn run_both(module: &Module) -> (Vec<i64>, Vec<i64>) {

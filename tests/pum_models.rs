@@ -4,8 +4,8 @@
 use std::path::Path;
 
 use tlm_apps::kernels;
-use tlm_core::annotate::annotate;
 use tlm_core::Pum;
+use tlm_pipeline::Pipeline;
 
 fn model_files() -> Vec<std::path::PathBuf> {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("models");
@@ -33,12 +33,14 @@ fn all_shipped_models_load_and_validate() {
 
 #[test]
 fn shipped_models_estimate_a_real_kernel() {
-    let module = tlm_cdfg::lower::lower(&tlm_minic::parse(&kernels::fir(32, 64)).expect("parses"))
-        .expect("lowers");
+    let pipeline = Pipeline::global();
+    let artifact = pipeline.frontend_with(&kernels::fir(32, 64), false).expect("compiles");
     for path in model_files() {
         let text = std::fs::read_to_string(&path).expect("readable");
         let pum = Pum::from_json(&text).expect("valid");
-        let timed = annotate(&module, &pum).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let timed = pipeline
+            .annotated(&artifact, &pum)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert!(timed.total_annotated_blocks() > 0);
     }
 }

@@ -34,16 +34,16 @@ fn worker_source(seed: i32, items: u32) -> String {
 const SINK: &str = "void main() { out(ch_recv(0)); }";
 
 fn build(seed: i32, items: u32, icache: u32, dcache: u32) -> Platform {
-    let worker =
-        tlm_cdfg::lower::lower(&tlm_minic::parse(&worker_source(seed, items)).expect("parses"))
-            .expect("lowers");
-    let sink = tlm_cdfg::lower::lower(&tlm_minic::parse(SINK).expect("parses")).expect("lowers");
+    let pipeline = tlm_pipeline::Pipeline::global();
+    let worker = pipeline.frontend_with(&worker_source(seed, items), false).expect("compiles");
+    let sink = pipeline.frontend_with(SINK, false).expect("compiles");
     let mut pum = library::superscalar2();
     set_cache_sizes(&mut pum, icache, dcache);
     let mut b = PlatformBuilder::new("superscalar-kernels");
     let cpu = b.add_pe("cpu", pum);
-    b.add_process("worker", &worker, "main", &[], cpu).expect("ok");
-    b.add_process("sink", &sink, "main", &[], cpu).expect("ok");
+    b.add_process_arc("worker", std::sync::Arc::clone(worker.module()), "main", &[], cpu)
+        .expect("ok");
+    b.add_process_arc("sink", std::sync::Arc::clone(sink.module()), "main", &[], cpu).expect("ok");
     b.build().expect("builds")
 }
 

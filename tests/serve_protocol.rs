@@ -55,6 +55,14 @@ fn body_of(response: &str) -> &str {
     response.split_once("\r\n\r\n").map_or("", |(_, b)| b)
 }
 
+/// Reads one sample (possibly labeled) from a Prometheus text page.
+fn metric(page: &str, name: &str) -> u64 {
+    page.lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l[name.len()..].trim().parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+}
+
 #[test]
 fn malformed_json_and_malformed_http_answer_400() {
     let handle = start_default();
@@ -152,6 +160,69 @@ fn estimation_over_the_wire_matches_the_paper_sweep_shape() {
     for point in sweep {
         let procs = point.get("processes").and_then(tlm_json::Value::as_array).expect("rows");
         assert_eq!(procs.len(), v.get("processes").and_then(tlm_json::Value::as_usize).unwrap());
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_expose_per_stage_pipeline_counters() {
+    let handle = start_default();
+    let addr = handle.addr();
+    let get_metrics = || {
+        let resp = send_raw(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+        assert_eq!(status_of(&resp), 200, "got: {resp}");
+        body_of(&resp).to_string()
+    };
+
+    // Before any estimation every stage is present and zero.
+    let page = get_metrics();
+    for stage in ["ast", "module", "prepared", "schedules", "annotated", "report"] {
+        for family in [
+            "tlm_serve_pipeline_stage_hits_total",
+            "tlm_serve_pipeline_stage_misses_total",
+            "tlm_serve_pipeline_stage_entries",
+            "tlm_serve_pipeline_stage_bytes",
+        ] {
+            assert_eq!(metric(&page, &format!("{family}{{stage=\"{stage}\"}}")), 0);
+        }
+    }
+
+    // A cold request computes: misses land on the estimation stages, and
+    // the legacy schedule-cache counters mirror the `schedules` stage.
+    let resp = post(addr, "/estimate", r#"{"platform": "mp3:sw"}"#);
+    assert_eq!(status_of(&resp), 200, "got: {resp}");
+    let cold = get_metrics();
+    let report_misses = metric(&cold, "tlm_serve_pipeline_stage_misses_total{stage=\"report\"}");
+    let sched_misses = metric(&cold, "tlm_serve_pipeline_stage_misses_total{stage=\"schedules\"}");
+    assert!(report_misses > 0, "cold request must compute reports");
+    assert!(sched_misses > 0, "cold request must run Algorithm 1");
+    assert_eq!(metric(&cold, "tlm_serve_schedule_cache_misses_total"), sched_misses);
+    assert!(metric(&cold, "tlm_serve_pipeline_stage_entries{stage=\"report\"}") > 0);
+    assert!(metric(&cold, "tlm_serve_pipeline_stage_bytes{stage=\"report\"}") > 0);
+
+    // The identical request hits the report stage and short-circuits the
+    // graph: no stage gains a single miss, and the upstream stages see no
+    // lookups at all.
+    let resp = post(addr, "/estimate", r#"{"platform": "mp3:sw"}"#);
+    assert_eq!(status_of(&resp), 200, "got: {resp}");
+    let warm = get_metrics();
+    assert!(
+        metric(&warm, "tlm_serve_pipeline_stage_hits_total{stage=\"report\"}")
+            > metric(&cold, "tlm_serve_pipeline_stage_hits_total{stage=\"report\"}"),
+        "warm request must hit the report stage"
+    );
+    for stage in ["ast", "module", "prepared", "schedules", "annotated", "report"] {
+        let name = format!("tlm_serve_pipeline_stage_misses_total{{stage=\"{stage}\"}}");
+        assert_eq!(metric(&warm, &name), metric(&cold, &name), "warm request recomputed {stage}");
+    }
+    for stage in ["schedules", "annotated"] {
+        let name = format!("tlm_serve_pipeline_stage_hits_total{{stage=\"{stage}\"}}");
+        assert_eq!(
+            metric(&warm, &name),
+            metric(&cold, &name),
+            "report-stage hit must not consult {stage}"
+        );
     }
 
     handle.shutdown();
