@@ -20,6 +20,19 @@
 //! resolved **once per annotation run** to a [`DomainHandle`]; per-block
 //! lookups then hash only the small block key. That keeps a hit well under
 //! the cost of re-running Algorithm 1 even for three-op glue blocks.
+//!
+//! **Byte-budgeted eviction.** An unbounded cache is an OOM under an
+//! adversarial (or merely diverse) client mix, so the cache can carry a
+//! resident-byte budget ([`ScheduleCache::with_budget`]): entries live in
+//! two *generations* per domain, and when the accounted resident bytes
+//! exceed the budget the older generation is dropped and the newer one
+//! ages into its place (second chance — an entry touched since the last
+//! rotation is promoted back to the young generation and survives).
+//! Exactly-once compute holds *within* a generation (the promoted slot
+//! keeps its `OnceLock`, so a survivor never recomputes), and results
+//! stay bit-identical across evictions because Algorithm 1 is a pure
+//! function of the key — an evicted entry is simply recomputed to the
+//! same bytes on next demand (asserted by the eviction tests below).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,6 +82,8 @@ pub struct CacheStats {
     /// Values are excluded: they are shared `Arc`s whose footprint the
     /// cache does not own exclusively.
     pub bytes: u64,
+    /// Entries dropped by budget-driven generation rotation.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -88,25 +103,122 @@ impl CacheStats {
 /// inputs, so re-running could not change them.
 type Slot = Arc<OnceLock<Result<Arc<ScheduleResult>, EstimateError>>>;
 
+/// Two generations of one domain's entries (second cache level). Young
+/// holds everything inserted or touched since the last rotation; old is
+/// the previous young, awaiting either a second-chance promotion or the
+/// next rotation.
+#[derive(Debug, Default)]
+struct Generations {
+    young: HashMap<Vec<u8>, Slot>,
+    old: HashMap<Vec<u8>, Slot>,
+    young_bytes: u64,
+    old_bytes: u64,
+}
+
 /// The per-domain entry table (second cache level).
 #[derive(Debug, Default)]
 struct DomainEntries {
-    entries: Mutex<HashMap<Vec<u8>, Slot>>,
+    entries: Mutex<Generations>,
 }
 
 /// A thread-safe, content-addressed cache of [`ScheduleResult`]s.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ScheduleCache {
     domains: Mutex<HashMap<Arc<str>, Arc<DomainEntries>>>,
+    /// Resident-byte budget; `u64::MAX` means unbounded.
+    budget: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     key_bytes: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for ScheduleCache {
+    fn default() -> ScheduleCache {
+        ScheduleCache {
+            domains: Mutex::new(HashMap::new()),
+            budget: AtomicU64::new(u64::MAX),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            key_bytes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ScheduleCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> ScheduleCache {
         ScheduleCache::default()
+    }
+
+    /// An empty cache that evicts once its resident key bytes exceed
+    /// `bytes` (see the module docs for the generational semantics).
+    pub fn with_budget(bytes: u64) -> ScheduleCache {
+        let cache = ScheduleCache::new();
+        cache.set_budget(bytes);
+        cache
+    }
+
+    /// Changes the resident-byte budget; `u64::MAX` disables eviction.
+    /// Takes effect on the next insertion.
+    pub fn set_budget(&self, bytes: u64) {
+        self.budget.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Drops every old generation and ages the young ones in their place.
+    /// Called when the resident bytes exceed the budget; may run twice in
+    /// a row if one generation alone exceeds it.
+    fn rotate(&self) {
+        let mut domains = self.domains.lock().expect("schedule cache poisoned");
+        let mut dropped_domains = Vec::new();
+        for (key, domain) in domains.iter() {
+            let mut gens = domain.entries.lock().expect("schedule cache poisoned");
+            let evicted = gens.old.len() as u64;
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                self.key_bytes.fetch_sub(gens.old_bytes, Ordering::Relaxed);
+            }
+            gens.old = std::mem::take(&mut gens.young);
+            gens.old_bytes = std::mem::replace(&mut gens.young_bytes, 0);
+            // Both generations empty and no live handle: the domain is
+            // dead weight. A live handle keeps its table registered —
+            // dropping it would detach the handle's inserts from future
+            // rotations and leak them from the byte accounting.
+            if gens.old.is_empty() && Arc::strong_count(domain) == 1 {
+                dropped_domains.push(Arc::clone(key));
+            }
+        }
+        for key in dropped_domains {
+            self.key_bytes.fetch_sub(key.len() as u64, Ordering::Relaxed);
+            domains.remove(&key);
+        }
+    }
+
+    /// Rotates while the young generations exceed half the budget or the
+    /// resident total exceeds the whole budget — each generation is
+    /// bounded by budget/2, so the resident total stays within the
+    /// budget. At most two rotations (the second empties the cache).
+    fn enforce_budget(&self) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == u64::MAX {
+            return;
+        }
+        for _ in 0..2 {
+            let (mut young, mut total) = (0u64, 0u64);
+            {
+                let domains = self.domains.lock().expect("schedule cache poisoned");
+                for (key, domain) in domains.iter() {
+                    let gens = domain.entries.lock().expect("schedule cache poisoned");
+                    young += gens.young_bytes;
+                    total += gens.young_bytes + gens.old_bytes + key.len() as u64;
+                }
+            }
+            if young <= budget / 2 && total <= budget {
+                return;
+            }
+            self.rotate();
+        }
     }
 
     /// The process-wide cache used by
@@ -157,13 +269,17 @@ impl ScheduleCache {
             .lock()
             .expect("schedule cache poisoned")
             .values()
-            .map(|d| d.entries.lock().expect("schedule cache poisoned").len())
+            .map(|d| {
+                let gens = d.entries.lock().expect("schedule cache poisoned");
+                gens.young.len() + gens.old.len()
+            })
             .sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries,
             bytes: self.key_bytes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -173,6 +289,7 @@ impl ScheduleCache {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.key_bytes.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -236,16 +353,30 @@ impl DomainHandle<'_> {
         func: FuncId,
         block_id: BlockId,
     ) -> Result<(Arc<ScheduleResult>, bool), EstimateError> {
+        let mut inserted = false;
         let slot: Slot = {
-            let mut entries = self.entries.entries.lock().expect("schedule cache poisoned");
-            match entries.get(block_key) {
-                Some(slot) => Arc::clone(slot),
-                None => {
-                    self.cache.key_bytes.fetch_add(block_key.len() as u64, Ordering::Relaxed);
-                    Arc::clone(entries.entry(block_key.to_vec()).or_default())
-                }
+            let mut gens = self.entries.entries.lock().expect("schedule cache poisoned");
+            if let Some(slot) = gens.young.get(block_key) {
+                Arc::clone(slot)
+            } else if let Some(slot) = gens.old.remove(block_key) {
+                // Second chance: a touch since the last rotation promotes
+                // the entry (and its already-initialized slot) back into
+                // the young generation, so it survives the next rotation
+                // without recomputing.
+                gens.old_bytes -= block_key.len() as u64;
+                gens.young_bytes += block_key.len() as u64;
+                gens.young.insert(block_key.to_vec(), Arc::clone(&slot));
+                slot
+            } else {
+                inserted = true;
+                gens.young_bytes += block_key.len() as u64;
+                self.cache.key_bytes.fetch_add(block_key.len() as u64, Ordering::Relaxed);
+                Arc::clone(gens.young.entry(block_key.to_vec()).or_default())
             }
         };
+        if inserted {
+            self.cache.enforce_budget();
+        }
         // Compute outside the map lock: other keys proceed concurrently.
         let mut ran = false;
         let outcome = slot.get_or_init(|| {
@@ -368,6 +499,79 @@ mod tests {
         assert_eq!(first, second);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1), "error was served from the cache");
+    }
+
+    /// Schedules every block of `module` once, returning the results.
+    fn schedule_all(cache: &ScheduleCache, pum: &Pum, module: &Module) -> Vec<Arc<ScheduleResult>> {
+        let domain = ScheduleDomain::of(pum);
+        let handle = cache.domain(&domain);
+        let mut out = Vec::new();
+        for (f, func) in module.functions.iter().enumerate() {
+            for (b, block) in func.blocks.iter().enumerate() {
+                let dfg = block_dfg(block);
+                let (result, _) = handle
+                    .schedule(pum, block, &dfg, FuncId(f as u32), BlockId(b as u32))
+                    .expect("schedules");
+                out.push(result);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn budget_eviction_drops_entries_and_recompute_is_bit_identical() {
+        // A budget far below one generation's keys: every enforcement
+        // rotates, so earlier blocks are evicted as later ones arrive.
+        let cache = ScheduleCache::with_budget(1);
+        let pum = library::microblaze_like(8 << 10, 4 << 10);
+        let module = module_of(
+            "int f(int a, int b) { int s = 0; for (int i = 0; i < a; i++) { s += i * b; } return s; }
+             int g(int x) { if (x > 3) { x = x * 7; } else { x = x - 2; } return x; }",
+        );
+        let first = schedule_all(&cache, &pum, &module);
+        let evicted = cache.stats().evictions;
+        assert!(evicted > 0, "tiny budget must evict, stats: {:?}", cache.stats());
+        // Recompute after eviction: bit-identical results.
+        let second = schedule_all(&cache, &pum, &module);
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(**a, **b, "re-scheduled result identical across eviction");
+        }
+        // After the final over-budget enforcement at most the domain key
+        // (kept registered while handles are live) remains resident.
+        let domain_key_bytes = pum.schedule_domain().len() as u64;
+        assert!(
+            cache.stats().bytes <= domain_key_bytes + 64,
+            "resident bytes bounded near the budget: {:?}",
+            cache.stats()
+        );
+    }
+
+    #[test]
+    fn second_chance_survives_one_rotation() {
+        let cache = ScheduleCache::new();
+        let pum = library::microblaze_like(8 << 10, 4 << 10);
+        let domain = ScheduleDomain::of(&pum);
+        let module = module_of(SRC);
+        let block = &module.functions[0].blocks[0];
+        let dfg = block_dfg(block);
+        cache.schedule(&domain, &pum, block, &dfg, FuncId(0), BlockId(0)).expect("schedules");
+        cache.rotate(); // entry ages into the old generation
+        assert_eq!(cache.stats().evictions, 0, "first rotation drops nothing");
+        let (_, hit) =
+            cache.schedule(&domain, &pum, block, &dfg, FuncId(0), BlockId(0)).expect("schedules");
+        assert!(hit, "aged entry is promoted, not recomputed");
+        cache.rotate();
+        assert_eq!(cache.stats().evictions, 0, "promoted entry survives the next rotation");
+        let (_, hit) =
+            cache.schedule(&domain, &pum, block, &dfg, FuncId(0), BlockId(0)).expect("schedules");
+        assert!(hit, "still resident after two rotations with a touch between");
+        cache.rotate();
+        cache.rotate(); // two untouched rotations: now it is gone
+        assert_eq!(cache.stats().evictions, 1);
+        let (_, hit) =
+            cache.schedule(&domain, &pum, block, &dfg, FuncId(0), BlockId(0)).expect("schedules");
+        assert!(!hit, "evicted entry recomputes");
     }
 
     #[test]

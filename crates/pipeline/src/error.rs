@@ -16,9 +16,11 @@ use tlm_platform::desc::PlatformError;
 
 /// Any failure along `Source → … → Report`.
 ///
-/// Clones cheaply: pipeline stages cache failures exactly like successes
-/// (the same inputs deterministically fail the same way), so the error
-/// must be replayable to later demanders.
+/// Clones cheaply: pipeline stages cache *deterministic* failures exactly
+/// like successes (the same inputs deterministically fail the same way),
+/// so the error must be replayable to later demanders. Transient failures
+/// ([`PipelineError::Transient`]) are the exception: they are never
+/// cached — see [`PipelineError::is_deterministic`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum PipelineError {
     /// MiniC source does not parse.
@@ -29,6 +31,27 @@ pub enum PipelineError {
     Estimate(EstimateError),
     /// Platform construction or decoding failed.
     Platform(PlatformError),
+    /// A transient, environment-dependent failure — an injected fault, an
+    /// I/O hiccup, resource pressure. Retrying the same inputs may well
+    /// succeed, so a stage must **not** cache it: caching would poison the
+    /// slot forever (`tests in stage.rs` lock this down).
+    Transient(String),
+}
+
+impl PipelineError {
+    /// Wraps a transient (retryable, never-cached) failure message.
+    pub fn transient(message: impl Into<String>) -> PipelineError {
+        PipelineError::Transient(message.into())
+    }
+
+    /// Whether the failure is a deterministic property of the inputs.
+    ///
+    /// Deterministic failures (parse, lower, estimate, platform) are
+    /// cached like successes — re-running could not change them.
+    /// Non-deterministic ones must be recomputed on the next demand.
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(self, PipelineError::Transient(_))
+    }
 }
 
 impl fmt::Display for PipelineError {
@@ -38,6 +61,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Lower(e) => write!(f, "source does not lower: {e}"),
             PipelineError::Estimate(e) => e.fmt(f),
             PipelineError::Platform(e) => e.fmt(f),
+            PipelineError::Transient(msg) => write!(f, "transient failure (retryable): {msg}"),
         }
     }
 }
@@ -49,6 +73,7 @@ impl Error for PipelineError {
             PipelineError::Lower(e) => Some(e),
             PipelineError::Estimate(e) => Some(e),
             PipelineError::Platform(e) => Some(e),
+            PipelineError::Transient(_) => None,
         }
     }
 }

@@ -33,6 +33,7 @@ use tlm_cdfg::ir::Module;
 use tlm_core::annotate::{annotate_in_domain, PreparedModule, TimedModule};
 use tlm_core::cache::ScheduleDomain;
 use tlm_core::{Pum, ScheduleCache};
+use tlm_faults::Kind;
 use tlm_json::Value;
 use tlm_minic::Program;
 use tlm_platform::desc::{Platform, PlatformError};
@@ -138,6 +139,32 @@ impl Pipeline {
         }
     }
 
+    /// A pipeline whose resident artifact keys are bounded by roughly
+    /// `total` bytes. Half the budget goes to the Algorithm 1 schedule
+    /// cache — its entries are the expensive ones to recompute — and the
+    /// rest is split evenly across the five stage stores. Eviction is
+    /// second-chance generational; results stay bit-identical across
+    /// evictions because every stage is a pure function of its key.
+    pub fn with_budget(total: u64) -> Pipeline {
+        let pipeline = Pipeline::new();
+        pipeline.set_budget(total);
+        pipeline
+    }
+
+    /// Re-partitions the resident-byte budget as in
+    /// [`Pipeline::with_budget`]; `u64::MAX` disables eviction. Takes
+    /// effect on subsequent insertions.
+    pub fn set_budget(&self, total: u64) {
+        let (schedules, per_stage) =
+            if total == u64::MAX { (u64::MAX, u64::MAX) } else { (total / 2, total / 10) };
+        self.schedules.set_budget(schedules);
+        self.ast.set_budget(per_stage);
+        self.module.set_budget(per_stage);
+        self.prepared.set_budget(per_stage);
+        self.annotated.set_budget(per_stage);
+        self.report.set_budget(per_stage);
+    }
+
     /// The process-wide pipeline. Sweep drivers and builders that estimate
     /// the same sources under many configurations get cross-run reuse
     /// through this instance for free.
@@ -222,6 +249,19 @@ impl Pipeline {
         pum: &Pum,
     ) -> Result<Arc<TimedModule>, PipelineError> {
         self.annotated.get_or_try(&self.estimate_key(artifact, pum), || {
+            // Chaos-build injection point: a transient draw fails the
+            // compute retryably (the stage drops the slot, the next demand
+            // recomputes); a delay draw just stretches it.
+            if let Some(fault) =
+                tlm_faults::point("pipeline.stage.compute", &[Kind::Transient, Kind::Delay])
+            {
+                fault.fire();
+                if fault.kind() == Kind::Transient {
+                    return Err(PipelineError::transient(
+                        "injected fault at pipeline.stage.compute",
+                    ));
+                }
+            }
             let prepared = self.prepared(artifact)?;
             let handle = self.schedules.domain(&ScheduleDomain::of(pum));
             Ok(Arc::new(annotate_in_domain(&prepared, pum, &handle, true)?))
@@ -334,6 +374,7 @@ impl Pipeline {
                 misses: s.misses,
                 entries: s.entries,
                 bytes: s.bytes,
+                evictions: s.evictions,
             },
             annotated: self.annotated.stats(),
             report: self.report.stats(),

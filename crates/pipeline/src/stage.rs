@@ -7,8 +7,23 @@
 //! key owns a `OnceLock` slot, so the stage's computation runs **exactly
 //! once** per key even under concurrent demand: a thread that loses the
 //! initialization race blocks on the winner and reads its result (counted
-//! as a hit — it did not run the computation). Errors are cached like
-//! successes; the same inputs deterministically fail the same way.
+//! as a hit — it did not run the computation).
+//!
+//! **Error caching policy.** Deterministic errors are cached like
+//! successes — the same inputs fail the same way, so re-running could not
+//! change the outcome. *Transient* errors (injected faults, I/O,
+//! resource pressure — [`PipelineError::is_deterministic`] is false) are
+//! **not** cached: the computing thread removes the slot before
+//! returning, so the next demand recomputes instead of replaying a
+//! failure that may no longer hold.
+//!
+//! **Byte-budgeted eviction.** A stage can carry a resident-byte budget
+//! ([`Stage::set_budget`]): entries live in two generations, and when the
+//! accounted key bytes exceed the budget the old generation is dropped
+//! and the young one ages into its place. A lookup promotes its entry
+//! back into the young generation (second chance), `OnceLock` slot and
+//! all — a survivor never recomputes, and an evicted entry recomputes to
+//! bit-identical bytes because every stage is a pure function of its key.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +44,8 @@ pub struct StageStats {
     /// are shared `Arc`s whose footprint the store does not own
     /// exclusively.
     pub bytes: u64,
+    /// Entries dropped by budget-driven generation rotation.
+    pub evictions: u64,
 }
 
 impl StageStats {
@@ -45,23 +62,49 @@ impl StageStats {
 
 type Slot<T> = Arc<OnceLock<Result<T, PipelineError>>>;
 
+/// Two generations of entries: young holds everything inserted or touched
+/// since the last rotation; old awaits a second-chance promotion or the
+/// next rotation.
+#[derive(Debug)]
+struct Generations<T> {
+    young: HashMap<Arc<[u8]>, Slot<T>>,
+    old: HashMap<Arc<[u8]>, Slot<T>>,
+    young_bytes: u64,
+    old_bytes: u64,
+}
+
+impl<T> Default for Generations<T> {
+    fn default() -> Generations<T> {
+        Generations { young: HashMap::new(), old: HashMap::new(), young_bytes: 0, old_bytes: 0 }
+    }
+}
+
 /// A thread-safe, content-addressed store for one stage's artifacts.
 #[derive(Debug)]
 pub(crate) struct Stage<T: Clone> {
-    entries: Mutex<HashMap<Arc<[u8]>, Slot<T>>>,
+    gens: Mutex<Generations<T>>,
+    /// Resident-byte budget; `u64::MAX` means unbounded.
+    budget: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
-    key_bytes: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<T: Clone> Stage<T> {
     pub(crate) fn new() -> Stage<T> {
         Stage {
-            entries: Mutex::new(HashMap::new()),
+            gens: Mutex::new(Generations::default()),
+            budget: AtomicU64::new(u64::MAX),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            key_bytes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the resident-byte budget; `u64::MAX` disables eviction. Takes
+    /// effect on the next insertion.
+    pub(crate) fn set_budget(&self, bytes: u64) {
+        self.budget.store(bytes, Ordering::Relaxed);
     }
 
     /// Demands the artifact for `key`, running `compute` iff no slot holds
@@ -73,16 +116,27 @@ impl<T: Clone> Stage<T> {
         key: &[u8],
         compute: impl FnOnce() -> Result<T, PipelineError>,
     ) -> Result<T, PipelineError> {
+        let mut inserted = false;
         let slot: Slot<T> = {
-            let mut entries = self.entries.lock().expect("pipeline stage poisoned");
-            match entries.get(key) {
-                Some(slot) => Arc::clone(slot),
-                None => {
-                    self.key_bytes.fetch_add(key.len() as u64, Ordering::Relaxed);
-                    Arc::clone(entries.entry(Arc::from(key)).or_default())
-                }
+            let mut gens = self.gens.lock().expect("pipeline stage poisoned");
+            if let Some(slot) = gens.young.get(key) {
+                Arc::clone(slot)
+            } else if let Some((key, slot)) = gens.old.remove_entry(key) {
+                // Second chance: a touch promotes the entry (slot intact,
+                // so no recompute) back into the young generation.
+                gens.old_bytes -= key.len() as u64;
+                gens.young_bytes += key.len() as u64;
+                gens.young.insert(key, Arc::clone(&slot));
+                slot
+            } else {
+                inserted = true;
+                gens.young_bytes += key.len() as u64;
+                Arc::clone(gens.young.entry(Arc::from(key)).or_default())
             }
         };
+        if inserted {
+            self.enforce_budget();
+        }
         let mut ran = false;
         let outcome = slot.get_or_init(|| {
             ran = true;
@@ -93,26 +147,78 @@ impl<T: Clone> Stage<T> {
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        outcome.clone()
+        let outcome = outcome.clone();
+        if ran {
+            if let Err(e) = &outcome {
+                if !e.is_deterministic() {
+                    // Transient failure: drop the slot so the next demand
+                    // recomputes instead of replaying a stale error.
+                    // Threads already blocked on this slot still observe
+                    // the error (they raced the same attempt); later
+                    // demands get a fresh slot. Only this exact slot is
+                    // removed — a concurrent recompute's slot stays.
+                    self.remove_if_same(key, &slot);
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Removes `key` from either generation iff it still maps to `slot`.
+    fn remove_if_same(&self, key: &[u8], slot: &Slot<T>) {
+        let mut gens = self.gens.lock().expect("pipeline stage poisoned");
+        let Generations { young, old, young_bytes, old_bytes } = &mut *gens;
+        for (map, bytes) in [(young, young_bytes), (old, old_bytes)] {
+            if map.get(key).is_some_and(|s| Arc::ptr_eq(s, slot)) {
+                map.remove(key);
+                *bytes -= key.len() as u64;
+                return;
+            }
+        }
+    }
+
+    /// Rotates while the young generation exceeds half the budget or the
+    /// total exceeds the whole budget — each generation is bounded by
+    /// budget/2, so the resident total stays within the budget. At most
+    /// two rotations (the second empties the store entirely).
+    fn enforce_budget(&self) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == u64::MAX {
+            return;
+        }
+        for _ in 0..2 {
+            let mut gens = self.gens.lock().expect("pipeline stage poisoned");
+            if gens.young_bytes <= budget / 2 && gens.young_bytes + gens.old_bytes <= budget {
+                return;
+            }
+            let evicted = gens.old.len() as u64;
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            gens.old = std::mem::take(&mut gens.young);
+            gens.old_bytes = std::mem::replace(&mut gens.young_bytes, 0);
+        }
     }
 
     /// Snapshot of the stage's counters.
     pub(crate) fn stats(&self) -> StageStats {
-        let entries = self.entries.lock().expect("pipeline stage poisoned").len();
+        let (entries, bytes) = {
+            let gens = self.gens.lock().expect("pipeline stage poisoned");
+            (gens.young.len() + gens.old.len(), gens.young_bytes + gens.old_bytes)
+        };
         StageStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries,
-            bytes: self.key_bytes.load(Ordering::Relaxed),
+            bytes,
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Drops all artifacts and resets the counters.
     pub(crate) fn clear(&self) {
-        self.entries.lock().expect("pipeline stage poisoned").clear();
+        *self.gens.lock().expect("pipeline stage poisoned") = Generations::default();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
-        self.key_bytes.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -142,7 +248,7 @@ mod tests {
     }
 
     #[test]
-    fn errors_are_cached_and_replayed() {
+    fn deterministic_errors_are_cached_and_replayed() {
         let stage: Stage<u64> = Stage::new();
         let boom = || Err(PlatformError { message: "boom".into() }.into());
         let first = stage.get_or_try(b"k", boom).expect_err("fails");
@@ -150,6 +256,46 @@ mod tests {
         assert_eq!(first, second);
         let stats = stage.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn transient_errors_do_not_poison_the_slot() {
+        let stage: Stage<u64> = Stage::new();
+        let first = stage
+            .get_or_try(b"k", || Err(PipelineError::transient("cosmic ray")))
+            .expect_err("fails");
+        assert!(!first.is_deterministic());
+        // The once-failed key recomputes — and can now succeed.
+        let v = stage.get_or_try(b"k", || Ok(42)).expect("recomputes after transient failure");
+        assert_eq!(v, 42);
+        let stats = stage.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 1));
+        // And the success is cached as usual.
+        let v = stage.get_or_try(b"k", || panic!("must not re-run")).expect("hits");
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn budget_rotation_evicts_and_second_chance_promotes() {
+        let stage: Stage<u64> = Stage::new();
+        stage.set_budget(8);
+        // 4-byte keys: the third insert exceeds the 8-byte budget.
+        stage.get_or_try(b"aaaa", || Ok(1)).expect("computes");
+        stage.get_or_try(b"bbbb", || Ok(2)).expect("computes");
+        // Touch `aaaa` so it is young when the rotation happens.
+        stage.get_or_try(b"aaaa", || panic!("hit")).expect("hits");
+        stage.get_or_try(b"cccc", || Ok(3)).expect("computes and rotates");
+        let stats = stage.stats();
+        assert!(stats.bytes <= 8, "resident bytes respect the budget: {stats:?}");
+        // `aaaa` survived the rotation into the old generation: a demand
+        // promotes it without recompute.
+        let v = stage.get_or_try(b"aaaa", || panic!("survivor must not recompute")).expect("hits");
+        assert_eq!(v, 1);
+        // `bbbb` was evicted (old generation at rotation): it recomputes,
+        // bit-identical by determinism of the compute.
+        let v = stage.get_or_try(b"bbbb", || Ok(2)).expect("recomputes");
+        assert_eq!(v, 2);
+        assert!(stage.stats().evictions > 0, "rotation counted evictions");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! loadgen [--requests N] [--clients N] [--seed HEX] [--addr HOST:PORT]
-//!         [--bench-json[=PATH]]
+//!         [--chaos SEED] [--bench-json[=PATH]]
 //! ```
 //!
 //! Runs three phases and enforces the serving-layer guarantees as hard
@@ -26,6 +26,21 @@
 //!    connection), at least one `503` is observed (backpressure
 //!    engaged), the queue-depth peak stays within capacity + 1, and the
 //!    server still answers `/healthz` afterwards.
+//!
+//! The client honors backpressure: a `503` is retried after the
+//! server's `Retry-After`, with capped exponential backoff and seeded
+//! jitter; retry counts land in the benchmark record.
+//!
+//! With `--chaos SEED` (requires building with `--features faults`) a
+//! fourth phase boots a byte-budgeted in-process server, arms the
+//! seeded fault plan — worker panics, latency spikes, short reads,
+//! allocator pressure, transient stage failures — fires the same
+//! deterministic mix through it, and gates the degradation ladder: no
+//! status outside {200, 500, 503}, every `500` matches a caught worker
+//! panic and a respawn, workers and `/healthz` recover, cache eviction
+//! stays within the byte budget, `/readyz` flips during drain while
+//! `/healthz` holds, and — faults cleared — the same mix reproduces the
+//! pre-chaos bytes bit-identically across all the evictions.
 //!
 //! With `--bench-json` the measured throughput/latency and the gate
 //! inputs are written as a machine-readable record (`BENCH_serve.json`
@@ -96,8 +111,12 @@ fn request_body(seed: u64, i: u64) -> String {
     )
 }
 
+/// One HTTP reply: status, the `Retry-After` seconds if the server sent
+/// the header, and the body.
+type Reply = Result<(u16, Option<u64>, Vec<u8>), String>;
+
 /// One-shot HTTP exchange (fresh connection, `Connection: close`).
-fn exchange(addr: SocketAddr, head: &str, body: &[u8]) -> Result<(u16, Vec<u8>), String> {
+fn exchange(addr: SocketAddr, head: &str, body: &[u8]) -> Reply {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
@@ -119,10 +138,14 @@ fn exchange(addr: SocketAddr, head: &str, body: &[u8]) -> Result<(u16, Vec<u8>),
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("bad status line: {head_text}"))?;
-    Ok((status, raw[header_end + 4..].to_vec()))
+    let retry_after = head_text.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("retry-after").then(|| value.trim().parse().ok())?
+    });
+    Ok((status, retry_after, raw[header_end + 4..].to_vec()))
 }
 
-fn post_estimate(addr: SocketAddr, body: &str) -> Result<(u16, Vec<u8>), String> {
+fn post_estimate(addr: SocketAddr, body: &str) -> Reply {
     let head = format!(
         "POST /estimate HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n",
@@ -131,12 +154,47 @@ fn post_estimate(addr: SocketAddr, body: &str) -> Result<(u16, Vec<u8>), String>
     exchange(addr, &head, body.as_bytes())
 }
 
-fn get(addr: SocketAddr, target: &str) -> Result<(u16, Vec<u8>), String> {
+fn get(addr: SocketAddr, target: &str) -> Reply {
     exchange(
         addr,
         &format!("GET {target} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n"),
         b"",
     )
+}
+
+/// Longest single backoff sleep; the exponential curve is clipped here.
+const BACKOFF_CAP_MS: u64 = 2_000;
+/// Retries per request before the `503` (or transport error) is final.
+const MAX_RETRIES: u64 = 4;
+
+/// [`post_estimate`] with backpressure honored: a `503` is retried after
+/// the server's `Retry-After` (seconds), doubled per attempt, capped at
+/// [`BACKOFF_CAP_MS`], and jittered to 0.5–1.5× by the seeded generator
+/// so synchronized clients fan out instead of re-colliding. With
+/// `retry_errors`, transport errors (a chaos-cut connection) retry on
+/// the same schedule. Returns the final reply and the retry count.
+fn post_estimate_retry(
+    addr: SocketAddr,
+    body: &str,
+    seed: u64,
+    i: u64,
+    retry_errors: bool,
+) -> (Reply, u64) {
+    let mut rng = Rng::new(seed ^ 0x00ba_0ff5 ^ (i + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut retries = 0;
+    loop {
+        let reply = post_estimate(addr, body);
+        let retry_after = match &reply {
+            Ok((503, retry_after, _)) if retries < MAX_RETRIES => retry_after.unwrap_or(0),
+            Err(_) if retry_errors && retries < MAX_RETRIES => 0,
+            _ => return (reply, retries),
+        };
+        let base_ms = retry_after.saturating_mul(1000).max(50);
+        let backoff = base_ms.saturating_mul(1 << retries).min(BACKOFF_CAP_MS);
+        let jittered = backoff / 2 + rng.below(backoff.max(1));
+        std::thread::sleep(Duration::from_millis(jittered));
+        retries += 1;
+    }
 }
 
 /// Pulls one sample's value out of a Prometheus text page.
@@ -163,12 +221,15 @@ struct Phase {
     hashes: Vec<u64>,
     /// Non-200 responses and transport errors, as messages.
     failures: Vec<String>,
+    /// Backpressure retries performed across all requests.
+    retries: u64,
     wall: Duration,
     mean_latency: Duration,
 }
 
 /// Fires `requests` deterministic requests from `clients` threads;
-/// request `i` goes to thread `i % clients`.
+/// request `i` goes to thread `i % clients`. Each request honors
+/// `Retry-After` via [`post_estimate_retry`].
 fn run_phase(addr: SocketAddr, seed: u64, requests: u64, clients: u64) -> Phase {
     let started = Instant::now();
     let mut handles = Vec::new();
@@ -179,9 +240,9 @@ fn run_phase(addr: SocketAddr, seed: u64, requests: u64, clients: u64) -> Phase 
             while i < requests {
                 let body = request_body(seed, i);
                 let t0 = Instant::now();
-                let result = post_estimate(addr, &body);
+                let (result, retries) = post_estimate_retry(addr, &body, seed, i, false);
                 let latency = t0.elapsed();
-                out.push((i, result, latency));
+                out.push((i, result, retries, latency));
                 i += clients;
             }
             out
@@ -189,13 +250,15 @@ fn run_phase(addr: SocketAddr, seed: u64, requests: u64, clients: u64) -> Phase 
     }
     let mut hashes = vec![0u64; requests as usize];
     let mut failures = Vec::new();
+    let mut retries = 0u64;
     let mut latency_total = Duration::ZERO;
     for handle in handles {
-        for (i, result, latency) in handle.join().expect("client thread") {
+        for (i, result, request_retries, latency) in handle.join().expect("client thread") {
             latency_total += latency;
+            retries += request_retries;
             match result {
-                Ok((200, body)) => hashes[i as usize] = fnv1a(&body),
-                Ok((status, body)) => failures.push(format!(
+                Ok((200, _, body)) => hashes[i as usize] = fnv1a(&body),
+                Ok((status, _, body)) => failures.push(format!(
                     "request {i}: status {status}: {}",
                     String::from_utf8_lossy(&body[..body.len().min(200)])
                 )),
@@ -206,6 +269,7 @@ fn run_phase(addr: SocketAddr, seed: u64, requests: u64, clients: u64) -> Phase 
     Phase {
         hashes,
         failures,
+        retries,
         wall: started.elapsed(),
         mean_latency: latency_total / u32::try_from(requests.max(1)).unwrap_or(1),
     }
@@ -216,10 +280,12 @@ struct Args {
     clients: u64,
     seed: u64,
     addr: Option<String>,
+    /// Seed of the chaos phase; `None` skips it.
+    chaos: Option<u64>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { requests: 24, clients: 4, seed: 0x5eed_cafe, addr: None };
+    let mut args = Args { requests: 24, clients: 4, seed: 0x5eed_cafe, addr: None, chaos: None };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -237,6 +303,7 @@ fn parse_args() -> Args {
                 args.seed = u64::from_str_radix(v, 16).expect("hex seed");
             }
             "--addr" => args.addr = Some(value("--addr")),
+            "--chaos" => args.chaos = Some(value("--chaos").parse().expect("decimal seed")),
             // The shared --bench-json flag (and any following path) is
             // parsed by tlm_bench's own scan of the argument list.
             s if s == "--bench-json" || s.starts_with("--bench-json=") => {}
@@ -266,6 +333,7 @@ fn saturation_phase(gates: &mut Vec<Gate>) -> Value {
         queue: 2,
         limits: HttpLimits::default(),
         io_timeout: Duration::from_secs(120),
+        request_deadline: Duration::from_secs(120),
         max_requests_per_conn: 16,
     };
     let queue_capacity = config.queue;
@@ -288,24 +356,27 @@ fn saturation_phase(gates: &mut Vec<Gate>) -> Value {
     let mut retry_after_missing = 0u64;
     for t in threads {
         match t.join().expect("burst thread") {
-            Ok((200, _)) => ok += 1,
-            Ok((503, _)) => rejected += 1,
-            Ok((status, _)) => aborted.push(format!("unexpected status {status}")),
+            Ok((200, _, _)) => ok += 1,
+            Ok((503, retry_after, _)) => {
+                rejected += 1;
+                if retry_after.is_none() {
+                    retry_after_missing += 1;
+                }
+            }
+            Ok((status, _, _)) => aborted.push(format!("unexpected status {status}")),
             Err(e) => aborted.push(e),
         }
     }
-    // Spot-check one rejection for the Retry-After header by re-reading
-    // raw: the burst above already validated well-formedness, so only
-    // sample when rejections occurred.
+    // Backpressure must engage: a queue of two cannot absorb the burst.
     if rejected == 0 {
         retry_after_missing = 1;
     }
 
     let page = get(addr, "/metrics")
-        .map(|(_, b)| String::from_utf8_lossy(&b).into_owned())
+        .map(|(_, _, b)| String::from_utf8_lossy(&b).into_owned())
         .unwrap_or_default();
     let queue_peak = metric(&page, "tlm_serve_queue_depth_peak");
-    let healthy = get(addr, "/healthz").map(|(s, _)| s) == Ok(200);
+    let healthy = get(addr, "/healthz").map(|(s, _, _)| s) == Ok(200);
     handle.shutdown();
 
     gates.push(Gate {
@@ -346,10 +417,235 @@ fn phase_value(name: &str, phase: &Phase, requests: u64) -> Value {
     ObjectBuilder::new()
         .field("phase", name)
         .field("requests", requests)
+        .field("retries", phase.retries)
         .field("wall_ns", phase.wall.as_nanos() as u64)
         .field("mean_latency_ns", phase.mean_latency.as_nanos() as u64)
         .field("throughput_rps", requests as f64 / phase.wall.as_secs_f64().max(1e-9))
         .build()
+}
+
+/// One request on an already-open keep-alive connection: writes a GET,
+/// reads exactly one `Content-Length`-framed response.
+#[cfg(feature = "faults")]
+fn keep_alive_get(stream: &mut TcpStream, target: &str) -> Result<(u16, Vec<u8>), String> {
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n").as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err("connection closed mid-header".to_string()),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(format!("recv: {e}")),
+        }
+        if head.len() > 16 * 1024 {
+            return Err("response header too large".to_string());
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line: {text}"))?;
+    let length: usize = text
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).map_err(|e| format!("body: {e}"))?;
+    Ok((status, body))
+}
+
+/// Chaos phase: a byte-budgeted in-process server under the seeded
+/// fault plan. Establishes a fault-free baseline, fires the same mix
+/// with faults armed (panics, delays, short reads, allocator pressure,
+/// transient stage failures), then gates the degradation ladder and
+/// re-proves bit-identical determinism with the faults cleared.
+#[cfg(feature = "faults")]
+fn chaos_phase(gates: &mut Vec<Gate>, chaos_seed: u64, requests: u64, clients: u64) -> Value {
+    use tlm_faults::Kind;
+
+    // Small enough that the mix forces evictions, large enough that a
+    // single artifact fits: the gate below checks both sides.
+    const CACHE_BUDGET: u64 = 24 << 10;
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue: 16,
+        limits: HttpLimits::default(),
+        io_timeout: Duration::from_secs(30),
+        request_deadline: Duration::from_secs(30),
+        max_requests_per_conn: 16,
+    };
+    let workers = config.workers as u64;
+    let handle = Server::start(config, Service::with_cache_budget(16, CACHE_BUDGET))
+        .expect("chaos server starts");
+    let addr = handle.addr();
+
+    // Prime every design before arming the plan: catalog builds report
+    // errors as strings, so an injected fault during the one-time build
+    // would surface as a (cached) 400 rather than a retryable 503.
+    for design in DESIGNS {
+        let body = format!("{{\"platform\": \"{design}\", \"sweep\": [\"0k/0k\"]}}");
+        let (status, _, reply) = post_estimate(addr, &body).expect("prime request");
+        assert_eq!(status, 200, "prime {design}: {}", String::from_utf8_lossy(&reply));
+    }
+
+    let mix_seed = chaos_seed ^ 0xc4a0_5eed;
+    let baseline = run_phase(addr, mix_seed, requests, clients);
+
+    // Arm the plan. The forced entry guarantees at least one worker
+    // panic regardless of where the seeded draws land.
+    tlm_faults::install(chaos_seed);
+    tlm_faults::force("serve.worker.handle", Kind::Panic, 1);
+
+    let mut count200 = 0u64;
+    let mut count500 = 0u64;
+    let mut count503 = 0u64;
+    let mut unexpected = Vec::new();
+    let mut cut = 0u64;
+    let mut chaos_retries = 0u64;
+    let chaos_started = Instant::now();
+    for i in 0..requests {
+        let body = request_body(mix_seed, i);
+        let (result, retries) = post_estimate_retry(addr, &body, chaos_seed, i, true);
+        chaos_retries += retries;
+        match result {
+            Ok((200, _, _)) => count200 += 1,
+            Ok((500, _, _)) => count500 += 1,
+            Ok((503, _, _)) => count503 += 1,
+            Ok((status, _, _)) => unexpected.push(format!("request {i}: status {status}")),
+            Err(_) => cut += 1,
+        }
+    }
+    let chaos_wall = chaos_started.elapsed();
+
+    // Injection accounting must be read before the plan is cleared.
+    let injected_total = tlm_faults::injected_total();
+    let short_reads = tlm_faults::injected("serve.parse", Kind::ShortRead);
+    tlm_faults::clear();
+
+    let page = get(addr, "/metrics")
+        .map(|(_, _, b)| String::from_utf8_lossy(&b).into_owned())
+        .unwrap_or_default();
+    let panics = metric(&page, "tlm_serve_worker_panics_total");
+    let respawns = metric(&page, "tlm_serve_worker_respawns_total");
+    let alive = metric(&page, "tlm_serve_workers_alive");
+    let healthy = get(addr, "/healthz").map(|(s, _, _)| s) == Ok(200);
+    let followup =
+        post_estimate(addr, "{\"platform\": \"image:sw\", \"sweep\": [\"0k/0k\"]}").map(|r| r.0);
+
+    // Determinism across evictions: the identical mix, faults cleared,
+    // must reproduce the baseline bytes bit-for-bit even though the
+    // byte budget evicted and recomputed artifacts throughout.
+    let after = run_phase(addr, mix_seed, requests, clients);
+
+    let page = get(addr, "/metrics")
+        .map(|(_, _, b)| String::from_utf8_lossy(&b).into_owned())
+        .unwrap_or_default();
+    let evictions = metric(&page, "tlm_serve_cache_evictions_total");
+    let resident = metric(&page, "tlm_serve_cache_resident_bytes");
+
+    gates.push(Gate {
+        name: "chaos_no_unexpected_failures",
+        pass: unexpected.is_empty() && cut <= short_reads,
+        detail: if unexpected.is_empty() {
+            format!(
+                "{count200} ok, {count500} x 500, {count503} x 503, {cut} cut \
+                 (<= {short_reads} injected short reads), {chaos_retries} retries"
+            )
+        } else {
+            unexpected.join("; ")
+        },
+    });
+    gates.push(Gate {
+        name: "chaos_panic_isolated",
+        pass: panics >= 1 && respawns == panics && count500 == panics,
+        detail: format!("{panics} worker panics, {respawns} respawns, {count500} x 500"),
+    });
+    gates.push(Gate {
+        name: "chaos_workers_recover",
+        pass: alive == workers && healthy && followup == Ok(200),
+        detail: format!(
+            "{alive}/{workers} workers alive, healthz {healthy}, follow-up {followup:?}"
+        ),
+    });
+    gates.push(Gate {
+        name: "chaos_cache_bounded",
+        pass: evictions > 0 && resident <= CACHE_BUDGET + 4096,
+        detail: format!("{evictions} evictions, {resident} resident bytes (budget {CACHE_BUDGET})"),
+    });
+    let determinism = after.hashes == baseline.hashes && after.failures.is_empty();
+    gates.push(Gate {
+        name: "chaos_determinism_unchanged",
+        pass: determinism,
+        detail: if determinism {
+            "post-chaos mix reproduces the baseline bytes across evictions".to_string()
+        } else {
+            let diverged =
+                baseline.hashes.iter().zip(&after.hashes).filter(|(a, b)| a != b).count();
+            format!("{diverged} responses diverged; failures: {}", after.failures.join("; "))
+        },
+    });
+
+    // Drain ordering: pin both workers with keep-alive connections, ask
+    // for shutdown, and observe /readyz flip to 503 while /healthz on
+    // the other pinned connection still answers 200.
+    let mut conn_a = TcpStream::connect(addr).expect("drain conn a");
+    let mut conn_b = TcpStream::connect(addr).expect("drain conn b");
+    for conn in [&mut conn_a, &mut conn_b] {
+        conn.set_read_timeout(Some(Duration::from_secs(10))).expect("drain timeout");
+    }
+    let pin_a = keep_alive_get(&mut conn_a, "/healthz").map(|(s, _)| s);
+    let pin_b = keep_alive_get(&mut conn_b, "/healthz").map(|(s, _)| s);
+    handle.request_shutdown();
+    let ready_draining = keep_alive_get(&mut conn_a, "/readyz").map(|(s, _)| s);
+    let health_draining = keep_alive_get(&mut conn_b, "/healthz").map(|(s, _)| s);
+    drop(conn_a);
+    drop(conn_b);
+    let drain_ok = pin_a == Ok(200)
+        && pin_b == Ok(200)
+        && ready_draining == Ok(503)
+        && health_draining == Ok(200);
+    gates.push(Gate {
+        name: "chaos_drain_readyz",
+        pass: drain_ok,
+        detail: format!(
+            "pinned {pin_a:?}/{pin_b:?}, draining readyz {ready_draining:?}, \
+             draining healthz {health_draining:?}"
+        ),
+    });
+    handle.shutdown();
+
+    ObjectBuilder::new()
+        .field("seed", chaos_seed)
+        .field("requests", requests)
+        .field("wall_ns", chaos_wall.as_nanos() as u64)
+        .field("ok", count200)
+        .field("internal_errors", count500)
+        .field("rejected", count503)
+        .field("cut_connections", cut)
+        .field("retries", chaos_retries)
+        .field("faults_injected", injected_total)
+        .field("short_reads_injected", short_reads)
+        .field("worker_panics", panics)
+        .field("worker_respawns", respawns)
+        .field("cache_evictions", evictions)
+        .field("cache_resident_bytes", resident)
+        .field("cache_budget_bytes", CACHE_BUDGET)
+        .build()
+}
+
+#[cfg(not(feature = "faults"))]
+fn chaos_phase(_gates: &mut Vec<Gate>, _chaos_seed: u64, _requests: u64, _clients: u64) -> Value {
+    eprintln!("--chaos requires building with `--features faults`");
+    std::process::exit(2)
 }
 
 fn main() -> ExitCode {
@@ -381,7 +677,7 @@ fn main() -> ExitCode {
     );
 
     let snapshot = |label: &str| -> StageSnap {
-        let (status, body) = get(addr, "/metrics").expect("metrics reachable");
+        let (status, _, body) = get(addr, "/metrics").expect("metrics reachable");
         assert_eq!(status, 200, "{label}: /metrics status");
         let page = String::from_utf8_lossy(&body);
         let mut snap = StageSnap::default();
@@ -487,6 +783,10 @@ fn main() -> ExitCode {
         handle.shutdown();
     }
 
+    let chaos = args
+        .chaos
+        .map(|chaos_seed| chaos_phase(&mut gates, chaos_seed, args.requests, args.clients));
+
     let mut failed = false;
     for gate in &gates {
         let verdict = if gate.pass { "PASS" } else { "FAIL" };
@@ -499,7 +799,7 @@ fn main() -> ExitCode {
         for gate in &gates {
             gate_obj = gate_obj.field(gate.name, gate.pass);
         }
-        let record = ObjectBuilder::new()
+        let mut record = ObjectBuilder::new()
             .field("bench", "serve")
             .field("seed", format!("{:#x}", args.seed))
             .field("requests", args.requests)
@@ -528,9 +828,11 @@ fn main() -> ExitCode {
                     })
                     .build(),
             )
-            .field("saturation", saturation)
-            .field("gates", gate_obj.build())
-            .build();
+            .field("saturation", saturation);
+        if let Some(chaos) = chaos {
+            record = record.field("chaos", chaos);
+        }
+        let record = record.field("gates", gate_obj.build()).build();
         tlm_bench::perf::write_bench_json(&path, &record);
     }
 

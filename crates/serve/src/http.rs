@@ -17,10 +17,21 @@
 //!   that carry bodies.
 //!
 //! Socket read timeouts surface as [`HttpError::Timeout`] (→ 408), so a
-//! stalled or truncated upload cannot pin a worker.
+//! stalled or truncated upload cannot pin a worker. On top of the
+//! per-operation socket timeout, a connection can carry a **per-request
+//! deadline** ([`Conn::begin_request`]): before *every* buffered read the
+//! socket timeout is re-armed to the remaining budget, so a slowloris
+//! client dripping one byte per second — each drip well inside the
+//! per-op timeout — still runs out of budget and gets `408`. Responses
+//! are written the same way ([`Response::write_deadline`]): chunked, the
+//! write timeout re-armed before each chunk, so a peer that stops
+//! reading mid-response cannot pin a worker either.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use tlm_faults::Kind;
 
 /// Input caps for one request.
 #[derive(Debug, Clone, Copy)]
@@ -108,13 +119,63 @@ impl From<io::Error> for HttpError {
 #[derive(Debug)]
 pub struct Conn {
     reader: BufReader<TcpStream>,
+    /// Per-operation socket timeout, re-applied before every read.
+    io_timeout: Option<Duration>,
+    /// Absolute end of the current request's total I/O budget.
+    deadline: Option<Instant>,
 }
 
 impl Conn {
     /// Wraps a stream. The caller is expected to have set socket read and
     /// write timeouts already (the per-request timeout mechanism).
     pub fn new(stream: TcpStream) -> Conn {
-        Conn { reader: BufReader::with_capacity(16 << 10, stream) }
+        Conn {
+            reader: BufReader::with_capacity(16 << 10, stream),
+            io_timeout: None,
+            deadline: None,
+        }
+    }
+
+    /// Wraps a stream with a per-operation socket timeout that the
+    /// connection re-arms itself before every read (and composes with the
+    /// per-request deadline of [`Conn::begin_request`]).
+    pub fn with_io_timeout(stream: TcpStream, io_timeout: Duration) -> Conn {
+        Conn {
+            reader: BufReader::with_capacity(16 << 10, stream),
+            io_timeout: Some(io_timeout),
+            deadline: None,
+        }
+    }
+
+    /// Starts a request's total I/O budget: every subsequent read gets a
+    /// socket timeout of `min(io_timeout, remaining budget)`, so the sum
+    /// of all reads — however the client fragments them — is bounded.
+    /// `None` clears the deadline.
+    pub fn begin_request(&mut self, budget: Option<Duration>) {
+        self.deadline = budget.map(|b| Instant::now() + b);
+    }
+
+    /// The current request's deadline, for deadline-aware response writes.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Re-arms the socket read timeout for the next operation. With
+    /// neither an `io_timeout` nor a deadline the caller's own socket
+    /// configuration is left untouched.
+    fn arm(&mut self) -> Result<(), HttpError> {
+        let mut timeout = self.io_timeout;
+        if let Some(deadline) = self.deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(HttpError::Timeout);
+            }
+            timeout = Some(timeout.map_or(remaining, |t| t.min(remaining)));
+        }
+        if let Some(t) = timeout {
+            let _ = self.reader.get_ref().set_read_timeout(Some(t));
+        }
+        Ok(())
     }
 
     /// The underlying stream, for writing responses.
@@ -127,18 +188,31 @@ impl Conn {
     }
 
     /// Reads one CRLF- (or LF-) terminated line, capped at `max` bytes.
+    /// The deadline is enforced per buffered read: a client dripping the
+    /// line byte-by-byte re-arms a shrinking timeout on every drip.
     fn read_line(&mut self, max: usize) -> Result<Option<String>, HttpError> {
-        let mut line = Vec::new();
-        let n = (&mut self.reader).take(max as u64 + 1).read_until(b'\n', &mut line)?;
-        if n == 0 {
-            return Ok(None); // clean EOF
-        }
-        if line.last() != Some(&b'\n') {
-            // Either the cap was hit or the peer died mid-line.
-            if line.len() > max {
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            self.arm()?;
+            let available = self.reader.fill_buf()?;
+            if available.is_empty() {
+                if line.is_empty() {
+                    return Ok(None); // clean EOF
+                }
+                return Err(HttpError::Closed { clean: false });
+            }
+            let (consumed, done) = match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => (pos + 1, true),
+                None => (available.len(), false),
+            };
+            if line.len() + consumed > max + 1 {
                 return Err(HttpError::HeaderTooLarge);
             }
-            return Err(HttpError::Closed { clean: false });
+            line.extend_from_slice(&available[..consumed]);
+            self.reader.consume(consumed);
+            if done {
+                break;
+            }
         }
         while matches!(line.last(), Some(b'\n' | b'\r')) {
             line.pop();
@@ -200,8 +274,21 @@ impl Conn {
                 limit: limits.max_body_bytes,
             });
         }
+        // Chaos-build injection point: pretend the peer's bytes ran out
+        // before the body arrived (the truncated-upload path).
+        if tlm_faults::point("serve.parse", &[Kind::ShortRead]).is_some() {
+            return Err(HttpError::Closed { clean: false });
+        }
         let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body)?;
+        let mut filled = 0;
+        while filled < content_length {
+            self.arm()?;
+            let n = self.reader.read(&mut body[filled..])?;
+            if n == 0 {
+                return Err(HttpError::Closed { clean: false });
+            }
+            filled += n;
+        }
 
         let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
             Some(c) if c.contains("close") => false,
@@ -280,12 +367,8 @@ impl Response {
         }
     }
 
-    /// Serializes the response onto a stream.
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket write errors.
-    pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+    /// The serialized status line and headers, terminator included.
+    fn head(&self, keep_alive: bool) -> String {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
@@ -301,11 +384,73 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
+        head
+    }
+
+    /// Serializes the response onto a stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        stream.write_all(self.head(keep_alive).as_bytes())?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
+
+    /// Serializes the response in 16 KiB chunks,
+    /// re-arming the socket write timeout to `min(io_timeout, remaining
+    /// deadline)` before each — a peer that stops reading mid-response
+    /// fails the write instead of pinning the worker past the request's
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors; an exhausted deadline surfaces as
+    /// [`io::ErrorKind::TimedOut`].
+    pub fn write_deadline(
+        &self,
+        stream: &mut TcpStream,
+        keep_alive: bool,
+        deadline: Option<Instant>,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<()> {
+        let arm = |stream: &TcpStream| -> io::Result<()> {
+            let mut timeout = io_timeout;
+            if let Some(deadline) = deadline {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "response write deadline exceeded",
+                    ));
+                }
+                timeout = Some(timeout.map_or(remaining, |t| t.min(remaining)));
+            }
+            if let Some(t) = timeout {
+                stream.set_write_timeout(Some(t))?;
+            }
+            Ok(())
+        };
+
+        arm(stream)?;
+        stream.write_all(self.head(keep_alive).as_bytes())?;
+        for chunk in self.body.chunks(RESPONSE_CHUNK) {
+            // Chaos-build injection point: a latency spike mid-response.
+            if let Some(fault) = tlm_faults::point("serve.response.write", &[Kind::Delay]) {
+                fault.fire();
+            }
+            arm(stream)?;
+            stream.write_all(chunk)?;
+        }
+        stream.flush()
+    }
 }
+
+/// Chunk size of [`Response::write_deadline`]: large enough that small
+/// responses go out in one write, small enough that the deadline is
+/// checked many times across a multi-megabyte report.
+const RESPONSE_CHUNK: usize = 16 << 10;
 
 #[cfg(test)]
 mod tests {

@@ -1,12 +1,19 @@
 //! `tlm-serve` — the estimation service daemon.
 //!
 //! ```text
-//! tlm-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//! tlm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-budget BYTES]
 //! ```
 //!
 //! Boots the HTTP server, prints the bound address (flushed immediately,
 //! so scripts can scrape the port when binding `:0`), and runs until
-//! SIGINT/SIGTERM, then drains in-flight requests and exits.
+//! SIGINT/SIGTERM, then drains in-flight requests and exits. On the
+//! first signal `/readyz` flips to `503` (load balancers stop routing)
+//! while `/healthz` keeps answering `200` — draining is not dying.
+//!
+//! `--cache-budget` bounds the resident bytes of the pipeline's
+//! memoization stores; the default is unbounded. Under a budget, cold
+//! entries are evicted generationally (second-chance) and recomputed on
+//! demand — results stay bit-identical, only latency changes.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -18,18 +25,20 @@ use tlm_serve::signal;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tlm-serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
+        "usage: tlm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-budget BYTES]\n\
          \n\
          endpoints:\n\
            POST /estimate   run estimation jobs (JSON)\n\
            GET  /metrics    Prometheus text metrics\n\
-           GET  /healthz    liveness probe"
+           GET  /healthz    liveness probe\n\
+           GET  /readyz     readiness probe (503 while draining)"
     );
     std::process::exit(2)
 }
 
-fn parse_args() -> ServerConfig {
+fn parse_args() -> (ServerConfig, u64) {
     let mut config = ServerConfig::default();
+    let mut cache_budget = u64::MAX;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -42,6 +51,9 @@ fn parse_args() -> ServerConfig {
             "--addr" => config.addr = value("--addr"),
             "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
             "--queue" => config.queue = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--cache-budget" => {
+                cache_budget = value("--cache-budget").parse().unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -49,15 +61,15 @@ fn parse_args() -> ServerConfig {
             }
         }
     }
-    config
+    (config, cache_budget)
 }
 
 fn main() -> ExitCode {
-    let config = parse_args();
+    let (config, cache_budget) = parse_args();
     signal::install();
 
     let queue = config.queue;
-    let handle = match Server::start(config, Service::new(queue)) {
+    let handle = match Server::start(config, Service::with_cache_budget(queue, cache_budget)) {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("tlm-serve: cannot bind: {e}");

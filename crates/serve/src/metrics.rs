@@ -43,6 +43,14 @@ pub struct Metrics {
     latency_sum_ns: AtomicU64,
     /// Number of observations, for `_count`.
     latency_count: AtomicU64,
+    /// Request-handler panics caught and isolated (each answered `500`).
+    worker_panics_total: AtomicU64,
+    /// Worker threads respawned by their supervisor after a panic.
+    worker_respawns_total: AtomicU64,
+    /// Worker threads currently alive.
+    workers_alive: AtomicU64,
+    /// Worker threads currently serving a connection.
+    workers_busy: AtomicU64,
 }
 
 impl Metrics {
@@ -107,6 +115,51 @@ impl Metrics {
         self.latency_count.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one caught-and-isolated request-handler panic.
+    pub fn worker_panic(&self) {
+        self.worker_panics_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one supervisor respawn of a panicked worker.
+    pub fn worker_respawn(&self) {
+        self.worker_respawns_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker thread coming up.
+    pub fn worker_started(&self) {
+        self.workers_alive.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker thread exiting (drain or panic).
+    pub fn worker_exited(&self) {
+        self.workers_alive.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Marks a worker as serving a connection.
+    pub fn worker_busy(&self) {
+        self.workers_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completes [`Metrics::worker_busy`].
+    pub fn worker_idle(&self) {
+        self.workers_busy.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Total caught request-handler panics.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics_total.load(Ordering::Relaxed)
+    }
+
+    /// Total worker respawns.
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns_total.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads currently alive.
+    pub fn workers_alive(&self) -> u64 {
+        self.workers_alive.load(Ordering::Relaxed)
+    }
+
     /// Total requests observed.
     pub fn requests(&self) -> u64 {
         self.requests_total.load(Ordering::Relaxed)
@@ -146,6 +199,26 @@ impl Metrics {
             "tlm_serve_schedule_cache_misses_total",
             "Schedule-cache lookups that ran Algorithm 1.",
             pipeline.schedules.misses,
+        );
+        counter(
+            "tlm_serve_worker_panics_total",
+            "Request-handler panics caught and isolated (each answered 500).",
+            self.worker_panics(),
+        );
+        counter(
+            "tlm_serve_worker_respawns_total",
+            "Worker threads respawned by the supervisor after a panic.",
+            self.worker_respawns(),
+        );
+        counter(
+            "tlm_serve_cache_evictions_total",
+            "Entries dropped by byte-budget generation rotation, all stores.",
+            pipeline.stages().iter().map(|(_, s)| s.evictions).sum(),
+        );
+        counter(
+            "tlm_serve_faults_injected_total",
+            "Faults injected by the chaos plan (0 unless built with --features faults).",
+            tlm_faults::injected_total(),
         );
 
         let _ = writeln!(out, "# HELP tlm_serve_responses_total Responses by status code.");
@@ -188,6 +261,12 @@ impl Metrics {
             "Approximate resident key bytes per pipeline stage.",
             |s| s.bytes,
         );
+        stage_family(
+            "tlm_serve_pipeline_stage_evictions_total",
+            "counter",
+            "Entries dropped by byte-budget generation rotation, per stage.",
+            |s| s.evictions,
+        );
 
         let mut gauge = |name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -218,6 +297,17 @@ impl Metrics {
             "tlm_serve_schedule_cache_entries",
             "Resident schedule-cache entries.",
             pipeline.schedules.entries as u64,
+        );
+        gauge(
+            "tlm_serve_cache_resident_bytes",
+            "Approximate resident key bytes across all artifact stores.",
+            pipeline.stages().iter().map(|(_, s)| s.bytes).sum(),
+        );
+        gauge("tlm_serve_workers_alive", "Worker threads currently alive.", self.workers_alive());
+        gauge(
+            "tlm_serve_workers_busy",
+            "Worker threads currently serving a connection.",
+            self.workers_busy.load(Ordering::Relaxed),
         );
 
         let _ =
@@ -262,10 +352,17 @@ mod tests {
         m.dequeue();
         m.begin();
         m.done(Duration::from_millis(3));
+        m.worker_started();
+        m.worker_started();
+        m.worker_busy();
+        m.worker_panic();
+        m.worker_exited();
+        m.worker_respawn();
+        m.worker_started();
 
         let stats = PipelineStats {
-            schedules: StageStats { hits: 7, misses: 3, entries: 10, bytes: 640 },
-            report: StageStats { hits: 1, misses: 2, entries: 2, bytes: 128 },
+            schedules: StageStats { hits: 7, misses: 3, entries: 10, bytes: 640, evictions: 4 },
+            report: StageStats { hits: 1, misses: 2, entries: 2, bytes: 128, evictions: 1 },
             ..Default::default()
         };
         let text = m.render(&stats, 64);
@@ -284,6 +381,13 @@ mod tests {
         assert!(text.contains("tlm_serve_pipeline_stage_entries{stage=\"report\"} 2"));
         assert!(text.contains("tlm_serve_pipeline_stage_bytes{stage=\"schedules\"} 640"));
         assert!(text.contains("tlm_serve_pipeline_stage_hits_total{stage=\"ast\"} 0"));
+        assert!(text.contains("tlm_serve_pipeline_stage_evictions_total{stage=\"schedules\"} 4"));
+        assert!(text.contains("tlm_serve_cache_evictions_total 5"));
+        assert!(text.contains("tlm_serve_cache_resident_bytes 768"));
+        assert!(text.contains("tlm_serve_worker_panics_total 1"));
+        assert!(text.contains("tlm_serve_worker_respawns_total 1"));
+        assert!(text.contains("tlm_serve_workers_alive 2"));
+        assert!(text.contains("tlm_serve_workers_busy 1"));
         assert!(text.contains("tlm_serve_request_duration_seconds_count 1"));
         // 3 ms lands in the ≤5 ms bucket and every one after (cumulative).
         assert!(text.contains("tlm_serve_request_duration_seconds_bucket{le=\"0.001\"} 0"));

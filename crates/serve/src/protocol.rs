@@ -157,6 +157,27 @@ struct Job {
     report: ReportKind,
 }
 
+/// Why a job could not be answered — the split decides the status code.
+///
+/// Client errors are deterministic properties of the request (bad JSON,
+/// unknown design, an estimation error the same bytes would always hit)
+/// and answer `400`. Transient errors (an injected fault, resource
+/// pressure — [`tlm_pipeline::PipelineError::is_deterministic`] is
+/// false) answer `503` with `Retry-After`: the same request may well
+/// succeed on retry, and the pipeline has already dropped the failed
+/// slot so the retry actually recomputes.
+#[derive(Debug)]
+enum JobError {
+    Client(String),
+    Transient(String),
+}
+
+impl From<String> for JobError {
+    fn from(message: String) -> JobError {
+        JobError::Client(message)
+    }
+}
+
 fn u32_field(value: &Value, key: &str, what: &str) -> Result<u32, String> {
     let v = value.get(key).ok_or_else(|| format!("{what}: missing `{key}`"))?;
     let n = v.as_u64().ok_or_else(|| format!("{what}: `{key}` must be a non-negative integer"))?;
@@ -196,7 +217,7 @@ fn decode_job(
     pipeline: &Pipeline,
     catalog: &Catalog,
     what: &str,
-) -> Result<Job, String> {
+) -> Result<Job, JobError> {
     let platform = value.get("platform").ok_or_else(|| format!("{what}: missing `platform`"))?;
     let design = match platform {
         Value::String(name) => catalog.builtin(pipeline, name)?.ok_or_else(|| {
@@ -206,11 +227,21 @@ fn decode_job(
             )
         })?,
         Value::Object(_) => {
-            let custom =
-                pipeline.design_from_value(platform).map_err(|e| format!("{what}: {e}"))?;
+            let custom = pipeline.design_from_value(platform).map_err(|e| {
+                let message = format!("{what}: {e}");
+                if e.is_deterministic() {
+                    JobError::Client(message)
+                } else {
+                    JobError::Transient(message)
+                }
+            })?;
             Arc::new(custom)
         }
-        _ => return Err(format!("{what}: `platform` must be a design name or a platform object")),
+        _ => {
+            return Err(JobError::Client(format!(
+                "{what}: `platform` must be a design name or a platform object"
+            )))
+        }
     };
 
     let sweep = match value.get("sweep") {
@@ -221,13 +252,14 @@ fn decode_job(
         Some(v) => {
             let points = v.as_array().ok_or_else(|| format!("{what}: `sweep` must be an array"))?;
             if points.is_empty() {
-                return Err(format!("{what}: `sweep` must not be empty"));
+                return Err(format!("{what}: `sweep` must not be empty").into());
             }
             if points.len() > MAX_SWEEP_POINTS {
                 return Err(format!(
                     "{what}: `sweep` has {} points, limit is {MAX_SWEEP_POINTS}",
                     points.len()
-                ));
+                )
+                .into());
             }
             points
                 .iter()
@@ -243,21 +275,21 @@ fn decode_job(
             Some("totals") => ReportKind::Totals,
             Some("blocks") => ReportKind::Blocks,
             _ => {
-                return Err(format!("{what}: `report` must be \"totals\" or \"blocks\""));
+                return Err(format!("{what}: `report` must be \"totals\" or \"blocks\"").into());
             }
         },
     };
 
     for key in value.as_object().into_iter().flatten().map(|(k, _)| k) {
         if !matches!(key.as_str(), "platform" | "sweep" | "report") {
-            return Err(format!("{what}: unknown field `{key}`"));
+            return Err(format!("{what}: unknown field `{key}`").into());
         }
     }
 
     Ok(Job { design, sweep, report })
 }
 
-fn run_job(pipeline: &Pipeline, job: &Job) -> Result<Value, String> {
+fn run_job(pipeline: &Pipeline, job: &Job) -> Result<Value, JobError> {
     let platform = &job.design.platform;
     let mut sweep_rows = Vec::with_capacity(job.sweep.len());
     for point in &job.sweep {
@@ -275,7 +307,15 @@ fn run_job(pipeline: &Pipeline, job: &Job) -> Result<Value, String> {
         for (proc, artifact) in platform.processes.iter().zip(job.design.artifacts()) {
             let pum = &pums[proc.pe.0];
             let report = pipeline.process_report(artifact, pum).map_err(|e| {
-                format!("sweep `{}`, process `{}`: estimation failed: {e}", point.label, proc.name)
+                let message = format!(
+                    "sweep `{}`, process `{}`: estimation failed: {e}",
+                    point.label, proc.name
+                );
+                if e.is_deterministic() {
+                    JobError::Client(message)
+                } else {
+                    JobError::Transient(message)
+                }
             })?;
 
             let mut functions = Vec::new();
@@ -352,6 +392,18 @@ impl Service {
         Service { pipeline: Arc::new(Pipeline::new()), catalog: Catalog::new(), queue_capacity }
     }
 
+    /// A service whose artifact pipeline evicts down to roughly
+    /// `cache_budget` resident key bytes (see
+    /// [`tlm_pipeline::Pipeline::with_budget`]); responses stay
+    /// bit-identical across evictions, only recompute cost varies.
+    pub fn with_cache_budget(queue_capacity: usize, cache_budget: u64) -> Service {
+        Service {
+            pipeline: Arc::new(Pipeline::with_budget(cache_budget)),
+            catalog: Catalog::new(),
+            queue_capacity,
+        }
+    }
+
     /// Decodes and runs `POST /estimate`.
     fn estimate(&self, body: &[u8], max_body: usize) -> Response {
         let text = match std::str::from_utf8(body) {
@@ -364,7 +416,7 @@ impl Service {
             Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
         };
 
-        let run_one = |value: &Value, what: &str| -> Result<Value, String> {
+        let run_one = |value: &Value, what: &str| -> Result<Value, JobError> {
             let job = decode_job(value, &self.pipeline, &self.catalog, what)?;
             run_job(&self.pipeline, &job)
         };
@@ -397,23 +449,44 @@ impl Service {
                 body.push('\n');
                 Response::json(200, body)
             }
-            Err(message) => Response::error(400, &message),
+            Err(JobError::Client(message)) => Response::error(400, &message),
+            // Retryable: the failed slot was not cached, so a retry
+            // actually recomputes instead of replaying the failure.
+            Err(JobError::Transient(message)) => {
+                Response::error(503, &message).with_header("Retry-After", "1")
+            }
         }
     }
 
     /// Routes one request to a response. `max_body` is the configured
-    /// body cap, reused as the JSON parser's size limit.
-    pub fn handle(&self, req: &Request, metrics: &Metrics, max_body: usize) -> Response {
+    /// body cap, reused as the JSON parser's size limit. `draining` flips
+    /// `/readyz` to `503` (stop sending new work here) while `/healthz`
+    /// stays `200` (the process is alive and flushing) — the degradation
+    /// ladder's drain rung.
+    pub fn handle(
+        &self,
+        req: &Request,
+        metrics: &Metrics,
+        max_body: usize,
+        draining: bool,
+    ) -> Response {
         match (req.method.as_str(), req.target.as_str()) {
             ("POST", "/estimate") => self.estimate(&req.body, max_body),
             ("GET", "/metrics") => {
                 Response::text(200, metrics.render(&self.pipeline.stats(), self.queue_capacity))
             }
             ("GET", "/healthz") => Response::text(200, "ok\n"),
+            ("GET", "/readyz") => {
+                if draining {
+                    Response::error(503, "draining").with_header("Retry-After", "1")
+                } else {
+                    Response::text(200, "ready\n")
+                }
+            }
             (_, "/estimate") => {
                 Response::error(405, "use POST /estimate").with_header("Allow", "POST")
             }
-            (_, "/metrics" | "/healthz") => {
+            (_, "/metrics" | "/healthz" | "/readyz") => {
                 Response::error(405, "use GET").with_header("Allow", "GET")
             }
             (_, target) => Response::error(404, &format!("no such endpoint `{target}`")),

@@ -16,22 +16,34 @@
 //!   bound how long a stalled client can hold a worker (a timeout
 //!   answers `408` and closes);
 //! - **shutdown** ([`ServerHandle::shutdown`]) latches a flag; the
-//!   acceptor stops accepting and drops the queue's sender, workers
-//!   drain the connections already queued (keep-alive is not renewed
-//!   once draining), and `shutdown` joins them all — in-flight requests
-//!   finish, nothing is dropped.
+//!   acceptor stops accepting *first* and drops the queue's sender,
+//!   workers then drain the connections already queued (keep-alive is
+//!   not renewed once draining), and `shutdown` joins them all —
+//!   in-flight requests finish, nothing is dropped. While draining,
+//!   `/readyz` answers `503` (route new work elsewhere) and `/healthz`
+//!   stays `200` (the process is alive and flushing);
+//! - **panic isolation**: each request's handler runs under
+//!   `catch_unwind`. A panic answers that connection `500`, the worker
+//!   thread exits, and its supervisor respawns a fresh one — the panic
+//!   never takes down a neighbour request or the server
+//!   (`tlm_serve_worker_panics_total` / `_respawns_total` count both
+//!   sides).
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use tlm_faults::Kind;
+
 use crate::http::{Conn, HttpError, HttpLimits, Response};
 use crate::metrics::Metrics;
 use crate::protocol::Service;
+use crate::signal;
 
 /// Tunables of one server instance.
 #[derive(Debug, Clone)]
@@ -45,9 +57,14 @@ pub struct ServerConfig {
     pub queue: usize,
     /// Input caps applied to every request.
     pub limits: HttpLimits,
-    /// Socket read/write timeout — the per-request I/O budget. A client
-    /// that stalls longer gets `408` and is disconnected.
+    /// Socket read/write timeout per I/O operation. A client that stalls
+    /// longer gets `408` and is disconnected.
     pub io_timeout: Duration,
+    /// Total I/O budget per request, enforced per operation: before every
+    /// read or response-chunk write the socket timeout is re-armed to the
+    /// remaining budget, so a slowloris client dripping bytes inside the
+    /// per-op timeout still gets `408` when the sum runs out.
+    pub request_deadline: Duration,
     /// Keep-alive requests served per connection before it is closed
     /// (prevents one client from pinning a worker forever).
     pub max_requests_per_conn: u32,
@@ -61,6 +78,7 @@ impl Default for ServerConfig {
             queue: 64,
             limits: HttpLimits::default(),
             io_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(30),
             max_requests_per_conn: 1024,
         }
     }
@@ -97,9 +115,11 @@ impl Server {
             let config = config.clone();
             threads.push(
                 thread::Builder::new()
-                    .name(format!("tlm-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver, &service, &metrics, &shutdown, &config))
-                    .expect("worker thread spawns"),
+                    .name(format!("tlm-serve-super-{i}"))
+                    .spawn(move || {
+                        supervise_worker(i, &receiver, &service, &metrics, &shutdown, &config)
+                    })
+                    .expect("supervisor thread spawns"),
             );
         }
 
@@ -237,6 +257,10 @@ fn accept_loop(
             }
             Err(_) => continue,
         };
+        // Chaos-build injection point: a latency spike at accept.
+        if let Some(fault) = tlm_faults::point("serve.accept", &[Kind::Delay]) {
+            fault.fire();
+        }
         // Per-request I/O budget; also bounds how long the inline 503
         // write below can take.
         let _ = stream.set_read_timeout(Some(io_timeout));
@@ -262,21 +286,80 @@ fn accept_loop(
     }
 }
 
+/// Why a worker thread returned.
+enum WorkerExit {
+    /// The queue disconnected and drained — normal shutdown.
+    Drained,
+    /// A request handler panicked; the worker wrote `500` and exited so
+    /// the supervisor can replace it with a fresh thread.
+    Panicked,
+}
+
+/// How a connection ended.
+enum ConnClose {
+    Normal,
+    Panicked,
+}
+
+/// Keeps one worker slot occupied: spawns a worker thread, joins it, and
+/// respawns after a panic (caught or escaped). Exits when the worker
+/// drains normally.
+fn supervise_worker(
+    index: usize,
+    receiver: &Arc<Mutex<Receiver<TcpStream>>>,
+    service: &Arc<Service>,
+    metrics: &Arc<Metrics>,
+    shutdown: &Arc<AtomicBool>,
+    config: &ServerConfig,
+) {
+    loop {
+        metrics.worker_started();
+        let worker = {
+            let receiver = Arc::clone(receiver);
+            let service = Arc::clone(service);
+            let metrics = Arc::clone(metrics);
+            let shutdown = Arc::clone(shutdown);
+            let config = config.clone();
+            thread::Builder::new()
+                .name(format!("tlm-serve-worker-{index}"))
+                .spawn(move || worker_loop(&receiver, &service, &metrics, &shutdown, &config))
+                .expect("worker thread spawns")
+        };
+        let outcome = worker.join();
+        metrics.worker_exited();
+        match outcome {
+            Ok(WorkerExit::Drained) => return,
+            Ok(WorkerExit::Panicked) => metrics.worker_respawn(),
+            Err(_) => {
+                // The panic escaped the per-request catch (it struck
+                // outside the handler); count it and respawn all the same.
+                metrics.worker_panic();
+                metrics.worker_respawn();
+            }
+        }
+    }
+}
+
 fn worker_loop(
     receiver: &Mutex<Receiver<TcpStream>>,
     service: &Service,
     metrics: &Metrics,
     shutdown: &AtomicBool,
     config: &ServerConfig,
-) {
+) -> WorkerExit {
     loop {
         // Hold the lock only to receive; serving happens unlocked.
         let next = receiver.lock().expect("queue lock poisoned").recv();
         let Ok(stream) = next else {
-            return; // acceptor gone and queue drained
+            return WorkerExit::Drained; // acceptor gone and queue drained
         };
         metrics.dequeue();
-        serve_connection(stream, service, metrics, shutdown, config);
+        metrics.worker_busy();
+        let close = serve_connection(stream, service, metrics, shutdown, config);
+        metrics.worker_idle();
+        if matches!(close, ConnClose::Panicked) {
+            return WorkerExit::Panicked;
+        }
     }
 }
 
@@ -286,32 +369,65 @@ fn serve_connection(
     metrics: &Metrics,
     shutdown: &AtomicBool,
     config: &ServerConfig,
-) {
-    let mut conn = Conn::new(stream);
+) -> ConnClose {
+    let mut conn = Conn::with_io_timeout(stream, config.io_timeout);
     let Ok(mut writer) = conn.writer() else {
-        return;
+        return ConnClose::Normal;
     };
     for served in 0..config.max_requests_per_conn {
+        conn.begin_request(Some(config.request_deadline));
         match conn.read_request(&config.limits) {
             Ok(req) => {
                 metrics.request();
                 metrics.begin();
                 let start = Instant::now();
-                let resp = service.handle(&req, metrics, config.limits.max_body_bytes);
+                // `signal::requested()` flips `/readyz` the instant
+                // SIGTERM lands, before the main loop's poll notices.
+                let draining = shutdown.load(Ordering::SeqCst) || signal::requested();
+                let handled = catch_unwind(AssertUnwindSafe(|| {
+                    // Chaos-build injection point: the worker-isolation
+                    // drill (plus benign latency/allocator faults).
+                    if let Some(fault) = tlm_faults::point(
+                        "serve.worker.handle",
+                        &[Kind::Panic, Kind::Delay, Kind::AllocPressure],
+                    ) {
+                        fault.fire();
+                    }
+                    service.handle(&req, metrics, config.limits.max_body_bytes, draining)
+                }));
                 metrics.done(start.elapsed());
+                let Ok(resp) = handled else {
+                    // Panic isolation: this connection gets `500`, the
+                    // worker exits, the supervisor respawns it. Other
+                    // connections never notice.
+                    metrics.worker_panic();
+                    metrics.response(500);
+                    let resp = Response::error(500, "internal error: request handling panicked");
+                    // No request deadline here: it may already be spent,
+                    // and the 500 must still go out. The per-op timeout
+                    // bounds the write on its own.
+                    let _ = resp.write_deadline(&mut writer, false, None, Some(config.io_timeout));
+                    return ConnClose::Panicked;
+                };
                 // Keep-alive is not renewed while draining, and the last
                 // budgeted request closes too.
                 let keep = req.keep_alive
                     && served + 1 < config.max_requests_per_conn
                     && !shutdown.load(Ordering::SeqCst);
                 metrics.response(resp.status);
-                if resp.write_to(&mut writer, keep).is_err() || !keep {
-                    return;
+                let wrote = resp.write_deadline(
+                    &mut writer,
+                    keep,
+                    conn.deadline(),
+                    Some(config.io_timeout),
+                );
+                if wrote.is_err() || !keep {
+                    return ConnClose::Normal;
                 }
             }
             Err(e) => {
                 let resp = match e {
-                    HttpError::Closed { .. } | HttpError::Io(_) => return,
+                    HttpError::Closed { .. } | HttpError::Io(_) => return ConnClose::Normal,
                     HttpError::Timeout => Response::error(408, "request timed out"),
                     HttpError::HeaderTooLarge => Response::error(400, "request head too large"),
                     HttpError::BodyTooLarge { declared, limit } => Response::error(
@@ -323,11 +439,15 @@ fn serve_connection(
                     }
                 };
                 metrics.response(resp.status);
-                let _ = resp.write_to(&mut writer, false);
-                return;
+                // A 408 is written precisely *because* the request
+                // deadline ran out — give the error response its own
+                // per-op-bounded write instead of the spent budget.
+                let _ = resp.write_deadline(&mut writer, false, None, Some(config.io_timeout));
+                return ConnClose::Normal;
             }
         }
     }
+    ConnClose::Normal
 }
 
 #[cfg(test)]

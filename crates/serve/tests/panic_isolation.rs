@@ -1,0 +1,79 @@
+//! Acceptance test for worker panic isolation, driven by a scripted
+//! fault (`--features faults`): the connection whose handler panics gets
+//! `500`, the panic is counted, the supervisor respawns the worker, and
+//! the very next request succeeds.
+//!
+//! Lives in its own integration binary: the fault plan is process-global
+//! state, and a scripted panic at `serve.worker.handle` would otherwise
+//! strike whichever parallel test's request draws first.
+
+#![cfg(feature = "faults")]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use tlm_faults::Kind;
+use tlm_serve::protocol::Service;
+use tlm_serve::server::{Server, ServerConfig};
+
+fn get(addr: SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("writes");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("reads");
+    out
+}
+
+fn status_of(response: &str) -> u16 {
+    response.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+fn metric(page: &str, name: &str) -> u64 {
+    page.lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l[name.len()..].trim().parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+}
+
+#[test]
+fn injected_worker_panic_gets_500_and_the_worker_respawns() {
+    let config =
+        ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2, ..ServerConfig::default() };
+    let workers = config.workers as u64;
+    let handle = Server::start(config, Service::new(8)).expect("server starts");
+    let addr = handle.addr();
+
+    // Script exactly one panic at the request-handling point; a
+    // forced-only plan performs no other injections.
+    tlm_faults::force("serve.worker.handle", Kind::Panic, 1);
+    let resp = get(addr, "/healthz");
+    assert_eq!(status_of(&resp), 500, "panicking handler answers 500: {resp}");
+    assert!(resp.contains("panicked"), "got: {resp}");
+
+    // The supervisor notices the dead worker asynchronously; wait for
+    // the respawn to land in the metrics.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let page = get(addr, "/metrics");
+        assert_eq!(status_of(&page), 200);
+        if metric(&page, "tlm_serve_worker_respawns_total") == 1
+            && metric(&page, "tlm_serve_workers_alive") == workers
+        {
+            assert_eq!(metric(&page, "tlm_serve_worker_panics_total"), 1);
+            break;
+        }
+        assert!(Instant::now() < deadline, "worker never respawned:\n{page}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Full capacity restored: the next request succeeds.
+    let resp = get(addr, "/healthz");
+    assert_eq!(status_of(&resp), 200, "service recovered: {resp}");
+    assert_eq!(tlm_faults::injected("serve.worker.handle", Kind::Panic), 1);
+
+    tlm_faults::clear();
+    handle.shutdown();
+}

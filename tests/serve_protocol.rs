@@ -3,11 +3,15 @@
 //! an external client would see it.
 //!
 //! Covered here (beyond the crate's unit tests): hostile input at the
-//! HTTP layer (malformed requests, truncated and oversized bodies,
-//! unknown endpoints, wrong methods), the determinism contract under
-//! concurrency — clients hammering the same requests from many threads
-//! receive bit-identical bodies regardless of interleaving — and
-//! graceful shutdown finishing in-flight work.
+//! HTTP layer (malformed requests, slowloris header drips, truncated and
+//! oversized bodies, mid-response hangups, unknown endpoints, wrong
+//! methods), the determinism contract under concurrency — clients
+//! hammering the same requests from many threads receive bit-identical
+//! bodies regardless of interleaving — and graceful shutdown: in-flight
+//! work finishes, `/readyz` flips to `503` the moment draining starts
+//! while `/healthz` keeps answering `200`, and no worker is left stuck
+//! or leaked behind a misbehaving client (checked via the worker
+//! gauges).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -104,6 +108,76 @@ fn truncated_body_times_out_with_408() {
     let text = String::from_utf8_lossy(&out);
     assert_eq!(status_of(&text), 408, "got: {text}");
 
+    handle.shutdown();
+}
+
+/// Asserts via the worker gauges that the pool is intact: every worker
+/// alive, and nobody stuck busy beyond the one serving this very
+/// `/metrics` request.
+fn assert_workers_intact(addr: SocketAddr, workers: u64) {
+    let resp = send_raw(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    assert_eq!(status_of(&resp), 200, "got: {resp}");
+    let page = body_of(&resp);
+    assert_eq!(metric(page, "tlm_serve_workers_alive"), workers, "worker leaked or died");
+    assert!(metric(page, "tlm_serve_workers_busy") <= 1, "worker stuck busy:\n{page}");
+}
+
+#[test]
+fn slowloris_header_drip_is_cut_by_the_request_deadline() {
+    // Per-op timeout generous, total budget tight: every dripped byte
+    // arrives well inside io_timeout, so only the per-request deadline
+    // can end this.
+    let workers = 2;
+    let handle = start(ServerConfig {
+        workers,
+        io_timeout: Duration::from_secs(10),
+        request_deadline: Duration::from_millis(500),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    stream.write_all(b"POST /estimate HTTP/1.1\r\n").expect("writes");
+    // Drip one header byte every 100 ms, then stall with the socket
+    // open — the classic slowloris posture.
+    for byte in b"X-Drip: ".iter().take(4) {
+        std::thread::sleep(Duration::from_millis(100));
+        stream.write_all(&[*byte]).expect("drips");
+    }
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("reads");
+    let text = String::from_utf8_lossy(&out);
+    assert_eq!(status_of(&text), 408, "got: {text}");
+
+    assert_workers_intact(addr, workers as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn mid_response_hangup_leaves_no_stuck_worker() {
+    let workers = 2;
+    let handle = start(ServerConfig { workers, ..ServerConfig::default() });
+    let addr = handle.addr();
+
+    // Fire a real estimation request and hang up without reading a byte
+    // of the reply; the worker's write fails and the connection is
+    // reaped, not wedged.
+    for _ in 0..4 {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        let body = r#"{"platform": "image:sw"}"#;
+        let raw = format!(
+            "POST /estimate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).expect("writes");
+        drop(stream); // hangup before the response
+    }
+
+    // The pool still serves normal clients afterwards.
+    let resp = post(addr, "/estimate", r#"{"platform": "image:sw"}"#);
+    assert_eq!(status_of(&resp), 200, "got: {resp}");
+    assert_workers_intact(addr, workers as u64);
     handle.shutdown();
 }
 
@@ -263,6 +337,78 @@ fn concurrent_clients_get_bit_identical_responses() {
     }
 
     handle.shutdown();
+}
+
+/// One request on an already-open keep-alive connection: writes a GET,
+/// reads one `Content-Length`-framed response, leaves the socket open.
+fn keep_alive_get(stream: &mut TcpStream, target: &str) -> (u16, String) {
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("writes");
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        assert_ne!(stream.read(&mut byte).expect("reads"), 0, "closed mid-header");
+        head.push(byte[0]);
+        assert!(head.len() <= 16 * 1024, "runaway response head");
+    }
+    let text = String::from_utf8_lossy(&head).into_owned();
+    let length: usize = text
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("body");
+    (status_of(&text), text)
+}
+
+#[test]
+fn drain_flips_readyz_immediately_while_healthz_stays_up() {
+    let handle = start(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let addr = handle.addr();
+
+    // Pin both workers with keep-alive connections before the drain
+    // starts, so the during-drain probes cannot depend on new accepts.
+    let mut conn_a = TcpStream::connect(addr).expect("conn a");
+    let mut conn_b = TcpStream::connect(addr).expect("conn b");
+    for conn in [&mut conn_a, &mut conn_b] {
+        conn.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    }
+    assert_eq!(keep_alive_get(&mut conn_a, "/readyz").0, 200, "ready before drain");
+    assert_eq!(keep_alive_get(&mut conn_b, "/healthz").0, 200);
+
+    handle.request_shutdown();
+
+    // The very next request sees the flip: readiness gone (with a
+    // Retry-After hint for the balancer), liveness intact — draining is
+    // not dying.
+    let (ready_status, ready_head) = keep_alive_get(&mut conn_a, "/readyz");
+    assert_eq!(ready_status, 503, "got: {ready_head}");
+    assert!(
+        ready_head.to_ascii_lowercase().contains("retry-after"),
+        "503 carries Retry-After: {ready_head}"
+    );
+    let (health_status, health_head) = keep_alive_get(&mut conn_b, "/healthz");
+    assert_eq!(health_status, 200, "got: {health_head}");
+
+    // While draining, keep-alive is not renewed: both connections are
+    // closed after their in-flight response, and the listener accepts
+    // nothing new once the drain completes.
+    for conn in [&mut conn_a, &mut conn_b] {
+        let mut rest = Vec::new();
+        conn.read_to_end(&mut rest).expect("drain close");
+        assert!(rest.is_empty(), "no bytes after the draining response");
+    }
+    drop(conn_a);
+    drop(conn_b);
+    handle.shutdown();
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+        "port is closed after drain"
+    );
 }
 
 #[test]
