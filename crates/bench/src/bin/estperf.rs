@@ -1,20 +1,31 @@
-//! Measures the estimation engine itself: a cache-configuration sweep over
-//! the MP3 and image-pipeline designs, estimated twice —
+//! Measures the estimation engine itself, at two granularities.
 //!
-//! 1. **sequential / uncached** — the reference engine: every sweep point
-//!    rebuilds each block's DFG and schedule key and re-runs Algorithm 1 on
-//!    every basic block, one block at a time;
+//! **Sweep level** — a cache-configuration sweep over the MP3 and
+//! image-pipeline designs, estimated twice:
+//!
+//! 1. **sequential / reference** — the pre-rewrite engine: every sweep
+//!    point rebuilds each block's DFG and re-runs the reference Algorithm 1
+//!    kernel on every basic block, one block at a time, uncached;
 //! 2. **pipelined** — the production engine: every estimate is demanded
 //!    from a fresh [`Pipeline`], whose stage graph prepares each module
 //!    once, shares Algorithm 1 schedules across sweep points (the schedule
 //!    is independent of the statistical memory/branch models, which is all
-//!    a cache sweep changes), and fans blocks out over the available cores.
+//!    a cache sweep changes), and fans blocks out over the available cores
+//!    with the flat-layout kernel.
 //!
 //! Both engines must produce bit-identical delays for every block of every
-//! sweep point; the binary asserts that before reporting. The performance
-//! record — sweep wall times, speedup, blocks/sec, per-stage cache
-//! counters — is written to `BENCH_estimation.json` (override with
-//! `--bench-json=PATH`).
+//! sweep point; the binary asserts that before reporting — a whole-app
+//! differential test of the rewritten kernel against the reference.
+//!
+//! **Kernel level** — a single-thread microbench of Algorithm 1 itself on
+//! every block of the app mix: the flat-layout kernel cold (fresh schedule
+//! computation, reused scratch arena), the reference kernel cold, and the
+//! warm schedule-cache hit path. The acceptance gates are ≥3× cold kernel
+//! throughput vs the reference and ≥2× pipelined sweep vs sequential.
+//!
+//! The performance record — sweep wall times, speedup, blocks/sec, kernel
+//! ns/block, scratch-arena reuse counters, per-stage cache counters — is
+//! written to `BENCH_estimation.json` (override with `--bench-json=PATH`).
 //!
 //! ```text
 //! cargo run -p tlm-bench --release --bin estperf
@@ -28,8 +39,16 @@ use tlm_apps::designs::CACHE_SWEEP;
 use tlm_apps::imagepipe::{image_design, ImageParams};
 use tlm_apps::{mp3_design, Mp3Design, Mp3Params};
 use tlm_bench::perf::{bench_json_path, pipeline_stats_json, time, write_bench_json};
-use tlm_core::annotate::{annotate_uncached, TimedModule};
+use tlm_cdfg::dfg::{block_dfg, Dfg};
+use tlm_cdfg::ir::BlockData;
+use tlm_cdfg::{BlockId, FuncId};
+use tlm_core::annotate::{annotate_reference, annotate_uncached, TimedModule};
+use tlm_core::cache::{ScheduleCache, ScheduleDomain};
 use tlm_core::parallel::available_workers;
+use tlm_core::reference::schedule_block_reference;
+use tlm_core::schedule::{
+    schedule_block_prepared, scratch_stats, IssueTable, ScheduleResult, ScheduleScratch,
+};
 use tlm_core::Pum;
 use tlm_json::{ObjectBuilder, Value};
 use tlm_pipeline::{ModuleArtifact, Pipeline, PipelineStats};
@@ -88,8 +107,138 @@ fn assert_identical(reference: &[TimedModule], candidate: &[Arc<TimedModule>]) {
     }
 }
 
+/// One block of the kernel microbench work list, with its schedule inputs
+/// precomputed the way the production hot paths see them.
+struct KernelWork {
+    job: usize,
+    fid: FuncId,
+    bid: BlockId,
+    dfg: Dfg,
+    heights: Vec<usize>,
+}
+
+/// The kernel microbench record plus the cold new-vs-reference speedup for
+/// the acceptance gate.
+struct KernelBench {
+    json: Value,
+    speedup: f64,
+}
+
+/// Single-thread Algorithm 1 microbench over every block of the app mix.
+///
+/// Three configurations, best-of-`REPS` wall time each:
+/// - **cold** — the flat-layout kernel computing every schedule fresh
+///   (issue table prebuilt per PUM, one scratch arena reused: exactly the
+///   production cache-miss path);
+/// - **reference** — the pre-rewrite kernel on the same blocks;
+/// - **warm** — the schedule-cache hit path ([`ScheduleCache`] primed,
+///   then re-demanded).
+///
+/// Cold results are asserted bit-identical to the reference before timing
+/// is reported.
+fn kernel_bench(jobs: &[Job]) -> KernelBench {
+    const REPS: usize = 5;
+    let tables: Vec<IssueTable> = jobs.iter().map(|(_, pum)| IssueTable::build(pum)).collect();
+    let mut work = Vec::new();
+    for (job, (artifact, _)) in jobs.iter().enumerate() {
+        for (fid, func) in artifact.module().functions_iter() {
+            for (bid, block) in func.blocks_iter() {
+                let dfg = block_dfg(block);
+                let heights = dfg.heights();
+                work.push(KernelWork { job, fid, bid, dfg, heights });
+            }
+        }
+    }
+    let block_of = |w: &KernelWork| -> &BlockData {
+        &jobs[w.job].0.module().functions[w.fid.0 as usize].blocks[w.bid.0 as usize]
+    };
+    let blocks = work.len();
+
+    let mut scratch = ScheduleScratch::new();
+    let mut cold_out: Vec<ScheduleResult> = Vec::new();
+    let mut cold = Duration::MAX;
+    for _ in 0..REPS {
+        let (result, wall) = time(|| {
+            work.iter()
+                .map(|w| {
+                    schedule_block_prepared(
+                        &tables[w.job],
+                        &mut scratch,
+                        block_of(w),
+                        &w.dfg,
+                        &w.heights,
+                        w.fid,
+                        w.bid,
+                    )
+                    .expect("schedules")
+                })
+                .collect::<Vec<_>>()
+        });
+        cold_out = result;
+        cold = cold.min(wall);
+    }
+
+    let mut ref_out: Vec<ScheduleResult> = Vec::new();
+    let mut reference = Duration::MAX;
+    for _ in 0..REPS {
+        let (result, wall) = time(|| {
+            work.iter()
+                .map(|w| {
+                    schedule_block_reference(&jobs[w.job].1, block_of(w), &w.dfg, w.fid, w.bid)
+                        .expect("schedules")
+                })
+                .collect::<Vec<_>>()
+        });
+        ref_out = result;
+        reference = reference.min(wall);
+    }
+    assert_eq!(cold_out, ref_out, "kernel microbench: flat kernel diverged from reference");
+
+    // Warm path: content-addressed hits in a primed schedule cache. Keys
+    // are the work-list index — unique per block even when jobs share a
+    // schedule domain.
+    let cache = ScheduleCache::new();
+    let handles: Vec<_> =
+        jobs.iter().map(|(_, pum)| cache.domain(&ScheduleDomain::of(pum))).collect();
+    let keys: Vec<[u8; 8]> = (0..blocks).map(|i| (i as u64).to_le_bytes()).collect();
+    let demand_all = || {
+        for (w, key) in work.iter().zip(&keys) {
+            handles[w.job]
+                .schedule_keyed(key, &tables[w.job], block_of(w), &w.dfg, &w.heights, w.fid, w.bid)
+                .expect("schedules");
+        }
+    };
+    demand_all(); // prime: all misses
+    let mut warm = Duration::MAX;
+    for _ in 0..REPS {
+        let ((), wall) = time(demand_all);
+        warm = warm.min(wall);
+    }
+
+    let ns = |d: Duration| d.as_nanos() as f64 / blocks as f64;
+    let per_sec = |d: Duration| blocks as f64 / d.as_secs_f64().max(1e-9);
+    let speedup = reference.as_secs_f64() / cold.as_secs_f64().max(1e-9);
+    println!("kernel ({blocks} blocks, 1 thread):");
+    println!("  cold flat:       {:>9.1} ns/block  ({:.0} blocks/s)", ns(cold), per_sec(cold));
+    println!("  cold reference:  {:>9.1} ns/block  ({speedup:.2}x vs flat)", ns(reference));
+    println!("  warm cache hit:  {:>9.1} ns/block  ({:.0} blocks/s)", ns(warm), per_sec(warm));
+    let json = ObjectBuilder::new()
+        .field("blocks", Value::Number(blocks as f64))
+        .field("cold_ns_per_block", Value::Number(ns(cold)))
+        .field("cold_blocks_per_sec", Value::Number(per_sec(cold)))
+        .field("reference_ns_per_block", Value::Number(ns(reference)))
+        .field("reference_blocks_per_sec", Value::Number(per_sec(reference)))
+        .field("warm_ns_per_block", Value::Number(ns(warm)))
+        .field("warm_blocks_per_sec", Value::Number(per_sec(warm)))
+        .field("cold_speedup_vs_reference", Value::Number(speedup))
+        .field("gate_3x", Value::Bool(speedup >= 3.0))
+        .build();
+    KernelBench { json, speedup }
+}
+
 fn main() {
     let path = bench_json_path().unwrap_or_else(|| PathBuf::from("BENCH_estimation.json"));
+    let scratch_before = scratch_stats();
     let jobs = base_jobs();
     let blocks_per_point: usize = jobs
         .iter()
@@ -106,6 +255,7 @@ fn main() {
 
     // Warm-up outside both timed regions.
     annotate_uncached(jobs[0].0.module(), &jobs[0].1).expect("annotates");
+    annotate_reference(jobs[0].0.module(), &jobs[0].1).expect("annotates");
 
     // Both engines run the complete sweep REPS times; the best wall time
     // of each is compared (standard noise rejection — each production rep
@@ -114,7 +264,8 @@ fn main() {
     const REPS: usize = 3;
 
     // Reference engine: per sweep point, full per-block preparation plus a
-    // fresh Algorithm 1 run for every block.
+    // fresh run of the pre-rewrite Algorithm 1 kernel for every block —
+    // the engine as it existed before the flat-layout rewrite.
     let mut sequential = Vec::new();
     let mut seq_wall = Duration::MAX;
     for _ in 0..REPS {
@@ -125,7 +276,7 @@ fn main() {
                     jobs.iter().map(move |(artifact, pum)| (artifact, swept(pum, ic, dc)))
                 })
                 .map(|(artifact, pum)| {
-                    annotate_uncached(artifact.module(), &pum).expect("annotates")
+                    annotate_reference(artifact.module(), &pum).expect("annotates")
                 })
                 .collect::<Vec<_>>()
         });
@@ -158,6 +309,13 @@ fn main() {
 
     assert_identical(&sequential, &parallel);
 
+    let kernel = kernel_bench(&jobs);
+    let scratch = scratch_stats();
+    let (scratch_reuses, scratch_allocs) = (
+        scratch.reuses.saturating_sub(scratch_before.reuses),
+        scratch.allocs.saturating_sub(scratch_before.allocs),
+    );
+
     let speedup = seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(1e-9);
     let blocks_per_sec = total_blocks as f64 / par_wall.as_secs_f64().max(1e-9);
     println!("sequential/uncached: {seq_wall:>10.3?}");
@@ -170,6 +328,10 @@ fn main() {
         stats.schedules.misses,
         stats.schedules.hit_ratio() * 100.0,
         stats.schedules.entries
+    );
+    println!(
+        "scratch arena:       {scratch_reuses} reuses / {scratch_allocs} growths ({:.1}% reuse)",
+        100.0 * scratch_reuses as f64 / (scratch_reuses + scratch_allocs).max(1) as f64
     );
     println!("determinism:         pipelined delays bit-identical to sequential");
 
@@ -192,15 +354,38 @@ fn main() {
                 .field("hit_ratio", Value::Number(stats.schedules.hit_ratio()))
                 .build(),
         )
+        .field("kernel", kernel.json)
+        .field(
+            "scratch",
+            ObjectBuilder::new()
+                .field("reuses", Value::Number(scratch_reuses as f64))
+                .field("allocs", Value::Number(scratch_allocs as f64))
+                .field(
+                    "reuse_ratio",
+                    Value::Number(
+                        scratch_reuses as f64 / (scratch_reuses + scratch_allocs).max(1) as f64,
+                    ),
+                )
+                .build(),
+        )
         .field("pipeline", pipeline_stats_json(&stats))
         .field("deterministic", Value::Bool(true))
         .build();
     write_bench_json(&path, &json);
 
     assert!(
+        kernel.speedup >= 3.0,
+        "acceptance: cold flat kernel must be at least 3x the reference kernel \
+         (measured {:.2}x)",
+        kernel.speedup
+    );
+    assert!(
         speedup >= 2.0,
         "acceptance: pipelined sweep must be at least 2x the sequential engine \
          (measured {speedup:.2}x)"
     );
-    println!("acceptance check passed: {speedup:.2}x >= 2x");
+    println!(
+        "acceptance checks passed: kernel {:.2}x >= 3x, sweep {speedup:.2}x >= 2x",
+        kernel.speedup
+    );
 }

@@ -19,7 +19,7 @@ use crate::delay::{block_delay_with_costs, BlockDelay, MemoryCosts};
 use crate::error::EstimateError;
 use crate::parallel::par_map;
 use crate::pum::Pum;
-use crate::schedule::schedule_block;
+use crate::schedule::{schedule_block_prepared, with_scratch, IssueTable};
 
 /// A module whose basic blocks carry estimated delays for one PUM.
 #[derive(Debug, Clone)]
@@ -82,6 +82,20 @@ pub fn annotate_uncached(module: &Module, pum: &Pum) -> Result<TimedModule, Esti
     annotate_arc_with(Arc::new(module.clone()), pum, None, false)
 }
 
+/// The full reference engine: sequential, no memoization, and every block
+/// scheduled by the retained pre-rewrite kernel
+/// ([`crate::reference::schedule_block_reference`]). The strongest oracle
+/// available — nothing it runs is shared with the production path — used
+/// by the `estperf` benchmark as both baseline and bit-identity check.
+///
+/// # Errors
+///
+/// Same as [`annotate`].
+#[cfg(feature = "reference-kernel")]
+pub fn annotate_reference(module: &Module, pum: &Pum) -> Result<TimedModule, EstimateError> {
+    annotate_inner(&PreparedModule::new(Arc::new(module.clone())), pum, None, false, true)
+}
+
 /// The fully-general entry point: annotate with an explicit schedule cache
 /// (or none) and with or without parallel fan-out.
 ///
@@ -122,6 +136,9 @@ pub struct PreparedModule {
     dfgs: Vec<Dfg>,
     /// Per-`work`-entry canonical schedule key.
     keys: Vec<Vec<u8>>,
+    /// Per-`work`-entry dependence heights — DFG-invariant list-scheduling
+    /// priorities, hoisted here so Algorithm 1 never recomputes them.
+    heights: Vec<Vec<usize>>,
     ops: usize,
 }
 
@@ -134,14 +151,16 @@ impl PreparedModule {
             .collect();
         let mut dfgs = Vec::with_capacity(work.len());
         let mut keys = Vec::with_capacity(work.len());
+        let mut heights = Vec::with_capacity(work.len());
         for &(fid, bid) in &work {
             let block = &module.functions[fid.0 as usize].blocks[bid.0 as usize];
             let dfg = block_dfg(block);
             keys.push(schedule_key(block, &dfg));
+            heights.push(dfg.heights());
             dfgs.push(dfg);
         }
         let ops = module.functions.iter().flat_map(|f| &f.blocks).map(|b| b.ops.len()).sum();
-        PreparedModule { module, work, dfgs, keys, ops }
+        PreparedModule { module, work, dfgs, keys, heights, ops }
     }
 
     /// The underlying module.
@@ -164,7 +183,7 @@ pub fn annotate_prepared(
     // Resolve the PUM's schedule domain once; per-block lookups then only
     // hash the block's own key.
     let handle: Option<DomainHandle<'_>> = cache.map(|c| c.domain(&ScheduleDomain::of(pum)));
-    annotate_inner(prep, pum, handle.as_ref(), parallel)
+    annotate_inner(prep, pum, handle.as_ref(), parallel, false)
 }
 
 /// [`annotate_prepared`] with the cache's [`DomainHandle`] already resolved.
@@ -191,7 +210,7 @@ pub fn annotate_in_domain(
         "PUM {} does not belong to the resolved schedule domain",
         pum.name
     );
-    annotate_inner(prep, pum, Some(handle), parallel)
+    annotate_inner(prep, pum, Some(handle), parallel, false)
 }
 
 fn annotate_inner(
@@ -199,30 +218,54 @@ fn annotate_inner(
     pum: &Pum,
     handle: Option<&DomainHandle<'_>>,
     parallel: bool,
+    reference: bool,
 ) -> Result<TimedModule, EstimateError> {
     pum.validate()?;
     let start = Instant::now();
     let module = &prep.module;
     // Algorithm 2's block-independent factors, derived once per run.
     let costs = MemoryCosts::of(pum)?;
+    // Algorithm 1's per-domain facts, precompiled once per run (served
+    // from the cache's domain entry when there is one, so sweeps share a
+    // single table per datapath).
+    let table: Arc<IssueTable> = match handle {
+        Some(handle) => handle.issue_table(pum),
+        None => Arc::new(IssueTable::build(pum)),
+    };
+    #[cfg(not(feature = "reference-kernel"))]
+    let _ = reference;
 
     // (delay, served-from-cache) per block; merged back in module order.
     let estimate = |&(fid, bid): &(FuncId, BlockId),
                     dfg: &Dfg,
-                    key: &[u8]|
+                    key: &[u8],
+                    heights: &[usize]|
      -> Result<(BlockDelay, bool), EstimateError> {
         let block = &module.functions[fid.0 as usize].blocks[bid.0 as usize];
         let (sched, hit) = match handle {
             Some(handle) => {
-                let (sched, hit) = handle.schedule_keyed(key, pum, block, dfg, fid, bid)?;
+                let (sched, hit) =
+                    handle.schedule_keyed(key, &table, block, dfg, heights, fid, bid)?;
                 (sched.cycles, hit)
             }
-            None => (schedule_block(pum, block, dfg, fid, bid)?.cycles, false),
+            None => {
+                #[cfg(feature = "reference-kernel")]
+                if reference {
+                    let sched =
+                        crate::reference::schedule_block_reference(pum, block, dfg, fid, bid)?;
+                    return Ok((block_delay_with_costs(&costs, block, sched.cycles), false));
+                }
+                let sched = with_scratch(|scratch| {
+                    schedule_block_prepared(&table, scratch, block, dfg, heights, fid, bid)
+                })?;
+                (sched.cycles, false)
+            }
         };
         Ok((block_delay_with_costs(&costs, block, sched), hit))
     };
     let indices: Vec<usize> = (0..prep.work.len()).collect();
-    let run_one = |&i: &usize| estimate(&prep.work[i], &prep.dfgs[i], &prep.keys[i]);
+    let run_one =
+        |&i: &usize| estimate(&prep.work[i], &prep.dfgs[i], &prep.keys[i], &prep.heights[i]);
     let results =
         if parallel { par_map(&indices, run_one) } else { indices.iter().map(run_one).collect() };
 

@@ -45,7 +45,7 @@ use tlm_cdfg::{BlockId, FuncId};
 use crate::error::EstimateError;
 use crate::fingerprint::fnv1a_64;
 use crate::pum::Pum;
-use crate::schedule::{schedule_block, ScheduleResult};
+use crate::schedule::{schedule_block_prepared, with_scratch, IssueTable, ScheduleResult};
 
 /// The precomputed cache key half describing a PUM's schedule-relevant
 /// sub-models. Compute once per annotation run, reuse for every block.
@@ -119,6 +119,10 @@ struct Generations {
 #[derive(Debug, Default)]
 struct DomainEntries {
     entries: Mutex<Generations>,
+    /// The domain's precompiled [`IssueTable`], built on first use. A pure
+    /// function of the domain encoding this entry is keyed by, so it never
+    /// needs invalidation.
+    table: OnceLock<Arc<IssueTable>>,
 }
 
 /// A thread-safe, content-addressed cache of [`ScheduleResult`]s.
@@ -312,6 +316,14 @@ impl DomainHandle<'_> {
         self.fingerprint
     }
 
+    /// The domain's precompiled [`IssueTable`], built from `pum` on first
+    /// use and shared by every block scheduled in this domain. The caller
+    /// asserts that `pum` belongs to this handle's domain (the same
+    /// contract as [`annotate_in_domain`](crate::annotate::annotate_in_domain)).
+    pub fn issue_table(&self, pum: &Pum) -> Arc<IssueTable> {
+        Arc::clone(self.entries.table.get_or_init(|| Arc::new(IssueTable::build(pum))))
+    }
+
     /// Schedules a block through the cache. Returns the result and whether
     /// it was served from the cache.
     ///
@@ -334,22 +346,27 @@ impl DomainHandle<'_> {
         func: FuncId,
         block_id: BlockId,
     ) -> Result<(Arc<ScheduleResult>, bool), EstimateError> {
-        self.schedule_keyed(&schedule_key(block, dfg), pum, block, dfg, func, block_id)
+        let table = self.issue_table(pum);
+        let heights = dfg.heights();
+        self.schedule_keyed(&schedule_key(block, dfg), &table, block, dfg, &heights, func, block_id)
     }
 
-    /// [`DomainHandle::schedule`] with the block's canonical key already
-    /// computed (see [`PreparedModule`](crate::annotate::PreparedModule) —
-    /// the key depends only on the block, so sweep loops build it once).
+    /// [`DomainHandle::schedule`] with the block's canonical key, the
+    /// domain's [`IssueTable`] and the DFG's heights already computed (see
+    /// [`PreparedModule`](crate::annotate::PreparedModule) — all three are
+    /// sweep-invariant, so sweep loops build them once).
     ///
     /// # Errors
     ///
     /// Same as [`DomainHandle::schedule`].
+    #[allow(clippy::too_many_arguments)]
     pub fn schedule_keyed(
         &self,
         block_key: &[u8],
-        pum: &Pum,
+        table: &IssueTable,
         block: &BlockData,
         dfg: &Dfg,
+        heights: &[usize],
         func: FuncId,
         block_id: BlockId,
     ) -> Result<(Arc<ScheduleResult>, bool), EstimateError> {
@@ -381,7 +398,10 @@ impl DomainHandle<'_> {
         let mut ran = false;
         let outcome = slot.get_or_init(|| {
             ran = true;
-            schedule_block(pum, block, dfg, func, block_id).map(Arc::new)
+            with_scratch(|scratch| {
+                schedule_block_prepared(table, scratch, block, dfg, heights, func, block_id)
+            })
+            .map(Arc::new)
         });
         if ran {
             self.cache.misses.fetch_add(1, Ordering::Relaxed);

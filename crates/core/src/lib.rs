@@ -50,6 +50,8 @@ pub mod fingerprint;
 pub mod library;
 pub mod parallel;
 pub mod pum;
+#[cfg(feature = "reference-kernel")]
+pub mod reference;
 pub mod report;
 pub mod schedule;
 

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! loadgen [--requests N] [--clients N] [--seed HEX] [--addr HOST:PORT]
-//!         [--chaos SEED] [--bench-json[=PATH]]
+//!         [--cold-platforms] [--chaos SEED] [--bench-json[=PATH]]
 //! ```
 //!
 //! Runs three phases and enforces the serving-layer guarantees as hard
@@ -26,6 +26,16 @@
 //!    connection), at least one `503` is observed (backpressure
 //!    engaged), the queue-depth peak stays within capacity + 1, and the
 //!    server still answers `/healthz` afterwards.
+//!
+//! With `--cold-platforms` an extra phase runs between warm and
+//! saturation: a cache-defeating mix where every request carries a fully
+//! inline custom platform whose PUM has a uniquely renamed (and
+//! re-delayed) FU mode and whose MiniC source embeds the request index,
+//! so every request is a fresh schedule domain *and* a fresh front-end
+//! input — no artifact-pipeline stage can answer from a previous
+//! request. This measures the true cold path (front-end + Algorithm 1
+//! kernel) under concurrency; p50/p99 latency land in the benchmark
+//! record. Gate: every request answers `200`.
 //!
 //! The client honors backpressure: a `503` is retried after the
 //! server's `Retry-After`, with capped exponential backoff and seeded
@@ -108,6 +118,35 @@ fn request_body(seed: u64, i: u64) -> String {
     format!(
         "{{\"platform\": \"{design}\", \"sweep\": [{}], \"report\": \"{report}\"}}",
         sweep.join(", ")
+    )
+}
+
+/// The i-th request of the `--cold-platforms` mix: an inline platform
+/// whose PUM carries a uniquely renamed, freshly drawn FU-mode delay and
+/// whose source embeds the request index. The mode rename alone
+/// guarantees a never-seen schedule-domain fingerprint (mode names are
+/// part of [`tlm_core::Pum::schedule_domain`]); the per-request source
+/// defeats the front-end stages the same way.
+fn cold_platform_body(seed: u64, i: u64) -> String {
+    let mut rng = Rng::new(seed ^ 0x0c1d_0c1d ^ (i + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut pum = tlm_core::library::generic_risc();
+    pum.name = format!("cold-risc-{i}");
+    let unit_count = pum.datapath.units.len() as u64;
+    let unit = &mut pum.datapath.units[rng.below(unit_count) as usize];
+    let mode_count = unit.modes.len() as u64;
+    let mode = &mut unit.modes[rng.below(mode_count) as usize];
+    mode.name = format!("{}-v{i}", mode.name);
+    mode.delay = 1 + rng.below(24) as u32;
+    let pum_json = pum.to_value().to_compact();
+    let accum = rng.below(1 << 16);
+    let trips = 4 + rng.below(12);
+    format!(
+        "{{\"platform\": {{\"name\": \"cold-{i}\", \
+           \"pes\": [{{\"name\": \"pe0\", \"pum\": {pum_json}}}], \
+           \"processes\": [{{\"name\": \"main\", \"pe\": \"pe0\", \"source\": \
+           \"void main() {{ int s = {accum}; \
+            for (int k = 0; k < {trips}; k++) {{ s = s + k + {i}; }} out(s); }}\"}}]}}, \
+         \"sweep\": [{{\"icache\": 4096, \"dcache\": 4096}}]}}"
     )
 }
 
@@ -280,12 +319,21 @@ struct Args {
     clients: u64,
     seed: u64,
     addr: Option<String>,
+    /// Run the cache-defeating unique-platform phase.
+    cold_platforms: bool,
     /// Seed of the chaos phase; `None` skips it.
     chaos: Option<u64>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { requests: 24, clients: 4, seed: 0x5eed_cafe, addr: None, chaos: None };
+    let mut args = Args {
+        requests: 24,
+        clients: 4,
+        seed: 0x5eed_cafe,
+        addr: None,
+        cold_platforms: false,
+        chaos: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -303,6 +351,7 @@ fn parse_args() -> Args {
                 args.seed = u64::from_str_radix(v, 16).expect("hex seed");
             }
             "--addr" => args.addr = Some(value("--addr")),
+            "--cold-platforms" => args.cold_platforms = true,
             "--chaos" => args.chaos = Some(value("--chaos").parse().expect("decimal seed")),
             // The shared --bench-json flag (and any following path) is
             // parsed by tlm_bench's own scan of the argument list.
@@ -322,6 +371,82 @@ struct Gate {
     name: &'static str,
     pass: bool,
     detail: String,
+}
+
+/// The `--cold-platforms` phase: fires [`cold_platform_body`] requests
+/// (every one a novel schedule domain + novel source) from `clients`
+/// threads and reports tail latency of the uncached path. Runs against
+/// the warmed main server on purpose — hitting nothing in its caches is
+/// exactly the property under test.
+fn cold_platforms_phase(
+    addr: SocketAddr,
+    seed: u64,
+    requests: u64,
+    clients: u64,
+    gates: &mut Vec<Gate>,
+) -> Value {
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let mut i = c;
+            while i < requests {
+                let body = cold_platform_body(seed, i);
+                let t0 = Instant::now();
+                let (result, _) = post_estimate_retry(addr, &body, seed ^ 0x0c1d, i, false);
+                out.push((i, result, t0.elapsed()));
+                i += clients;
+            }
+            out
+        }));
+    }
+    let mut failures = Vec::new();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(requests as usize);
+    for handle in handles {
+        for (i, result, latency) in handle.join().expect("cold-platform client") {
+            latencies.push(latency);
+            match result {
+                Ok((200, _, _)) => {}
+                Ok((status, _, body)) => failures.push(format!(
+                    "request {i}: status {status}: {}",
+                    String::from_utf8_lossy(&body[..body.len().min(200)])
+                )),
+                Err(e) => failures.push(format!("request {i}: {e}")),
+            }
+        }
+    }
+    let wall = started.elapsed();
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        let last = latencies.len().saturating_sub(1);
+        latencies
+            .get(((last as f64) * p).round() as usize)
+            .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    };
+    let (p50, p99) = (percentile(0.50), percentile(0.99));
+    gates.push(Gate {
+        name: "cold_platforms_all_ok",
+        pass: failures.is_empty(),
+        detail: if failures.is_empty() {
+            format!(
+                "{requests} unique-platform requests in {:.2?}, p50 {:.2?}, p99 {:.2?}",
+                wall,
+                Duration::from_nanos(p50),
+                Duration::from_nanos(p99)
+            )
+        } else {
+            failures.join("; ")
+        },
+    });
+    ObjectBuilder::new()
+        .field("phase", "cold_platforms")
+        .field("requests", requests)
+        .field("wall_ns", wall.as_nanos() as u64)
+        .field("throughput_rps", requests as f64 / wall.as_secs_f64().max(1e-9))
+        .field("p50_latency_ns", p50)
+        .field("p99_latency_ns", p99)
+        .build()
 }
 
 fn saturation_phase(gates: &mut Vec<Gate>) -> Value {
@@ -778,6 +903,13 @@ fn main() -> ExitCode {
     let cold_hit_rate = phase_rate(&s0, &s1);
     let warm_hit_rate = phase_rate(&s1, &s2);
 
+    // Cache-defeating mix *after* the warm snapshots (its misses must
+    // not pollute the warm-phase cache gates) and *before* the main
+    // server goes away.
+    let cold_platforms = args
+        .cold_platforms
+        .then(|| cold_platforms_phase(addr, args.seed, args.requests, args.clients, &mut gates));
+
     let saturation = saturation_phase(&mut gates);
     if let Some(handle) = local {
         handle.shutdown();
@@ -829,6 +961,9 @@ fn main() -> ExitCode {
                     .build(),
             )
             .field("saturation", saturation);
+        if let Some(cold_platforms) = cold_platforms {
+            record = record.field("cold_platforms", cold_platforms);
+        }
         if let Some(chaos) = chaos {
             record = record.field("chaos", chaos);
         }

@@ -221,6 +221,22 @@ impl Metrics {
             tlm_faults::injected_total(),
         );
 
+        // Allocation pressure on the scheduler's thread-local scratch
+        // arenas (process-wide, summed over worker threads). A healthy
+        // warm service reuses on nearly every kernel run; a rising alloc
+        // rate flags a cold-path regression.
+        let scratch = tlm_core::schedule::scratch_stats();
+        counter(
+            "tlm_serve_kernel_scratch_reuse",
+            "Kernel runs served entirely from already-allocated scratch arenas.",
+            scratch.reuses,
+        );
+        counter(
+            "tlm_serve_kernel_scratch_alloc",
+            "Kernel runs that grew (or first allocated) a scratch-arena buffer.",
+            scratch.allocs,
+        );
+
         let _ = writeln!(out, "# HELP tlm_serve_responses_total Responses by status code.");
         let _ = writeln!(out, "# TYPE tlm_serve_responses_total counter");
         for (i, &status) in STATUSES.iter().enumerate() {
@@ -393,6 +409,23 @@ mod tests {
         assert!(text.contains("tlm_serve_request_duration_seconds_bucket{le=\"0.001\"} 0"));
         assert!(text.contains("tlm_serve_request_duration_seconds_bucket{le=\"0.005\"} 1"));
         assert!(text.contains("tlm_serve_request_duration_seconds_bucket{le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn kernel_scratch_counters_exported() {
+        // The values are process-wide (other tests in the binary may have
+        // run the scheduler), so only the presence and shape of the
+        // samples is asserted here.
+        let text = Metrics::new().render(&PipelineStats::default(), 1);
+        for name in ["tlm_serve_kernel_scratch_reuse", "tlm_serve_kernel_scratch_alloc"] {
+            assert!(text.contains(&format!("# TYPE {name} counter")), "missing TYPE for {name}");
+            let sample = text
+                .lines()
+                .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+                .unwrap_or_else(|| panic!("missing sample for {name}"));
+            let value = sample.rsplit(' ').next().unwrap();
+            assert!(value.parse::<u64>().is_ok(), "non-numeric sample: {sample}");
+        }
     }
 
     #[test]
