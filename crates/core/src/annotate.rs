@@ -14,6 +14,7 @@ use tlm_cdfg::ir::Module;
 use tlm_cdfg::{BlockId, FuncId};
 use tlm_desim::SimTime;
 
+use crate::batch::{solve_batch, BatchItem};
 use crate::cache::{DomainHandle, ScheduleCache, ScheduleDomain};
 use crate::delay::{block_delay_with_costs, BlockDelay, MemoryCosts};
 use crate::error::EstimateError;
@@ -136,6 +137,9 @@ pub struct PreparedModule {
     dfgs: Vec<Dfg>,
     /// Per-`work`-entry canonical schedule key.
     keys: Vec<Vec<u8>>,
+    /// Per-`work`-entry [`crate::batch::key_hash`] of the key, so batch
+    /// planning never re-hashes on the sweep hot path.
+    key_hashes: Vec<u64>,
     /// Per-`work`-entry dependence heights — DFG-invariant list-scheduling
     /// priorities, hoisted here so Algorithm 1 never recomputes them.
     heights: Vec<Vec<usize>>,
@@ -151,16 +155,19 @@ impl PreparedModule {
             .collect();
         let mut dfgs = Vec::with_capacity(work.len());
         let mut keys = Vec::with_capacity(work.len());
+        let mut key_hashes = Vec::with_capacity(work.len());
         let mut heights = Vec::with_capacity(work.len());
         for &(fid, bid) in &work {
             let block = &module.functions[fid.0 as usize].blocks[bid.0 as usize];
             let dfg = block_dfg(block);
-            keys.push(schedule_key(block, &dfg));
+            let key = schedule_key(block, &dfg);
+            key_hashes.push(crate::batch::key_hash(&key));
+            keys.push(key);
             heights.push(dfg.heights());
             dfgs.push(dfg);
         }
         let ops = module.functions.iter().flat_map(|f| &f.blocks).map(|b| b.ops.len()).sum();
-        PreparedModule { module, work, dfgs, keys, heights, ops }
+        PreparedModule { module, work, dfgs, keys, key_hashes, heights, ops }
     }
 
     /// The underlying module.
@@ -235,39 +242,75 @@ fn annotate_inner(
     #[cfg(not(feature = "reference-kernel"))]
     let _ = reference;
 
-    // (delay, served-from-cache) per block; merged back in module order.
-    let estimate = |&(fid, bid): &(FuncId, BlockId),
-                    dfg: &Dfg,
-                    key: &[u8],
-                    heights: &[usize]|
-     -> Result<(BlockDelay, bool), EstimateError> {
-        let block = &module.functions[fid.0 as usize].blocks[bid.0 as usize];
-        let (sched, hit) = match handle {
-            Some(handle) => {
-                let (sched, hit) =
-                    handle.schedule_keyed(key, &table, block, dfg, heights, fid, bid)?;
-                (sched.cycles, hit)
+    // The engine paths submit the whole module as one batch: identical
+    // blocks fold into one solve, same-shape blocks lane-slice, and
+    // `par_map` fans out *solve units* instead of blocks (see
+    // [`crate::batch`]). Results stay bit-identical to the sequential
+    // per-block oracle below — asserted by `tests/parallel_determinism.rs`
+    // and the `reference-kernel` differential tests.
+    // The sequential uncached path stays strictly per block, so
+    // `annotate_uncached` remains an oracle with nothing shared with the
+    // batch planner.
+    let batched = !reference && (parallel || handle.is_some());
+    let results: Vec<Result<(BlockDelay, bool), EstimateError>> = if batched {
+        let items: Vec<BatchItem<'_>> = prep
+            .work
+            .iter()
+            .enumerate()
+            .map(|(i, &(fid, bid))| BatchItem {
+                key: &prep.keys[i],
+                key_hash: prep.key_hashes[i],
+                block: &module.functions[fid.0 as usize].blocks[bid.0 as usize],
+                dfg: &prep.dfgs[i],
+                heights: &prep.heights[i],
+                func: fid,
+                block_id: bid,
+            })
+            .collect();
+        let scheduled: Vec<Result<(Arc<crate::schedule::ScheduleResult>, bool), EstimateError>> =
+            match handle {
+                Some(handle) => handle.schedule_batch_keyed(&table, &items, parallel),
+                None => solve_batch(&table, &items, parallel)
+                    .into_iter()
+                    .map(|r| r.map(|sched| (sched, false)))
+                    .collect(),
+            };
+        items
+            .iter()
+            .zip(scheduled)
+            .map(|(item, result)| {
+                result.map(|(sched, hit)| {
+                    (block_delay_with_costs(&costs, item.block, sched.cycles), hit)
+                })
+            })
+            .collect()
+    } else {
+        // The reference engine: strictly per block, nothing shared with
+        // the batched path — the oracle the batched engine is differenced
+        // against.
+        let estimate = |&(fid, bid): &(FuncId, BlockId),
+                        dfg: &Dfg,
+                        heights: &[usize]|
+         -> Result<(BlockDelay, bool), EstimateError> {
+            let block = &module.functions[fid.0 as usize].blocks[bid.0 as usize];
+            #[cfg(feature = "reference-kernel")]
+            if reference {
+                let sched = crate::reference::schedule_block_reference(pum, block, dfg, fid, bid)?;
+                return Ok((block_delay_with_costs(&costs, block, sched.cycles), false));
             }
-            None => {
-                #[cfg(feature = "reference-kernel")]
-                if reference {
-                    let sched =
-                        crate::reference::schedule_block_reference(pum, block, dfg, fid, bid)?;
-                    return Ok((block_delay_with_costs(&costs, block, sched.cycles), false));
-                }
-                let sched = with_scratch(|scratch| {
-                    schedule_block_prepared(&table, scratch, block, dfg, heights, fid, bid)
-                })?;
-                (sched.cycles, false)
-            }
+            let sched = with_scratch(|scratch| {
+                schedule_block_prepared(&table, scratch, block, dfg, heights, fid, bid)
+            })?;
+            Ok((block_delay_with_costs(&costs, block, sched.cycles), false))
         };
-        Ok((block_delay_with_costs(&costs, block, sched), hit))
+        let indices: Vec<usize> = (0..prep.work.len()).collect();
+        let run_one = |&i: &usize| estimate(&prep.work[i], &prep.dfgs[i], &prep.heights[i]);
+        if parallel {
+            par_map(&indices, run_one)
+        } else {
+            indices.iter().map(run_one).collect()
+        }
     };
-    let indices: Vec<usize> = (0..prep.work.len()).collect();
-    let run_one =
-        |&i: &usize| estimate(&prep.work[i], &prep.dfgs[i], &prep.keys[i], &prep.heights[i]);
-    let results =
-        if parallel { par_map(&indices, run_one) } else { indices.iter().map(run_one).collect() };
 
     let mut delays: Vec<Vec<BlockDelay>> =
         module.functions.iter().map(|f| Vec::with_capacity(f.blocks.len())).collect();

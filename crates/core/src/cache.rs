@@ -42,6 +42,7 @@ use tlm_cdfg::dfg::{schedule_key, Dfg};
 use tlm_cdfg::ir::BlockData;
 use tlm_cdfg::{BlockId, FuncId};
 
+use crate::batch::{solve_batch, BatchItem};
 use crate::error::EstimateError;
 use crate::fingerprint::fnv1a_64;
 use crate::pum::Pum;
@@ -412,6 +413,86 @@ impl DomainHandle<'_> {
             Ok(result) => Ok((Arc::clone(result), !ran)),
             Err(error) => Err(error.clone()),
         }
+    }
+
+    /// Batch-fill: resolves every item's slot in **one** pass over the
+    /// entry map, then solves all uninitialized slots together through the
+    /// batched kernel ([`crate::batch`]) — identical keys share a slot, so
+    /// duplicates fold into one representative solve, and the surviving
+    /// misses are lane-sliced by shape class. Returns one
+    /// `(result, served-from-cache)` pair per item, in input order, with
+    /// exactly the accounting the per-item [`DomainHandle::schedule_keyed`]
+    /// loop would have produced: every initialized-by-us slot counts one
+    /// miss, everything else (prior entries, in-batch duplicates, lost
+    /// races) counts a hit.
+    pub fn schedule_batch_keyed(
+        &self,
+        table: &IssueTable,
+        items: &[BatchItem<'_>],
+        parallel: bool,
+    ) -> Vec<Result<(Arc<ScheduleResult>, bool), EstimateError>> {
+        let mut inserted = false;
+        let slots: Vec<Slot> = {
+            let mut gens = self.entries.entries.lock().expect("schedule cache poisoned");
+            items
+                .iter()
+                .map(|item| {
+                    if let Some(slot) = gens.young.get(item.key) {
+                        Arc::clone(slot)
+                    } else if let Some(slot) = gens.old.remove(item.key) {
+                        gens.old_bytes -= item.key.len() as u64;
+                        gens.young_bytes += item.key.len() as u64;
+                        gens.young.insert(item.key.to_vec(), Arc::clone(&slot));
+                        slot
+                    } else {
+                        inserted = true;
+                        gens.young_bytes += item.key.len() as u64;
+                        self.cache.key_bytes.fetch_add(item.key.len() as u64, Ordering::Relaxed);
+                        Arc::clone(gens.young.entry(item.key.to_vec()).or_default())
+                    }
+                })
+                .collect()
+        };
+        if inserted {
+            self.cache.enforce_budget();
+        }
+        // Solve the misses as one batch. Duplicate keys appear as multiple
+        // miss items sharing a slot; the batch planner folds them, and only
+        // the first `get_or_init` below wins the slot (counted as the one
+        // miss — the rest are hits, exactly as sequential lookups would
+        // have resolved).
+        let miss_idx: Vec<usize> = (0..items.len()).filter(|&i| slots[i].get().is_none()).collect();
+        let mut ran = vec![false; items.len()];
+        if !miss_idx.is_empty() {
+            let miss_items: Vec<BatchItem<'_>> = miss_idx.iter().map(|&i| items[i]).collect();
+            let solved = solve_batch(table, &miss_items, parallel);
+            for (&i, result) in miss_idx.iter().zip(solved) {
+                slots[i].get_or_init(|| {
+                    ran[i] = true;
+                    result
+                });
+            }
+        }
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let out = slots
+            .iter()
+            .zip(&ran)
+            .map(|(slot, &ran)| {
+                if ran {
+                    misses += 1;
+                } else {
+                    hits += 1;
+                }
+                match slot.get().expect("every slot resolved above") {
+                    Ok(result) => Ok((Arc::clone(result), !ran)),
+                    Err(error) => Err(error.clone()),
+                }
+            })
+            .collect();
+        self.cache.hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache.misses.fetch_add(misses, Ordering::Relaxed);
+        out
     }
 }
 

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod annotate;
+pub mod batch;
 pub mod cache;
 pub mod characterize;
 pub mod delay;

@@ -28,11 +28,21 @@ pub fn available_workers() -> usize {
     }
 }
 
-/// Indices claimed per `fetch_add` in [`par_map`]. Large enough that the
-/// counter is touched ~once per cache-warm run of blocks, small enough
-/// that a worker stuck with one pathological block strands at most 15
-/// cheap neighbours.
+/// Upper bound on indices claimed per `fetch_add` in [`par_map`]. Large
+/// enough that the counter is touched ~once per cache-warm run of blocks,
+/// small enough that a worker stuck with one pathological block strands at
+/// most 15 cheap neighbours.
 const CLAIM_CHUNK: usize = 16;
+
+/// Indices claimed per `fetch_add`, adapted to the input size. A fixed
+/// [`CLAIM_CHUNK`] starves small inputs — 64 batch units on 8 cores would
+/// land on 4 workers, 16 units each, with zero rebalancing — so the chunk
+/// shrinks until every worker gets about four claims (dynamic balancing
+/// needs more claims than workers), floored at 1 and capped at
+/// [`CLAIM_CHUNK`].
+fn claim_chunk(items: usize, workers: usize) -> usize {
+    (items / (workers.max(1) * 4)).clamp(1, CLAIM_CHUNK)
+}
 
 /// Applies `f` to every item, fanning out over the available cores, and
 /// returns the results **in input order** — the parallel result is
@@ -47,9 +57,11 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let available = available_workers();
+    let chunk = claim_chunk(items.len(), available);
     // More workers than claimable chunks would spawn threads that find
     // the counter exhausted on their first claim.
-    let workers = available_workers().min(items.len().div_ceil(CLAIM_CHUNK));
+    let workers = available.min(items.len().div_ceil(chunk));
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -62,11 +74,11 @@ where
                 scope.spawn(|| {
                     let mut local = Vec::new();
                     loop {
-                        let start = next.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
                         if start >= items.len() {
                             return local;
                         }
-                        let end = (start + CLAIM_CHUNK).min(items.len());
+                        let end = (start + chunk).min(items.len());
                         for (i, item) in items[start..end].iter().enumerate() {
                             local.push((start + i, f(item)));
                         }
@@ -135,6 +147,30 @@ mod tests {
         for n in [0, 1, CLAIM_CHUNK - 1, CLAIM_CHUNK, CLAIM_CHUNK + 1, 5 * CLAIM_CHUNK + 3] {
             let items: Vec<usize> = (0..n).collect();
             assert_eq!(par_map(&items, |&x| x), items, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn claim_chunk_adapts_to_input_size() {
+        // Small inputs spread across workers instead of saturating one.
+        assert_eq!(claim_chunk(8, 8), 1);
+        assert_eq!(claim_chunk(64, 4), 4);
+        // Large inputs keep the full chunk to amortize the atomic.
+        assert_eq!(claim_chunk(1000, 8), CLAIM_CHUNK);
+        // Degenerate inputs stay at the floor of 1.
+        assert_eq!(claim_chunk(0, 8), 1);
+        assert_eq!(claim_chunk(3, 0), 1);
+        assert_eq!(claim_chunk(usize::MAX, 1), CLAIM_CHUNK);
+    }
+
+    #[test]
+    fn small_inputs_fan_out_with_shrunk_chunks() {
+        // With an adaptive chunk, inputs between `workers` and
+        // `workers * CLAIM_CHUNK` engage several workers; order and
+        // coverage must be unaffected.
+        for n in [2, 7, 17, 33, 63, 64, 65] {
+            let items: Vec<usize> = (0..n).collect();
+            assert_eq!(par_map(&items, |&x| x + 1), (1..=n).collect::<Vec<_>>(), "n = {n}");
         }
     }
 

@@ -73,11 +73,11 @@ pub(crate) const CYCLE_LIMIT: u64 = 10_000_000;
 
 /// Number of op classes ([`OpClass::ALL`]); the issue table is indexed by
 /// class, not by op.
-const N_CLASSES: usize = 8;
+pub(crate) const N_CLASSES: usize = 8;
 
 /// Dense index of an op class into the issue table rows.
 #[inline]
-fn class_index(class: OpClass) -> usize {
+pub(crate) fn class_index(class: OpClass) -> usize {
     match class {
         OpClass::Alu => 0,
         OpClass::Mul => 1,
@@ -120,27 +120,27 @@ pub struct ScheduleResult {
 /// [`DomainHandle::issue_table`](crate::cache::DomainHandle::issue_table)).
 #[derive(Debug)]
 pub struct IssueTable {
-    policy: SchedulingPolicy,
+    pub(crate) policy: SchedulingPolicy,
     /// Deepest pipeline length ([`Pum::max_stages`]).
-    n_stages: usize,
-    fill_correction: u64,
+    pub(crate) n_stages: usize,
+    pub(crate) fill_correction: u64,
     /// Whether the op map binds the class (unmapped classes error lazily,
     /// only when a block actually contains one).
-    mapped: [bool; N_CLASSES],
-    transparent: [bool; N_CLASSES],
-    demand_stage: [usize; N_CLASSES],
-    commit_stage: [usize; N_CLASSES],
+    pub(crate) mapped: [bool; N_CLASSES],
+    pub(crate) transparent: [bool; N_CLASSES],
+    pub(crate) demand_stage: [usize; N_CLASSES],
+    pub(crate) commit_stage: [usize; N_CLASSES],
     /// Cycles per stage, `[class * n_stages + stage]`.
-    durations: Vec<u32>,
+    pub(crate) durations: Vec<u32>,
     /// FU index **plus one** per stage (0 = no unit), `[class * n_stages + stage]`.
-    fu_plus1: Vec<u32>,
+    pub(crate) fu_plus1: Vec<u32>,
     /// FU quantity template, copied into the scratch arena per block.
-    fu_quantity: Vec<u32>,
+    pub(crate) fu_quantity: Vec<u32>,
     /// All pipelines' stage widths, concatenated in pipeline order.
-    stage_width: Vec<usize>,
+    pub(crate) stage_width: Vec<usize>,
     /// `pipe_first[p]` is pipeline `p`'s first index into `stage_width`;
     /// has `n_pipes + 1` entries so `pipe_first[p + 1]` delimits it.
-    pipe_first: Vec<usize>,
+    pub(crate) pipe_first: Vec<usize>,
     /// Whether a lone op of this class free-flows down pipeline 0: every
     /// stage has width ≥ 1 and every unit it touches has quantity ≥ 1, so
     /// with no other op in flight it issues at cycle 0 and advances every
@@ -207,6 +207,13 @@ impl IssueTable {
         }
         table
     }
+
+    /// Total pipeline-0 latency of the class at dense index `ci` (sum of
+    /// its stage durations; 0 for unmapped classes). The batch planner's
+    /// drain-dominance signal.
+    pub(crate) fn class_latency(&self, ci: usize) -> u64 {
+        self.pipe0_latency[ci]
+    }
 }
 
 /// Reusable simulation state for [`schedule_block_prepared`].
@@ -272,7 +279,7 @@ pub fn scratch_stats() -> ScratchStats {
 /// storage had to grow. Existing contents are preserved (stale values are
 /// fine: callers fully overwrite or explicitly zero the regions they use).
 #[inline]
-fn grow<T: Copy + Default>(v: &mut Vec<T>, len: usize, grew: &mut bool) {
+pub(crate) fn grow<T: Copy + Default>(v: &mut Vec<T>, len: usize, grew: &mut bool) {
     if v.len() < len {
         if v.capacity() < len {
             *grew = true;
@@ -394,7 +401,7 @@ fn publish(
 ///
 /// One-shot convenience form: builds the [`IssueTable`], computes heights
 /// if the policy needs them and borrows the thread's [`with_scratch`]
-/// arena. Hot paths (the schedule cache, [`crate::annotate`]) precompute
+/// arena. Hot paths (the schedule cache, [`crate::annotate()`]) precompute
 /// all three and call [`schedule_block_prepared`] directly.
 ///
 /// `func` and `block_id` are used only for error reporting.

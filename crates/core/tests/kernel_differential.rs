@@ -6,12 +6,13 @@
 //! reproduce from the printed seed.
 #![cfg(feature = "reference-kernel")]
 
-use tlm_cdfg::dfg::block_dfg;
+use tlm_cdfg::dfg::{block_dfg, schedule_key, Dfg};
 use tlm_cdfg::ir::{ArrayId, BlockData, Op, OpKind, Terminator, VReg};
 use tlm_cdfg::{BlockId, FuncId};
+use tlm_core::batch::{batch_stats, key_hash, schedule_batch, BatchItem, MAX_LANES};
 use tlm_core::pum::{OpBinding, OpClassKey, SchedulingPolicy};
 use tlm_core::reference::schedule_block_reference;
-use tlm_core::schedule::schedule_block;
+use tlm_core::schedule::{schedule_block, IssueTable};
 use tlm_core::{library, Pum};
 use tlm_minic::ast::BinOp;
 
@@ -140,6 +141,155 @@ fn production_kernel_is_bit_identical_to_reference() {
     // 24 rounds × 9 PUMs × 4 policies — a regression that only bites one
     // policy or one datapath shape still gets hundreds of shots at it.
     assert_eq!(checked, 24 * 9 * 4);
+}
+
+/// A block with its derived schedule inputs, owned so [`BatchItem`]s can
+/// borrow from it.
+struct PreparedBlock {
+    block: BlockData,
+    dfg: Dfg,
+    key: Vec<u8>,
+    heights: Vec<usize>,
+}
+
+fn prepare(block: BlockData) -> PreparedBlock {
+    let dfg = block_dfg(&block);
+    let key = schedule_key(&block, &dfg);
+    let heights = dfg.heights();
+    PreparedBlock { block, dfg, key, heights }
+}
+
+/// Checks one batch against the reference kernel, block by block, for
+/// `pum` under every policy. `picks` selects which prepared block each
+/// item carries (repeats exercise dedup fan-out). Items with identical
+/// keys share a `BlockId` so a folded error is indistinguishable from a
+/// per-block one.
+fn assert_batch_matches_reference(base: &Pum, blocks: &[PreparedBlock], picks: &[usize]) {
+    for policy in POLICIES {
+        let mut pum = base.clone();
+        pum.execution.policy = policy;
+        let table = IssueTable::build(&pum);
+        let items: Vec<BatchItem<'_>> = picks
+            .iter()
+            .map(|&b| {
+                let rep = blocks.iter().position(|other| other.key == blocks[b].key).unwrap();
+                BatchItem {
+                    key: &blocks[b].key,
+                    key_hash: key_hash(&blocks[b].key),
+                    block: &blocks[b].block,
+                    dfg: &blocks[b].dfg,
+                    heights: &blocks[b].heights,
+                    func: FuncId(0),
+                    block_id: BlockId(rep as u32),
+                }
+            })
+            .collect();
+        let batched = schedule_batch(&table, &items);
+        assert_eq!(batched.len(), items.len());
+        for (item, got) in items.iter().zip(&batched) {
+            let reference =
+                schedule_block_reference(&pum, item.block, item.dfg, item.func, item.block_id);
+            assert_eq!(
+                got.as_deref(),
+                reference.as_ref(),
+                "batched kernel divergence: pum {}, policy {policy:?}, block {:?}",
+                pum.name,
+                item.block
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_kernel_matches_reference_on_random_mixed_batches() {
+    let mut rng = Rng(0x0123_4567_89ab_cdef);
+    for _round in 0..6 {
+        let blocks: Vec<PreparedBlock> = (0..24).map(|_| prepare(random_block(&mut rng))).collect();
+        // Every third block is submitted twice, so the plan mixes lane
+        // solves, scalar singletons and dedup fan-out in one batch.
+        let mut picks: Vec<usize> = (0..blocks.len()).collect();
+        picks.extend((0..blocks.len()).step_by(3));
+        for base in pums() {
+            assert_batch_matches_reference(&base, &blocks, &picks);
+        }
+    }
+}
+
+/// `count` blocks of six free-input binary ops — two ALU, two multiply,
+/// two shift — in `count` distinct class orders. Same op count, op-class
+/// histogram and (empty) edge structure, so they share a shape class, but
+/// every canonical key is distinct: the planner must fill whole lane units
+/// with them instead of folding. There are 6!/(2!·2!·2!) = 90 orders, so
+/// `count` may exceed [`MAX_LANES`].
+fn same_shape_distinct_blocks(count: usize) -> Vec<PreparedBlock> {
+    assert!(count <= 90);
+    let mut blocks = Vec::with_capacity(count);
+    for code in 0..729u32 {
+        let mut counts = [0u8; 3];
+        let mut seq = [0u8; 6];
+        let mut c = code;
+        for slot in &mut seq {
+            *slot = (c % 3) as u8;
+            counts[*slot as usize] += 1;
+            c /= 3;
+        }
+        if counts != [2, 2, 2] {
+            continue;
+        }
+        let mut ops: Vec<Op> = seq
+            .iter()
+            .enumerate()
+            .map(|(i, &class)| {
+                let bin = match class {
+                    0 => BinOp::Add,
+                    1 => BinOp::Mul,
+                    _ => BinOp::Shl,
+                };
+                Op {
+                    kind: OpKind::Bin(bin),
+                    args: vec![VReg(0), VReg(1)],
+                    result: Some(VReg(16 + i as u32)),
+                }
+            })
+            .collect();
+        // One long-latency op keeps every block past LANE_MIN_DRAIN, so
+        // the planner actually forms lane units out of these.
+        ops.push(Op {
+            kind: OpKind::Bin(BinOp::Div),
+            args: vec![VReg(0), VReg(1)],
+            result: Some(VReg(30)),
+        });
+        blocks.push(prepare(BlockData { ops, term: Terminator::Return(None) }));
+        if blocks.len() == count {
+            break;
+        }
+    }
+    blocks
+}
+
+#[test]
+fn lane_boundary_batches_match_reference() {
+    // 1 lane (scalar fallback), one short of full, exactly full, one
+    // over (forces a 64 + 1 chunk split) and a 64 + 16 split.
+    let before = batch_stats();
+    for count in [1, MAX_LANES - 1, MAX_LANES, MAX_LANES + 1, MAX_LANES + 16] {
+        let blocks = same_shape_distinct_blocks(count);
+        let picks: Vec<usize> = (0..count).collect();
+        assert_batch_matches_reference(
+            &library::microblaze_like(8 << 10, 4 << 10),
+            &blocks,
+            &picks,
+        );
+        assert_batch_matches_reference(&library::superscalar2(), &blocks, &picks);
+    }
+    let after = batch_stats();
+    // The full-size and oversized batches must actually have produced
+    // full 64-lane units (2 PUMs × 4 policies × 3 batch sizes with a full
+    // unit), not quietly fallen back to smaller ones.
+    assert!(
+        after.occupancy[4] >= before.occupancy[4] + 24,
+        "expected full-lane units: {before:?} -> {after:?}"
+    );
 }
 
 #[test]

@@ -323,6 +323,8 @@ struct Args {
     cold_platforms: bool,
     /// Seed of the chaos phase; `None` skips it.
     chaos: Option<u64>,
+    /// Scrape and gate the batched-kernel counters after the warm phase.
+    batch_stats: bool,
 }
 
 fn parse_args() -> Args {
@@ -333,6 +335,7 @@ fn parse_args() -> Args {
         addr: None,
         cold_platforms: false,
         chaos: None,
+        batch_stats: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -352,6 +355,7 @@ fn parse_args() -> Args {
             }
             "--addr" => args.addr = Some(value("--addr")),
             "--cold-platforms" => args.cold_platforms = true,
+            "--batch-stats" => args.batch_stats = true,
             "--chaos" => args.chaos = Some(value("--chaos").parse().expect("decimal seed")),
             // The shared --bench-json flag (and any following path) is
             // parsed by tlm_bench's own scan of the argument list.
@@ -891,6 +895,30 @@ fn main() -> ExitCode {
         },
     });
 
+    // `--batch-stats`: after a cold+warm cycle the batched scheduler must
+    // have folded duplicate shapes (the built-in designs repeat small
+    // blocks heavily), and every solve unit lands in an occupancy bucket.
+    let batch_counters = args.batch_stats.then(|| {
+        let (status, _, body) = get(addr, "/metrics").expect("metrics reachable");
+        assert_eq!(status, 200, "batch-stats: /metrics status");
+        let page = String::from_utf8_lossy(&body);
+        let dedup = metric(&page, "tlm_serve_kernel_batch_dedup_hits");
+        let occupancy: Vec<(String, u64)> = tlm_core::batch::OCCUPANCY_BUCKETS
+            .iter()
+            .map(|bucket| {
+                let name = format!("tlm_serve_kernel_batch_occupancy{{lanes=\"{bucket}\"}}");
+                (bucket.to_string(), metric(&page, &name))
+            })
+            .collect();
+        let units: u64 = occupancy.iter().map(|(_, n)| n).sum();
+        gates.push(Gate {
+            name: "batch_dedup_engaged",
+            pass: dedup > 0 && units > 0,
+            detail: format!("{dedup} dedup hits, {units} solve units"),
+        });
+        (dedup, occupancy)
+    });
+
     let phase_rate = |before: &StageSnap, after: &StageSnap| -> f64 {
         let hits: u64 = (0..STAGES.len()).map(|i| after.hits[i] - before.hits[i]).sum();
         let misses: u64 = (0..STAGES.len()).map(|i| after.misses[i] - before.misses[i]).sum();
@@ -963,6 +991,19 @@ fn main() -> ExitCode {
             .field("saturation", saturation);
         if let Some(cold_platforms) = cold_platforms {
             record = record.field("cold_platforms", cold_platforms);
+        }
+        if let Some((dedup, occupancy)) = &batch_counters {
+            let mut occ = ObjectBuilder::new();
+            for (bucket, n) in occupancy {
+                occ = occ.field(bucket, *n);
+            }
+            record = record.field(
+                "batch",
+                ObjectBuilder::new()
+                    .field("dedup_hits", *dedup)
+                    .field("occupancy", occ.build())
+                    .build(),
+            );
         }
         if let Some(chaos) = chaos {
             record = record.field("chaos", chaos);

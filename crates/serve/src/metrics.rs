@@ -237,6 +237,24 @@ impl Metrics {
             scratch.allocs,
         );
 
+        // Batched-kernel effectiveness (process-wide, same contract as the
+        // scratch counters): how many block solves the identical-shape
+        // dedup fold absorbed, and how full the lane-sliced units run.
+        let batch = tlm_core::batch::batch_stats();
+        counter(
+            "tlm_serve_kernel_batch_dedup_hits",
+            "Blocks folded into another block's solve by identical-shape dedup.",
+            batch.dedup_hits,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP tlm_serve_kernel_batch_occupancy Batch solve units by lane-occupancy bucket."
+        );
+        let _ = writeln!(out, "# TYPE tlm_serve_kernel_batch_occupancy counter");
+        for (bucket, count) in tlm_core::batch::OCCUPANCY_BUCKETS.iter().zip(batch.occupancy) {
+            let _ = writeln!(out, "tlm_serve_kernel_batch_occupancy{{lanes=\"{bucket}\"}} {count}");
+        }
+
         let _ = writeln!(out, "# HELP tlm_serve_responses_total Responses by status code.");
         let _ = writeln!(out, "# TYPE tlm_serve_responses_total counter");
         for (i, &status) in STATUSES.iter().enumerate() {
@@ -423,6 +441,26 @@ mod tests {
                 .lines()
                 .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
                 .unwrap_or_else(|| panic!("missing sample for {name}"));
+            let value = sample.rsplit(' ').next().unwrap();
+            assert!(value.parse::<u64>().is_ok(), "non-numeric sample: {sample}");
+        }
+    }
+
+    #[test]
+    fn kernel_batch_counters_exported() {
+        // Process-wide like the scratch counters, so assert presence and
+        // shape: the dedup counter plus one occupancy sample per bucket.
+        let text = Metrics::new().render(&PipelineStats::default(), 1);
+        assert!(
+            text.contains("# TYPE tlm_serve_kernel_batch_dedup_hits counter"),
+            "missing dedup counter"
+        );
+        for bucket in tlm_core::batch::OCCUPANCY_BUCKETS {
+            let prefix = format!("tlm_serve_kernel_batch_occupancy{{lanes=\"{bucket}\"}} ");
+            let sample = text
+                .lines()
+                .find(|l| l.starts_with(&prefix))
+                .unwrap_or_else(|| panic!("missing occupancy bucket {bucket}"));
             let value = sample.rsplit(' ').next().unwrap();
             assert!(value.parse::<u64>().is_ok(), "non-numeric sample: {sample}");
         }

@@ -1,0 +1,83 @@
+//! End-to-end protocol checks over a real socket: an estimation request
+//! against a built-in design, then `/metrics` — asserting the batched
+//! scheduler actually engaged (nonzero identical-shape dedup, solve units
+//! accounted per occupancy bucket). The counters are process-wide totals,
+//! so the assertions are monotonic deltas around the request.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use tlm_serve::protocol::Service;
+use tlm_serve::server::{Server, ServerConfig};
+
+fn request(addr: SocketAddr, head: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    write!(
+        stream,
+        "{head} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("writes");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("reads");
+    out
+}
+
+fn status_of(response: &str) -> u16 {
+    response.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+/// Reads one sample by its full name (label set included, if any).
+fn metric(page: &str, name: &str) -> u64 {
+    page.lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l[name.len()..].trim().parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing:\n{page}"))
+}
+
+#[test]
+fn estimate_traffic_reports_batch_dedup_on_metrics() {
+    let config =
+        ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2, ..ServerConfig::default() };
+    let handle = Server::start(config, Service::new(8)).expect("server starts");
+    let addr = handle.addr();
+
+    let before = request(addr, "GET /metrics", "");
+    assert_eq!(status_of(&before), 200);
+    let dedup_before = metric(&before, "tlm_serve_kernel_batch_dedup_hits");
+    let scalar_units_before = metric(&before, "tlm_serve_kernel_batch_occupancy{lanes=\"1\"}");
+
+    // A cold estimate over a built-in design: the annotate stage submits
+    // whole-module batches, and the MP3 modules repeat small blocks
+    // heavily, so the dedup fold must absorb some solves.
+    let resp = request(addr, "POST /estimate", r#"{"platform": "mp3:sw"}"#);
+    assert_eq!(status_of(&resp), 200, "estimate failed: {resp}");
+
+    let after = request(addr, "GET /metrics", "");
+    assert_eq!(status_of(&after), 200);
+    assert!(
+        metric(&after, "tlm_serve_kernel_batch_dedup_hits") > dedup_before,
+        "no dedup hits from a cold mp3 estimate:\n{after}"
+    );
+    assert!(
+        metric(&after, "tlm_serve_kernel_batch_occupancy{lanes=\"1\"}") > scalar_units_before,
+        "no scalar solve units accounted:\n{after}"
+    );
+    // Every occupancy bucket renders, even when empty.
+    for bucket in tlm_core::batch::OCCUPANCY_BUCKETS {
+        metric(&after, &format!("tlm_serve_kernel_batch_occupancy{{lanes=\"{bucket}\"}}"));
+    }
+
+    // A warm repeat answers from the cache without growing the batch
+    // counters — dedup is a property of cold solves, not of serving.
+    let cold_blocks = metric(&after, "tlm_serve_kernel_batch_dedup_hits");
+    let resp = request(addr, "POST /estimate", r#"{"platform": "mp3:sw"}"#);
+    assert_eq!(status_of(&resp), 200, "warm estimate failed: {resp}");
+    let warm = request(addr, "GET /metrics", "");
+    assert_eq!(metric(&warm, "tlm_serve_kernel_batch_dedup_hits"), cold_blocks);
+
+    handle.shutdown();
+}
