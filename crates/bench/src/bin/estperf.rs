@@ -23,9 +23,15 @@
 //! batched kernel cold (per-schedule-domain batches: identical-shape
 //! dedup plus lane-sliced lockstep solves), and the warm schedule-cache
 //! hit path.
+//! **Session level** — a warm, single-function structural edit through a
+//! [`SessionStore`] (front-end the new source, re-estimate only the dirty
+//! function's rows, splice the rest) against the stateless cold path (a
+//! full rebuild-and-sweep per edit), with the spliced reports asserted
+//! bit-identical to the cold runs.
+//!
 //! The acceptance gates are ≥3× cold kernel throughput vs the reference,
-//! ≥2× cold batched throughput vs the flat kernel, and ≥2× pipelined
-//! sweep vs sequential.
+//! ≥2× cold batched throughput vs the flat kernel, ≥2× pipelined
+//! sweep vs sequential, and ≥10× warm session edits vs the cold full run.
 //!
 //! The performance record — sweep wall times, speedup, blocks/sec, kernel
 //! ns/block, scratch-arena reuse counters, per-stage cache counters — is
@@ -41,7 +47,7 @@ use std::time::Duration;
 
 use tlm_apps::designs::CACHE_SWEEP;
 use tlm_apps::imagepipe::{image_design, ImageParams};
-use tlm_apps::{mp3_design, Mp3Design, Mp3Params};
+use tlm_apps::{mp3, mp3_design, Mp3Design, Mp3Params};
 use tlm_bench::perf::{bench_json_path, pipeline_stats_json, time, write_bench_json};
 use tlm_cdfg::dfg::{block_dfg, schedule_key, Dfg};
 use tlm_cdfg::ir::BlockData;
@@ -57,6 +63,7 @@ use tlm_core::schedule::{
 use tlm_core::Pum;
 use tlm_json::{ObjectBuilder, Value};
 use tlm_pipeline::{ModuleArtifact, Pipeline, PipelineStats};
+use tlm_session::{SessionStore, SourceEdit, SweepPoint};
 
 /// One process to estimate: its module artifact and the PUM it is mapped
 /// to.
@@ -353,6 +360,122 @@ fn kernel_bench(jobs: &[Job]) -> KernelBench {
     KernelBench { json, batch_json, speedup, batch_speedup }
 }
 
+/// The session bench record plus the values for the acceptance gate:
+/// warm-edit speedup over the cold full run, and splice bit-identity.
+struct SessionBench {
+    json: Value,
+    speedup: f64,
+    identical: bool,
+}
+
+/// Edit-to-estimate latency: a single-function structural edit through a
+/// [`SessionStore`] versus what a stateless client pays per edit — a full
+/// cold run (front-end every process, estimate the whole cache sweep from
+/// a fresh pipeline).
+///
+/// Every edit grows an op chain in the MP3 sink's `main`, so each rep is
+/// a *structural* change (new op count → new block identity) rather than
+/// a constant tweak the identity scheme would correctly treat as clean.
+/// After the last edit, the session's spliced reports are differenced
+/// bit-for-bit against a cold full run of the edited design.
+fn session_bench() -> SessionBench {
+    const REPS: usize = 5;
+    let params = Mp3Params::evaluation();
+    let build = |pipeline: &Pipeline| {
+        mp3_design(pipeline, Mp3Design::Sw, params, 8 << 10, 4 << 10).expect("design builds")
+    };
+
+    // Cold baseline: rebuild the design and estimate the full sweep, all
+    // cold — the per-edit cost without session state.
+    let mut cold = Duration::MAX;
+    for _ in 0..REPS {
+        let rep = Pipeline::new();
+        let ((), wall) = time(|| {
+            let design = build(&rep);
+            for &(_, ic, dc) in &CACHE_SWEEP {
+                for (proc, artifact) in design.platform.processes.iter().zip(design.artifacts()) {
+                    let pum = swept(&design.platform.pes[proc.pe.0].pum, ic, dc);
+                    rep.process_report(artifact, &pum).expect("estimates");
+                }
+            }
+        });
+        cold = cold.min(wall);
+    }
+
+    // Warm edits: one session over the same sweep, then REPS full-source
+    // edits of the sink, each with a different chain length.
+    let pipeline = Pipeline::new();
+    let design = build(&pipeline);
+    let store = SessionStore::new(u64::MAX, Duration::from_secs(3600));
+    let sweep = CACHE_SWEEP
+        .iter()
+        .map(|&(label, icache, dcache)| SweepPoint { label: label.into(), icache, dcache })
+        .collect();
+    let (id, _) = store.create(&pipeline, &design, sweep, false).expect("creates");
+
+    let base = mp3::sink_source();
+    const ANCHOR: &str = "out(checksum);";
+    let variant = |rep: usize| {
+        let mut chain = String::new();
+        for _ in 0..=rep {
+            chain.push_str("checksum = (checksum << 1) ^ ngranules; ");
+        }
+        base.replacen(ANCHOR, &format!("{chain}{ANCHOR}"), 1)
+    };
+
+    let mut edit_wall = Duration::MAX;
+    let mut dirty_blocks = 0usize;
+    let mut last = String::new();
+    for rep in 0..REPS {
+        let source = variant(rep);
+        let (report, wall) = time(|| {
+            store.edit(&pipeline, id, "sink", &SourceEdit::Full(&source)).expect("edits").0
+        });
+        assert_eq!(report.dirty_functions, 1, "each chain edit dirties exactly the sink `main`");
+        dirty_blocks += report.dirty_blocks;
+        edit_wall = edit_wall.min(wall);
+        last = source;
+    }
+
+    // Splice identity: the session's reports after the last edit equal a
+    // cold full run of the edited design on a fresh pipeline.
+    let view = store.view(id).expect("views");
+    let cold_pipeline = Pipeline::new();
+    let sink = design.platform.processes.iter().position(|p| p.name == "sink").expect("sink");
+    let optimize = design.artifacts()[sink].key()[0] != 0;
+    let edited = cold_pipeline.frontend_with(&last, optimize).expect("edited source builds");
+    let mut identical = true;
+    for (point, &(_, ic, dc)) in view.sweep.iter().zip(&CACHE_SWEEP) {
+        let artifacts = design.platform.processes.iter().zip(design.artifacts()).enumerate();
+        for (i, (proc, artifact)) in artifacts {
+            let artifact = if i == sink { &edited } else { artifact };
+            let pum = swept(&design.platform.pes[proc.pe.0].pum, ic, dc);
+            let full = cold_pipeline.process_report(artifact, &pum).expect("estimates");
+            identical &= *point.processes[i].report == *full;
+        }
+    }
+
+    let speedup = cold.as_secs_f64() / edit_wall.as_secs_f64().max(1e-9);
+    println!("session (mp3:sw, {} sweep points, structural sink edits):", CACHE_SWEEP.len());
+    println!("  cold full run:   {cold:>10.3?}");
+    println!("  warm edit:       {edit_wall:>10.3?}  ({speedup:.2}x)");
+    println!(
+        "  splice identity: {}",
+        if identical { "bit-identical to the cold run" } else { "DIVERGED" }
+    );
+    let json = ObjectBuilder::new()
+        .field("edits", Value::Number(REPS as f64))
+        .field("sweep_points", Value::Number(CACHE_SWEEP.len() as f64))
+        .field("cold_full_ms", Value::Number(cold.as_secs_f64() * 1e3))
+        .field("warm_edit_ms", Value::Number(edit_wall.as_secs_f64() * 1e3))
+        .field("speedup", Value::Number(speedup))
+        .field("gate_10x", Value::Bool(speedup >= 10.0))
+        .field("dirty_blocks_total", Value::Number(dirty_blocks as f64))
+        .field("spliced_bit_identical", Value::Bool(identical))
+        .build();
+    SessionBench { json, speedup, identical }
+}
+
 fn main() {
     let path = bench_json_path().unwrap_or_else(|| PathBuf::from("BENCH_estimation.json"));
     let scratch_before = scratch_stats();
@@ -427,6 +550,7 @@ fn main() {
     assert_identical(&sequential, &parallel);
 
     let kernel = kernel_bench(&jobs);
+    let session = session_bench();
     let scratch = scratch_stats();
     let (scratch_reuses, scratch_allocs) = (
         scratch.reuses.saturating_sub(scratch_before.reuses),
@@ -473,6 +597,7 @@ fn main() {
         )
         .field("kernel", kernel.json)
         .field("batch", kernel.batch_json)
+        .field("session", session.json)
         .field(
             "scratch",
             ObjectBuilder::new()
@@ -508,9 +633,19 @@ fn main() {
         "acceptance: pipelined sweep must be at least 2x the sequential engine \
          (measured {speedup:.2}x)"
     );
+    assert!(
+        session.identical,
+        "acceptance: session-spliced reports must be bit-identical to cold full runs"
+    );
+    assert!(
+        session.speedup >= 10.0,
+        "acceptance: a warm session edit must be at least 10x faster than the cold \
+         full run (measured {:.2}x)",
+        session.speedup
+    );
     println!(
         "acceptance checks passed: kernel {:.2}x >= 3x, batch {:.2}x >= 2x, \
-         sweep {speedup:.2}x >= 2x",
-        kernel.speedup, kernel.batch_speedup
+         sweep {speedup:.2}x >= 2x, session edit {:.2}x >= 10x",
+        kernel.speedup, kernel.batch_speedup, session.speedup
     );
 }

@@ -144,6 +144,20 @@ pub struct PreparedModule {
     /// priorities, hoisted here so Algorithm 1 never recomputes them.
     heights: Vec<Vec<usize>>,
     ops: usize,
+    /// Per-function `work` index range — `work` is flattened function by
+    /// function, so each function's blocks are one contiguous slice.
+    func_ranges: Vec<std::ops::Range<usize>>,
+    /// Per-function structural identity key: the length-prefixed
+    /// concatenation of every block's *estimate identity* (canonical
+    /// schedule key plus the conditional-terminator flag — everything
+    /// Algorithms 1 and 2 read from a block besides the op census already
+    /// inside the schedule key). Invariant under renaming, reordering of
+    /// functions, and whitespace/comment edits; changes whenever an op,
+    /// a dependence edge or a terminator kind changes.
+    func_keys: Vec<Vec<u8>>,
+    /// FNV-1a of `func_keys[f]`, for cheap session-side diffing. Equality
+    /// decisions on cache keys always use the full bytes.
+    func_hashes: Vec<u64>,
 }
 
 impl PreparedModule {
@@ -167,13 +181,160 @@ impl PreparedModule {
             dfgs.push(dfg);
         }
         let ops = module.functions.iter().flat_map(|f| &f.blocks).map(|b| b.ops.len()).sum();
-        PreparedModule { module, work, dfgs, keys, key_hashes, heights, ops }
+        let mut func_ranges = Vec::with_capacity(module.functions.len());
+        let mut func_keys = Vec::with_capacity(module.functions.len());
+        let mut func_hashes = Vec::with_capacity(module.functions.len());
+        let mut start = 0usize;
+        for func in &module.functions {
+            let end = start + func.blocks.len();
+            let mut fkey = Vec::new();
+            for i in start..end {
+                let (fid, bid) = work[i];
+                let block = &module.functions[fid.0 as usize].blocks[bid.0 as usize];
+                // Length-prefixed so block boundaries can never blur:
+                // schedule key ‖ conditional-terminator flag.
+                fkey.extend_from_slice(&((keys[i].len() + 1) as u32).to_le_bytes());
+                fkey.extend_from_slice(&keys[i]);
+                fkey.push(block.term.is_conditional() as u8);
+            }
+            func_hashes.push(crate::fingerprint::fnv1a_64(&fkey));
+            func_keys.push(fkey);
+            func_ranges.push(start..end);
+            start = end;
+        }
+        PreparedModule {
+            module,
+            work,
+            dfgs,
+            keys,
+            key_hashes,
+            heights,
+            ops,
+            func_ranges,
+            func_keys,
+            func_hashes,
+        }
     }
 
     /// The underlying module.
     pub fn module(&self) -> &Arc<Module> {
         &self.module
     }
+
+    /// Total operations across all blocks.
+    pub fn ops(&self) -> usize {
+        self.ops
+    }
+
+    /// Total basic blocks across all functions (the length of the
+    /// flattened work list).
+    pub fn total_blocks(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Number of functions.
+    pub fn function_count(&self) -> usize {
+        self.func_ranges.len()
+    }
+
+    /// Number of basic blocks in one function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn function_blocks(&self, func: FuncId) -> usize {
+        self.func_ranges[func.0 as usize].len()
+    }
+
+    /// The structural identity key of one function: a canonical encoding
+    /// of everything block-level estimation reads from it. Two functions
+    /// with equal keys produce bit-identical per-block delay rows under
+    /// any PUM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn function_structural_key(&self, func: FuncId) -> &[u8] {
+        &self.func_keys[func.0 as usize]
+    }
+
+    /// FNV-1a fingerprint of [`PreparedModule::function_structural_key`] —
+    /// for fast dirty-set diffing only; never used as a cache key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn function_structural_hash(&self, func: FuncId) -> u64 {
+        self.func_hashes[func.0 as usize]
+    }
+
+    /// `(name, structural hash)` of every function, in module order.
+    pub fn function_identities(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.module
+            .functions
+            .iter()
+            .zip(&self.func_hashes)
+            .map(|(f, &hash)| (f.name.as_str(), hash))
+    }
+}
+
+/// Annotates the blocks of a *single function* through the batched engine,
+/// returning the per-block delays in block order — the dirty-subset form
+/// incremental (edit-to-estimate) sessions re-estimate with.
+///
+/// Runs the exact floating-point path of the whole-module engine
+/// ([`annotate_in_domain`]) — same issue table, same batched Algorithm 1
+/// kernel, same [`block_delay_with_costs`] — so the rows it produces are
+/// bit-identical to the corresponding slice of a full annotation run.
+///
+/// # Errors
+///
+/// Same as [`annotate_in_domain`]; when several blocks fail, the first
+/// failing block in block order wins.
+///
+/// # Panics
+///
+/// Panics if `func` is out of range for the prepared module.
+pub fn annotate_function_in_domain(
+    prep: &PreparedModule,
+    pum: &Pum,
+    handle: &DomainHandle<'_>,
+    func: FuncId,
+    parallel: bool,
+) -> Result<Vec<BlockDelay>, EstimateError> {
+    debug_assert_eq!(
+        ScheduleDomain::of(pum).fingerprint(),
+        handle.fingerprint(),
+        "PUM {} does not belong to the resolved schedule domain",
+        pum.name
+    );
+    pum.validate()?;
+    let costs = MemoryCosts::of(pum)?;
+    let table: Arc<IssueTable> = handle.issue_table(pum);
+    let module = &prep.module;
+    let range = prep.func_ranges[func.0 as usize].clone();
+    let items: Vec<BatchItem<'_>> = range
+        .map(|i| {
+            let (fid, bid) = prep.work[i];
+            BatchItem {
+                key: &prep.keys[i],
+                key_hash: prep.key_hashes[i],
+                block: &module.functions[fid.0 as usize].blocks[bid.0 as usize],
+                dfg: &prep.dfgs[i],
+                heights: &prep.heights[i],
+                func: fid,
+                block_id: bid,
+            }
+        })
+        .collect();
+    let scheduled = handle.schedule_batch_keyed(&table, &items, parallel);
+    items
+        .iter()
+        .zip(scheduled)
+        .map(|(item, result)| {
+            result.map(|(sched, _hit)| block_delay_with_costs(&costs, item.block, sched.cycles))
+        })
+        .collect()
 }
 
 /// [`annotate_arc_with`] over a [`PreparedModule`] — the sweep-loop form.
@@ -556,5 +717,87 @@ mod tests {
                 .sum::<u64>()
         };
         assert!(total(&hw) < total(&cpu), "HW estimate beats the soft core");
+    }
+
+    /// Structural hash of a named function, straight from source text.
+    fn hash_of(src: &str, name: &str) -> u64 {
+        let module = Arc::new(module_of(src));
+        let fid = module.function_id(name).expect("function exists");
+        PreparedModule::new(module).function_structural_hash(fid)
+    }
+
+    #[test]
+    fn structural_hash_survives_reordering_and_formatting() {
+        let base = "
+            int helper(int x) { return x * 3 + 1; }
+            void main() { out(helper(ch_recv(0))); }
+        ";
+        // Functions swapped, whitespace mangled, comments added: every
+        // function keeps its structural identity.
+        let shuffled = "
+            /* moved main up */
+            void main() { out(helper(ch_recv(0))); }
+            int helper(int x) {
+                // same ops, different layout
+                return x * 3 + 1;
+            }
+        ";
+        for name in ["helper", "main"] {
+            assert_eq!(
+                hash_of(base, name),
+                hash_of(shuffled, name),
+                "{name} identity must survive reorder + formatting"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_hash_tracks_op_and_dependency_edits() {
+        let base = "int f(int x) { int a = x + 1; int b = x * 2; return a + b; }";
+        // Op edit: multiply becomes shift.
+        let op_edit = "int f(int x) { int a = x + 1; int b = x << 2; return a + b; }";
+        // Dependency edit: same op census, but `b` now consumes `a`.
+        let dep_edit = "int f(int x) { int a = x + 1; int b = a * 2; return a + b; }";
+        let h = hash_of(base, "f");
+        assert_ne!(h, hash_of(op_edit, "f"), "op class change must re-key");
+        assert_ne!(h, hash_of(dep_edit, "f"), "dependence change must re-key");
+    }
+
+    #[test]
+    fn function_identities_enumerate_in_module_order() {
+        let module = Arc::new(module_of(SRC));
+        let prep = PreparedModule::new(Arc::clone(&module));
+        let names: Vec<&str> = prep.function_identities().map(|(n, _)| n).collect();
+        let expected: Vec<&str> = module.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, expected);
+        assert_eq!(prep.function_count(), module.functions.len());
+        assert_eq!(
+            (0..prep.function_count())
+                .map(|f| prep.function_blocks(FuncId(f as u32)))
+                .sum::<usize>(),
+            prep.total_blocks()
+        );
+    }
+
+    #[test]
+    fn per_function_annotation_matches_full_run() {
+        let module = Arc::new(module_of(SRC));
+        let prep = PreparedModule::new(Arc::clone(&module));
+        let pum = library::microblaze_like(8 << 10, 4 << 10);
+        let full = annotate_prepared(&prep, &pum, None, true).expect("annotates");
+        let cache = ScheduleCache::new();
+        let handle = cache.domain(&ScheduleDomain::of(&pum));
+        for (fid, func) in module.functions_iter() {
+            let rows = annotate_function_in_domain(&prep, &pum, &handle, fid, true)
+                .expect("annotates one function");
+            assert_eq!(rows.len(), func.blocks.len());
+            for (bid, _) in func.blocks_iter() {
+                assert_eq!(
+                    rows[bid.0 as usize],
+                    *full.delay(fid, bid),
+                    "per-function row must be bit-identical to the full run"
+                );
+            }
+        }
     }
 }

@@ -17,6 +17,15 @@
 //! | schedules  | schedule domain ‖ block key (`ScheduleCache`)|
 //! | annotated  | len(PUM) ‖ canonical PUM ‖ module key        |
 //! | report     | annotated key                                |
+//! | rows       | len(PUM) ‖ canonical PUM ‖ function structural key |
+//!
+//! The `rows` stage is the per-function half of the report: block delay
+//! rows keyed by the function's *structural* identity
+//! ([`PreparedModule::function_structural_key`]) instead of the whole
+//! module key. Edit-to-estimate sessions demand reports through it
+//! ([`Pipeline::report_from_rows`]) so an edit re-keys only the functions
+//! it structurally changed; every untouched function hits, whatever else
+//! in the file moved.
 //!
 //! Demand flows top-down and stops at the first hit: a report-stage hit
 //! performs **no** lookups on the annotated, prepared or schedule stages.
@@ -30,7 +39,10 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use tlm_cdfg::ir::Module;
-use tlm_core::annotate::{annotate_in_domain, PreparedModule, TimedModule};
+use tlm_cdfg::FuncId;
+use tlm_core::annotate::{
+    annotate_function_in_domain, annotate_in_domain, PreparedModule, TimedModule,
+};
 use tlm_core::cache::ScheduleDomain;
 use tlm_core::{Pum, ScheduleCache};
 use tlm_faults::Kind;
@@ -42,7 +54,7 @@ use tlm_platform::tlm::{run_annotated, AnnotatedPlatform, TlmConfig, TlmReport};
 
 use crate::design::PreparedDesign;
 use crate::error::PipelineError;
-use crate::report::EstimateReport;
+use crate::report::{BlockReport, EstimateReport, FunctionReport};
 use crate::stage::{Stage, StageStats};
 
 /// A module artifact: the lowered (and optionally optimized) CDFG together
@@ -85,12 +97,15 @@ pub struct PipelineStats {
     pub annotated: StageStats,
     /// `AnnotatedEstimate → Report`.
     pub report: StageStats,
+    /// `Function structure × PUM → block delay rows` (the per-function
+    /// stage incremental sessions splice reports from).
+    pub rows: StageStats,
 }
 
 impl PipelineStats {
     /// The stages with their canonical names, for iteration (metrics
     /// exporters, gates).
-    pub fn stages(&self) -> [(&'static str, StageStats); 6] {
+    pub fn stages(&self) -> [(&'static str, StageStats); 7] {
         [
             ("ast", self.ast),
             ("module", self.module),
@@ -98,6 +113,7 @@ impl PipelineStats {
             ("schedules", self.schedules),
             ("annotated", self.annotated),
             ("report", self.report),
+            ("rows", self.rows),
         ]
     }
 }
@@ -118,6 +134,7 @@ pub struct Pipeline {
     schedules: ScheduleCache,
     annotated: Stage<Arc<TimedModule>>,
     report: Stage<Arc<EstimateReport>>,
+    rows: Stage<Arc<Vec<BlockReport>>>,
 }
 
 impl Default for Pipeline {
@@ -136,13 +153,14 @@ impl Pipeline {
             schedules: ScheduleCache::new(),
             annotated: Stage::new(),
             report: Stage::new(),
+            rows: Stage::new(),
         }
     }
 
     /// A pipeline whose resident artifact keys are bounded by roughly
     /// `total` bytes. Half the budget goes to the Algorithm 1 schedule
     /// cache — its entries are the expensive ones to recompute — and the
-    /// rest is split evenly across the five stage stores. Eviction is
+    /// rest is split evenly across the six stage stores. Eviction is
     /// second-chance generational; results stay bit-identical across
     /// evictions because every stage is a pure function of its key.
     pub fn with_budget(total: u64) -> Pipeline {
@@ -156,13 +174,14 @@ impl Pipeline {
     /// effect on subsequent insertions.
     pub fn set_budget(&self, total: u64) {
         let (schedules, per_stage) =
-            if total == u64::MAX { (u64::MAX, u64::MAX) } else { (total / 2, total / 10) };
+            if total == u64::MAX { (u64::MAX, u64::MAX) } else { (total / 2, total / 12) };
         self.schedules.set_budget(schedules);
         self.ast.set_budget(per_stage);
         self.module.set_budget(per_stage);
         self.prepared.set_budget(per_stage);
         self.annotated.set_budget(per_stage);
         self.report.set_budget(per_stage);
+        self.rows.set_budget(per_stage);
     }
 
     /// The process-wide pipeline. Sweep drivers and builders that estimate
@@ -298,6 +317,144 @@ impl Pipeline {
         key
     }
 
+    /// The canonical key of the `rows` stage: like [`Pipeline::estimate_key`]
+    /// but scoped to one function's structural identity instead of the
+    /// whole module key. The function *name* is deliberately excluded —
+    /// renaming a function, moving it, or pasting a structurally identical
+    /// copy into another source all hit the same rows.
+    fn rows_key(&self, prep: &PreparedModule, pum: &Pum, func: FuncId) -> Vec<u8> {
+        let pum_bytes = pum.estimate_domain().into_bytes();
+        let func_key = prep.function_structural_key(func);
+        let mut key = Vec::with_capacity(8 + pum_bytes.len() + func_key.len());
+        key.extend_from_slice(&(pum_bytes.len() as u64).to_le_bytes());
+        key.extend_from_slice(&pum_bytes);
+        key.extend_from_slice(func_key);
+        key
+    }
+
+    /// `Function structure × PUM → block delay rows`: Algorithms 1 and 2
+    /// over the blocks of one function, keyed by the function's structural
+    /// identity. Demanded per function by [`Pipeline::report_from_rows`];
+    /// after an edit, only structurally changed functions miss.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::annotated`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range for the artifact's module.
+    pub fn function_rows(
+        &self,
+        artifact: &ModuleArtifact,
+        pum: &Pum,
+        func: FuncId,
+    ) -> Result<Arc<Vec<BlockReport>>, PipelineError> {
+        let prepared = self.prepared(artifact)?;
+        self.function_rows_prepared(&prepared, pum, func)
+    }
+
+    /// [`Pipeline::function_rows`] with the prepared module already
+    /// resolved — the sweep/report-assembly form (one `prepared` lookup
+    /// per report instead of one per function).
+    fn function_rows_prepared(
+        &self,
+        prepared: &Arc<PreparedModule>,
+        pum: &Pum,
+        func: FuncId,
+    ) -> Result<Arc<Vec<BlockReport>>, PipelineError> {
+        self.rows.get_or_try(&self.rows_key(prepared, pum, func), || {
+            // Same chaos-build injection point as the annotated stage: the
+            // rows compute is retryable under transient faults too.
+            if let Some(fault) =
+                tlm_faults::point("pipeline.stage.compute", &[Kind::Transient, Kind::Delay])
+            {
+                fault.fire();
+                if fault.kind() == Kind::Transient {
+                    return Err(PipelineError::transient(
+                        "injected fault at pipeline.stage.compute",
+                    ));
+                }
+            }
+            let handle = self.schedules.domain(&ScheduleDomain::of(pum));
+            let delays = annotate_function_in_domain(prepared, pum, &handle, func, true)?;
+            Ok(Arc::new(
+                delays
+                    .iter()
+                    .enumerate()
+                    .map(|(block, d)| BlockReport {
+                        block: block as u32,
+                        sched: d.sched,
+                        branch: d.branch,
+                        ifetch: d.ifetch,
+                        data: d.data,
+                        cycles: d.cycles,
+                    })
+                    .collect(),
+            ))
+        })
+    }
+
+    /// Assembles the full [`EstimateReport`] from per-function rows: the
+    /// incremental-session path. Bit-identical to
+    /// [`Pipeline::process_report`] on the same inputs — both bottom out in
+    /// the same Algorithm 1/2 floating-point path — but keyed per function,
+    /// so after a source edit only the structurally dirty functions
+    /// recompute and the rest of the report is spliced from retained rows.
+    ///
+    /// Does not populate the whole-module `report` stage: the assembled
+    /// report is rebuilt from rows on every demand (cheap — it is a
+    /// concatenation), keeping the dirty-set accounting observable.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::annotated`].
+    pub fn report_from_rows(
+        &self,
+        artifact: &ModuleArtifact,
+        pum: &Pum,
+    ) -> Result<Arc<EstimateReport>, PipelineError> {
+        let prepared = self.prepared(artifact)?;
+        let module = prepared.module();
+        let mut functions = Vec::with_capacity(module.functions.len());
+        let mut total_cycles = 0u64;
+        for (fid, func) in module.functions_iter() {
+            let rows = self.function_rows_prepared(&prepared, pum, fid)?;
+            total_cycles += rows.iter().map(|r| r.cycles).sum::<u64>();
+            functions.push(FunctionReport { name: func.name.clone(), blocks: (*rows).clone() });
+        }
+        Ok(Arc::new(EstimateReport {
+            blocks: prepared.total_blocks(),
+            ops: prepared.ops(),
+            total_cycles,
+            functions,
+        }))
+    }
+
+    /// Drops the rows entry of one function under one PUM — the targeted
+    /// invalidation sessions use when a function's identity disappears
+    /// from the design (deleted or structurally replaced with no surviving
+    /// twin). Returns whether an entry was resident.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a well-formed artifact; typed for uniformity
+    /// (resolving the prepared module can, in principle, be a miss that
+    /// recomputes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range for the artifact's module.
+    pub fn invalidate_function_rows(
+        &self,
+        artifact: &ModuleArtifact,
+        pum: &Pum,
+        func: FuncId,
+    ) -> Result<bool, PipelineError> {
+        let prepared = self.prepared(artifact)?;
+        Ok(self.rows.remove(&self.rows_key(&prepared, pum, func)))
+    }
+
     /// Annotates every process of a design with its PE's PUM, through the
     /// annotated stage (so untouched processes of an edited platform hit
     /// end-to-end).
@@ -378,6 +535,7 @@ impl Pipeline {
             },
             annotated: self.annotated.stats(),
             report: self.report.stats(),
+            rows: self.rows.stats(),
         }
     }
 
@@ -389,5 +547,6 @@ impl Pipeline {
         self.schedules.clear();
         self.annotated.clear();
         self.report.clear();
+        self.rows.clear();
     }
 }

@@ -164,6 +164,23 @@ impl<T: Clone> Stage<T> {
         outcome
     }
 
+    /// Removes `key` from either generation unconditionally — the targeted
+    /// invalidation hook (sessions drop the rows of deleted functions).
+    /// Returns whether an entry was resident. A computation already in
+    /// flight on the removed slot completes on its own `Arc` and is simply
+    /// never read again.
+    pub(crate) fn remove(&self, key: &[u8]) -> bool {
+        let mut gens = self.gens.lock().expect("pipeline stage poisoned");
+        let Generations { young, old, young_bytes, old_bytes } = &mut *gens;
+        for (map, bytes) in [(young, young_bytes), (old, old_bytes)] {
+            if map.remove(key).is_some() {
+                *bytes -= key.len() as u64;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Removes `key` from either generation iff it still maps to `slot`.
     fn remove_if_same(&self, key: &[u8], slot: &Slot<T>) {
         let mut gens = self.gens.lock().expect("pipeline stage poisoned");
@@ -296,6 +313,20 @@ mod tests {
         let v = stage.get_or_try(b"bbbb", || Ok(2)).expect("recomputes");
         assert_eq!(v, 2);
         assert!(stage.stats().evictions > 0, "rotation counted evictions");
+    }
+
+    #[test]
+    fn remove_drops_one_entry_and_its_bytes() {
+        let stage: Stage<u64> = Stage::new();
+        stage.get_or_try(b"keep", || Ok(1)).expect("computes");
+        stage.get_or_try(b"drop", || Ok(2)).expect("computes");
+        assert!(stage.remove(b"drop"), "resident entry removed");
+        assert!(!stage.remove(b"drop"), "second removal is a no-op");
+        let stats = stage.stats();
+        assert_eq!((stats.entries, stats.bytes), (1, 4));
+        // The removed key recomputes; the kept one still hits.
+        assert_eq!(stage.get_or_try(b"drop", || Ok(2)).expect("recomputes"), 2);
+        assert_eq!(stage.get_or_try(b"keep", || panic!("hit")).expect("hits"), 1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! loadgen [--requests N] [--clients N] [--seed HEX] [--addr HOST:PORT]
-//!         [--cold-platforms] [--chaos SEED] [--bench-json[=PATH]]
+//!         [--cold-platforms] [--sessions] [--chaos SEED] [--bench-json[=PATH]]
 //! ```
 //!
 //! Runs three phases and enforces the serving-layer guarantees as hard
@@ -36,6 +36,17 @@
 //! request. This measures the true cold path (front-end + Algorithm 1
 //! kernel) under concurrency; p50/p99 latency land in the benchmark
 //! record. Gate: every request answers `200`.
+//!
+//! With `--sessions` an edit-loop phase runs after the warm snapshots:
+//! it opens an edit-to-estimate session against an inline platform whose
+//! sources loadgen controls, applies a fixed chain of single-function
+//! structural edits, and gates that incremental re-estimation actually
+//! engaged — every edit reports exactly one dirty function (the other
+//! splices from retained rows), the `rows` stage recomputes exactly
+//! edits × sweep-points entries, the `annotated`/`report` stages see
+//! zero traffic, and the replayed view is bit-identical to the last
+//! edit's report. Runs after the warm snapshots on purpose so its
+//! misses cannot pollute the warm-phase cache gates.
 //!
 //! The client honors backpressure: a `503` is retried after the
 //! server's `Retry-After`, with capped exponential backoff and seeded
@@ -94,7 +105,7 @@ const DESIGNS: [&str; 6] = ["mp3:sw", "mp3:sw+1", "mp3:sw+2", "mp3:sw+4", "image
 const SWEEP_LABELS: [&str; 5] = ["0k/0k", "2k/2k", "8k/4k", "16k/16k", "32k/16k"];
 
 /// The artifact pipeline's stage names, as exported on `/metrics`.
-const STAGES: [&str; 6] = ["ast", "module", "prepared", "schedules", "annotated", "report"];
+const STAGES: [&str; 7] = ["ast", "module", "prepared", "schedules", "annotated", "report", "rows"];
 
 /// One `/metrics` reading of the per-stage pipeline counters, indexed
 /// like [`STAGES`].
@@ -184,13 +195,25 @@ fn exchange(addr: SocketAddr, head: &str, body: &[u8]) -> Reply {
     Ok((status, retry_after, raw[header_end + 4..].to_vec()))
 }
 
-fn post_estimate(addr: SocketAddr, body: &str) -> Reply {
+fn post_json(addr: SocketAddr, target: &str, body: &str) -> Reply {
     let head = format!(
-        "POST /estimate HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
+        "POST {target} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     exchange(addr, &head, body.as_bytes())
+}
+
+fn post_estimate(addr: SocketAddr, body: &str) -> Reply {
+    post_json(addr, "/estimate", body)
+}
+
+fn delete(addr: SocketAddr, target: &str) -> Reply {
+    exchange(
+        addr,
+        &format!("DELETE {target} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n"),
+        b"",
+    )
 }
 
 fn get(addr: SocketAddr, target: &str) -> Reply {
@@ -321,6 +344,8 @@ struct Args {
     addr: Option<String>,
     /// Run the cache-defeating unique-platform phase.
     cold_platforms: bool,
+    /// Run the edit-to-estimate session phase.
+    sessions: bool,
     /// Seed of the chaos phase; `None` skips it.
     chaos: Option<u64>,
     /// Scrape and gate the batched-kernel counters after the warm phase.
@@ -334,6 +359,7 @@ fn parse_args() -> Args {
         seed: 0x5eed_cafe,
         addr: None,
         cold_platforms: false,
+        sessions: false,
         chaos: None,
         batch_stats: false,
     };
@@ -355,6 +381,7 @@ fn parse_args() -> Args {
             }
             "--addr" => args.addr = Some(value("--addr")),
             "--cold-platforms" => args.cold_platforms = true,
+            "--sessions" => args.sessions = true,
             "--batch-stats" => args.batch_stats = true,
             "--chaos" => args.chaos = Some(value("--chaos").parse().expect("decimal seed")),
             // The shared --bench-json flag (and any following path) is
@@ -450,6 +477,203 @@ fn cold_platforms_phase(
         .field("throughput_rps", requests as f64 / wall.as_secs_f64().max(1e-9))
         .field("p50_latency_ns", p50)
         .field("p99_latency_ns", p99)
+        .build()
+}
+
+/// `helper`-function bodies of the `--sessions` edit chain. The op-class
+/// sets are pairwise distinct (`{*,+}`, `{<<}`, `{^,+,&}`, `{|,-}`), so
+/// every variant is a fresh structural identity: each edit must
+/// re-estimate `helper`, and no variant can answer from an earlier
+/// variant's retained rows by structural-hash collision.
+const HELPER_VARIANTS: [&str; 4] = ["x * 7 + 3", "x << 2", "(x ^ 5) + (x & 3)", "(x | 1) - x"];
+
+/// The `--sessions` platform: one process, two functions. The edit chain
+/// rewrites only `helper`; `main` must splice from retained rows.
+fn session_source(helper_expr: &str) -> String {
+    format!(
+        "int helper(int x) {{ return {helper_expr}; }} \
+         void main() {{ int acc = 0; \
+         for (int i = 0; i < 6; i++) {{ acc = acc + helper(i); }} out(acc); }}"
+    )
+}
+
+/// Per-edit pipeline/session counters scraped off `/metrics`, enough to
+/// prove the incremental path engaged.
+#[derive(Clone, Copy)]
+struct SessionSnap {
+    rows_misses: u64,
+    annotated_misses: u64,
+    report_misses: u64,
+    dirty_functions: u64,
+    clean_functions: u64,
+}
+
+/// The `--sessions` phase: create → edit chain → replay → close against
+/// the warmed main server. Gates that the session layer re-estimated
+/// exactly the dirty set — see the module docs for the ladder.
+fn sessions_phase(addr: SocketAddr, gates: &mut Vec<Gate>) -> Value {
+    const SWEEP_POINTS: u64 = 2;
+    let edits = (HELPER_VARIANTS.len() - 1) as u64;
+
+    let scrape = |label: &str| -> SessionSnap {
+        let (status, _, body) = get(addr, "/metrics").expect("metrics reachable");
+        assert_eq!(status, 200, "{label}: /metrics status");
+        let page = String::from_utf8_lossy(&body);
+        SessionSnap {
+            rows_misses: metric(&page, "tlm_serve_pipeline_stage_misses_total{stage=\"rows\"}"),
+            annotated_misses: metric(
+                &page,
+                "tlm_serve_pipeline_stage_misses_total{stage=\"annotated\"}",
+            ),
+            report_misses: metric(&page, "tlm_serve_pipeline_stage_misses_total{stage=\"report\"}"),
+            dirty_functions: metric(&page, "tlm_serve_session_dirty_functions_total"),
+            clean_functions: metric(&page, "tlm_serve_session_clean_functions_total"),
+        }
+    };
+    let post = |target: &str, body: &str| -> Result<Value, String> {
+        match post_json(addr, target, body) {
+            Ok((200, _, bytes)) => std::str::from_utf8(&bytes)
+                .map_err(|e| format!("{target}: utf8: {e}"))
+                .and_then(|text| tlm_json::parse(text).map_err(|e| format!("{target}: {e}"))),
+            Ok((status, _, bytes)) => Err(format!(
+                "{target}: status {status}: {}",
+                String::from_utf8_lossy(&bytes[..bytes.len().min(200)])
+            )),
+            Err(e) => Err(format!("{target}: {e}")),
+        }
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut last_report = String::new();
+
+    let create_body = format!(
+        "{{\"platform\": {{\"name\": \"editor\", \
+           \"pes\": [{{\"name\": \"cpu\", \"pum\": \"microblaze\"}}], \
+           \"processes\": [{{\"name\": \"main\", \"pe\": \"cpu\", \"source\": \"{}\"}}]}}, \
+         \"sweep\": [{{\"icache\": 2048, \"dcache\": 2048}}, \
+                     {{\"icache\": 4096, \"dcache\": 4096}}]}}",
+        session_source(HELPER_VARIANTS[0])
+    );
+    let before = scrape("sessions before create");
+    let t0 = Instant::now();
+    let id = match post("/session", &create_body) {
+        Ok(v) => {
+            last_report = v.get("report").map(Value::to_compact).unwrap_or_default();
+            v.get("session").and_then(Value::as_u64).unwrap_or_else(|| {
+                failures.push(format!("create: no session id in {}", v.to_compact()));
+                0
+            })
+        }
+        Err(e) => {
+            failures.push(e);
+            0
+        }
+    };
+    let create_latency = t0.elapsed();
+    let mid = scrape("sessions after create");
+
+    let mut edit_latency_total = Duration::ZERO;
+    if failures.is_empty() {
+        for k in 0..edits as usize {
+            let body = format!(
+                "{{\"process\": \"main\", \"patch\": {{\"find\": \"{}\", \"replace\": \"{}\"}}}}",
+                HELPER_VARIANTS[k],
+                HELPER_VARIANTS[k + 1]
+            );
+            let t0 = Instant::now();
+            match post(&format!("/session/{id}/edit"), &body) {
+                Ok(v) => {
+                    let count = |field: &str| {
+                        v.get("edit").and_then(|e| e.get(field)).and_then(Value::as_u64)
+                    };
+                    if count("dirty_functions") != Some(1) || count("clean_functions") != Some(1) {
+                        failures.push(format!(
+                            "edit {k}: expected 1 dirty + 1 clean function, got {}",
+                            v.get("edit").map(Value::to_compact).unwrap_or_default()
+                        ));
+                    }
+                    last_report = v.get("report").map(Value::to_compact).unwrap_or_default();
+                }
+                Err(e) => failures.push(e),
+            }
+            edit_latency_total += t0.elapsed();
+        }
+    }
+    let after = scrape("sessions after edits");
+
+    // The replayed view must be bit-identical to the last edit's report,
+    // and closing must actually close.
+    if failures.is_empty() {
+        match get(addr, &format!("/session/{id}")) {
+            Ok((200, _, bytes)) => {
+                let replay = tlm_json::parse(&String::from_utf8_lossy(&bytes))
+                    .ok()
+                    .and_then(|v| v.get("report").map(Value::to_compact))
+                    .unwrap_or_default();
+                if replay != last_report {
+                    failures.push("replayed view diverges from the last edit's report".to_string());
+                }
+            }
+            Ok((status, _, _)) => failures.push(format!("replay: status {status}")),
+            Err(e) => failures.push(format!("replay: {e}")),
+        }
+        match delete(addr, &format!("/session/{id}")) {
+            Ok((200, _, _)) => {}
+            Ok((status, _, _)) => failures.push(format!("close: status {status}")),
+            Err(e) => failures.push(format!("close: {e}")),
+        }
+        if get(addr, &format!("/session/{id}")).map(|(s, _, _)| s) != Ok(404) {
+            failures.push("closed session still answers".to_string());
+        }
+    }
+
+    gates.push(Gate {
+        name: "sessions_all_ok",
+        pass: failures.is_empty(),
+        detail: if failures.is_empty() {
+            format!(
+                "create {create_latency:.2?}, {edits} edits (mean {:.2?}), replay + close ok",
+                edit_latency_total / u32::try_from(edits.max(1)).unwrap_or(1)
+            )
+        } else {
+            failures.join("; ")
+        },
+    });
+
+    let rows_delta = after.rows_misses - mid.rows_misses;
+    let dirty_delta = after.dirty_functions - mid.dirty_functions;
+    let clean_delta = after.clean_functions - mid.clean_functions;
+    let annotated_delta = after.annotated_misses - mid.annotated_misses;
+    let report_delta = after.report_misses - mid.report_misses;
+    let expected_rows = edits * SWEEP_POINTS;
+    gates.push(Gate {
+        name: "session_incremental_engaged",
+        pass: failures.is_empty()
+            && rows_delta == expected_rows
+            && annotated_delta == 0
+            && report_delta == 0
+            && dirty_delta == edits
+            && clean_delta == edits,
+        detail: format!(
+            "edits recomputed {rows_delta} row sets (expected {expected_rows} = \
+             {edits} edits x {SWEEP_POINTS} sweep points), annotated +{annotated_delta}, \
+             report +{report_delta}, {dirty_delta} dirty / {clean_delta} clean functions"
+        ),
+    });
+
+    ObjectBuilder::new()
+        .field("phase", "sessions")
+        .field("edits", edits)
+        .field("sweep_points", SWEEP_POINTS)
+        .field("create_latency_ns", create_latency.as_nanos() as u64)
+        .field(
+            "mean_edit_latency_ns",
+            (edit_latency_total / u32::try_from(edits.max(1)).unwrap_or(1)).as_nanos() as u64,
+        )
+        .field("create_rows_misses", mid.rows_misses - before.rows_misses)
+        .field("edit_rows_misses", rows_delta)
+        .field("dirty_functions", dirty_delta)
+        .field("clean_functions", clean_delta)
         .build()
 }
 
@@ -938,6 +1162,11 @@ fn main() -> ExitCode {
         .cold_platforms
         .then(|| cold_platforms_phase(addr, args.seed, args.requests, args.clients, &mut gates));
 
+    // Session edit-loop, also after the warm snapshots: its front-end
+    // and rows misses are intentional and must not count against the
+    // warm gates.
+    let sessions = args.sessions.then(|| sessions_phase(addr, &mut gates));
+
     let saturation = saturation_phase(&mut gates);
     if let Some(handle) = local {
         handle.shutdown();
@@ -991,6 +1220,9 @@ fn main() -> ExitCode {
             .field("saturation", saturation);
         if let Some(cold_platforms) = cold_platforms {
             record = record.field("cold_platforms", cold_platforms);
+        }
+        if let Some(sessions) = sessions {
+            record = record.field("sessions", sessions);
         }
         if let Some((dedup, occupancy)) = &batch_counters {
             let mut occ = ObjectBuilder::new();

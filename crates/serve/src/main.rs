@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! tlm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-budget BYTES]
+//!           [--session-budget BYTES] [--session-ttl SECONDS]
 //! ```
 //!
 //! Boots the HTTP server, prints the bound address (flushed immediately,
@@ -14,6 +15,11 @@
 //! memoization stores; the default is unbounded. Under a budget, cold
 //! entries are evicted generationally (second-chance) and recomputed on
 //! demand — results stay bit-identical, only latency changes.
+//!
+//! `--session-budget` bounds the resident source bytes of edit sessions
+//! (least-recently-edited sessions are evicted first); `--session-ttl`
+//! expires sessions idle for that many seconds. Both protect a
+//! long-running daemon from abandoned editor state.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -26,19 +32,34 @@ use tlm_serve::signal;
 fn usage() -> ! {
     eprintln!(
         "usage: tlm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-budget BYTES]\n\
+         \x20                [--session-budget BYTES] [--session-ttl SECONDS]\n\
          \n\
          endpoints:\n\
-           POST /estimate   run estimation jobs (JSON)\n\
-           GET  /metrics    Prometheus text metrics\n\
-           GET  /healthz    liveness probe\n\
-           GET  /readyz     readiness probe (503 while draining)"
+           POST   /estimate            run estimation jobs (JSON)\n\
+           POST   /session             open an edit session (same body as /estimate)\n\
+           POST   /session/{{id}}/edit   patch one process, re-estimate only dirty blocks\n\
+           GET    /session/{{id}}        replay the session's current report\n\
+           DELETE /session/{{id}}        close a session\n\
+           GET    /metrics             Prometheus text metrics\n\
+           GET    /healthz             liveness probe\n\
+           GET    /readyz              readiness probe (503 while draining)"
     );
     std::process::exit(2)
 }
 
-fn parse_args() -> (ServerConfig, u64) {
+struct Limits {
+    cache_budget: u64,
+    session_budget: u64,
+    session_ttl: Duration,
+}
+
+fn parse_args() -> (ServerConfig, Limits) {
     let mut config = ServerConfig::default();
-    let mut cache_budget = u64::MAX;
+    let mut limits = Limits {
+        cache_budget: u64::MAX,
+        session_budget: tlm_serve::protocol::DEFAULT_SESSION_BUDGET,
+        session_ttl: tlm_serve::protocol::DEFAULT_SESSION_TTL,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -52,7 +73,15 @@ fn parse_args() -> (ServerConfig, u64) {
             "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
             "--queue" => config.queue = value("--queue").parse().unwrap_or_else(|_| usage()),
             "--cache-budget" => {
-                cache_budget = value("--cache-budget").parse().unwrap_or_else(|_| usage());
+                limits.cache_budget = value("--cache-budget").parse().unwrap_or_else(|_| usage());
+            }
+            "--session-budget" => {
+                limits.session_budget =
+                    value("--session-budget").parse().unwrap_or_else(|_| usage());
+            }
+            "--session-ttl" => {
+                limits.session_ttl =
+                    Duration::from_secs(value("--session-ttl").parse().unwrap_or_else(|_| usage()));
             }
             "--help" | "-h" => usage(),
             other => {
@@ -61,15 +90,17 @@ fn parse_args() -> (ServerConfig, u64) {
             }
         }
     }
-    (config, cache_budget)
+    (config, limits)
 }
 
 fn main() -> ExitCode {
-    let (config, cache_budget) = parse_args();
+    let (config, limits) = parse_args();
     signal::install();
 
     let queue = config.queue;
-    let handle = match Server::start(config, Service::with_cache_budget(queue, cache_budget)) {
+    let service =
+        Service::with_limits(queue, limits.cache_budget, limits.session_budget, limits.session_ttl);
+    let handle = match Server::start(config, service) {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("tlm-serve: cannot bind: {e}");

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use tlm_pipeline::{PipelineStats, StageStats};
+use tlm_session::SessionStats;
 
 /// Histogram bucket upper bounds, in seconds.
 pub const LATENCY_BUCKETS: [f64; 9] = [0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0, 5.0];
@@ -171,11 +172,17 @@ impl Metrics {
     }
 
     /// Renders everything in the Prometheus text exposition format,
-    /// together with the artifact pipeline's per-stage counters and the
-    /// configured queue capacity (static, but exported so dashboards can
-    /// plot depth against it). The legacy `tlm_serve_schedule_cache_*`
-    /// names stay, fed by the pipeline's `schedules` stage.
-    pub fn render(&self, pipeline: &PipelineStats, queue_capacity: usize) -> String {
+    /// together with the artifact pipeline's per-stage counters, the
+    /// session store's counters and the configured queue capacity
+    /// (static, but exported so dashboards can plot depth against it).
+    /// The legacy `tlm_serve_schedule_cache_*` names stay, fed by the
+    /// pipeline's `schedules` stage.
+    pub fn render(
+        &self,
+        pipeline: &PipelineStats,
+        sessions: &SessionStats,
+        queue_capacity: usize,
+    ) -> String {
         use std::fmt::Write;
 
         let mut out = String::with_capacity(2048);
@@ -219,6 +226,38 @@ impl Metrics {
             "tlm_serve_faults_injected_total",
             "Faults injected by the chaos plan (0 unless built with --features faults).",
             tlm_faults::injected_total(),
+        );
+        counter("tlm_serve_sessions_created_total", "Sessions ever created.", sessions.created);
+        counter(
+            "tlm_serve_sessions_evicted_total",
+            "Sessions dropped by the resident-byte budget.",
+            sessions.evicted,
+        );
+        counter(
+            "tlm_serve_sessions_expired_total",
+            "Sessions dropped by the idle TTL.",
+            sessions.expired,
+        );
+        counter(
+            "tlm_serve_sessions_closed_total",
+            "Sessions closed by client request.",
+            sessions.closed,
+        );
+        counter("tlm_serve_session_edits_total", "Session edits accepted.", sessions.edits);
+        counter(
+            "tlm_serve_session_dirty_functions_total",
+            "Functions re-estimated by session edits (structural dirty set).",
+            sessions.dirty_functions,
+        );
+        counter(
+            "tlm_serve_session_clean_functions_total",
+            "Functions retained (spliced) across session edits.",
+            sessions.clean_functions,
+        );
+        counter(
+            "tlm_serve_session_dirty_blocks_total",
+            "Basic blocks re-estimated by session edits.",
+            sessions.dirty_blocks,
         );
 
         // Allocation pressure on the scheduler's thread-local scratch
@@ -337,6 +376,16 @@ impl Metrics {
             "Approximate resident key bytes across all artifact stores.",
             pipeline.stages().iter().map(|(_, s)| s.bytes).sum(),
         );
+        gauge(
+            "tlm_serve_sessions_active",
+            "Live edit-to-estimate sessions.",
+            sessions.active as u64,
+        );
+        gauge(
+            "tlm_serve_sessions_resident_bytes",
+            "Approximate resident bytes of all live sessions.",
+            sessions.resident_bytes,
+        );
         gauge("tlm_serve_workers_alive", "Worker threads currently alive.", self.workers_alive());
         gauge(
             "tlm_serve_workers_busy",
@@ -399,7 +448,18 @@ mod tests {
             report: StageStats { hits: 1, misses: 2, entries: 2, bytes: 128, evictions: 1 },
             ..Default::default()
         };
-        let text = m.render(&stats, 64);
+        let sessions = SessionStats {
+            active: 2,
+            created: 3,
+            evicted: 1,
+            edits: 5,
+            dirty_functions: 4,
+            clean_functions: 40,
+            dirty_blocks: 9,
+            resident_bytes: 4096,
+            ..Default::default()
+        };
+        let text = m.render(&stats, &sessions, 64);
         assert!(text.contains("tlm_serve_requests_total 2"));
         assert!(text.contains("tlm_serve_responses_total{code=\"200\"} 1"));
         assert!(text.contains("tlm_serve_responses_total{code=\"503\"} 1"));
@@ -427,6 +487,17 @@ mod tests {
         assert!(text.contains("tlm_serve_request_duration_seconds_bucket{le=\"0.001\"} 0"));
         assert!(text.contains("tlm_serve_request_duration_seconds_bucket{le=\"0.005\"} 1"));
         assert!(text.contains("tlm_serve_request_duration_seconds_bucket{le=\"+Inf\"} 1"));
+        // Session families, straight from the snapshot.
+        assert!(text.contains("tlm_serve_sessions_active 2"));
+        assert!(text.contains("tlm_serve_sessions_created_total 3"));
+        assert!(text.contains("tlm_serve_sessions_evicted_total 1"));
+        assert!(text.contains("tlm_serve_session_edits_total 5"));
+        assert!(text.contains("tlm_serve_session_dirty_functions_total 4"));
+        assert!(text.contains("tlm_serve_session_clean_functions_total 40"));
+        assert!(text.contains("tlm_serve_session_dirty_blocks_total 9"));
+        assert!(text.contains("tlm_serve_sessions_resident_bytes 4096"));
+        // The rows stage joined the per-stage families.
+        assert!(text.contains("tlm_serve_pipeline_stage_misses_total{stage=\"rows\"} 0"));
     }
 
     #[test]
@@ -434,7 +505,7 @@ mod tests {
         // The values are process-wide (other tests in the binary may have
         // run the scheduler), so only the presence and shape of the
         // samples is asserted here.
-        let text = Metrics::new().render(&PipelineStats::default(), 1);
+        let text = Metrics::new().render(&PipelineStats::default(), &SessionStats::default(), 1);
         for name in ["tlm_serve_kernel_scratch_reuse", "tlm_serve_kernel_scratch_alloc"] {
             assert!(text.contains(&format!("# TYPE {name} counter")), "missing TYPE for {name}");
             let sample = text
@@ -450,7 +521,7 @@ mod tests {
     fn kernel_batch_counters_exported() {
         // Process-wide like the scratch counters, so assert presence and
         // shape: the dedup counter plus one occupancy sample per bucket.
-        let text = Metrics::new().render(&PipelineStats::default(), 1);
+        let text = Metrics::new().render(&PipelineStats::default(), &SessionStats::default(), 1);
         assert!(
             text.contains("# TYPE tlm_serve_kernel_batch_dedup_hits counter"),
             "missing dedup counter"
@@ -470,7 +541,7 @@ mod tests {
     fn unknown_status_does_not_panic() {
         let m = Metrics::new();
         m.response(418);
-        let text = m.render(&PipelineStats::default(), 1);
+        let text = m.render(&PipelineStats::default(), &SessionStats::default(), 1);
         assert!(text.contains("tlm_serve_requests_total 0"));
     }
 }

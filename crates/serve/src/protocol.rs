@@ -35,15 +35,23 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use tlm_apps::designs::{mp3_design, Mp3Design, Mp3Params, CACHE_SWEEP};
 use tlm_apps::imagepipe::{image_design, ImageParams};
 use tlm_core::Pum;
 use tlm_json::{ObjectBuilder, ParseLimits, Value};
-use tlm_pipeline::{Pipeline, PreparedDesign};
+use tlm_pipeline::{EstimateReport, Pipeline, PreparedDesign};
+use tlm_session::{EditReport, SessionError, SessionStore, SessionView, SourceEdit};
 
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
+
+/// Default resident-byte budget across all sessions.
+pub const DEFAULT_SESSION_BUDGET: u64 = 64 << 20;
+
+/// Default idle time after which a session expires.
+pub const DEFAULT_SESSION_TTL: Duration = Duration::from_secs(900);
 
 /// Upper bound on sweep points per job — bounds the work one request can
 /// demand.
@@ -289,6 +297,67 @@ fn decode_job(
     Ok(Job { design, sweep, report })
 }
 
+/// Renders one process's estimate row — shared by the stateless
+/// `/estimate` path and the session views, so a spliced session report
+/// renders bit-identically to a cold request for the same inputs.
+fn render_process_row(process: &str, pe: &str, report: &EstimateReport, blocks: bool) -> Value {
+    let mut functions = Vec::new();
+    if blocks {
+        for func in &report.functions {
+            let rows = func
+                .blocks
+                .iter()
+                .map(|b| {
+                    ObjectBuilder::new()
+                        .field("block", u64::from(b.block))
+                        .field("sched", b.sched)
+                        .field("branch", b.branch)
+                        .field("ifetch", b.ifetch)
+                        .field("data", b.data)
+                        .field("cycles", b.cycles)
+                        .build()
+                })
+                .collect();
+            functions.push(
+                ObjectBuilder::new()
+                    .field("name", func.name.as_str())
+                    .field("blocks", Value::Array(rows))
+                    .build(),
+            );
+        }
+    }
+    let mut row = ObjectBuilder::new()
+        .field("process", process)
+        .field("pe", pe)
+        .field("blocks", report.blocks)
+        .field("ops", report.ops)
+        .field("total_block_cycles", report.total_cycles);
+    if blocks {
+        row = row.field("functions", Value::Array(functions));
+    }
+    row.build()
+}
+
+/// Renders one sweep point's row of process estimates.
+fn render_sweep_row(label: &str, icache: u32, dcache: u32, process_rows: Vec<Value>) -> Value {
+    ObjectBuilder::new()
+        .field("label", label)
+        .field("icache", icache)
+        .field("dcache", dcache)
+        .field("processes", Value::Array(process_rows))
+        .build()
+}
+
+/// Renders the top-level platform report object.
+fn render_platform(platform: &str, pes: usize, processes: usize, sweep_rows: Vec<Value>) -> Value {
+    ObjectBuilder::new()
+        .field("platform", platform)
+        .field("pes", pes)
+        .field("processes", processes)
+        .field("sweep", Value::Array(sweep_rows))
+        .build()
+}
+
 fn run_job(pipeline: &Pipeline, job: &Job) -> Result<Value, JobError> {
     let platform = &job.design.platform;
     let mut sweep_rows = Vec::with_capacity(job.sweep.len());
@@ -317,61 +386,56 @@ fn run_job(pipeline: &Pipeline, job: &Job) -> Result<Value, JobError> {
                     JobError::Transient(message)
                 }
             })?;
-
-            let mut functions = Vec::new();
-            if job.report == ReportKind::Blocks {
-                for func in &report.functions {
-                    let blocks = func
-                        .blocks
-                        .iter()
-                        .map(|b| {
-                            ObjectBuilder::new()
-                                .field("block", u64::from(b.block))
-                                .field("sched", b.sched)
-                                .field("branch", b.branch)
-                                .field("ifetch", b.ifetch)
-                                .field("data", b.data)
-                                .field("cycles", b.cycles)
-                                .build()
-                        })
-                        .collect();
-                    functions.push(
-                        ObjectBuilder::new()
-                            .field("name", func.name.as_str())
-                            .field("blocks", Value::Array(blocks))
-                            .build(),
-                    );
-                }
-            }
-
-            let mut row = ObjectBuilder::new()
-                .field("process", proc.name.as_str())
-                .field("pe", platform.pes[proc.pe.0].name.as_str())
-                .field("blocks", report.blocks)
-                .field("ops", report.ops)
-                .field("total_block_cycles", report.total_cycles);
-            if job.report == ReportKind::Blocks {
-                row = row.field("functions", Value::Array(functions));
-            }
-            process_rows.push(row.build());
+            process_rows.push(render_process_row(
+                &proc.name,
+                &platform.pes[proc.pe.0].name,
+                &report,
+                job.report == ReportKind::Blocks,
+            ));
         }
 
-        sweep_rows.push(
-            ObjectBuilder::new()
-                .field("label", point.label.as_str())
-                .field("icache", point.icache)
-                .field("dcache", point.dcache)
-                .field("processes", Value::Array(process_rows))
-                .build(),
-        );
+        sweep_rows.push(render_sweep_row(&point.label, point.icache, point.dcache, process_rows));
     }
 
-    Ok(ObjectBuilder::new()
-        .field("platform", platform.name.as_str())
-        .field("pes", platform.pes.len())
-        .field("processes", platform.processes.len())
-        .field("sweep", Value::Array(sweep_rows))
-        .build())
+    Ok(render_platform(&platform.name, platform.pes.len(), platform.processes.len(), sweep_rows))
+}
+
+/// Renders a session's spliced estimate exactly like a stateless
+/// `/estimate` response for the same platform and sweep.
+fn render_session_view(view: &SessionView) -> Value {
+    let sweep_rows = view
+        .sweep
+        .iter()
+        .map(|point| {
+            let rows = point
+                .processes
+                .iter()
+                .map(|p| render_process_row(&p.process, &p.pe, &p.report, view.detail_blocks))
+                .collect();
+            render_sweep_row(&point.label, point.icache, point.dcache, rows)
+        })
+        .collect();
+    render_platform(&view.platform, view.pes, view.processes, sweep_rows)
+}
+
+/// Renders an edit's dirty-set accounting.
+fn render_edit_report(edit: &EditReport) -> Value {
+    ObjectBuilder::new()
+        .field("process", edit.process.as_str())
+        .field("dirty_functions", edit.dirty_functions)
+        .field("clean_functions", edit.clean_functions)
+        .field("dirty_blocks", edit.dirty_blocks)
+        .field("added_functions", edit.added_functions)
+        .field("removed_functions", edit.removed_functions)
+        .build()
+}
+
+fn session_error_response(e: &SessionError) -> Response {
+    match e {
+        SessionError::NotFound(id) => Response::error(404, &format!("no session {id}")),
+        _ if e.is_deterministic() => Response::error(400, &e.to_string()),
+        _ => Response::error(503, &e.to_string()).with_header("Retry-After", "1"),
+    }
 }
 
 /// The request handler shared by every worker thread: routing, decoding,
@@ -382,6 +446,8 @@ pub struct Service {
     pub pipeline: Arc<Pipeline>,
     /// The built-in design catalog.
     pub catalog: Catalog,
+    /// Live edit-to-estimate sessions.
+    pub sessions: SessionStore,
     /// Capacity of the accept queue, exported through `/metrics`.
     pub queue_capacity: usize,
 }
@@ -389,7 +455,7 @@ pub struct Service {
 impl Service {
     /// A service around a fresh pipeline and an empty catalog.
     pub fn new(queue_capacity: usize) -> Service {
-        Service { pipeline: Arc::new(Pipeline::new()), catalog: Catalog::new(), queue_capacity }
+        Service::with_limits(queue_capacity, u64::MAX, DEFAULT_SESSION_BUDGET, DEFAULT_SESSION_TTL)
     }
 
     /// A service whose artifact pipeline evicts down to roughly
@@ -397,23 +463,41 @@ impl Service {
     /// [`tlm_pipeline::Pipeline::with_budget`]); responses stay
     /// bit-identical across evictions, only recompute cost varies.
     pub fn with_cache_budget(queue_capacity: usize, cache_budget: u64) -> Service {
+        Service::with_limits(
+            queue_capacity,
+            cache_budget,
+            DEFAULT_SESSION_BUDGET,
+            DEFAULT_SESSION_TTL,
+        )
+    }
+
+    /// Every knob explicit: pipeline cache budget, session resident-byte
+    /// budget, session idle TTL. `u64::MAX` disables the respective
+    /// budget.
+    pub fn with_limits(
+        queue_capacity: usize,
+        cache_budget: u64,
+        session_budget: u64,
+        session_ttl: Duration,
+    ) -> Service {
+        let pipeline = if cache_budget == u64::MAX {
+            Pipeline::new()
+        } else {
+            Pipeline::with_budget(cache_budget)
+        };
         Service {
-            pipeline: Arc::new(Pipeline::with_budget(cache_budget)),
+            pipeline: Arc::new(pipeline),
             catalog: Catalog::new(),
+            sessions: SessionStore::new(session_budget, session_ttl),
             queue_capacity,
         }
     }
 
     /// Decodes and runs `POST /estimate`.
     fn estimate(&self, body: &[u8], max_body: usize) -> Response {
-        let text = match std::str::from_utf8(body) {
-            Ok(text) => text,
-            Err(_) => return Response::error(400, "request body is not UTF-8"),
-        };
-        let limits = ParseLimits { max_bytes: max_body, ..ParseLimits::DEFAULT };
-        let root = match tlm_json::parse_with_limits(text, limits) {
+        let root = match Self::parse_body(body, max_body) {
             Ok(v) => v,
-            Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+            Err(resp) => return resp,
         };
 
         let run_one = |value: &Value, what: &str| -> Result<Value, JobError> {
@@ -458,11 +542,168 @@ impl Service {
         }
     }
 
+    /// Parses a request body as JSON with the configured limits.
+    fn parse_body(body: &[u8], max_body: usize) -> Result<Value, Response> {
+        let text = match std::str::from_utf8(body) {
+            Ok(text) => text,
+            Err(_) => return Err(Response::error(400, "request body is not UTF-8")),
+        };
+        let limits = ParseLimits { max_bytes: max_body, ..ParseLimits::DEFAULT };
+        tlm_json::parse_with_limits(text, limits)
+            .map_err(|e| Response::error(400, &format!("invalid JSON: {e}")))
+    }
+
+    /// Decodes and runs `POST /session`: the create body is exactly an
+    /// estimate job (`platform`, optional `sweep` and `report`); the
+    /// response carries the new session id plus the same report object a
+    /// stateless `POST /estimate` would answer.
+    fn session_create(&self, body: &[u8], max_body: usize) -> Response {
+        let root = match Self::parse_body(body, max_body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let job = match decode_job(&root, &self.pipeline, &self.catalog, "session") {
+            Ok(job) => job,
+            Err(JobError::Client(m)) => return Response::error(400, &m),
+            Err(JobError::Transient(m)) => {
+                return Response::error(503, &m).with_header("Retry-After", "1")
+            }
+        };
+        let sweep = job
+            .sweep
+            .iter()
+            .map(|p| tlm_session::SweepPoint {
+                label: p.label.clone(),
+                icache: p.icache,
+                dcache: p.dcache,
+            })
+            .collect();
+        let detail = job.report == ReportKind::Blocks;
+        match self.sessions.create(&self.pipeline, &job.design, sweep, detail) {
+            Ok((id, view)) => {
+                let mut body = ObjectBuilder::new()
+                    .field("session", id)
+                    .field("report", render_session_view(&view))
+                    .build()
+                    .to_compact();
+                body.push('\n');
+                Response::json(200, body)
+            }
+            Err(e) => session_error_response(&e),
+        }
+    }
+
+    /// Decodes and runs `POST /session/{id}/edit`. The body names the
+    /// process and carries either a full `source` replacement or a
+    /// `patch` (`{"find", "replace"}`, matching exactly once).
+    fn session_edit(&self, id: u64, body: &[u8], max_body: usize) -> Response {
+        let root = match Self::parse_body(body, max_body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let Some(process) = root.get("process").and_then(Value::as_str) else {
+            return Response::error(400, "edit: missing `process`");
+        };
+        for key in root.as_object().into_iter().flatten().map(|(k, _)| k) {
+            if !matches!(key.as_str(), "process" | "source" | "patch") {
+                return Response::error(400, &format!("edit: unknown field `{key}`"));
+            }
+        }
+        let edit = match (root.get("source"), root.get("patch")) {
+            (Some(source), None) => match source.as_str() {
+                Some(source) => SourceEdit::Full(source),
+                None => return Response::error(400, "edit: `source` must be a string"),
+            },
+            (None, Some(patch)) => {
+                for key in patch.as_object().into_iter().flatten().map(|(k, _)| k) {
+                    if !matches!(key.as_str(), "find" | "replace") {
+                        return Response::error(400, &format!("edit: unknown field `patch.{key}`"));
+                    }
+                }
+                let find = patch.get("find").and_then(Value::as_str);
+                let replace = patch.get("replace").and_then(Value::as_str);
+                match (find, replace) {
+                    (Some(find), Some(replace)) => SourceEdit::Patch { find, replace },
+                    _ => {
+                        return Response::error(
+                            400,
+                            "edit: `patch` needs string `find` and `replace`",
+                        )
+                    }
+                }
+            }
+            _ => return Response::error(400, "edit: exactly one of `source` or `patch`"),
+        };
+        match self.sessions.edit(&self.pipeline, id, process, &edit) {
+            Ok((report, view)) => {
+                let mut body = ObjectBuilder::new()
+                    .field("session", id)
+                    .field("edit", render_edit_report(&report))
+                    .field("report", render_session_view(&view))
+                    .build()
+                    .to_compact();
+                body.push('\n');
+                Response::json(200, body)
+            }
+            Err(e) => session_error_response(&e),
+        }
+    }
+
+    /// Routes `/session/{id}` and `/session/{id}/edit`. In-flight session
+    /// work is allowed during drain — only creation is gated in
+    /// [`Service::handle`].
+    fn session_route(&self, method: &str, target: &str, body: &[u8], max_body: usize) -> Response {
+        let rest = &target["/session/".len()..];
+        let (id_text, tail) = match rest.split_once('/') {
+            None => (rest, None),
+            Some((id, tail)) => (id, Some(tail)),
+        };
+        let Ok(id) = id_text.parse::<u64>() else {
+            return Response::error(404, &format!("no such endpoint `{target}`"));
+        };
+        match (method, tail) {
+            ("GET", None) => match self.sessions.view(id) {
+                Ok(view) => {
+                    let mut body = ObjectBuilder::new()
+                        .field("session", id)
+                        .field("report", render_session_view(&view))
+                        .build()
+                        .to_compact();
+                    body.push('\n');
+                    Response::json(200, body)
+                }
+                Err(e) => session_error_response(&e),
+            },
+            ("DELETE", None) => {
+                if self.sessions.close(id) {
+                    let mut body = ObjectBuilder::new()
+                        .field("session", id)
+                        .field("closed", true)
+                        .build()
+                        .to_compact();
+                    body.push('\n');
+                    Response::json(200, body)
+                } else {
+                    Response::error(404, &format!("no session {id}"))
+                }
+            }
+            (_, None) => Response::error(405, "use GET or DELETE").with_header("Allow", "GET"),
+            ("POST", Some("edit")) => self.session_edit(id, body, max_body),
+            (_, Some("edit")) => {
+                Response::error(405, "use POST /session/{id}/edit").with_header("Allow", "POST")
+            }
+            _ => Response::error(404, &format!("no such endpoint `{target}`")),
+        }
+    }
+
     /// Routes one request to a response. `max_body` is the configured
     /// body cap, reused as the JSON parser's size limit. `draining` flips
     /// `/readyz` to `503` (stop sending new work here) while `/healthz`
     /// stays `200` (the process is alive and flushing) — the degradation
-    /// ladder's drain rung.
+    /// ladder's drain rung. Draining also rejects **new session
+    /// creation** (sessions are long-lived state a terminating process
+    /// must not accept), while requests against existing sessions keep
+    /// being served until the listener closes.
     pub fn handle(
         &self,
         req: &Request,
@@ -472,9 +713,18 @@ impl Service {
     ) -> Response {
         match (req.method.as_str(), req.target.as_str()) {
             ("POST", "/estimate") => self.estimate(&req.body, max_body),
-            ("GET", "/metrics") => {
-                Response::text(200, metrics.render(&self.pipeline.stats(), self.queue_capacity))
+            ("POST", "/session") => {
+                if draining {
+                    Response::error(503, "draining: not accepting new sessions")
+                        .with_header("Retry-After", "1")
+                } else {
+                    self.session_create(&req.body, max_body)
+                }
             }
+            ("GET", "/metrics") => Response::text(
+                200,
+                metrics.render(&self.pipeline.stats(), &self.sessions.stats(), self.queue_capacity),
+            ),
             ("GET", "/healthz") => Response::text(200, "ok\n"),
             ("GET", "/readyz") => {
                 if draining {
@@ -486,8 +736,14 @@ impl Service {
             (_, "/estimate") => {
                 Response::error(405, "use POST /estimate").with_header("Allow", "POST")
             }
+            (_, "/session") => {
+                Response::error(405, "use POST /session").with_header("Allow", "POST")
+            }
             (_, "/metrics" | "/healthz" | "/readyz") => {
                 Response::error(405, "use GET").with_header("Allow", "GET")
+            }
+            (method, target) if target.starts_with("/session/") => {
+                self.session_route(method, target, &req.body, max_body)
             }
             (_, target) => Response::error(404, &format!("no such endpoint `{target}`")),
         }
@@ -656,6 +912,138 @@ mod tests {
         let body = format!("{{\"jobs\": [{}]}}", jobs.join(","));
         let (status, _) = estimate(&svc, &body);
         assert_eq!(status, 400);
+    }
+
+    /// A one-process custom platform whose `helper` function can be
+    /// patched structurally (multiply → shift) without touching `main`.
+    const TINY_SESSION: &str = r#"{"platform": {
+        "name": "tiny",
+        "pes": [{"name": "cpu", "pum": "microblaze"}],
+        "processes": [
+            {"name": "main", "pe": "cpu",
+             "source": "int helper(int x) { return x * 3 + 1; } void main() { int s = 0; for (int i = 0; i < 8; i++) { s = s + helper(i); } out(s); }"}
+        ]
+    }, "sweep": [{"icache": 2048, "dcache": 2048}]}"#;
+
+    fn roundtrip(resp: &Response) -> (u16, Value) {
+        let text = std::str::from_utf8(&resp.body).expect("utf8 body");
+        (resp.status, tlm_json::parse(text).expect("json body"))
+    }
+
+    #[test]
+    fn session_create_edit_get_delete_roundtrip() {
+        let svc = service();
+        let (status, v) = roundtrip(&svc.session_create(TINY_SESSION.as_bytes(), 1 << 20));
+        assert_eq!(status, 200, "body: {}", v.to_compact());
+        assert_eq!(v.get("session").and_then(Value::as_u64), Some(1));
+        let cold = v.get("report").expect("report").to_compact();
+
+        let rows_before = svc.pipeline.stats().rows;
+        let edit = r#"{"process": "main",
+            "patch": {"find": "x * 3 + 1", "replace": "x << 3"}}"#;
+        let (status, v) = roundtrip(&svc.session_edit(1, edit.as_bytes(), 1 << 20));
+        assert_eq!(status, 200, "body: {}", v.to_compact());
+        let dirty = v.get("edit").and_then(|e| e.get("dirty_functions")).and_then(Value::as_u64);
+        assert_eq!(dirty, Some(1), "only `helper` structurally changed");
+        let clean = v.get("edit").and_then(|e| e.get("clean_functions")).and_then(Value::as_u64);
+        assert_eq!(clean, Some(1), "`main` splices from retained rows");
+        let warm = v.get("report").expect("report").to_compact();
+        assert_ne!(cold, warm, "the edit changed the estimate");
+        let rows_after = svc.pipeline.stats().rows;
+        assert_eq!(
+            rows_after.misses,
+            rows_before.misses + 1,
+            "exactly the dirty function recomputed"
+        );
+
+        let (status, v) = roundtrip(&svc.session_route("GET", "/session/1", b"", 1 << 20));
+        assert_eq!(status, 200);
+        assert_eq!(v.get("report").expect("report").to_compact(), warm, "view replays the edit");
+
+        let (status, v) = roundtrip(&svc.session_route("DELETE", "/session/1", b"", 1 << 20));
+        assert_eq!(status, 200);
+        assert_eq!(v.get("closed").and_then(Value::as_bool), Some(true));
+        let (status, _) = roundtrip(&svc.session_route("GET", "/session/1", b"", 1 << 20));
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn session_report_is_bit_identical_to_stateless_estimate() {
+        let svc = service();
+        let body = r#"{"platform": "image:sw", "sweep": ["2k/2k"], "report": "blocks"}"#;
+        let (status, stateless) = estimate(&svc, body);
+        assert_eq!(status, 200);
+        let (status, v) = roundtrip(&svc.session_create(body.as_bytes(), 1 << 20));
+        assert_eq!(status, 200, "body: {}", v.to_compact());
+        assert_eq!(
+            v.get("report").expect("report").to_compact(),
+            stateless.to_compact(),
+            "session view and stateless estimate must render identically"
+        );
+    }
+
+    #[test]
+    fn session_errors_name_the_problem() {
+        let svc = service();
+        let (_, _) = roundtrip(&svc.session_create(TINY_SESSION.as_bytes(), 1 << 20));
+        let cases = [
+            (r#"{"patch": {"find": "a", "replace": "b"}}"#, 400, "missing `process`"),
+            (r#"{"process": "nope", "source": "void main() {}"}"#, 400, "unknown process"),
+            (r#"{"process": "main"}"#, 400, "exactly one of"),
+            (
+                r#"{"process": "main", "source": "x", "patch": {"find": "a", "replace": "b"}}"#,
+                400,
+                "exactly one of",
+            ),
+            (r#"{"process": "main", "patch": {"find": "gone", "replace": "b"}}"#, 400, "0 times"),
+            (r#"{"process": "main", "source": "int main( {"}"#, 400, ""),
+            (
+                r#"{"process": "main", "source": "void main() {}", "extra": 1}"#,
+                400,
+                "unknown field",
+            ),
+        ];
+        for (body, want, needle) in cases {
+            let (status, v) = roundtrip(&svc.session_edit(1, body.as_bytes(), 1 << 20));
+            assert_eq!(status, want, "body `{body}`: {}", v.to_compact());
+            let msg = v.get("error").and_then(Value::as_str).unwrap_or_default();
+            assert!(msg.contains(needle), "`{msg}` should mention `{needle}`");
+        }
+        let edit = r#"{"process": "main", "source": "void main() { out(1); }"}"#;
+        let (status, _) = roundtrip(&svc.session_edit(99, edit.as_bytes(), 1 << 20));
+        assert_eq!(status, 404, "editing a nonexistent session");
+    }
+
+    #[test]
+    fn drain_rejects_creation_but_serves_existing_sessions() {
+        let svc = service();
+        let metrics = Metrics::new();
+        let (_, v) = roundtrip(&svc.session_create(TINY_SESSION.as_bytes(), 1 << 20));
+        let id = v.get("session").and_then(Value::as_u64).expect("id");
+        let request = |method: &str, target: &str, body: &[u8]| Request {
+            method: method.into(),
+            target: target.into(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+            keep_alive: false,
+        };
+        // Draining: creation answers 503 + Retry-After, existing-session
+        // traffic keeps flowing.
+        let resp = svc.handle(
+            &request("POST", "/session", TINY_SESSION.as_bytes()),
+            &metrics,
+            1 << 20,
+            true,
+        );
+        assert_eq!(resp.status, 503);
+        assert!(resp.extra_headers.iter().any(|(k, _)| *k == "Retry-After"));
+        let edit = r#"{"process": "main", "patch": {"find": "x * 3 + 1", "replace": "x << 3"}}"#;
+        let target = format!("/session/{id}/edit");
+        let resp = svc.handle(&request("POST", &target, edit.as_bytes()), &metrics, 1 << 20, true);
+        assert_eq!(resp.status, 200, "in-flight edits finish during drain");
+        let resp =
+            svc.handle(&request("GET", &format!("/session/{id}"), b""), &metrics, 1 << 20, true);
+        assert_eq!(resp.status, 200, "views keep serving during drain");
     }
 
     #[test]

@@ -30,6 +30,36 @@ fn status_of(response: &str) -> u16 {
     response.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0)
 }
 
+/// One request over an already-open keep-alive stream, reading exactly
+/// one response (headers plus `Content-Length` body) so the connection
+/// stays usable for the next request.
+fn keep_alive_request(stream: &mut TcpStream, head: &str, body: &str) -> String {
+    write!(
+        stream,
+        "{head} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("writes");
+    let mut header = Vec::new();
+    let mut byte = [0u8; 1];
+    while !header.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte).expect("reads header byte");
+        header.push(byte[0]);
+    }
+    let header = String::from_utf8(header).expect("utf8 header");
+    let length = header
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0usize);
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("reads body");
+    format!("{header}{}", String::from_utf8_lossy(&body))
+}
+
 /// Reads one sample by its full name (label set included, if any).
 fn metric(page: &str, name: &str) -> u64 {
     page.lines()
@@ -79,5 +109,61 @@ fn estimate_traffic_reports_batch_dedup_on_metrics() {
     let warm = request(addr, "GET /metrics", "");
     assert_eq!(metric(&warm, "tlm_serve_kernel_batch_dedup_hits"), cold_blocks);
 
+    handle.shutdown();
+}
+
+/// A one-process inline platform for the session drain test: `helper`
+/// can be patched structurally (multiply → shift) without touching
+/// `main`, so an edit during drain exercises the delta path.
+const TINY_SESSION: &str = r#"{"platform": {
+    "name": "tiny",
+    "pes": [{"name": "cpu", "pum": "microblaze"}],
+    "processes": [
+        {"name": "main", "pe": "cpu",
+         "source": "int helper(int x) { return x * 3 + 1; } void main() { int s = 0; for (int i = 0; i < 8; i++) { s = s + helper(i); } out(s); }"}
+    ]
+}, "sweep": [{"icache": 2048, "dcache": 2048}]}"#;
+
+/// Drain ordering over a real socket: once shutdown is requested, new
+/// session creation answers `503` with a `Retry-After` hint, while edits
+/// against an existing session keep completing until the drain finishes.
+#[test]
+fn drain_rejects_new_sessions_while_inflight_edits_finish() {
+    let config =
+        ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2, ..ServerConfig::default() };
+    let handle = Server::start(config, Service::new(8)).expect("server starts");
+    let addr = handle.addr();
+
+    // Two keep-alive connections, each already owned by a worker before
+    // the drain begins: one holds the session, the other will attempt a
+    // fresh creation mid-drain.
+    let mut editor = TcpStream::connect(addr).expect("connects");
+    let mut creator = TcpStream::connect(addr).expect("connects");
+    for stream in [&editor, &creator] {
+        stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    }
+
+    let created = keep_alive_request(&mut editor, "POST /session", TINY_SESSION);
+    assert_eq!(status_of(&created), 200, "session create failed: {created}");
+    assert!(created.contains("\"session\":1"), "ids are sequential: {created}");
+    let ping = keep_alive_request(&mut creator, "GET /healthz", "");
+    assert_eq!(status_of(&ping), 200);
+
+    handle.request_shutdown();
+
+    // Existing-session traffic still flows during the drain ...
+    let edit = r#"{"process": "main", "patch": {"find": "x * 3 + 1", "replace": "x << 3"}}"#;
+    let edited = keep_alive_request(&mut editor, "POST /session/1/edit", edit);
+    assert_eq!(status_of(&edited), 200, "in-flight edit must finish during drain: {edited}");
+    assert!(edited.contains("\"dirty_functions\":1"), "delta path engaged: {edited}");
+
+    // ... while new session creation is refused with a retry hint.
+    let refused = keep_alive_request(&mut creator, "POST /session", TINY_SESSION);
+    assert_eq!(status_of(&refused), 503, "creation must be rejected during drain: {refused}");
+    assert!(refused.contains("Retry-After"), "rejection carries Retry-After: {refused}");
+    assert!(refused.contains("not accepting new sessions"), "names the reason: {refused}");
+
+    drop(editor);
+    drop(creator);
     handle.shutdown();
 }

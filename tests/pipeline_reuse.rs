@@ -23,6 +23,7 @@ use tlm_core::annotate::{annotate_uncached, TimedModule};
 use tlm_core::pum::SchedulingPolicy;
 use tlm_pipeline::{Pipeline, PreparedDesign};
 use tlm_platform::tlm::{run_annotated, AnnotatedPlatform, TlmConfig};
+use tlm_session::{SessionStore, SourceEdit, SweepPoint};
 
 const POLICIES: [SchedulingPolicy; 4] = [
     SchedulingPolicy::InOrder,
@@ -223,4 +224,165 @@ fn platform_edit_reuses_untouched_processes_end_to_end() {
     assert_eq!(after.schedules.misses, before.schedules.misses);
     assert_eq!(after.ast, before.ast);
     assert_eq!(after.module, before.module);
+}
+
+/// One session edit per bundled app: a single-function **structural**
+/// patch (op-class change — constant tweaks are clean, operand values
+/// are not part of block identity).
+struct EditCase {
+    name: &'static str,
+    design: fn(&Pipeline) -> PreparedDesign,
+    process: &'static str,
+    find: &'static str,
+    replace: &'static str,
+}
+
+const EDIT_CASES: [EditCase; 4] = [
+    EditCase {
+        name: "mp3:sw",
+        design: |p| {
+            mp3_design(p, Mp3Design::Sw, Mp3Params::training(), 8 << 10, 4 << 10).expect("builds")
+        },
+        process: "sink",
+        find: "checksum = (checksum ^ mono) + (mono & 255);",
+        replace: "checksum = (checksum ^ mono) * (mono & 255);",
+    },
+    EditCase {
+        name: "mp3:sw+4",
+        design: |p| {
+            mp3_design(p, Mp3Design::SwPlus4, Mp3Params::training(), 8 << 10, 4 << 10)
+                .expect("builds")
+        },
+        process: "sink",
+        find: "checksum = (checksum ^ mono) + (mono & 255);",
+        replace: "checksum = (checksum ^ mono) * (mono & 255);",
+    },
+    EditCase {
+        name: "image:sw",
+        design: |p| image_design(p, false, ImageParams::small(), 8 << 10, 4 << 10).expect("builds"),
+        process: "encoder",
+        find: "packed[n] = run * 4096 + (level & 4095);",
+        replace: "packed[n] = run * 4096 * (level & 4095);",
+    },
+    EditCase {
+        name: "image:hw",
+        design: |p| image_design(p, true, ImageParams::small(), 8 << 10, 4 << 10).expect("builds"),
+        process: "camera",
+        find: "base + y * 6 + x * 3 + noise - 128;",
+        replace: "base + y * 6 * x * 3 + noise - 128;",
+    },
+];
+
+/// The delta path's counter contract, table-driven over every bundled
+/// app: a single-function structural edit moves each stage by *exactly*
+/// the dirty set — one front-end pass for the new source, one `rows`
+/// recompute for the dirty function, zero traffic through the
+/// whole-module `annotated` and `report` stages — and the spliced
+/// report for the edited process is bit-identical to a cold full run on
+/// a fresh pipeline.
+#[test]
+fn session_edit_recomputes_exactly_the_dirty_set() {
+    for case in &EDIT_CASES {
+        let pipeline = Pipeline::new();
+        let design = (case.design)(&pipeline);
+        let store = SessionStore::new(u64::MAX, Duration::from_secs(3600));
+        let sweep = vec![SweepPoint { label: "8k/4k".into(), icache: 8 << 10, dcache: 4 << 10 }];
+        let (id, _) = store.create(&pipeline, &design, sweep, false).expect("creates");
+
+        let before = pipeline.stats();
+        let edit = SourceEdit::Patch { find: case.find, replace: case.replace };
+        let (report, view) = store.edit(&pipeline, id, case.process, &edit).expect("edit applies");
+        let after = pipeline.stats();
+
+        assert_eq!(report.dirty_functions, 1, "{}: one function structurally changed", case.name);
+        assert_eq!(
+            report.added_functions + report.removed_functions,
+            0,
+            "{}: the patch rewrites a body, not the function set",
+            case.name
+        );
+
+        // Front-end: exactly one pass over the new source.
+        assert_eq!(after.ast.misses, before.ast.misses + 1, "{}", case.name);
+        assert_eq!(after.module.misses, before.module.misses + 1, "{}", case.name);
+        assert_eq!(after.prepared.misses, before.prepared.misses + 1, "{}", case.name);
+        // Delta re-estimation: exactly the dirty function misses in the
+        // rows stage; everything else splices from retained rows.
+        assert_eq!(
+            after.rows.misses,
+            before.rows.misses + 1,
+            "{}: exactly the dirty function recomputes",
+            case.name
+        );
+        // The whole-module stages never see session traffic.
+        assert_eq!(after.annotated, before.annotated, "{}", case.name);
+        assert_eq!(after.report, before.report, "{}", case.name);
+        // Algorithm 1 re-runs are bounded by the dirty function's blocks
+        // (identical-shape dedup can only shrink the batch).
+        let scheduled = (after.schedules.hits + after.schedules.misses)
+            - (before.schedules.hits + before.schedules.misses);
+        assert!(
+            (1..=report.dirty_blocks as u64).contains(&scheduled),
+            "{}: {scheduled} schedule lookups for {} dirty blocks",
+            case.name,
+            report.dirty_blocks
+        );
+
+        // Bit-identity: the spliced report equals a cold full run of the
+        // edited source on a fresh pipeline.
+        let proc_idx = design
+            .platform
+            .processes
+            .iter()
+            .position(|p| p.name == case.process)
+            .expect("process exists");
+        let key = design.artifacts()[proc_idx].key();
+        let source = std::str::from_utf8(&key[1..]).expect("utf8 source");
+        let edited = source.replacen(case.find, case.replace, 1);
+        let pe = design.platform.processes[proc_idx].pe;
+        let pum = design.platform.pes[pe.0].pum.with_cache_sizes(8 << 10, 4 << 10);
+
+        let cold_pipeline = Pipeline::new();
+        let cold_artifact =
+            cold_pipeline.frontend_with(&edited, key[0] != 0).expect("edited source builds");
+        let cold = cold_pipeline.process_report(&cold_artifact, &pum).expect("estimates");
+        let spliced = &view.sweep[0].processes[proc_idx].report;
+        assert_eq!(
+            **spliced, *cold,
+            "{}: spliced report diverged from the cold full run",
+            case.name
+        );
+    }
+}
+
+/// The splice assembly path (`report_from_rows`) is bit-identical to the
+/// whole-module report path under every scheduling policy — the same
+/// guarantee `pipelined_annotation_is_bit_identical_to_direct_drive`
+/// gives for the annotated stage, one level up.
+#[test]
+fn spliced_reports_are_bit_identical_across_policies() {
+    let pipeline = Pipeline::new();
+    let designs = designs(&pipeline, 8 << 10, 4 << 10);
+
+    for &policy in &POLICIES {
+        let mut pum = tlm_core::library::custom_hw("splice", 2, 2);
+        pum.execution.policy = policy;
+        for design in &designs {
+            for artifact in design.artifacts() {
+                let spliced = pipeline.report_from_rows(artifact, &pum).expect("splices");
+                let full = pipeline.process_report(artifact, &pum).expect("estimates");
+                assert_eq!(*spliced, *full, "{policy:?}: splice diverged from the report stage");
+            }
+        }
+    }
+
+    // And on the native mapped PUMs, where the serving path lives.
+    for design in &designs {
+        for (proc, artifact) in design.platform.processes.iter().zip(design.artifacts()) {
+            let pum = &design.platform.pes[proc.pe.0].pum;
+            let spliced = pipeline.report_from_rows(artifact, pum).expect("splices");
+            let full = pipeline.process_report(artifact, pum).expect("estimates");
+            assert_eq!(*spliced, *full, "{}: splice diverged on the native PUM", proc.name);
+        }
+    }
 }
