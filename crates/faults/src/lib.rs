@@ -3,7 +3,9 @@
 //! The serving stack (`tlm-serve`, `tlm-pipeline`) declares *injection
 //! points* — named places where a fault could plausibly strike: a worker
 //! panicking mid-request, a socket read coming up short, a stage compute
-//! failing transiently, the allocator coming under pressure. In a normal
+//! failing transiently, the allocator coming under pressure, a
+//! front↔shard RPC frame cut mid-read (`serve.rpc.recv` — surfaces as
+//! the shard-unavailable `503` path). In a normal
 //! build every point compiles to an inline `None` (the `enabled` feature
 //! is off and there is not even an atomic load on the path). A chaos
 //! build (`--features enabled`, re-exported as `faults` by the consuming

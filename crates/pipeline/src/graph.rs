@@ -213,7 +213,9 @@ impl Pipeline {
 
     /// [`Pipeline::frontend`] with the optimize flag explicit. The flag is
     /// part of the module key: optimized and unoptimized lowerings of the
-    /// same source are distinct artifacts.
+    /// same source are distinct artifacts. The key encoding lives in
+    /// [`crate::routing::module_stage_key`] so request routers can derive
+    /// it without running any stage.
     ///
     /// # Errors
     ///
@@ -223,9 +225,7 @@ impl Pipeline {
         source: &str,
         optimize: bool,
     ) -> Result<ModuleArtifact, PipelineError> {
-        let mut key = Vec::with_capacity(1 + source.len());
-        key.push(optimize as u8);
-        key.extend_from_slice(source.as_bytes());
+        let key = crate::routing::module_stage_key(source, optimize);
         let module = self.module.get_or_try(&key, || {
             let program = self.ast(source)?;
             let mut module = tlm_cdfg::lower::lower(&program)?;

@@ -26,6 +26,7 @@ pub mod design;
 pub mod error;
 pub mod graph;
 pub mod report;
+pub mod routing;
 mod stage;
 
 pub use design::{DesignBuilder, PreparedDesign};

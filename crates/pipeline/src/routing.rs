@@ -1,0 +1,101 @@
+//! Canonical stage keys as *routing material*.
+//!
+//! The stage graph's content-addressed keys (see [`crate::graph`]) name
+//! artifacts; this module exposes the subset of that naming scheme that
+//! callers outside the pipeline need **before** running any stage — most
+//! prominently a sharded serving tier that must decide which process owns
+//! a request's artifacts without parsing, lowering, or estimating
+//! anything.
+//!
+//! The property that makes this work: the module stage key (`optimize
+//! flag ‖ source bytes`) is a pure function of request-visible inputs.
+//! Two requests whose platforms lower the same sources with the same
+//! flag demand the same module artifacts and everything downstream of
+//! them, so hashing this material routes all of a design's traffic — and
+//! all of its cache locality — to one place. The functions here are the
+//! single source of truth for that encoding; [`crate::Pipeline`] builds
+//! its real module keys through them.
+
+use tlm_json::Value;
+
+/// The canonical key of the module stage: `optimize flag ‖ source
+/// bytes`. Stable across [`crate::Pipeline`] instances and across
+/// processes — it encodes only the stage's true inputs.
+#[must_use]
+pub fn module_stage_key(source: &str, optimize: bool) -> Vec<u8> {
+    let mut key = Vec::with_capacity(1 + source.len());
+    key.push(u8::from(optimize));
+    key.extend_from_slice(source.as_bytes());
+    key
+}
+
+/// The routing material of a platform description in the JSON schema of
+/// [`tlm_platform::json`]: the concatenation of every process's
+/// [`module_stage_key`], each length-prefixed so adjacent sources cannot
+/// alias. Returns `None` when the value does not have the expected shape
+/// (no `processes` array of objects with string `source`s) — such a
+/// request will fail decoding anyway, and the caller routes it anywhere.
+///
+/// Deliberately *narrower* than hashing the whole JSON: two platform
+/// objects that differ only in PE/bus wiring still share their module
+/// artifacts, and this keys only what the front-end stages consume.
+#[must_use]
+pub fn platform_routing_material(platform: &Value) -> Option<Vec<u8>> {
+    let optimize = platform.get("optimize").and_then(Value::as_bool).unwrap_or(true);
+    let processes = platform.get("processes")?.as_array()?;
+    let mut material = Vec::new();
+    for proc in processes {
+        let source = proc.get("source")?.as_str()?;
+        let key = module_stage_key(source, optimize);
+        material.extend_from_slice(&(key.len() as u64).to_le_bytes());
+        material.extend_from_slice(&key);
+    }
+    if material.is_empty() {
+        return None;
+    }
+    Some(material)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_stage_key_matches_the_pipeline_artifact_key() {
+        let source = "void main() { out(1); }";
+        for optimize in [false, true] {
+            let pipeline = crate::Pipeline::new();
+            let artifact = pipeline.frontend_with(source, optimize).expect("lowers");
+            assert_eq!(
+                artifact.key(),
+                module_stage_key(source, optimize).as_slice(),
+                "routing key must equal the real stage key (optimize={optimize})"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_material_keys_sources_not_wiring() {
+        let a = tlm_json::parse(
+            r#"{"name": "x", "pes": [{"name": "a", "pum": "generic_risc"}],
+                "processes": [{"name": "p", "pe": 0, "source": "void main() { out(1); }"}]}"#,
+        )
+        .expect("json");
+        let b = tlm_json::parse(
+            r#"{"name": "y", "pes": [{"name": "b", "pum": "microblaze"}],
+                "processes": [{"name": "q", "pe": 0, "source": "void main() { out(1); }"}]}"#,
+        )
+        .expect("json");
+        let c = tlm_json::parse(
+            r#"{"name": "x", "pes": [{"name": "a", "pum": "generic_risc"}],
+                "processes": [{"name": "p", "pe": 0, "source": "void main() { out(2); }"}]}"#,
+        )
+        .expect("json");
+        let ma = platform_routing_material(&a).expect("material");
+        let mb = platform_routing_material(&b).expect("material");
+        let mc = platform_routing_material(&c).expect("material");
+        assert_eq!(ma, mb, "wiring differences must not split the route");
+        assert_ne!(ma, mc, "source differences must split the route");
+        assert!(platform_routing_material(&tlm_json::parse("{}").expect("json")).is_none());
+    }
+}

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! loadgen [--requests N] [--clients N] [--seed HEX] [--addr HOST:PORT]
-//!         [--cold-platforms] [--sessions] [--chaos SEED] [--bench-json[=PATH]]
+//!         [--connections N] [--cold-platforms] [--sessions] [--chaos SEED]
+//!         [--bench-json[=PATH]]
 //! ```
 //!
 //! Runs three phases and enforces the serving-layer guarantees as hard
@@ -71,12 +72,14 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use tlm_json::{ObjectBuilder, Value};
 use tlm_serve::http::HttpLimits;
 use tlm_serve::protocol::Service;
 use tlm_serve::server::{Server, ServerConfig, ServerHandle};
+use tlm_serve::shard::{ShardConfig, ShardRouter};
 
 /// Deterministic xorshift64* generator — the fixed-seed client mix must
 /// reproduce bit-identically across runs and machines.
@@ -342,6 +345,8 @@ struct Args {
     clients: u64,
     seed: u64,
     addr: Option<String>,
+    /// Concurrent keep-alive connections of the high-concurrency phase.
+    connections: u64,
     /// Run the cache-defeating unique-platform phase.
     cold_platforms: bool,
     /// Run the edit-to-estimate session phase.
@@ -358,6 +363,7 @@ fn parse_args() -> Args {
         clients: 4,
         seed: 0x5eed_cafe,
         addr: None,
+        connections: 256,
         cold_platforms: false,
         sessions: false,
         chaos: None,
@@ -380,6 +386,7 @@ fn parse_args() -> Args {
                 args.seed = u64::from_str_radix(v, 16).expect("hex seed");
             }
             "--addr" => args.addr = Some(value("--addr")),
+            "--connections" => args.connections = value("--connections").parse().expect("number"),
             "--cold-platforms" => args.cold_platforms = true,
             "--sessions" => args.sessions = true,
             "--batch-stats" => args.batch_stats = true,
@@ -688,6 +695,7 @@ fn saturation_phase(gates: &mut Vec<Gate>) -> Value {
         io_timeout: Duration::from_secs(120),
         request_deadline: Duration::from_secs(120),
         max_requests_per_conn: 16,
+        max_connections: 1024,
     };
     let queue_capacity = config.queue;
     let handle = Server::start(config, Service::new(queue_capacity)).expect("tiny server starts");
@@ -777,12 +785,17 @@ fn phase_value(name: &str, phase: &Phase, requests: u64) -> Value {
         .build()
 }
 
-/// One request on an already-open keep-alive connection: writes a GET,
-/// reads exactly one `Content-Length`-framed response.
-#[cfg(feature = "faults")]
-fn keep_alive_get(stream: &mut TcpStream, target: &str) -> Result<(u16, Vec<u8>), String> {
+/// One request on an already-open keep-alive connection: writes the
+/// prepared request head + body, reads exactly one
+/// `Content-Length`-framed response.
+fn keep_alive_request(
+    stream: &mut TcpStream,
+    head: &str,
+    body: &[u8],
+) -> Result<(u16, Vec<u8>), String> {
     stream
-        .write_all(format!("GET {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n").as_bytes())
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
         .map_err(|e| format!("send: {e}"))?;
     let mut head = Vec::new();
     let mut byte = [0u8; 1];
@@ -814,6 +827,308 @@ fn keep_alive_get(stream: &mut TcpStream, target: &str) -> Result<(u16, Vec<u8>)
     Ok((status, body))
 }
 
+/// [`keep_alive_request`] for a bare GET.
+#[cfg(feature = "faults")]
+fn keep_alive_get(stream: &mut TcpStream, target: &str) -> Result<(u16, Vec<u8>), String> {
+    keep_alive_request(stream, &format!("GET {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n"), b"")
+}
+
+/// The `--connections` phase: `connections` concurrent keep-alive
+/// connections open simultaneously (a barrier holds every client thread
+/// until the whole fleet is connected), then each fires a short train of
+/// warm estimation requests down its one connection. Gates: every
+/// response is a `200` (the server is sized for the fleet, so nothing
+/// may drop or shed), p99 latency stays bounded, and the event loop's
+/// open-connection peak gauge proves the whole fleet really was open at
+/// once.
+fn connections_phase(connections: u64, gates: &mut Vec<Gate>) -> Value {
+    const REQUESTS_PER_CONN: u64 = 4;
+    const BODY: &str = "{\"platform\": \"image:sw\", \"sweep\": [\"0k/0k\"]}";
+    const P99_BOUND: Duration = Duration::from_secs(5);
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue: connections as usize,
+        limits: HttpLimits::default(),
+        io_timeout: Duration::from_secs(120),
+        request_deadline: Duration::from_secs(120),
+        max_requests_per_conn: 16,
+        max_connections: connections as usize + 64,
+    };
+    let queue = config.queue;
+    let handle = Server::start(config, Service::new(queue)).expect("connections server starts");
+    let addr = handle.addr();
+    // Prime once: the fleet measures connection scaling, not the
+    // one-time design build.
+    let (status, _, reply) = post_estimate(addr, BODY).expect("prime request");
+    assert_eq!(status, 200, "prime: {}", String::from_utf8_lossy(&reply));
+
+    let started = Instant::now();
+    let barrier = Arc::new(Barrier::new(connections as usize));
+    let mut threads = Vec::new();
+    for c in 0..connections {
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || -> Result<Vec<Duration>, String> {
+            let mut stream =
+                TcpStream::connect(addr).map_err(|e| format!("conn {c}: connect: {e}"))?;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(120)))
+                .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(120))))
+                .map_err(|e| format!("conn {c}: timeout setup: {e}"))?;
+            // Everyone connects before anyone sends — the peak gauge
+            // must see the whole fleet open at the same time.
+            barrier.wait();
+            let head = format!(
+                "POST /estimate HTTP/1.1\r\nHost: loadgen\r\n\
+                 Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                BODY.len()
+            );
+            let mut latencies = Vec::with_capacity(REQUESTS_PER_CONN as usize);
+            for k in 0..REQUESTS_PER_CONN {
+                let t0 = Instant::now();
+                let (status, reply) = keep_alive_request(&mut stream, &head, BODY.as_bytes())
+                    .map_err(|e| format!("conn {c} request {k}: {e}"))?;
+                if status != 200 {
+                    return Err(format!(
+                        "conn {c} request {k}: status {status}: {}",
+                        String::from_utf8_lossy(&reply[..reply.len().min(120)])
+                    ));
+                }
+                latencies.push(t0.elapsed());
+            }
+            Ok(latencies)
+        }));
+    }
+    let mut failures = Vec::new();
+    let mut latencies: Vec<Duration> = Vec::new();
+    for t in threads {
+        match t.join().expect("connection thread") {
+            Ok(l) => latencies.extend(l),
+            Err(e) => failures.push(e),
+        }
+    }
+    let wall = started.elapsed();
+    let ok = latencies.len() as u64;
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        let last = latencies.len().saturating_sub(1);
+        latencies
+            .get(((last as f64) * p).round() as usize)
+            .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    };
+    let (p50, p99) = (percentile(0.50), percentile(0.99));
+
+    let page = get(addr, "/metrics")
+        .map(|(_, _, b)| String::from_utf8_lossy(&b).into_owned())
+        .unwrap_or_default();
+    let peak = metric(&page, "tlm_serve_open_connections_peak");
+    let wakeups = metric(&page, "tlm_serve_epoll_wakeups_total");
+    handle.shutdown();
+
+    let expected = connections * REQUESTS_PER_CONN;
+    gates.push(Gate {
+        name: "connections_all_ok",
+        pass: failures.is_empty() && ok == expected,
+        detail: if failures.is_empty() {
+            format!(
+                "{connections} concurrent connections x {REQUESTS_PER_CONN} requests, \
+                 {ok}/{expected} answered 200 in {wall:.2?}"
+            )
+        } else {
+            let mut detail = failures[..failures.len().min(4)].join("; ");
+            if failures.len() > 4 {
+                detail.push_str(&format!("; ... {} more", failures.len() - 4));
+            }
+            detail
+        },
+    });
+    gates.push(Gate {
+        name: "connections_p99_bounded",
+        pass: Duration::from_nanos(p99) < P99_BOUND,
+        detail: format!(
+            "p50 {:.2?}, p99 {:.2?} (bound {P99_BOUND:.2?})",
+            Duration::from_nanos(p50),
+            Duration::from_nanos(p99)
+        ),
+    });
+    gates.push(Gate {
+        name: "connections_peak_gauge",
+        pass: peak >= connections,
+        detail: format!("open-connection peak {peak}, fleet size {connections}"),
+    });
+
+    ObjectBuilder::new()
+        .field("phase", "connections")
+        .field("connections", connections)
+        .field("requests_per_conn", REQUESTS_PER_CONN)
+        .field("ok", ok)
+        .field("wall_ns", wall.as_nanos() as u64)
+        .field("throughput_rps", ok as f64 / wall.as_secs_f64().max(1e-9))
+        .field("p50_latency_ns", p50)
+        .field("p99_latency_ns", p99)
+        .field("open_connections_peak", peak)
+        .field("epoll_wakeups", wakeups)
+        .build()
+}
+
+/// The sharded-tier differential phase: boots a front whose `/estimate`
+/// and `/session*` traffic forwards to two freshly spawned shard
+/// processes, fires the exact deterministic mix the single-process cold
+/// phase already ran, and gates that the bytes are bit-identical to the
+/// in-process reference, that the per-shard RPC counters actually moved
+/// (the traffic really crossed the process boundary), and that a full
+/// session lifecycle survives forwarding. Both tiers drain cleanly at
+/// the end.
+fn shard_phase(
+    seed: u64,
+    requests: u64,
+    clients: u64,
+    reference: &[u64],
+    gates: &mut Vec<Gate>,
+) -> Value {
+    const SHARDS: usize = 2;
+    let started = Instant::now();
+    let router = match ShardRouter::spawn(&ShardConfig { shards: SHARDS, ..ShardConfig::default() })
+    {
+        Ok(router) => Arc::new(router),
+        Err(e) => {
+            gates.push(Gate {
+                name: "shard_responses_bit_identical",
+                pass: false,
+                detail: format!("spawning {SHARDS} shard processes failed: {e}"),
+            });
+            return ObjectBuilder::new()
+                .field("phase", "shards")
+                .field("spawn_failed", true)
+                .build();
+        }
+    };
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        io_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    };
+    let queue = config.queue;
+    let service = Service::new(queue).with_router(Arc::clone(&router));
+    let handle = Server::start(config, service).expect("shard front starts");
+    let addr = handle.addr();
+
+    let phase = run_phase(addr, seed, requests, clients);
+
+    // A session lifecycle across the RPC boundary. Sessions pin to
+    // shard 0 — ids are allocated per shard process, so spreading them
+    // would alias.
+    let mut session_failures: Vec<String> = Vec::new();
+    let id = {
+        let mut step = |label: &str, reply: Reply, want: u16| -> Option<Vec<u8>> {
+            match reply {
+                Ok((status, _, bytes)) if status == want => Some(bytes),
+                Ok((status, _, bytes)) => {
+                    session_failures.push(format!(
+                        "{label}: status {status} (want {want}): {}",
+                        String::from_utf8_lossy(&bytes[..bytes.len().min(120)])
+                    ));
+                    None
+                }
+                Err(e) => {
+                    session_failures.push(format!("{label}: {e}"));
+                    None
+                }
+            }
+        };
+        let create_body = format!(
+            "{{\"platform\": {{\"name\": \"editor\", \
+               \"pes\": [{{\"name\": \"cpu\", \"pum\": \"microblaze\"}}], \
+               \"processes\": [{{\"name\": \"main\", \"pe\": \"cpu\", \"source\": \"{}\"}}]}}, \
+             \"sweep\": [{{\"icache\": 2048, \"dcache\": 2048}}]}}",
+            session_source(HELPER_VARIANTS[0])
+        );
+        let id = step("create", post_json(addr, "/session", &create_body), 200)
+            .and_then(|bytes| tlm_json::parse(&String::from_utf8_lossy(&bytes)).ok())
+            .and_then(|v| v.get("session").and_then(Value::as_u64));
+        if let Some(id) = id {
+            let edit_body = format!(
+                "{{\"process\": \"main\", \"patch\": {{\"find\": \"{}\", \"replace\": \"{}\"}}}}",
+                HELPER_VARIANTS[0], HELPER_VARIANTS[1]
+            );
+            step("edit", post_json(addr, &format!("/session/{id}/edit"), &edit_body), 200);
+            step("view", get(addr, &format!("/session/{id}")), 200);
+            step("close", delete(addr, &format!("/session/{id}")), 200);
+            step("view after close", get(addr, &format!("/session/{id}")), 404);
+        }
+        id
+    };
+    if id.is_none() && session_failures.is_empty() {
+        session_failures.push("create: no session id in response".to_string());
+    }
+
+    let page = get(addr, "/metrics")
+        .map(|(_, _, b)| String::from_utf8_lossy(&b).into_owned())
+        .unwrap_or_default();
+    let configured = metric(&page, "tlm_serve_shards_configured");
+    let per_shard: Vec<u64> = (0..SHARDS)
+        .map(|s| metric(&page, &format!("tlm_serve_shard_requests_total{{shard=\"{s}\"}}")))
+        .collect();
+    let rpc_errors = metric(&page, "tlm_serve_shard_rpc_errors_total");
+    let forwarded: u64 = per_shard.iter().sum();
+
+    handle.shutdown();
+    router.shutdown();
+    let wall = started.elapsed();
+
+    let identical = phase.failures.is_empty() && phase.hashes == reference;
+    gates.push(Gate {
+        name: "shard_responses_bit_identical",
+        pass: identical,
+        detail: if identical {
+            format!("all {requests} sharded responses match the single-process bytes")
+        } else if phase.failures.is_empty() {
+            let diverged = reference.iter().zip(&phase.hashes).filter(|(a, b)| a != b).count();
+            format!("{diverged} responses diverged from the single-process reference")
+        } else {
+            phase.failures.join("; ")
+        },
+    });
+    gates.push(Gate {
+        name: "shard_counters_moved",
+        pass: configured == SHARDS as u64
+            && forwarded >= requests
+            && per_shard[0] > 0
+            && rpc_errors == 0,
+        detail: format!(
+            "{configured} shards configured, {forwarded} requests forwarded \
+             (per shard: {per_shard:?}), {rpc_errors} rpc errors"
+        ),
+    });
+    gates.push(Gate {
+        name: "shard_sessions_forwarded",
+        pass: session_failures.is_empty(),
+        detail: if session_failures.is_empty() {
+            "create/edit/view/close lifecycle forwarded to shard 0".to_string()
+        } else {
+            session_failures.join("; ")
+        },
+    });
+
+    let mut shard_requests = ObjectBuilder::new();
+    for (s, n) in per_shard.iter().enumerate() {
+        shard_requests = shard_requests.field(&s.to_string(), *n);
+    }
+    ObjectBuilder::new()
+        .field("phase", "shards")
+        .field("shards", SHARDS as u64)
+        .field("requests", requests)
+        .field("retries", phase.retries)
+        .field("wall_ns", wall.as_nanos() as u64)
+        .field("mean_latency_ns", phase.mean_latency.as_nanos() as u64)
+        .field("forwarded", forwarded)
+        .field("shard_requests", shard_requests.build())
+        .field("rpc_errors", rpc_errors)
+        .build()
+}
+
 /// Chaos phase: a byte-budgeted in-process server under the seeded
 /// fault plan. Establishes a fault-free baseline, fires the same mix
 /// with faults armed (panics, delays, short reads, allocator pressure,
@@ -835,6 +1150,7 @@ fn chaos_phase(gates: &mut Vec<Gate>, chaos_seed: u64, requests: u64, clients: u
         io_timeout: Duration::from_secs(30),
         request_deadline: Duration::from_secs(30),
         max_requests_per_conn: 16,
+        max_connections: 1024,
     };
     let workers = config.workers as u64;
     let handle = Server::start(config, Service::with_cache_budget(16, CACHE_BUDGET))
@@ -1002,6 +1318,14 @@ fn chaos_phase(_gates: &mut Vec<Gate>, _chaos_seed: u64, _requests: u64, _client
 }
 
 fn main() -> ExitCode {
+    // Shard processes re-exec the running binary with `--shard-worker`;
+    // dispatch before normal argument parsing (which rejects the flag).
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--shard-worker") {
+        let code = tlm_serve::shard::shard_worker_entry(&argv[1..]);
+        return ExitCode::from(u8::try_from(code).unwrap_or(1));
+    }
+
     let args = parse_args();
     let mut gates: Vec<Gate> = Vec::new();
 
@@ -1168,6 +1492,8 @@ fn main() -> ExitCode {
     let sessions = args.sessions.then(|| sessions_phase(addr, &mut gates));
 
     let saturation = saturation_phase(&mut gates);
+    let connections = connections_phase(args.connections, &mut gates);
+    let shards = shard_phase(args.seed, args.requests, args.clients, &cold.hashes, &mut gates);
     if let Some(handle) = local {
         handle.shutdown();
     }
@@ -1217,7 +1543,9 @@ fn main() -> ExitCode {
                     })
                     .build(),
             )
-            .field("saturation", saturation);
+            .field("saturation", saturation)
+            .field("connections", connections)
+            .field("shards", shards);
         if let Some(cold_platforms) = cold_platforms {
             record = record.field("cold_platforms", cold_platforms);
         }

@@ -305,6 +305,200 @@ impl Conn {
     }
 }
 
+/// A fully parsed head (request line + headers) waiting for its body.
+#[derive(Debug)]
+struct PendingHead {
+    method: String,
+    target: String,
+    headers: Vec<(String, String)>,
+    content_length: usize,
+    http11: bool,
+}
+
+/// An incremental, non-blocking request parser — the event-loop
+/// counterpart of [`Conn::read_request`].
+///
+/// The event loop pushes whatever bytes the socket had
+/// ([`RequestParser::push`]) and asks whether a complete request has
+/// accumulated ([`RequestParser::try_parse`]); the parser never blocks
+/// and never touches a socket. The same limits apply as on the blocking
+/// path, enforced *incrementally*: an unterminated header line or an
+/// endless header list is rejected as soon as the buffered prefix
+/// exceeds the cap, and an oversized `Content-Length` is rejected from
+/// the head alone — before a byte of the body arrives. Pipelined
+/// requests are supported: bytes beyond the first request stay buffered
+/// for the next `try_parse` call.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    pending: Option<PendingHead>,
+}
+
+impl RequestParser {
+    /// A parser with no buffered bytes.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends bytes read off the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when nothing of a request is buffered — EOF here is the
+    /// clean end of a keep-alive connection, not a truncated request.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty() && self.pending.is_none()
+    }
+
+    /// Scans for the blank line ending the head, enforcing the line and
+    /// header-count caps on the buffered prefix so a client cannot grow
+    /// the buffer without ever terminating a line.
+    fn find_head_end(&self, limits: &HttpLimits) -> Result<Option<usize>, HttpError> {
+        let mut lines = 0usize;
+        let mut start = 0usize;
+        loop {
+            match self.buf[start..].iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if pos + 1 > limits.max_line_bytes + 1 {
+                        return Err(HttpError::HeaderTooLarge);
+                    }
+                    let line = &self.buf[start..start + pos];
+                    let line = line.strip_suffix(b"\r").unwrap_or(line);
+                    if line.is_empty() {
+                        return Ok(Some(start + pos + 1));
+                    }
+                    lines += 1;
+                    // The request line plus at most `max_headers` headers.
+                    if lines > limits.max_headers + 1 {
+                        return Err(HttpError::HeaderTooLarge);
+                    }
+                    start += pos + 1;
+                }
+                None => {
+                    if self.buf.len() - start > limits.max_line_bytes + 1 {
+                        return Err(HttpError::HeaderTooLarge);
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Parses the head bytes (terminating blank line included) into a
+    /// pending request, with the same error strings as the blocking path.
+    fn parse_head(head: &[u8], limits: &HttpLimits) -> Result<PendingHead, HttpError> {
+        let mut lines = head.split(|&b| b == b'\n').map(|line| {
+            let line = line.strip_suffix(b"\r").unwrap_or(line);
+            std::str::from_utf8(line).map_err(|_| HttpError::malformed("non-UTF-8 header"))
+        });
+
+        let request_line = lines.next().transpose()?.unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(HttpError::malformed(format!("bad request line `{request_line}`")));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::malformed(format!("unsupported version `{version}`")));
+        }
+        let http11 = version == "HTTP/1.1";
+
+        let mut headers = Vec::new();
+        for line in lines {
+            let line = line?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= limits.max_headers {
+                return Err(HttpError::HeaderTooLarge);
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(HttpError::malformed(format!("bad header `{line}`")));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let find = |name: &str| headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str());
+        if find("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+            return Err(HttpError::malformed("chunked transfer encoding not supported"));
+        }
+        let content_length = match find("content-length") {
+            None => 0,
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| HttpError::malformed(format!("bad content-length `{v}`")))?,
+        };
+
+        Ok(PendingHead {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers,
+            content_length,
+            http11,
+        })
+    }
+
+    /// Attempts to complete one request from the buffered bytes.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed, `Ok(Some(_))` when
+    /// a request completed (its bytes are consumed; pipelined leftovers
+    /// stay buffered).
+    ///
+    /// # Errors
+    ///
+    /// The same [`HttpError`] values — and strings — as
+    /// [`Conn::read_request`], minus the I/O-driven ones: the parser
+    /// never times out or sees EOF on its own.
+    pub fn try_parse(&mut self, limits: &HttpLimits) -> Result<Option<Request>, HttpError> {
+        if self.pending.is_none() {
+            let Some(head_end) = self.find_head_end(limits)? else {
+                return Ok(None);
+            };
+            let head: Vec<u8> = self.buf.drain(..head_end).collect();
+            let pending = RequestParser::parse_head(&head, limits)?;
+            if pending.content_length > limits.max_body_bytes {
+                return Err(HttpError::BodyTooLarge {
+                    declared: pending.content_length,
+                    limit: limits.max_body_bytes,
+                });
+            }
+            // Chaos-build injection point: pretend the peer's bytes ran
+            // out before the body arrived (the truncated-upload path).
+            if tlm_faults::point("serve.parse", &[Kind::ShortRead]).is_some() {
+                return Err(HttpError::Closed { clean: false });
+            }
+            self.pending = Some(pending);
+        }
+
+        let need = self.pending.as_ref().map_or(0, |p| p.content_length);
+        if self.buf.len() < need {
+            return Ok(None);
+        }
+        let head = self.pending.take().expect("pending head present");
+        let body: Vec<u8> = self.buf.drain(..need).collect();
+
+        let connection = head
+            .headers
+            .iter()
+            .find(|(n, _)| n == "connection")
+            .map(|(_, v)| v.to_ascii_lowercase());
+        let keep_alive = match connection {
+            Some(c) if c.contains("close") => false,
+            Some(c) if c.contains("keep-alive") => true,
+            _ => head.http11, // HTTP/1.1 defaults to keep-alive
+        };
+        Ok(Some(Request {
+            method: head.method,
+            target: head.target,
+            headers: head.headers,
+            body,
+            keep_alive,
+        }))
+    }
+}
+
 /// One response to serialize.
 #[derive(Debug)]
 pub struct Response {
@@ -531,6 +725,91 @@ mod tests {
         text.extend(std::iter::repeat_n(b'a', 1 << 20));
         text.extend_from_slice(b"\r\n\r\n");
         assert!(matches!(parse(&text), Err(HttpError::HeaderTooLarge)));
+    }
+
+    #[test]
+    fn incremental_parser_assembles_a_dripped_request() {
+        let limits = HttpLimits::default();
+        let mut parser = RequestParser::new();
+        let text: &[u8] = b"POST /estimate HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        for chunk in text.chunks(3) {
+            assert!(
+                parser.try_parse(&limits).expect("no error mid-drip").is_none(),
+                "request must not complete before all bytes arrive"
+            );
+            parser.push(chunk);
+        }
+        let req = parser.try_parse(&limits).expect("parses").expect("complete");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/estimate");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+        assert!(parser.is_empty(), "all bytes consumed");
+    }
+
+    #[test]
+    fn incremental_parser_handles_pipelined_requests() {
+        let limits = HttpLimits::default();
+        let mut parser = RequestParser::new();
+        parser.push(
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /readyz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        let first = parser.try_parse(&limits).expect("parses").expect("first");
+        assert_eq!(first.target, "/healthz");
+        assert!(!parser.is_empty(), "second request still buffered");
+        let second = parser.try_parse(&limits).expect("parses").expect("second");
+        assert_eq!(second.target, "/readyz");
+        assert!(!second.keep_alive);
+        assert!(parser.is_empty());
+        assert!(parser.try_parse(&limits).expect("no error").is_none());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_oversized_body_from_the_head_alone() {
+        let limits = HttpLimits { max_body_bytes: 1024, ..HttpLimits::default() };
+        let mut parser = RequestParser::new();
+        parser.push(b"POST /estimate HTTP/1.1\r\nContent-Length: 4096\r\n\r\n");
+        match parser.try_parse(&limits) {
+            Err(HttpError::BodyTooLarge { declared: 4096, limit: 1024 }) => {}
+            other => panic!("expected BodyTooLarge before any body byte, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_parser_caps_an_unterminated_header_line() {
+        let limits = HttpLimits::default();
+        let mut parser = RequestParser::new();
+        parser.push(b"GET / HTTP/1.1\r\nX-Big: ");
+        parser.push(&vec![b'a'; limits.max_line_bytes + 8]);
+        assert!(matches!(parser.try_parse(&limits), Err(HttpError::HeaderTooLarge)));
+    }
+
+    #[test]
+    fn incremental_parser_caps_header_count() {
+        let limits = HttpLimits { max_headers: 4, ..HttpLimits::default() };
+        let mut parser = RequestParser::new();
+        parser.push(b"GET / HTTP/1.1\r\n");
+        for i in 0..6 {
+            parser.push(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        parser.push(b"\r\n");
+        assert!(matches!(parser.try_parse(&limits), Err(HttpError::HeaderTooLarge)));
+    }
+
+    #[test]
+    fn incremental_parser_matches_blocking_parser_errors() {
+        let limits = HttpLimits::default();
+        let mut parser = RequestParser::new();
+        parser.push(b"NOT HTTP\r\n\r\n");
+        assert!(matches!(parser.try_parse(&limits), Err(HttpError::Malformed(_))));
+
+        let mut parser = RequestParser::new();
+        parser.push(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n");
+        assert!(matches!(parser.try_parse(&limits), Err(HttpError::Malformed(_))));
+
+        let mut parser = RequestParser::new();
+        parser.push(b"GET / HTTP/2\r\n\r\n");
+        assert!(matches!(parser.try_parse(&limits), Err(HttpError::Malformed(_))));
     }
 
     #[test]

@@ -14,17 +14,27 @@
 //! The build environment is offline, so there is no tokio/hyper to build
 //! on. The server is deliberately simple and fully explicit instead:
 //!
-//! - [`http`] — a hand-rolled HTTP/1.1 subset on [`std::net::TcpListener`]
-//!   with hard caps on every client-controlled dimension;
-//! - [`server`] — a bounded worker pool behind an explicit connection
-//!   queue; when the queue is full the acceptor answers `503` with
-//!   `Retry-After` immediately instead of buffering without bound;
+//! - [`http`] — a hand-rolled HTTP/1.1 subset with an incremental,
+//!   non-blocking request parser and hard caps on every
+//!   client-controlled dimension;
+//! - [`epoll`] — the one audited `epoll(7)` binding the event loop
+//!   stands on;
+//! - [`server`] — a readiness-driven event loop owning every socket,
+//!   with a bounded worker pool for CPU-bound estimation behind it; when
+//!   the dispatch queue is full the loop answers `503` with
+//!   `Retry-After` inline instead of buffering without bound;
 //! - [`protocol`] — the JSON request/response schema and its evaluation
 //!   against the estimation engine; responses are a pure function of the
 //!   request, so concurrent clients observe bit-identical bytes;
+//! - [`rpc`] / [`shard`] — the optional content-hash-sharded tier: the
+//!   front forwards estimation and session traffic over a tiny binary
+//!   protocol to shard processes routed by canonical stage keys
+//!   (`--shards 0`, the default, keeps everything in-process);
 //! - [`metrics`] — Prometheus text exposition of request counters, a
-//!   latency histogram, queue depth and per-stage pipeline counters;
-//! - [`signal`] — SIGINT/SIGTERM latching for graceful drain-then-exit.
+//!   latency histogram, queue depth, connection-state gauges, per-shard
+//!   traffic and per-stage pipeline counters;
+//! - [`signal`] — SIGINT/SIGTERM latching for graceful drain-then-exit,
+//!   with a self-pipe so waiters park instead of polling.
 //!
 //! Two binaries ship with the crate: `tlm-serve` (the daemon) and
 //! `loadgen` (a fixed-seed load generator that doubles as the
@@ -33,10 +43,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod epoll;
 pub mod http;
 pub mod metrics;
 pub mod protocol;
+pub mod rpc;
 pub mod server;
+pub mod shard;
 pub mod signal;
 
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,8 +1,8 @@
 //! `tlm-serve` — the estimation service daemon.
 //!
 //! ```text
-//! tlm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-budget BYTES]
-//!           [--session-budget BYTES] [--session-ttl SECONDS]
+//! tlm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--shards N]
+//!           [--cache-budget BYTES] [--session-budget BYTES] [--session-ttl SECONDS]
 //! ```
 //!
 //! Boots the HTTP server, prints the bound address (flushed immediately,
@@ -10,6 +10,13 @@
 //! SIGINT/SIGTERM, then drains in-flight requests and exits. On the
 //! first signal `/readyz` flips to `503` (load balancers stop routing)
 //! while `/healthz` keeps answering `200` — draining is not dying.
+//!
+//! `--shards N` spawns `N` estimation shard processes (from this same
+//! executable) and forwards `/estimate` and `/session*` traffic to them,
+//! routed by consistent hashing over canonical pipeline stage keys —
+//! see [`tlm_serve::shard`]. `--shards 0` (the default) keeps every
+//! request in-process; responses are bit-identical either way. The
+//! resource limits below apply per shard when sharding is on.
 //!
 //! `--cache-budget` bounds the resident bytes of the pipeline's
 //! memoization stores; the default is unbounded. Under a budget, cold
@@ -23,16 +30,18 @@
 
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use tlm_serve::protocol::Service;
 use tlm_serve::server::{Server, ServerConfig};
+use tlm_serve::shard::{shard_worker_entry, ShardConfig, ShardRouter};
 use tlm_serve::signal;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tlm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-budget BYTES]\n\
-         \x20                [--session-budget BYTES] [--session-ttl SECONDS]\n\
+        "usage: tlm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--shards N]\n\
+         \x20                [--cache-budget BYTES] [--session-budget BYTES] [--session-ttl SECONDS]\n\
          \n\
          endpoints:\n\
            POST   /estimate            run estimation jobs (JSON)\n\
@@ -48,6 +57,7 @@ fn usage() -> ! {
 }
 
 struct Limits {
+    shards: usize,
     cache_budget: u64,
     session_budget: u64,
     session_ttl: Duration,
@@ -56,6 +66,7 @@ struct Limits {
 fn parse_args() -> (ServerConfig, Limits) {
     let mut config = ServerConfig::default();
     let mut limits = Limits {
+        shards: 0,
         cache_budget: u64::MAX,
         session_budget: tlm_serve::protocol::DEFAULT_SESSION_BUDGET,
         session_ttl: tlm_serve::protocol::DEFAULT_SESSION_TTL,
@@ -72,6 +83,7 @@ fn parse_args() -> (ServerConfig, Limits) {
             "--addr" => config.addr = value("--addr"),
             "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
             "--queue" => config.queue = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--shards" => limits.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
             "--cache-budget" => {
                 limits.cache_budget = value("--cache-budget").parse().unwrap_or_else(|_| usage());
             }
@@ -94,12 +106,41 @@ fn parse_args() -> (ServerConfig, Limits) {
 }
 
 fn main() -> ExitCode {
+    // Shard processes re-exec this executable with `--shard-worker`;
+    // dispatch before normal argument parsing (which rejects the flag).
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--shard-worker") {
+        let code = shard_worker_entry(&argv[1..]);
+        return ExitCode::from(u8::try_from(code).unwrap_or(1));
+    }
+
     let (config, limits) = parse_args();
     signal::install();
 
+    let router = if limits.shards > 0 {
+        let shard_config = ShardConfig {
+            shards: limits.shards,
+            cache_budget: limits.cache_budget,
+            session_budget: limits.session_budget,
+            session_ttl: limits.session_ttl,
+        };
+        match ShardRouter::spawn(&shard_config) {
+            Ok(router) => Some(Arc::new(router)),
+            Err(e) => {
+                eprintln!("tlm-serve: cannot spawn {} shards: {e}", limits.shards);
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
     let queue = config.queue;
-    let service =
+    let mut service =
         Service::with_limits(queue, limits.cache_budget, limits.session_budget, limits.session_ttl);
+    if let Some(router) = &router {
+        service = service.with_router(Arc::clone(router));
+    }
     let handle = match Server::start(config, service) {
         Ok(handle) => handle,
         Err(e) => {
@@ -110,11 +151,14 @@ fn main() -> ExitCode {
     println!("tlm-serve listening on http://{}", handle.addr());
     let _ = std::io::stdout().flush();
 
-    while !signal::requested() {
-        std::thread::sleep(Duration::from_millis(50));
-    }
+    // Parks on the signal self-pipe — no polling loop; the handler's
+    // one write wakes this thread the moment the first signal lands.
+    signal::wait();
     println!("tlm-serve: shutdown requested, draining");
     handle.shutdown();
+    if let Some(router) = &router {
+        router.shutdown();
+    }
     println!("tlm-serve: drained, bye");
     ExitCode::SUCCESS
 }

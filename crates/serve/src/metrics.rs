@@ -19,6 +19,39 @@ pub const LATENCY_BUCKETS: [f64; 9] = [0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2
 /// counter.
 pub const STATUSES: [u16; 8] = [200, 400, 404, 405, 408, 413, 500, 503];
 
+/// The most estimation shards the metrics can track (a fixed array keeps
+/// the counters lock-free); `--shards` is validated against this.
+pub const MAX_SHARDS: usize = 8;
+
+/// The states a connection can occupy in the event loop, each with its
+/// own gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnPhase {
+    /// Reading (or waiting for) request bytes.
+    Reading,
+    /// Request handed to the worker pool; awaiting the response.
+    Dispatched,
+    /// Writing response bytes.
+    Writing,
+    /// Response done; draining unread request bytes before close.
+    Closing,
+}
+
+/// Gauge label for each [`ConnPhase`], index-aligned with the state
+/// gauges.
+pub const CONN_PHASES: [&str; 4] = ["reading", "dispatched", "writing", "closing"];
+
+impl ConnPhase {
+    fn index(self) -> usize {
+        match self {
+            ConnPhase::Reading => 0,
+            ConnPhase::Dispatched => 1,
+            ConnPhase::Writing => 2,
+            ConnPhase::Closing => 3,
+        }
+    }
+}
+
 /// Process-wide service counters. All operations are lock-free; the
 /// struct is shared as an `Arc` between the acceptor, the workers and the
 /// `/metrics` renderer.
@@ -52,6 +85,31 @@ pub struct Metrics {
     workers_alive: AtomicU64,
     /// Worker threads currently serving a connection.
     workers_busy: AtomicU64,
+    /// Connections currently registered with the event loop.
+    open_connections: AtomicU64,
+    /// High-water mark of `open_connections`.
+    open_connections_peak: AtomicU64,
+    /// Times the event loop returned from `epoll_wait`.
+    epoll_wakeups_total: AtomicU64,
+    /// Connections per event-loop state, indexed like [`CONN_PHASES`].
+    conn_phases: [AtomicU64; CONN_PHASES.len()],
+    /// Estimation shards this front routes to (0 = in-process mode).
+    shards_configured: AtomicU64,
+    /// Requests forwarded per shard.
+    shard_requests: [AtomicU64; MAX_SHARDS],
+    /// Request-frame bytes sent per shard.
+    shard_tx_bytes: [AtomicU64; MAX_SHARDS],
+    /// Response-frame bytes received per shard.
+    shard_rx_bytes: [AtomicU64; MAX_SHARDS],
+    /// Shard RPC exchanges that failed (answered 503 locally).
+    shard_rpc_errors_total: AtomicU64,
+    /// Shard RPC round-trip latency histogram (all shards aggregated),
+    /// per-bucket counts with one extra slot for +Inf.
+    rpc_latency_buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
+    /// Total RPC round-trip latency in nanoseconds, for `_sum`.
+    rpc_latency_sum_ns: AtomicU64,
+    /// Number of RPC observations, for `_count`.
+    rpc_latency_count: AtomicU64,
 }
 
 impl Metrics {
@@ -169,6 +227,83 @@ impl Metrics {
     /// Total queue rejections.
     pub fn rejected(&self) -> u64 {
         self.queue_rejected_total.load(Ordering::Relaxed)
+    }
+
+    /// Records a connection registering with the event loop.
+    pub fn conn_opened(&self) {
+        let open = self.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        self.open_connections_peak.fetch_max(open, Ordering::Relaxed);
+    }
+
+    /// Records a connection leaving the event loop.
+    pub fn conn_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently registered with the event loop.
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of open connections.
+    pub fn open_connections_peak(&self) -> u64 {
+        self.open_connections_peak.load(Ordering::Relaxed)
+    }
+
+    /// Counts one return from `epoll_wait`.
+    pub fn epoll_wakeup(&self) {
+        self.epoll_wakeups_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total returns from `epoll_wait`.
+    pub fn epoll_wakeups(&self) -> u64 {
+        self.epoll_wakeups_total.load(Ordering::Relaxed)
+    }
+
+    /// Records a connection entering an event-loop state.
+    pub fn phase_enter(&self, phase: ConnPhase) {
+        self.conn_phases[phase.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection leaving an event-loop state.
+    pub fn phase_leave(&self, phase: ConnPhase) {
+        self.conn_phases[phase.index()].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Declares how many estimation shards the front routes to (renders
+    /// the per-shard families for exactly that many slots).
+    pub fn set_shards(&self, n: usize) {
+        self.shards_configured.store(n.min(MAX_SHARDS) as u64, Ordering::Relaxed);
+    }
+
+    /// Records one successful shard RPC exchange: the shard it went to,
+    /// the frame bytes in each direction, and the round-trip latency.
+    pub fn shard_request(&self, shard: usize, tx_bytes: u64, rx_bytes: u64, elapsed: Duration) {
+        if shard < MAX_SHARDS {
+            self.shard_requests[shard].fetch_add(1, Ordering::Relaxed);
+            self.shard_tx_bytes[shard].fetch_add(tx_bytes, Ordering::Relaxed);
+            self.shard_rx_bytes[shard].fetch_add(rx_bytes, Ordering::Relaxed);
+        }
+        let secs = elapsed.as_secs_f64();
+        let bucket =
+            LATENCY_BUCKETS.iter().position(|&le| secs <= le).unwrap_or(LATENCY_BUCKETS.len());
+        self.rpc_latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.rpc_latency_sum_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.rpc_latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one failed shard RPC exchange.
+    pub fn shard_rpc_error(&self) {
+        self.shard_rpc_errors_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests forwarded to one shard.
+    pub fn shard_requests(&self, shard: usize) -> u64 {
+        if shard < MAX_SHARDS {
+            self.shard_requests[shard].load(Ordering::Relaxed)
+        } else {
+            0
+        }
     }
 
     /// Renders everything in the Prometheus text exposition format,
@@ -392,6 +527,102 @@ impl Metrics {
             "Worker threads currently serving a connection.",
             self.workers_busy.load(Ordering::Relaxed),
         );
+        gauge(
+            "tlm_serve_open_connections",
+            "Connections currently registered with the event loop.",
+            self.open_connections(),
+        );
+        gauge(
+            "tlm_serve_open_connections_peak",
+            "High-water mark of open connections.",
+            self.open_connections_peak(),
+        );
+        let shards = self.shards_configured.load(Ordering::Relaxed) as usize;
+        gauge(
+            "tlm_serve_shards_configured",
+            "Estimation shards this front routes to (0 = in-process).",
+            shards as u64,
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP tlm_serve_epoll_wakeups_total Returns from epoll_wait in the event loop."
+        );
+        let _ = writeln!(out, "# TYPE tlm_serve_epoll_wakeups_total counter");
+        let _ = writeln!(out, "tlm_serve_epoll_wakeups_total {}", self.epoll_wakeups());
+
+        let _ =
+            writeln!(out, "# HELP tlm_serve_connection_states Connections per event-loop state.");
+        let _ = writeln!(out, "# TYPE tlm_serve_connection_states gauge");
+        for (i, phase) in CONN_PHASES.iter().enumerate() {
+            let n = self.conn_phases[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "tlm_serve_connection_states{{state=\"{phase}\"}} {n}");
+        }
+
+        // Shard tier: per-shard traffic counters for exactly the
+        // configured shard count, plus the aggregate RPC error counter
+        // and round-trip histogram (always rendered, zero in in-process
+        // mode, so dashboards need no conditional scrape config).
+        let mut shard_family = |name: &str, help: &str, values: &[AtomicU64; MAX_SHARDS]| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (shard, value) in values.iter().enumerate().take(shards) {
+                let n = value.load(Ordering::Relaxed);
+                let _ = writeln!(out, "{name}{{shard=\"{shard}\"}} {n}");
+            }
+        };
+        shard_family(
+            "tlm_serve_shard_requests_total",
+            "Requests forwarded to each estimation shard.",
+            &self.shard_requests,
+        );
+        shard_family(
+            "tlm_serve_shard_tx_bytes_total",
+            "Request-frame bytes sent to each estimation shard.",
+            &self.shard_tx_bytes,
+        );
+        shard_family(
+            "tlm_serve_shard_rx_bytes_total",
+            "Response-frame bytes received from each estimation shard.",
+            &self.shard_rx_bytes,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP tlm_serve_shard_rpc_errors_total Shard RPC exchanges that failed (answered 503 locally)."
+        );
+        let _ = writeln!(out, "# TYPE tlm_serve_shard_rpc_errors_total counter");
+        let _ = writeln!(
+            out,
+            "tlm_serve_shard_rpc_errors_total {}",
+            self.shard_rpc_errors_total.load(Ordering::Relaxed)
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP tlm_serve_shard_rpc_duration_seconds Shard RPC round-trip latency."
+        );
+        let _ = writeln!(out, "# TYPE tlm_serve_shard_rpc_duration_seconds histogram");
+        let mut rpc_cumulative = 0u64;
+        for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
+            rpc_cumulative += self.rpc_latency_buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "tlm_serve_shard_rpc_duration_seconds_bucket{{le=\"{le}\"}} {rpc_cumulative}"
+            );
+        }
+        rpc_cumulative += self.rpc_latency_buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "tlm_serve_shard_rpc_duration_seconds_bucket{{le=\"+Inf\"}} {rpc_cumulative}"
+        );
+        let rpc_sum_ns = self.rpc_latency_sum_ns.load(Ordering::Relaxed);
+        let _ =
+            writeln!(out, "tlm_serve_shard_rpc_duration_seconds_sum {}", rpc_sum_ns as f64 / 1e9);
+        let _ = writeln!(
+            out,
+            "tlm_serve_shard_rpc_duration_seconds_count {}",
+            self.rpc_latency_count.load(Ordering::Relaxed)
+        );
 
         let _ =
             writeln!(out, "# HELP tlm_serve_request_duration_seconds Request handling latency.");
@@ -442,6 +673,14 @@ mod tests {
         m.worker_exited();
         m.worker_respawn();
         m.worker_started();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.epoll_wakeup();
+        m.phase_enter(ConnPhase::Reading);
+        m.set_shards(2);
+        m.shard_request(1, 10, 20, Duration::from_millis(3));
+        m.shard_rpc_error();
 
         let stats = PipelineStats {
             schedules: StageStats { hits: 7, misses: 3, entries: 10, bytes: 640, evictions: 4 },
@@ -498,6 +737,24 @@ mod tests {
         assert!(text.contains("tlm_serve_sessions_resident_bytes 4096"));
         // The rows stage joined the per-stage families.
         assert!(text.contains("tlm_serve_pipeline_stage_misses_total{stage=\"rows\"} 0"));
+        // Event-loop families.
+        assert!(text.contains("tlm_serve_open_connections 1"));
+        assert!(text.contains("tlm_serve_open_connections_peak 2"));
+        assert!(text.contains("tlm_serve_epoll_wakeups_total 1"));
+        assert!(text.contains("tlm_serve_connection_states{state=\"reading\"} 1"));
+        assert!(text.contains("tlm_serve_connection_states{state=\"dispatched\"} 0"));
+        assert!(text.contains("tlm_serve_connection_states{state=\"writing\"} 0"));
+        assert!(text.contains("tlm_serve_connection_states{state=\"closing\"} 0"));
+        // Shard families: exactly the configured slots render.
+        assert!(text.contains("tlm_serve_shards_configured 2"));
+        assert!(text.contains("tlm_serve_shard_requests_total{shard=\"0\"} 0"));
+        assert!(text.contains("tlm_serve_shard_requests_total{shard=\"1\"} 1"));
+        assert!(!text.contains("tlm_serve_shard_requests_total{shard=\"2\"}"));
+        assert!(text.contains("tlm_serve_shard_tx_bytes_total{shard=\"1\"} 10"));
+        assert!(text.contains("tlm_serve_shard_rx_bytes_total{shard=\"1\"} 20"));
+        assert!(text.contains("tlm_serve_shard_rpc_errors_total 1"));
+        assert!(text.contains("tlm_serve_shard_rpc_duration_seconds_count 1"));
+        assert!(text.contains("tlm_serve_shard_rpc_duration_seconds_bucket{le=\"0.005\"} 1"));
     }
 
     #[test]

@@ -46,6 +46,8 @@ use tlm_session::{EditReport, SessionError, SessionStore, SessionView, SourceEdi
 
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
+use crate::rpc::RpcRequest;
+use crate::shard::ShardRouter;
 
 /// Default resident-byte budget across all sessions.
 pub const DEFAULT_SESSION_BUDGET: u64 = 64 << 20;
@@ -450,6 +452,10 @@ pub struct Service {
     pub sessions: SessionStore,
     /// Capacity of the accept queue, exported through `/metrics`.
     pub queue_capacity: usize,
+    /// When present, estimation and session requests are forwarded to
+    /// the shard tier instead of running in-process (see
+    /// [`crate::shard`]). Probes and `/metrics` always answer locally.
+    router: Option<Arc<ShardRouter>>,
 }
 
 impl Service {
@@ -490,6 +496,55 @@ impl Service {
             catalog: Catalog::new(),
             sessions: SessionStore::new(session_budget, session_ttl),
             queue_capacity,
+            router: None,
+        }
+    }
+
+    /// Routes estimation and session traffic through `router`'s shard
+    /// tier instead of the in-process pipeline. Probes and `/metrics`
+    /// still answer locally; everything else is bit-identical to the
+    /// in-process path (each shard runs this same handler).
+    #[must_use]
+    pub fn with_router(mut self, router: Arc<ShardRouter>) -> Service {
+        self.router = Some(router);
+        self
+    }
+
+    /// Number of shards behind this service (`0` = in-process mode).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.router.as_ref().map_or(0, |r| r.shard_count())
+    }
+
+    /// Forwards one request to its owning shard; an unreachable shard
+    /// answers the same retryable `503` contract as a full queue.
+    fn forward(
+        &self,
+        router: &ShardRouter,
+        req: &Request,
+        metrics: &Metrics,
+        max_body: usize,
+        draining: bool,
+    ) -> Response {
+        let shard = if req.target == "/estimate" {
+            router.route_estimate(&req.body, max_body)
+        } else {
+            // Sessions pin to shard 0: ids are allocated per process and
+            // must not alias across shards.
+            0
+        };
+        let rpc_req = RpcRequest {
+            method: req.method.clone(),
+            target: req.target.clone(),
+            body: req.body.clone(),
+            draining,
+        };
+        match router.forward(shard, &rpc_req, metrics) {
+            Ok(resp) => resp,
+            Err(e) => {
+                Response::error(503, &format!("shard {shard} unavailable ({e}), retry shortly"))
+                    .with_header("Retry-After", "1")
+            }
         }
     }
 
@@ -711,6 +766,12 @@ impl Service {
         max_body: usize,
         draining: bool,
     ) -> Response {
+        if let Some(router) = &self.router {
+            let target = req.target.as_str();
+            if target == "/estimate" || target == "/session" || target.starts_with("/session/") {
+                return self.forward(router, req, metrics, max_body, draining);
+            }
+        }
         match (req.method.as_str(), req.target.as_str()) {
             ("POST", "/estimate") => self.estimate(&req.body, max_body),
             ("POST", "/session") => {

@@ -1,0 +1,306 @@
+//! The front ↔ shard wire protocol: tiny length-prefixed binary frames.
+//!
+//! The sharded tier (see [`crate::shard`]) forwards already-parsed
+//! requests, so the wire format carries exactly what
+//! [`crate::protocol::Service::handle`] consumes — method, target, body,
+//! draining flag — and exactly what it produces — status, extra headers,
+//! content type, body. No HTTP re-parse, no JSON re-encode, and the
+//! response bytes the front writes to the client are bit-identical to
+//! what the in-process path would have written, because the [`Response`]
+//! is reconstructed field-for-field.
+//!
+//! A frame is `u32` little-endian payload length, one tag byte, payload:
+//!
+//! ```text
+//! | len: u32 LE | tag: u8 | payload: len-1 bytes |
+//! ```
+//!
+//! Strings and byte fields inside payloads are `u32` length-prefixed.
+//! Extra headers travel as `(tag, value)` pairs because the header names
+//! in [`Response::extra_headers`] are `&'static str` — the decoder maps
+//! the tag back to the one static string it stands for, keeping the
+//! serialized head byte-for-byte identical.
+//!
+//! Fault injection: `serve.rpc.send` and `serve.rpc.recv` can cut a
+//! frame short in chaos builds ([`tlm_faults::Kind::ShortRead`]), which
+//! surfaces as an [`io::ErrorKind::UnexpectedEof`] on the peer — the
+//! same failure a killed shard process produces.
+
+use std::io::{self, Read, Write};
+
+use tlm_faults::Kind;
+
+use crate::http::Response;
+
+/// Frame tag: a forwarded request (front → shard).
+pub const TAG_REQUEST: u8 = 1;
+/// Frame tag: a response (shard → front).
+pub const TAG_RESPONSE: u8 = 2;
+/// Frame tag: drain and exit (front → shard).
+pub const TAG_SHUTDOWN: u8 = 3;
+/// Frame tag: drain acknowledged, about to exit (shard → front).
+pub const TAG_SHUTDOWN_OK: u8 = 4;
+
+/// Hard cap on one frame's payload, comfortably above the HTTP body cap
+/// plus response overhead — anything larger is a corrupt length prefix,
+/// not a request.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// One request as forwarded to a shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcRequest {
+    /// Request method, e.g. `POST`.
+    pub method: String,
+    /// Request target, e.g. `/estimate`.
+    pub target: String,
+    /// The request body.
+    pub body: Vec<u8>,
+    /// Whether the front was draining when it forwarded this (gates new
+    /// session creation on the shard).
+    pub draining: bool,
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end =
+            self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "rpc payload truncated")
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn bytes(&mut self) -> io::Result<&'a [u8]> {
+        let b = self.take(4)?;
+        let len = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+        self.take(len)
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        String::from_utf8(self.bytes()?.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "rpc string not UTF-8"))
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(io::Error::new(io::ErrorKind::InvalidData, "rpc payload has trailing bytes"))
+        }
+    }
+}
+
+/// Serializes a request payload (pair with [`TAG_REQUEST`]).
+#[must_use]
+pub fn encode_request(req: &RpcRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + req.method.len() + req.target.len() + req.body.len());
+    out.push(u8::from(req.draining));
+    put_bytes(&mut out, req.method.as_bytes());
+    put_bytes(&mut out, req.target.as_bytes());
+    put_bytes(&mut out, &req.body);
+    out
+}
+
+/// Decodes a [`TAG_REQUEST`] payload.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on truncation, trailing bytes or
+/// non-UTF-8 strings.
+pub fn decode_request(payload: &[u8]) -> io::Result<RpcRequest> {
+    let mut c = Cursor { buf: payload, pos: 0 };
+    let draining = c.u8()? != 0;
+    let method = c.string()?;
+    let target = c.string()?;
+    let body = c.bytes()?.to_vec();
+    c.finish()?;
+    Ok(RpcRequest { method, target, body, draining })
+}
+
+/// The extra-header names that may appear in a [`Response`], by wire tag.
+/// The decoder maps tags back to these statics so the reconstructed
+/// response serializes byte-identically.
+const HEADER_NAMES: [&str; 2] = ["Retry-After", "Allow"];
+
+/// The content types a [`Response`] can carry, by wire tag.
+const CONTENT_TYPES: [&str; 2] = ["application/json", "text/plain; charset=utf-8"];
+
+fn tag_of(name: &str, table: [&'static str; 2], what: &str) -> io::Result<u8> {
+    table.iter().position(|&t| t == name).map(|i| i as u8).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("unknown {what} `{name}`"))
+    })
+}
+
+fn name_of(tag: u8, table: [&'static str; 2], what: &str) -> io::Result<&'static str> {
+    table.get(tag as usize).copied().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("unknown {what} tag {tag}"))
+    })
+}
+
+/// Serializes a response payload (pair with [`TAG_RESPONSE`]).
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] if the response carries a header name
+/// or content type outside the protocol's closed sets (adding one means
+/// extending the tag tables on both sides).
+pub fn encode_response(resp: &Response) -> io::Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(16 + resp.body.len());
+    out.extend_from_slice(&resp.status.to_le_bytes());
+    out.push(tag_of(resp.content_type, CONTENT_TYPES, "content type")?);
+    out.push(
+        u8::try_from(resp.extra_headers.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "too many extra headers"))?,
+    );
+    for (name, value) in &resp.extra_headers {
+        out.push(tag_of(name, HEADER_NAMES, "header")?);
+        put_bytes(&mut out, value.as_bytes());
+    }
+    put_bytes(&mut out, &resp.body);
+    Ok(out)
+}
+
+/// Decodes a [`TAG_RESPONSE`] payload.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on truncation, trailing bytes or
+/// unknown tags.
+pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
+    let mut c = Cursor { buf: payload, pos: 0 };
+    let status = c.u16()?;
+    let content_type = name_of(c.u8()?, CONTENT_TYPES, "content type")?;
+    let n_headers = c.u8()?;
+    let mut extra_headers = Vec::with_capacity(n_headers as usize);
+    for _ in 0..n_headers {
+        let name = name_of(c.u8()?, HEADER_NAMES, "header")?;
+        let value = c.string()?;
+        extra_headers.push((name, value));
+    }
+    let body = c.bytes()?.to_vec();
+    c.finish()?;
+    Ok(Response { status, extra_headers, content_type, body })
+}
+
+/// Writes one frame. In chaos builds, `serve.rpc.send` may cut the frame
+/// short (the peer sees an unexpected EOF mid-payload).
+///
+/// # Errors
+///
+/// The underlying write failure.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() + 1;
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&[tag])?;
+    if tlm_faults::point("serve.rpc.send", &[Kind::ShortRead]).is_some() && !payload.is_empty() {
+        // Deliver half the payload, then fail like a cut connection.
+        w.write_all(&payload[..payload.len() / 2])?;
+        let _ = w.flush();
+        return Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected fault: rpc send cut"));
+    }
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, returning `(tag, payload)`. In chaos builds,
+/// `serve.rpc.recv` may report the stream cut short before reading.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::UnexpectedEof`] on a clean close before or inside a
+/// frame, [`io::ErrorKind::InvalidData`] on an implausible length.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    if tlm_faults::point("serve.rpc.recv", &[Kind::ShortRead]).is_some() {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "injected fault: rpc recv cut"));
+    }
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible rpc frame length {len}"),
+        ));
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let mut payload = vec![0u8; len - 1];
+    r.read_exact(&mut payload)?;
+    Ok((tag[0], payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let req = RpcRequest {
+            method: "POST".to_string(),
+            target: "/estimate".to_string(),
+            body: br#"{"platform": "mp3:sw"}"#.to_vec(),
+            draining: true,
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, TAG_REQUEST, &encode_request(&req)).expect("writes");
+        let (tag, payload) = read_frame(&mut wire.as_slice()).expect("reads");
+        assert_eq!(tag, TAG_REQUEST);
+        assert_eq!(decode_request(&payload).expect("decodes"), req);
+    }
+
+    #[test]
+    fn response_roundtrips_bit_identically() {
+        let resp = Response::error(503, "estimation queue is full, retry shortly")
+            .with_header("Retry-After", "1");
+        let payload = encode_response(&resp).expect("encodes");
+        let back = decode_response(&payload).expect("decodes");
+        // The reconstructed response must serialize to the same bytes.
+        let mut original = Vec::new();
+        let mut rebuilt = Vec::new();
+        resp.write_to(&mut original, true).expect("serializes");
+        back.write_to(&mut rebuilt, true).expect("serializes");
+        assert_eq!(original, rebuilt, "wire-identical after a round trip");
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        // Implausible length prefix.
+        let wire = u32::MAX.to_le_bytes();
+        assert_eq!(
+            read_frame(&mut wire.as_slice()).expect_err("rejects").kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Truncated payload.
+        let req = encode_request(&RpcRequest {
+            method: "GET".to_string(),
+            target: "/x".to_string(),
+            body: Vec::new(),
+            draining: false,
+        });
+        assert!(decode_request(&req[..req.len() - 1]).is_err());
+        // Trailing bytes.
+        let mut padded = req.clone();
+        padded.push(0);
+        assert!(decode_request(&padded).is_err());
+    }
+}

@@ -1,0 +1,577 @@
+//! Content-hash-sharded estimation tier.
+//!
+//! One front process owns every client connection (the event loop in
+//! [`crate::server`]); `N` shard processes own the artifact stores. The
+//! front routes each request by **consistent hashing over canonical
+//! stage keys** ([`tlm_pipeline::routing`]): a built-in design routes by
+//! its name (one name, one prepared design, one shard), a custom
+//! platform by the concatenation of its processes' module stage keys —
+//! so all requests that would share pipeline artifacts land on the same
+//! shard, and a shard's caches see the same locality a single process
+//! would. Adding a shard remaps only the keyspace slice its virtual
+//! nodes claim, not everything (the consistent-hash property).
+//!
+//! Session endpoints pin to shard 0: session ids are allocated per
+//! process, and splitting them across shards would alias ids. Probes and
+//! `/metrics` never cross the wire — the front answers them locally.
+//!
+//! Shards are child processes of the front, spawned from the same
+//! executable with the hidden `--shard-worker` flag
+//! ([`shard_worker_entry`]), listening on an ephemeral loopback port
+//! announced on stdout. The wire protocol is [`crate::rpc`]. Responses
+//! are **bit-identical** to single-process mode because a shard runs the
+//! identical [`Service::handle`] against its own pipeline, and the
+//! response is reconstructed field-for-field on the front — the loadgen's
+//! differential phase and the CI `shard-smoke` job both gate on this.
+//!
+//! Failure mode: a dead or unreachable shard answers `503` with
+//! `Retry-After` (counted in `tlm_serve_shard_rpc_errors_total`), the
+//! same contract as a full queue — callers already retry on it.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tlm_json::{ParseLimits, Value};
+use tlm_pipeline::routing::platform_routing_material;
+
+use crate::http::Response;
+use crate::metrics::Metrics;
+use crate::protocol::Service;
+use crate::rpc::{self, RpcRequest, TAG_REQUEST, TAG_RESPONSE, TAG_SHUTDOWN, TAG_SHUTDOWN_OK};
+
+/// Virtual nodes per shard on the hash ring — enough that the keyspace
+/// splits evenly across a handful of shards.
+const VNODES: usize = 64;
+
+/// Knobs forwarded to every spawned shard process.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shard processes.
+    pub shards: usize,
+    /// Pipeline cache budget per shard (`u64::MAX` = unlimited).
+    pub cache_budget: u64,
+    /// Session resident-byte budget per shard.
+    pub session_budget: u64,
+    /// Session idle TTL per shard.
+    pub session_ttl: Duration,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 0,
+            cache_budget: u64::MAX,
+            session_budget: crate::protocol::DEFAULT_SESSION_BUDGET,
+            session_ttl: crate::protocol::DEFAULT_SESSION_TTL,
+        }
+    }
+}
+
+/// 64-bit FNV-1a — the ring's hash. Stable across processes and runs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One spawned shard process and the front's connections to it.
+#[derive(Debug)]
+struct Shard {
+    addr: SocketAddr,
+    /// Idle pooled connections; workers check one out per forward.
+    pool: Mutex<Vec<TcpStream>>,
+    /// The child process, present until [`ShardRouter::shutdown`] reaps
+    /// it. `None` for externally-managed shards (tests).
+    child: Mutex<Option<Child>>,
+    /// Held open so the child's late prints don't hit a closed pipe.
+    _stdout: Option<ChildStdout>,
+}
+
+/// The front's view of the shard tier: the hash ring plus per-shard
+/// connection pools.
+#[derive(Debug)]
+pub struct ShardRouter {
+    shards: Vec<Shard>,
+    /// Sorted `(point, shard)` ring.
+    ring: Vec<(u64, usize)>,
+}
+
+fn build_ring(n: usize) -> Vec<(u64, usize)> {
+    let mut ring = Vec::with_capacity(n * VNODES);
+    for shard in 0..n {
+        for vnode in 0..VNODES {
+            let mut key = [0u8; 16];
+            key[..8].copy_from_slice(&(shard as u64).to_le_bytes());
+            key[8..].copy_from_slice(&(vnode as u64).to_le_bytes());
+            ring.push((fnv1a(&key), shard));
+        }
+    }
+    ring.sort_unstable();
+    ring
+}
+
+impl ShardRouter {
+    /// Spawns `config.shards` shard processes from the current
+    /// executable (each announces its ephemeral port on stdout) and
+    /// builds the ring.
+    ///
+    /// # Errors
+    ///
+    /// Spawn or handshake failure; already-spawned shards are shut down
+    /// before the error returns.
+    pub fn spawn(config: &ShardConfig) -> io::Result<ShardRouter> {
+        let exe = std::env::current_exe()?;
+        let mut shards = Vec::with_capacity(config.shards);
+        for index in 0..config.shards {
+            let mut command = Command::new(&exe);
+            command
+                .arg("--shard-worker")
+                .arg("--addr")
+                .arg("127.0.0.1:0")
+                .stdin(Stdio::null())
+                .stdout(Stdio::piped());
+            if config.cache_budget != u64::MAX {
+                command.arg("--cache-budget").arg(config.cache_budget.to_string());
+            }
+            command.arg("--session-budget").arg(config.session_budget.to_string());
+            command.arg("--session-ttl-secs").arg(config.session_ttl.as_secs().to_string());
+            let spawned = spawn_shard(&mut command);
+            match spawned {
+                Ok(shard) => shards.push(shard),
+                Err(e) => {
+                    let router = ShardRouter { ring: build_ring(shards.len()), shards };
+                    router.shutdown();
+                    return Err(io::Error::new(e.kind(), format!("spawning shard {index}: {e}")));
+                }
+            }
+        }
+        Ok(ShardRouter { ring: build_ring(config.shards), shards })
+    }
+
+    /// A router over externally-managed shard processes already
+    /// listening at `addrs` (they are not reaped on shutdown).
+    #[must_use]
+    pub fn connect(addrs: &[SocketAddr]) -> ShardRouter {
+        let shards = addrs
+            .iter()
+            .map(|&addr| Shard {
+                addr,
+                pool: Mutex::new(Vec::new()),
+                child: Mutex::new(None),
+                _stdout: None,
+            })
+            .collect::<Vec<_>>();
+        ShardRouter { ring: build_ring(shards.len()), shards }
+    }
+
+    /// Number of shards behind this router.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `material` (clockwise successor on the ring).
+    #[must_use]
+    pub fn route_material(&self, material: &[u8]) -> usize {
+        let point = fnv1a(material);
+        match self.ring.binary_search(&(point, usize::MAX)) {
+            Ok(i) | Err(i) => self.ring[i % self.ring.len()].1,
+        }
+    }
+
+    /// The shard owning an `/estimate` body: routes by the canonical
+    /// stage keys its platform(s) resolve to. Requests whose routing
+    /// material cannot be derived (malformed JSON, missing platform)
+    /// go to shard 0 — they fail identically everywhere.
+    #[must_use]
+    pub fn route_estimate(&self, body: &[u8], max_body: usize) -> usize {
+        match estimate_material(body, max_body) {
+            Some(material) => self.route_material(&material),
+            None => 0,
+        }
+    }
+
+    /// Forwards one request to `shard` and returns its response.
+    /// Connections are pooled; a stale pooled connection gets one retry
+    /// on a fresh one. Counts per-shard traffic and RPC latency into
+    /// `metrics` (errors too).
+    ///
+    /// # Errors
+    ///
+    /// Connect or round-trip failure after the retry.
+    pub fn forward(
+        &self,
+        shard: usize,
+        req: &RpcRequest,
+        metrics: &Metrics,
+    ) -> io::Result<Response> {
+        let start = Instant::now();
+        let payload = rpc::encode_request(req);
+        let slot = &self.shards[shard];
+        let mut attempt = 0;
+        loop {
+            let (mut stream, pooled) = match slot.pool.lock().expect("pool poisoned").pop() {
+                Some(stream) => (stream, true),
+                None => match TcpStream::connect(slot.addr) {
+                    Ok(stream) => {
+                        let _ = stream.set_nodelay(true);
+                        (stream, false)
+                    }
+                    Err(e) => {
+                        metrics.shard_rpc_error();
+                        return Err(e);
+                    }
+                },
+            };
+            match roundtrip(&mut stream, &payload) {
+                Ok((resp, rx_bytes)) => {
+                    slot.pool.lock().expect("pool poisoned").push(stream);
+                    metrics.shard_request(
+                        shard,
+                        (payload.len() + 5) as u64,
+                        rx_bytes as u64,
+                        start.elapsed(),
+                    );
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    drop(stream);
+                    if pooled && attempt == 0 {
+                        // The pooled connection may have idled out while
+                        // unused; one fresh connection decides for real.
+                        attempt += 1;
+                        continue;
+                    }
+                    metrics.shard_rpc_error();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Sends every shard a drain frame, waits for the acknowledgement,
+    /// and reaps the child processes. Idempotent.
+    pub fn shutdown(&self) {
+        for shard in &self.shards {
+            // Drop every pooled connection before draining: the shard
+            // joins its per-connection threads on the way out, and
+            // those threads sit in a blocking read until the front
+            // side closes. Keep one back for the drain frame itself.
+            let stream = {
+                let mut pool = shard.pool.lock().expect("pool poisoned");
+                let keep = pool.pop();
+                pool.clear();
+                keep.map_or_else(|| TcpStream::connect(shard.addr), Ok)
+            };
+            if let Ok(mut stream) = stream {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                if rpc::write_frame(&mut stream, TAG_SHUTDOWN, &[]).is_ok() {
+                    // Wait for the ack so the child has logged its drain
+                    // before we reap it.
+                    let _ = rpc::read_frame(&mut stream);
+                }
+            }
+            if let Some(mut child) = shard.child.lock().expect("child poisoned").take() {
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// One forwarded round trip on an established connection. Returns the
+/// response and the received byte count.
+fn roundtrip(stream: &mut TcpStream, payload: &[u8]) -> io::Result<(Response, usize)> {
+    rpc::write_frame(stream, TAG_REQUEST, payload)?;
+    let (tag, resp_payload) = rpc::read_frame(stream)?;
+    if tag != TAG_RESPONSE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected response frame, got tag {tag}"),
+        ));
+    }
+    let resp = rpc::decode_response(&resp_payload)?;
+    Ok((resp, resp_payload.len() + 5))
+}
+
+fn spawn_shard(command: &mut Command) -> io::Result<Shard> {
+    let mut child = command.spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    // "tlm-shard listening on 127.0.0.1:PORT"
+    let addr =
+        line.rsplit(' ').next().and_then(|a| a.trim().parse::<SocketAddr>().ok()).ok_or_else(
+            || {
+                let _ = child.kill();
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("shard did not announce an address: {line:?}"),
+                )
+            },
+        )?;
+    Ok(Shard {
+        addr,
+        pool: Mutex::new(Vec::new()),
+        child: Mutex::new(Some(child)),
+        _stdout: Some(reader.into_inner()),
+    })
+}
+
+/// Routing material of an `/estimate` body: per job, the built-in design
+/// name or the platform object's stage-key material, each length-prefixed
+/// and concatenated (a batch routes by all of its jobs together, so its
+/// one response comes from one shard).
+fn estimate_material(body: &[u8], max_body: usize) -> Option<Vec<u8>> {
+    let text = std::str::from_utf8(body).ok()?;
+    let limits = ParseLimits { max_bytes: max_body, ..ParseLimits::DEFAULT };
+    let root = tlm_json::parse_with_limits(text, limits).ok()?;
+    let jobs: Vec<&Value> = match root.get("jobs") {
+        Some(Value::Array(jobs)) => jobs.iter().collect(),
+        Some(_) => return None,
+        None => vec![&root],
+    };
+    let mut material = Vec::new();
+    for job in jobs {
+        let piece = match job.get("platform")? {
+            Value::String(name) => name.as_bytes().to_vec(),
+            platform @ Value::Object(_) => platform_routing_material(platform)?,
+            _ => return None,
+        };
+        material.extend_from_slice(&(piece.len() as u64).to_le_bytes());
+        material.extend_from_slice(&piece);
+    }
+    if material.is_empty() {
+        return None;
+    }
+    Some(material)
+}
+
+/// The `--shard-worker` entry point, shared by the `tlm-serve` and
+/// `loadgen` binaries (shards spawn from whichever executable the front
+/// runs as). Serves [`crate::rpc`] frames over loopback TCP until a
+/// shutdown frame arrives; announces its address as
+/// `tlm-shard listening on <addr>` on stdout. Returns the process exit
+/// code.
+pub fn shard_worker_entry(args: &[String]) -> i32 {
+    match shard_worker_main(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("tlm-shard: {e}");
+            1
+        }
+    }
+}
+
+fn parse_u64(args: &[String], i: usize, flag: &str) -> io::Result<u64> {
+    args.get(i + 1).and_then(|v| v.parse::<u64>().ok()).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("{flag} needs a number"))
+    })
+}
+
+fn shard_worker_main(args: &[String]) -> io::Result<()> {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut cache_budget = u64::MAX;
+    let mut session_budget = crate::protocol::DEFAULT_SESSION_BUDGET;
+    let mut session_ttl = crate::protocol::DEFAULT_SESSION_TTL;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).cloned().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "--addr needs a value")
+                })?;
+                i += 2;
+            }
+            "--cache-budget" => {
+                cache_budget = parse_u64(args, i, "--cache-budget")?;
+                i += 2;
+            }
+            "--session-budget" => {
+                session_budget = parse_u64(args, i, "--session-budget")?;
+                i += 2;
+            }
+            "--session-ttl-secs" => {
+                session_ttl = Duration::from_secs(parse_u64(args, i, "--session-ttl-secs")?);
+                i += 2;
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("unknown shard flag `{other}`"),
+                ));
+            }
+        }
+    }
+
+    let listener = TcpListener::bind(&addr)?;
+    let local = listener.local_addr()?;
+    println!("tlm-shard listening on {local}");
+    io::stdout().flush()?;
+
+    let service = Arc::new(Service::with_limits(0, cache_budget, session_budget, session_ttl));
+    // The shard's own counters: feeds `Service::handle` (which records
+    // request latency there) and keeps the estimation path identical to
+    // the front's; the front never scrapes these.
+    let metrics = Arc::new(Metrics::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Accept with a poll interval so the stop flag set by a drain frame
+    // on one connection actually ends the loop.
+    listener.set_nonblocking(true)?;
+    let mut conn_threads = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                stream.set_nonblocking(false)?;
+                let service = Arc::clone(&service);
+                let metrics = Arc::clone(&metrics);
+                let stop = Arc::clone(&stop);
+                conn_threads.push(std::thread::spawn(move || {
+                    serve_rpc_conn(stream, &service, &metrics, &stop);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    // Give in-flight connections a bounded window to finish. A peer
+    // that holds its connection open must not pin the process — exit
+    // tears the sockets down anyway, and the front already treats a
+    // dropped connection as a shard failure.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    for t in conn_threads {
+        while !t.is_finished() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if t.is_finished() {
+            let _ = t.join();
+        }
+    }
+    println!("tlm-shard drained, bye");
+    Ok(())
+}
+
+/// Serves one front connection: request frames in, response frames out,
+/// until the front hangs up or sends a drain frame.
+fn serve_rpc_conn(mut stream: TcpStream, service: &Service, metrics: &Metrics, stop: &AtomicBool) {
+    loop {
+        let (tag, payload) = match rpc::read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(_) => return, // front hung up (or cut the frame)
+        };
+        match tag {
+            TAG_REQUEST => {
+                let resp_payload = decode_and_handle(service, metrics, &payload);
+                if rpc::write_frame(&mut stream, TAG_RESPONSE, &resp_payload).is_err() {
+                    return;
+                }
+            }
+            TAG_SHUTDOWN => {
+                stop.store(true, Ordering::SeqCst);
+                let _ = rpc::write_frame(&mut stream, TAG_SHUTDOWN_OK, &[]);
+                return;
+            }
+            _ => return, // unknown frame: drop the connection
+        }
+    }
+}
+
+/// Decodes a request payload, runs it through the service, encodes the
+/// response. Any decode failure answers a `400` frame rather than
+/// dropping the connection (the front treats a dropped connection as a
+/// shard failure).
+fn decode_and_handle(service: &Service, metrics: &Metrics, payload: &[u8]) -> Vec<u8> {
+    let resp = match rpc::decode_request(payload) {
+        Ok(req) => {
+            let request = crate::http::Request {
+                method: req.method,
+                target: req.target,
+                headers: Vec::new(),
+                body: req.body,
+                keep_alive: true,
+            };
+            service.handle(
+                &request,
+                metrics,
+                crate::http::HttpLimits::default().max_body_bytes,
+                req.draining,
+            )
+        }
+        Err(e) => Response::error(400, &format!("bad rpc request: {e}")),
+    };
+    rpc::encode_response(&resp).unwrap_or_else(|e| {
+        rpc::encode_response(&Response::error(500, &format!("unencodable response: {e}")))
+            .expect("plain error encodes")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_addrs(n: usize) -> Vec<SocketAddr> {
+        vec!["127.0.0.1:1".parse().expect("addr"); n]
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_shards() {
+        let a = ShardRouter::connect(&dummy_addrs(4));
+        let b = ShardRouter::connect(&dummy_addrs(4));
+        let mut hit = [false; 4];
+        for i in 0..1024u32 {
+            let material = i.to_le_bytes();
+            let sa = a.route_material(&material);
+            let sb = b.route_material(&material);
+            assert_eq!(sa, sb, "routing must be deterministic across instances");
+            hit[sa] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "1024 keys must touch all 4 shards: {hit:?}");
+    }
+
+    #[test]
+    fn builtin_names_and_custom_platforms_route_stably() {
+        let router = ShardRouter::connect(&dummy_addrs(2));
+        let max_body = 4 << 20;
+        let by_name = router.route_estimate(br#"{"platform": "mp3:sw"}"#, max_body);
+        assert_eq!(by_name, router.route_estimate(br#"{"platform": "mp3:sw"}"#, max_body));
+        // Wiring-only differences keep custom platforms on one shard.
+        let a = br#"{"platform": {"name": "x", "pes": [{"name": "a", "pum": "generic_risc"}],
+            "processes": [{"name": "p", "pe": 0, "source": "void main() { out(1); }"}]}}"#;
+        let b = br#"{"platform": {"name": "y", "pes": [{"name": "b", "pum": "microblaze"}],
+            "processes": [{"name": "p", "pe": 0, "source": "void main() { out(1); }"}]}}"#;
+        assert_eq!(router.route_estimate(a, max_body), router.route_estimate(b, max_body));
+        // Unroutable bodies pin to shard 0.
+        assert_eq!(router.route_estimate(b"not json", max_body), 0);
+        assert_eq!(router.route_estimate(b"{}", max_body), 0);
+    }
+
+    #[test]
+    fn adding_a_shard_moves_only_part_of_the_keyspace() {
+        let two = ShardRouter::connect(&dummy_addrs(2));
+        let three = ShardRouter::connect(&dummy_addrs(3));
+        let total = 4096u32;
+        let moved = (0..total)
+            .filter(|i| {
+                let m = i.to_le_bytes();
+                let before = two.route_material(&m);
+                let after = three.route_material(&m);
+                after != before && after != 2
+            })
+            .count();
+        // Consistent hashing: keys not claimed by the new shard mostly
+        // stay put (a naive `hash % n` would move ~half).
+        assert!(moved < (total as usize) / 5, "{moved}/{total} keys moved between old shards");
+    }
+}

@@ -6,10 +6,12 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 use tlm_serve::protocol::Service;
 use tlm_serve::server::{Server, ServerConfig};
+use tlm_serve::shard::ShardRouter;
 
 fn request(addr: SocketAddr, head: &str, body: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connects");
@@ -109,6 +111,53 @@ fn estimate_traffic_reports_batch_dedup_on_metrics() {
     let warm = request(addr, "GET /metrics", "");
     assert_eq!(metric(&warm, "tlm_serve_kernel_batch_dedup_hits"), cold_blocks);
 
+    handle.shutdown();
+}
+
+/// The event-loop and shard observability families must render on
+/// `/metrics` — the gauges over a live connection, the epoll wakeup
+/// counter, one connection-state sample per state, and the shard tier's
+/// counters. A front pointed at an unreachable shard must answer the
+/// same `503` + `Retry-After` contract as a full queue and count the
+/// RPC failure.
+#[test]
+fn event_loop_and_shard_observability_render_on_metrics() {
+    let config =
+        ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2, ..ServerConfig::default() };
+    let handle = Server::start(config, Service::new(8)).expect("server starts");
+    let addr = handle.addr();
+
+    let page = request(addr, "GET /metrics", "");
+    assert_eq!(status_of(&page), 200);
+    // The scrape's own connection is open while the page renders.
+    assert!(metric(&page, "tlm_serve_open_connections") >= 1, "gauge misses the scrape itself");
+    assert!(metric(&page, "tlm_serve_open_connections_peak") >= 1);
+    assert!(metric(&page, "tlm_serve_epoll_wakeups_total") >= 1, "event loop never woke");
+    for state in ["reading", "dispatched", "writing", "closing"] {
+        metric(&page, &format!("tlm_serve_connection_states{{state=\"{state}\"}}"));
+    }
+    assert_eq!(metric(&page, "tlm_serve_shards_configured"), 0, "default is in-process");
+    metric(&page, "tlm_serve_shard_rpc_errors_total");
+    metric(&page, "tlm_serve_shard_rpc_duration_seconds_count");
+    handle.shutdown();
+
+    // A front routing to an unreachable shard tier: the client sees the
+    // standard backpressure contract, and the failure is counted.
+    let dead: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+    let config =
+        ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2, ..ServerConfig::default() };
+    let service = Service::new(8).with_router(Arc::new(ShardRouter::connect(&[dead, dead])));
+    let handle = Server::start(config, service).expect("server starts");
+    let addr = handle.addr();
+
+    let resp = request(addr, "POST /estimate", r#"{"platform": "mp3:sw"}"#);
+    assert_eq!(status_of(&resp), 503, "unreachable shard answers 503: {resp}");
+    assert!(resp.contains("Retry-After"), "carries Retry-After: {resp}");
+    assert!(resp.contains("unavailable"), "names the failure: {resp}");
+
+    let page = request(addr, "GET /metrics", "");
+    assert_eq!(metric(&page, "tlm_serve_shards_configured"), 2);
+    assert!(metric(&page, "tlm_serve_shard_rpc_errors_total") >= 1, "rpc failure not counted");
     handle.shutdown();
 }
 

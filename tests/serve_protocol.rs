@@ -366,6 +366,56 @@ fn keep_alive_get(stream: &mut TcpStream, target: &str) -> (u16, String) {
 }
 
 #[test]
+fn half_closed_client_still_gets_its_response_and_leaks_no_connection() {
+    let handle = start(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let addr = handle.addr();
+
+    // The gauge as seen from a fresh scrape connection: the scrape
+    // itself is open while the page renders, so a quiescent server
+    // reads 1.
+    let open_connections = || {
+        let resp = send_raw(addr, b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+        assert_eq!(status_of(&resp), 200, "got: {resp}");
+        metric(body_of(&resp), "tlm_serve_open_connections")
+    };
+    let baseline = open_connections();
+
+    // Send a full request, then shut down the write half (SHUT_WR)
+    // before reading a byte — the FIN arrives while the request is
+    // queued or in flight. The response must still be delivered on the
+    // intact read half.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let body = r#"{"platform": "mp3:sw", "sweep": ["0k/0k"]}"#;
+    let raw = format!(
+        "POST /estimate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("writes");
+    stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("reads");
+    let text = String::from_utf8_lossy(&out);
+    assert_eq!(status_of(&text), 200, "half-closed client still served: {text}");
+    drop(stream);
+
+    // No connection-state leak: the gauge returns to its baseline (the
+    // server reaps the half-closed connection after the response; give
+    // the close a moment to land).
+    let mut last = u64::MAX;
+    for _ in 0..40 {
+        last = open_connections();
+        if last == baseline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(last, baseline, "half-closed connection leaked in the gauge");
+
+    handle.shutdown();
+}
+
+#[test]
 fn drain_flips_readyz_immediately_while_healthz_stays_up() {
     let handle = start(ServerConfig { workers: 2, ..ServerConfig::default() });
     let addr = handle.addr();
