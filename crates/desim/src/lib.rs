@@ -43,4 +43,4 @@ pub use kernel::{Ctx, Kernel, RunReport, StopReason};
 pub use process::{Process, ProcessId, Resume};
 pub use sync::Semaphore;
 pub use time::SimTime;
-pub use trace::{TraceEntry, TraceSink};
+pub use trace::{TraceEntry, TraceSink, DEFAULT_TRACE_CAPACITY};

@@ -1,7 +1,16 @@
 //! Optional run tracing for debugging simulations.
+//!
+//! Entries live in a fixed-capacity ring so that tracing a long
+//! simulation costs bounded memory: once the ring is full every new
+//! entry overwrites the oldest one and bumps a drop counter. Consumers
+//! that need the tail of a longer run can raise the capacity via
+//! [`crate::Kernel::enable_tracing_with_capacity`].
 
 use crate::process::ProcessId;
 use crate::time::SimTime;
+
+/// Default ring capacity in entries.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
 /// One recorded trace entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,11 +23,107 @@ pub struct TraceEntry {
     pub label: String,
 }
 
-/// Collects [`TraceEntry`] values when enabled.
+/// Collects [`TraceEntry`] values in a fixed-capacity ring when enabled.
 ///
 /// Disabled by default so that hot simulation loops pay only a branch.
-#[derive(Debug, Default)]
+/// When full, the newest entry overwrites the oldest and the sink's
+/// drop counter is incremented, so enabling tracing can never exhaust
+/// memory however long the run.
+#[derive(Debug)]
 pub struct TraceSink {
     pub(crate) enabled: bool,
-    pub(crate) entries: Vec<TraceEntry>,
+    capacity: usize,
+    entries: Vec<TraceEntry>,
+    /// Index of the oldest entry once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink {
+            enabled: false,
+            capacity: DEFAULT_TRACE_CAPACITY,
+            entries: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+}
+
+impl TraceSink {
+    /// Resizes the ring; existing entries are discarded.
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        self.entries.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+
+    /// Records an entry, overwriting the oldest when the ring is full.
+    pub(crate) fn push(&mut self, entry: TraceEntry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            self.entries[self.head] = entry;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Entries oldest-first.
+    pub(crate) fn in_order(&self) -> Vec<&TraceEntry> {
+        let (newest, oldest) = self.entries.split_at(self.head);
+        oldest.iter().chain(newest.iter()).collect()
+    }
+
+    /// Number of entries overwritten because the ring was full.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u64) -> TraceEntry {
+        TraceEntry { time: SimTime::from_ps(n), process: None, label: n.to_string() }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut sink = TraceSink::default();
+        sink.set_capacity(3);
+        for n in 0..5 {
+            sink.push(entry(n));
+        }
+        let labels: Vec<&str> = sink.in_order().iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["2", "3", "4"]);
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn ring_below_capacity_preserves_order() {
+        let mut sink = TraceSink::default();
+        sink.set_capacity(8);
+        for n in 0..3 {
+            sink.push(entry(n));
+        }
+        let labels: Vec<&str> = sink.in_order().iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["0", "1", "2"]);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_repeatedly() {
+        let mut sink = TraceSink::default();
+        sink.set_capacity(2);
+        for n in 0..10 {
+            sink.push(entry(n));
+        }
+        let labels: Vec<&str> = sink.in_order().iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["8", "9"]);
+        assert_eq!(sink.dropped(), 8);
+    }
 }

@@ -147,13 +147,13 @@ impl Pipeline {
     /// An empty pipeline.
     pub fn new() -> Pipeline {
         Pipeline {
-            ast: Stage::new(),
-            module: Stage::new(),
-            prepared: Stage::new(),
+            ast: Stage::new("ast"),
+            module: Stage::new("module"),
+            prepared: Stage::new("prepared"),
             schedules: ScheduleCache::new(),
-            annotated: Stage::new(),
-            report: Stage::new(),
-            rows: Stage::new(),
+            annotated: Stage::new("annotated"),
+            report: Stage::new("report"),
+            rows: Stage::new("rows"),
         }
     }
 

@@ -25,6 +25,7 @@
 pub mod design;
 pub mod error;
 pub mod graph;
+pub mod observe;
 pub mod report;
 pub mod routing;
 mod stage;
@@ -32,6 +33,7 @@ mod stage;
 pub use design::{DesignBuilder, PreparedDesign};
 pub use error::PipelineError;
 pub use graph::{ModuleArtifact, Pipeline, PipelineStats};
+pub use observe::set_stage_observer;
 pub use report::EstimateReport;
 pub use stage::StageStats;
 

@@ -1,0 +1,34 @@
+//! Process-wide stage-store observer hook.
+//!
+//! The serve tier's trace ring wants to see pipeline cache transitions
+//! (which stage hit, which ran its computation) per request without the
+//! pipeline depending on the server. This module inverts the dependency:
+//! the host installs one observer callback and every
+//! [`crate::Pipeline`]'s stage stores report their lookups through it.
+//!
+//! The hook is deliberately minimal — a `(&'static str, bool)` pair per
+//! lookup, no allocation — so the disabled cost is one `OnceLock` load
+//! and a branch on the stage hot path.
+
+use std::sync::OnceLock;
+
+type Observer = Box<dyn Fn(&'static str, bool) + Send + Sync>;
+
+static OBSERVER: OnceLock<Observer> = OnceLock::new();
+
+/// Installs the process-wide stage observer. Called on every stage-store
+/// lookup with the stage's canonical name (`"ast"`, `"module"`, …) and
+/// whether the demand was served from the store (`true` = hit, `false` =
+/// the computation ran). The first installation wins; later calls are
+/// ignored. The callback must be cheap and must not demand pipeline
+/// artifacts (it runs inside stage lookups).
+pub fn set_stage_observer(observer: impl Fn(&'static str, bool) + Send + Sync + 'static) {
+    let _ = OBSERVER.set(Box::new(observer));
+}
+
+/// Reports one lookup to the installed observer, if any.
+pub(crate) fn emit(stage: &'static str, hit: bool) {
+    if let Some(observer) = OBSERVER.get() {
+        observer(stage, hit);
+    }
+}

@@ -82,6 +82,8 @@ impl<T> Default for Generations<T> {
 /// A thread-safe, content-addressed store for one stage's artifacts.
 #[derive(Debug)]
 pub(crate) struct Stage<T: Clone> {
+    /// Canonical stage name, reported to the [`crate::observe`] hook.
+    name: &'static str,
     gens: Mutex<Generations<T>>,
     /// Resident-byte budget; `u64::MAX` means unbounded.
     budget: AtomicU64,
@@ -91,8 +93,9 @@ pub(crate) struct Stage<T: Clone> {
 }
 
 impl<T: Clone> Stage<T> {
-    pub(crate) fn new() -> Stage<T> {
+    pub(crate) fn new(name: &'static str) -> Stage<T> {
         Stage {
+            name,
             gens: Mutex::new(Generations::default()),
             budget: AtomicU64::new(u64::MAX),
             hits: AtomicU64::new(0),
@@ -147,6 +150,7 @@ impl<T: Clone> Stage<T> {
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
+        crate::observe::emit(self.name, !ran);
         let outcome = outcome.clone();
         if ran {
             if let Err(e) = &outcome {
@@ -246,7 +250,7 @@ mod tests {
 
     #[test]
     fn compute_runs_once_per_key() {
-        let stage: Stage<u64> = Stage::new();
+        let stage: Stage<u64> = Stage::new("test");
         let a = stage.get_or_try(b"k", || Ok(7)).expect("computes");
         let b = stage.get_or_try(b"k", || panic!("must not re-run")).expect("hits");
         assert_eq!((a, b), (7, 7));
@@ -257,7 +261,7 @@ mod tests {
 
     #[test]
     fn distinct_keys_do_not_alias() {
-        let stage: Stage<u64> = Stage::new();
+        let stage: Stage<u64> = Stage::new("test");
         stage.get_or_try(b"ab", || Ok(1)).expect("computes");
         let v = stage.get_or_try(b"a", || Ok(2)).expect("computes");
         assert_eq!(v, 2, "prefix key is its own entry");
@@ -266,7 +270,7 @@ mod tests {
 
     #[test]
     fn deterministic_errors_are_cached_and_replayed() {
-        let stage: Stage<u64> = Stage::new();
+        let stage: Stage<u64> = Stage::new("test");
         let boom = || Err(PlatformError { message: "boom".into() }.into());
         let first = stage.get_or_try(b"k", boom).expect_err("fails");
         let second = stage.get_or_try(b"k", || panic!("must not re-run")).expect_err("replays");
@@ -277,7 +281,7 @@ mod tests {
 
     #[test]
     fn transient_errors_do_not_poison_the_slot() {
-        let stage: Stage<u64> = Stage::new();
+        let stage: Stage<u64> = Stage::new("test");
         let first = stage
             .get_or_try(b"k", || Err(PipelineError::transient("cosmic ray")))
             .expect_err("fails");
@@ -294,7 +298,7 @@ mod tests {
 
     #[test]
     fn budget_rotation_evicts_and_second_chance_promotes() {
-        let stage: Stage<u64> = Stage::new();
+        let stage: Stage<u64> = Stage::new("test");
         stage.set_budget(8);
         // 4-byte keys: the third insert exceeds the 8-byte budget.
         stage.get_or_try(b"aaaa", || Ok(1)).expect("computes");
@@ -317,7 +321,7 @@ mod tests {
 
     #[test]
     fn remove_drops_one_entry_and_its_bytes() {
-        let stage: Stage<u64> = Stage::new();
+        let stage: Stage<u64> = Stage::new("test");
         stage.get_or_try(b"keep", || Ok(1)).expect("computes");
         stage.get_or_try(b"drop", || Ok(2)).expect("computes");
         assert!(stage.remove(b"drop"), "resident entry removed");
@@ -331,7 +335,7 @@ mod tests {
 
     #[test]
     fn clear_resets_everything() {
-        let stage: Stage<u64> = Stage::new();
+        let stage: Stage<u64> = Stage::new("test");
         stage.get_or_try(b"k", || Ok(1)).expect("computes");
         stage.clear();
         assert_eq!(stage.stats(), StageStats::default());

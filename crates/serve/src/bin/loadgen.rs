@@ -1263,6 +1263,11 @@ fn chaos_phase(gates: &mut Vec<Gate>, chaos_seed: u64, requests: u64, clients: u
         },
     });
 
+    // The shard rung of the ladder: the same chaos contract must hold
+    // across the RPC boundary, so rerun the short-read drill against a
+    // two-shard front before the drain-ordering check below.
+    let shard_rpc = chaos_shard_rung(gates);
+
     // Drain ordering: pin both workers with keep-alive connections, ask
     // for shutdown, and observe /readyz flip to 503 while /healthz on
     // the other pinned connection still answers 200.
@@ -1308,6 +1313,136 @@ fn chaos_phase(gates: &mut Vec<Gate>, chaos_seed: u64, requests: u64, clients: u
         .field("cache_evictions", evictions)
         .field("cache_resident_bytes", resident)
         .field("cache_budget_bytes", CACHE_BUDGET)
+        .field("shard_rpc", shard_rpc)
+        .build()
+}
+
+/// The `--chaos` ladder's shard rung: a two-shard front under forced
+/// short reads on both sides of the RPC frame. The pooled-connection
+/// retry means two forced reads exhaust both attempts, so the front
+/// must answer `503` with `Retry-After` (never hang, never 500), the
+/// front workers must stay alive, and — faults cleared — the same
+/// requests must reproduce their pre-chaos bytes through the shards.
+#[cfg(feature = "faults")]
+fn chaos_shard_rung(gates: &mut Vec<Gate>) -> Value {
+    use tlm_faults::Kind;
+
+    const SHARDS: usize = 2;
+    const PROBES: u64 = 4;
+    let fail = |gates: &mut Vec<Gate>, detail: String| {
+        gates.push(Gate { name: "chaos_shard_rpc_503_retry_after", pass: false, detail });
+        ObjectBuilder::new().field("phase", "chaos_shards").field("boot_failed", true).build()
+    };
+    let router = match ShardRouter::spawn(&ShardConfig { shards: SHARDS, ..ShardConfig::default() })
+    {
+        Ok(router) => Arc::new(router),
+        Err(e) => return fail(gates, format!("spawning {SHARDS} shard processes failed: {e}")),
+    };
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        io_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let workers = config.workers as u64;
+    let queue = config.queue;
+    let handle = match Server::start(config, Service::new(queue).with_router(Arc::clone(&router))) {
+        Ok(handle) => handle,
+        Err(e) => {
+            router.shutdown();
+            return fail(gates, format!("shard front failed to start: {e}"));
+        }
+    };
+    let addr = handle.addr();
+
+    // Reference bytes through the healthy RPC path (this also pools one
+    // connection per shard the mix routes to).
+    let bodies: Vec<String> = (0..PROBES).map(|i| request_body(0xcafe_f00d, i)).collect();
+    let mut reference = Vec::new();
+    let mut reference_failures = Vec::new();
+    for (i, body) in bodies.iter().enumerate() {
+        match post_estimate(addr, body) {
+            Ok((200, _, bytes)) => reference.push(fnv1a(&bytes)),
+            other => reference_failures.push(format!("reference {i}: {other:?}")),
+        }
+    }
+
+    // One probe per RPC site: prime (to pool a connection, arming the
+    // one-retry path), force two short reads (both attempts), and the
+    // next request must settle as a retryable 503.
+    let mut probe_results = Vec::new();
+    for site in ["serve.rpc.send", "serve.rpc.recv"] {
+        let primed = post_estimate(addr, &bodies[0]).map(|(s, _, _)| s);
+        tlm_faults::force(site, Kind::ShortRead, 2);
+        let probe = post_estimate(addr, &bodies[0]);
+        tlm_faults::clear();
+        let ok = primed == Ok(200) && matches!(probe, Ok((503, Some(_), _)));
+        probe_results.push((
+            site,
+            ok,
+            format!("primed {primed:?}, probe {:?}", probe.map(|(s, r, _)| (s, r))),
+        ));
+    }
+    let rpc_503 = probe_results.iter().all(|&(_, ok, _)| ok);
+    gates.push(Gate {
+        name: "chaos_shard_rpc_503_retry_after",
+        pass: rpc_503 && reference_failures.is_empty(),
+        detail: if rpc_503 && reference_failures.is_empty() {
+            "short reads on serve.rpc.send and serve.rpc.recv settle as 503 + Retry-After"
+                .to_string()
+        } else {
+            probe_results
+                .iter()
+                .map(|(site, _, detail)| format!("{site}: {detail}"))
+                .chain(reference_failures.iter().cloned())
+                .collect::<Vec<_>>()
+                .join("; ")
+        },
+    });
+
+    // Front recovery: alive workers, health, a working follow-up, and
+    // the error counter proving the probes crossed the real RPC path.
+    let page = get(addr, "/metrics")
+        .map(|(_, _, b)| String::from_utf8_lossy(&b).into_owned())
+        .unwrap_or_default();
+    let alive = metric(&page, "tlm_serve_workers_alive");
+    let rpc_errors = metric(&page, "tlm_serve_shard_rpc_errors_total");
+    let healthy = get(addr, "/healthz").map(|(s, _, _)| s) == Ok(200);
+    gates.push(Gate {
+        name: "chaos_shard_workers_recover",
+        pass: alive == workers && healthy && rpc_errors >= 2,
+        detail: format!(
+            "{alive}/{workers} front workers alive, healthz {healthy}, \
+             {rpc_errors} rpc errors counted"
+        ),
+    });
+
+    // Faults cleared, the identical requests must reproduce the
+    // reference bytes bit-for-bit through the shard processes.
+    let mut diverged = Vec::new();
+    for (i, body) in bodies.iter().enumerate() {
+        match post_estimate(addr, body) {
+            Ok((200, _, bytes)) if reference.get(i) == Some(&fnv1a(&bytes)) => {}
+            other => diverged.push(format!("request {i}: {:?}", other.map(|(s, r, _)| (s, r)))),
+        }
+    }
+    gates.push(Gate {
+        name: "chaos_shard_post_identical",
+        pass: diverged.is_empty() && reference.len() == bodies.len(),
+        detail: if diverged.is_empty() && reference.len() == bodies.len() {
+            format!("all {PROBES} post-chaos responses match the pre-chaos bytes")
+        } else {
+            diverged.join("; ")
+        },
+    });
+
+    handle.shutdown();
+    router.shutdown();
+    ObjectBuilder::new()
+        .field("phase", "chaos_shards")
+        .field("shards", SHARDS as u64)
+        .field("probes", PROBES)
+        .field("rpc_errors", rpc_errors)
         .build()
 }
 

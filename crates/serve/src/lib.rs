@@ -33,12 +33,17 @@
 //! - [`metrics`] — Prometheus text exposition of request counters, a
 //!   latency histogram, queue depth, connection-state gauges, per-shard
 //!   traffic and per-stage pipeline counters;
+//! - [`trace`] — an always-on, fixed-capacity trace ring recording
+//!   request lifecycle states, pipeline-stage cache transitions and
+//!   shard RPC frames, exportable per request as Chrome trace JSON
+//!   (`GET /trace/{id}`, `POST /estimate?trace=1`);
 //! - [`signal`] — SIGINT/SIGTERM latching for graceful drain-then-exit,
 //!   with a self-pipe so waiters park instead of polling.
 //!
-//! Two binaries ship with the crate: `tlm-serve` (the daemon) and
+//! Three binaries ship with the crate: `tlm-serve` (the daemon),
 //! `loadgen` (a fixed-seed load generator that doubles as the
-//! `BENCH_serve.json` benchmark and the backpressure/caching gate).
+//! `BENCH_serve.json` benchmark and the backpressure/caching gate) and
+//! `chaosfuzz` (the coverage-guided chaos fuzzer with seed shrinking).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,5 +56,6 @@ pub mod rpc;
 pub mod server;
 pub mod shard;
 pub mod signal;
+pub mod trace;
 
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -362,6 +362,20 @@ impl Metrics {
             "Faults injected by the chaos plan (0 unless built with --features faults).",
             tlm_faults::injected_total(),
         );
+        // The always-on trace ring (see `crate::trace`): total events
+        // recorded and how many a full ring overwrote. A steadily rising
+        // drop counter is expected under load — the ring keeps the most
+        // recent window, not history.
+        counter(
+            "tlm_serve_trace_events_total",
+            "Events recorded into the trace ring since process start.",
+            crate::trace::recorded(),
+        );
+        counter(
+            "tlm_serve_trace_dropped_total",
+            "Trace-ring events overwritten because the ring was full.",
+            crate::trace::dropped(),
+        );
         counter("tlm_serve_sessions_created_total", "Sessions ever created.", sessions.created);
         counter(
             "tlm_serve_sessions_evicted_total",
@@ -764,6 +778,22 @@ mod tests {
         // samples is asserted here.
         let text = Metrics::new().render(&PipelineStats::default(), &SessionStats::default(), 1);
         for name in ["tlm_serve_kernel_scratch_reuse", "tlm_serve_kernel_scratch_alloc"] {
+            assert!(text.contains(&format!("# TYPE {name} counter")), "missing TYPE for {name}");
+            let sample = text
+                .lines()
+                .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+                .unwrap_or_else(|| panic!("missing sample for {name}"));
+            let value = sample.rsplit(' ').next().unwrap();
+            assert!(value.parse::<u64>().is_ok(), "non-numeric sample: {sample}");
+        }
+    }
+
+    #[test]
+    fn trace_ring_counters_exported() {
+        // Process-wide like the scratch counters (any test may have
+        // recorded events), so assert presence and shape only.
+        let text = Metrics::new().render(&PipelineStats::default(), &SessionStats::default(), 1);
+        for name in ["tlm_serve_trace_events_total", "tlm_serve_trace_dropped_total"] {
             assert!(text.contains(&format!("# TYPE {name} counter")), "missing TYPE for {name}");
             let sample = text
                 .lines()

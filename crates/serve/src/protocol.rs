@@ -491,6 +491,7 @@ impl Service {
         } else {
             Pipeline::with_budget(cache_budget)
         };
+        crate::trace::install_stage_observer();
         Service {
             pipeline: Arc::new(pipeline),
             catalog: Catalog::new(),
@@ -766,13 +767,51 @@ impl Service {
         max_body: usize,
         draining: bool,
     ) -> Response {
+        let (path, query) = match req.target.split_once('?') {
+            Some((path, query)) => (path, Some(query)),
+            None => (req.target.as_str(), None),
+        };
+        // Attribute this request's ring events to one id. The event loop
+        // assigns ids at dispatch; direct callers (tests, shard workers)
+        // get one here.
+        let (trace_id, _trace_guard) = crate::trace::ensure_current();
+        crate::trace::record("request", "begin", format!("{} {}", req.method, path));
+        let want_trace = query.is_some_and(|q| q.split('&').any(|p| p == "trace=1"));
+        let resp = self.route(req, path, metrics, max_body, draining, want_trace);
+        crate::trace::record("request", "end", crate::trace::status_detail(resp.status));
+        if want_trace && path == "/estimate" && req.method == "POST" {
+            // The estimate ran normally (recording events); answer its
+            // trace instead of the report. Trace export is opt-in and
+            // out-of-band so that normal responses stay a pure function
+            // of the request bytes.
+            return match crate::trace::export_chrome(trace_id) {
+                Some(json) => Response::json(resp.status, json),
+                None => Response::error(404, "trace ring holds no events for this request"),
+            };
+        }
+        resp
+    }
+
+    /// Dispatches one request by `(method, path)`; `want_trace` keeps a
+    /// traced estimate local (the ring is per-process, so a forwarded
+    /// request would record on the shard instead).
+    fn route(
+        &self,
+        req: &Request,
+        path: &str,
+        metrics: &Metrics,
+        max_body: usize,
+        draining: bool,
+        want_trace: bool,
+    ) -> Response {
         if let Some(router) = &self.router {
-            let target = req.target.as_str();
-            if target == "/estimate" || target == "/session" || target.starts_with("/session/") {
+            if !want_trace
+                && (path == "/estimate" || path == "/session" || path.starts_with("/session/"))
+            {
                 return self.forward(router, req, metrics, max_body, draining);
             }
         }
-        match (req.method.as_str(), req.target.as_str()) {
+        match (req.method.as_str(), path) {
             ("POST", "/estimate") => self.estimate(&req.body, max_body),
             ("POST", "/session") => {
                 if draining {
@@ -794,6 +833,13 @@ impl Service {
                     Response::text(200, "ready\n")
                 }
             }
+            ("GET", p) if p.strip_prefix("/trace/").is_some_and(|id| id.parse::<u64>().is_ok()) => {
+                let id = p.strip_prefix("/trace/").expect("guard").parse::<u64>().expect("guard");
+                match crate::trace::export_chrome(id) {
+                    Some(json) => Response::json(200, json),
+                    None => Response::error(404, &format!("no trace for request {id} in the ring")),
+                }
+            }
             (_, "/estimate") => {
                 Response::error(405, "use POST /estimate").with_header("Allow", "POST")
             }
@@ -803,10 +849,13 @@ impl Service {
             (_, "/metrics" | "/healthz" | "/readyz") => {
                 Response::error(405, "use GET").with_header("Allow", "GET")
             }
-            (method, target) if target.starts_with("/session/") => {
-                self.session_route(method, target, &req.body, max_body)
+            (_, p) if p.strip_prefix("/trace/").is_some_and(|id| id.parse::<u64>().is_ok()) => {
+                Response::error(405, "use GET /trace/{id}").with_header("Allow", "GET")
             }
-            (_, target) => Response::error(404, &format!("no such endpoint `{target}`")),
+            (method, p) if p.starts_with("/session/") => {
+                self.session_route(method, p, &req.body, max_body)
+            }
+            (_, p) => Response::error(404, &format!("no such endpoint `{p}`")),
         }
     }
 }
@@ -1105,6 +1154,61 @@ mod tests {
         let resp =
             svc.handle(&request("GET", &format!("/session/{id}"), b""), &metrics, 1 << 20, true);
         assert_eq!(resp.status, 200, "views keep serving during drain");
+    }
+
+    #[test]
+    fn trace_export_is_opt_in_and_reexportable_by_id() {
+        let svc = service();
+        let metrics = Metrics::new();
+        let request = |method: &str, target: &str, body: &[u8]| Request {
+            method: method.into(),
+            target: target.into(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+            keep_alive: false,
+        };
+        let body = br#"{"platform": "image:sw", "sweep": ["0k/0k"]}"#;
+
+        // `?trace=1` answers the request's ring events as Chrome trace
+        // JSON carrying the assigned request id.
+        let resp =
+            svc.handle(&request("POST", "/estimate?trace=1", body), &metrics, 1 << 20, false);
+        assert_eq!(resp.status, 200, "body: {}", String::from_utf8_lossy(&resp.body));
+        let text = std::str::from_utf8(&resp.body).expect("utf8");
+        let v = tlm_json::parse(text).expect("trace json parses");
+        let id = v.get("request").and_then(Value::as_u64).expect("request id");
+        let events = v.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+        assert!(!events.is_empty());
+        for e in events {
+            assert!(e.get("name").and_then(Value::as_str).is_some(), "event name");
+            assert_eq!(e.get("ph").and_then(Value::as_str), Some("i"), "instant events");
+            assert!(e.get("ts").is_some(), "timestamp");
+        }
+        assert!(
+            events.iter().any(|e| e.get("cat").and_then(Value::as_str) == Some("stage")),
+            "pipeline stage transitions attributed to the request"
+        );
+
+        // The same trace re-exports by id while resident in the ring.
+        let resp =
+            svc.handle(&request("GET", &format!("/trace/{id}"), b""), &metrics, 1 << 20, false);
+        assert_eq!(resp.status, 200);
+        assert!(std::str::from_utf8(&resp.body).expect("utf8").contains("\"traceEvents\":["));
+
+        // An id the ring never saw answers 404; wrong method 405.
+        let far = u64::MAX;
+        let resp =
+            svc.handle(&request("GET", &format!("/trace/{far}"), b""), &metrics, 1 << 20, false);
+        assert_eq!(resp.status, 404);
+        let resp =
+            svc.handle(&request("POST", &format!("/trace/{id}"), b""), &metrics, 1 << 20, false);
+        assert_eq!(resp.status, 405);
+
+        // Without the query flag, responses carry no trace artifacts —
+        // the determinism contract is untouched.
+        let resp = svc.handle(&request("POST", "/estimate", body), &metrics, 1 << 20, false);
+        assert_eq!(resp.status, 200);
+        assert!(!std::str::from_utf8(&resp.body).expect("utf8").contains("traceEvents"));
     }
 
     #[test]

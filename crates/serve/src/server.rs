@@ -263,6 +263,8 @@ struct WorkItem {
     token: u64,
     request: Request,
     draining: bool,
+    /// Trace-ring request id, assigned at dispatch.
+    request_id: u64,
 }
 
 /// One response travelling back from a worker to the event loop.
@@ -270,6 +272,8 @@ struct Completion {
     token: u64,
     response: Response,
     panicked: bool,
+    /// Trace-ring request id, carried through from the [`WorkItem`].
+    request_id: u64,
 }
 
 /// In-flight response bytes and how the connection continues after them.
@@ -657,7 +661,9 @@ impl EventLoop {
         // dequeue can never be observed first (the depth gauge would
         // underflow).
         self.metrics.enqueue();
-        match self.dispatch_tx.try_send(WorkItem { token, request, draining }) {
+        let request_id = crate::trace::next_request_id();
+        crate::trace::record_for(request_id, "request", "enqueued", request.target.clone());
+        match self.dispatch_tx.try_send(WorkItem { token, request, draining, request_id }) {
             Ok(()) => {
                 let Some(conn) = self.conns.get_mut(&token) else { return };
                 conn.req_keep_alive = keep_alive;
@@ -826,6 +832,12 @@ impl EventLoop {
     /// A worker finished a request: compute keep-alive and start the
     /// response (or discard it if the connection died meanwhile).
     fn complete(&mut self, done: Completion) {
+        crate::trace::record_for(
+            done.request_id,
+            "request",
+            "complete",
+            crate::trace::status_detail(done.response.status),
+        );
         let Some(conn) = self.conns.get_mut(&done.token) else {
             // The peer hung up while the worker computed. The response
             // is still counted — the blocking path counted before its
@@ -951,6 +963,10 @@ fn worker_loop(
         metrics.dequeue();
         metrics.worker_busy();
         metrics.begin();
+        // Attribute everything the handler records (stage transitions,
+        // RPC frames) to the dispatched request's ring id.
+        let request_id = item.request_id;
+        let _trace_current = crate::trace::set_current(request_id);
         let start = Instant::now();
         let handled = catch_unwind(AssertUnwindSafe(|| {
             // Chaos-build injection point: the worker-isolation drill
@@ -972,8 +988,12 @@ fn worker_loop(
                 if let Some(fault) = tlm_faults::point("serve.response.write", &[Kind::Delay]) {
                     fault.fire();
                 }
-                let _ =
-                    completions.send(Completion { token: item.token, response, panicked: false });
+                let _ = completions.send(Completion {
+                    token: item.token,
+                    response,
+                    panicked: false,
+                    request_id,
+                });
                 wake(waker);
             }
             Err(_) => {
@@ -981,9 +1001,14 @@ fn worker_loop(
                 // worker exits, the supervisor respawns it. Other
                 // connections never notice.
                 metrics.worker_panic();
+                crate::trace::record_for(request_id, "worker", "panic", "handler panicked");
                 let response = Response::error(500, "internal error: request handling panicked");
-                let _ =
-                    completions.send(Completion { token: item.token, response, panicked: true });
+                let _ = completions.send(Completion {
+                    token: item.token,
+                    response,
+                    panicked: true,
+                    request_id,
+                });
                 wake(waker);
                 return WorkerExit::Panicked;
             }

@@ -230,8 +230,14 @@ impl ShardRouter {
                     }
                 },
             };
+            crate::trace::record(
+                "rpc",
+                "send",
+                format!("shard {shard} frame {} bytes", payload.len() + 5),
+            );
             match roundtrip(&mut stream, &payload) {
                 Ok((resp, rx_bytes)) => {
+                    crate::trace::record("rpc", "recv", format!("shard {shard} {rx_bytes} bytes"));
                     slot.pool.lock().expect("pool poisoned").push(stream);
                     metrics.shard_request(
                         shard,
@@ -242,6 +248,7 @@ impl ShardRouter {
                     return Ok(resp);
                 }
                 Err(e) => {
+                    crate::trace::record("rpc", "error", format!("shard {shard}: {e}"));
                     drop(stream);
                     if pooled && attempt == 0 {
                         // The pooled connection may have idled out while
