@@ -56,6 +56,35 @@ pub fn platform_routing_material(platform: &Value) -> Option<Vec<u8>> {
     Some(material)
 }
 
+/// The routing material of an edit session, from its front-assigned id.
+///
+/// Sessions are stateful — the shard that created one holds its source
+/// snapshots and retained rows — so every request naming a session must
+/// land on the same shard. The id is the only request-visible input all
+/// of them share (`POST /session/{id}/edit` bodies differ per edit), so
+/// the material is a distinct prefix plus the id's bytes. The prefix
+/// keeps session material from ever colliding with
+/// [`module_stage_key`] bytes: module keys start with an optimize flag
+/// of `0`/`1`, never `b's'`.
+///
+/// Fronts assign ids *sequentially*, and sequential ids fed straight
+/// into the ring hash land in long same-shard runs (FNV-1a turns a
+/// varying low byte under a constant suffix into an arithmetic
+/// progression of points). The id is therefore scrambled through the
+/// splitmix64 finalizer — a fixed bijection, so the material stays
+/// stable and injective while consecutive ids scatter across shards.
+#[must_use]
+pub fn session_routing_material(id: u64) -> Vec<u8> {
+    let mut z = id.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let mut material = Vec::with_capacity(16);
+    material.extend_from_slice(b"session:");
+    material.extend_from_slice(&z.to_le_bytes());
+    material
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +126,15 @@ mod tests {
         assert_eq!(ma, mb, "wiring differences must not split the route");
         assert_ne!(ma, mc, "source differences must split the route");
         assert!(platform_routing_material(&tlm_json::parse("{}").expect("json")).is_none());
+    }
+
+    #[test]
+    fn session_material_is_stable_distinct_and_collision_free() {
+        assert_eq!(session_routing_material(7), session_routing_material(7));
+        assert_ne!(session_routing_material(7), session_routing_material(8));
+        // Never aliases module-key material, whose first byte is the
+        // optimize flag.
+        assert_ne!(session_routing_material(1)[0], 0);
+        assert_ne!(session_routing_material(1)[0], 1);
     }
 }

@@ -56,7 +56,8 @@ fn usage() -> ! {
          \x20 --order-seeds N  permutation seeds per design (default 16)\n\
          \x20 --fault-seeds N  fault seeds in the campaign (default 6)\n\
          \x20 --requests N     requests per fault trial (default 6)\n\
-         \x20 --shards N       route the fault campaign through N shard processes"
+         \x20 --shards N       route the fault campaign through N shard processes\n\
+         \x20 --shard-transport tcp|unix  shard RPC transport for the campaign (default tcp)"
     );
     std::process::exit(2)
 }
@@ -71,6 +72,7 @@ struct Args {
     fault_seeds: u64,
     requests: u64,
     shards: usize,
+    transport: tlm_serve::shard::Transport,
 }
 
 fn parse_args(argv: &[String]) -> Args {
@@ -84,6 +86,7 @@ fn parse_args(argv: &[String]) -> Args {
         fault_seeds: 6,
         requests: 6,
         shards: 0,
+        transport: tlm_serve::shard::Transport::Tcp,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -112,6 +115,12 @@ fn parse_args(argv: &[String]) -> Args {
             }
             "--requests" => args.requests = parse_u64(&value("--requests"), "--requests").max(1),
             "--shards" => args.shards = parse_u64(&value("--shards"), "--shards") as usize,
+            "--shard-transport" => {
+                args.transport = value("--shard-transport").parse().unwrap_or_else(|e| {
+                    eprintln!("chaosfuzz: {e}");
+                    usage()
+                });
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("chaosfuzz: unknown flag {other}");
@@ -342,7 +351,7 @@ mod faultfuzz {
     use tlm_faults::Kind;
     use tlm_serve::protocol::Service;
     use tlm_serve::server::{Server, ServerConfig, ServerHandle};
-    use tlm_serve::shard::{ShardConfig, ShardRouter};
+    use tlm_serve::shard::{ShardConfig, ShardRouter, Transport};
 
     /// Every armed injection site in the stack, for `--replay-faults`
     /// parsing ([`tlm_faults::force`] wants `&'static str` sites).
@@ -640,9 +649,12 @@ mod faultfuzz {
 
     /// Boots the server under test (optionally fronting `shards` shard
     /// processes) and returns the handle plus the router to keep alive.
-    fn boot(shards: usize) -> Result<(ServerHandle, Option<Arc<ShardRouter>>), String> {
+    fn boot(
+        shards: usize,
+        transport: Transport,
+    ) -> Result<(ServerHandle, Option<Arc<ShardRouter>>), String> {
         let router = if shards > 0 {
-            let config = ShardConfig { shards, ..ShardConfig::default() };
+            let config = ShardConfig { shards, transport, ..ShardConfig::default() };
             Some(Arc::new(ShardRouter::spawn(&config).map_err(|e| format!("shard spawn: {e}"))?))
         } else {
             None
@@ -666,8 +678,8 @@ mod faultfuzz {
     /// The campaign: fault-free reference, then one trial per seed. The
     /// first hit is shrunk and reported; a healthy stack reports zero
     /// violations. Returns the violation count.
-    pub fn campaign(fault_seeds: u64, requests: u64, shards: usize) -> u64 {
-        let (handle, router) = match boot(shards) {
+    pub fn campaign(fault_seeds: u64, requests: u64, shards: usize, transport: Transport) -> u64 {
+        let (handle, router) = match boot(shards, transport) {
             Ok(pair) => pair,
             Err(e) => {
                 println!("VIOLATION fault-campaign: boot failed: {e}");
@@ -721,7 +733,8 @@ mod faultfuzz {
                         script.len()
                     );
                     println!(
-                        "REPLAY: chaosfuzz --shards {shards} --replay-faults {}",
+                        "REPLAY: chaosfuzz --shards {shards} --shard-transport {transport} \
+                         --replay-faults {}",
                         plan.describe()
                     );
                     println!("--- regression test (serve tests, --features faults) ---");
@@ -763,7 +776,12 @@ mod faultfuzz {
 
     /// `--replay-faults SPEC`: re-run one scripted trial. Exit 0 iff a
     /// violation reproduces, 2 otherwise.
-    pub fn replay(spec: &str, requests: u64, shards: usize) -> std::process::ExitCode {
+    pub fn replay(
+        spec: &str,
+        requests: u64,
+        shards: usize,
+        transport: Transport,
+    ) -> std::process::ExitCode {
         let mut script = Vec::new();
         for part in spec.split(',').filter(|p| !p.is_empty()) {
             let (site_name, rest) = match part.split_once('=') {
@@ -789,7 +807,7 @@ mod faultfuzz {
             };
             script.push((site, kind, count));
         }
-        let (handle, router) = match boot(shards) {
+        let (handle, router) = match boot(shards, transport) {
             Ok(pair) => pair,
             Err(e) => {
                 eprintln!("chaosfuzz: boot failed: {e}");
@@ -836,7 +854,7 @@ fn main() -> ExitCode {
     }
     if let Some(spec) = &args.replay_faults {
         #[cfg(feature = "faults")]
-        return faultfuzz::replay(spec, args.requests, args.shards);
+        return faultfuzz::replay(spec, args.requests, args.shards, args.transport);
         #[cfg(not(feature = "faults"))]
         {
             let _ = spec;
@@ -848,7 +866,8 @@ fn main() -> ExitCode {
     // Default mode: both seed spaces.
     let order_violations = order_invariance_fuzz(args.order_seeds);
     #[cfg(feature = "faults")]
-    let fault_violations = faultfuzz::campaign(args.fault_seeds, args.requests, args.shards);
+    let fault_violations =
+        faultfuzz::campaign(args.fault_seeds, args.requests, args.shards, args.transport);
     #[cfg(not(feature = "faults"))]
     let fault_violations = {
         println!(

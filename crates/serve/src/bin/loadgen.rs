@@ -72,6 +72,7 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -142,6 +143,15 @@ fn request_body(seed: u64, i: u64) -> String {
 /// part of [`tlm_core::Pum::schedule_domain`]); the per-request source
 /// defeats the front-end stages the same way.
 fn cold_platform_body(seed: u64, i: u64) -> String {
+    cold_body_with(seed, i, 0, 1)
+}
+
+/// The shared builder behind [`cold_platform_body`] and
+/// [`heavy_cold_body`]: `stmts` extra unrolled statements in the loop
+/// body scale the front-end (parse + lower) and kernel cost, and
+/// `points` sweeps that many distinct cache configurations. `(0, 1)`
+/// reproduces [`cold_platform_body`] byte for byte.
+fn cold_body_with(seed: u64, i: u64, stmts: u64, points: u64) -> String {
     let mut rng = Rng::new(seed ^ 0x0c1d_0c1d ^ (i + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut pum = tlm_core::library::generic_risc();
     pum.name = format!("cold-risc-{i}");
@@ -154,14 +164,36 @@ fn cold_platform_body(seed: u64, i: u64) -> String {
     let pum_json = pum.to_value().to_compact();
     let accum = rng.below(1 << 16);
     let trips = 4 + rng.below(12);
+    let mut unrolled = String::new();
+    for t in 0..stmts {
+        unrolled.push_str(&format!("s = s * 3 + k + {t}; "));
+    }
+    let sweep: Vec<String> = (0..points.max(1))
+        .map(|p| {
+            format!(
+                "{{\"icache\": {}, \"dcache\": {}}}",
+                1024 << ((p + 2) % 4),
+                1024 << ((p / 4 + 2) % 4)
+            )
+        })
+        .collect();
     format!(
         "{{\"platform\": {{\"name\": \"cold-{i}\", \
            \"pes\": [{{\"name\": \"pe0\", \"pum\": {pum_json}}}], \
            \"processes\": [{{\"name\": \"main\", \"pe\": \"pe0\", \"source\": \
            \"void main() {{ int s = {accum}; \
-            for (int k = 0; k < {trips}; k++) {{ s = s + k + {i}; }} out(s); }}\"}}]}}, \
-         \"sweep\": [{{\"icache\": 4096, \"dcache\": 4096}}]}}"
+            for (int k = 0; k < {trips}; k++) {{ s = s + k + {i}; {unrolled}}} out(s); }}\"}}]}}, \
+         \"sweep\": [{}]}}",
+        sweep.join(", ")
     )
+}
+
+/// A deliberately expensive cold request (~5 ms of shard CPU on the CI
+/// box): a 512-statement unique source swept over four cache
+/// configurations. These are the in-flight forwards the head-of-line
+/// probe must overtake.
+fn heavy_cold_body(seed: u64, i: u64) -> String {
+    cold_body_with(seed, i, 512, 4)
 }
 
 /// One HTTP reply: status, the `Retry-After` seconds if the server sent
@@ -696,6 +728,7 @@ fn saturation_phase(gates: &mut Vec<Gate>) -> Value {
         request_deadline: Duration::from_secs(120),
         max_requests_per_conn: 16,
         max_connections: 1024,
+        max_shard_inflight: 1024,
     };
     let queue_capacity = config.queue;
     let handle = Server::start(config, Service::new(queue_capacity)).expect("tiny server starts");
@@ -855,6 +888,7 @@ fn connections_phase(connections: u64, gates: &mut Vec<Gate>) -> Value {
         request_deadline: Duration::from_secs(120),
         max_requests_per_conn: 16,
         max_connections: connections as usize + 64,
+        max_shard_inflight: 1024,
     };
     let queue = config.queue;
     let handle = Server::start(config, Service::new(queue)).expect("connections server starts");
@@ -1017,11 +1051,13 @@ fn shard_phase(
 
     let phase = run_phase(addr, seed, requests, clients);
 
-    // A session lifecycle across the RPC boundary. Sessions pin to
-    // shard 0 — ids are allocated per shard process, so spreading them
-    // would alias.
+    // A session lifecycle across the RPC boundary on *every* shard: the
+    // front assigns session ids and routes them on the hash ring, so
+    // consecutive creates spread over the tier. Run the full lifecycle
+    // on the first session landing on each shard.
     let mut session_failures: Vec<String> = Vec::new();
-    let id = {
+    let mut covered = [false; SHARDS];
+    {
         let mut step = |label: &str, reply: Reply, want: u16| -> Option<Vec<u8>> {
             match reply {
                 Ok((status, _, bytes)) if status == want => Some(bytes),
@@ -1045,23 +1081,47 @@ fn shard_phase(
              \"sweep\": [{{\"icache\": 2048, \"dcache\": 2048}}]}}",
             session_source(HELPER_VARIANTS[0])
         );
-        let id = step("create", post_json(addr, "/session", &create_body), 200)
-            .and_then(|bytes| tlm_json::parse(&String::from_utf8_lossy(&bytes)).ok())
-            .and_then(|v| v.get("session").and_then(Value::as_u64));
-        if let Some(id) = id {
+        for _attempt in 0..16 {
+            let Some(id) = step("create", post_json(addr, "/session", &create_body), 200)
+                .and_then(|bytes| tlm_json::parse(&String::from_utf8_lossy(&bytes)).ok())
+                .and_then(|v| v.get("session").and_then(Value::as_u64))
+            else {
+                break;
+            };
+            let shard = router.route_session(id);
+            if covered[shard] {
+                step(
+                    &format!("close extra session {id}"),
+                    delete(addr, &format!("/session/{id}")),
+                    200,
+                );
+                continue;
+            }
+            covered[shard] = true;
             let edit_body = format!(
                 "{{\"process\": \"main\", \"patch\": {{\"find\": \"{}\", \"replace\": \"{}\"}}}}",
                 HELPER_VARIANTS[0], HELPER_VARIANTS[1]
             );
-            step("edit", post_json(addr, &format!("/session/{id}/edit"), &edit_body), 200);
-            step("view", get(addr, &format!("/session/{id}")), 200);
-            step("close", delete(addr, &format!("/session/{id}")), 200);
-            step("view after close", get(addr, &format!("/session/{id}")), 404);
+            let at = format!("session {id} on shard {shard}");
+            step(
+                &format!("edit {at}"),
+                post_json(addr, &format!("/session/{id}/edit"), &edit_body),
+                200,
+            );
+            step(&format!("view {at}"), get(addr, &format!("/session/{id}")), 200);
+            step(&format!("close {at}"), delete(addr, &format!("/session/{id}")), 200);
+            step(&format!("view after close {at}"), get(addr, &format!("/session/{id}")), 404);
+            if covered.iter().all(|c| *c) {
+                break;
+            }
         }
-        id
-    };
-    if id.is_none() && session_failures.is_empty() {
-        session_failures.push("create: no session id in response".to_string());
+    }
+    for (shard, covered) in covered.iter().enumerate() {
+        if !covered {
+            session_failures.push(format!(
+                "no front-assigned session id routed to shard {shard} in 16 creates"
+            ));
+        }
     }
 
     let page = get(addr, "/metrics")
@@ -1106,7 +1166,7 @@ fn shard_phase(
         name: "shard_sessions_forwarded",
         pass: session_failures.is_empty(),
         detail: if session_failures.is_empty() {
-            "create/edit/view/close lifecycle forwarded to shard 0".to_string()
+            format!("create/edit/view/close lifecycle completed on every one of {SHARDS} shards")
         } else {
             session_failures.join("; ")
         },
@@ -1126,6 +1186,380 @@ fn shard_phase(
         .field("forwarded", forwarded)
         .field("shard_requests", shard_requests.build())
         .field("rpc_errors", rpc_errors)
+        .build()
+}
+
+/// The multiplexed-RPC throughput phase: the same keep-alive fleet is
+/// fired at two sharded fronts that differ only in RPC discipline — the
+/// pooled baseline ([`Service::with_router_pooled`]: every forward
+/// borrows a pooled connection and parks a worker thread on the round
+/// trip) versus the multiplexed event loop ([`Service::with_router`]:
+/// one persistent connection per shard carrying many id-tagged frames,
+/// zero parked workers). Both fronts share the same two shard
+/// processes and identical configurations, so the measured gap is the
+/// transport discipline alone. The speedup probe runs warm forwarded
+/// requests while expensive cache-defeating forwards
+/// ([`cold_platform_body`], disjoint seeds per tier) are in flight —
+/// with the pooled discipline the probe queues behind parked workers
+/// for multiple full shard round trips, while the multiplexed loop
+/// forwards it the moment it is parsed and its completion frame
+/// overtakes the slow ones. Gates: probe forwarded-request throughput
+/// ≥ 2× the pooled path, every fleet reply bit-identical to the
+/// in-process bytes for the same body, the in-flight peak proving
+/// frames really ride a connection concurrently, and bounded tail
+/// latency.
+fn shards_mux_phase(connections: u64, gates: &mut Vec<Gate>) -> Value {
+    const SHARDS: usize = 2;
+    const REQUESTS_PER_CONN: u64 = 4;
+    const P99_BOUND: Duration = Duration::from_secs(10);
+    /// Disjoint body seeds: the tiers share shard processes, so reusing
+    /// bodies across tiers would hand the second tier a warm cache.
+    const TIER_SEEDS: [u64; 2] = [0x0070_01ed, 0x0070_0a11];
+
+    let expected = connections * REQUESTS_PER_CONN;
+    struct Fleet {
+        wall: Duration,
+        latencies: Vec<Duration>,
+        /// `(request index, body hash)` per answered request.
+        hashes: Vec<(u64, u64)>,
+        failures: Vec<String>,
+    }
+    let fleet = |addr: SocketAddr, seed: u64| -> Fleet {
+        let started = Instant::now();
+        let barrier = Arc::new(Barrier::new(connections as usize));
+        let mut threads = Vec::new();
+        for c in 0..connections {
+            let barrier = Arc::clone(&barrier);
+            threads.push(std::thread::spawn(
+                move || -> Result<Vec<(u64, Duration, u64)>, String> {
+                    let mut stream =
+                        TcpStream::connect(addr).map_err(|e| format!("conn {c}: connect: {e}"))?;
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(120)))
+                        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(120))))
+                        .map_err(|e| format!("conn {c}: timeout setup: {e}"))?;
+                    barrier.wait();
+                    let mut out = Vec::with_capacity(REQUESTS_PER_CONN as usize);
+                    for k in 0..REQUESTS_PER_CONN {
+                        let g = c * REQUESTS_PER_CONN + k;
+                        let body = cold_platform_body(seed, g);
+                        let head = format!(
+                            "POST /estimate HTTP/1.1\r\nHost: loadgen\r\n\
+                             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                            body.len()
+                        );
+                        let t0 = Instant::now();
+                        let (status, reply) =
+                            keep_alive_request(&mut stream, &head, body.as_bytes())
+                                .map_err(|e| format!("conn {c} request {k}: {e}"))?;
+                        if status != 200 {
+                            return Err(format!(
+                                "conn {c} request {k}: status {status}: {}",
+                                String::from_utf8_lossy(&reply[..reply.len().min(120)])
+                            ));
+                        }
+                        out.push((g, t0.elapsed(), fnv1a(&reply)));
+                    }
+                    Ok(out)
+                },
+            ));
+        }
+        let mut run = Fleet {
+            wall: Duration::ZERO,
+            latencies: Vec::new(),
+            hashes: Vec::new(),
+            failures: Vec::new(),
+        };
+        for t in threads {
+            match t.join().expect("fleet thread") {
+                Ok(rows) => {
+                    for (g, latency, hash) in rows {
+                        run.latencies.push(latency);
+                        run.hashes.push((g, hash));
+                    }
+                }
+                Err(e) => run.failures.push(e),
+            }
+        }
+        run.wall = started.elapsed();
+        run
+    };
+    let fail = |gates: &mut Vec<Gate>, detail: String| {
+        gates.push(Gate { name: "shards_mux_speedup", pass: false, detail });
+        ObjectBuilder::new().field("phase", "shards_mux").field("boot_failed", true).build()
+    };
+
+    // The in-process reference bytes the fleet replies must reproduce,
+    // per tier and request index. Computed against a plain in-process
+    // server with a few client threads — the bodies are unique, so this
+    // is the true cold path there too.
+    let reference: Vec<Vec<u64>> = {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            queue: expected as usize,
+            io_timeout: Duration::from_secs(120),
+            request_deadline: Duration::from_secs(120),
+            ..ServerConfig::default()
+        };
+        let queue = config.queue;
+        let handle = Server::start(config, Service::new(queue)).expect("reference server starts");
+        let addr = handle.addr();
+        let mut refs = vec![vec![0u64; expected as usize]; TIER_SEEDS.len()];
+        let mut failures = Vec::new();
+        let clients = 8;
+        let mut threads = Vec::new();
+        for c in 0..clients {
+            threads.push(std::thread::spawn(move || {
+                let mut rows = Vec::new();
+                for (tier, seed) in TIER_SEEDS.iter().enumerate() {
+                    let mut g = c;
+                    while g < expected {
+                        rows.push((tier, g, post_estimate(addr, &cold_platform_body(*seed, g))));
+                        g += clients;
+                    }
+                }
+                rows
+            }));
+        }
+        for t in threads {
+            for (tier, g, reply) in t.join().expect("reference thread") {
+                match reply {
+                    Ok((200, _, bytes)) => refs[tier][g as usize] = fnv1a(&bytes),
+                    other => failures.push(format!("tier {tier} request {g}: {other:?}")),
+                }
+            }
+        }
+        handle.shutdown();
+        if !failures.is_empty() {
+            return fail(
+                gates,
+                format!(
+                    "in-process reference requests failed: {}",
+                    failures[..2.min(failures.len())].join("; ")
+                ),
+            );
+        }
+        refs
+    };
+
+    let router = match ShardRouter::spawn(&ShardConfig { shards: SHARDS, ..ShardConfig::default() })
+    {
+        Ok(router) => Arc::new(router),
+        Err(e) => return fail(gates, format!("spawning {SHARDS} shard processes failed: {e}")),
+    };
+    let front_config = || ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue: connections as usize,
+        io_timeout: Duration::from_secs(120),
+        request_deadline: Duration::from_secs(120),
+        max_requests_per_conn: 16,
+        max_connections: connections as usize + 64,
+        ..ServerConfig::default()
+    };
+    // The speedup measurement: forwarded-request throughput of a warm
+    // probe client while expensive cold forwards are in flight. The
+    // pooled discipline parks a front worker thread for every round
+    // trip, so with more blockers than workers the probe waits in the
+    // dispatch queue for *multiple full shard round trips* before its
+    // own forward even starts; the multiplexed loop forwards the probe
+    // the moment it is parsed and its completion frame overtakes the
+    // slow ones. (A pure closed-loop mix cannot see this on a small
+    // box: both disciplines are work-conserving, so a saturated CPU
+    // pins their throughput to total CPU per request. Head-of-line
+    // wait is the quantity the discipline actually changes.)
+    const PROBES: u64 = 64;
+    const BLOCKERS: u64 = 4;
+    struct Hol {
+        probe_mean: Duration,
+        probe_wall: Duration,
+        blockers: u64,
+        failures: Vec<String>,
+    }
+    let head_of_line = |addr: SocketAddr, seed: u64| -> Hol {
+        let probe_body = format!("{{\"platform\": \"{}\", \"sweep\": [\"0k/0k\"]}}", DESIGNS[0]);
+        let mut hol = Hol {
+            probe_mean: Duration::ZERO,
+            probe_wall: Duration::ZERO,
+            blockers: 0,
+            failures: Vec::new(),
+        };
+        // Warm the probe's artifacts shard-side so every measured probe
+        // is a pure forward of cached work.
+        match post_estimate(addr, &probe_body) {
+            Ok((200, _, _)) => {}
+            other => {
+                hol.failures.push(format!("probe warmup: {other:?}"));
+                return hol;
+            }
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut blocker_threads = Vec::new();
+        for b in 0..BLOCKERS {
+            let stop = Arc::clone(&stop);
+            blocker_threads.push(std::thread::spawn(move || -> (u64, Vec<String>) {
+                let (mut n, mut failures) = (0u64, Vec::new());
+                while !stop.load(Ordering::Relaxed) {
+                    let body = heavy_cold_body(seed ^ 0x001d_5a17, b + n * BLOCKERS);
+                    match post_estimate(addr, &body) {
+                        Ok((200, _, _)) => {}
+                        Ok((status, _, _)) => {
+                            failures.push(format!("blocker {b} request {n}: status {status}"));
+                        }
+                        Err(e) => failures.push(format!("blocker {b} request {n}: {e}")),
+                    }
+                    n += 1;
+                }
+                (n, failures)
+            }));
+        }
+        let started = Instant::now();
+        let mut latency_total = Duration::ZERO;
+        for p in 0..PROBES {
+            let t0 = Instant::now();
+            match post_estimate(addr, &probe_body) {
+                Ok((200, _, _)) => latency_total += t0.elapsed(),
+                Ok((status, _, body)) => hol.failures.push(format!(
+                    "probe {p}: status {status}: {}",
+                    String::from_utf8_lossy(&body[..body.len().min(120)])
+                )),
+                Err(e) => hol.failures.push(format!("probe {p}: {e}")),
+            }
+        }
+        hol.probe_wall = started.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        for t in blocker_threads {
+            let (n, failures) = t.join().expect("blocker thread");
+            hol.blockers += n;
+            hol.failures.extend(failures);
+        }
+        hol.probe_mean = latency_total / u32::try_from(PROBES.max(1)).unwrap_or(1);
+        hol
+    };
+    let run_front = |service: Service, seed: u64| -> (Hol, Fleet, u64) {
+        let handle = Server::start(front_config(), service).expect("shard front starts");
+        let addr = handle.addr();
+        let mix = head_of_line(addr, seed);
+        let run = fleet(addr, seed);
+        let page = get(addr, "/metrics")
+            .map(|(_, _, b)| String::from_utf8_lossy(&b).into_owned())
+            .unwrap_or_default();
+        let inflight_peak = (0..SHARDS)
+            .map(|s| metric(&page, &format!("tlm_serve_shard_inflight_peak{{shard=\"{s}\"}}")))
+            .max()
+            .unwrap_or(0);
+        handle.shutdown();
+        (mix, run, inflight_peak)
+    };
+
+    let queue = connections as usize;
+    let (mux_mix, mux, inflight_peak) =
+        run_front(Service::new(queue).with_router(Arc::clone(&router)), TIER_SEEDS[1]);
+    let (pooled_mix, pooled, _) =
+        run_front(Service::new(queue).with_router_pooled(Arc::clone(&router)), TIER_SEEDS[0]);
+    router.shutdown();
+
+    let probe_rps = |hol: &Hol| PROBES as f64 / hol.probe_wall.as_secs_f64().max(1e-9);
+    let (pooled_probe_rps, mux_probe_rps) = (probe_rps(&pooled_mix), probe_rps(&mux_mix));
+    let speedup = mux_probe_rps / pooled_probe_rps.max(1e-9);
+    let rps = |run: &Fleet| run.hashes.len() as f64 / run.wall.as_secs_f64().max(1e-9);
+    let (pooled_rps, mux_rps) = (rps(&pooled), rps(&mux));
+    let mut mux_latencies = mux.latencies.clone();
+    mux_latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        let last = mux_latencies.len().saturating_sub(1);
+        mux_latencies
+            .get(((last as f64) * p).round() as usize)
+            .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    };
+    let (p50, p99) = (percentile(0.50), percentile(0.99));
+
+    let failures: Vec<&String> = pooled
+        .failures
+        .iter()
+        .chain(&mux.failures)
+        .chain(&pooled_mix.failures)
+        .chain(&mux_mix.failures)
+        .collect();
+    let reference = &reference;
+    let diverged = [(&pooled, 0usize), (&mux, 1usize)]
+        .iter()
+        .flat_map(|&(run, tier)| {
+            run.hashes.iter().filter(move |(g, h)| reference[tier][*g as usize] != *h)
+        })
+        .count();
+    let identical = failures.is_empty()
+        && diverged == 0
+        && pooled.hashes.len() as u64 == expected
+        && mux.hashes.len() as u64 == expected;
+    gates.push(Gate {
+        name: "shards_mux_bit_identical",
+        pass: identical,
+        detail: if identical {
+            format!(
+                "{expected} pooled + {expected} multiplexed fleet replies match the \
+                 in-process bytes; every probe and blocker request answered 200"
+            )
+        } else if failures.is_empty() && diverged > 0 {
+            format!("{diverged} fleet replies diverged from the in-process reference")
+        } else if failures.is_empty() {
+            "a fleet run dropped replies without reporting a failure".to_string()
+        } else {
+            let mut detail =
+                failures.iter().take(4).map(|s| s.as_str()).collect::<Vec<_>>().join("; ");
+            if failures.len() > 4 {
+                detail.push_str(&format!("; ... {} more", failures.len() - 4));
+            }
+            detail
+        },
+    });
+    gates.push(Gate {
+        name: "shards_mux_speedup",
+        pass: speedup >= 2.0,
+        detail: format!(
+            "multiplexed {mux_probe_rps:.0} req/s (mean {:.2?}) vs pooled \
+             {pooled_probe_rps:.0} req/s (mean {:.2?}) — {speedup:.2}x, gate 2.00x; \
+             {PROBES} warm forwards probed behind {BLOCKERS} cold in-flight forwards",
+            mux_mix.probe_mean, pooled_mix.probe_mean
+        ),
+    });
+    gates.push(Gate {
+        name: "shards_mux_pipelined",
+        pass: inflight_peak > 1,
+        detail: format!("per-connection in-flight peak {inflight_peak} (must exceed 1)"),
+    });
+    gates.push(Gate {
+        name: "shards_mux_p99_bounded",
+        pass: Duration::from_nanos(p99) < P99_BOUND,
+        detail: format!(
+            "multiplexed p50 {:.2?}, p99 {:.2?} (bound {P99_BOUND:.2?})",
+            Duration::from_nanos(p50),
+            Duration::from_nanos(p99)
+        ),
+    });
+
+    ObjectBuilder::new()
+        .field("phase", "shards_mux")
+        .field("shards", SHARDS as u64)
+        .field("probes", PROBES)
+        .field("blocker_clients", BLOCKERS)
+        .field("pooled_blocker_requests", pooled_mix.blockers)
+        .field("mux_blocker_requests", mux_mix.blockers)
+        .field("pooled_probe_mean_latency_ns", pooled_mix.probe_mean.as_nanos() as u64)
+        .field("pooled_probe_throughput_rps", pooled_probe_rps)
+        .field("mux_probe_mean_latency_ns", mux_mix.probe_mean.as_nanos() as u64)
+        .field("mux_probe_throughput_rps", mux_probe_rps)
+        .field("speedup", speedup)
+        .field("connections", connections)
+        .field("requests_per_conn", REQUESTS_PER_CONN)
+        .field("pooled_fleet_wall_ns", pooled.wall.as_nanos() as u64)
+        .field("pooled_fleet_throughput_rps", pooled_rps)
+        .field("mux_fleet_wall_ns", mux.wall.as_nanos() as u64)
+        .field("mux_fleet_throughput_rps", mux_rps)
+        .field("mux_fleet_p50_latency_ns", p50)
+        .field("mux_fleet_p99_latency_ns", p99)
+        .field("shard_inflight_peak", inflight_peak)
         .build()
 }
 
@@ -1151,6 +1585,7 @@ fn chaos_phase(gates: &mut Vec<Gate>, chaos_seed: u64, requests: u64, clients: u
         request_deadline: Duration::from_secs(30),
         max_requests_per_conn: 16,
         max_connections: 1024,
+        ..ServerConfig::default()
     };
     let workers = config.workers as u64;
     let handle = Server::start(config, Service::with_cache_budget(16, CACHE_BUDGET))
@@ -1355,8 +1790,9 @@ fn chaos_shard_rung(gates: &mut Vec<Gate>) -> Value {
     };
     let addr = handle.addr();
 
-    // Reference bytes through the healthy RPC path (this also pools one
-    // connection per shard the mix routes to).
+    // Reference bytes through the healthy multiplexed RPC path (this
+    // also opens the persistent connection to each shard the mix
+    // routes to).
     let bodies: Vec<String> = (0..PROBES).map(|i| request_body(0xcafe_f00d, i)).collect();
     let mut reference = Vec::new();
     let mut reference_failures = Vec::new();
@@ -1367,20 +1803,22 @@ fn chaos_shard_rung(gates: &mut Vec<Gate>) -> Value {
         }
     }
 
-    // One probe per RPC site: prime (to pool a connection, arming the
-    // one-retry path), force two short reads (both attempts), and the
-    // next request must settle as a retryable 503.
+    // One probe per RPC fault site. The multiplexed path has no retry:
+    // a single cut frame kills the shard connection, fails every
+    // in-flight id as a retryable 503, and the *next* forward
+    // reconnects lazily — so one forced short read must settle the
+    // probe as 503 + Retry-After, and the follow-up proves recovery.
     let mut probe_results = Vec::new();
     for site in ["serve.rpc.send", "serve.rpc.recv"] {
-        let primed = post_estimate(addr, &bodies[0]).map(|(s, _, _)| s);
-        tlm_faults::force(site, Kind::ShortRead, 2);
+        tlm_faults::force(site, Kind::ShortRead, 1);
         let probe = post_estimate(addr, &bodies[0]);
         tlm_faults::clear();
-        let ok = primed == Ok(200) && matches!(probe, Ok((503, Some(_), _)));
+        let recovered = post_estimate(addr, &bodies[0]).map(|(s, _, _)| s);
+        let ok = matches!(probe, Ok((503, Some(_), _))) && recovered == Ok(200);
         probe_results.push((
             site,
             ok,
-            format!("primed {primed:?}, probe {:?}", probe.map(|(s, r, _)| (s, r))),
+            format!("probe {:?}, recovered {recovered:?}", probe.map(|(s, r, _)| (s, r))),
         ));
     }
     let rpc_503 = probe_results.iter().all(|&(_, ok, _)| ok);
@@ -1388,7 +1826,8 @@ fn chaos_shard_rung(gates: &mut Vec<Gate>) -> Value {
         name: "chaos_shard_rpc_503_retry_after",
         pass: rpc_503 && reference_failures.is_empty(),
         detail: if rpc_503 && reference_failures.is_empty() {
-            "short reads on serve.rpc.send and serve.rpc.recv settle as 503 + Retry-After"
+            "a cut frame on serve.rpc.send/recv fails the in-flight request as 503 + \
+             Retry-After and the next forward reconnects"
                 .to_string()
         } else {
             probe_results
@@ -1629,6 +2068,7 @@ fn main() -> ExitCode {
     let saturation = saturation_phase(&mut gates);
     let connections = connections_phase(args.connections, &mut gates);
     let shards = shard_phase(args.seed, args.requests, args.clients, &cold.hashes, &mut gates);
+    let shards_mux = shards_mux_phase(args.connections, &mut gates);
     if let Some(handle) = local {
         handle.shutdown();
     }
@@ -1680,7 +2120,8 @@ fn main() -> ExitCode {
             )
             .field("saturation", saturation)
             .field("connections", connections)
-            .field("shards", shards);
+            .field("shards", shards)
+            .field("shards_mux", shards_mux);
         if let Some(cold_platforms) = cold_platforms {
             record = record.field("cold_platforms", cold_platforms);
         }

@@ -22,14 +22,19 @@
 //! - [`server`] — a readiness-driven event loop owning every socket,
 //!   with a bounded worker pool for CPU-bound estimation behind it; when
 //!   the dispatch queue is full the loop answers `503` with
-//!   `Retry-After` inline instead of buffering without bound;
+//!   `Retry-After` inline instead of buffering without bound. When a
+//!   shard tier is configured the loop also owns one persistent
+//!   multiplexed connection per shard, so many forwarded requests ride
+//!   each connection concurrently and out-of-order completions resolve
+//!   by frame id without parking any worker thread;
 //! - [`protocol`] — the JSON request/response schema and its evaluation
 //!   against the estimation engine; responses are a pure function of the
 //!   request, so concurrent clients observe bit-identical bytes;
 //! - [`rpc`] / [`shard`] — the optional content-hash-sharded tier: the
-//!   front forwards estimation and session traffic over a tiny binary
-//!   protocol to shard processes routed by canonical stage keys
-//!   (`--shards 0`, the default, keeps everything in-process);
+//!   front forwards estimation and session traffic as id-tagged binary
+//!   frames to shard processes routed by canonical stage keys, over
+//!   loopback TCP or Unix-domain sockets (`--shard-transport unix`);
+//!   `--shards 0`, the default, keeps everything in-process;
 //! - [`metrics`] — Prometheus text exposition of request counters, a
 //!   latency histogram, queue depth, connection-state gauges, per-shard
 //!   traffic and per-stage pipeline counters;

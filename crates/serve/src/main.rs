@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! tlm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--shards N]
-//!           [--cache-budget BYTES] [--session-budget BYTES] [--session-ttl SECONDS]
+//!           [--shard-transport tcp|unix] [--max-shard-inflight N]
+//!           [--cache-budget BYTES] [--session-budget BYTES]
+//!           [--session-ttl SECONDS]
 //! ```
 //!
 //! Boots the HTTP server, prints the bound address (flushed immediately,
@@ -17,6 +19,11 @@
 //! see [`tlm_serve::shard`]. `--shards 0` (the default) keeps every
 //! request in-process; responses are bit-identical either way. The
 //! resource limits below apply per shard when sharding is on.
+//! `--shard-transport unix` carries shard RPC over Unix-domain sockets
+//! instead of loopback TCP (clients still connect over TCP).
+//! `--max-shard-inflight` caps the id-tagged frames concurrently in
+//! flight on each multiplexed shard connection; overflow is declined
+//! inline with `503` + `Retry-After`.
 //!
 //! `--cache-budget` bounds the resident bytes of the pipeline's
 //! memoization stores; the default is unbounded. Under a budget, cold
@@ -35,13 +42,15 @@ use std::time::Duration;
 
 use tlm_serve::protocol::Service;
 use tlm_serve::server::{Server, ServerConfig};
-use tlm_serve::shard::{shard_worker_entry, ShardConfig, ShardRouter};
+use tlm_serve::shard::{shard_worker_entry, ShardConfig, ShardRouter, Transport};
 use tlm_serve::signal;
 
 fn usage() -> ! {
     eprintln!(
         "usage: tlm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--shards N]\n\
-         \x20                [--cache-budget BYTES] [--session-budget BYTES] [--session-ttl SECONDS]\n\
+         \x20                [--shard-transport tcp|unix] [--max-shard-inflight N]\n\
+         \x20                [--cache-budget BYTES] [--session-budget BYTES]\n\
+         \x20                [--session-ttl SECONDS]\n\
          \n\
          endpoints:\n\
            POST   /estimate            run estimation jobs (JSON)\n\
@@ -58,6 +67,7 @@ fn usage() -> ! {
 
 struct Limits {
     shards: usize,
+    transport: Transport,
     cache_budget: u64,
     session_budget: u64,
     session_ttl: Duration,
@@ -67,6 +77,7 @@ fn parse_args() -> (ServerConfig, Limits) {
     let mut config = ServerConfig::default();
     let mut limits = Limits {
         shards: 0,
+        transport: Transport::Tcp,
         cache_budget: u64::MAX,
         session_budget: tlm_serve::protocol::DEFAULT_SESSION_BUDGET,
         session_ttl: tlm_serve::protocol::DEFAULT_SESSION_TTL,
@@ -84,6 +95,13 @@ fn parse_args() -> (ServerConfig, Limits) {
             "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
             "--queue" => config.queue = value("--queue").parse().unwrap_or_else(|_| usage()),
             "--shards" => limits.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--shard-transport" => {
+                limits.transport = value("--shard-transport").parse().unwrap_or_else(|_| usage());
+            }
+            "--max-shard-inflight" => {
+                config.max_shard_inflight =
+                    value("--max-shard-inflight").parse().unwrap_or_else(|_| usage());
+            }
             "--cache-budget" => {
                 limits.cache_budget = value("--cache-budget").parse().unwrap_or_else(|_| usage());
             }
@@ -120,6 +138,7 @@ fn main() -> ExitCode {
     let router = if limits.shards > 0 {
         let shard_config = ShardConfig {
             shards: limits.shards,
+            transport: limits.transport,
             cache_budget: limits.cache_budget,
             session_budget: limits.session_budget,
             session_ttl: limits.session_ttl,

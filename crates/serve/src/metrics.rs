@@ -110,6 +110,119 @@ pub struct Metrics {
     rpc_latency_sum_ns: AtomicU64,
     /// Number of RPC observations, for `_count`.
     rpc_latency_count: AtomicU64,
+    /// Queue-wait component of shard RPCs: dispatch until the request
+    /// frame is fully flushed to the shard socket (pool-checkout plus
+    /// send time on the pooled path).
+    rpc_queue_buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
+    rpc_queue_sum_ns: AtomicU64,
+    rpc_queue_count: AtomicU64,
+    /// On-wire component of shard RPCs: frame flushed until the
+    /// completion frame is decoded.
+    rpc_wire_buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
+    rpc_wire_sum_ns: AtomicU64,
+    rpc_wire_count: AtomicU64,
+    /// Requests currently in flight on each shard's multiplexed
+    /// connection.
+    shard_inflight: [AtomicU64; MAX_SHARDS],
+    /// High-water mark of `shard_inflight` — the proof the connection
+    /// actually pipelines (depth > 1).
+    shard_inflight_peak: [AtomicU64; MAX_SHARDS],
+    /// Forwards answered `503` inline because a shard's in-flight cap
+    /// was reached.
+    shard_inflight_rejected_total: AtomicU64,
+}
+
+/// One shard's own counters, as answered to a `STATS` RPC frame and
+/// aggregated into the front's `/metrics` page (see
+/// [`render_shard_stats`]). Shards run their own [`Metrics`] and
+/// pipeline; without this, their cache behavior is invisible to anyone
+/// scraping only the front.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStatsSnapshot {
+    /// Per-stage `(name, hits, misses)` of the shard's artifact
+    /// pipeline.
+    pub stages: Vec<(String, u64, u64)>,
+    /// Request-handler panics the shard caught and isolated.
+    pub worker_panics: u64,
+    /// Events the shard recorded into its trace ring.
+    pub trace_events: u64,
+    /// Trace-ring events the shard overwrote (ring full).
+    pub trace_dropped: u64,
+}
+
+/// Renders per-shard counters fetched over STATS RPC frames in the
+/// Prometheus text format, for appending to [`Metrics::render`] output.
+/// `slots` pairs each shard index with its snapshot; unreachable shards
+/// are simply absent (a scrape must not fail because one shard is
+/// restarting).
+#[must_use]
+pub fn render_shard_stats(slots: &[(usize, ShardStatsSnapshot)]) -> String {
+    use std::fmt::Write;
+
+    let mut out = String::new();
+    if slots.is_empty() {
+        return out;
+    }
+    let mut stage_family = |name: &str, help: &str, pick: fn(&(String, u64, u64)) -> u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (shard, snapshot) in slots {
+            for stage in &snapshot.stages {
+                let _ = writeln!(
+                    out,
+                    "{name}{{shard=\"{shard}\",stage=\"{}\"}} {}",
+                    stage.0,
+                    pick(stage)
+                );
+            }
+        }
+    };
+    stage_family(
+        "tlm_serve_shard_stage_hits_total",
+        "Shard-side artifact-pipeline lookups served from a stage store.",
+        |s| s.1,
+    );
+    stage_family(
+        "tlm_serve_shard_stage_misses_total",
+        "Shard-side artifact-pipeline lookups that computed the stage.",
+        |s| s.2,
+    );
+    let mut shard_family = |name: &str, help: &str, pick: fn(&ShardStatsSnapshot) -> u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (shard, snapshot) in slots {
+            let _ = writeln!(out, "{name}{{shard=\"{shard}\"}} {}", pick(snapshot));
+        }
+    };
+    shard_family(
+        "tlm_serve_shard_worker_panics_total",
+        "Request-handler panics caught and isolated on each shard.",
+        |s| s.worker_panics,
+    );
+    shard_family(
+        "tlm_serve_shard_trace_events_total",
+        "Events recorded into each shard's trace ring.",
+        |s| s.trace_events,
+    );
+    shard_family(
+        "tlm_serve_shard_trace_dropped_total",
+        "Trace-ring events each shard overwrote because its ring was full.",
+        |s| s.trace_dropped,
+    );
+    out
+}
+
+fn observe(
+    buckets: &[AtomicU64; LATENCY_BUCKETS.len() + 1],
+    sum_ns: &AtomicU64,
+    count: &AtomicU64,
+    elapsed: Duration,
+) {
+    let secs = elapsed.as_secs_f64();
+    let bucket = LATENCY_BUCKETS.iter().position(|&le| secs <= le).unwrap_or(LATENCY_BUCKETS.len());
+    buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    sum_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    count.fetch_add(1, Ordering::Relaxed);
 }
 
 impl Metrics {
@@ -295,6 +408,55 @@ impl Metrics {
     /// Counts one failed shard RPC exchange.
     pub fn shard_rpc_error(&self) {
         self.shard_rpc_errors_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total failed shard RPC exchanges.
+    pub fn shard_rpc_errors(&self) -> u64 {
+        self.shard_rpc_errors_total.load(Ordering::Relaxed)
+    }
+
+    /// Records the two components of one shard RPC: queue-wait (dispatch
+    /// until the request frame was flushed to the socket) and on-wire
+    /// (flushed until the completion frame arrived). The total is
+    /// recorded separately through [`Metrics::shard_request`].
+    pub fn shard_rpc_split(&self, queue: Duration, wire: Duration) {
+        observe(&self.rpc_queue_buckets, &self.rpc_queue_sum_ns, &self.rpc_queue_count, queue);
+        observe(&self.rpc_wire_buckets, &self.rpc_wire_sum_ns, &self.rpc_wire_count, wire);
+    }
+
+    /// Records a request entering a shard's multiplexed connection.
+    pub fn shard_inflight_enter(&self, shard: usize) {
+        if shard < MAX_SHARDS {
+            let depth = self.shard_inflight[shard].fetch_add(1, Ordering::Relaxed) + 1;
+            self.shard_inflight_peak[shard].fetch_max(depth, Ordering::Relaxed);
+        }
+    }
+
+    /// Completes [`Metrics::shard_inflight_enter`].
+    pub fn shard_inflight_leave(&self, shard: usize) {
+        if shard < MAX_SHARDS {
+            self.shard_inflight[shard].fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// High-water mark of one shard's in-flight depth.
+    pub fn shard_inflight_peak(&self, shard: usize) -> u64 {
+        if shard < MAX_SHARDS {
+            self.shard_inflight_peak[shard].load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    }
+
+    /// Counts one forward answered `503` inline because the shard's
+    /// in-flight cap was reached.
+    pub fn shard_inflight_rejected(&self) {
+        self.shard_inflight_rejected_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total in-flight-cap rejections.
+    pub fn shard_inflight_rejections(&self) -> u64 {
+        self.shard_inflight_rejected_total.load(Ordering::Relaxed)
     }
 
     /// Requests forwarded to one shard.
@@ -600,6 +762,34 @@ impl Metrics {
             "Response-frame bytes received from each estimation shard.",
             &self.shard_rx_bytes,
         );
+        let mut shard_gauge = |name: &str, help: &str, values: &[AtomicU64; MAX_SHARDS]| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for (shard, value) in values.iter().enumerate().take(shards) {
+                let n = value.load(Ordering::Relaxed);
+                let _ = writeln!(out, "{name}{{shard=\"{shard}\"}} {n}");
+            }
+        };
+        shard_gauge(
+            "tlm_serve_shard_inflight",
+            "Requests currently in flight on each shard's multiplexed connection.",
+            &self.shard_inflight,
+        );
+        shard_gauge(
+            "tlm_serve_shard_inflight_peak",
+            "High-water mark of each shard connection's in-flight depth.",
+            &self.shard_inflight_peak,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP tlm_serve_shard_inflight_rejected_total Forwards answered 503 because a shard's in-flight cap was reached."
+        );
+        let _ = writeln!(out, "# TYPE tlm_serve_shard_inflight_rejected_total counter");
+        let _ = writeln!(
+            out,
+            "tlm_serve_shard_inflight_rejected_total {}",
+            self.shard_inflight_rejected_total.load(Ordering::Relaxed)
+        );
         let _ = writeln!(
             out,
             "# HELP tlm_serve_shard_rpc_errors_total Shard RPC exchanges that failed (answered 503 locally)."
@@ -636,6 +826,42 @@ impl Metrics {
             out,
             "tlm_serve_shard_rpc_duration_seconds_count {}",
             self.rpc_latency_count.load(Ordering::Relaxed)
+        );
+
+        // The round trip split into its two halves: time a dispatched
+        // frame waited to reach the socket vs time spent between flush
+        // and completion. The pooled path hid checkout time inside the
+        // total; the split makes the mux win (queue ≈ 0) observable.
+        let mut histogram = |name: &str,
+                             help: &str,
+                             buckets: &[AtomicU64; LATENCY_BUCKETS.len() + 1],
+                             sum_ns: &AtomicU64,
+                             count: &AtomicU64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
+                cumulative += buckets[i].load(Ordering::Relaxed);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            cumulative += buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum {}", sum_ns.load(Ordering::Relaxed) as f64 / 1e9);
+            let _ = writeln!(out, "{name}_count {}", count.load(Ordering::Relaxed));
+        };
+        histogram(
+            "tlm_serve_shard_rpc_queue_seconds",
+            "Shard RPC queue-wait: dispatch until the request frame reached the socket.",
+            &self.rpc_queue_buckets,
+            &self.rpc_queue_sum_ns,
+            &self.rpc_queue_count,
+        );
+        histogram(
+            "tlm_serve_shard_rpc_wire_seconds",
+            "Shard RPC on-wire time: frame flushed until the completion frame arrived.",
+            &self.rpc_wire_buckets,
+            &self.rpc_wire_sum_ns,
+            &self.rpc_wire_count,
         );
 
         let _ =
@@ -695,6 +921,11 @@ mod tests {
         m.set_shards(2);
         m.shard_request(1, 10, 20, Duration::from_millis(3));
         m.shard_rpc_error();
+        m.shard_rpc_split(Duration::from_micros(500), Duration::from_millis(2));
+        m.shard_inflight_enter(1);
+        m.shard_inflight_enter(1);
+        m.shard_inflight_leave(1);
+        m.shard_inflight_rejected();
 
         let stats = PipelineStats {
             schedules: StageStats { hits: 7, misses: 3, entries: 10, bytes: 640, evictions: 4 },
@@ -769,6 +1000,37 @@ mod tests {
         assert!(text.contains("tlm_serve_shard_rpc_errors_total 1"));
         assert!(text.contains("tlm_serve_shard_rpc_duration_seconds_count 1"));
         assert!(text.contains("tlm_serve_shard_rpc_duration_seconds_bucket{le=\"0.005\"} 1"));
+        // The split histograms: 500 µs queue lands in ≤1 ms, 2 ms wire
+        // in ≤5 ms.
+        assert!(text.contains("tlm_serve_shard_rpc_queue_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("tlm_serve_shard_rpc_queue_seconds_count 1"));
+        assert!(text.contains("tlm_serve_shard_rpc_wire_seconds_bucket{le=\"0.001\"} 0"));
+        assert!(text.contains("tlm_serve_shard_rpc_wire_seconds_bucket{le=\"0.005\"} 1"));
+        assert!(text.contains("tlm_serve_shard_rpc_wire_seconds_count 1"));
+        // In-flight depth per shard connection, with its high-water mark.
+        assert!(text.contains("tlm_serve_shard_inflight{shard=\"1\"} 1"));
+        assert!(text.contains("tlm_serve_shard_inflight_peak{shard=\"1\"} 2"));
+        assert!(!text.contains("tlm_serve_shard_inflight{shard=\"2\"}"));
+        assert!(text.contains("tlm_serve_shard_inflight_rejected_total 1"));
+        assert_eq!(m.shard_inflight_peak(1), 2);
+    }
+
+    #[test]
+    fn shard_stats_snapshots_render_per_shard_families() {
+        let snapshot = ShardStatsSnapshot {
+            stages: vec![("ast".to_string(), 3, 1), ("module".to_string(), 2, 2)],
+            worker_panics: 1,
+            trace_events: 40,
+            trace_dropped: 4,
+        };
+        let text = render_shard_stats(&[(0, ShardStatsSnapshot::default()), (1, snapshot)]);
+        assert!(text.contains("tlm_serve_shard_stage_hits_total{shard=\"1\",stage=\"ast\"} 3"));
+        assert!(text.contains("tlm_serve_shard_stage_misses_total{shard=\"1\",stage=\"module\"} 2"));
+        assert!(text.contains("tlm_serve_shard_worker_panics_total{shard=\"0\"} 0"));
+        assert!(text.contains("tlm_serve_shard_worker_panics_total{shard=\"1\"} 1"));
+        assert!(text.contains("tlm_serve_shard_trace_events_total{shard=\"1\"} 40"));
+        assert!(text.contains("tlm_serve_shard_trace_dropped_total{shard=\"1\"} 4"));
+        assert!(render_shard_stats(&[]).is_empty(), "no shards, no families");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! `/metrics`.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -456,6 +457,27 @@ pub struct Service {
     /// the shard tier instead of running in-process (see
     /// [`crate::shard`]). Probes and `/metrics` always answer locally.
     router: Option<Arc<ShardRouter>>,
+    /// `true` when forwarded traffic rides the event loop's multiplexed
+    /// shard connections ([`Service::shard_plan`]); `false` keeps the
+    /// blocking per-worker checkout pool in [`ShardRouter::forward`].
+    mux: bool,
+    /// Front-assigned session ids. The front allocates the id *before*
+    /// forwarding a create so it can place the session on the ring by id
+    /// ([`ShardRouter::route_session`]); every later `/session/{id}`
+    /// request re-derives the same shard from the path. Starts at 1 so
+    /// sharded responses stay bit-identical to the in-process store's
+    /// own counter.
+    next_session: AtomicU64,
+}
+
+/// A forwarding decision for the event loop's multiplexed shard path:
+/// which shard owns the request and the RPC frame body to send it.
+#[derive(Debug)]
+pub struct ShardPlan {
+    /// Index of the owning shard.
+    pub shard: usize,
+    /// The request to encode into a [`crate::rpc::TAG_REQUEST`] frame.
+    pub request: RpcRequest,
 }
 
 impl Service {
@@ -498,16 +520,32 @@ impl Service {
             sessions: SessionStore::new(session_budget, session_ttl),
             queue_capacity,
             router: None,
+            mux: false,
+            next_session: AtomicU64::new(1),
         }
     }
 
     /// Routes estimation and session traffic through `router`'s shard
-    /// tier instead of the in-process pipeline. Probes and `/metrics`
-    /// still answer locally; everything else is bit-identical to the
-    /// in-process path (each shard runs this same handler).
+    /// tier instead of the in-process pipeline, multiplexing every
+    /// in-flight request over one persistent connection per shard inside
+    /// the event loop. Probes and `/metrics` still answer locally;
+    /// everything else is bit-identical to the in-process path (each
+    /// shard runs this same handler).
     #[must_use]
     pub fn with_router(mut self, router: Arc<ShardRouter>) -> Service {
         self.router = Some(router);
+        self.mux = true;
+        self
+    }
+
+    /// Like [`Service::with_router`] but forwards through the blocking
+    /// per-worker connection pool instead of the multiplexed event-loop
+    /// path — one shard round trip parks one worker thread. Kept as the
+    /// measurable baseline the mux path is benchmarked against.
+    #[must_use]
+    pub fn with_router_pooled(mut self, router: Arc<ShardRouter>) -> Service {
+        self.router = Some(router);
+        self.mux = false;
         self
     }
 
@@ -517,28 +555,135 @@ impl Service {
         self.router.as_ref().map_or(0, |r| r.shard_count())
     }
 
+    /// The shard router, when this front forwards to a shard tier.
+    #[must_use]
+    pub fn router(&self) -> Option<&Arc<ShardRouter>> {
+        self.router.as_ref()
+    }
+
+    /// Picks the owning shard for a forwarded request and, for session
+    /// creation, allocates the front-assigned id that both routes the
+    /// session and becomes its identity on the shard.
+    fn shard_for(
+        &self,
+        router: &ShardRouter,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        max_body: usize,
+        draining: bool,
+    ) -> (usize, Option<u64>) {
+        if path == "/estimate" {
+            return (router.route_estimate(body, max_body), None);
+        }
+        if path == "/session" {
+            // Only a create that can succeed burns an id: drain rejects
+            // before the store would allocate, and non-POST is a 405.
+            if method == "POST" && !draining {
+                let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+                return (router.route_session(id), Some(id));
+            }
+            return (0, None);
+        }
+        if let Some(rest) = path.strip_prefix("/session/") {
+            let id_text = rest.split('/').next().unwrap_or("");
+            if let Ok(id) = id_text.parse::<u64>() {
+                return (router.route_session(id), None);
+            }
+        }
+        (0, None)
+    }
+
+    /// Plans the multiplexed forwarding of one request, or `None` when
+    /// the request must run locally: no router, pooled mode, a traced
+    /// estimate (the ring is per-process), or a path the front answers
+    /// itself. The event loop calls this at dispatch; a `Some` plan
+    /// becomes an id-tagged frame on the owning shard's connection
+    /// instead of a work-queue item.
+    #[must_use]
+    pub fn shard_plan(&self, req: &Request, max_body: usize, draining: bool) -> Option<ShardPlan> {
+        if !self.mux {
+            return None;
+        }
+        let router = self.router.as_ref()?;
+        let (path, query) = match req.target.split_once('?') {
+            Some((path, query)) => (path, Some(query)),
+            None => (req.target.as_str(), None),
+        };
+        if query.is_some_and(|q| q.split('&').any(|p| p == "trace=1")) {
+            return None;
+        }
+        if !(path == "/estimate" || path == "/session" || path.starts_with("/session/")) {
+            return None;
+        }
+        let (shard, assign) =
+            self.shard_for(router, &req.method, path, &req.body, max_body, draining);
+        Some(ShardPlan {
+            shard,
+            request: RpcRequest {
+                method: req.method.clone(),
+                target: req.target.clone(),
+                body: req.body.clone(),
+                draining,
+                assign_session: assign,
+            },
+        })
+    }
+
+    /// The shard-side entry point for forwarded frames: reconstructs the
+    /// request and runs it through the normal handler, except that a
+    /// create carrying a front-assigned session id goes through
+    /// [`tlm_session::SessionStore::create_with_id`] so the shard's
+    /// session takes exactly the identity the front routed by.
+    pub fn handle_forwarded(
+        &self,
+        req: &RpcRequest,
+        metrics: &Metrics,
+        max_body: usize,
+    ) -> Response {
+        if let Some(id) = req.assign_session {
+            if req.method == "POST" && req.target == "/session" {
+                let (_trace_id, _guard) = crate::trace::ensure_current();
+                crate::trace::record("request", "begin", format!("POST /session (assigned {id})"));
+                let resp = if req.draining {
+                    Response::error(503, "draining: not accepting new sessions")
+                        .with_header("Retry-After", "1")
+                } else {
+                    self.session_create_inner(&req.body, max_body, Some(id))
+                };
+                crate::trace::record("request", "end", crate::trace::status_detail(resp.status));
+                return resp;
+            }
+        }
+        let http_req = Request {
+            method: req.method.clone(),
+            target: req.target.clone(),
+            headers: Vec::new(),
+            body: req.body.clone(),
+            keep_alive: false,
+        };
+        self.handle(&http_req, metrics, max_body, req.draining)
+    }
+
     /// Forwards one request to its owning shard; an unreachable shard
     /// answers the same retryable `503` contract as a full queue.
     fn forward(
         &self,
         router: &ShardRouter,
         req: &Request,
+        path: &str,
         metrics: &Metrics,
         max_body: usize,
         draining: bool,
     ) -> Response {
-        let shard = if req.target == "/estimate" {
-            router.route_estimate(&req.body, max_body)
-        } else {
-            // Sessions pin to shard 0: ids are allocated per process and
-            // must not alias across shards.
-            0
-        };
+        let (shard, assign) =
+            self.shard_for(router, &req.method, path, &req.body, max_body, draining);
         let rpc_req = RpcRequest {
             method: req.method.clone(),
             target: req.target.clone(),
             body: req.body.clone(),
             draining,
+            assign_session: assign,
         };
         match router.forward(shard, &rpc_req, metrics) {
             Ok(resp) => resp,
@@ -614,6 +759,12 @@ impl Service {
     /// response carries the new session id plus the same report object a
     /// stateless `POST /estimate` would answer.
     fn session_create(&self, body: &[u8], max_body: usize) -> Response {
+        self.session_create_inner(body, max_body, None)
+    }
+
+    /// The create body shared by local and forwarded paths; `assign`
+    /// carries a front-assigned session id on shards.
+    fn session_create_inner(&self, body: &[u8], max_body: usize, assign: Option<u64>) -> Response {
         let root = match Self::parse_body(body, max_body) {
             Ok(v) => v,
             Err(resp) => return resp,
@@ -635,7 +786,13 @@ impl Service {
             })
             .collect();
         let detail = job.report == ReportKind::Blocks;
-        match self.sessions.create(&self.pipeline, &job.design, sweep, detail) {
+        let created = match assign {
+            Some(id) => {
+                self.sessions.create_with_id(&self.pipeline, &job.design, sweep, detail, id)
+            }
+            None => self.sessions.create(&self.pipeline, &job.design, sweep, detail),
+        };
+        match created {
             Ok((id, view)) => {
                 let mut body = ObjectBuilder::new()
                     .field("session", id)
@@ -808,7 +965,11 @@ impl Service {
             if !want_trace
                 && (path == "/estimate" || path == "/session" || path.starts_with("/session/"))
             {
-                return self.forward(router, req, metrics, max_body, draining);
+                // The pooled fallback. In mux mode the event loop
+                // intercepts these paths at dispatch via
+                // [`Service::shard_plan`]; direct callers (tests, shard
+                // workers) still forward correctly through the pool.
+                return self.forward(router, req, path, metrics, max_body, draining);
             }
         }
         match (req.method.as_str(), path) {
@@ -821,10 +982,26 @@ impl Service {
                     self.session_create(&req.body, max_body)
                 }
             }
-            ("GET", "/metrics") => Response::text(
-                200,
-                metrics.render(&self.pipeline.stats(), &self.sessions.stats(), self.queue_capacity),
-            ),
+            ("GET", "/metrics") => {
+                let mut page = metrics.render(
+                    &self.pipeline.stats(),
+                    &self.sessions.stats(),
+                    self.queue_capacity,
+                );
+                if let Some(router) = &self.router {
+                    // Aggregate shard-side counters into the front's
+                    // page via the STATS control frame; an unreachable
+                    // shard simply contributes no rows.
+                    let mut slots = Vec::new();
+                    for shard in 0..router.shard_count() {
+                        if let Ok(stats) = router.fetch_stats(shard) {
+                            slots.push((shard, stats));
+                        }
+                    }
+                    page.push_str(&crate::metrics::render_shard_stats(&slots));
+                }
+                Response::text(200, page)
+            }
             ("GET", "/healthz") => Response::text(200, "ok\n"),
             ("GET", "/readyz") => {
                 if draining {

@@ -1,4 +1,4 @@
-//! The front ↔ shard wire protocol: tiny length-prefixed binary frames.
+//! The front ↔ shard wire protocol: multiplexed length-prefixed frames.
 //!
 //! The sharded tier (see [`crate::shard`]) forwards already-parsed
 //! requests, so the wire format carries exactly what
@@ -9,17 +9,34 @@
 //! what the in-process path would have written, because the [`Response`]
 //! is reconstructed field-for-field.
 //!
-//! A frame is `u32` little-endian payload length, one tag byte, payload:
+//! A frame is `u32` little-endian payload length, one tag byte, a `u64`
+//! little-endian request id, payload:
 //!
 //! ```text
-//! | len: u32 LE | tag: u8 | payload: len-1 bytes |
+//! | len: u32 LE | tag: u8 | id: u64 LE | payload: len-9 bytes |
 //! ```
+//!
+//! The id is what makes the connection *multiplexed*: the front writes
+//! request frames back-to-back on one persistent connection per shard
+//! and the shard answers each with a response frame carrying the same
+//! id, in whatever order its workers finish. The front demultiplexes
+//! completions by id, so slow requests never head-of-line-block fast
+//! ones. Control frames ([`TAG_SHUTDOWN`], [`TAG_STATS`]) use id `0`;
+//! forwarded requests reuse the front's trace request id (see
+//! [`crate::trace`]), which is never `0`, so one number names a request
+//! in the trace ring, on the wire and in shard logs.
 //!
 //! Strings and byte fields inside payloads are `u32` length-prefixed.
 //! Extra headers travel as `(tag, value)` pairs because the header names
 //! in [`Response::extra_headers`] are `&'static str` — the decoder maps
 //! the tag back to the one static string it stands for, keeping the
 //! serialized head byte-for-byte identical.
+//!
+//! Two consumption styles share the format: blocking
+//! [`write_frame`]/[`read_frame`] for shard workers and control-plane
+//! exchanges, and [`encode_frame`] + [`FrameDecoder`] for the front's
+//! nonblocking event loop, which appends encoded frames to a write
+//! buffer and feeds whatever bytes arrive into the decoder.
 //!
 //! Fault injection: `serve.rpc.send` and `serve.rpc.recv` can cut a
 //! frame short in chaos builds ([`tlm_faults::Kind::ShortRead`]), which
@@ -40,6 +57,17 @@ pub const TAG_RESPONSE: u8 = 2;
 pub const TAG_SHUTDOWN: u8 = 3;
 /// Frame tag: drain acknowledged, about to exit (shard → front).
 pub const TAG_SHUTDOWN_OK: u8 = 4;
+/// Frame tag: report shard-side counters (front → shard).
+pub const TAG_STATS: u8 = 5;
+/// Frame tag: shard counters as a JSON payload (shard → front).
+pub const TAG_STATS_OK: u8 = 6;
+
+/// Request id carried by control frames (shutdown, stats): they are not
+/// multiplexed requests, and real request ids are never `0`.
+pub const CONTROL_ID: u64 = 0;
+
+/// Bytes of frame header following the length prefix: tag + id.
+const HEADER_LEN: usize = 9;
 
 /// Hard cap on one frame's payload, comfortably above the HTTP body cap
 /// plus response overhead — anything larger is a corrupt length prefix,
@@ -58,6 +86,10 @@ pub struct RpcRequest {
     /// Whether the front was draining when it forwarded this (gates new
     /// session creation on the shard).
     pub draining: bool,
+    /// For `POST /session`: the front-assigned session id the shard must
+    /// use, so ids stay sequential across the whole tier no matter which
+    /// shard the ring picked (see [`crate::shard::ShardRouter`]).
+    pub assign_session: Option<u64>,
 }
 
 fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
@@ -90,6 +122,11 @@ impl<'a> Cursor<'a> {
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
+    fn u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("eight bytes")))
+    }
+
     fn bytes(&mut self) -> io::Result<&'a [u8]> {
         let b = self.take(4)?;
         let len = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
@@ -113,8 +150,15 @@ impl<'a> Cursor<'a> {
 /// Serializes a request payload (pair with [`TAG_REQUEST`]).
 #[must_use]
 pub fn encode_request(req: &RpcRequest) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16 + req.method.len() + req.target.len() + req.body.len());
+    let mut out = Vec::with_capacity(32 + req.method.len() + req.target.len() + req.body.len());
     out.push(u8::from(req.draining));
+    match req.assign_session {
+        Some(id) => {
+            out.push(1);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        None => out.push(0),
+    }
     put_bytes(&mut out, req.method.as_bytes());
     put_bytes(&mut out, req.target.as_bytes());
     put_bytes(&mut out, &req.body);
@@ -130,11 +174,21 @@ pub fn encode_request(req: &RpcRequest) -> Vec<u8> {
 pub fn decode_request(payload: &[u8]) -> io::Result<RpcRequest> {
     let mut c = Cursor { buf: payload, pos: 0 };
     let draining = c.u8()? != 0;
+    let assign_session = match c.u8()? {
+        0 => None,
+        1 => Some(c.u64()?),
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad assign-session marker {other}"),
+            ))
+        }
+    };
     let method = c.string()?;
     let target = c.string()?;
     let body = c.bytes()?.to_vec();
     c.finish()?;
-    Ok(RpcRequest { method, target, body, draining })
+    Ok(RpcRequest { method, target, body, draining, assign_session })
 }
 
 /// The extra-header names that may appear in a [`Response`], by wire tag.
@@ -202,16 +256,98 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
     Ok(Response { status, extra_headers, content_type, body })
 }
 
+/// Serializes one complete frame to bytes — the event loop's building
+/// block: append to a connection's write buffer, flush as the socket
+/// accepts.
+#[must_use]
+pub fn encode_frame(tag: u8, id: u64, payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() + HEADER_LEN;
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(tag);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental frame decoder for nonblocking reads: feed whatever bytes
+/// the socket produced, pop complete `(tag, id, payload)` frames.
+///
+/// Buffered bytes are compacted only once a frame completes, so a frame
+/// arriving in many small reads costs one copy, not one per read.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with nothing buffered.
+    #[must_use]
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes read from the connection.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] on an implausible length prefix —
+    /// the connection is garbage from here on and must be dropped.
+    pub fn next_frame(&mut self) -> io::Result<Option<(u8, u64, Vec<u8>)>> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("four bytes")) as usize;
+        if !(HEADER_LEN..=MAX_FRAME).contains(&len) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("implausible rpc frame length {len}"),
+            ));
+        }
+        if avail.len() < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let tag = avail[4];
+        let id = u64::from_le_bytes(avail[5..13].try_into().expect("eight bytes"));
+        let payload = avail[13..4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some((tag, id, payload)))
+    }
+
+    /// Whether any partial frame bytes are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
 /// Writes one frame. In chaos builds, `serve.rpc.send` may cut the frame
 /// short (the peer sees an unexpected EOF mid-payload).
 ///
 /// # Errors
 ///
 /// The underlying write failure.
-pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
-    let len = payload.len() + 1;
+pub fn write_frame(w: &mut impl Write, tag: u8, id: u64, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() + HEADER_LEN;
     w.write_all(&(len as u32).to_le_bytes())?;
     w.write_all(&[tag])?;
+    w.write_all(&id.to_le_bytes())?;
     if tlm_faults::point("serve.rpc.send", &[Kind::ShortRead]).is_some() && !payload.is_empty() {
         // Deliver half the payload, then fail like a cut connection.
         w.write_all(&payload[..payload.len() / 2])?;
@@ -222,31 +358,33 @@ pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()
     w.flush()
 }
 
-/// Reads one frame, returning `(tag, payload)`. In chaos builds,
+/// Reads one frame, returning `(tag, id, payload)`. In chaos builds,
 /// `serve.rpc.recv` may report the stream cut short before reading.
 ///
 /// # Errors
 ///
 /// [`io::ErrorKind::UnexpectedEof`] on a clean close before or inside a
 /// frame, [`io::ErrorKind::InvalidData`] on an implausible length.
-pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, u64, Vec<u8>)> {
     if tlm_faults::point("serve.rpc.recv", &[Kind::ShortRead]).is_some() {
         return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "injected fault: rpc recv cut"));
     }
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf) as usize;
-    if len == 0 || len > MAX_FRAME {
+    if !(HEADER_LEN..=MAX_FRAME).contains(&len) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("implausible rpc frame length {len}"),
         ));
     }
-    let mut tag = [0u8; 1];
-    r.read_exact(&mut tag)?;
-    let mut payload = vec![0u8; len - 1];
+    let mut head = [0u8; HEADER_LEN];
+    r.read_exact(&mut head)?;
+    let tag = head[0];
+    let id = u64::from_le_bytes(head[1..].try_into().expect("eight bytes"));
+    let mut payload = vec![0u8; len - HEADER_LEN];
     r.read_exact(&mut payload)?;
-    Ok((tag[0], payload))
+    Ok((tag, id, payload))
 }
 
 #[cfg(test)]
@@ -255,17 +393,21 @@ mod tests {
 
     #[test]
     fn request_roundtrips() {
-        let req = RpcRequest {
-            method: "POST".to_string(),
-            target: "/estimate".to_string(),
-            body: br#"{"platform": "mp3:sw"}"#.to_vec(),
-            draining: true,
-        };
-        let mut wire = Vec::new();
-        write_frame(&mut wire, TAG_REQUEST, &encode_request(&req)).expect("writes");
-        let (tag, payload) = read_frame(&mut wire.as_slice()).expect("reads");
-        assert_eq!(tag, TAG_REQUEST);
-        assert_eq!(decode_request(&payload).expect("decodes"), req);
+        for assign_session in [None, Some(7u64)] {
+            let req = RpcRequest {
+                method: "POST".to_string(),
+                target: "/estimate".to_string(),
+                body: br#"{"platform": "mp3:sw"}"#.to_vec(),
+                draining: true,
+                assign_session,
+            };
+            let mut wire = Vec::new();
+            write_frame(&mut wire, TAG_REQUEST, 42, &encode_request(&req)).expect("writes");
+            let (tag, id, payload) = read_frame(&mut wire.as_slice()).expect("reads");
+            assert_eq!(tag, TAG_REQUEST);
+            assert_eq!(id, 42, "request id rides in the frame header");
+            assert_eq!(decode_request(&payload).expect("decodes"), req);
+        }
     }
 
     #[test]
@@ -283,19 +425,73 @@ mod tests {
     }
 
     #[test]
+    fn frame_decoder_reassembles_split_and_batched_frames() {
+        // Two frames delivered as one drip-fed byte stream.
+        let mut wire = encode_frame(TAG_RESPONSE, 1, b"first");
+        wire.extend_from_slice(&encode_frame(TAG_RESPONSE, u64::MAX, b"second"));
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for byte in &wire {
+            decoder.push(std::slice::from_ref(byte));
+            while let Some(frame) = decoder.next_frame().expect("valid stream") {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(
+            frames,
+            vec![
+                (TAG_RESPONSE, 1, b"first".to_vec()),
+                (TAG_RESPONSE, u64::MAX, b"second".to_vec()),
+            ]
+        );
+        assert!(decoder.is_empty(), "nothing buffered after the last frame");
+
+        // The same two frames in one push decode the same way.
+        let mut batched = FrameDecoder::new();
+        batched.push(&wire);
+        assert_eq!(batched.next_frame().expect("valid").expect("frame").2, b"first".to_vec());
+        assert_eq!(batched.next_frame().expect("valid").expect("frame").2, b"second".to_vec());
+        assert!(batched.next_frame().expect("valid").is_none());
+    }
+
+    #[test]
+    fn frame_decoder_matches_blocking_reader() {
+        let payload = encode_request(&RpcRequest {
+            method: "POST".to_string(),
+            target: "/session".to_string(),
+            body: b"{}".to_vec(),
+            draining: false,
+            assign_session: Some(3),
+        });
+        let wire = encode_frame(TAG_REQUEST, 9, &payload);
+        let blocking = read_frame(&mut wire.as_slice()).expect("blocking read");
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&wire);
+        let incremental = decoder.next_frame().expect("valid").expect("frame");
+        assert_eq!(blocking, incremental, "both consumers agree on the same bytes");
+    }
+
+    #[test]
     fn corrupt_frames_are_rejected() {
-        // Implausible length prefix.
+        // Implausible length prefix, blocking and incremental.
         let wire = u32::MAX.to_le_bytes();
         assert_eq!(
             read_frame(&mut wire.as_slice()).expect_err("rejects").kind(),
             io::ErrorKind::InvalidData
         );
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&wire);
+        assert_eq!(decoder.next_frame().expect_err("rejects").kind(), io::ErrorKind::InvalidData);
+        // A length too short to hold the tag + id header.
+        let short = 4u32.to_le_bytes();
+        assert!(read_frame(&mut short.as_slice()).is_err());
         // Truncated payload.
         let req = encode_request(&RpcRequest {
             method: "GET".to_string(),
             target: "/x".to_string(),
             body: Vec::new(),
             draining: false,
+            assign_session: None,
         });
         assert!(decode_request(&req[..req.len() - 1]).is_err());
         // Trailing bytes.
